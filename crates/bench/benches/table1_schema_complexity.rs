@@ -1,0 +1,56 @@
+//! Table 1 — complexity of the schema graph.
+//!
+//! Benchmarks the construction of the enterprise schema model (core + padding
+//! to the paper's 472 tables / 3181 columns) and of the metadata graph, and
+//! prints the regenerated Table 1 next to the paper's numbers.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use soda_eval::experiments::table1::table1;
+use soda_eval::report::print_table1;
+use soda_warehouse::enterprise::{self, padding, schema, EnterpriseConfig};
+
+fn bench_table1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_schema_complexity");
+    group.sample_size(10);
+
+    group.bench_function("core_schema_model", |b| {
+        b.iter(|| black_box(schema::core_model()))
+    });
+
+    group.bench_function("pad_to_paper_scale", |b| {
+        b.iter(|| {
+            let mut model = schema::core_model();
+            padding::pad_model(&mut model, padding::PaddingTargets::default());
+            black_box(model.stats())
+        })
+    });
+
+    group.bench_function("build_full_warehouse", |b| {
+        b.iter(|| {
+            black_box(enterprise::build_with(EnterpriseConfig {
+                seed: 42,
+                padding: true,
+                data_scale: 0.05,
+            }))
+        })
+    });
+    group.finish();
+
+    // Regenerate and print the table itself.
+    let warehouse = enterprise::build_with(EnterpriseConfig {
+        seed: 42,
+        padding: true,
+        data_scale: 0.05,
+    });
+    println!("\n{}", print_table1(&table1(&warehouse)));
+    println!(
+        "metadata graph: {} nodes, {} edges\n",
+        warehouse.graph.node_count(),
+        warehouse.graph.edge_count()
+    );
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

@@ -1,0 +1,158 @@
+//! Configuration of the SODA engine.
+//!
+//! The defaults follow the paper; the switches exist so that the ablation
+//! benchmarks can turn individual design decisions off (direct-path join
+//! pruning, bridge-table detection, provenance-weighted ranking, the inverted
+//! index over the base data, DBpedia).
+
+use crate::provenance::Provenance;
+
+/// Ranking weights per entry-point provenance (Step 2 of the pipeline).
+///
+/// The paper ranks domain-ontology hits above DBpedia hits because the
+/// ontology was built by domain experts; the other weights interpolate along
+/// the metadata layering of Figure 3.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize)]
+pub struct RankingWeights {
+    /// Weight of a domain-ontology hit.
+    pub domain_ontology: f64,
+    /// Weight of a conceptual-schema hit.
+    pub conceptual: f64,
+    /// Weight of a logical-schema hit.
+    pub logical: f64,
+    /// Weight of a physical-schema hit.
+    pub physical: f64,
+    /// Weight of a base-data hit.
+    pub base_data: f64,
+    /// Weight of a DBpedia hit.
+    pub dbpedia: f64,
+}
+
+impl Default for RankingWeights {
+    fn default() -> Self {
+        Self {
+            domain_ontology: 1.0,
+            conceptual: 0.9,
+            logical: 0.8,
+            physical: 0.7,
+            base_data: 0.6,
+            dbpedia: 0.4,
+        }
+    }
+}
+
+impl RankingWeights {
+    /// Uniform weights: every provenance counts the same (used by the ranking
+    /// ablation).
+    pub fn uniform() -> Self {
+        Self {
+            domain_ontology: 1.0,
+            conceptual: 1.0,
+            logical: 1.0,
+            physical: 1.0,
+            base_data: 1.0,
+            dbpedia: 1.0,
+        }
+    }
+
+    /// Weight of one provenance.
+    pub fn weight(&self, p: Provenance) -> f64 {
+        match p {
+            Provenance::DomainOntology => self.domain_ontology,
+            Provenance::ConceptualSchema => self.conceptual,
+            Provenance::LogicalSchema => self.logical,
+            Provenance::PhysicalSchema => self.physical,
+            Provenance::BaseData => self.base_data,
+            Provenance::DbPedia => self.dbpedia,
+        }
+    }
+}
+
+/// Engine configuration.
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+pub struct SodaConfig {
+    /// How many ranked solutions continue past Step 2 (the paper's "top N").
+    pub top_n: usize,
+    /// Maximum number of SQL statements returned.
+    pub max_results: usize,
+    /// Maximum keyword-combination length tried by the lookup step.
+    pub max_phrase_tokens: usize,
+    /// Maximum traversal depth in the tables step.
+    pub traversal_depth: usize,
+    /// Maximum number of join conditions on a path between two entry-point
+    /// tables ("far-fetching" control, §5.3.1): a small bound keeps results
+    /// precise but may miss joins between entities that are far apart in the
+    /// schema graph; raising it ("far-fetching") finds them at the cost of
+    /// longer join chains and more results.
+    pub max_join_path_length: usize,
+    /// Whether join conditions are pruned to direct paths between entry
+    /// points (Figure 9).
+    pub direct_path_pruning: bool,
+    /// Whether bridge tables (physical N-to-N implementations) are added.
+    pub use_bridge_tables: bool,
+    /// Whether the base data is consulted through the inverted index.
+    pub use_inverted_index: bool,
+    /// Whether DBpedia synonyms participate in the lookup.
+    pub use_dbpedia: bool,
+    /// Whether historization annotations in the metadata graph are exploited
+    /// (temporal `valid at` predicates on annotated history tables).  A no-op
+    /// on paper-faithful graphs, which carry no such annotations.
+    pub use_historization: bool,
+    /// Whether results are re-ranked by compactness after SQL generation
+    /// (BLINKS-inspired: interpretations that connect their entry points with
+    /// fewer tables and a complete join path rank higher).  Off by default —
+    /// the paper's ranking uses entry-point provenance only.
+    pub compactness_rerank: bool,
+    /// Ranking weights.
+    pub weights: RankingWeights,
+    /// Number of snippet rows materialised when executing a result.
+    pub snippet_rows: usize,
+}
+
+impl Default for SodaConfig {
+    fn default() -> Self {
+        Self {
+            top_n: 10,
+            max_results: 10,
+            max_phrase_tokens: 4,
+            traversal_depth: 6,
+            max_join_path_length: 6,
+            direct_path_pruning: true,
+            use_bridge_tables: true,
+            use_inverted_index: true,
+            use_dbpedia: true,
+            use_historization: true,
+            compactness_rerank: false,
+            weights: RankingWeights::default(),
+            snippet_rows: 20,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_follow_the_paper() {
+        let c = SodaConfig::default();
+        assert_eq!(c.top_n, 10);
+        assert_eq!(c.snippet_rows, 20);
+        assert!(c.direct_path_pruning);
+        assert!(c.use_bridge_tables);
+        assert!(c.use_inverted_index);
+    }
+
+    #[test]
+    fn ontology_outranks_dbpedia() {
+        let w = RankingWeights::default();
+        assert!(w.weight(Provenance::DomainOntology) > w.weight(Provenance::DbPedia));
+        assert!(w.weight(Provenance::ConceptualSchema) > w.weight(Provenance::BaseData));
+    }
+
+    #[test]
+    fn uniform_weights_are_flat() {
+        let w = RankingWeights::uniform();
+        assert_eq!(w.weight(Provenance::DomainOntology), w.weight(Provenance::DbPedia));
+    }
+}

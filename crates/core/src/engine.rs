@@ -1,0 +1,314 @@
+//! The SODA engine: ties the five pipeline steps together.
+//!
+//! An engine is constructed once per warehouse (it builds the inverted index
+//! over the base data, the classification index over the metadata labels and
+//! the join catalog) and then answers any number of keyword queries, each
+//! returning a ranked list of executable SQL statements — the paper's "result
+//! page" from which the business user picks.
+
+use std::collections::HashSet;
+use std::time::Instant;
+
+use soda_metagraph::MetaGraph;
+use soda_relation::{print_select, Database, InvertedIndex, ResultSet};
+
+use crate::classification::ClassificationIndex;
+use crate::config::SodaConfig;
+use crate::error::Result;
+use crate::feedback::FeedbackStore;
+use crate::joins::JoinCatalog;
+use crate::patterns::SodaPatterns;
+use crate::pipeline::{filters, lookup, rank, sqlgen, tables, PipelineContext};
+use crate::query::parse_query;
+use crate::result::{Interpretation, QueryTrace, ResultPage, SodaResult, StepTimings};
+use crate::suggest::{suggest_for_term, TermSuggestion};
+
+/// The SODA engine.
+pub struct SodaEngine<'a> {
+    db: &'a Database,
+    graph: &'a MetaGraph,
+    config: SodaConfig,
+    patterns: SodaPatterns,
+    classification: ClassificationIndex,
+    index: Option<InvertedIndex>,
+    joins: JoinCatalog,
+}
+
+impl<'a> SodaEngine<'a> {
+    /// Builds an engine over a warehouse with the default patterns.
+    pub fn new(db: &'a Database, graph: &'a MetaGraph, config: SodaConfig) -> Self {
+        Self::with_patterns(db, graph, config, SodaPatterns::default())
+    }
+
+    /// Builds an engine with custom metadata-graph patterns (how SODA is
+    /// ported to a warehouse with different modelling conventions).
+    pub fn with_patterns(
+        db: &'a Database,
+        graph: &'a MetaGraph,
+        config: SodaConfig,
+        patterns: SodaPatterns,
+    ) -> Self {
+        let classification = ClassificationIndex::build(graph, config.use_dbpedia);
+        let index = if config.use_inverted_index {
+            Some(InvertedIndex::build(db))
+        } else {
+            None
+        };
+        let joins = JoinCatalog::build(graph, &patterns, db);
+        Self {
+            db,
+            graph,
+            config,
+            patterns,
+            classification,
+            index,
+            joins,
+        }
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &SodaConfig {
+        &self.config
+    }
+
+    /// The join catalog (exposed for experiments and figures).
+    pub fn join_catalog(&self) -> &JoinCatalog {
+        &self.joins
+    }
+
+    /// The classification index (exposed for experiments and figures).
+    pub fn classification_index(&self) -> &ClassificationIndex {
+        &self.classification
+    }
+
+    /// The inverted index over the base data, if enabled.
+    pub fn inverted_index(&self) -> Option<&InvertedIndex> {
+        self.index.as_ref()
+    }
+
+    fn context(&self) -> PipelineContext<'_> {
+        PipelineContext {
+            db: self.db,
+            graph: self.graph,
+            config: &self.config,
+            classification: &self.classification,
+            index: self.index.as_ref(),
+            patterns: &self.patterns,
+            joins: &self.joins,
+        }
+    }
+
+    /// Translates a keyword query into a ranked list of SQL statements.
+    pub fn search(&self, input: &str) -> Result<Vec<SodaResult>> {
+        self.search_traced(input).map(|(results, _)| results)
+    }
+
+    /// Like [`search`](Self::search) but also returns the pipeline trace
+    /// (classification, complexity, step timings).
+    pub fn search_traced(&self, input: &str) -> Result<(Vec<SodaResult>, QueryTrace)> {
+        self.search_internal(input, None)
+    }
+
+    /// Like [`search`](Self::search) but folding accumulated relevance
+    /// feedback (§6.3 — users like or dislike results) into the Step 2
+    /// ranking: interpretation choices the user liked gain score, disliked
+    /// ones lose it.
+    pub fn search_with_feedback(
+        &self,
+        input: &str,
+        feedback: &FeedbackStore,
+    ) -> Result<Vec<SodaResult>> {
+        self.search_internal(input, Some(feedback))
+            .map(|(results, _)| results)
+    }
+
+    /// [`search_with_feedback`](Self::search_with_feedback) plus the trace.
+    pub fn search_with_feedback_traced(
+        &self,
+        input: &str,
+        feedback: &FeedbackStore,
+    ) -> Result<(Vec<SodaResult>, QueryTrace)> {
+        self.search_internal(input, Some(feedback))
+    }
+
+    /// One page of the ranked result list (the paper's "next result page"):
+    /// page `0` returns the first `page_size` statements, page `1` the next
+    /// ones, and so on.  The engine materialises up to
+    /// `(page + 1) * page_size` statements for the request, independent of
+    /// `config.max_results`.
+    pub fn search_paged(
+        &self,
+        input: &str,
+        page: usize,
+        page_size: usize,
+    ) -> Result<ResultPage> {
+        let page_size = page_size.max(1);
+        let needed = (page + 1).saturating_mul(page_size).saturating_add(1);
+        let (results, _) = self.search_limited(input, None, needed)?;
+        let total_results = results.len();
+        let start = (page * page_size).min(total_results);
+        let end = (start + page_size).min(total_results);
+        Ok(ResultPage {
+            results: results[start..end].to_vec(),
+            page,
+            page_size,
+            total_results,
+            has_next: total_results > end,
+        })
+    }
+
+    /// Reformulation suggestions for the input words the lookup step could not
+    /// match anywhere (NaLIX-style feedback, §6.3): the closest metadata
+    /// phrases per unmatched word.
+    pub fn suggestions(&self, input: &str) -> Result<Vec<TermSuggestion>> {
+        let (_, trace) = self.search_traced(input)?;
+        Ok(trace
+            .unmatched
+            .iter()
+            .map(|term| TermSuggestion {
+                term: term.clone(),
+                candidates: suggest_for_term(&self.classification, term, 5),
+            })
+            .filter(|s| !s.candidates.is_empty())
+            .collect())
+    }
+
+    fn search_internal(
+        &self,
+        input: &str,
+        feedback: Option<&FeedbackStore>,
+    ) -> Result<(Vec<SodaResult>, QueryTrace)> {
+        self.search_limited(input, feedback, self.config.max_results)
+    }
+
+    fn search_limited(
+        &self,
+        input: &str,
+        feedback: Option<&FeedbackStore>,
+        max_results: usize,
+    ) -> Result<(Vec<SodaResult>, QueryTrace)> {
+        let ctx = self.context();
+        let query = parse_query(input)?;
+        let mut timings = StepTimings::default();
+
+        // Step 1 — lookup.
+        let t0 = Instant::now();
+        let lookup_result = lookup::run(&ctx, &query);
+        timings.lookup = t0.elapsed();
+
+        // Step 2 — rank and top N.
+        let t0 = Instant::now();
+        let solutions = rank::enumerate_and_rank_boosted(
+            &lookup_result,
+            &self.config.weights,
+            self.config.top_n.max(max_results),
+            1_000,
+            |entry| {
+                feedback
+                    .map(|f| f.adjustment(&entry.phrase, self.graph.uri(entry.node)))
+                    .unwrap_or(0.0)
+            },
+        );
+        timings.rank = t0.elapsed();
+
+        let mut results: Vec<SodaResult> = Vec::new();
+        let mut seen_sql: HashSet<String> = HashSet::new();
+
+        for solution in &solutions {
+            // Step 3 — tables and joins.
+            let t0 = Instant::now();
+            let mut plan = tables::run(&ctx, solution);
+            timings.tables += t0.elapsed();
+
+            // Step 4 — filters.
+            let t0 = Instant::now();
+            let (filter_exprs, notes) =
+                filters::run(&ctx, solution, &mut plan, &lookup_result.constraints);
+            timings.filters += t0.elapsed();
+
+            // Step 5 — SQL.
+            let t0 = Instant::now();
+            let statement = sqlgen::run(&ctx, &plan, &filter_exprs, &lookup_result);
+            timings.sql += t0.elapsed();
+
+            let Some(statement) = statement else { continue };
+            let sql = print_select(&statement);
+            if !seen_sql.insert(sql.clone()) {
+                continue;
+            }
+            results.push(SodaResult {
+                sql,
+                statement,
+                score: solution.score,
+                tables: plan.tables.iter().cloned().collect(),
+                interpretation: solution
+                    .entries
+                    .iter()
+                    .map(|e| Interpretation {
+                        phrase: e.phrase.clone(),
+                        provenance: e.provenance,
+                        entry_uri: self.graph.uri(e.node).to_string(),
+                    })
+                    .collect(),
+                join_path_complete: plan.join_path_complete,
+                used_bridges: plan.used_bridges.clone(),
+                notes,
+            });
+            if results.len() >= max_results {
+                break;
+            }
+        }
+
+        // Optional compactness re-ranking (BLINKS-inspired extension): among
+        // interpretations, the ones that connect their entry points with fewer
+        // tables and a complete join path are more likely to reflect the
+        // user's intent, so they are promoted.  The paper's default ranking is
+        // provenance-only, hence the flag.
+        if self.config.compactness_rerank {
+            for result in &mut results {
+                let extra_tables = result.tables.len().saturating_sub(1) as f64;
+                let incomplete = if result.join_path_complete { 0.0 } else { 0.5 };
+                result.score /= 1.0 + 0.1 * extra_tables + incomplete;
+            }
+            results.sort_by(|a, b| {
+                b.score
+                    .partial_cmp(&a.score)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
+        }
+
+        let trace = QueryTrace {
+            input: input.to_string(),
+            complexity: lookup_result.complexity(),
+            solutions: solutions.len(),
+            results: results.len(),
+            classification: lookup_result
+                .matches
+                .iter()
+                .map(|m| {
+                    (
+                        m.phrase.clone(),
+                        m.candidates.iter().map(|c| c.provenance).collect(),
+                    )
+                })
+                .collect(),
+            unmatched: lookup_result.unmatched.clone(),
+            timings,
+        };
+        Ok((results, trace))
+    }
+
+    /// Executes one generated statement against the base data (the paper
+    /// executes the top 10 partially to produce result snippets; experiments
+    /// execute them fully to compute precision and recall).
+    pub fn execute(&self, result: &SodaResult) -> Result<ResultSet> {
+        Ok(soda_relation::execute(self.db, &result.statement)?)
+    }
+
+    /// Executes a statement and renders the snippet of up to
+    /// `config.snippet_rows` rows shown on the result page.
+    pub fn snippet(&self, result: &SodaResult) -> Result<String> {
+        let rs = self.execute(result)?;
+        Ok(rs.snippet(self.config.snippet_rows))
+    }
+}

@@ -1,0 +1,52 @@
+//! Error type of the SODA engine.
+
+use std::fmt;
+
+/// Convenience alias for results produced by this crate.
+pub type Result<T> = std::result::Result<T, SodaError>;
+
+/// Errors produced while parsing an input query or running the pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SodaError {
+    /// The input query could not be parsed.
+    Query(String),
+    /// The input query contained no usable terms.
+    EmptyQuery,
+    /// A pipeline step failed.
+    Pipeline(String),
+    /// The underlying relational engine reported an error.
+    Relation(String),
+}
+
+impl fmt::Display for SodaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SodaError::Query(m) => write!(f, "query parse error: {m}"),
+            SodaError::EmptyQuery => write!(f, "the query contains no recognisable terms"),
+            SodaError::Pipeline(m) => write!(f, "pipeline error: {m}"),
+            SodaError::Relation(m) => write!(f, "relational engine error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SodaError {}
+
+impl From<soda_relation::RelationError> for SodaError {
+    fn from(e: soda_relation::RelationError) -> Self {
+        SodaError::Relation(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversion() {
+        let e = SodaError::Query("bad operator".into());
+        assert!(e.to_string().contains("bad operator"));
+        let r: SodaError = soda_relation::RelationError::UnknownTable("x".into()).into();
+        assert!(matches!(r, SodaError::Relation(_)));
+        assert!(r.to_string().contains("unknown table"));
+    }
+}

@@ -1,0 +1,528 @@
+//! The join catalog: table-level join knowledge derived from the metadata
+//! graph by matching the Foreign-Key, Join-Relationship and Inheritance-Child
+//! patterns over all nodes.
+//!
+//! Step 3 of the pipeline needs to connect the tables discovered for the entry
+//! points through join conditions that lie "on a direct path between the entry
+//! points" (Figure 9), to add the parent tables of inheritance children, and
+//! to detect bridge tables (physical implementations of N-to-N relationships,
+//! including the problematic bridges *between inheritance siblings* of
+//! Figure 10).  All of that is table-level reasoning, so the engine
+//! pre-computes this catalog once per warehouse.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use soda_metagraph::{Matcher, MetaGraph};
+use soda_relation::Database;
+
+use crate::patterns::SodaPatterns;
+use crate::resolve::column_name;
+
+/// One join condition between two physical columns.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, serde::Serialize)]
+pub struct JoinEdge {
+    /// Referencing (foreign-key) table.
+    pub fk_table: String,
+    /// Referencing column.
+    pub fk_column: String,
+    /// Referenced (primary-key) table.
+    pub pk_table: String,
+    /// Referenced column.
+    pub pk_column: String,
+    /// Whether the edge came from an explicit join node rather than a plain
+    /// `foreign_key` edge.
+    pub explicit_join_node: bool,
+}
+
+impl JoinEdge {
+    /// The table on the other side of the edge, if `table` is one endpoint.
+    pub fn other(&self, table: &str) -> Option<&str> {
+        if self.fk_table.eq_ignore_ascii_case(table) {
+            Some(&self.pk_table)
+        } else if self.pk_table.eq_ignore_ascii_case(table) {
+            Some(&self.fk_table)
+        } else {
+            None
+        }
+    }
+
+    /// Renders the join condition as SQL text (for traces and tests).
+    pub fn condition(&self) -> String {
+        format!(
+            "{}.{} = {}.{}",
+            self.fk_table, self.fk_column, self.pk_table, self.pk_column
+        )
+    }
+}
+
+/// An inheritance link between a parent table and one child table.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize)]
+pub struct InheritanceLink {
+    /// Super-type table.
+    pub parent_table: String,
+    /// Sub-type table.
+    pub child_table: String,
+    /// The join edge connecting the two (child FK → parent PK), when the
+    /// schema graph contains one.
+    pub join: Option<JoinEdge>,
+}
+
+/// A bi-temporal historization annotation discovered through the
+/// Historization pattern (extension): `hist_table` stores the history of
+/// `current_table`, with validity bounded by the named columns of the history
+/// table.  Paper-faithful metadata graphs carry no such annotations; the
+/// annotated warehouse variants do (§5.2.1, §7).
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize)]
+pub struct HistorizationLink {
+    /// The history table.
+    pub hist_table: String,
+    /// The table carrying the current state.
+    pub current_table: String,
+    /// Validity-start column of the history table.
+    pub valid_from_column: String,
+    /// Validity-end column of the history table.
+    pub valid_to_column: String,
+}
+
+/// A bridge table: a table with at least two foreign keys referencing at least
+/// two distinct other tables.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize)]
+pub struct BridgeTable {
+    /// The bridge table itself.
+    pub table: String,
+    /// Its outgoing foreign-key edges.
+    pub edges: Vec<JoinEdge>,
+}
+
+impl BridgeTable {
+    /// The set of tables this bridge connects.
+    pub fn connects(&self) -> Vec<&str> {
+        let mut tables: Vec<&str> = self.edges.iter().map(|e| e.pk_table.as_str()).collect();
+        tables.sort_unstable();
+        tables.dedup();
+        tables
+    }
+}
+
+/// The pre-computed join catalog of a warehouse.
+#[derive(Debug, Default, Clone)]
+pub struct JoinCatalog {
+    /// All join edges.
+    pub edges: Vec<JoinEdge>,
+    /// All inheritance links.
+    pub inheritance: Vec<InheritanceLink>,
+    /// All bridge tables.
+    pub bridges: Vec<BridgeTable>,
+    /// All historization annotations (empty on paper-faithful graphs).
+    pub historization: Vec<HistorizationLink>,
+    /// Table adjacency: table → indexes into `edges`.
+    adjacency: HashMap<String, Vec<usize>>,
+}
+
+impl JoinCatalog {
+    /// Builds the catalog by matching the join-related patterns over the whole
+    /// metadata graph.
+    pub fn build(graph: &MetaGraph, patterns: &SodaPatterns, db: &Database) -> Self {
+        let matcher = Matcher::new(graph, patterns.registry());
+        let mut edges: Vec<JoinEdge> = Vec::new();
+
+        // Plain foreign-key edges.
+        for (node, binding) in matcher.match_all(patterns.foreign_key()) {
+            let Some((fk_table, fk_column)) = column_name(graph, node, db) else {
+                continue;
+            };
+            let Some(pk_node) = binding.node("y") else { continue };
+            let Some((pk_table, pk_column)) = column_name(graph, pk_node, db) else {
+                continue;
+            };
+            edges.push(JoinEdge {
+                fk_table,
+                fk_column,
+                pk_table,
+                pk_column,
+                explicit_join_node: false,
+            });
+        }
+
+        // Explicit join nodes (Credit Suisse style).
+        for (_node, binding) in matcher.match_all(patterns.join_relationship()) {
+            let (Some(f), Some(p)) = (binding.node("f"), binding.node("p")) else {
+                continue;
+            };
+            let (Some((fk_table, fk_column)), Some((pk_table, pk_column))) =
+                (column_name(graph, f, db), column_name(graph, p, db))
+            else {
+                continue;
+            };
+            edges.push(JoinEdge {
+                fk_table,
+                fk_column,
+                pk_table,
+                pk_column,
+                explicit_join_node: true,
+            });
+        }
+        edges.sort_by(|a, b| a.condition().cmp(&b.condition()));
+        edges.dedup_by(|a, b| a.condition() == b.condition());
+
+        // Inheritance links.
+        let mut inheritance = Vec::new();
+        for (child_node, binding) in matcher.match_all(patterns.inheritance_child()) {
+            let Some(child_table) = crate::resolve::table_name(graph, child_node, db) else {
+                continue;
+            };
+            let Some(parent_node) = binding.node("p") else { continue };
+            let Some(parent_table) = crate::resolve::table_name(graph, parent_node, db) else {
+                continue;
+            };
+            let join = edges
+                .iter()
+                .find(|e| {
+                    (e.fk_table.eq_ignore_ascii_case(&child_table)
+                        && e.pk_table.eq_ignore_ascii_case(&parent_table))
+                        || (e.fk_table.eq_ignore_ascii_case(&parent_table)
+                            && e.pk_table.eq_ignore_ascii_case(&child_table))
+                })
+                .cloned();
+            let link = InheritanceLink {
+                parent_table,
+                child_table,
+                join,
+            };
+            if !inheritance.contains(&link) {
+                inheritance.push(link);
+            }
+        }
+
+        // Historization annotations (only present on graphs built with the
+        // annotated warehouse variants).
+        let mut historization = Vec::new();
+        for (hist_node, binding) in matcher.match_all(patterns.historization()) {
+            let Some(hist_table) = crate::resolve::table_name(graph, hist_node, db) else {
+                continue;
+            };
+            let Some(current_node) = binding.node("c") else { continue };
+            let Some(current_table) = crate::resolve::table_name(graph, current_node, db) else {
+                continue;
+            };
+            let link = HistorizationLink {
+                hist_table,
+                current_table,
+                valid_from_column: binding.text("f").unwrap_or("valid_from").to_string(),
+                valid_to_column: binding.text("v").unwrap_or("valid_to").to_string(),
+            };
+            if !historization.contains(&link) {
+                historization.push(link);
+            }
+        }
+        historization.sort_by(|a: &HistorizationLink, b| a.hist_table.cmp(&b.hist_table));
+
+        // Bridge tables: group edges by their FK table.
+        let mut by_fk: HashMap<String, Vec<JoinEdge>> = HashMap::new();
+        for e in &edges {
+            by_fk
+                .entry(e.fk_table.to_ascii_lowercase())
+                .or_default()
+                .push(e.clone());
+        }
+        let mut bridges = Vec::new();
+        for (table, table_edges) in by_fk {
+            let distinct_targets: HashSet<String> = table_edges
+                .iter()
+                .map(|e| e.pk_table.to_ascii_lowercase())
+                .collect();
+            if table_edges.len() >= 2 && distinct_targets.len() >= 2 {
+                bridges.push(BridgeTable {
+                    table,
+                    edges: table_edges,
+                });
+            }
+        }
+        bridges.sort_by(|a, b| a.table.cmp(&b.table));
+
+        let mut catalog = Self {
+            edges,
+            inheritance,
+            bridges,
+            historization,
+            adjacency: HashMap::new(),
+        };
+        catalog.rebuild_adjacency();
+        catalog
+    }
+
+    fn rebuild_adjacency(&mut self) {
+        self.adjacency.clear();
+        for (i, e) in self.edges.iter().enumerate() {
+            self.adjacency
+                .entry(e.fk_table.to_ascii_lowercase())
+                .or_default()
+                .push(i);
+            self.adjacency
+                .entry(e.pk_table.to_ascii_lowercase())
+                .or_default()
+                .push(i);
+        }
+    }
+
+    /// All edges incident to a table.
+    pub fn edges_of(&self, table: &str) -> Vec<&JoinEdge> {
+        self.adjacency
+            .get(&table.to_ascii_lowercase())
+            .map(|idxs| idxs.iter().map(|&i| &self.edges[i]).collect())
+            .unwrap_or_default()
+    }
+
+    /// Shortest join path (sequence of edges) between two tables, treating
+    /// edges as undirected.  Returns `None` when the tables are not connected.
+    pub fn path(&self, from: &str, to: &str) -> Option<Vec<JoinEdge>> {
+        self.path_within(from, to, usize::MAX)
+    }
+
+    /// Like [`path`](Self::path) but only considering paths of at most
+    /// `max_edges` join conditions.  This is the "far-fetching" control of
+    /// §5.3.1: a small bound keeps results precise but may miss joins between
+    /// entities that are far apart in the schema graph; a large bound
+    /// ("far-fetching") finds them at the cost of more, longer join chains.
+    pub fn path_within(&self, from: &str, to: &str, max_edges: usize) -> Option<Vec<JoinEdge>> {
+        let from = from.to_ascii_lowercase();
+        let to = to.to_ascii_lowercase();
+        if from == to {
+            return Some(Vec::new());
+        }
+        if max_edges == 0 {
+            return None;
+        }
+        let mut prev: HashMap<String, (String, usize)> = HashMap::new();
+        let mut depth: HashMap<String, usize> = HashMap::new();
+        let mut seen: HashSet<String> = HashSet::new();
+        let mut queue: VecDeque<String> = VecDeque::new();
+        seen.insert(from.clone());
+        depth.insert(from.clone(), 0);
+        queue.push_back(from.clone());
+        while let Some(current) = queue.pop_front() {
+            let current_depth = depth.get(&current).copied().unwrap_or(0);
+            if current_depth >= max_edges {
+                continue;
+            }
+            let Some(idxs) = self.adjacency.get(&current) else {
+                continue;
+            };
+            for &i in idxs {
+                let edge = &self.edges[i];
+                let Some(next) = edge.other(&current) else { continue };
+                let next = next.to_ascii_lowercase();
+                if seen.insert(next.clone()) {
+                    prev.insert(next.clone(), (current.clone(), i));
+                    depth.insert(next.clone(), current_depth + 1);
+                    if next == to {
+                        // Reconstruct.
+                        let mut path = Vec::new();
+                        let mut cursor = to.clone();
+                        while let Some((p, idx)) = prev.get(&cursor) {
+                            path.push(self.edges[*idx].clone());
+                            cursor = p.clone();
+                        }
+                        path.reverse();
+                        return Some(path);
+                    }
+                    queue.push_back(next);
+                }
+            }
+        }
+        None
+    }
+
+    /// The inheritance link whose child is `table`, if any.
+    pub fn parent_of(&self, table: &str) -> Option<&InheritanceLink> {
+        self.inheritance
+            .iter()
+            .find(|l| l.child_table.eq_ignore_ascii_case(table))
+    }
+
+    /// The historization annotation whose *history* table is `table`, if any.
+    pub fn historization_of(&self, table: &str) -> Option<&HistorizationLink> {
+        self.historization
+            .iter()
+            .find(|l| l.hist_table.eq_ignore_ascii_case(table))
+    }
+
+    /// The historization annotation whose *current* table is `table`, if any
+    /// (i.e. the history table that historizes `table`).
+    pub fn history_of(&self, table: &str) -> Option<&HistorizationLink> {
+        self.historization
+            .iter()
+            .find(|l| l.current_table.eq_ignore_ascii_case(table))
+    }
+
+    /// Bridge tables that connect (at least) the two given tables.
+    pub fn bridges_connecting(&self, a: &str, b: &str) -> Vec<&BridgeTable> {
+        self.bridges
+            .iter()
+            .filter(|bridge| {
+                let targets = bridge.connects();
+                targets.iter().any(|t| t.eq_ignore_ascii_case(a))
+                    && targets.iter().any(|t| t.eq_ignore_ascii_case(b))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soda_metagraph::GraphBuilder;
+    use soda_relation::{DataType, TableSchema};
+
+    /// party ← individual / organization (inheritance), individual ←
+    /// associate_employment → organization (bridge), agreement → party,
+    /// account → agreement (explicit join node).
+    fn fixtures() -> (MetaGraph, Database) {
+        let mut db = Database::new();
+        for (name, cols) in [
+            ("party", vec!["party_id"]),
+            ("individual", vec!["party_id", "given_name"]),
+            ("organization", vec!["party_id", "org_name"]),
+            ("associate_employment", vec!["individual_id", "organization_id"]),
+            ("agreement_td", vec!["agreement_id", "party_id"]),
+            ("account_td", vec!["account_id", "agreement_id"]),
+        ] {
+            let mut b = TableSchema::builder(name);
+            for c in cols {
+                b = b.column(c, DataType::Int);
+            }
+            db.create_table(b.build()).unwrap();
+        }
+
+        let mut b = GraphBuilder::new();
+        let mk_table = |b: &mut GraphBuilder, name: &str, cols: &[&str]| {
+            let t = b.physical_table(&format!("phys/{name}"), name);
+            let col_ids: Vec<_> = cols
+                .iter()
+                .map(|c| b.physical_column(t, &format!("phys/{name}/{c}"), c))
+                .collect();
+            (t, col_ids)
+        };
+        let (party, party_cols) = mk_table(&mut b, "party", &["party_id"]);
+        let (individual, ind_cols) = mk_table(&mut b, "individual", &["party_id", "given_name"]);
+        let (organization, org_cols) = mk_table(&mut b, "organization", &["party_id", "org_name"]);
+        let (_bridge, bridge_cols) =
+            mk_table(&mut b, "associate_employment", &["individual_id", "organization_id"]);
+        let (_agreement, agr_cols) = mk_table(&mut b, "agreement_td", &["agreement_id", "party_id"]);
+        let (_account, acc_cols) = mk_table(&mut b, "account_td", &["account_id", "agreement_id"]);
+
+        b.foreign_key(ind_cols[0], party_cols[0]);
+        b.foreign_key(org_cols[0], party_cols[0]);
+        b.foreign_key(bridge_cols[0], ind_cols[0]);
+        b.foreign_key(bridge_cols[1], org_cols[0]);
+        b.foreign_key(agr_cols[1], party_cols[0]);
+        b.join_relationship("join/account_agreement", acc_cols[1], agr_cols[0]);
+        b.inheritance("inh/party", party, &[individual, organization]);
+        (b.build(), db)
+    }
+
+    #[test]
+    fn foreign_key_and_join_node_edges_are_collected() {
+        let (g, db) = fixtures();
+        let catalog = JoinCatalog::build(&g, &SodaPatterns::default(), &db);
+        assert_eq!(catalog.edges.len(), 6);
+        assert!(catalog.edges.iter().any(|e| e.explicit_join_node
+            && e.fk_table == "account_td"
+            && e.pk_table == "agreement_td"));
+        assert_eq!(catalog.edges_of("party").len(), 3);
+    }
+
+    #[test]
+    fn inheritance_links_carry_their_join() {
+        let (g, db) = fixtures();
+        let catalog = JoinCatalog::build(&g, &SodaPatterns::default(), &db);
+        assert_eq!(catalog.inheritance.len(), 2);
+        let link = catalog.parent_of("individual").unwrap();
+        assert_eq!(link.parent_table, "party");
+        assert_eq!(link.join.as_ref().unwrap().condition(), "individual.party_id = party.party_id");
+        assert!(catalog.parent_of("party").is_none());
+    }
+
+    #[test]
+    fn bridge_between_inheritance_siblings_is_detected() {
+        let (g, db) = fixtures();
+        let catalog = JoinCatalog::build(&g, &SodaPatterns::default(), &db);
+        let bridges = catalog.bridges_connecting("individual", "organization");
+        assert_eq!(bridges.len(), 1);
+        assert_eq!(bridges[0].table, "associate_employment");
+        assert_eq!(bridges[0].connects(), vec!["individual", "organization"]);
+        assert!(catalog.bridges_connecting("party", "account_td").is_empty());
+    }
+
+    #[test]
+    fn historization_annotations_are_collected_when_present() {
+        // Paper-faithful graph: no annotations.
+        let (g, db) = fixtures();
+        let catalog = JoinCatalog::build(&g, &SodaPatterns::default(), &db);
+        assert!(catalog.historization.is_empty());
+        assert!(catalog.historization_of("individual_name_hist").is_none());
+
+        // Annotated graph: add a history table plus the historization node.
+        let mut db = db;
+        db.create_table(
+            TableSchema::builder("individual_name_hist")
+                .column("party_id", DataType::Int)
+                .column("valid_from", DataType::Date)
+                .column("valid_to", DataType::Date)
+                .build(),
+        )
+        .unwrap();
+        let mut b = GraphBuilder::new();
+        let individual = b.physical_table("phys/individual", "individual");
+        let hist = b.physical_table("phys/individual_name_hist", "individual_name_hist");
+        b.physical_column(individual, "phys/individual/party_id", "party_id");
+        b.physical_column(hist, "phys/individual_name_hist/party_id", "party_id");
+        b.historization("hist/individual_name_hist", hist, individual, "valid_from", "valid_to");
+        let g = b.build();
+        let catalog = JoinCatalog::build(&g, &SodaPatterns::default(), &db);
+        assert_eq!(catalog.historization.len(), 1);
+        let link = catalog.historization_of("individual_name_hist").unwrap();
+        assert_eq!(link.current_table, "individual");
+        assert_eq!(link.valid_to_column, "valid_to");
+        assert_eq!(
+            catalog.history_of("individual").unwrap().hist_table,
+            "individual_name_hist"
+        );
+        assert!(catalog.history_of("individual_name_hist").is_none());
+    }
+
+    #[test]
+    fn shortest_path_spans_multiple_hops() {
+        let (g, db) = fixtures();
+        let catalog = JoinCatalog::build(&g, &SodaPatterns::default(), &db);
+        let path = catalog.path("account_td", "individual").unwrap();
+        // account_td → agreement_td → party → individual.
+        assert_eq!(path.len(), 3);
+        assert_eq!(path[0].fk_table, "account_td");
+        assert!(catalog.path("account_td", "account_td").unwrap().is_empty());
+        assert!(catalog.path("account_td", "nonexistent").is_none());
+    }
+
+    #[test]
+    fn bounded_path_search_respects_the_far_fetching_limit() {
+        let (g, db) = fixtures();
+        let catalog = JoinCatalog::build(&g, &SodaPatterns::default(), &db);
+        // The account_td → individual path needs 3 edges.
+        assert!(catalog.path_within("account_td", "individual", 2).is_none());
+        assert_eq!(
+            catalog.path_within("account_td", "individual", 3).unwrap().len(),
+            3
+        );
+        // A generous bound behaves like the unbounded search.
+        assert_eq!(
+            catalog.path_within("account_td", "individual", 100),
+            catalog.path("account_td", "individual")
+        );
+        // Degenerate bounds.
+        assert!(catalog.path_within("account_td", "agreement_td", 0).is_none());
+        assert!(catalog
+            .path_within("account_td", "account_td", 0)
+            .unwrap()
+            .is_empty());
+    }
+}

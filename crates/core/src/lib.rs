@@ -1,0 +1,58 @@
+//! # soda-core
+//!
+//! The SODA engine — the primary contribution of *"SODA: Generating SQL for
+//! Business Users"* (PVLDB 5(10), 2012).
+//!
+//! Business users pose queries as keywords plus a handful of operators
+//! (comparisons, `date(…)`, `sum`/`count`, `group by`, `top N`).  SODA
+//! translates each query into a ranked list of executable SQL statements in
+//! five steps (Figure 4 of the paper):
+//!
+//! 1. **Lookup** — match keywords against a classification index over every
+//!    metadata label (domain ontology, conceptual / logical / physical schema,
+//!    DBpedia synonyms) and against the base data through an inverted index.
+//! 2. **Rank and top N** — score every combination of entry points by
+//!    provenance and keep the best N.
+//! 3. **Tables** — traverse the metadata graph from the entry points, testing
+//!    the Table / Column / Inheritance-Child *graph patterns* to find the
+//!    participating tables, then select join conditions on direct paths
+//!    between the entry points, add inheritance parents and bridge tables.
+//! 4. **Filters** — collect filter conditions from the query, the base-data
+//!    hits and metadata-defined business terms ("wealthy customers").
+//! 5. **SQL** — combine everything into executable SQL.
+//!
+//! ```
+//! use soda_core::{SodaConfig, SodaEngine};
+//!
+//! let warehouse = soda_warehouse::minibank::build(42);
+//! let engine = SodaEngine::new(&warehouse.database, &warehouse.graph, SodaConfig::default());
+//! let results = engine.search("Sara Guttinger").unwrap();
+//! assert!(!results.is_empty());
+//! assert!(results[0].sql.starts_with("SELECT"));
+//! ```
+
+pub mod classification;
+pub mod config;
+pub mod engine;
+pub mod error;
+pub mod feedback;
+pub mod joins;
+pub mod patterns;
+pub mod pipeline;
+pub mod provenance;
+pub mod query;
+pub mod resolve;
+pub mod result;
+pub mod suggest;
+
+pub use classification::ClassificationIndex;
+pub use config::{RankingWeights, SodaConfig};
+pub use engine::SodaEngine;
+pub use error::{Result, SodaError};
+pub use feedback::FeedbackStore;
+pub use joins::{BridgeTable, HistorizationLink, InheritanceLink, JoinCatalog, JoinEdge};
+pub use patterns::SodaPatterns;
+pub use provenance::Provenance;
+pub use query::{parse_query, QueryTerm, QueryValue, SodaQuery};
+pub use result::{Interpretation, QueryTrace, ResultPage, SodaResult, StepTimings};
+pub use suggest::TermSuggestion;

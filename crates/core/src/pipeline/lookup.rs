@@ -1,0 +1,312 @@
+//! Step 1 — Lookup.
+//!
+//! Keywords are matched with the *longest word combination* strategy of
+//! §4.2.2: the longest span of adjacent words that matches either the
+//! classification index (metadata labels) or the base data (through the
+//! inverted index) becomes one term; unmatched words (such as "and") are
+//! dropped.  Each matched term yields a set of candidate entry points — the
+//! combinatorial product of those sets is the query complexity reported in
+//! Table 4.
+
+use soda_relation::index::tokenizer::tokenize;
+use soda_relation::{AggFunc, CompareOp, Value};
+
+use soda_metagraph::NodeId;
+
+use crate::pipeline::PipelineContext;
+use crate::provenance::Provenance;
+use crate::query::{QueryTerm, SodaQuery};
+
+/// A filter induced by a base-data hit ("Zurich" found in `address.city`).
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize)]
+pub struct BaseDataFilter {
+    /// Table containing the hit.
+    pub table: String,
+    /// Column containing the hit.
+    pub column: String,
+    /// Either the exact cell value (when all matching rows share one value) or
+    /// the searched phrase (then matched with `LIKE`).
+    pub value: String,
+    /// True when `value` is an exact cell value.
+    pub exact: bool,
+}
+
+/// One candidate entry point for a term.
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+pub struct EntryPoint {
+    /// The matched phrase.
+    pub phrase: String,
+    /// The metadata-graph node representing the match (for base-data hits this
+    /// is the physical column node).
+    #[serde(skip)]
+    pub node: NodeId,
+    /// Where the match was found.
+    pub provenance: Provenance,
+    /// The induced filter for base-data hits.
+    pub base_filter: Option<BaseDataFilter>,
+}
+
+/// What role a matched term plays in the query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize)]
+pub enum TermRole {
+    /// An ordinary search keyword.
+    Keyword,
+    /// The attribute of an aggregation operator.
+    AggregationAttribute,
+    /// A group-by attribute.
+    GroupByAttribute,
+}
+
+/// A matched term with all its candidate entry points.
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+pub struct TermMatch {
+    /// The matched phrase.
+    pub phrase: String,
+    /// The term's role.
+    pub role: TermRole,
+    /// Candidate entry points (alternatives — one is chosen per solution).
+    pub candidates: Vec<EntryPoint>,
+}
+
+/// A constraint from the input query (comparison / range / like), attached to
+/// the keyword phrase preceding it.
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+pub struct Constraint {
+    /// The phrase the constraint applies to (`None` when nothing preceded it).
+    pub target_phrase: Option<String>,
+    /// The constraint itself.
+    pub kind: ConstraintKind,
+}
+
+/// The kind of input constraint.
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+pub enum ConstraintKind {
+    /// A comparison against a literal value.
+    Compare {
+        /// Operator.
+        op: CompareOp,
+        /// Literal value.
+        value: Value,
+    },
+    /// An inclusive range.
+    Between {
+        /// Lower bound.
+        low: Value,
+        /// Upper bound.
+        high: Value,
+    },
+    /// A `like` pattern.
+    Like(String),
+    /// A `valid at` date (extension): restrict annotated history tables to
+    /// rows whose validity interval contains the date.
+    ValidAt(Value),
+}
+
+/// An aggregation requested by the query.
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+pub struct Aggregation {
+    /// Aggregate function.
+    pub func: AggFunc,
+    /// The aggregated attribute phrase (`None` for a bare `count()`).
+    pub attribute: Option<String>,
+}
+
+/// The outcome of the lookup step.
+#[derive(Debug, Clone, Default, PartialEq, serde::Serialize)]
+pub struct LookupResult {
+    /// Matched terms with their candidate entry points.
+    pub matches: Vec<TermMatch>,
+    /// Words that could not be matched anywhere.
+    pub unmatched: Vec<String>,
+    /// Constraints from the input query.
+    pub constraints: Vec<Constraint>,
+    /// Aggregations requested by the query.
+    pub aggregations: Vec<Aggregation>,
+    /// Group-by attribute phrases.
+    pub group_by: Vec<String>,
+    /// `top N` limit.
+    pub top_n: Option<usize>,
+}
+
+impl LookupResult {
+    /// The query complexity of Table 4: the size of the combinatorial product
+    /// of all candidate sets.
+    pub fn complexity(&self) -> usize {
+        self.matches
+            .iter()
+            .map(|m| m.candidates.len().max(1))
+            .product()
+    }
+}
+
+/// Runs the lookup step.
+pub fn run(ctx: &PipelineContext<'_>, query: &SodaQuery) -> LookupResult {
+    let mut result = LookupResult::default();
+    let mut last_phrase: Option<String> = None;
+
+    for term in &query.terms {
+        match term {
+            QueryTerm::Keywords(group) => {
+                let (matches, unmatched) = segment(ctx, group, TermRole::Keyword);
+                if let Some(m) = matches.last() {
+                    last_phrase = Some(m.phrase.clone());
+                }
+                result.matches.extend(matches);
+                result.unmatched.extend(unmatched);
+            }
+            QueryTerm::Comparison { op, value } => {
+                result.constraints.push(Constraint {
+                    target_phrase: last_phrase.clone(),
+                    kind: ConstraintKind::Compare {
+                        op: *op,
+                        value: value.to_value(),
+                    },
+                });
+            }
+            QueryTerm::Between { low, high } => {
+                result.constraints.push(Constraint {
+                    target_phrase: last_phrase.clone(),
+                    kind: ConstraintKind::Between {
+                        low: low.to_value(),
+                        high: high.to_value(),
+                    },
+                });
+            }
+            QueryTerm::Like(pattern) => {
+                result.constraints.push(Constraint {
+                    target_phrase: last_phrase.clone(),
+                    kind: ConstraintKind::Like(pattern.clone()),
+                });
+            }
+            QueryTerm::Aggregation { func, attribute } => {
+                if attribute.trim().is_empty() {
+                    result.aggregations.push(Aggregation {
+                        func: *func,
+                        attribute: None,
+                    });
+                } else {
+                    let (matches, unmatched) =
+                        segment(ctx, attribute, TermRole::AggregationAttribute);
+                    let phrase = matches
+                        .first()
+                        .map(|m| m.phrase.clone())
+                        .unwrap_or_else(|| attribute.clone());
+                    result.matches.extend(matches);
+                    result.unmatched.extend(unmatched);
+                    result.aggregations.push(Aggregation {
+                        func: *func,
+                        attribute: Some(phrase),
+                    });
+                }
+            }
+            QueryTerm::GroupBy(attrs) => {
+                for attr in attrs {
+                    let (matches, unmatched) = segment(ctx, attr, TermRole::GroupByAttribute);
+                    let phrase = matches
+                        .first()
+                        .map(|m| m.phrase.clone())
+                        .unwrap_or_else(|| attr.clone());
+                    result.matches.extend(matches);
+                    result.unmatched.extend(unmatched);
+                    result.group_by.push(phrase);
+                }
+            }
+            QueryTerm::TopN(n) => result.top_n = Some(*n),
+            QueryTerm::ValidAt(value) => {
+                result.constraints.push(Constraint {
+                    target_phrase: None,
+                    kind: ConstraintKind::ValidAt(value.to_value()),
+                });
+            }
+        }
+    }
+    result
+}
+
+/// Longest-word-combination segmentation of one keyword group.
+fn segment(
+    ctx: &PipelineContext<'_>,
+    group: &str,
+    role: TermRole,
+) -> (Vec<TermMatch>, Vec<String>) {
+    let tokens = tokenize(group);
+    let mut matches = Vec::new();
+    let mut unmatched = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let max_span = ctx.config.max_phrase_tokens.min(tokens.len() - i);
+        let mut matched = false;
+        for span in (1..=max_span).rev() {
+            let phrase = tokens[i..i + span].join(" ");
+            let candidates = candidates_for(ctx, &phrase);
+            if !candidates.is_empty() {
+                matches.push(TermMatch {
+                    phrase,
+                    role,
+                    candidates,
+                });
+                i += span;
+                matched = true;
+                break;
+            }
+        }
+        if !matched {
+            unmatched.push(tokens[i].clone());
+            i += 1;
+        }
+    }
+    (matches, unmatched)
+}
+
+/// All candidate entry points for a phrase: metadata labels plus base data.
+fn candidates_for(ctx: &PipelineContext<'_>, phrase: &str) -> Vec<EntryPoint> {
+    let mut out: Vec<EntryPoint> = ctx
+        .classification
+        .lookup(phrase)
+        .iter()
+        .map(|e| EntryPoint {
+            phrase: phrase.to_string(),
+            node: e.node,
+            provenance: e.provenance,
+            base_filter: None,
+        })
+        .collect();
+
+    if let Some(index) = ctx.index {
+        let hits = index.lookup_phrase(ctx.db, phrase);
+        // Group hits per column; a column with a single distinct value gets an
+        // equality filter on that value, otherwise a LIKE on the phrase.
+        let mut per_column: Vec<(String, String, Vec<String>)> = Vec::new();
+        for hit in hits {
+            match per_column
+                .iter_mut()
+                .find(|(t, c, _)| *t == hit.table && *c == hit.column)
+            {
+                Some((_, _, values)) => values.push(hit.value),
+                None => per_column.push((hit.table, hit.column, vec![hit.value])),
+            }
+        }
+        for (table, column, values) in per_column {
+            let Some(node) = ctx.graph.node(&format!("phys/{table}/{column}")) else {
+                continue;
+            };
+            let exact = values.len() == 1;
+            out.push(EntryPoint {
+                phrase: phrase.to_string(),
+                node,
+                provenance: Provenance::BaseData,
+                base_filter: Some(BaseDataFilter {
+                    table,
+                    column,
+                    value: if exact {
+                        values.into_iter().next().expect("one value")
+                    } else {
+                        phrase.to_string()
+                    },
+                    exact,
+                }),
+            });
+        }
+    }
+    out
+}

@@ -1,0 +1,46 @@
+//! The five-step SODA pipeline (Figure 4):
+//!
+//! 1. [`lookup`] — match keywords and operators against the classification
+//!    index and the base data, producing sets of candidate entry points.
+//! 2. [`rank`] — enumerate the combinatorial product of entry points, score
+//!    each combination by the provenance of its entry points and keep the
+//!    best N.
+//! 3. [`tables`] — traverse the metadata graph from the entry points, test the
+//!    Table / Column / Inheritance-Child patterns to discover tables, then
+//!    select join conditions on direct paths between the entry points and add
+//!    bridge tables.
+//! 4. [`filters`] — collect filter conditions from the input query, the base
+//!    data hits and the metadata-defined business terms.
+//! 5. [`sqlgen`] — combine everything into an executable SQL statement.
+
+pub mod filters;
+pub mod lookup;
+pub mod rank;
+pub mod sqlgen;
+pub mod tables;
+
+use soda_metagraph::MetaGraph;
+use soda_relation::{Database, InvertedIndex};
+
+use crate::classification::ClassificationIndex;
+use crate::config::SodaConfig;
+use crate::joins::JoinCatalog;
+use crate::patterns::SodaPatterns;
+
+/// Shared, read-only context handed to every pipeline step.
+pub struct PipelineContext<'a> {
+    /// The base data.
+    pub db: &'a Database,
+    /// The metadata graph.
+    pub graph: &'a MetaGraph,
+    /// Engine configuration.
+    pub config: &'a SodaConfig,
+    /// Classification index over metadata labels.
+    pub classification: &'a ClassificationIndex,
+    /// Inverted index over the base data (absent when disabled).
+    pub index: Option<&'a InvertedIndex>,
+    /// The metadata-graph patterns.
+    pub patterns: &'a SodaPatterns,
+    /// The pre-computed join catalog.
+    pub joins: &'a JoinCatalog,
+}

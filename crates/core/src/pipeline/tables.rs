@@ -1,0 +1,335 @@
+//! Step 3 — Tables and joins.
+//!
+//! Starting from every entry point of a solution, the metadata graph is
+//! traversed along its layering edges (ontology → conceptual → logical →
+//! physical), testing the Table, Column and Inheritance-Child patterns at
+//! every visited node to discover the participating tables.  Join conditions
+//! are then selected from the join catalog so that they lie on a direct path
+//! between the entry-point tables (Figure 9), inheritance parents are added so
+//! the generated SQL is correct, and bridge tables connecting two entry-point
+//! tables contribute additional join conditions (§4.2.1, "Bridge Tables in
+//! Large Schemas").
+
+use std::collections::{BTreeSet, HashSet, VecDeque};
+
+use soda_metagraph::{Matcher, NodeId};
+
+use crate::joins::JoinEdge;
+use crate::pipeline::lookup::{BaseDataFilter, TermRole};
+use crate::pipeline::rank::Solution;
+use crate::pipeline::PipelineContext;
+use crate::provenance::Provenance;
+use crate::resolve::{column_name, table_name};
+
+/// Predicates the tables-step traversal is allowed to follow: the metadata
+/// layering edges of Figure 3.  Foreign keys, inheritance and join nodes are
+/// handled through the join catalog instead, and `type` edges would connect
+/// everything to everything.
+const FOLLOWED_PREDICATES: &[&str] = &[
+    "classifies",
+    "synonym_of",
+    "refined_by",
+    "implemented_by",
+    "realized_by",
+    "attribute",
+    "broader",
+];
+
+/// The anchor derived from one entry point.
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+pub struct EntryAnchor {
+    /// The matched phrase.
+    pub phrase: String,
+    /// The term role (keyword, aggregation attribute, group-by attribute).
+    pub role: TermRole,
+    /// Where the entry point was found.
+    pub provenance: Provenance,
+    /// The primary table reached from this entry point.
+    pub table: Option<String>,
+    /// The focus column reached from this entry point (for attributes,
+    /// base-data hits and ontology concepts classifying a column).
+    pub column: Option<(String, String)>,
+    /// All tables discovered from this entry point.
+    pub discovered: Vec<String>,
+    /// Base-data filter carried over from the lookup step.
+    pub base_filter: Option<BaseDataFilter>,
+    /// The originating graph node.
+    #[serde(skip)]
+    pub node: Option<NodeId>,
+}
+
+/// The outcome of the tables step for one solution.
+#[derive(Debug, Clone, Default, PartialEq, serde::Serialize)]
+pub struct TablePlan {
+    /// Per-entry anchors.
+    pub anchors: Vec<EntryAnchor>,
+    /// All tables participating in the generated SQL.
+    pub tables: BTreeSet<String>,
+    /// Join conditions.
+    pub joins: Vec<JoinEdge>,
+    /// Bridge tables that contributed joins.
+    pub used_bridges: Vec<String>,
+    /// Inheritance parent tables that were added.
+    pub added_parents: Vec<String>,
+    /// History tables whose current-state table was added through a
+    /// historization annotation (extension; empty on paper-faithful graphs).
+    pub added_history_expansions: Vec<String>,
+    /// True when every pair of entry-point tables could be connected.
+    pub join_path_complete: bool,
+}
+
+/// Runs the tables step for one solution.
+pub fn run(ctx: &PipelineContext<'_>, solution: &Solution) -> TablePlan {
+    let mut plan = TablePlan {
+        join_path_complete: true,
+        ..TablePlan::default()
+    };
+
+    // --- discover anchors ----------------------------------------------------
+    for (entry, role) in solution.entries.iter().zip(&solution.roles) {
+        let mut anchor = EntryAnchor {
+            phrase: entry.phrase.clone(),
+            role: *role,
+            provenance: entry.provenance,
+            table: None,
+            column: None,
+            discovered: Vec::new(),
+            base_filter: entry.base_filter.clone(),
+            node: Some(entry.node),
+        };
+        if let Some(filter) = &entry.base_filter {
+            anchor.table = Some(filter.table.clone());
+            anchor.column = Some((filter.table.clone(), filter.column.clone()));
+            anchor.discovered.push(filter.table.clone());
+        } else {
+            traverse_entry(ctx, entry.node, &mut anchor);
+        }
+        for t in &anchor.discovered {
+            plan.tables.insert(t.clone());
+        }
+        plan.anchors.push(anchor);
+    }
+
+    // --- join selection -------------------------------------------------------
+    let anchor_tables: Vec<String> = plan
+        .anchors
+        .iter()
+        .filter_map(|a| a.table.clone())
+        .collect();
+
+    if ctx.config.direct_path_pruning {
+        for i in 0..anchor_tables.len() {
+            for j in (i + 1)..anchor_tables.len() {
+                let (a, b) = (&anchor_tables[i], &anchor_tables[j]);
+                if a.eq_ignore_ascii_case(b) {
+                    continue;
+                }
+                match ctx.joins.path_within(a, b, ctx.config.max_join_path_length) {
+                    Some(path) => {
+                        for edge in path {
+                            plan.tables.insert(edge.fk_table.clone());
+                            plan.tables.insert(edge.pk_table.clone());
+                            push_unique(&mut plan.joins, edge);
+                        }
+                    }
+                    None => plan.join_path_complete = false,
+                }
+            }
+        }
+    } else {
+        // Ablation: take every join condition between any two discovered tables.
+        for table in plan.tables.clone() {
+            for edge in ctx.joins.edges_of(&table) {
+                let other = edge.other(&table).unwrap_or_default().to_string();
+                if plan.tables.iter().any(|t| t.eq_ignore_ascii_case(&other)) {
+                    push_unique(&mut plan.joins, edge.clone());
+                }
+            }
+        }
+    }
+
+    // --- historization expansion (extension) -----------------------------------
+    // When the metadata graph carries historization annotations, a plan that
+    // enters through a history table is extended with the table holding the
+    // current state, so the result carries the full entity context (and, via
+    // the inheritance handling below, its super-type).  Paper-faithful graphs
+    // have no annotations, so this is a no-op there.
+    if ctx.config.use_historization {
+        for table in plan.tables.clone() {
+            let Some(link) = ctx.joins.historization_of(&table) else {
+                continue;
+            };
+            let current = link.current_table.clone();
+            // Only expand when the annotated join relationship actually exists
+            // in the catalog — adding the table without a join condition would
+            // turn the result into a cross product.
+            let connecting: Vec<JoinEdge> = ctx
+                .joins
+                .edges_of(&table)
+                .into_iter()
+                .filter(|edge| {
+                    edge.other(&table)
+                        .is_some_and(|o| o.eq_ignore_ascii_case(&current))
+                })
+                .cloned()
+                .collect();
+            if connecting.is_empty() {
+                continue;
+            }
+            if !plan.tables.iter().any(|t| t.eq_ignore_ascii_case(&current)) {
+                plan.tables.insert(current.clone());
+                plan.added_history_expansions.push(table.clone());
+            }
+            for edge in connecting {
+                push_unique(&mut plan.joins, edge);
+            }
+        }
+    }
+
+    // --- inheritance parents --------------------------------------------------
+    for table in plan.tables.clone() {
+        if let Some(link) = ctx.joins.parent_of(&table) {
+            if !plan
+                .tables
+                .iter()
+                .any(|t| t.eq_ignore_ascii_case(&link.parent_table))
+            {
+                plan.tables.insert(link.parent_table.clone());
+                plan.added_parents.push(link.parent_table.clone());
+            }
+            if let Some(join) = &link.join {
+                push_unique(&mut plan.joins, join.clone());
+            }
+        }
+    }
+
+    // --- bridge tables ----------------------------------------------------------
+    if ctx.config.use_bridge_tables {
+        for i in 0..anchor_tables.len() {
+            for j in (i + 1)..anchor_tables.len() {
+                let (a, b) = (&anchor_tables[i], &anchor_tables[j]);
+                if a.eq_ignore_ascii_case(b) {
+                    continue;
+                }
+                for bridge in ctx.joins.bridges_connecting(a, b) {
+                    plan.tables.insert(bridge.table.clone());
+                    if !plan.used_bridges.contains(&bridge.table) {
+                        plan.used_bridges.push(bridge.table.clone());
+                    }
+                    for edge in &bridge.edges {
+                        if edge.pk_table.eq_ignore_ascii_case(a)
+                            || edge.pk_table.eq_ignore_ascii_case(b)
+                        {
+                            push_unique(&mut plan.joins, edge.clone());
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // --- connectivity clean-up --------------------------------------------------
+    // Tables that ended up without any join to the rest (and are not anchors)
+    // would force a cross product in the executor; connect them if possible,
+    // otherwise drop them.
+    let anchor_set: HashSet<String> = anchor_tables.iter().map(|t| t.to_ascii_lowercase()).collect();
+    if plan.tables.len() > 1 {
+        let connected: HashSet<String> = plan
+            .joins
+            .iter()
+            .flat_map(|j| [j.fk_table.to_ascii_lowercase(), j.pk_table.to_ascii_lowercase()])
+            .collect();
+        let reference = anchor_tables
+            .first()
+            .cloned()
+            .or_else(|| plan.tables.iter().next().cloned());
+        for table in plan.tables.clone() {
+            let key = table.to_ascii_lowercase();
+            if connected.contains(&key) {
+                continue;
+            }
+            let mut linked = false;
+            if let Some(reference) = &reference {
+                if !reference.eq_ignore_ascii_case(&table) {
+                    if let Some(path) =
+                        ctx.joins.path_within(&table, reference, ctx.config.max_join_path_length)
+                    {
+                        for edge in path {
+                            plan.tables.insert(edge.fk_table.clone());
+                            plan.tables.insert(edge.pk_table.clone());
+                            push_unique(&mut plan.joins, edge);
+                        }
+                        linked = true;
+                    }
+                }
+            }
+            if !linked && !anchor_set.contains(&key) && plan.tables.len() > 1 {
+                plan.tables.remove(&table);
+            }
+        }
+    }
+
+    plan
+}
+
+fn push_unique(joins: &mut Vec<JoinEdge>, edge: JoinEdge) {
+    if !joins.iter().any(|e| e.condition() == edge.condition()) {
+        joins.push(edge);
+    }
+}
+
+/// Breadth-first traversal along the metadata layering edges, testing the
+/// Table, Column and Inheritance-Child patterns at every visited node.
+fn traverse_entry(ctx: &PipelineContext<'_>, start: NodeId, anchor: &mut EntryAnchor) {
+    let matcher = Matcher::new(ctx.graph, ctx.patterns.registry());
+    let followed: Vec<_> = FOLLOWED_PREDICATES
+        .iter()
+        .filter_map(|p| ctx.graph.find_predicate(p))
+        .collect();
+
+    let mut seen: HashSet<NodeId> = HashSet::new();
+    let mut queue: VecDeque<(NodeId, usize)> = VecDeque::new();
+    seen.insert(start);
+    queue.push_back((start, 0));
+
+    while let Some((node, depth)) = queue.pop_front() {
+        // Column pattern (tested before the Table pattern so that an attribute
+        // entry point keeps its column focus).
+        if anchor.column.is_none() && matcher.matches(ctx.patterns.column(), node) {
+            if let Some((table, column)) = column_name(ctx.graph, node, ctx.db) {
+                if anchor.table.is_none() {
+                    anchor.table = Some(table.clone());
+                }
+                if !anchor.discovered.contains(&table) {
+                    anchor.discovered.push(table.clone());
+                }
+                anchor.column = Some((table, column));
+            }
+        }
+        // Table pattern.
+        if matcher.matches(ctx.patterns.table(), node) {
+            if let Some(table) = table_name(ctx.graph, node, ctx.db) {
+                if anchor.table.is_none() {
+                    anchor.table = Some(table.clone());
+                }
+                if !anchor.discovered.contains(&table) {
+                    anchor.discovered.push(table);
+                }
+            }
+        }
+
+        if depth >= ctx.config.traversal_depth {
+            continue;
+        }
+        for (pred, obj) in ctx.graph.outgoing(node) {
+            if !followed.contains(pred) {
+                continue;
+            }
+            if let Some(next) = obj.as_node() {
+                if seen.insert(next) {
+                    queue.push_back((next, depth + 1));
+                }
+            }
+        }
+    }
+}

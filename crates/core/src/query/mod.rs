@@ -1,0 +1,8 @@
+//! SODA's input query language: keywords, comparison operators, aggregation
+//! operators, `group by`, `top N`, `between` and `date(…)` values (§4.3).
+
+pub mod ast;
+pub mod parser;
+
+pub use ast::{QueryTerm, QueryValue, SodaQuery};
+pub use parser::parse_query;

@@ -1,0 +1,456 @@
+//! Parser for the SODA input language.
+//!
+//! The grammar (§4.3) is flat and forgiving: anything that is not an operator
+//! construct is a search keyword.  Connector words (`and`, `or`) merely
+//! separate keyword groups — the paper notes that "and" may be unknown and is
+//! then ignored.
+
+use soda_relation::{AggFunc, CompareOp, Date};
+
+use crate::error::{Result, SodaError};
+use crate::query::ast::{QueryTerm, QueryValue, SodaQuery};
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Word(String),
+    Op(String),
+    LParen,
+    RParen,
+    Comma,
+}
+
+fn scan(input: &str) -> Vec<Tok> {
+    let mut toks = Vec::new();
+    let mut word = String::new();
+    let mut chars = input.chars().peekable();
+    let flush = |word: &mut String, toks: &mut Vec<Tok>| {
+        if !word.is_empty() {
+            toks.push(Tok::Word(std::mem::take(word)));
+        }
+    };
+    while let Some(c) = chars.next() {
+        match c {
+            '(' => {
+                flush(&mut word, &mut toks);
+                toks.push(Tok::LParen);
+            }
+            ')' => {
+                flush(&mut word, &mut toks);
+                toks.push(Tok::RParen);
+            }
+            ',' => {
+                flush(&mut word, &mut toks);
+                toks.push(Tok::Comma);
+            }
+            '>' | '<' | '=' | '!' => {
+                flush(&mut word, &mut toks);
+                let mut op = String::new();
+                op.push(c);
+                if let Some('=') = chars.peek() {
+                    op.push('=');
+                    chars.next();
+                }
+                toks.push(Tok::Op(op));
+            }
+            c if c.is_whitespace() => flush(&mut word, &mut toks),
+            _ => word.push(c),
+        }
+    }
+    flush(&mut word, &mut toks);
+    toks
+}
+
+struct Parser {
+    toks: Vec<Tok>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos)
+    }
+
+    fn peek_word(&self) -> Option<&str> {
+        match self.peek() {
+            Some(Tok::Word(w)) => Some(w.as_str()),
+            _ => None,
+        }
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_word(&mut self, w: &str) -> bool {
+        if self.peek_word().is_some_and(|x| x.eq_ignore_ascii_case(w)) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Parses a value: `date(YYYY-MM-DD)`, a number, or a bare word.
+    fn value(&mut self) -> Result<QueryValue> {
+        match self.next() {
+            Some(Tok::Word(w)) => {
+                if w.eq_ignore_ascii_case("date") && self.peek() == Some(&Tok::LParen) {
+                    self.pos += 1; // (
+                    let inner = match self.next() {
+                        Some(Tok::Word(d)) => d,
+                        other => {
+                            return Err(SodaError::Query(format!(
+                                "expected date literal, found {other:?}"
+                            )))
+                        }
+                    };
+                    if self.peek() == Some(&Tok::RParen) {
+                        self.pos += 1;
+                    }
+                    let d = Date::parse(&inner)
+                        .ok_or_else(|| SodaError::Query(format!("invalid date '{inner}'")))?;
+                    return Ok(QueryValue::Date(d));
+                }
+                if let Ok(n) = w.parse::<f64>() {
+                    return Ok(QueryValue::Number(n));
+                }
+                if let Some(d) = Date::parse(&w) {
+                    return Ok(QueryValue::Date(d));
+                }
+                Ok(QueryValue::Text(w))
+            }
+            other => Err(SodaError::Query(format!("expected a value, found {other:?}"))),
+        }
+    }
+
+    /// Parses a parenthesised attribute list `( a, b c, d )`; attributes are
+    /// multi-word phrases separated by commas.
+    fn attribute_list(&mut self) -> Result<Vec<String>> {
+        if self.peek() != Some(&Tok::LParen) {
+            // Bare single attribute (lenient form).
+            if let Some(Tok::Word(w)) = self.next() {
+                return Ok(vec![w]);
+            }
+            return Err(SodaError::Query("expected an attribute list".into()));
+        }
+        self.pos += 1; // (
+        let mut attrs = Vec::new();
+        let mut current = Vec::new();
+        loop {
+            match self.next() {
+                Some(Tok::RParen) | None => {
+                    if !current.is_empty() {
+                        attrs.push(current.join(" "));
+                    }
+                    break;
+                }
+                Some(Tok::Comma) => {
+                    if !current.is_empty() {
+                        attrs.push(std::mem::take(&mut current).join(" "));
+                    }
+                }
+                Some(Tok::Word(w)) => current.push(w),
+                Some(other) => {
+                    return Err(SodaError::Query(format!(
+                        "unexpected token {other:?} in attribute list"
+                    )))
+                }
+            }
+        }
+        Ok(attrs)
+    }
+}
+
+/// Parses an input query string into a [`SodaQuery`].
+pub fn parse_query(input: &str) -> Result<SodaQuery> {
+    let toks = scan(input);
+    let mut p = Parser { toks, pos: 0 };
+    let mut terms: Vec<QueryTerm> = Vec::new();
+    let mut keywords: Vec<String> = Vec::new();
+
+    let flush = |keywords: &mut Vec<String>, terms: &mut Vec<QueryTerm>| {
+        if !keywords.is_empty() {
+            terms.push(QueryTerm::Keywords(keywords.join(" ")));
+            keywords.clear();
+        }
+    };
+
+    while let Some(tok) = p.peek().cloned() {
+        match tok {
+            Tok::Op(op) => {
+                p.pos += 1;
+                flush(&mut keywords, &mut terms);
+                let cmp = CompareOp::parse(&op)
+                    .ok_or_else(|| SodaError::Query(format!("unknown operator {op}")))?;
+                let value = p.value()?;
+                terms.push(QueryTerm::Comparison { op: cmp, value });
+            }
+            Tok::Word(w) => {
+                let lower = w.to_ascii_lowercase();
+                match lower.as_str() {
+                    "select" => {
+                        // The paper writes "select count() …"; the word itself
+                        // carries no meaning in the input language.
+                        p.pos += 1;
+                    }
+                    "and" | "or" => {
+                        p.pos += 1;
+                        flush(&mut keywords, &mut terms);
+                    }
+                    "top" => {
+                        p.pos += 1;
+                        if let Some(n) = p.peek_word().and_then(|x| x.parse::<usize>().ok()) {
+                            p.pos += 1;
+                            flush(&mut keywords, &mut terms);
+                            terms.push(QueryTerm::TopN(n));
+                        } else {
+                            keywords.push(w);
+                        }
+                    }
+                    "group" => {
+                        p.pos += 1;
+                        if p.eat_word("by") {
+                            flush(&mut keywords, &mut terms);
+                            let attrs = p.attribute_list()?;
+                            terms.push(QueryTerm::GroupBy(attrs));
+                        } else {
+                            keywords.push(w);
+                        }
+                    }
+                    "between" => {
+                        p.pos += 1;
+                        flush(&mut keywords, &mut terms);
+                        let low = p.value()?;
+                        let _ = p.eat_word("and");
+                        let high = p.value()?;
+                        terms.push(QueryTerm::Between { low, high });
+                    }
+                    "valid" => {
+                        // `valid at date(…)` — the temporal operator of the
+                        // historization extension.  A bare "valid" without
+                        // "at" stays an ordinary keyword.
+                        if p.toks
+                            .get(p.pos + 1)
+                            .is_some_and(|t| matches!(t, Tok::Word(w) if w.eq_ignore_ascii_case("at")))
+                        {
+                            p.pos += 2;
+                            flush(&mut keywords, &mut terms);
+                            let value = p.value()?;
+                            terms.push(QueryTerm::ValidAt(value));
+                        } else {
+                            p.pos += 1;
+                            keywords.push(w);
+                        }
+                    }
+                    "like" => {
+                        p.pos += 1;
+                        flush(&mut keywords, &mut terms);
+                        match p.next() {
+                            Some(Tok::Word(pat)) => terms.push(QueryTerm::Like(pat)),
+                            other => {
+                                return Err(SodaError::Query(format!(
+                                    "expected pattern after like, found {other:?}"
+                                )))
+                            }
+                        }
+                    }
+                    _ => {
+                        // Aggregation operator?
+                        if let Some(func) = AggFunc::parse(&lower) {
+                            // Only treat it as an aggregation when followed by
+                            // parentheses, so that a keyword like "count" in
+                            // running text stays a keyword.
+                            let next_is_paren = p.toks.get(p.pos + 1) == Some(&Tok::LParen);
+                            if next_is_paren {
+                                p.pos += 1;
+                                flush(&mut keywords, &mut terms);
+                                let attrs = p.attribute_list()?;
+                                terms.push(QueryTerm::Aggregation {
+                                    func,
+                                    attribute: attrs.join(" "),
+                                });
+                                continue;
+                            }
+                        }
+                        p.pos += 1;
+                        keywords.push(w);
+                    }
+                }
+            }
+            Tok::LParen | Tok::RParen | Tok::Comma => {
+                // Stray punctuation between keywords is ignored.
+                p.pos += 1;
+            }
+        }
+    }
+    flush(&mut keywords, &mut terms);
+
+    if terms.is_empty() {
+        return Err(SodaError::EmptyQuery);
+    }
+    Ok(SodaQuery {
+        terms,
+        input: input.to_string(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_keywords() {
+        let q = parse_query("Sara Guttinger").unwrap();
+        assert_eq!(q.terms, vec![QueryTerm::Keywords("Sara Guttinger".into())]);
+    }
+
+    #[test]
+    fn query2_comparisons_and_date() {
+        let q = parse_query("salary >= 100000 and birthday = date(1981-04-23)").unwrap();
+        assert_eq!(q.terms.len(), 4);
+        assert_eq!(q.terms[0], QueryTerm::Keywords("salary".into()));
+        assert_eq!(
+            q.terms[1],
+            QueryTerm::Comparison {
+                op: CompareOp::GtEq,
+                value: QueryValue::Number(100000.0)
+            }
+        );
+        assert_eq!(q.terms[2], QueryTerm::Keywords("birthday".into()));
+        assert_eq!(
+            q.terms[3],
+            QueryTerm::Comparison {
+                op: CompareOp::Eq,
+                value: QueryValue::Date(Date::new(1981, 4, 23))
+            }
+        );
+    }
+
+    #[test]
+    fn top10_with_between_date_range() {
+        let q = parse_query(
+            "Top 10 trading volume customer transaction date between date(2010-01-01) date(2010-12-31)",
+        )
+        .unwrap();
+        assert_eq!(q.top_n(), Some(10));
+        assert!(q
+            .terms
+            .iter()
+            .any(|t| matches!(t, QueryTerm::Between { .. })));
+        assert_eq!(
+            q.keyword_groups(),
+            vec!["trading volume customer transaction date"]
+        );
+    }
+
+    #[test]
+    fn aggregation_with_group_by() {
+        let q = parse_query("sum (amount) group by (transaction date)").unwrap();
+        assert_eq!(
+            q.terms[0],
+            QueryTerm::Aggregation {
+                func: AggFunc::Sum,
+                attribute: "amount".into()
+            }
+        );
+        assert_eq!(q.group_by(), vec!["transaction date"]);
+
+        let q2 = parse_query("count (transactions) group by (company name)").unwrap();
+        assert_eq!(q2.aggregations()[0].0, AggFunc::Count);
+        assert_eq!(q2.group_by(), vec!["company name"]);
+    }
+
+    #[test]
+    fn select_count_empty_parens() {
+        let q = parse_query("select count() private customers Switzerland").unwrap();
+        assert_eq!(
+            q.terms[0],
+            QueryTerm::Aggregation {
+                func: AggFunc::Count,
+                attribute: "".into()
+            }
+        );
+        assert_eq!(q.keyword_groups(), vec!["private customers Switzerland"]);
+    }
+
+    #[test]
+    fn sum_investments_group_by_currency() {
+        let q = parse_query("sum(investments) group by (currency)").unwrap();
+        assert_eq!(q.aggregations()[0].1, "investments");
+        assert_eq!(q.group_by(), vec!["currency"]);
+    }
+
+    #[test]
+    fn date_range_predicate_q6() {
+        let q = parse_query("trade order period > date(2011-09-01)").unwrap();
+        assert_eq!(q.keyword_groups(), vec!["trade order period"]);
+        assert_eq!(
+            q.terms[1],
+            QueryTerm::Comparison {
+                op: CompareOp::Gt,
+                value: QueryValue::Date(Date::new(2011, 9, 1))
+            }
+        );
+    }
+
+    #[test]
+    fn valid_at_temporal_operator() {
+        let q = parse_query("Sara valid at date(2006-06-30)").unwrap();
+        assert_eq!(q.keyword_groups(), vec!["Sara"]);
+        assert_eq!(
+            q.valid_at(),
+            Some(&QueryValue::Date(Date::new(2006, 6, 30)))
+        );
+        // A bare "valid" stays an ordinary keyword.
+        let q2 = parse_query("valid customers").unwrap();
+        assert_eq!(q2.keyword_groups(), vec!["valid customers"]);
+        assert_eq!(q2.valid_at(), None);
+    }
+
+    #[test]
+    fn count_without_parens_stays_a_keyword() {
+        let q = parse_query("transaction count per customer").unwrap();
+        assert_eq!(q.keyword_groups(), vec!["transaction count per customer"]);
+        assert!(q.aggregations().is_empty());
+    }
+
+    #[test]
+    fn group_by_with_multiple_attributes() {
+        let q = parse_query("sum (amount) group by (currency, transaction date)").unwrap();
+        assert_eq!(q.group_by(), vec!["currency", "transaction date"]);
+    }
+
+    #[test]
+    fn like_and_text_comparison() {
+        let q = parse_query("agreement like gold").unwrap();
+        assert_eq!(q.terms[1], QueryTerm::Like("gold".into()));
+        let q2 = parse_query("city = Zurich").unwrap();
+        assert_eq!(
+            q2.terms[1],
+            QueryTerm::Comparison {
+                op: CompareOp::Eq,
+                value: QueryValue::Text("Zurich".into())
+            }
+        );
+    }
+
+    #[test]
+    fn empty_and_invalid_inputs() {
+        assert!(matches!(parse_query("   "), Err(SodaError::EmptyQuery)));
+        assert!(parse_query("salary >=").is_err());
+        assert!(parse_query("birthday = date(not-a-date)").is_err());
+    }
+
+    #[test]
+    fn and_or_split_keyword_groups() {
+        let q = parse_query("customers and Zurich or financial instruments").unwrap();
+        assert_eq!(
+            q.keyword_groups(),
+            vec!["customers", "Zurich", "financial instruments"]
+        );
+    }
+}

@@ -1,0 +1,139 @@
+//! Helpers that resolve metadata-graph nodes back to catalog names.
+//!
+//! The metadata graph attaches both the "business" phrasing (`trade order td`)
+//! and the physical identifier (`trade_order_td`) as labels; when the pipeline
+//! needs to emit SQL it must pick the label that actually exists in the
+//! database catalog.
+
+use soda_metagraph::builder::preds;
+use soda_metagraph::{MetaGraph, NodeId};
+use soda_relation::Database;
+
+/// All text labels attached to `node` through `predicate`.
+pub fn texts_of(graph: &MetaGraph, node: NodeId, predicate: &str) -> Vec<String> {
+    let Some(pred) = graph.find_predicate(predicate) else {
+        return Vec::new();
+    };
+    graph
+        .outgoing(node)
+        .iter()
+        .filter_map(|(p, o)| {
+            if *p == pred {
+                o.as_text().map(|l| graph.label_text(l).to_string())
+            } else {
+                None
+            }
+        })
+        .collect()
+}
+
+/// Resolves a physical-table node to the table name used in the catalog.
+pub fn table_name(graph: &MetaGraph, node: NodeId, db: &Database) -> Option<String> {
+    let labels = texts_of(graph, node, preds::TABLENAME);
+    if labels.is_empty() {
+        return None;
+    }
+    labels
+        .iter()
+        .find(|l| db.has_table(l))
+        .or_else(|| labels.last())
+        .cloned()
+}
+
+/// Resolves a physical-column node to `(table name, column name)`.
+pub fn column_name(graph: &MetaGraph, node: NodeId, db: &Database) -> Option<(String, String)> {
+    let table_node = graph.subjects_of(node, preds::COLUMN).into_iter().next()?;
+    let table = table_name(graph, table_node, db)?;
+    let labels = texts_of(graph, node, preds::COLUMNNAME);
+    if labels.is_empty() {
+        return None;
+    }
+    let column = db
+        .table(&table)
+        .ok()
+        .and_then(|t| {
+            labels
+                .iter()
+                .find(|l| t.schema().column_index(l).is_some())
+                .cloned()
+        })
+        .or_else(|| labels.last().cloned())?;
+    Some((table, column))
+}
+
+/// If `node` is a physical column, returns its `(table, column)`; if it is a
+/// physical table, returns `None` for the column part.
+pub fn node_target(
+    graph: &MetaGraph,
+    node: NodeId,
+    db: &Database,
+) -> Option<(String, Option<String>)> {
+    if let Some((t, c)) = column_name(graph, node, db) {
+        return Some((t, Some(c)));
+    }
+    table_name(graph, node, db).map(|t| (t, None))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soda_metagraph::GraphBuilder;
+    use soda_relation::{DataType, TableSchema};
+
+    fn fixtures() -> (MetaGraph, Database) {
+        let mut db = Database::new();
+        db.create_table(
+            TableSchema::builder("trade_order_td")
+                .column("order_id", DataType::Int)
+                .column("order_dt", DataType::Date)
+                .primary_key("order_id")
+                .build(),
+        )
+        .unwrap();
+        let mut b = GraphBuilder::new();
+        let t = b.physical_table("phys/trade_order_td", "trade order td");
+        b.text(t, preds::TABLENAME, "trade_order_td");
+        let c = b.physical_column(t, "phys/trade_order_td/order_dt", "order dt");
+        b.text(c, preds::COLUMNNAME, "order_dt");
+        (b.build(), db)
+    }
+
+    #[test]
+    fn table_resolution_prefers_the_catalog_name() {
+        let (g, db) = fixtures();
+        let node = g.node("phys/trade_order_td").unwrap();
+        assert_eq!(table_name(&g, node, &db), Some("trade_order_td".into()));
+    }
+
+    #[test]
+    fn column_resolution_prefers_the_schema_name() {
+        let (g, db) = fixtures();
+        let node = g.node("phys/trade_order_td/order_dt").unwrap();
+        assert_eq!(
+            column_name(&g, node, &db),
+            Some(("trade_order_td".into(), "order_dt".into()))
+        );
+        assert_eq!(
+            node_target(&g, node, &db),
+            Some(("trade_order_td".into(), Some("order_dt".into())))
+        );
+    }
+
+    #[test]
+    fn node_target_of_a_table_has_no_column() {
+        let (g, db) = fixtures();
+        let node = g.node("phys/trade_order_td").unwrap();
+        assert_eq!(node_target(&g, node, &db), Some(("trade_order_td".into(), None)));
+    }
+
+    #[test]
+    fn missing_labels_resolve_to_none() {
+        let (mut g, db) = {
+            let (g, db) = fixtures();
+            (g, db)
+        };
+        let bare = g.add_node("phys/bare");
+        assert_eq!(table_name(&g, bare, &db), None);
+        assert_eq!(column_name(&g, bare, &db), None);
+    }
+}

@@ -1,0 +1,58 @@
+//! Gold-standard execution helpers.
+//!
+//! The gold SQL lives next to its query in [`crate::workload`]; this module
+//! provides the convenience of executing all gold statements for a query and
+//! inspecting the resulting tuple sets (used by the experiments and by tests
+//! that validate the gold standard itself).
+
+use soda_relation::ResultSet;
+use soda_warehouse::Warehouse;
+
+use crate::metrics::gold_tuples;
+use crate::workload::WorkloadQuery;
+
+/// Executes every gold statement of a workload query.
+pub fn execute_gold(warehouse: &Warehouse, query: &WorkloadQuery) -> Vec<ResultSet> {
+    query
+        .gold_sql
+        .iter()
+        .map(|sql| {
+            warehouse
+                .database
+                .run_sql(sql)
+                .unwrap_or_else(|e| panic!("gold SQL of {} failed: {e}\n{sql}", query.id))
+        })
+        .collect()
+}
+
+/// Number of distinct gold tuples for a query.
+pub fn gold_size(warehouse: &Warehouse, query: &WorkloadQuery) -> usize {
+    let results = execute_gold(warehouse, query);
+    gold_tuples(&results).1.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::workload;
+    use soda_warehouse::enterprise::{self, EnterpriseConfig};
+
+    #[test]
+    fn gold_sizes_reflect_the_engineered_distributions() {
+        let w = enterprise::build_with(EnterpriseConfig {
+            seed: 42,
+            padding: false,
+            data_scale: 0.1,
+        });
+        let queries = workload();
+        let q21 = queries.iter().find(|q| q.id == "2.1").unwrap();
+        // 4 current Saras plus 16 historised ones.
+        assert_eq!(gold_size(&w, q21), 20);
+        let q23 = queries.iter().find(|q| q.id == "2.3").unwrap();
+        assert_eq!(gold_size(&w, q23), 4);
+        let q50 = queries.iter().find(|q| q.id == "5.0").unwrap();
+        assert_eq!(gold_size(&w, q50), 380);
+        let q90 = queries.iter().find(|q| q.id == "9.0").unwrap();
+        assert_eq!(gold_size(&w, q90), 1);
+    }
+}

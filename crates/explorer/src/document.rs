@@ -1,0 +1,143 @@
+//! Rendering a [`SchemaModel`] as human-readable documentation — the artefact
+//! the fourth user group of §5.3.2 is after: legacy systems "where
+//! documentation is very scarce or does not even exist".
+
+use soda_warehouse::{RelationshipKind, SchemaModel};
+
+/// Renders a Markdown documentation report for a schema model: summary
+/// statistics, one section per conceptual entity (with its logical entities
+/// and their physical implementations), inheritance groups, historization
+/// annotations and the relationship list.
+pub fn document_model(model: &SchemaModel) -> String {
+    let stats = model.stats();
+    let mut out = String::new();
+
+    out.push_str("# Schema documentation\n\n");
+    out.push_str("| Layer | Entities | Attributes | Relationships |\n");
+    out.push_str("|---|---:|---:|---:|\n");
+    out.push_str(&format!(
+        "| Conceptual | {} | {} | {} |\n",
+        stats.conceptual_entities, stats.conceptual_attributes, stats.conceptual_relationships
+    ));
+    out.push_str(&format!(
+        "| Logical | {} | {} | {} |\n",
+        stats.logical_entities, stats.logical_attributes, stats.logical_relationships
+    ));
+    out.push_str(&format!(
+        "| Physical | {} | {} | {} |\n\n",
+        stats.physical_tables,
+        stats.physical_columns,
+        model.foreign_keys.len()
+    ));
+
+    out.push_str("## Business entities\n\n");
+    for entity in &model.conceptual {
+        out.push_str(&format!("### {}\n\n", entity.name));
+        if !entity.attributes.is_empty() {
+            out.push_str(&format!("Attributes: {}\n\n", entity.attributes.join(", ")));
+        }
+        for logical_name in &entity.refined_by {
+            let Some(logical) = model
+                .logical
+                .iter()
+                .find(|l| l.name.eq_ignore_ascii_case(logical_name))
+            else {
+                continue;
+            };
+            for table_name in &logical.implemented_by {
+                let Some(table) = model.physical_table(table_name) else {
+                    continue;
+                };
+                out.push_str(&format!(
+                    "* `{}` ({} columns) — logical entity *{}*",
+                    table.name,
+                    table.arity(),
+                    logical.name
+                ));
+                if let Some(comment) = &table.comment {
+                    out.push_str(&format!(" — {comment}"));
+                }
+                out.push('\n');
+            }
+        }
+        out.push('\n');
+    }
+
+    if !model.inheritance.is_empty() {
+        out.push_str("## Inheritance\n\n");
+        for group in &model.inheritance {
+            out.push_str(&format!(
+                "* `{}` specialises into {}\n",
+                group.parent_table,
+                group
+                    .child_tables
+                    .iter()
+                    .map(|c| format!("`{c}`"))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ));
+        }
+        out.push('\n');
+    }
+
+    if !model.historization.is_empty() {
+        out.push_str("## Bi-temporal history\n\n");
+        for link in &model.historization {
+            out.push_str(&format!(
+                "* `{}` historizes `{}` (validity `{}` .. `{}`)\n",
+                link.hist_table, link.current_table, link.valid_from_column, link.valid_to_column
+            ));
+        }
+        out.push('\n');
+    }
+
+    if !model.conceptual_relationships.is_empty() {
+        out.push_str("## Relationships\n\n");
+        for rel in &model.conceptual_relationships {
+            let kind = match rel.kind {
+                RelationshipKind::ManyToOne => "N-to-1",
+                RelationshipKind::ManyToMany => "N-to-N",
+                RelationshipKind::Inheritance => "inheritance",
+            };
+            out.push_str(&format!("* {} — {} — {}\n", rel.from, kind, rel.to));
+        }
+        out.push('\n');
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reverse::reverse_engineer;
+    use soda_warehouse::enterprise::{self, EnterpriseConfig};
+    use soda_warehouse::minibank;
+
+    #[test]
+    fn minibank_documentation_covers_all_layers() {
+        let model = minibank::schema_model();
+        let doc = document_model(&model);
+        assert!(doc.contains("# Schema documentation"));
+        assert!(doc.contains("| Physical | 10 |"));
+        assert!(doc.contains("### Parties"));
+        assert!(doc.contains("`individuals`"));
+        assert!(doc.contains("## Inheritance"));
+        assert!(doc.contains("`parties` specialises into"));
+        assert!(doc.contains("N-to-N"));
+    }
+
+    #[test]
+    fn reverse_engineered_documentation_mentions_history_and_subtypes() {
+        let db = enterprise::build_with(EnterpriseConfig {
+            seed: 42,
+            padding: false,
+            data_scale: 0.05,
+        })
+        .database;
+        let doc = document_model(&reverse_engineer(&db));
+        assert!(doc.contains("## Bi-temporal history"));
+        assert!(doc.contains("`individual_name_hist` historizes `individual`"));
+        assert!(doc.contains("`party` specialises into"));
+    }
+}

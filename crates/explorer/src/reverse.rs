@@ -1,0 +1,423 @@
+//! Reverse engineering a multi-layer schema model from a physical-only
+//! database (war story §5.3.2, fourth user group): "help document legacy
+//! systems by reverse engineering the conceptual, logical and physical schema
+//! based on the existing physical implementation … After the reverse
+//! engineering is completed, the RDF schema graph can be generated and
+//! annotated accordingly."
+//!
+//! The heuristics implemented here mirror the naming conventions the paper
+//! describes for the Credit Suisse warehouse (§6.2): physical identifiers are
+//! cryptic (`birth_dt`, suffix `_td` on entity tables, `_hist` on history
+//! tables), so business names are derived by splitting identifiers, expanding
+//! well-known abbreviations and dropping the technical suffixes.  The
+//! resulting [`SchemaModel`] can be fed straight into
+//! [`soda_warehouse::build_graph`] so that SODA can search a legacy system for
+//! which no metadata exists.
+
+use soda_relation::{Database, TableSchema};
+use soda_warehouse::{
+    ConceptualEntity, HistorizationLink, InheritanceGroup, LogicalEntity, Relationship,
+    RelationshipKind, SchemaModel,
+};
+
+/// Expands a single identifier word into its business form (the abbreviation
+/// conventions of §6.2: `dt` → date, `cd` → code, …).
+fn expand_word(word: &str) -> &str {
+    match word {
+        "dt" => "date",
+        "cd" => "code",
+        "id" => "identifier",
+        "nr" | "no" => "number",
+        "amt" => "amount",
+        "pct" => "percent",
+        "td" => "",
+        "hist" => "history",
+        other => other,
+    }
+}
+
+/// Derives a business name from a physical identifier: underscores split
+/// words, well-known abbreviations are expanded and the technical `_td`
+/// suffix is dropped (`trade_order_td` → "trade order", `birth_dt` →
+/// "birth date").
+pub fn business_name(identifier: &str) -> String {
+    let words: Vec<String> = identifier
+        .split(|c: char| c == '_' || c == ' ' || c == '-')
+        .filter(|w| !w.is_empty())
+        .map(|w| expand_word(&w.to_lowercase()).to_string())
+        .filter(|w| !w.is_empty())
+        .collect();
+    words.join(" ")
+}
+
+/// True when the table looks like a bridge (physical N-to-N implementation):
+/// foreign keys to at least two distinct tables and no identity of its own —
+/// either no primary key at all, or a composite key made entirely of the
+/// foreign-key columns.  Payload attributes on the bridge (e.g. an employment
+/// `role`) are allowed.
+fn is_bridge(schema: &TableSchema) -> bool {
+    let mut targets: Vec<&str> = schema.foreign_keys.iter().map(|fk| fk.ref_table.as_str()).collect();
+    targets.sort_unstable();
+    targets.dedup();
+    if targets.len() < 2 {
+        return false;
+    }
+    schema.primary_key.is_empty()
+        || (schema.primary_key.len() >= 2
+            && schema
+                .primary_key
+                .iter()
+                .all(|pk| schema.foreign_key_of(pk).is_some()))
+}
+
+/// True when the table looks like a bi-temporal history table: its name ends
+/// in `_hist` and it carries validity columns.
+fn is_history(schema: &TableSchema) -> bool {
+    schema.name.to_lowercase().ends_with("_hist")
+        && schema.column("valid_from").is_some()
+        && schema.column("valid_to").is_some()
+}
+
+/// The base table a history table most plausibly historizes: the longest
+/// table name that prefixes the history table's name (so
+/// `individual_name_hist` resolves to `individual` even when `individual_name`
+/// does not exist).
+fn history_base<'a>(schemas: &'a [TableSchema], hist: &TableSchema) -> Option<&'a TableSchema> {
+    schemas
+        .iter()
+        .filter(|s| !s.name.eq_ignore_ascii_case(&hist.name))
+        .filter(|s| {
+            hist.name
+                .to_lowercase()
+                .starts_with(&format!("{}_", s.name.to_lowercase()))
+        })
+        .max_by_key(|s| s.name.len())
+}
+
+/// True when `child` looks like an inheritance sub-type of `parent`: its
+/// single-column primary key is also a foreign key to `parent`'s primary key.
+fn is_subtype_of(child: &TableSchema, parent_name: &str) -> bool {
+    if child.primary_key.len() != 1 {
+        return false;
+    }
+    let pk = &child.primary_key[0];
+    child
+        .foreign_key_of(pk)
+        .map(|fk| fk.ref_table.eq_ignore_ascii_case(parent_name))
+        .unwrap_or(false)
+}
+
+/// Reverse engineers a three-layer [`SchemaModel`] from a physical-only
+/// database.
+///
+/// * **Physical layer** — the table schemas as stored.
+/// * **Logical layer** — one entity per table, named by [`business_name`],
+///   with business-named attributes.
+/// * **Conceptual layer** — one entity per non-bridge, non-history table; a
+///   history table and the sub-types of an inheritance group are folded into
+///   the conceptual entity of their base / super-type table.
+/// * **Inheritance** — tables whose primary key is a foreign key to another
+///   table's primary key become sub-types of that table (grouped per parent,
+///   kept only when a parent has at least two sub-types, matching the
+///   mutually-exclusive inheritance pattern).
+/// * **Historization** — `*_hist` tables with `valid_from`/`valid_to` columns
+///   become [`HistorizationLink`]s to their base table.
+/// * **Relationships** — foreign keys become N-to-1 relationships, bridge
+///   tables N-to-N relationships, inheritance groups inheritance
+///   relationships (at both the conceptual and the logical level).
+pub fn reverse_engineer(db: &Database) -> SchemaModel {
+    let physical: Vec<TableSchema> = {
+        let mut schemas: Vec<TableSchema> = db.tables().map(|t| t.schema().clone()).collect();
+        schemas.sort_by(|a, b| a.name.cmp(&b.name));
+        schemas
+    };
+
+    // --- inheritance groups ----------------------------------------------------
+    let mut inheritance: Vec<InheritanceGroup> = Vec::new();
+    for parent in &physical {
+        let children: Vec<String> = physical
+            .iter()
+            .filter(|c| !c.name.eq_ignore_ascii_case(&parent.name))
+            .filter(|c| is_subtype_of(c, &parent.name))
+            .map(|c| c.name.clone())
+            .collect();
+        if children.len() >= 2 {
+            inheritance.push(InheritanceGroup {
+                parent_table: parent.name.clone(),
+                child_tables: children,
+            });
+        }
+    }
+
+    // --- historization links ----------------------------------------------------
+    // When the history table carries the base table's primary-key column, the
+    // (typically undeclared) historization join key is also recovered as a
+    // foreign key so that the generated metadata graph can join the history
+    // back to the current state.
+    let mut historization: Vec<HistorizationLink> = Vec::new();
+    let mut recovered_foreign_keys: Vec<soda_warehouse::AnnotatedForeignKey> = Vec::new();
+    for hist in physical.iter().filter(|s| is_history(s)) {
+        if let Some(base) = history_base(&physical, hist) {
+            historization.push(HistorizationLink {
+                hist_table: hist.name.clone(),
+                current_table: base.name.clone(),
+                valid_from_column: "valid_from".to_string(),
+                valid_to_column: "valid_to".to_string(),
+            });
+            if base.primary_key.len() == 1 {
+                let key = &base.primary_key[0];
+                if hist.column(key).is_some() && hist.foreign_key_of(key).is_none() {
+                    recovered_foreign_keys.push(soda_warehouse::AnnotatedForeignKey {
+                        table: hist.name.clone(),
+                        column: key.clone(),
+                        ref_table: base.name.clone(),
+                        ref_column: key.clone(),
+                        annotated: true,
+                        explicit_join_node: true,
+                    });
+                }
+            }
+        }
+    }
+
+    // --- logical layer ------------------------------------------------------------
+    let logical: Vec<LogicalEntity> = physical
+        .iter()
+        .map(|schema| LogicalEntity {
+            name: business_name(&schema.name),
+            attributes: schema.columns.iter().map(|c| business_name(&c.name)).collect(),
+            implemented_by: vec![schema.name.clone()],
+        })
+        .collect();
+
+    // --- conceptual layer -----------------------------------------------------------
+    // Sub-types and history tables fold into the entity of their parent / base.
+    let folded_into = |name: &str| -> Option<String> {
+        if let Some(group) = inheritance
+            .iter()
+            .find(|g| g.child_tables.iter().any(|c| c.eq_ignore_ascii_case(name)))
+        {
+            return Some(group.parent_table.clone());
+        }
+        historization
+            .iter()
+            .find(|h| h.hist_table.eq_ignore_ascii_case(name))
+            .map(|h| h.current_table.clone())
+            .filter(|base| !base.eq_ignore_ascii_case(name))
+    };
+
+    let mut conceptual: Vec<ConceptualEntity> = Vec::new();
+    for schema in &physical {
+        if is_bridge(schema) || folded_into(&schema.name).is_some() {
+            continue;
+        }
+        let mut refined_by = vec![business_name(&schema.name)];
+        let mut attributes: Vec<String> =
+            schema.columns.iter().map(|c| business_name(&c.name)).collect();
+        for other in &physical {
+            if folded_into(&other.name)
+                .map(|base| base.eq_ignore_ascii_case(&schema.name))
+                .unwrap_or(false)
+            {
+                refined_by.push(business_name(&other.name));
+                for column in &other.columns {
+                    let attr = business_name(&column.name);
+                    if !attributes.contains(&attr) {
+                        attributes.push(attr);
+                    }
+                }
+            }
+        }
+        conceptual.push(ConceptualEntity {
+            name: business_name(&schema.name),
+            attributes,
+            refined_by,
+        });
+    }
+
+    // --- relationships ---------------------------------------------------------------
+    let mut logical_relationships: Vec<Relationship> = Vec::new();
+    let mut conceptual_relationships: Vec<Relationship> = Vec::new();
+    let conceptual_of = |table: &str| -> String {
+        business_name(&folded_into(table).unwrap_or_else(|| table.to_string()))
+    };
+    let push_unique = |list: &mut Vec<Relationship>, rel: Relationship| {
+        if rel.from != rel.to && !list.contains(&rel) {
+            list.push(rel);
+        }
+    };
+    for schema in &physical {
+        for fk in &schema.foreign_keys {
+            push_unique(
+                &mut logical_relationships,
+                Relationship {
+                    from: business_name(&schema.name),
+                    to: business_name(&fk.ref_table),
+                    kind: RelationshipKind::ManyToOne,
+                },
+            );
+            if !is_bridge(schema) {
+                push_unique(
+                    &mut conceptual_relationships,
+                    Relationship {
+                        from: conceptual_of(&schema.name),
+                        to: conceptual_of(&fk.ref_table),
+                        kind: RelationshipKind::ManyToOne,
+                    },
+                );
+            }
+        }
+        if is_bridge(schema) {
+            let targets: Vec<&str> = schema
+                .foreign_keys
+                .iter()
+                .map(|fk| fk.ref_table.as_str())
+                .collect();
+            for i in 0..targets.len() {
+                for j in (i + 1)..targets.len() {
+                    push_unique(
+                        &mut conceptual_relationships,
+                        Relationship {
+                            from: conceptual_of(targets[i]),
+                            to: conceptual_of(targets[j]),
+                            kind: RelationshipKind::ManyToMany,
+                        },
+                    );
+                }
+            }
+        }
+    }
+    for group in &inheritance {
+        for child in &group.child_tables {
+            push_unique(
+                &mut logical_relationships,
+                Relationship {
+                    from: business_name(&group.parent_table),
+                    to: business_name(child),
+                    kind: RelationshipKind::Inheritance,
+                },
+            );
+        }
+    }
+
+    let mut model = SchemaModel {
+        conceptual,
+        conceptual_relationships,
+        logical,
+        logical_relationships,
+        physical,
+        foreign_keys: recovered_foreign_keys,
+        inheritance,
+        historization,
+    };
+    model.adopt_physical_foreign_keys();
+    model
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soda_warehouse::enterprise::{self, EnterpriseConfig};
+
+    fn legacy_db() -> Database {
+        // The enterprise warehouse's database, used *without* its metadata
+        // graph: exactly the legacy-system situation of §5.3.2.
+        enterprise::build_with(EnterpriseConfig {
+            seed: 42,
+            padding: false,
+            data_scale: 0.1,
+        })
+        .database
+    }
+
+    #[test]
+    fn business_names_follow_the_naming_conventions() {
+        assert_eq!(business_name("trade_order_td"), "trade order");
+        assert_eq!(business_name("birth_dt"), "birth date");
+        assert_eq!(business_name("currency_cd"), "currency code");
+        assert_eq!(business_name("individual_name_hist"), "individual name history");
+        assert_eq!(business_name("party_id"), "party identifier");
+        assert_eq!(business_name("org_name"), "org name");
+    }
+
+    #[test]
+    fn inheritance_and_bridges_are_recovered_from_keys() {
+        let model = reverse_engineer(&legacy_db());
+        let party = model
+            .inheritance
+            .iter()
+            .find(|g| g.parent_table == "party")
+            .expect("party inheritance recovered");
+        assert!(party.child_tables.contains(&"individual".to_string()));
+        assert!(party.child_tables.contains(&"organization".to_string()));
+        assert!(model
+            .conceptual_relationships
+            .iter()
+            .any(|r| r.kind == RelationshipKind::ManyToMany));
+    }
+
+    #[test]
+    fn history_tables_become_historization_links() {
+        let model = reverse_engineer(&legacy_db());
+        let link = model
+            .historization
+            .iter()
+            .find(|h| h.hist_table == "individual_name_hist")
+            .expect("historization link recovered");
+        assert_eq!(link.current_table, "individual");
+        assert_eq!(link.valid_to_column, "valid_to");
+        // The undeclared historization join key is recovered as an annotated
+        // foreign key so the generated graph can join history to current state.
+        assert!(model.foreign_keys.iter().any(|fk| {
+            fk.table == "individual_name_hist"
+                && fk.ref_table == "individual"
+                && fk.annotated
+                && fk.explicit_join_node
+        }));
+    }
+
+    #[test]
+    fn conceptual_layer_folds_subtypes_and_history_into_their_base_entity() {
+        let model = reverse_engineer(&legacy_db());
+        let names: Vec<&str> = model.conceptual.iter().map(|e| e.name.as_str()).collect();
+        assert!(names.contains(&"party"));
+        // Sub-types and history tables do not surface as conceptual entities…
+        assert!(!names.contains(&"individual"));
+        assert!(!names.contains(&"individual name history"));
+        // …but their attributes are folded into the base entity.
+        let party = model.conceptual.iter().find(|e| e.name == "party").unwrap();
+        assert!(party.refined_by.contains(&"individual".to_string()));
+        assert!(party.attributes.iter().any(|a| a == "given name"));
+        // Bridge tables do not become conceptual entities either.
+        assert!(!names.contains(&"associate employment"));
+    }
+
+    proptest::proptest! {
+        /// `business_name` is idempotent and never leaks separators: applying
+        /// it twice gives the same result, and the output contains no
+        /// underscores or double spaces for any identifier-like input.
+        #[test]
+        fn business_name_is_idempotent_and_clean(
+            identifier in "[a-zA-Z][a-zA-Z0-9_]{0,30}"
+        ) {
+            let once = business_name(&identifier);
+            proptest::prop_assert_eq!(business_name(&once), once.clone());
+            proptest::prop_assert!(!once.contains('_'));
+            proptest::prop_assert!(!once.contains("  "));
+            proptest::prop_assert_eq!(once.clone(), once.to_lowercase());
+        }
+    }
+
+    #[test]
+    fn every_table_gets_a_logical_entity_and_stats_are_consistent() {
+        let db = legacy_db();
+        let model = reverse_engineer(&db);
+        assert_eq!(model.logical.len(), db.table_count());
+        assert_eq!(model.physical.len(), db.table_count());
+        let stats = model.stats();
+        assert_eq!(stats.physical_tables, db.table_count());
+        assert_eq!(stats.logical_entities, db.table_count());
+        assert!(stats.conceptual_entities < stats.logical_entities);
+        assert!(!model.foreign_keys.is_empty(), "FKs adopted from the physical schemas");
+    }
+}

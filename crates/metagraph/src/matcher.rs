@@ -1,0 +1,566 @@
+//! The pattern matcher.
+//!
+//! To match a pattern on a given graph, the anchor variable (`x` by
+//! convention) is assigned to the node being tested and each triple of the
+//! pattern is matched against the graph, with variables keeping their
+//! assignment within one match (§4.2.1).  References to other named patterns
+//! (`matches-column`) are resolved through a [`PatternRegistry`].
+
+use std::collections::HashMap;
+
+use crate::graph::{MetaGraph, NodeId, Object};
+use crate::pattern::{Pattern, PatternItem, Term, TriplePattern};
+
+/// A value a pattern variable can be bound to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BoundValue {
+    /// Binding to a graph node.
+    Node(NodeId),
+    /// Binding to a text label.
+    Text(String),
+}
+
+/// One successful assignment of pattern variables.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Binding {
+    vars: HashMap<String, BoundValue>,
+}
+
+impl Binding {
+    /// Returns the node bound to `var`, if any.
+    pub fn node(&self, var: &str) -> Option<NodeId> {
+        match self.vars.get(var) {
+            Some(BoundValue::Node(n)) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Returns the text bound to `var`, if any.
+    pub fn text(&self, var: &str) -> Option<&str> {
+        match self.vars.get(var) {
+            Some(BoundValue::Text(t)) => Some(t.as_str()),
+            _ => None,
+        }
+    }
+
+    /// Returns the raw bound value of `var`.
+    pub fn get(&self, var: &str) -> Option<&BoundValue> {
+        self.vars.get(var)
+    }
+
+    /// Number of bound variables.
+    pub fn len(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Whether no variable is bound.
+    pub fn is_empty(&self) -> bool {
+        self.vars.is_empty()
+    }
+
+    fn bind(&mut self, var: &str, value: BoundValue) -> bool {
+        match self.vars.get(var) {
+            Some(existing) => *existing == value,
+            None => {
+                self.vars.insert(var.to_string(), value);
+                true
+            }
+        }
+    }
+}
+
+/// Registry of named patterns, used to resolve `matches-<name>` references.
+#[derive(Debug, Default, Clone)]
+pub struct PatternRegistry {
+    patterns: HashMap<String, Pattern>,
+}
+
+impl PatternRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a pattern under its own name, replacing any previous pattern
+    /// with the same name.
+    pub fn register(&mut self, pattern: Pattern) {
+        self.patterns.insert(pattern.name.clone(), pattern);
+    }
+
+    /// Looks up a pattern by name.
+    pub fn get(&self, name: &str) -> Option<&Pattern> {
+        self.patterns.get(name)
+    }
+
+    /// Names of all registered patterns.
+    pub fn names(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = self.patterns.keys().map(|s| s.as_str()).collect();
+        names.sort_unstable();
+        names
+    }
+
+    /// Number of registered patterns.
+    pub fn len(&self) -> usize {
+        self.patterns.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.patterns.is_empty()
+    }
+}
+
+/// Matches patterns against a [`MetaGraph`].
+pub struct Matcher<'a> {
+    graph: &'a MetaGraph,
+    registry: &'a PatternRegistry,
+    /// Safety valve against pathological patterns (deep reference chains).
+    max_reference_depth: usize,
+}
+
+impl<'a> Matcher<'a> {
+    /// Creates a matcher over `graph` resolving references in `registry`.
+    pub fn new(graph: &'a MetaGraph, registry: &'a PatternRegistry) -> Self {
+        Self {
+            graph,
+            registry,
+            max_reference_depth: 8,
+        }
+    }
+
+    /// Overrides the maximum `matches-` reference nesting depth (default 8).
+    pub fn with_max_reference_depth(mut self, depth: usize) -> Self {
+        self.max_reference_depth = depth;
+        self
+    }
+
+    /// Tests `pattern` with its anchor bound to `node`; returns every distinct
+    /// variable assignment that satisfies all conjuncts.
+    pub fn match_at(&self, pattern: &Pattern, node: NodeId) -> Vec<Binding> {
+        let mut binding = Binding::default();
+        binding.bind(&pattern.anchor, BoundValue::Node(node));
+        let mut results = Vec::new();
+        self.solve(pattern, &pattern.items, binding, 0, &mut results);
+        results.dedup();
+        results
+    }
+
+    /// True if the pattern matches at `node` with at least one assignment.
+    pub fn matches(&self, pattern: &Pattern, node: NodeId) -> bool {
+        !self.match_at(pattern, node).is_empty()
+    }
+
+    /// Tries every node of the graph as the anchor; returns `(node, binding)`
+    /// pairs for every match.  Used by experiments and tests; the SODA
+    /// pipeline itself only tests patterns at nodes reached by traversal.
+    pub fn match_all(&self, pattern: &Pattern) -> Vec<(NodeId, Binding)> {
+        let mut out = Vec::new();
+        for node in self.graph.nodes() {
+            for b in self.match_at(pattern, node) {
+                out.push((node, b));
+            }
+        }
+        out
+    }
+
+    fn solve(
+        &self,
+        pattern: &Pattern,
+        remaining: &[PatternItem],
+        binding: Binding,
+        depth: usize,
+        results: &mut Vec<Binding>,
+    ) {
+        // Pick the next item to process: prefer one whose subject is already
+        // bound (or a static URI) to keep the search space small.
+        let Some(pos) = self.pick_item(remaining, &binding) else {
+            results.push(binding);
+            return;
+        };
+        let item = &remaining[pos];
+        let mut rest: Vec<PatternItem> = Vec::with_capacity(remaining.len() - 1);
+        rest.extend_from_slice(&remaining[..pos]);
+        rest.extend_from_slice(&remaining[pos + 1..]);
+
+        match item {
+            PatternItem::Triple(t) => {
+                for next in self.match_triple(t, &binding) {
+                    self.solve(pattern, &rest, next, depth, results);
+                }
+            }
+            PatternItem::Reference { var, pattern: name } => {
+                if depth >= self.max_reference_depth {
+                    return;
+                }
+                let Some(sub) = self.registry.get(name) else {
+                    return;
+                };
+                let anchors: Vec<NodeId> = match var {
+                    Term::Var(v) => match binding.node(v) {
+                        Some(n) => vec![n],
+                        None => self.graph.nodes().collect(),
+                    },
+                    Term::Uri(u) => match self.graph.node(u) {
+                        Some(n) => vec![n],
+                        None => vec![],
+                    },
+                    _ => vec![],
+                };
+                for anchor in anchors {
+                    // The sub-pattern's own variables are scoped to the
+                    // sub-match; only the anchor binding is shared.
+                    let mut sub_binding = Binding::default();
+                    sub_binding.bind(&sub.anchor, BoundValue::Node(anchor));
+                    let mut sub_results = Vec::new();
+                    self.solve(sub, &sub.items, sub_binding, depth + 1, &mut sub_results);
+                    if !sub_results.is_empty() {
+                        let mut next = binding.clone();
+                        if let Term::Var(v) = var {
+                            if !next.bind(v, BoundValue::Node(anchor)) {
+                                continue;
+                            }
+                        }
+                        self.solve(pattern, &rest, next, depth, results);
+                    }
+                }
+            }
+        }
+    }
+
+    fn pick_item(&self, items: &[PatternItem], binding: &Binding) -> Option<usize> {
+        if items.is_empty() {
+            return None;
+        }
+        let is_grounded = |t: &Term| match t {
+            Term::Var(v) | Term::TextVar(v) => binding.get(v).is_some(),
+            Term::Uri(_) | Term::TextLit(_) => true,
+        };
+        let best = items.iter().position(|item| match item {
+            PatternItem::Triple(t) => is_grounded(&t.subject) || is_grounded(&t.object),
+            PatternItem::Reference { var, .. } => is_grounded(var),
+        });
+        Some(best.unwrap_or(0))
+    }
+
+    /// Enumerates every extension of `binding` that satisfies the triple.
+    fn match_triple(&self, t: &TriplePattern, binding: &Binding) -> Vec<Binding> {
+        let Some(pred) = self.graph.find_predicate(&t.predicate) else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+
+        // Resolve candidate subjects.
+        let subjects: Vec<NodeId> = match &t.subject {
+            Term::Var(v) => match binding.node(v) {
+                Some(n) => vec![n],
+                None => self.subjects_from_object(t, binding, pred),
+            },
+            Term::Uri(u) => match self.graph.node(u) {
+                Some(n) => vec![n],
+                None => return Vec::new(),
+            },
+            Term::TextVar(_) | Term::TextLit(_) => return Vec::new(),
+        };
+
+        for s in subjects {
+            for (p, obj) in self.graph.outgoing(s) {
+                if *p != pred {
+                    continue;
+                }
+                let mut next = binding.clone();
+                let subject_ok = match &t.subject {
+                    Term::Var(v) => next.bind(v, BoundValue::Node(s)),
+                    _ => true,
+                };
+                if !subject_ok {
+                    continue;
+                }
+                let object_ok = match (&t.object, obj) {
+                    (Term::Var(v), Object::Node(n)) => next.bind(v, BoundValue::Node(*n)),
+                    (Term::Uri(u), Object::Node(n)) => self.graph.node(u) == Some(*n),
+                    (Term::TextVar(v), Object::Text(l)) => {
+                        next.bind(v, BoundValue::Text(self.graph.label_text(*l).to_string()))
+                    }
+                    (Term::TextLit(lit), Object::Text(l)) => self.graph.label_text(*l) == lit,
+                    _ => false,
+                };
+                if object_ok {
+                    out.push(next);
+                }
+            }
+        }
+        out
+    }
+
+    /// When the subject is an unbound variable, try to narrow candidates using
+    /// the object; fall back to all nodes.
+    fn subjects_from_object(
+        &self,
+        t: &TriplePattern,
+        binding: &Binding,
+        pred: crate::uri::PredId,
+    ) -> Vec<NodeId> {
+        match &t.object {
+            Term::Var(v) => {
+                if let Some(obj) = binding.node(v) {
+                    return self
+                        .graph
+                        .incoming(obj)
+                        .iter()
+                        .filter_map(|(p, s)| if *p == pred { Some(*s) } else { None })
+                        .collect();
+                }
+                self.graph.nodes().collect()
+            }
+            Term::Uri(u) => match self.graph.node(u) {
+                Some(obj) => self
+                    .graph
+                    .incoming(obj)
+                    .iter()
+                    .filter_map(|(p, s)| if *p == pred { Some(*s) } else { None })
+                    .collect(),
+                None => Vec::new(),
+            },
+            Term::TextLit(lit) => self
+                .graph
+                .nodes_with_label(lit)
+                .into_iter()
+                .filter_map(|(s, p)| if p == pred { Some(s) } else { None })
+                .collect(),
+            Term::TextVar(v) => {
+                if let Some(text) = binding.text(v).map(|s| s.to_string()) {
+                    self.graph
+                        .nodes_with_label(&text)
+                        .into_iter()
+                        .filter_map(|(s, p)| if p == pred { Some(s) } else { None })
+                        .collect()
+                } else {
+                    self.graph.nodes().collect()
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::Pattern;
+
+    /// Builds the small physical-schema graph used by the paper's examples:
+    /// two tables with columns, a foreign key and an inheritance node.
+    fn sample_graph() -> MetaGraph {
+        let mut g = MetaGraph::new();
+
+        let parties = g.add_node("phys/parties");
+        let individuals = g.add_node("phys/individuals");
+        let organizations = g.add_node("phys/organizations");
+        let t_table = g.add_node("physical_table");
+        let t_column = g.add_node("physical_column");
+        let t_inherit = g.add_node("inheritance_node");
+
+        for (table, name) in [
+            (parties, "parties"),
+            (individuals, "individuals"),
+            (organizations, "organizations"),
+        ] {
+            g.add_edge(table, "type", t_table);
+            g.add_text_edge(table, "tablename", name);
+        }
+
+        let parties_id = g.add_node("phys/parties/id");
+        let individuals_id = g.add_node("phys/individuals/id");
+        let individuals_name = g.add_node("phys/individuals/firstname");
+        for (col, name) in [
+            (parties_id, "id"),
+            (individuals_id, "id"),
+            (individuals_name, "firstname"),
+        ] {
+            g.add_edge(col, "type", t_column);
+            g.add_text_edge(col, "columnname", name);
+        }
+        g.add_edge(parties, "column", parties_id);
+        g.add_edge(individuals, "column", individuals_id);
+        g.add_edge(individuals, "column", individuals_name);
+
+        // Foreign key: individuals.id -> parties.id
+        g.add_edge(individuals_id, "foreign_key", parties_id);
+
+        // Inheritance node: parties is the parent, individuals/organizations children.
+        let inh = g.add_node("inh/parties");
+        g.add_edge(inh, "type", t_inherit);
+        g.add_edge(inh, "inheritance_parent", parties);
+        g.add_edge(inh, "inheritance_child", individuals);
+        g.add_edge(inh, "inheritance_child", organizations);
+
+        g
+    }
+
+    fn registry_with_basics() -> PatternRegistry {
+        let mut r = PatternRegistry::new();
+        r.register(
+            Pattern::parse("table", "( x tablename t:y ) & ( x type physical_table )").unwrap(),
+        );
+        r.register(
+            Pattern::parse(
+                "column",
+                "( x columnname t:y ) & ( x type physical_column ) & ( z column x )",
+            )
+            .unwrap(),
+        );
+        r.register(
+            Pattern::parse(
+                "foreign_key",
+                "( x foreign_key y ) & ( x matches-column ) & ( y matches-column )",
+            )
+            .unwrap(),
+        );
+        r.register(
+            Pattern::parse(
+                "inheritance_child",
+                "( y inheritance_child x ) & ( y type inheritance_node ) & \
+                 ( y inheritance_parent p ) & ( y inheritance_child c1 ) & ( y inheritance_child c2 )",
+            )
+            .unwrap(),
+        );
+        r
+    }
+
+    #[test]
+    fn table_pattern_matches_tables_only() {
+        let g = sample_graph();
+        let r = registry_with_basics();
+        let m = Matcher::new(&g, &r);
+        let table_p = r.get("table").unwrap();
+        let parties = g.node("phys/parties").unwrap();
+        let col = g.node("phys/individuals/firstname").unwrap();
+
+        let matches = m.match_at(table_p, parties);
+        assert_eq!(matches.len(), 1);
+        assert_eq!(matches[0].text("y"), Some("parties"));
+        assert!(!m.matches(table_p, col));
+    }
+
+    #[test]
+    fn column_pattern_requires_incoming_column_edge() {
+        let g = sample_graph();
+        let r = registry_with_basics();
+        let m = Matcher::new(&g, &r);
+        let column_p = r.get("column").unwrap();
+        let col = g.node("phys/individuals/firstname").unwrap();
+        let table = g.node("phys/parties").unwrap();
+
+        let matches = m.match_at(column_p, col);
+        assert_eq!(matches.len(), 1);
+        assert_eq!(matches[0].text("y"), Some("firstname"));
+        assert_eq!(matches[0].node("z"), g.node("phys/individuals"));
+        assert!(!m.matches(column_p, table));
+    }
+
+    #[test]
+    fn foreign_key_pattern_uses_references() {
+        let g = sample_graph();
+        let r = registry_with_basics();
+        let m = Matcher::new(&g, &r);
+        let fk = r.get("foreign_key").unwrap();
+        let ind_id = g.node("phys/individuals/id").unwrap();
+        let parties_id = g.node("phys/parties/id").unwrap();
+
+        let matches = m.match_at(fk, ind_id);
+        assert_eq!(matches.len(), 1);
+        assert_eq!(matches[0].node("y"), Some(parties_id));
+        // The reverse direction does not match.
+        assert!(!m.matches(fk, parties_id));
+    }
+
+    #[test]
+    fn inheritance_child_pattern_matches_both_children() {
+        let g = sample_graph();
+        let r = registry_with_basics();
+        let m = Matcher::new(&g, &r);
+        let inh = r.get("inheritance_child").unwrap();
+        let individuals = g.node("phys/individuals").unwrap();
+        let organizations = g.node("phys/organizations").unwrap();
+        let parties = g.node("phys/parties").unwrap();
+
+        let m1 = m.match_at(inh, individuals);
+        assert!(!m1.is_empty());
+        assert!(m1.iter().all(|b| b.node("p") == Some(parties)));
+        assert!(m.matches(inh, organizations));
+        assert!(!m.matches(inh, parties));
+    }
+
+    #[test]
+    fn match_all_finds_every_table() {
+        let g = sample_graph();
+        let r = registry_with_basics();
+        let m = Matcher::new(&g, &r);
+        let table_p = r.get("table").unwrap();
+        let all = m.match_all(table_p);
+        assert_eq!(all.len(), 3);
+    }
+
+    #[test]
+    fn unknown_predicate_or_uri_yields_no_match() {
+        let g = sample_graph();
+        let r = PatternRegistry::new();
+        let m = Matcher::new(&g, &r);
+        let p = Pattern::parse("p", "( x never_seen_predicate y )").unwrap();
+        assert!(m.match_all(&p).is_empty());
+        let p2 = Pattern::parse("p2", "( x type never_seen_type_uri )").unwrap();
+        assert!(m.match_all(&p2).is_empty());
+    }
+
+    #[test]
+    fn missing_reference_pattern_fails_gracefully() {
+        let g = sample_graph();
+        let r = PatternRegistry::new();
+        let m = Matcher::new(&g, &r);
+        let p = Pattern::parse("p", "( x foreign_key y ) & ( x matches-column )").unwrap();
+        let ind_id = g.node("phys/individuals/id").unwrap();
+        assert!(m.match_at(&p, ind_id).is_empty());
+    }
+
+    #[test]
+    fn variable_consistency_within_a_match() {
+        let mut g = MetaGraph::new();
+        let a = g.add_node("a");
+        let b = g.add_node("b");
+        let c = g.add_node("c");
+        g.add_edge(a, "knows", b);
+        g.add_edge(b, "knows", c);
+        g.add_edge(a, "likes", c);
+        let r = PatternRegistry::new();
+        let m = Matcher::new(&g, &r);
+        // x knows y, x likes y: requires the same y; a knows b but likes c, so no match.
+        let p = Pattern::parse("p", "( x knows y ) & ( x likes y )").unwrap();
+        assert!(m.match_at(&p, a).is_empty());
+        // x knows y, y knows z, x likes z: matches with y=b, z=c.
+        let p2 = Pattern::parse("p2", "( x knows y ) & ( y knows z ) & ( x likes z )").unwrap();
+        let matches = m.match_at(&p2, a);
+        assert_eq!(matches.len(), 1);
+        assert_eq!(matches[0].node("y"), Some(b));
+        assert_eq!(matches[0].node("z"), Some(c));
+    }
+
+    #[test]
+    fn text_literal_objects_filter_matches() {
+        let g = sample_graph();
+        let r = PatternRegistry::new();
+        let m = Matcher::new(&g, &r);
+        let p = Pattern::parse("named", "( x tablename t:\"parties\" )").unwrap();
+        let all = m.match_all(&p);
+        assert_eq!(all.len(), 1);
+        assert_eq!(all[0].0, g.node("phys/parties").unwrap());
+    }
+
+    #[test]
+    fn registry_names_are_sorted() {
+        let r = registry_with_basics();
+        assert_eq!(
+            r.names(),
+            vec!["column", "foreign_key", "inheritance_child", "table"]
+        );
+        assert_eq!(r.len(), 4);
+    }
+}

@@ -1,0 +1,322 @@
+//! Parser for the textual pattern syntax used throughout the paper, e.g.
+//!
+//! ```text
+//! ( x tablename t:y ) &
+//! ( x type physical_table )
+//! ```
+//!
+//! ## Term classification rules
+//!
+//! The paper distinguishes variables typographically (italics), which a plain
+//! text syntax cannot do, so the parser applies the following documented rules
+//! to each token:
+//!
+//! * `?name` is always a node variable; `t:?name` is always a text variable.
+//! * `t:"literal"` (or `t:'literal'`) is a text literal.
+//! * `t:tok` where `tok` looks like a short variable (see below) is a text
+//!   variable, matching the paper's `t:y`; otherwise it is a text literal.
+//! * A bare token that looks like a short variable — one lowercase letter
+//!   optionally followed by a single digit (`x`, `y`, `z`, `p`, `c1`, `c2`) —
+//!   is a node variable.  Everything else is a static URI.
+//! * A two-term group `( term matches-<name> )` is a reference to the named
+//!   pattern (the paper's `matches-column`).
+
+use std::fmt;
+
+use crate::pattern::{Pattern, PatternItem, Term, TriplePattern};
+
+/// Error produced while parsing a pattern.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable description of the problem.
+    pub message: String,
+    /// Byte offset in the input where the problem was detected.
+    pub offset: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pattern parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err<T>(message: impl Into<String>, offset: usize) -> Result<T, ParseError> {
+    Err(ParseError {
+        message: message.into(),
+        offset,
+    })
+}
+
+/// Whether a bare token should be treated as a variable.
+fn looks_like_var(tok: &str) -> bool {
+    let bytes = tok.as_bytes();
+    match bytes.len() {
+        1 => bytes[0].is_ascii_lowercase(),
+        2 => bytes[0].is_ascii_lowercase() && bytes[1].is_ascii_digit(),
+        _ => false,
+    }
+}
+
+fn classify_node_term(tok: &str) -> Term {
+    if let Some(stripped) = tok.strip_prefix('?') {
+        Term::Var(stripped.to_string())
+    } else if looks_like_var(tok) {
+        Term::Var(tok.to_string())
+    } else {
+        Term::Uri(tok.to_string())
+    }
+}
+
+fn classify_object_term(tok: &str) -> Term {
+    if let Some(rest) = tok.strip_prefix("t:") {
+        if let Some(v) = rest.strip_prefix('?') {
+            return Term::TextVar(v.to_string());
+        }
+        let unquoted = rest
+            .strip_prefix('"')
+            .and_then(|r| r.strip_suffix('"'))
+            .or_else(|| rest.strip_prefix('\'').and_then(|r| r.strip_suffix('\'')));
+        if let Some(lit) = unquoted {
+            return Term::TextLit(lit.to_string());
+        }
+        if looks_like_var(rest) {
+            return Term::TextVar(rest.to_string());
+        }
+        return Term::TextLit(rest.to_string());
+    }
+    classify_node_term(tok)
+}
+
+/// Splits the input into parenthesised groups of whitespace-separated tokens.
+/// Quoted strings (after `t:`) may contain spaces.
+fn tokenize_groups(text: &str) -> Result<Vec<(Vec<String>, usize)>, ParseError> {
+    let mut groups = Vec::new();
+    let mut chars = text.char_indices().peekable();
+    while let Some((i, c)) = chars.next() {
+        match c {
+            '(' => {
+                let mut tokens: Vec<String> = Vec::new();
+                let mut current = String::new();
+                let mut in_quote: Option<char> = None;
+                let mut closed = false;
+                for (j, c2) in chars.by_ref() {
+                    if let Some(q) = in_quote {
+                        current.push(c2);
+                        if c2 == q {
+                            in_quote = None;
+                        }
+                        continue;
+                    }
+                    match c2 {
+                        '"' | '\'' => {
+                            in_quote = Some(c2);
+                            current.push(c2);
+                        }
+                        ')' => {
+                            if !current.is_empty() {
+                                tokens.push(std::mem::take(&mut current));
+                            }
+                            closed = true;
+                            let _ = j;
+                            break;
+                        }
+                        c2 if c2.is_whitespace() => {
+                            if !current.is_empty() {
+                                tokens.push(std::mem::take(&mut current));
+                            }
+                        }
+                        _ => current.push(c2),
+                    }
+                }
+                if !closed {
+                    return err("unclosed '(' in pattern", i);
+                }
+                groups.push((tokens, i));
+            }
+            '&' => {}
+            c if c.is_whitespace() => {}
+            _ => return err(format!("unexpected character {c:?}"), i),
+        }
+    }
+    Ok(groups)
+}
+
+/// Parses a pattern written in the paper's syntax.
+///
+/// `name` becomes the pattern name used by the registry; the anchor variable
+/// defaults to `x`.
+pub fn parse_pattern(name: &str, text: &str) -> Result<Pattern, ParseError> {
+    let groups = tokenize_groups(text)?;
+    if groups.is_empty() {
+        return err("pattern contains no triples", 0);
+    }
+    let mut items = Vec::with_capacity(groups.len());
+    for (tokens, offset) in groups {
+        match tokens.len() {
+            2 => {
+                let var = classify_node_term(&tokens[0]);
+                let Some(pattern) = tokens[1].strip_prefix("matches-") else {
+                    return err(
+                        format!(
+                            "two-term group must be a 'matches-<pattern>' reference, got {:?}",
+                            tokens[1]
+                        ),
+                        offset,
+                    );
+                };
+                if pattern.is_empty() {
+                    return err("empty pattern reference after 'matches-'", offset);
+                }
+                items.push(PatternItem::Reference {
+                    var,
+                    pattern: pattern.to_string(),
+                });
+            }
+            3 => {
+                let subject = classify_object_term(&tokens[0]);
+                if matches!(subject, Term::TextLit(_) | Term::TextVar(_)) {
+                    return err("subject of a triple cannot be a text label", offset);
+                }
+                let predicate = tokens[1].clone();
+                let object = classify_object_term(&tokens[2]);
+                items.push(PatternItem::Triple(TriplePattern {
+                    subject,
+                    predicate,
+                    object,
+                }));
+            }
+            n => {
+                return err(format!("triple group must have 2 or 3 terms, got {n}"), offset);
+            }
+        }
+    }
+    Ok(Pattern::new(name, items))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_table_pattern_from_the_paper() {
+        let p = parse_pattern(
+            "table",
+            "( x tablename t:y ) &\n( x type physical_table )",
+        )
+        .unwrap();
+        assert_eq!(p.items.len(), 2);
+        assert_eq!(
+            p.items[0],
+            PatternItem::Triple(TriplePattern {
+                subject: Term::Var("x".into()),
+                predicate: "tablename".into(),
+                object: Term::TextVar("y".into()),
+            })
+        );
+        assert_eq!(
+            p.items[1],
+            PatternItem::Triple(TriplePattern {
+                subject: Term::Var("x".into()),
+                predicate: "type".into(),
+                object: Term::Uri("physical_table".into()),
+            })
+        );
+    }
+
+    #[test]
+    fn parses_column_pattern_with_incoming_edge() {
+        let p = parse_pattern(
+            "column",
+            "( x columnname t:y ) & ( x type physical_column ) & ( z column x )",
+        )
+        .unwrap();
+        assert_eq!(p.items.len(), 3);
+        if let PatternItem::Triple(t) = &p.items[2] {
+            assert_eq!(t.subject, Term::Var("z".into()));
+            assert_eq!(t.object, Term::Var("x".into()));
+        } else {
+            panic!("expected triple");
+        }
+    }
+
+    #[test]
+    fn parses_foreign_key_pattern_with_references() {
+        let p = parse_pattern(
+            "foreign_key",
+            "( x foreign_key y ) & ( x matches-column ) & ( y matches-column )",
+        )
+        .unwrap();
+        assert_eq!(p.references(), vec!["column", "column"]);
+    }
+
+    #[test]
+    fn parses_inheritance_child_pattern() {
+        let p = parse_pattern(
+            "inheritance_child",
+            "( y inheritance_child x ) & ( y type inheritance_node ) & \
+             ( y inheritance_parent p ) & ( y inheritance_child c1 ) & ( y inheritance_child c2 )",
+        )
+        .unwrap();
+        assert_eq!(p.items.len(), 5);
+        assert_eq!(
+            p.variables(),
+            vec!["x", "y", "p", "c1", "c2"]
+                .into_iter()
+                .map(String::from)
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn explicit_variables_and_literals() {
+        let p = parse_pattern(
+            "filter",
+            "( ?concept defined_filter ?f ) & ( ?f filter_value t:\"Zurich City\" )",
+        )
+        .unwrap();
+        if let PatternItem::Triple(t) = &p.items[1] {
+            assert_eq!(t.object, Term::TextLit("Zurich City".into()));
+            assert_eq!(t.subject, Term::Var("f".into()));
+        } else {
+            panic!("expected triple");
+        }
+    }
+
+    #[test]
+    fn long_tokens_are_uris_not_variables() {
+        let p = parse_pattern("t", "( x type physical_table )").unwrap();
+        if let PatternItem::Triple(t) = &p.items[0] {
+            assert_eq!(t.object, Term::Uri("physical_table".into()));
+        } else {
+            panic!("expected triple");
+        }
+    }
+
+    #[test]
+    fn rejects_unclosed_group() {
+        assert!(parse_pattern("bad", "( x type physical_table").is_err());
+    }
+
+    #[test]
+    fn rejects_wrong_arity() {
+        assert!(parse_pattern("bad", "( x )").is_err());
+        assert!(parse_pattern("bad", "( x a b c )").is_err());
+    }
+
+    #[test]
+    fn rejects_garbage_between_groups() {
+        assert!(parse_pattern("bad", "( x type y ) garbage ( x a b )").is_err());
+    }
+
+    #[test]
+    fn rejects_text_label_in_subject_position() {
+        assert!(parse_pattern("bad", "( t:x type y )").is_err());
+    }
+
+    #[test]
+    fn empty_input_is_an_error() {
+        assert!(parse_pattern("bad", "   ").is_err());
+    }
+}

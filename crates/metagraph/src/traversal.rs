@@ -1,0 +1,295 @@
+//! Graph traversal primitives used by the SODA "tables" step.
+//!
+//! The paper's algorithm starts at every entry point discovered by the lookup
+//! step and "recursively follow[s] all the outgoing edges", testing the basic
+//! patterns at every node.  This module provides bounded breadth-first
+//! traversal, reachability, and shortest-path computation (the latter is used
+//! to keep only join conditions that lie on a direct path between entry
+//! points, Figure 9).
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use crate::graph::{MetaGraph, NodeId};
+
+/// Direction of traversal relative to edge direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Follow edges from subject to object (the paper's default).
+    Outgoing,
+    /// Follow edges from object to subject.
+    Incoming,
+    /// Treat edges as undirected.
+    Both,
+}
+
+/// Traversal helper bound to a graph.
+pub struct Traversal<'a> {
+    graph: &'a MetaGraph,
+    direction: Direction,
+    max_depth: usize,
+    /// Predicates that the traversal must not follow (e.g. `type` edges, which
+    /// would otherwise connect every table to every other table through the
+    /// shared `physical_table` node).
+    blocked_predicates: HashSet<String>,
+}
+
+impl<'a> Traversal<'a> {
+    /// Creates an outgoing traversal with a generous depth bound.
+    pub fn new(graph: &'a MetaGraph) -> Self {
+        Self {
+            graph,
+            direction: Direction::Outgoing,
+            max_depth: 16,
+            blocked_predicates: HashSet::new(),
+        }
+    }
+
+    /// Sets the traversal direction.
+    pub fn direction(mut self, direction: Direction) -> Self {
+        self.direction = direction;
+        self
+    }
+
+    /// Sets the maximum depth (number of edges) explored from each start node.
+    pub fn max_depth(mut self, depth: usize) -> Self {
+        self.max_depth = depth;
+        self
+    }
+
+    /// Blocks a predicate from being followed.
+    pub fn block_predicate(mut self, predicate: &str) -> Self {
+        self.blocked_predicates.insert(predicate.to_string());
+        self
+    }
+
+    fn neighbors(&self, node: NodeId) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        let blocked: HashSet<_> = self
+            .blocked_predicates
+            .iter()
+            .filter_map(|p| self.graph.find_predicate(p))
+            .collect();
+        if matches!(self.direction, Direction::Outgoing | Direction::Both) {
+            for (p, o) in self.graph.outgoing(node) {
+                if blocked.contains(p) {
+                    continue;
+                }
+                if let Some(n) = o.as_node() {
+                    out.push(n);
+                }
+            }
+        }
+        if matches!(self.direction, Direction::Incoming | Direction::Both) {
+            for (p, s) in self.graph.incoming(node) {
+                if blocked.contains(p) {
+                    continue;
+                }
+                out.push(*s);
+            }
+        }
+        out
+    }
+
+    /// Breadth-first visit from `starts`; calls `visit(node, depth)` for every
+    /// reachable node (including the start nodes at depth 0).  Returning
+    /// `false` from the visitor stops expansion *below* that node but the
+    /// traversal continues elsewhere.
+    pub fn visit<F: FnMut(NodeId, usize) -> bool>(&self, starts: &[NodeId], mut visit: F) {
+        let mut seen: HashSet<NodeId> = HashSet::new();
+        let mut queue: VecDeque<(NodeId, usize)> = VecDeque::new();
+        for &s in starts {
+            if seen.insert(s) {
+                queue.push_back((s, 0));
+            }
+        }
+        while let Some((node, depth)) = queue.pop_front() {
+            let expand = visit(node, depth);
+            if !expand || depth >= self.max_depth {
+                continue;
+            }
+            for n in self.neighbors(node) {
+                if seen.insert(n) {
+                    queue.push_back((n, depth + 1));
+                }
+            }
+        }
+    }
+
+    /// All nodes reachable from `starts` within the depth bound.
+    pub fn reachable(&self, starts: &[NodeId]) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        self.visit(starts, |n, _| {
+            out.push(n);
+            true
+        });
+        out
+    }
+
+    /// Shortest path (as a node sequence, inclusive of both endpoints) between
+    /// `from` and `to`, or `None` if `to` is unreachable within the depth
+    /// bound.
+    pub fn shortest_path(&self, from: NodeId, to: NodeId) -> Option<Vec<NodeId>> {
+        if from == to {
+            return Some(vec![from]);
+        }
+        let mut prev: HashMap<NodeId, NodeId> = HashMap::new();
+        let mut seen: HashSet<NodeId> = HashSet::new();
+        let mut queue: VecDeque<(NodeId, usize)> = VecDeque::new();
+        seen.insert(from);
+        queue.push_back((from, 0));
+        while let Some((node, depth)) = queue.pop_front() {
+            if depth >= self.max_depth {
+                continue;
+            }
+            for n in self.neighbors(node) {
+                if seen.insert(n) {
+                    prev.insert(n, node);
+                    if n == to {
+                        let mut path = vec![to];
+                        let mut cur = to;
+                        while let Some(&p) = prev.get(&cur) {
+                            path.push(p);
+                            cur = p;
+                        }
+                        path.reverse();
+                        return Some(path);
+                    }
+                    queue.push_back((n, depth + 1));
+                }
+            }
+        }
+        None
+    }
+
+    /// Pairwise shortest paths between every pair of `nodes` (skipping
+    /// unreachable pairs).  Used for the direct-path join pruning of Figure 9.
+    pub fn pairwise_paths(&self, nodes: &[NodeId]) -> Vec<(NodeId, NodeId, Vec<NodeId>)> {
+        let mut out = Vec::new();
+        for (i, &a) in nodes.iter().enumerate() {
+            for &b in nodes.iter().skip(i + 1) {
+                if let Some(p) = self.shortest_path(a, b) {
+                    out.push((a, b, p));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// a -> b -> c -> d, a -> e, plus d -> a making a cycle.
+    fn chain_graph() -> (MetaGraph, Vec<NodeId>) {
+        let mut g = MetaGraph::new();
+        let a = g.add_node("a");
+        let b = g.add_node("b");
+        let c = g.add_node("c");
+        let d = g.add_node("d");
+        let e = g.add_node("e");
+        g.add_edge(a, "next", b);
+        g.add_edge(b, "next", c);
+        g.add_edge(c, "next", d);
+        g.add_edge(a, "side", e);
+        g.add_edge(d, "back", a);
+        (g, vec![a, b, c, d, e])
+    }
+
+    #[test]
+    fn reachable_follows_outgoing_edges_and_handles_cycles() {
+        let (g, n) = chain_graph();
+        let t = Traversal::new(&g);
+        let mut r = t.reachable(&[n[0]]);
+        r.sort();
+        let mut expected = n.clone();
+        expected.sort();
+        assert_eq!(r, expected);
+    }
+
+    #[test]
+    fn depth_bound_limits_expansion() {
+        let (g, n) = chain_graph();
+        let t = Traversal::new(&g).max_depth(1);
+        let mut r = t.reachable(&[n[0]]);
+        r.sort();
+        let mut expected = vec![n[0], n[1], n[4]];
+        expected.sort();
+        assert_eq!(r, expected);
+    }
+
+    #[test]
+    fn incoming_direction() {
+        let (g, n) = chain_graph();
+        let t = Traversal::new(&g).direction(Direction::Incoming).max_depth(2);
+        let r = t.reachable(&[n[1]]);
+        // b's predecessors within two hops: a directly, d via the back edge to a.
+        assert!(r.contains(&n[0]));
+        assert!(r.contains(&n[3]));
+        // c is three incoming hops away (c -> d -> a -> b), beyond the bound.
+        assert!(!r.contains(&n[2]));
+    }
+
+    #[test]
+    fn blocked_predicates_are_not_followed() {
+        let (g, n) = chain_graph();
+        let t = Traversal::new(&g).block_predicate("side");
+        let r = t.reachable(&[n[0]]);
+        assert!(!r.contains(&n[4]));
+        assert!(r.contains(&n[3]));
+    }
+
+    #[test]
+    fn shortest_path_on_chain() {
+        let (g, n) = chain_graph();
+        let t = Traversal::new(&g);
+        let p = t.shortest_path(n[0], n[3]).unwrap();
+        assert_eq!(p, vec![n[0], n[1], n[2], n[3]]);
+        assert_eq!(t.shortest_path(n[0], n[0]).unwrap(), vec![n[0]]);
+    }
+
+    #[test]
+    fn shortest_path_prefers_fewer_hops_with_both_direction() {
+        let (g, n) = chain_graph();
+        // Undirected: a-d are adjacent through the "back" edge.
+        let t = Traversal::new(&g).direction(Direction::Both);
+        let p = t.shortest_path(n[0], n[3]).unwrap();
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn unreachable_returns_none() {
+        let mut g = MetaGraph::new();
+        let a = g.add_node("a");
+        let b = g.add_node("b");
+        let t = Traversal::new(&g);
+        assert!(t.shortest_path(a, b).is_none());
+    }
+
+    #[test]
+    fn pairwise_paths_skip_unreachable_pairs() {
+        let mut g = MetaGraph::new();
+        let a = g.add_node("a");
+        let b = g.add_node("b");
+        let c = g.add_node("c");
+        g.add_edge(a, "x", b);
+        let t = Traversal::new(&g);
+        let pairs = t.pairwise_paths(&[a, b, c]);
+        assert_eq!(pairs.len(), 1);
+        assert_eq!(pairs[0].0, a);
+        assert_eq!(pairs[0].1, b);
+    }
+
+    #[test]
+    fn visitor_can_prune_expansion() {
+        let (g, n) = chain_graph();
+        let t = Traversal::new(&g);
+        let mut visited = Vec::new();
+        t.visit(&[n[0]], |node, _| {
+            visited.push(node);
+            node != n[1] // do not expand below b
+        });
+        assert!(visited.contains(&n[1]));
+        assert!(!visited.contains(&n[2]));
+    }
+}

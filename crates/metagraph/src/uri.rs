@@ -1,0 +1,152 @@
+//! String interning for node URIs, predicates and text labels.
+//!
+//! The metadata graph of a real data warehouse contains tens of thousands of
+//! nodes and edges whose URIs repeat constantly (every physical column has a
+//! `type` edge to the `physical_column` node, for example).  Interning keeps
+//! comparisons cheap (a `u32` compare) and the graph compact.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identifier of an interned predicate URI.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PredId(pub(crate) u32);
+
+/// Identifier of an interned text label.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LabelId(pub(crate) u32);
+
+impl PredId {
+    /// Raw index of the interned predicate.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl LabelId {
+    /// Raw index of the interned label.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A simple append-only string interner.
+///
+/// Lookups are case-sensitive; callers that want case-insensitive semantics
+/// (such as the SODA classification index) normalise before interning.
+#[derive(Debug, Default, Clone)]
+pub struct SymbolTable {
+    map: HashMap<String, u32>,
+    strings: Vec<String>,
+}
+
+impl SymbolTable {
+    /// Creates an empty symbol table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `s`, returning its index.  Re-interning an existing string
+    /// returns the original index.
+    pub fn intern(&mut self, s: &str) -> u32 {
+        if let Some(&id) = self.map.get(s) {
+            return id;
+        }
+        let id = self.strings.len() as u32;
+        self.strings.push(s.to_string());
+        self.map.insert(s.to_string(), id);
+        id
+    }
+
+    /// Returns the index of `s` if it has been interned before.
+    pub fn get(&self, s: &str) -> Option<u32> {
+        self.map.get(s).copied()
+    }
+
+    /// Resolves an index back to its string.
+    ///
+    /// # Panics
+    /// Panics if `id` was not produced by this table.
+    pub fn resolve(&self, id: u32) -> &str {
+        &self.strings[id as usize]
+    }
+
+    /// Number of distinct interned strings.
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+
+    /// Iterates over `(index, string)` pairs in interning order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &str)> {
+        self.strings
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (i as u32, s.as_str()))
+    }
+}
+
+impl fmt::Display for PredId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pred#{}", self.0)
+    }
+}
+
+impl fmt::Display for LabelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "label#{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut t = SymbolTable::new();
+        let a = t.intern("tablename");
+        let b = t.intern("tablename");
+        assert_eq!(a, b);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn intern_distinct_strings() {
+        let mut t = SymbolTable::new();
+        let a = t.intern("type");
+        let b = t.intern("columnname");
+        assert_ne!(a, b);
+        assert_eq!(t.resolve(a), "type");
+        assert_eq!(t.resolve(b), "columnname");
+    }
+
+    #[test]
+    fn get_without_intern_returns_none() {
+        let t = SymbolTable::new();
+        assert_eq!(t.get("missing"), None);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn case_sensitivity_is_preserved() {
+        let mut t = SymbolTable::new();
+        let lower = t.intern("parties");
+        let upper = t.intern("Parties");
+        assert_ne!(lower, upper);
+    }
+
+    #[test]
+    fn iteration_order_matches_interning_order() {
+        let mut t = SymbolTable::new();
+        t.intern("a");
+        t.intern("b");
+        t.intern("c");
+        let all: Vec<_> = t.iter().map(|(_, s)| s.to_string()).collect();
+        assert_eq!(all, vec!["a", "b", "c"]);
+    }
+}

@@ -1,0 +1,99 @@
+//! Property-based tests of the metadata-graph substrate: graph invariants,
+//! pattern-parser round trips and traversal properties.
+
+use proptest::prelude::*;
+
+use soda_metagraph::{MetaGraph, Pattern, Traversal};
+
+/// Strategy for small random graphs described as edge lists over `n` nodes.
+fn graph_strategy() -> impl Strategy<Value = (usize, Vec<(usize, usize, u8)>)> {
+    (2usize..20).prop_flat_map(|n| {
+        (
+            Just(n),
+            proptest::collection::vec((0..n, 0..n, 0u8..4), 0..60),
+        )
+    })
+}
+
+fn build_graph(n: usize, edges: &[(usize, usize, u8)]) -> MetaGraph {
+    let mut g = MetaGraph::new();
+    let nodes: Vec<_> = (0..n).map(|i| g.add_node(&format!("node/{i}"))).collect();
+    for (a, b, p) in edges {
+        g.add_edge(nodes[*a], &format!("pred{p}"), nodes[*b]);
+    }
+    g
+}
+
+proptest! {
+    /// Adding the same URI twice never creates a second node, and every edge
+    /// added is accounted for in the edge count and the adjacency lists.
+    #[test]
+    fn node_identity_and_edge_accounting((n, edges) in graph_strategy()) {
+        let g = build_graph(n, &edges);
+        prop_assert_eq!(g.node_count(), n);
+        prop_assert_eq!(g.edge_count(), edges.len());
+        let out_sum: usize = g.nodes().map(|x| g.outgoing(x).len()).sum();
+        let in_sum: usize = g.nodes().map(|x| g.incoming(x).len()).sum();
+        prop_assert_eq!(out_sum, edges.len());
+        prop_assert_eq!(in_sum, edges.len());
+    }
+
+    /// Reachability is monotone in depth and never exceeds the node count; the
+    /// start node is always reachable.
+    #[test]
+    fn traversal_reachability_is_monotone((n, edges) in graph_strategy(), depth in 0usize..6) {
+        let g = build_graph(n, &edges);
+        let start = g.node("node/0").unwrap();
+        let shallow = Traversal::new(&g).max_depth(depth).reachable(&[start]);
+        let deep = Traversal::new(&g).max_depth(depth + 2).reachable(&[start]);
+        prop_assert!(shallow.len() <= deep.len());
+        prop_assert!(deep.len() <= n);
+        prop_assert!(shallow.contains(&start));
+    }
+
+    /// A shortest path, when it exists, starts at the source, ends at the
+    /// target and every consecutive pair is connected by an edge (in either
+    /// direction when traversing undirected).
+    #[test]
+    fn shortest_paths_are_valid((n, edges) in graph_strategy(), target in 0usize..20) {
+        let g = build_graph(n, &edges);
+        let from = g.node("node/0").unwrap();
+        let to_idx = target % n;
+        let to = g.node(&format!("node/{to_idx}")).unwrap();
+        let t = Traversal::new(&g).max_depth(n);
+        if let Some(path) = t.shortest_path(from, to) {
+            prop_assert_eq!(*path.first().unwrap(), from);
+            prop_assert_eq!(*path.last().unwrap(), to);
+            for pair in path.windows(2) {
+                let connected = g
+                    .outgoing(pair[0])
+                    .iter()
+                    .any(|(_, o)| o.as_node() == Some(pair[1]));
+                prop_assert!(connected, "consecutive path nodes must share an edge");
+            }
+        }
+    }
+
+    /// Pattern display → parse is a round trip for arbitrary simple patterns.
+    #[test]
+    fn pattern_display_parse_round_trip(
+        preds in proptest::collection::vec("[a-z_]{1,12}", 1..5),
+        use_text in proptest::collection::vec(any::<bool>(), 1..5),
+    ) {
+        let n = preds.len().min(use_text.len());
+        let mut text = String::new();
+        for i in 0..n {
+            if i > 0 {
+                text.push_str(" & ");
+            }
+            if use_text[i] {
+                text.push_str(&format!("( x {} t:y )", preds[i]));
+            } else {
+                text.push_str(&format!("( x {} some_static_uri )", preds[i]));
+            }
+        }
+        let parsed = Pattern::parse("p", &text).unwrap();
+        let reparsed = Pattern::parse("p", &parsed.to_string()).unwrap();
+        prop_assert_eq!(parsed.items, reparsed.items);
+    }
+}

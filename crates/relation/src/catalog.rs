@@ -1,0 +1,181 @@
+//! The database catalog: a named collection of in-memory tables plus the
+//! convenience entry point [`Database::run_sql`].
+
+use std::collections::BTreeMap;
+
+use crate::error::{RelationError, Result};
+use crate::exec::{execute, ResultSet};
+use crate::schema::TableSchema;
+use crate::sql::parser::parse_select;
+use crate::table::{Row, Table};
+
+/// An in-memory database: the catalog plus all table contents.
+#[derive(Debug, Default, Clone)]
+pub struct Database {
+    tables: BTreeMap<String, Table>,
+}
+
+impl Database {
+    /// Creates an empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a table from a schema.
+    pub fn create_table(&mut self, schema: TableSchema) -> Result<()> {
+        let key = schema.name.to_ascii_lowercase();
+        if self.tables.contains_key(&key) {
+            return Err(RelationError::DuplicateTable(schema.name));
+        }
+        self.tables.insert(key, Table::new(schema));
+        Ok(())
+    }
+
+    /// Returns a table by name (case-insensitive).
+    pub fn table(&self, name: &str) -> Result<&Table> {
+        self.tables
+            .get(&name.to_ascii_lowercase())
+            .ok_or_else(|| RelationError::UnknownTable(name.to_string()))
+    }
+
+    /// Returns a mutable table by name.
+    pub fn table_mut(&mut self, name: &str) -> Result<&mut Table> {
+        self.tables
+            .get_mut(&name.to_ascii_lowercase())
+            .ok_or_else(|| RelationError::UnknownTable(name.to_string()))
+    }
+
+    /// True if the table exists.
+    pub fn has_table(&self, name: &str) -> bool {
+        self.tables.contains_key(&name.to_ascii_lowercase())
+    }
+
+    /// Inserts a row into a table.
+    pub fn insert(&mut self, table: &str, row: Row) -> Result<()> {
+        self.table_mut(table)?.insert(row)
+    }
+
+    /// Inserts many rows into a table.
+    pub fn insert_all<I: IntoIterator<Item = Row>>(&mut self, table: &str, rows: I) -> Result<usize> {
+        self.table_mut(table)?.insert_all(rows)
+    }
+
+    /// Names of all tables in deterministic (sorted) order.
+    pub fn table_names(&self) -> Vec<&str> {
+        self.tables.values().map(|t| t.name()).collect()
+    }
+
+    /// All tables in deterministic order.
+    pub fn tables(&self) -> impl Iterator<Item = &Table> {
+        self.tables.values()
+    }
+
+    /// Number of tables.
+    pub fn table_count(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Total number of columns across all tables.
+    pub fn column_count(&self) -> usize {
+        self.tables.values().map(|t| t.schema().arity()).sum()
+    }
+
+    /// Total number of rows across all tables.
+    pub fn total_rows(&self) -> usize {
+        self.tables.values().map(|t| t.row_count()).sum()
+    }
+
+    /// Parses and executes a `SELECT` statement.
+    pub fn run_sql(&self, sql: &str) -> Result<ResultSet> {
+        let stmt = parse_select(sql)?;
+        execute(self, &stmt)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::{DataType, Value};
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.create_table(
+            TableSchema::builder("parties")
+                .column("id", DataType::Int)
+                .column("party_type", DataType::Text)
+                .primary_key("id")
+                .build(),
+        )
+        .unwrap();
+        db.create_table(
+            TableSchema::builder("individuals")
+                .column("id", DataType::Int)
+                .column("firstname", DataType::Text)
+                .column("lastname", DataType::Text)
+                .primary_key("id")
+                .foreign_key("id", "parties", "id")
+                .build(),
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn create_and_lookup_tables() {
+        let db = db();
+        assert_eq!(db.table_count(), 2);
+        assert!(db.has_table("PARTIES"));
+        assert!(!db.has_table("missing"));
+        assert_eq!(db.table("Individuals").unwrap().name(), "individuals");
+        assert!(matches!(
+            db.table("nope"),
+            Err(RelationError::UnknownTable(_))
+        ));
+    }
+
+    #[test]
+    fn duplicate_table_rejected() {
+        let mut db = db();
+        let err = db
+            .create_table(TableSchema::builder("parties").column("x", DataType::Int).build())
+            .unwrap_err();
+        assert!(matches!(err, RelationError::DuplicateTable(_)));
+    }
+
+    #[test]
+    fn insert_and_counts() {
+        let mut db = db();
+        db.insert("parties", vec![Value::Int(1), Value::from("IND")])
+            .unwrap();
+        db.insert("parties", vec![Value::Int(2), Value::from("ORG")])
+            .unwrap();
+        db.insert(
+            "individuals",
+            vec![Value::Int(1), Value::from("Sara"), Value::from("Guttinger")],
+        )
+        .unwrap();
+        assert_eq!(db.total_rows(), 3);
+        assert_eq!(db.column_count(), 5);
+        assert_eq!(db.table_names(), vec!["individuals", "parties"]);
+    }
+
+    #[test]
+    fn run_sql_end_to_end() {
+        let mut db = db();
+        db.insert("parties", vec![Value::Int(1), Value::from("IND")])
+            .unwrap();
+        db.insert(
+            "individuals",
+            vec![Value::Int(1), Value::from("Sara"), Value::from("Guttinger")],
+        )
+        .unwrap();
+        let rs = db
+            .run_sql(
+                "SELECT parties.id, individuals.lastname FROM parties, individuals \
+                 WHERE parties.id = individuals.id AND individuals.firstname = 'Sara'",
+            )
+            .unwrap();
+        assert_eq!(rs.row_count(), 1);
+        assert_eq!(rs.rows()[0][1], Value::from("Guttinger"));
+    }
+}

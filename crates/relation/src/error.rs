@@ -1,0 +1,60 @@
+//! Error type shared across the relational engine.
+
+use std::fmt;
+
+/// Convenience alias for results produced by this crate.
+pub type Result<T> = std::result::Result<T, RelationError>;
+
+/// Errors produced by the catalog, parser or executor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RelationError {
+    /// A table name was not found in the catalog.
+    UnknownTable(String),
+    /// A column name could not be resolved.
+    UnknownColumn(String),
+    /// A column reference was ambiguous between several tables.
+    AmbiguousColumn(String),
+    /// A table with the same name already exists.
+    DuplicateTable(String),
+    /// A row did not match its table schema.
+    SchemaViolation(String),
+    /// The SQL text could not be parsed.
+    Parse(String),
+    /// The statement is valid SQL but not executable by this engine.
+    Unsupported(String),
+    /// A type error during expression evaluation.
+    Type(String),
+    /// Anything else.
+    Other(String),
+}
+
+impl fmt::Display for RelationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RelationError::UnknownTable(t) => write!(f, "unknown table: {t}"),
+            RelationError::UnknownColumn(c) => write!(f, "unknown column: {c}"),
+            RelationError::AmbiguousColumn(c) => write!(f, "ambiguous column: {c}"),
+            RelationError::DuplicateTable(t) => write!(f, "table already exists: {t}"),
+            RelationError::SchemaViolation(m) => write!(f, "schema violation: {m}"),
+            RelationError::Parse(m) => write!(f, "SQL parse error: {m}"),
+            RelationError::Unsupported(m) => write!(f, "unsupported SQL: {m}"),
+            RelationError::Type(m) => write!(f, "type error: {m}"),
+            RelationError::Other(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for RelationError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = RelationError::UnknownTable("parties".into());
+        assert!(e.to_string().contains("parties"));
+        let e = RelationError::Parse("expected FROM".into());
+        assert!(e.to_string().contains("expected FROM"));
+    }
+}

@@ -1,0 +1,426 @@
+//! Scalar and aggregate expression evaluation.
+
+use crate::error::{RelationError, Result};
+use crate::expr::{AggFunc, CompareOp, Expr};
+use crate::value::Value;
+
+/// Schema of an intermediate (joined) row: a list of qualified column names.
+#[derive(Debug, Clone, Default)]
+pub struct RowSchema {
+    cols: Vec<(String, String)>,
+}
+
+impl RowSchema {
+    /// Creates an empty schema.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a column belonging to `qualifier`.
+    pub fn push(&mut self, qualifier: &str, column: &str) {
+        self.cols
+            .push((qualifier.to_ascii_lowercase(), column.to_ascii_lowercase()));
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// Whether the schema has no columns.
+    pub fn is_empty(&self) -> bool {
+        self.cols.is_empty()
+    }
+
+    /// All `(qualifier, column)` pairs.
+    pub fn columns(&self) -> &[(String, String)] {
+        &self.cols
+    }
+
+    /// Resolves a column reference to its index.
+    pub fn resolve(&self, table: Option<&str>, column: &str) -> Result<usize> {
+        let column = column.to_ascii_lowercase();
+        match table {
+            Some(t) => {
+                let t = t.to_ascii_lowercase();
+                self.cols
+                    .iter()
+                    .position(|(q, c)| *q == t && *c == column)
+                    .ok_or_else(|| RelationError::UnknownColumn(format!("{t}.{column}")))
+            }
+            None => {
+                let mut hits = self
+                    .cols
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, (_, c))| *c == column);
+                match (hits.next(), hits.next()) {
+                    (Some((i, _)), None) => Ok(i),
+                    (Some(_), Some(_)) => Err(RelationError::AmbiguousColumn(column)),
+                    (None, _) => Err(RelationError::UnknownColumn(column)),
+                }
+            }
+        }
+    }
+
+    /// True if the reference can be resolved.
+    pub fn can_resolve(&self, table: Option<&str>, column: &str) -> bool {
+        self.resolve(table, column).is_ok()
+    }
+
+    /// Indexes of all columns belonging to `qualifier`.
+    pub fn columns_of(&self, qualifier: &str) -> Vec<usize> {
+        let q = qualifier.to_ascii_lowercase();
+        self.cols
+            .iter()
+            .enumerate()
+            .filter_map(|(i, (qq, _))| if *qq == q { Some(i) } else { None })
+            .collect()
+    }
+}
+
+/// Case-insensitive SQL `LIKE` with `%` wildcards.
+pub fn like_match(text: &str, pattern: &str) -> bool {
+    let text = text.to_ascii_lowercase();
+    let pattern = pattern.to_ascii_lowercase();
+    let parts: Vec<&str> = pattern.split('%').collect();
+    if parts.len() == 1 {
+        return text == pattern;
+    }
+    let mut pos = 0usize;
+    for (i, part) in parts.iter().enumerate() {
+        if part.is_empty() {
+            continue;
+        }
+        if i == 0 {
+            if !text.starts_with(part) {
+                return false;
+            }
+            pos = part.len();
+        } else if i == parts.len() - 1 {
+            return text.len() >= pos && text[pos..].ends_with(part);
+        } else {
+            match text[pos..].find(part) {
+                Some(found) => pos += found + part.len(),
+                None => return false,
+            }
+        }
+    }
+    true
+}
+
+/// Evaluates a scalar expression against one row.  Aggregates are rejected —
+/// they are handled by [`eval_over_group`].
+pub fn eval_scalar(expr: &Expr, schema: &RowSchema, row: &[Value]) -> Result<Value> {
+    match expr {
+        Expr::Literal(v) => Ok(v.clone()),
+        Expr::Column { table, column } => {
+            let idx = schema.resolve(table.as_deref(), column)?;
+            Ok(row[idx].clone())
+        }
+        Expr::Compare { op, left, right } => {
+            let l = eval_scalar(left, schema, row)?;
+            let r = eval_scalar(right, schema, row)?;
+            match l.sql_cmp(&r) {
+                None => Ok(Value::Null),
+                Some(ord) => {
+                    let b = match op {
+                        CompareOp::Eq => ord.is_eq(),
+                        CompareOp::NotEq => !ord.is_eq(),
+                        CompareOp::Lt => ord.is_lt(),
+                        CompareOp::LtEq => ord.is_le(),
+                        CompareOp::Gt => ord.is_gt(),
+                        CompareOp::GtEq => ord.is_ge(),
+                    };
+                    Ok(Value::Bool(b))
+                }
+            }
+        }
+        Expr::Like { expr, pattern } => {
+            let v = eval_scalar(expr, schema, row)?;
+            match v {
+                Value::Null => Ok(Value::Null),
+                Value::Text(s) => Ok(Value::Bool(like_match(&s, pattern))),
+                other => Ok(Value::Bool(like_match(&other.to_string(), pattern))),
+            }
+        }
+        Expr::And(a, b) => {
+            let l = eval_scalar(a, schema, row)?;
+            let r = eval_scalar(b, schema, row)?;
+            Ok(match (truthy(&l), truthy(&r)) {
+                (Some(false), _) | (_, Some(false)) => Value::Bool(false),
+                (Some(true), Some(true)) => Value::Bool(true),
+                _ => Value::Null,
+            })
+        }
+        Expr::Or(a, b) => {
+            let l = eval_scalar(a, schema, row)?;
+            let r = eval_scalar(b, schema, row)?;
+            Ok(match (truthy(&l), truthy(&r)) {
+                (Some(true), _) | (_, Some(true)) => Value::Bool(true),
+                (Some(false), Some(false)) => Value::Bool(false),
+                _ => Value::Null,
+            })
+        }
+        Expr::Not(e) => {
+            let v = eval_scalar(e, schema, row)?;
+            Ok(match truthy(&v) {
+                Some(b) => Value::Bool(!b),
+                None => Value::Null,
+            })
+        }
+        Expr::IsNull(e) => {
+            let v = eval_scalar(e, schema, row)?;
+            Ok(Value::Bool(v.is_null()))
+        }
+        Expr::Aggregate { .. } => Err(RelationError::Unsupported(
+            "aggregate used outside GROUP BY context".into(),
+        )),
+        Expr::Star => Err(RelationError::Unsupported(
+            "* cannot be evaluated as a scalar".into(),
+        )),
+    }
+}
+
+/// Boolean interpretation of a value (`None` means SQL unknown).
+pub fn truthy(v: &Value) -> Option<bool> {
+    match v {
+        Value::Bool(b) => Some(*b),
+        Value::Null => None,
+        Value::Int(i) => Some(*i != 0),
+        _ => None,
+    }
+}
+
+/// Evaluates an expression that may contain aggregates over a group of rows.
+/// Non-aggregate sub-expressions are evaluated against the first row of the
+/// group (which is correct for group-by keys).
+pub fn eval_over_group(expr: &Expr, schema: &RowSchema, group: &[Vec<Value>]) -> Result<Value> {
+    match expr {
+        Expr::Aggregate { func, arg } => {
+            let mut values: Vec<Value> = Vec::with_capacity(group.len());
+            for row in group {
+                match arg {
+                    None => values.push(Value::Int(1)),
+                    Some(a) => values.push(eval_scalar(a, schema, row)?),
+                }
+            }
+            Ok(compute_aggregate(*func, &values))
+        }
+        Expr::Compare { op, left, right } => {
+            let l = eval_over_group(left, schema, group)?;
+            let r = eval_over_group(right, schema, group)?;
+            eval_scalar(
+                &Expr::Compare {
+                    op: *op,
+                    left: Box::new(Expr::Literal(l)),
+                    right: Box::new(Expr::Literal(r)),
+                },
+                schema,
+                &[],
+            )
+        }
+        _ if !expr.contains_aggregate() => match group.first() {
+            Some(row) => eval_scalar(expr, schema, row),
+            None => Ok(Value::Null),
+        },
+        other => Err(RelationError::Unsupported(format!(
+            "unsupported aggregate expression: {other}"
+        ))),
+    }
+}
+
+fn compute_aggregate(func: AggFunc, values: &[Value]) -> Value {
+    let non_null: Vec<&Value> = values.iter().filter(|v| !v.is_null()).collect();
+    match func {
+        AggFunc::Count => Value::Int(non_null.len() as i64),
+        AggFunc::Sum => {
+            if non_null.is_empty() {
+                return Value::Null;
+            }
+            if non_null.iter().all(|v| matches!(v, Value::Int(_))) {
+                Value::Int(non_null.iter().filter_map(|v| v.as_i64()).sum())
+            } else {
+                Value::Float(non_null.iter().filter_map(|v| v.as_f64()).sum())
+            }
+        }
+        AggFunc::Avg => {
+            if non_null.is_empty() {
+                return Value::Null;
+            }
+            let sum: f64 = non_null.iter().filter_map(|v| v.as_f64()).sum();
+            Value::Float(sum / non_null.len() as f64)
+        }
+        AggFunc::Min => non_null
+            .iter()
+            .min_by(|a, b| a.total_cmp(b))
+            .map(|v| (*v).clone())
+            .unwrap_or(Value::Null),
+        AggFunc::Max => non_null
+            .iter()
+            .max_by(|a, b| a.total_cmp(b))
+            .map(|v| (*v).clone())
+            .unwrap_or(Value::Null),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> RowSchema {
+        let mut s = RowSchema::new();
+        s.push("individuals", "id");
+        s.push("individuals", "firstname");
+        s.push("individuals", "salary");
+        s.push("parties", "id");
+        s
+    }
+
+    fn row() -> Vec<Value> {
+        vec![
+            Value::Int(1),
+            Value::from("Sara"),
+            Value::Float(120_000.0),
+            Value::Int(1),
+        ]
+    }
+
+    #[test]
+    fn resolve_qualified_and_unqualified() {
+        let s = schema();
+        assert_eq!(s.resolve(Some("parties"), "id").unwrap(), 3);
+        assert_eq!(s.resolve(None, "firstname").unwrap(), 1);
+        assert!(matches!(
+            s.resolve(None, "id"),
+            Err(RelationError::AmbiguousColumn(_))
+        ));
+        assert!(matches!(
+            s.resolve(None, "missing"),
+            Err(RelationError::UnknownColumn(_))
+        ));
+        assert_eq!(s.columns_of("individuals"), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn comparison_and_boolean_logic() {
+        let s = schema();
+        let r = row();
+        let e = Expr::And(
+            Box::new(Expr::compare(
+                CompareOp::GtEq,
+                Expr::column("salary"),
+                Expr::literal(100_000),
+            )),
+            Box::new(Expr::compare(
+                CompareOp::Eq,
+                Expr::column("firstname"),
+                Expr::literal("Sara"),
+            )),
+        );
+        assert_eq!(eval_scalar(&e, &s, &r).unwrap(), Value::Bool(true));
+
+        let e2 = Expr::Not(Box::new(e));
+        assert_eq!(eval_scalar(&e2, &s, &r).unwrap(), Value::Bool(false));
+    }
+
+    #[test]
+    fn null_propagation_in_logic() {
+        let s = schema();
+        let mut r = row();
+        r[2] = Value::Null;
+        let cmp = Expr::compare(CompareOp::Gt, Expr::column("salary"), Expr::literal(1));
+        assert_eq!(eval_scalar(&cmp, &s, &r).unwrap(), Value::Null);
+        // NULL AND false = false; NULL OR true = true.
+        let and = Expr::And(Box::new(cmp.clone()), Box::new(Expr::literal(false)));
+        assert_eq!(eval_scalar(&and, &s, &r).unwrap(), Value::Bool(false));
+        let or = Expr::Or(Box::new(cmp), Box::new(Expr::literal(true)));
+        assert_eq!(eval_scalar(&or, &s, &r).unwrap(), Value::Bool(true));
+        let isnull = Expr::IsNull(Box::new(Expr::column("salary")));
+        assert_eq!(eval_scalar(&isnull, &s, &r).unwrap(), Value::Bool(true));
+    }
+
+    #[test]
+    fn like_matching_rules() {
+        assert!(like_match("Credit Suisse", "%credit%"));
+        assert!(like_match("Credit Suisse", "Credit%"));
+        assert!(like_match("Credit Suisse", "%Suisse"));
+        assert!(like_match("Credit Suisse", "Credit Suisse"));
+        assert!(!like_match("Credit Suisse", "credit"));
+        assert!(!like_match("Credit Suisse", "%UBS%"));
+        assert!(like_match("abcabc", "%abc%abc"));
+        assert!(!like_match("abc", "%abc%abc"));
+    }
+
+    #[test]
+    fn aggregates_over_groups() {
+        let s = schema();
+        let group: Vec<Vec<Value>> = vec![
+            vec![Value::Int(1), Value::from("a"), Value::Float(10.0), Value::Int(1)],
+            vec![Value::Int(2), Value::from("b"), Value::Float(20.0), Value::Int(1)],
+            vec![Value::Int(3), Value::from("c"), Value::Null, Value::Int(1)],
+        ];
+        let count_star = Expr::Aggregate {
+            func: AggFunc::Count,
+            arg: None,
+        };
+        assert_eq!(eval_over_group(&count_star, &s, &group).unwrap(), Value::Int(3));
+        let count_salary = Expr::Aggregate {
+            func: AggFunc::Count,
+            arg: Some(Box::new(Expr::column("salary"))),
+        };
+        assert_eq!(eval_over_group(&count_salary, &s, &group).unwrap(), Value::Int(2));
+        let sum = Expr::Aggregate {
+            func: AggFunc::Sum,
+            arg: Some(Box::new(Expr::column("salary"))),
+        };
+        assert_eq!(eval_over_group(&sum, &s, &group).unwrap(), Value::Float(30.0));
+        let avg = Expr::Aggregate {
+            func: AggFunc::Avg,
+            arg: Some(Box::new(Expr::column("salary"))),
+        };
+        assert_eq!(eval_over_group(&avg, &s, &group).unwrap(), Value::Float(15.0));
+        let min = Expr::Aggregate {
+            func: AggFunc::Min,
+            arg: Some(Box::new(Expr::qualified("individuals", "id"))),
+        };
+        assert_eq!(eval_over_group(&min, &s, &group).unwrap(), Value::Int(1));
+        let max = Expr::Aggregate {
+            func: AggFunc::Max,
+            arg: Some(Box::new(Expr::qualified("individuals", "id"))),
+        };
+        assert_eq!(eval_over_group(&max, &s, &group).unwrap(), Value::Int(3));
+    }
+
+    #[test]
+    fn group_key_falls_back_to_first_row() {
+        let s = schema();
+        let group: Vec<Vec<Value>> = vec![row(), row()];
+        let key = Expr::column("firstname");
+        assert_eq!(eval_over_group(&key, &s, &group).unwrap(), Value::from("Sara"));
+    }
+
+    #[test]
+    fn sum_of_int_values_stays_integer() {
+        let s = schema();
+        let group: Vec<Vec<Value>> = vec![
+            vec![Value::Int(1), Value::from("a"), Value::Int(5), Value::Int(1)],
+            vec![Value::Int(2), Value::from("b"), Value::Int(7), Value::Int(1)],
+        ];
+        let sum = Expr::Aggregate {
+            func: AggFunc::Sum,
+            arg: Some(Box::new(Expr::column("salary"))),
+        };
+        assert_eq!(eval_over_group(&sum, &s, &group).unwrap(), Value::Int(12));
+    }
+
+    #[test]
+    fn aggregate_outside_group_context_is_rejected() {
+        let s = schema();
+        let agg = Expr::Aggregate {
+            func: AggFunc::Sum,
+            arg: Some(Box::new(Expr::column("salary"))),
+        };
+        assert!(eval_scalar(&agg, &s, &row()).is_err());
+    }
+}

@@ -1,0 +1,749 @@
+//! Query execution: predicate push-down, hash joins, grouping, ordering.
+//!
+//! The executor is deliberately simple — it exists so that the SQL produced by
+//! SODA (and the gold-standard SQL) can be *run* and compared tuple-by-tuple —
+//! but it avoids the obvious performance traps: single-table predicates are
+//! pushed below the joins, and equi-joins are executed as hash joins in the
+//! order in which join predicates connect the tables, so the 5-way joins of
+//! the workload never materialise a cross product.
+
+pub mod eval;
+
+use std::collections::HashMap;
+
+use crate::catalog::Database;
+use crate::error::{RelationError, Result};
+use crate::expr::{CompareOp, Expr};
+use crate::sql::ast::{SelectStatement, TableRef};
+use crate::value::Value;
+use eval::{eval_over_group, eval_scalar, truthy, RowSchema};
+
+/// The result of executing a `SELECT` statement.
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+pub struct ResultSet {
+    columns: Vec<String>,
+    rows: Vec<Vec<Value>>,
+}
+
+impl ResultSet {
+    /// Output column names.
+    pub fn columns(&self) -> &[String] {
+        &self.columns
+    }
+
+    /// Output rows.
+    pub fn rows(&self) -> &[Vec<Value>] {
+        &self.rows
+    }
+
+    /// Number of rows.
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if there are no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Rows rendered as tab-separated strings — the canonical form used for
+    /// precision/recall comparison against the gold standard (the paper
+    /// compares result *tuples*).
+    pub fn tuple_strings(&self) -> Vec<String> {
+        self.rows
+            .iter()
+            .map(|r| {
+                r.iter()
+                    .map(|v| v.to_string())
+                    .collect::<Vec<_>>()
+                    .join("\t")
+            })
+            .collect()
+    }
+
+    /// First `n` rows formatted for display (the paper's "result snippets" of
+    /// up to twenty tuples).
+    pub fn snippet(&self, n: usize) -> String {
+        let mut out = self.columns.join(" | ");
+        out.push('\n');
+        for row in self.rows.iter().take(n) {
+            out.push_str(
+                &row.iter()
+                    .map(|v| v.to_string())
+                    .collect::<Vec<_>>()
+                    .join(" | "),
+            );
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// A bound table in the FROM clause.
+struct Bound<'a> {
+    qualifier: String,
+    rows: Vec<Vec<Value>>,
+    #[allow(dead_code)]
+    table: &'a str,
+}
+
+/// Executes a statement against a database.
+pub fn execute(db: &Database, stmt: &SelectStatement) -> Result<ResultSet> {
+    if stmt.from.is_empty() {
+        return Err(RelationError::Unsupported("FROM clause is required".into()));
+    }
+
+    // Bind tables and build the full schema.
+    let mut bounds: Vec<Bound<'_>> = Vec::with_capacity(stmt.from.len());
+    let mut full_schema = RowSchema::new();
+    for tref in &stmt.from {
+        let table = db.table(&tref.name)?;
+        let qualifier = tref.effective_name().to_string();
+        for col in &table.schema().columns {
+            full_schema.push(&qualifier, &col.name);
+        }
+        bounds.push(Bound {
+            qualifier,
+            rows: table.rows().to_vec(),
+            table: &table.schema().name,
+        });
+    }
+
+    // Classify conjuncts of the WHERE clause.
+    let conjuncts: Vec<Expr> = stmt
+        .selection
+        .as_ref()
+        .map(|s| s.conjuncts().into_iter().cloned().collect())
+        .unwrap_or_default();
+
+    let mut pushdowns: Vec<Vec<Expr>> = vec![Vec::new(); bounds.len()];
+    let mut equi_joins: Vec<(usize, usize, Expr, Expr)> = Vec::new();
+    let mut residual: Vec<Expr> = Vec::new();
+
+    for conj in conjuncts {
+        match classify(&conj, &bounds, &full_schema)? {
+            Classified::SingleTable(i) => pushdowns[i].push(conj),
+            Classified::EquiJoin(a, b, left, right) => equi_joins.push((a, b, left, right)),
+            Classified::Residual => residual.push(conj),
+        }
+    }
+
+    // Scan each table applying its push-down predicates.
+    let mut filtered: Vec<Vec<Vec<Value>>> = Vec::with_capacity(bounds.len());
+    for (i, bound) in bounds.iter().enumerate() {
+        let schema = single_schema(&stmt.from[i], db)?;
+        let mut rows = Vec::new();
+        'rows: for row in &bound.rows {
+            for pred in &pushdowns[i] {
+                let v = eval_scalar(pred, &schema, row)?;
+                if truthy(&v) != Some(true) {
+                    continue 'rows;
+                }
+            }
+            rows.push(row.clone());
+        }
+        filtered.push(rows);
+    }
+
+    // Join tables. Start with table 0, repeatedly attach a table connected by
+    // an equi-join (hash join); fall back to a cross product when no join
+    // predicate connects the remaining tables.
+    let mut joined_schema = RowSchema::new();
+    let mut joined_tables: Vec<usize> = Vec::new();
+    let mut joined_rows: Vec<Vec<Value>> = Vec::new();
+
+    attach_first(
+        &mut joined_schema,
+        &mut joined_tables,
+        &mut joined_rows,
+        0,
+        &bounds,
+        &filtered,
+        db,
+        stmt,
+    )?;
+
+    while joined_tables.len() < bounds.len() {
+        // Find a not-yet-joined table connected by at least one equi-join.
+        let candidate = (0..bounds.len()).find(|i| {
+            !joined_tables.contains(i)
+                && equi_joins
+                    .iter()
+                    .any(|(a, b, ..)| (joined_tables.contains(a) && b == i) || (joined_tables.contains(b) && a == i))
+        });
+        let next = candidate.unwrap_or_else(|| {
+            (0..bounds.len())
+                .find(|i| !joined_tables.contains(i))
+                .expect("at least one table remains")
+        });
+
+        // Gather join conditions between the joined set and `next`.
+        let mut conditions: Vec<(Expr, Expr)> = Vec::new(); // (joined side, next side)
+        for (a, b, left, right) in &equi_joins {
+            if joined_tables.contains(a) && *b == next {
+                conditions.push((left.clone(), right.clone()));
+            } else if joined_tables.contains(b) && *a == next {
+                conditions.push((right.clone(), left.clone()));
+            }
+        }
+
+        let next_schema = single_schema(&stmt.from[next], db)?;
+        joined_rows = hash_join(
+            &joined_rows,
+            &joined_schema,
+            &filtered[next],
+            &next_schema,
+            &conditions,
+        )?;
+        for (q, c) in next_schema.columns() {
+            joined_schema.push(q, c);
+        }
+        joined_tables.push(next);
+    }
+
+    // Residual predicates.
+    if !residual.is_empty() {
+        let mut kept = Vec::with_capacity(joined_rows.len());
+        'outer: for row in joined_rows {
+            for pred in &residual {
+                let v = eval_scalar(pred, &joined_schema, &row)?;
+                if truthy(&v) != Some(true) {
+                    continue 'outer;
+                }
+            }
+            kept.push(row);
+        }
+        joined_rows = kept;
+    }
+
+    // Projection / aggregation.
+    let (columns, mut output): (Vec<String>, Vec<(Vec<Value>, Vec<Value>)>) = if stmt.is_aggregate()
+    {
+        aggregate_project(stmt, &joined_schema, &joined_rows)?
+    } else {
+        plain_project(stmt, &joined_schema, &joined_rows)?
+    };
+
+    // DISTINCT.
+    if stmt.distinct {
+        let mut seen = std::collections::HashSet::new();
+        output.retain(|(vals, _)| seen.insert(vals.iter().map(|v| v.to_string()).collect::<Vec<_>>()));
+    }
+
+    // ORDER BY (sort keys were computed during projection).
+    if !stmt.order_by.is_empty() {
+        output.sort_by(|(_, ka), (_, kb)| {
+            for (i, ob) in stmt.order_by.iter().enumerate() {
+                let ord = ka[i].total_cmp(&kb[i]);
+                let ord = if ob.descending { ord.reverse() } else { ord };
+                if !ord.is_eq() {
+                    return ord;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+    }
+
+    // LIMIT.
+    if let Some(limit) = stmt.limit {
+        output.truncate(limit);
+    }
+
+    Ok(ResultSet {
+        columns,
+        rows: output.into_iter().map(|(vals, _)| vals).collect(),
+    })
+}
+
+enum Classified {
+    SingleTable(usize),
+    EquiJoin(usize, usize, Expr, Expr),
+    Residual,
+}
+
+fn classify(conj: &Expr, bounds: &[Bound<'_>], full: &RowSchema) -> Result<Classified> {
+    // Which tables does the conjunct touch?
+    let cols = conj.columns();
+    let mut tables: Vec<usize> = Vec::new();
+    for (qual, name) in &cols {
+        let idx = full.resolve(qual.as_deref(), name)?;
+        let (q, _) = &full.columns()[idx];
+        let t = bounds
+            .iter()
+            .position(|b| b.qualifier.eq_ignore_ascii_case(q))
+            .ok_or_else(|| RelationError::UnknownColumn(format!("{q}.{name}")))?;
+        if !tables.contains(&t) {
+            tables.push(t);
+        }
+    }
+    if tables.len() <= 1 {
+        return Ok(match tables.first() {
+            Some(&t) => Classified::SingleTable(t),
+            None => Classified::Residual,
+        });
+    }
+    // Equi-join between exactly two tables: col = col.
+    if tables.len() == 2 {
+        if let Expr::Compare {
+            op: CompareOp::Eq,
+            left,
+            right,
+        } = conj
+        {
+            if matches!(**left, Expr::Column { .. }) && matches!(**right, Expr::Column { .. }) {
+                let lt = table_of(left, bounds, full)?;
+                let rt = table_of(right, bounds, full)?;
+                if lt != rt {
+                    return Ok(Classified::EquiJoin(lt, rt, (**left).clone(), (**right).clone()));
+                }
+            }
+        }
+    }
+    Ok(Classified::Residual)
+}
+
+fn table_of(e: &Expr, bounds: &[Bound<'_>], full: &RowSchema) -> Result<usize> {
+    if let Expr::Column { table, column } = e {
+        let idx = full.resolve(table.as_deref(), column)?;
+        let (q, _) = &full.columns()[idx];
+        return bounds
+            .iter()
+            .position(|b| b.qualifier.eq_ignore_ascii_case(q))
+            .ok_or_else(|| RelationError::UnknownColumn(column.clone()));
+    }
+    Err(RelationError::Other("not a column".into()))
+}
+
+fn single_schema(tref: &TableRef, db: &Database) -> Result<RowSchema> {
+    let table = db.table(&tref.name)?;
+    let mut s = RowSchema::new();
+    for col in &table.schema().columns {
+        s.push(tref.effective_name(), &col.name);
+    }
+    Ok(s)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn attach_first(
+    joined_schema: &mut RowSchema,
+    joined_tables: &mut Vec<usize>,
+    joined_rows: &mut Vec<Vec<Value>>,
+    first: usize,
+    _bounds: &[Bound<'_>],
+    filtered: &[Vec<Vec<Value>>],
+    db: &Database,
+    stmt: &SelectStatement,
+) -> Result<()> {
+    let schema = single_schema(&stmt.from[first], db)?;
+    for (q, c) in schema.columns() {
+        joined_schema.push(q, c);
+    }
+    joined_tables.push(first);
+    *joined_rows = filtered[first].clone();
+    Ok(())
+}
+
+/// Hash join between the current intermediate result and a new table.
+/// `conditions` pairs an expression over the intermediate with an expression
+/// over the new table; when empty the join degenerates to a cross product.
+fn hash_join(
+    left_rows: &[Vec<Value>],
+    left_schema: &RowSchema,
+    right_rows: &[Vec<Value>],
+    right_schema: &RowSchema,
+    conditions: &[(Expr, Expr)],
+) -> Result<Vec<Vec<Value>>> {
+    let mut out = Vec::new();
+    if conditions.is_empty() {
+        for l in left_rows {
+            for r in right_rows {
+                let mut row = l.clone();
+                row.extend(r.iter().cloned());
+                out.push(row);
+            }
+        }
+        return Ok(out);
+    }
+
+    // Build hash table on the right side.
+    let mut table: HashMap<Vec<String>, Vec<usize>> = HashMap::new();
+    for (i, r) in right_rows.iter().enumerate() {
+        let mut key = Vec::with_capacity(conditions.len());
+        let mut null_key = false;
+        for (_, right_expr) in conditions {
+            let v = eval_scalar(right_expr, right_schema, r)?;
+            if v.is_null() {
+                null_key = true;
+                break;
+            }
+            key.push(canonical_key(&v));
+        }
+        if !null_key {
+            table.entry(key).or_default().push(i);
+        }
+    }
+
+    for l in left_rows {
+        let mut key = Vec::with_capacity(conditions.len());
+        let mut null_key = false;
+        for (left_expr, _) in conditions {
+            let v = eval_scalar(left_expr, left_schema, l)?;
+            if v.is_null() {
+                null_key = true;
+                break;
+            }
+            key.push(canonical_key(&v));
+        }
+        if null_key {
+            continue;
+        }
+        if let Some(matches) = table.get(&key) {
+            for &i in matches {
+                let mut row = l.clone();
+                row.extend(right_rows[i].iter().cloned());
+                out.push(row);
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Join-key canonicalisation so that `Int(5)` and `Float(5.0)` hash equally.
+fn canonical_key(v: &Value) -> String {
+    match v {
+        Value::Int(i) => format!("n:{}", *i as f64),
+        Value::Float(f) => format!("n:{f}"),
+        other => other.to_string(),
+    }
+}
+
+type Projected = (Vec<String>, Vec<(Vec<Value>, Vec<Value>)>);
+
+fn plain_project(
+    stmt: &SelectStatement,
+    schema: &RowSchema,
+    rows: &[Vec<Value>],
+) -> Result<Projected> {
+    let mut columns: Vec<String> = Vec::new();
+    for item in &stmt.projection {
+        match &item.expr {
+            Expr::Star => {
+                for (q, c) in schema.columns() {
+                    columns.push(format!("{q}.{c}"));
+                }
+            }
+            _ => columns.push(item.output_name()),
+        }
+    }
+    let mut out = Vec::with_capacity(rows.len());
+    for row in rows {
+        let mut vals: Vec<Value> = Vec::with_capacity(columns.len());
+        for item in &stmt.projection {
+            match &item.expr {
+                Expr::Star => vals.extend(row.iter().cloned()),
+                e => vals.push(eval_scalar(e, schema, row)?),
+            }
+        }
+        let mut keys = Vec::with_capacity(stmt.order_by.len());
+        for ob in &stmt.order_by {
+            keys.push(eval_scalar(&ob.expr, schema, row)?);
+        }
+        out.push((vals, keys));
+    }
+    Ok((columns, out))
+}
+
+fn aggregate_project(
+    stmt: &SelectStatement,
+    schema: &RowSchema,
+    rows: &[Vec<Value>],
+) -> Result<Projected> {
+    // Group rows by the group-by key values.
+    let mut groups: Vec<(Vec<String>, Vec<Vec<Value>>)> = Vec::new();
+    let mut index: HashMap<Vec<String>, usize> = HashMap::new();
+    if stmt.group_by.is_empty() {
+        groups.push((Vec::new(), rows.to_vec()));
+    } else {
+        for row in rows {
+            let mut key = Vec::with_capacity(stmt.group_by.len());
+            for g in &stmt.group_by {
+                key.push(eval_scalar(g, schema, row)?.to_string());
+            }
+            let idx = *index.entry(key.clone()).or_insert_with(|| {
+                groups.push((key.clone(), Vec::new()));
+                groups.len() - 1
+            });
+            groups[idx].1.push(row.clone());
+        }
+    }
+
+    let columns: Vec<String> = stmt.projection.iter().map(|i| i.output_name()).collect();
+    let mut out = Vec::with_capacity(groups.len());
+    for (_, group) in &groups {
+        let mut vals = Vec::with_capacity(columns.len());
+        for item in &stmt.projection {
+            if matches!(item.expr, Expr::Star) {
+                return Err(RelationError::Unsupported(
+                    "SELECT * cannot be combined with GROUP BY".into(),
+                ));
+            }
+            vals.push(eval_over_group(&item.expr, schema, group)?);
+        }
+        let mut keys = Vec::with_capacity(stmt.order_by.len());
+        for ob in &stmt.order_by {
+            keys.push(eval_over_group(&ob.expr, schema, group)?);
+        }
+        out.push((vals, keys));
+    }
+    Ok((columns, out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::TableSchema;
+    use crate::value::{DataType, Date};
+
+    /// The mini-bank slice used by the paper's worked examples.
+    fn minidb() -> Database {
+        let mut db = Database::new();
+        db.create_table(
+            TableSchema::builder("parties")
+                .column("id", DataType::Int)
+                .column("party_type", DataType::Text)
+                .primary_key("id")
+                .build(),
+        )
+        .unwrap();
+        db.create_table(
+            TableSchema::builder("individuals")
+                .column("id", DataType::Int)
+                .column("firstname", DataType::Text)
+                .column("lastname", DataType::Text)
+                .column("salary", DataType::Float)
+                .column("birthday", DataType::Date)
+                .primary_key("id")
+                .foreign_key("id", "parties", "id")
+                .build(),
+        )
+        .unwrap();
+        db.create_table(
+            TableSchema::builder("fi_transactions")
+                .column("id", DataType::Int)
+                .column("party_id", DataType::Int)
+                .column("amount", DataType::Float)
+                .column("transactiondate", DataType::Date)
+                .primary_key("id")
+                .foreign_key("party_id", "parties", "id")
+                .build(),
+        )
+        .unwrap();
+
+        for (id, ty) in [(1, "IND"), (2, "IND"), (3, "ORG")] {
+            db.insert("parties", vec![Value::Int(id), Value::from(ty)]).unwrap();
+        }
+        db.insert(
+            "individuals",
+            vec![
+                Value::Int(1),
+                Value::from("Sara"),
+                Value::from("Guttinger"),
+                Value::Float(120_000.0),
+                Value::Date(Date::new(1981, 4, 23)),
+            ],
+        )
+        .unwrap();
+        db.insert(
+            "individuals",
+            vec![
+                Value::Int(2),
+                Value::from("Peter"),
+                Value::from("Meier"),
+                Value::Float(80_000.0),
+                Value::Date(Date::new(1975, 1, 2)),
+            ],
+        )
+        .unwrap();
+        for (id, pid, amount, d) in [
+            (10, 1, 500.0, Date::new(2010, 3, 1)),
+            (11, 1, 1500.0, Date::new(2010, 3, 1)),
+            (12, 2, 700.0, Date::new(2010, 4, 2)),
+            (13, 3, 9000.0, Date::new(2011, 9, 5)),
+        ] {
+            db.insert(
+                "fi_transactions",
+                vec![
+                    Value::Int(id),
+                    Value::Int(pid),
+                    Value::Float(amount),
+                    Value::Date(d),
+                ],
+            )
+            .unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn query1_sara_guttinger_join() {
+        let db = minidb();
+        let rs = db
+            .run_sql(
+                "SELECT * FROM parties, individuals WHERE parties.id = individuals.id \
+                 AND individuals.firstname = 'Sara' AND individuals.lastname = 'Guttinger'",
+            )
+            .unwrap();
+        assert_eq!(rs.row_count(), 1);
+        assert_eq!(rs.columns().len(), 7);
+    }
+
+    #[test]
+    fn query2_salary_and_birthday_filters() {
+        let db = minidb();
+        let rs = db
+            .run_sql(
+                "SELECT * FROM individuals WHERE individuals.salary >= 100000 \
+                 AND individuals.birthday = '1981-04-23'",
+            )
+            .unwrap();
+        assert_eq!(rs.row_count(), 1);
+        assert_eq!(rs.rows()[0][1], Value::from("Sara"));
+    }
+
+    #[test]
+    fn query3_group_by_transaction_date() {
+        let db = minidb();
+        let rs = db
+            .run_sql("SELECT sum(amount), transactiondate FROM fi_transactions GROUP BY transactiondate")
+            .unwrap();
+        assert_eq!(rs.row_count(), 3);
+        let total: f64 = rs
+            .rows()
+            .iter()
+            .map(|r| r[0].as_f64().unwrap())
+            .sum();
+        assert!((total - 11_700.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn aggregation_with_order_by_count_desc() {
+        let db = minidb();
+        let rs = db
+            .run_sql(
+                "SELECT count(fi_transactions.id), parties.party_type \
+                 FROM fi_transactions, parties \
+                 WHERE fi_transactions.party_id = parties.id \
+                 GROUP BY parties.party_type \
+                 ORDER BY count(fi_transactions.id) DESC",
+            )
+            .unwrap();
+        assert_eq!(rs.row_count(), 2);
+        assert_eq!(rs.rows()[0][0], Value::Int(3)); // IND has 3 transactions
+        assert_eq!(rs.rows()[1][0], Value::Int(1)); // ORG has 1
+    }
+
+    #[test]
+    fn date_range_predicate() {
+        let db = minidb();
+        let rs = db
+            .run_sql("SELECT id FROM fi_transactions WHERE transactiondate > '2011-09-01'")
+            .unwrap();
+        assert_eq!(rs.row_count(), 1);
+        assert_eq!(rs.rows()[0][0], Value::Int(13));
+    }
+
+    #[test]
+    fn three_way_join_without_cross_product_explosion() {
+        let db = minidb();
+        let rs = db
+            .run_sql(
+                "SELECT individuals.lastname, fi_transactions.amount \
+                 FROM parties, individuals, fi_transactions \
+                 WHERE parties.id = individuals.id AND fi_transactions.party_id = parties.id",
+            )
+            .unwrap();
+        assert_eq!(rs.row_count(), 3);
+    }
+
+    #[test]
+    fn cross_product_fallback_when_no_join_predicate() {
+        let db = minidb();
+        let rs = db
+            .run_sql("SELECT parties.id, individuals.id FROM parties, individuals")
+            .unwrap();
+        assert_eq!(rs.row_count(), 6);
+    }
+
+    #[test]
+    fn distinct_and_limit() {
+        let db = minidb();
+        let rs = db
+            .run_sql("SELECT DISTINCT party_id FROM fi_transactions ORDER BY party_id LIMIT 2")
+            .unwrap();
+        assert_eq!(rs.row_count(), 2);
+        assert_eq!(rs.rows()[0][0], Value::Int(1));
+        assert_eq!(rs.rows()[1][0], Value::Int(2));
+    }
+
+    #[test]
+    fn like_predicate() {
+        let db = minidb();
+        let rs = db
+            .run_sql("SELECT firstname FROM individuals WHERE lastname LIKE '%gutt%'")
+            .unwrap();
+        assert_eq!(rs.row_count(), 1);
+        assert_eq!(rs.rows()[0][0], Value::from("Sara"));
+    }
+
+    #[test]
+    fn order_by_column_ascending_and_descending() {
+        let db = minidb();
+        let asc = db
+            .run_sql("SELECT amount FROM fi_transactions ORDER BY amount")
+            .unwrap();
+        let desc = db
+            .run_sql("SELECT amount FROM fi_transactions ORDER BY amount DESC")
+            .unwrap();
+        assert_eq!(asc.rows()[0][0], Value::Float(500.0));
+        assert_eq!(desc.rows()[0][0], Value::Float(9000.0));
+    }
+
+    #[test]
+    fn aliases_resolve_in_predicates() {
+        let db = minidb();
+        let rs = db
+            .run_sql(
+                "SELECT i.lastname FROM individuals i, parties p WHERE i.id = p.id AND p.party_type = 'IND'",
+            )
+            .unwrap();
+        assert_eq!(rs.row_count(), 2);
+    }
+
+    #[test]
+    fn unknown_table_and_column_errors() {
+        let db = minidb();
+        assert!(matches!(
+            db.run_sql("SELECT * FROM missing"),
+            Err(RelationError::UnknownTable(_))
+        ));
+        assert!(db.run_sql("SELECT nosuchcol FROM parties").is_err());
+    }
+
+    #[test]
+    fn count_star_without_group_by() {
+        let db = minidb();
+        let rs = db.run_sql("SELECT count(*) FROM fi_transactions").unwrap();
+        assert_eq!(rs.row_count(), 1);
+        assert_eq!(rs.rows()[0][0], Value::Int(4));
+    }
+
+    #[test]
+    fn tuple_strings_and_snippet() {
+        let db = minidb();
+        let rs = db.run_sql("SELECT id FROM parties ORDER BY id").unwrap();
+        assert_eq!(rs.tuple_strings(), vec!["1", "2", "3"]);
+        let snip = rs.snippet(2);
+        assert!(snip.starts_with("id"));
+        assert_eq!(snip.lines().count(), 3);
+    }
+}

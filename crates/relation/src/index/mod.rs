@@ -1,0 +1,4 @@
+//! Base-data indexing: tokenizer and inverted index over text columns.
+
+pub mod inverted;
+pub mod tokenizer;

@@ -1,0 +1,63 @@
+//! Tokenisation used both by the inverted index over the base data and by the
+//! SODA classification index over metadata labels.
+//!
+//! Tokens are lower-cased and split on any non-alphanumeric character, which
+//! mirrors the behaviour the paper needs: "Credit Suisse" indexes as
+//! `credit` and `suisse`, `birth_dt` as `birth` and `dt`.
+
+/// Splits `text` into lower-case alphanumeric tokens.
+pub fn tokenize(text: &str) -> Vec<String> {
+    let mut tokens = Vec::new();
+    let mut current = String::new();
+    for c in text.chars() {
+        if c.is_alphanumeric() {
+            current.extend(c.to_lowercase());
+        } else if !current.is_empty() {
+            tokens.push(std::mem::take(&mut current));
+        }
+    }
+    if !current.is_empty() {
+        tokens.push(current);
+    }
+    tokens
+}
+
+/// Normalises a multi-word phrase into a single lookup key (lower-case tokens
+/// joined by single spaces).
+pub fn normalize_phrase(text: &str) -> String {
+    tokenize(text).join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_on_whitespace_and_punctuation() {
+        assert_eq!(tokenize("Credit Suisse"), vec!["credit", "suisse"]);
+        assert_eq!(tokenize("birth_dt"), vec!["birth", "dt"]);
+        assert_eq!(tokenize("fi-contains.sec"), vec!["fi", "contains", "sec"]);
+    }
+
+    #[test]
+    fn lowercases_and_keeps_digits() {
+        assert_eq!(tokenize("Basel II 2010"), vec!["basel", "ii", "2010"]);
+    }
+
+    #[test]
+    fn empty_and_symbol_only_strings() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("--- ***").is_empty());
+    }
+
+    #[test]
+    fn normalize_phrase_canonicalises_spacing_and_case() {
+        assert_eq!(normalize_phrase("  Private   CUSTOMERS "), "private customers");
+        assert_eq!(normalize_phrase("financial_instruments"), "financial instruments");
+    }
+
+    #[test]
+    fn unicode_characters_are_preserved() {
+        assert_eq!(tokenize("Zürich"), vec!["zürich"]);
+    }
+}

@@ -1,0 +1,6 @@
+//! SQL subset: abstract syntax tree, lexer, parser and printer.
+
+pub mod ast;
+pub mod lexer;
+pub mod parser;
+pub mod printer;

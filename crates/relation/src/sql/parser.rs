@@ -1,0 +1,515 @@
+//! Recursive-descent parser for the SQL subset.
+
+use crate::error::{RelationError, Result};
+use crate::expr::{AggFunc, CompareOp, Expr};
+use crate::sql::ast::{OrderByItem, SelectItem, SelectStatement, TableRef};
+use crate::sql::lexer::{lex, Token};
+use crate::value::{Date, Value};
+
+/// Reserved words that cannot be used as bare table aliases.
+const RESERVED: &[&str] = &[
+    "select", "from", "where", "group", "order", "by", "limit", "and", "or", "not", "like", "is",
+    "null", "as", "asc", "desc", "distinct", "between", "in", "inner", "join", "on",
+];
+
+/// Parses a single `SELECT` statement.
+pub fn parse_select(sql: &str) -> Result<SelectStatement> {
+    let tokens = lex(sql)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let stmt = p.select()?;
+    if !p.at_end() {
+        return Err(RelationError::Parse(format!(
+            "unexpected trailing token: {:?}",
+            p.peek()
+        )));
+    }
+    Ok(stmt)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if matches!(self.peek(), Some(t) if t.is_keyword(kw)) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<()> {
+        if self.eat_keyword(kw) {
+            Ok(())
+        } else {
+            Err(RelationError::Parse(format!(
+                "expected {kw}, found {:?}",
+                self.peek()
+            )))
+        }
+    }
+
+    fn eat(&mut self, tok: &Token) -> bool {
+        if self.peek() == Some(tok) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, tok: &Token) -> Result<()> {
+        if self.eat(tok) {
+            Ok(())
+        } else {
+            Err(RelationError::Parse(format!(
+                "expected {tok:?}, found {:?}",
+                self.peek()
+            )))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        match self.next() {
+            Some(Token::Ident(s)) => Ok(s),
+            other => Err(RelationError::Parse(format!(
+                "expected identifier, found {other:?}"
+            ))),
+        }
+    }
+
+    fn select(&mut self) -> Result<SelectStatement> {
+        self.expect_keyword("select")?;
+        let distinct = self.eat_keyword("distinct");
+        let mut projection = vec![self.select_item()?];
+        while self.eat(&Token::Comma) {
+            projection.push(self.select_item()?);
+        }
+        self.expect_keyword("from")?;
+        let mut from = vec![self.table_ref()?];
+        while self.eat(&Token::Comma) {
+            from.push(self.table_ref()?);
+        }
+        let selection = if self.eat_keyword("where") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        let mut group_by = Vec::new();
+        if self.eat_keyword("group") {
+            self.expect_keyword("by")?;
+            group_by.push(self.operand()?);
+            while self.eat(&Token::Comma) {
+                group_by.push(self.operand()?);
+            }
+        }
+        let mut order_by = Vec::new();
+        if self.eat_keyword("order") {
+            self.expect_keyword("by")?;
+            loop {
+                let expr = self.operand()?;
+                let descending = if self.eat_keyword("desc") {
+                    true
+                } else {
+                    self.eat_keyword("asc");
+                    false
+                };
+                order_by.push(OrderByItem { expr, descending });
+                if !self.eat(&Token::Comma) {
+                    break;
+                }
+            }
+        }
+        let limit = if self.eat_keyword("limit") {
+            match self.next() {
+                Some(Token::Number(n)) => Some(n.parse::<usize>().map_err(|_| {
+                    RelationError::Parse(format!("invalid LIMIT value: {n}"))
+                })?),
+                other => {
+                    return Err(RelationError::Parse(format!(
+                        "expected number after LIMIT, found {other:?}"
+                    )))
+                }
+            }
+        } else {
+            None
+        };
+        Ok(SelectStatement {
+            distinct,
+            projection,
+            from,
+            selection,
+            group_by,
+            order_by,
+            limit,
+        })
+    }
+
+    fn select_item(&mut self) -> Result<SelectItem> {
+        if self.eat(&Token::Star) {
+            return Ok(SelectItem::expr(Expr::Star));
+        }
+        let expr = self.operand()?;
+        let alias = if self.eat_keyword("as") {
+            Some(self.ident()?)
+        } else {
+            match self.peek() {
+                Some(Token::Ident(s)) if !RESERVED.contains(&s.to_ascii_lowercase().as_str()) => {
+                    let a = s.clone();
+                    self.pos += 1;
+                    Some(a)
+                }
+                _ => None,
+            }
+        };
+        Ok(SelectItem { expr, alias })
+    }
+
+    fn table_ref(&mut self) -> Result<TableRef> {
+        let name = self.ident()?;
+        let alias = if self.eat_keyword("as") {
+            Some(self.ident()?)
+        } else {
+            match self.peek() {
+                Some(Token::Ident(s)) if !RESERVED.contains(&s.to_ascii_lowercase().as_str()) => {
+                    let a = s.clone();
+                    self.pos += 1;
+                    Some(a)
+                }
+                _ => None,
+            }
+        };
+        Ok(TableRef { name, alias })
+    }
+
+    fn expr(&mut self) -> Result<Expr> {
+        let mut left = self.and_expr()?;
+        while self.eat_keyword("or") {
+            let right = self.and_expr()?;
+            left = Expr::Or(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr> {
+        let mut left = self.not_expr()?;
+        while self.eat_keyword("and") {
+            let right = self.not_expr()?;
+            left = Expr::And(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn not_expr(&mut self) -> Result<Expr> {
+        if self.eat_keyword("not") {
+            return Ok(Expr::Not(Box::new(self.not_expr()?)));
+        }
+        self.predicate()
+    }
+
+    fn predicate(&mut self) -> Result<Expr> {
+        // Parenthesised boolean expression.
+        if self.peek() == Some(&Token::LParen) {
+            // Look ahead: a parenthesis could also wrap an operand in a
+            // comparison; we only treat it as a boolean group if it parses as
+            // one cleanly.
+            let checkpoint = self.pos;
+            self.pos += 1;
+            if let Ok(inner) = self.expr() {
+                if self.eat(&Token::RParen) {
+                    // If the next token is a comparison operator, the group was
+                    // actually an operand; fall through by rewinding.
+                    let next_is_cmp = matches!(self.peek(), Some(Token::Op(_)))
+                        || matches!(self.peek(), Some(t) if t.is_keyword("like"));
+                    if !next_is_cmp {
+                        return Ok(inner);
+                    }
+                }
+            }
+            self.pos = checkpoint;
+        }
+
+        let left = self.operand()?;
+        match self.peek().cloned() {
+            Some(Token::Op(op)) => {
+                self.pos += 1;
+                let op = CompareOp::parse(&op)
+                    .ok_or_else(|| RelationError::Parse(format!("unknown operator {op}")))?;
+                let right = self.operand()?;
+                Ok(Expr::Compare {
+                    op,
+                    left: Box::new(left),
+                    right: Box::new(right),
+                })
+            }
+            Some(t) if t.is_keyword("like") => {
+                self.pos += 1;
+                match self.next() {
+                    Some(Token::StringLit(p)) => Ok(Expr::Like {
+                        expr: Box::new(left),
+                        pattern: p,
+                    }),
+                    other => Err(RelationError::Parse(format!(
+                        "expected string pattern after LIKE, found {other:?}"
+                    ))),
+                }
+            }
+            Some(t) if t.is_keyword("is") => {
+                self.pos += 1;
+                let negated = self.eat_keyword("not");
+                self.expect_keyword("null")?;
+                let e = Expr::IsNull(Box::new(left));
+                Ok(if negated { Expr::Not(Box::new(e)) } else { e })
+            }
+            Some(t) if t.is_keyword("between") => {
+                self.pos += 1;
+                let low = self.operand()?;
+                self.expect_keyword("and")?;
+                let high = self.operand()?;
+                Ok(Expr::And(
+                    Box::new(Expr::Compare {
+                        op: CompareOp::GtEq,
+                        left: Box::new(left.clone()),
+                        right: Box::new(low),
+                    }),
+                    Box::new(Expr::Compare {
+                        op: CompareOp::LtEq,
+                        left: Box::new(left),
+                        right: Box::new(high),
+                    }),
+                ))
+            }
+            _ => Ok(left),
+        }
+    }
+
+    fn operand(&mut self) -> Result<Expr> {
+        match self.next() {
+            Some(Token::Number(n)) => {
+                if n.contains('.') {
+                    let f: f64 = n
+                        .parse()
+                        .map_err(|_| RelationError::Parse(format!("bad number {n}")))?;
+                    Ok(Expr::Literal(Value::Float(f)))
+                } else {
+                    let i: i64 = n
+                        .parse()
+                        .map_err(|_| RelationError::Parse(format!("bad number {n}")))?;
+                    Ok(Expr::Literal(Value::Int(i)))
+                }
+            }
+            Some(Token::StringLit(s)) => {
+                // Date-shaped strings become dates so that comparisons against
+                // DATE columns behave naturally.
+                if let Some(d) = Date::parse(&s) {
+                    Ok(Expr::Literal(Value::Date(d)))
+                } else {
+                    Ok(Expr::Literal(Value::Text(s)))
+                }
+            }
+            Some(Token::Star) => Ok(Expr::Star),
+            Some(Token::LParen) => {
+                let inner = self.operand()?;
+                self.expect(&Token::RParen)?;
+                Ok(inner)
+            }
+            Some(Token::Ident(name)) => {
+                // DATE '2011-09-01'
+                if name.eq_ignore_ascii_case("date") {
+                    if let Some(Token::StringLit(s)) = self.peek().cloned() {
+                        self.pos += 1;
+                        let d = Date::parse(&s).ok_or_else(|| {
+                            RelationError::Parse(format!("invalid date literal '{s}'"))
+                        })?;
+                        return Ok(Expr::Literal(Value::Date(d)));
+                    }
+                }
+                // Aggregate function call.
+                if self.peek() == Some(&Token::LParen) {
+                    if let Some(func) = AggFunc::parse(&name) {
+                        self.pos += 1;
+                        let arg = if self.eat(&Token::Star) {
+                            None
+                        } else if self.peek() == Some(&Token::RParen) {
+                            None
+                        } else {
+                            Some(Box::new(self.operand()?))
+                        };
+                        self.expect(&Token::RParen)?;
+                        return Ok(Expr::Aggregate { func, arg });
+                    }
+                    return Err(RelationError::Parse(format!("unknown function {name}")));
+                }
+                // Qualified column (or table.*).
+                if self.eat(&Token::Dot) {
+                    if self.eat(&Token::Star) {
+                        // table.* is only meaningful in projections; represent
+                        // it as a Star with a qualifier lost — the executor
+                        // treats it as all columns of that table via Column
+                        // with a special name. Keep it simple: full star.
+                        return Ok(Expr::Star);
+                    }
+                    let col = self.ident()?;
+                    return Ok(Expr::Column {
+                        table: Some(name),
+                        column: col,
+                    });
+                }
+                if name.eq_ignore_ascii_case("null") {
+                    return Ok(Expr::Literal(Value::Null));
+                }
+                if name.eq_ignore_ascii_case("true") {
+                    return Ok(Expr::Literal(Value::Bool(true)));
+                }
+                if name.eq_ignore_ascii_case("false") {
+                    return Ok(Expr::Literal(Value::Bool(false)));
+                }
+                Ok(Expr::Column {
+                    table: None,
+                    column: name,
+                })
+            }
+            other => Err(RelationError::Parse(format!(
+                "expected operand, found {other:?}"
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_query1_from_the_paper() {
+        let sql = "SELECT * FROM parties, individuals \
+                   WHERE parties.id = individuals.id \
+                   AND individuals.firstName = 'Sara' \
+                   AND individuals.lastName = 'Guttinger'";
+        let stmt = parse_select(sql).unwrap();
+        assert_eq!(stmt.from.len(), 2);
+        assert_eq!(stmt.projection.len(), 1);
+        let conjuncts = stmt.selection.as_ref().unwrap().conjuncts().len();
+        assert_eq!(conjuncts, 3);
+    }
+
+    #[test]
+    fn parses_query3_aggregation() {
+        let sql = "SELECT sum(amount), transactiondate FROM fi_transactions GROUP BY transactiondate";
+        let stmt = parse_select(sql).unwrap();
+        assert!(stmt.is_aggregate());
+        assert_eq!(stmt.group_by.len(), 1);
+        assert!(matches!(
+            stmt.projection[0].expr,
+            Expr::Aggregate {
+                func: AggFunc::Sum,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn parses_query4_with_order_by_desc() {
+        let sql = "SELECT count(fi_transactions.id), companyname \
+                   FROM transactions, fi_transactions, organizations \
+                   WHERE transactions.id = fi_transactions.id \
+                   AND transactions.toParty = organizations.id \
+                   GROUP BY organizations.companyname \
+                   ORDER BY count(fi_transactions.id) desc";
+        let stmt = parse_select(sql).unwrap();
+        assert_eq!(stmt.from.len(), 3);
+        assert_eq!(stmt.order_by.len(), 1);
+        assert!(stmt.order_by[0].descending);
+        assert!(stmt.order_by[0].expr.contains_aggregate());
+    }
+
+    #[test]
+    fn parses_dates_and_ranges() {
+        let stmt = parse_select(
+            "SELECT * FROM persons WHERE birthday = date('1981-04-23') AND salary >= 100000",
+        );
+        // date('...') is not the supported form; DATE 'literal' and plain
+        // strings are. Verify the error is clean.
+        assert!(stmt.is_err());
+
+        let stmt = parse_select(
+            "SELECT * FROM persons WHERE birthday = DATE '1981-04-23' AND salary >= 100000",
+        )
+        .unwrap();
+        let conj = stmt.selection.unwrap();
+        assert_eq!(conj.conjuncts().len(), 2);
+
+        let stmt = parse_select(
+            "SELECT * FROM trade_order_td WHERE order_dt BETWEEN '2010-01-01' AND '2010-12-31'",
+        )
+        .unwrap();
+        assert_eq!(stmt.selection.unwrap().conjuncts().len(), 2);
+    }
+
+    #[test]
+    fn parses_distinct_limit_and_aliases() {
+        let stmt = parse_select(
+            "SELECT DISTINCT i.family_name AS name FROM individual i WHERE i.salary > 500000 LIMIT 10",
+        )
+        .unwrap();
+        assert!(stmt.distinct);
+        assert_eq!(stmt.limit, Some(10));
+        assert_eq!(stmt.from[0].alias.as_deref(), Some("i"));
+        assert_eq!(stmt.projection[0].alias.as_deref(), Some("name"));
+    }
+
+    #[test]
+    fn parses_like_and_or_and_not() {
+        let stmt = parse_select(
+            "SELECT * FROM t WHERE (a LIKE '%gold%' OR b = 1) AND NOT c IS NULL",
+        )
+        .unwrap();
+        let sel = stmt.selection.unwrap();
+        assert_eq!(sel.conjuncts().len(), 2);
+    }
+
+    #[test]
+    fn rejects_trailing_garbage_and_missing_from() {
+        assert!(parse_select("SELECT * FROM t WHERE a = 1 extra garbage tokens").is_err());
+        assert!(parse_select("SELECT *").is_err());
+        assert!(parse_select("FROM t").is_err());
+    }
+
+    #[test]
+    fn count_star_and_count_column() {
+        let stmt = parse_select("SELECT count(*), count(id) FROM t GROUP BY x").unwrap();
+        assert!(matches!(
+            stmt.projection[0].expr,
+            Expr::Aggregate { func: AggFunc::Count, arg: None }
+        ));
+        assert!(matches!(
+            stmt.projection[1].expr,
+            Expr::Aggregate { func: AggFunc::Count, arg: Some(_) }
+        ));
+    }
+
+    #[test]
+    fn null_and_boolean_literals() {
+        let stmt = parse_select("SELECT * FROM t WHERE a = NULL OR b = TRUE").unwrap();
+        assert!(stmt.selection.is_some());
+    }
+}

@@ -1,0 +1,190 @@
+//! In-memory table storage (row-oriented).
+
+use crate::error::{RelationError, Result};
+use crate::schema::TableSchema;
+use crate::value::Value;
+
+/// A row of values; the order matches the table schema.
+pub type Row = Vec<Value>;
+
+/// An in-memory table: a schema plus rows.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct Table {
+    schema: TableSchema,
+    rows: Vec<Row>,
+}
+
+impl Table {
+    /// Creates an empty table with the given schema.
+    pub fn new(schema: TableSchema) -> Self {
+        Self {
+            schema,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Table schema.
+    pub fn schema(&self) -> &TableSchema {
+        &self.schema
+    }
+
+    /// Table name.
+    pub fn name(&self) -> &str {
+        &self.schema.name
+    }
+
+    /// Number of rows.
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// All rows.
+    pub fn rows(&self) -> &[Row] {
+        &self.rows
+    }
+
+    /// Inserts one row, validating arity, types and NULLability.
+    pub fn insert(&mut self, row: Row) -> Result<()> {
+        if row.len() != self.schema.arity() {
+            return Err(RelationError::SchemaViolation(format!(
+                "table {} expects {} values, got {}",
+                self.schema.name,
+                self.schema.arity(),
+                row.len()
+            )));
+        }
+        for (value, col) in row.iter().zip(&self.schema.columns) {
+            if value.is_null() && !col.nullable {
+                return Err(RelationError::SchemaViolation(format!(
+                    "column {}.{} is not nullable",
+                    self.schema.name, col.name
+                )));
+            }
+            if !value.conforms_to(col.data_type) {
+                return Err(RelationError::SchemaViolation(format!(
+                    "column {}.{} expects {}, got {value:?}",
+                    self.schema.name, col.name, col.data_type
+                )));
+            }
+        }
+        self.rows.push(row);
+        Ok(())
+    }
+
+    /// Inserts many rows (stops at the first invalid row).
+    pub fn insert_all<I: IntoIterator<Item = Row>>(&mut self, rows: I) -> Result<usize> {
+        let mut n = 0;
+        for row in rows {
+            self.insert(row)?;
+            n += 1;
+        }
+        Ok(n)
+    }
+
+    /// Value of `column` in row `row_index`.
+    pub fn value(&self, row_index: usize, column: &str) -> Option<&Value> {
+        let col = self.schema.column_index(column)?;
+        self.rows.get(row_index).map(|r| &r[col])
+    }
+
+    /// Iterates over all values of a column.
+    pub fn column_values<'a>(&'a self, column: &str) -> Option<impl Iterator<Item = &'a Value>> {
+        let col = self.schema.column_index(column)?;
+        Some(self.rows.iter().map(move |r| &r[col]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::{DataType, Date};
+
+    fn table() -> Table {
+        Table::new(
+            TableSchema::builder("individual")
+                .column("id", DataType::Int)
+                .column("given_name", DataType::Text)
+                .nullable_column("salary", DataType::Float)
+                .column("birth_dt", DataType::Date)
+                .primary_key("id")
+                .build(),
+        )
+    }
+
+    fn row(id: i64, name: &str) -> Row {
+        vec![
+            Value::Int(id),
+            Value::from(name),
+            Value::Float(100_000.0),
+            Value::Date(Date::new(1981, 4, 23)),
+        ]
+    }
+
+    #[test]
+    fn insert_and_read_back() {
+        let mut t = table();
+        t.insert(row(1, "Sara")).unwrap();
+        t.insert(row(2, "Peter")).unwrap();
+        assert_eq!(t.row_count(), 2);
+        assert_eq!(t.value(0, "given_name"), Some(&Value::from("Sara")));
+        assert_eq!(t.value(1, "id"), Some(&Value::Int(2)));
+        assert_eq!(t.value(5, "id"), None);
+        assert_eq!(t.value(0, "missing"), None);
+    }
+
+    #[test]
+    fn arity_mismatch_is_rejected() {
+        let mut t = table();
+        let err = t.insert(vec![Value::Int(1)]).unwrap_err();
+        assert!(matches!(err, RelationError::SchemaViolation(_)));
+    }
+
+    #[test]
+    fn type_mismatch_is_rejected() {
+        let mut t = table();
+        let mut r = row(1, "Sara");
+        r[0] = Value::from("not an int");
+        assert!(t.insert(r).is_err());
+    }
+
+    #[test]
+    fn null_rules_are_enforced() {
+        let mut t = table();
+        let mut r = row(1, "Sara");
+        r[2] = Value::Null; // nullable salary
+        t.insert(r).unwrap();
+        let mut r2 = row(2, "Peter");
+        r2[1] = Value::Null; // non-nullable name
+        assert!(t.insert(r2).is_err());
+    }
+
+    #[test]
+    fn int_accepted_in_float_column() {
+        let mut t = table();
+        let mut r = row(1, "Sara");
+        r[2] = Value::Int(90_000);
+        t.insert(r).unwrap();
+    }
+
+    #[test]
+    fn insert_all_counts_rows() {
+        let mut t = table();
+        let n = t.insert_all((1..=5).map(|i| row(i, "x"))).unwrap();
+        assert_eq!(n, 5);
+        assert_eq!(t.row_count(), 5);
+    }
+
+    #[test]
+    fn column_values_iterates_in_row_order() {
+        let mut t = table();
+        t.insert(row(1, "a")).unwrap();
+        t.insert(row(2, "b")).unwrap();
+        let names: Vec<_> = t
+            .column_values("given_name")
+            .unwrap()
+            .map(|v| v.to_string())
+            .collect();
+        assert_eq!(names, vec!["a", "b"]);
+        assert!(t.column_values("missing").is_none());
+    }
+}

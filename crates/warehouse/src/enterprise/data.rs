@@ -1,0 +1,506 @@
+//! Data population for the enterprise warehouse.
+//!
+//! Row counts are laptop-scale but the *distributions* are engineered so that
+//! every workload query of Table 2 has a meaningful answer and every failure
+//! mode the paper describes is reproduced:
+//!
+//! * exactly [`CURRENT_SARA`] individuals are *currently* named Sara while
+//!   [`HISTORIC_SARA`] further parties carry a historic "Sara" record in
+//!   `individual_name_hist` — since the historisation join is not annotated in
+//!   the metadata graph, SODA finds only the current ones (recall ≈ 0.2 for
+//!   Q2.1/Q2.2, exactly the paper's explanation);
+//! * "Credit Suisse" appears both as an organisation name and inside agreement
+//!   names (the Q3.1/Q3.2 ambiguity);
+//! * "gold", "YEN", "Lehman XYZ" and "Switzerland" occur in the columns the
+//!   corresponding queries must reach.
+
+use soda_relation::{Database, Date, Value};
+
+use crate::datagen::{
+    DataGen, AGREEMENT_NAMES, CITIES, COUNTRIES, CURRENCIES, FAMILY_NAMES, GIVEN_NAMES,
+    LEGAL_FORMS, ORG_NAMES, PRODUCT_NAMES, PRODUCT_TYPES, STREETS,
+};
+
+/// Number of private customers.
+pub const NUM_INDIVIDUALS: usize = 300;
+/// Number of corporate customers.
+pub const NUM_ORGANIZATIONS: usize = 80;
+/// Number of investment products.
+pub const NUM_PRODUCTS: usize = 30;
+/// Number of securities.
+pub const NUM_SECURITIES: usize = 60;
+/// Number of trade orders (scaled by the data-scale factor).
+pub const NUM_TRADE_ORDERS: usize = 2_500;
+/// Number of money transactions (scaled by the data-scale factor).
+pub const NUM_MONEY_TXNS: usize = 800;
+/// Number of employment bridge rows.
+pub const NUM_EMPLOYMENTS: usize = 120;
+/// Parties currently named "Sara" (party ids `1..=CURRENT_SARA`).
+pub const CURRENT_SARA: usize = 4;
+/// Parties with a *historic* "Sara" record (party ids
+/// `CURRENT_SARA+1 ..= CURRENT_SARA+HISTORIC_SARA`).
+pub const HISTORIC_SARA: usize = 16;
+
+const OPEN_END: Date = Date { year: 9999, month: 12, day: 31 };
+
+/// Populates every core table.  `scale` multiplies the transactional row
+/// counts (orders, payments); dimension sizes stay fixed.
+pub fn populate(db: &mut Database, seed: u64, scale: f64) {
+    let mut gen = DataGen::new(seed);
+    let scale = scale.max(0.01);
+    let orders = ((NUM_TRADE_ORDERS as f64) * scale) as usize;
+    let payments = ((NUM_MONEY_TXNS as f64) * scale) as usize;
+
+    // Currencies.
+    for (code, name) in CURRENCIES {
+        db.insert("currency", vec![Value::from(*code), Value::from(*name)])
+            .expect("currency");
+    }
+
+    // Parties: individuals 1..=NUM_INDIVIDUALS, organizations after that.
+    for id in 1..=(NUM_INDIVIDUALS as i64) {
+        let open = gen.date(1990, 2010);
+        db.insert(
+            "party",
+            vec![
+                Value::Int(id),
+                Value::from("individual"),
+                Value::Date(open),
+                Value::Date(open),
+                Value::Date(OPEN_END),
+            ],
+        )
+        .expect("party");
+
+        let idx = id as usize;
+        let (given, family) = if idx == 1 {
+            ("Sara".to_string(), "Guttinger".to_string())
+        } else if idx <= CURRENT_SARA {
+            ("Sara".to_string(), (*gen.pick(FAMILY_NAMES)).to_string())
+        } else {
+            (
+                (*gen.pick(GIVEN_NAMES)).to_string(),
+                (*gen.pick(FAMILY_NAMES)).to_string(),
+            )
+        };
+        // Only the first CURRENT_SARA parties may be *currently* named Sara;
+        // every other randomly drawn "Sara" is replaced so that the Q2.1
+        // precision/recall ratios are exactly controlled.
+        let given = if idx > CURRENT_SARA && given == "Sara" {
+            "Petra".to_string()
+        } else {
+            given
+        };
+        let salary = if gen.chance(0.12) {
+            gen.amount(500_000.0, 1_500_000.0)
+        } else {
+            gen.amount(45_000.0, 420_000.0)
+        };
+        let domicile = if idx == 1 || gen.chance(0.7) {
+            "Switzerland"
+        } else {
+            *gen.pick(COUNTRIES)
+        };
+        db.insert(
+            "individual",
+            vec![
+                Value::Int(id),
+                Value::from(given.as_str()),
+                Value::from(family.as_str()),
+                Value::Date(gen.date(1945, 1995)),
+                Value::Float(salary),
+                Value::from(domicile),
+            ],
+        )
+        .expect("individual");
+
+        // Historic name records.
+        if (CURRENT_SARA + 1..=CURRENT_SARA + HISTORIC_SARA).contains(&idx) {
+            db.insert(
+                "individual_name_hist",
+                vec![
+                    Value::Int(id),
+                    Value::from("Sara"),
+                    Value::from(*gen.pick(FAMILY_NAMES)),
+                    Value::Date(gen.date(1995, 2004)),
+                    Value::Date(gen.date(2005, 2009)),
+                ],
+            )
+            .expect("individual_name_hist");
+        } else if gen.chance(0.3) {
+            // Historic records for everyone else use a non-"Sara" name so that
+            // the Q2.1 recall ratio stays exactly CURRENT_SARA / (CURRENT_SARA
+            // + HISTORIC_SARA).
+            let mut former = *gen.pick(GIVEN_NAMES);
+            if former == "Sara" {
+                former = "Nina";
+            }
+            db.insert(
+                "individual_name_hist",
+                vec![
+                    Value::Int(id),
+                    Value::from(former),
+                    Value::from(*gen.pick(FAMILY_NAMES)),
+                    Value::Date(gen.date(1995, 2004)),
+                    Value::Date(gen.date(2005, 2009)),
+                ],
+            )
+            .expect("individual_name_hist");
+        }
+
+        db.insert(
+            "address",
+            vec![
+                Value::Int(id),
+                Value::Int(id),
+                Value::from(*gen.pick(STREETS)),
+                Value::from(if gen.chance(0.3) { "Zurich" } else { *gen.pick(CITIES) }),
+                Value::from(if gen.chance(0.75) { "Switzerland" } else { *gen.pick(COUNTRIES) }),
+                Value::Date(gen.date(2000, 2010)),
+                Value::Date(OPEN_END),
+            ],
+        )
+        .expect("address");
+        // About a third of the individuals also have a *historised* (closed)
+        // address row.  Because SODA has no special support for bi-temporal
+        // historisation (§5.3.1), its generated SQL counts these rows too,
+        // which is what drives Q9.0 to zero precision against a gold query
+        // restricted to the current validity slice.
+        if gen.chance(0.35) {
+            db.insert(
+                "address",
+                vec![
+                    Value::Int(10_000 + id),
+                    Value::Int(id),
+                    Value::from(*gen.pick(STREETS)),
+                    Value::from(*gen.pick(CITIES)),
+                    Value::from(if gen.chance(0.6) { "Switzerland" } else { *gen.pick(COUNTRIES) }),
+                    Value::Date(gen.date(1990, 1999)),
+                    Value::Date(gen.date(2000, 2009)),
+                ],
+            )
+            .expect("historised address");
+        }
+        db.insert(
+            "party_classification",
+            vec![
+                Value::Int(id),
+                Value::from(if salary >= 500_000.0 { "private banking" } else { "retail" }),
+                Value::Date(gen.date(2005, 2011)),
+            ],
+        )
+        .expect("party_classification");
+    }
+
+    for i in 0..NUM_ORGANIZATIONS {
+        let id = (NUM_INDIVIDUALS + 1 + i) as i64;
+        let open = gen.date(1985, 2010);
+        db.insert(
+            "party",
+            vec![
+                Value::Int(id),
+                Value::from("organization"),
+                Value::Date(open),
+                Value::Date(open),
+                Value::Date(OPEN_END),
+            ],
+        )
+        .expect("party");
+        let name = ORG_NAMES[i % ORG_NAMES.len()];
+        let name = if i >= ORG_NAMES.len() {
+            format!("{name} {}", i / ORG_NAMES.len() + 1)
+        } else {
+            name.to_string()
+        };
+        db.insert(
+            "organization",
+            vec![
+                Value::Int(id),
+                Value::from(name.as_str()),
+                Value::from(*gen.pick(LEGAL_FORMS)),
+                Value::from(if gen.chance(0.6) { "Switzerland" } else { *gen.pick(COUNTRIES) }),
+            ],
+        )
+        .expect("organization");
+        if gen.chance(0.25) {
+            db.insert(
+                "organization_name_hist",
+                vec![
+                    Value::Int(id),
+                    Value::from(format!("{name} (formerly)").as_str()),
+                    Value::Date(gen.date(1990, 2000)),
+                    Value::Date(gen.date(2001, 2008)),
+                ],
+            )
+            .expect("organization_name_hist");
+        }
+        db.insert(
+            "address",
+            vec![
+                Value::Int(1_000 + id),
+                Value::Int(id),
+                Value::from(*gen.pick(STREETS)),
+                Value::from(*gen.pick(CITIES)),
+                Value::from("Switzerland"),
+                Value::Date(gen.date(2000, 2010)),
+                Value::Date(OPEN_END),
+            ],
+        )
+        .expect("address");
+        db.insert(
+            "party_classification",
+            vec![Value::Int(id), Value::from("institutional"), Value::Date(gen.date(2005, 2011))],
+        )
+        .expect("party_classification");
+    }
+
+    // Agreements: one per party, ids aligned with party ids.
+    let total_parties = (NUM_INDIVIDUALS + NUM_ORGANIZATIONS) as i64;
+    for id in 1..=total_parties {
+        let name = match id {
+            1 => "Gold Savings Agreement",
+            2 => "Credit Suisse Master Agreement",
+            _ => AGREEMENT_NAMES[gen.index(AGREEMENT_NAMES.len())],
+        };
+        db.insert(
+            "agreement_td",
+            vec![
+                Value::Int(id),
+                Value::from(name),
+                Value::Int(id),
+                Value::Date(gen.date(2000, 2011)),
+            ],
+        )
+        .expect("agreement");
+    }
+
+    // Accounts: one or two per agreement.
+    let mut account_ids: Vec<i64> = Vec::new();
+    let mut next_account = 1i64;
+    for agreement in 1..=total_parties {
+        let n = if gen.chance(0.4) { 2 } else { 1 };
+        for _ in 0..n {
+            db.insert(
+                "account_td",
+                vec![
+                    Value::Int(next_account),
+                    Value::Int(agreement),
+                    Value::from(CURRENCIES[gen.index(CURRENCIES.len())].0),
+                    Value::from(if gen.chance(0.5) { "custody" } else { "cash" }),
+                ],
+            )
+            .expect("account");
+            account_ids.push(next_account);
+            next_account += 1;
+        }
+    }
+
+    // Investment products and securities.
+    for i in 0..NUM_PRODUCTS {
+        let name = if i == 0 {
+            "Lehman XYZ Certificate".to_string()
+        } else {
+            let base = PRODUCT_NAMES[i % PRODUCT_NAMES.len()];
+            if i >= PRODUCT_NAMES.len() {
+                format!("{base} Series {}", i / PRODUCT_NAMES.len() + 1)
+            } else {
+                base.to_string()
+            }
+        };
+        db.insert(
+            "investment_product_td",
+            vec![
+                Value::Int(i as i64 + 1),
+                Value::from(name.as_str()),
+                Value::from(*gen.pick(PRODUCT_TYPES)),
+                Value::from(ORG_NAMES[gen.index(ORG_NAMES.len())]),
+            ],
+        )
+        .expect("product");
+    }
+    for i in 0..NUM_SECURITIES {
+        db.insert(
+            "security_td",
+            vec![
+                Value::Int(i as i64 + 1),
+                Value::from(format!("{} Security {i}", ORG_NAMES[i % ORG_NAMES.len()]).as_str()),
+                Value::from(format!("CH{:010}", 2_000_000 + i).as_str()),
+                Value::from(CURRENCIES[gen.index(CURRENCIES.len())].0),
+            ],
+        )
+        .expect("security");
+    }
+    for _ in 0..(NUM_PRODUCTS * 3) {
+        db.insert(
+            "product_contains_sec",
+            vec![
+                Value::Int(gen.int(1, NUM_PRODUCTS as i64)),
+                Value::Int(gen.int(1, NUM_SECURITIES as i64)),
+            ],
+        )
+        .expect("product_contains_sec");
+    }
+
+    // Trade orders.
+    for id in 1..=(orders as i64) {
+        let account = account_ids[gen.index(account_ids.len())];
+        let currency = if gen.chance(0.1) {
+            "YEN"
+        } else {
+            CURRENCIES[gen.index(CURRENCIES.len())].0
+        };
+        db.insert(
+            "trade_order_td",
+            vec![
+                Value::Int(id),
+                Value::Int(account),
+                Value::Int(gen.int(1, NUM_PRODUCTS as i64)),
+                Value::Date(gen.date(2009, 2012)),
+                Value::Float(gen.amount(100.0, 250_000.0)),
+                Value::from(currency),
+                Value::from(if gen.chance(0.9) { "executed" } else { "open" }),
+            ],
+        )
+        .expect("trade order");
+    }
+
+    // Money transactions.
+    for id in 1..=(payments as i64) {
+        let account = account_ids[gen.index(account_ids.len())];
+        db.insert(
+            "money_transaction_td",
+            vec![
+                Value::Int(id),
+                Value::Int(account),
+                Value::Float(gen.amount(10.0, 50_000.0)),
+                Value::from(CURRENCIES[gen.index(CURRENCIES.len())].0),
+                Value::Date(gen.date(2009, 2012)),
+            ],
+        )
+        .expect("money transaction");
+    }
+
+    // Employment bridge between the inheritance siblings.
+    for _ in 0..NUM_EMPLOYMENTS {
+        db.insert(
+            "associate_employment",
+            vec![
+                Value::Int(gen.int(1, NUM_INDIVIDUALS as i64)),
+                Value::Int(gen.int(
+                    NUM_INDIVIDUALS as i64 + 1,
+                    (NUM_INDIVIDUALS + NUM_ORGANIZATIONS) as i64,
+                )),
+                Value::from(if gen.chance(0.3) { "board member" } else { "employee" }),
+            ],
+        )
+        .expect("employment");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enterprise::schema::core_physical_schema;
+    use soda_relation::Database;
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        for schema in core_physical_schema() {
+            db.create_table(schema).unwrap();
+        }
+        populate(&mut db, 42, 0.2);
+        db
+    }
+
+    #[test]
+    fn sara_counts_reproduce_the_recall_gap() {
+        let db = db();
+        let current = db
+            .run_sql("SELECT party_id FROM individual WHERE given_name = 'Sara'")
+            .unwrap();
+        assert_eq!(current.row_count(), CURRENT_SARA);
+        let historic = db
+            .run_sql("SELECT party_id FROM individual_name_hist WHERE given_name = 'Sara'")
+            .unwrap();
+        assert_eq!(historic.row_count(), HISTORIC_SARA);
+    }
+
+    #[test]
+    fn credit_suisse_is_ambiguous_between_organizations_and_agreements() {
+        let db = db();
+        let orgs = db
+            .run_sql("SELECT party_id FROM organization WHERE org_name LIKE '%Credit Suisse%'")
+            .unwrap();
+        assert!(orgs.row_count() >= 1);
+        let agreements = db
+            .run_sql("SELECT agreement_id FROM agreement_td WHERE agreement_name LIKE '%Credit Suisse%'")
+            .unwrap();
+        assert!(agreements.row_count() >= 1);
+    }
+
+    #[test]
+    fn workload_literals_exist() {
+        let db = db();
+        for (sql, what) in [
+            ("SELECT agreement_id FROM agreement_td WHERE agreement_name LIKE '%gold%'", "gold agreements"),
+            ("SELECT order_id FROM trade_order_td WHERE currency_cd = 'YEN'", "YEN trade orders"),
+            ("SELECT instrument_id FROM investment_product_td WHERE product_name LIKE '%Lehman XYZ%'", "Lehman XYZ product"),
+            ("SELECT party_id FROM individual WHERE domicile_country = 'Switzerland'", "Swiss individuals"),
+            ("SELECT party_id FROM individual WHERE salary >= 500000", "wealthy individuals"),
+        ] {
+            let rs = db.run_sql(sql).unwrap();
+            assert!(rs.row_count() >= 1, "no rows for {what}");
+        }
+    }
+
+    #[test]
+    fn referential_integrity_of_trading_chain() {
+        let db = db();
+        let orders = db.table("trade_order_td").unwrap().row_count();
+        let joined = db
+            .run_sql(
+                "SELECT trade_order_td.order_id FROM trade_order_td, account_td, agreement_td, party \
+                 WHERE trade_order_td.account_id = account_td.account_id \
+                 AND account_td.agreement_id = agreement_td.agreement_id \
+                 AND agreement_td.party_id = party.party_id",
+            )
+            .unwrap();
+        assert_eq!(joined.row_count(), orders);
+    }
+
+    #[test]
+    fn employment_bridge_links_individuals_to_organizations() {
+        let db = db();
+        let joined = db
+            .run_sql(
+                "SELECT associate_employment.role FROM associate_employment, individual, organization \
+                 WHERE associate_employment.individual_id = individual.party_id \
+                 AND associate_employment.organization_id = organization.party_id",
+            )
+            .unwrap();
+        assert_eq!(joined.row_count(), NUM_EMPLOYMENTS);
+    }
+
+    #[test]
+    fn scale_factor_controls_transaction_volume() {
+        let mut small = Database::new();
+        for schema in core_physical_schema() {
+            small.create_table(schema).unwrap();
+        }
+        populate(&mut small, 42, 0.1);
+        let mut large = Database::new();
+        for schema in core_physical_schema() {
+            large.create_table(schema).unwrap();
+        }
+        populate(&mut large, 42, 0.5);
+        assert!(
+            large.table("trade_order_td").unwrap().row_count()
+                > small.table("trade_order_td").unwrap().row_count() * 3
+        );
+        // Dimensions stay fixed.
+        assert_eq!(
+            large.table("individual").unwrap().row_count(),
+            small.table("individual").unwrap().row_count()
+        );
+    }
+}

@@ -1,0 +1,149 @@
+//! Domain ontology and DBpedia extract of the enterprise warehouse.
+
+use crate::dbpedia::{SynonymStore, SynonymTarget};
+use crate::ontology::{ClassifyTarget, ConceptFilter, DomainOntology, OntologyConcept};
+
+/// The enterprise domain ontology: customer classification, business terms
+/// defined as filters and business measures mapped onto physical columns.
+pub fn ontology() -> DomainOntology {
+    let mut o = DomainOntology::new();
+    o.add(
+        OntologyConcept::new("customers", "customers")
+            .alt("customer")
+            .alt("clients")
+            .classifies(ClassifyTarget::Conceptual("Parties".into()))
+            .classifies(ClassifyTarget::Table("party".into())),
+    );
+    o.add(
+        OntologyConcept::new("private-customers", "private customers")
+            .alt("private clients")
+            .classifies(ClassifyTarget::Table("individual".into())),
+    );
+    o.add(
+        OntologyConcept::new("corporate-customers", "corporate customers")
+            .alt("corporate clients")
+            .classifies(ClassifyTarget::Table("organization".into())),
+    );
+    o.add(
+        OntologyConcept::new("wealthy-customers", "wealthy customers")
+            .alt("wealthy individuals")
+            .classifies(ClassifyTarget::Table("individual".into()))
+            .with_filter(ConceptFilter {
+                table: "individual".into(),
+                column: "salary".into(),
+                op: ">=".into(),
+                value: "500000".into(),
+            }),
+    );
+    o.add(
+        OntologyConcept::new("names", "names")
+            .classifies(ClassifyTarget::Column {
+                table: "individual".into(),
+                column: "family_name".into(),
+            })
+            .classifies(ClassifyTarget::Column {
+                table: "individual".into(),
+                column: "given_name".into(),
+            })
+            .classifies(ClassifyTarget::Column {
+                table: "organization".into(),
+                column: "org_name".into(),
+            }),
+    );
+    o.add(
+        OntologyConcept::new("trading-volume", "trading volume")
+            .classifies(ClassifyTarget::Column {
+                table: "trade_order_td".into(),
+                column: "amount".into(),
+            }),
+    );
+    o.add(
+        OntologyConcept::new("investments", "investments")
+            .alt("investment amount")
+            .classifies(ClassifyTarget::Column {
+                table: "trade_order_td".into(),
+                column: "amount".into(),
+            }),
+    );
+    o.add(
+        OntologyConcept::new("birth-date", "birth date")
+            .alt("birthday")
+            .classifies(ClassifyTarget::Column {
+                table: "individual".into(),
+                column: "birth_dt".into(),
+            }),
+    );
+    o.add(
+        OntologyConcept::new("period", "period")
+            .alt("order period")
+            .classifies(ClassifyTarget::Column {
+                table: "trade_order_td".into(),
+                column: "order_dt".into(),
+            }),
+    );
+    o.add(
+        OntologyConcept::new("segments", "customer segments")
+            .classifies(ClassifyTarget::Column {
+                table: "party_classification".into(),
+                column: "segment".into(),
+            }),
+    );
+    o
+}
+
+/// The curated DBpedia extract: general-language synonyms pointing at schema
+/// or ontology nodes (ranked below the domain ontology by the lookup step).
+pub fn synonyms() -> SynonymStore {
+    let mut s = SynonymStore::new();
+    s.add("client", SynonymTarget::Concept("customers".into()));
+    s.add("purchaser", SynonymTarget::Concept("customers".into()));
+    s.add("political organization", SynonymTarget::Conceptual("Parties".into()));
+    s.add("company", SynonymTarget::Table("organization".into()));
+    s.add("firm", SynonymTarget::Table("organization".into()));
+    s.add("enterprise", SynonymTarget::Table("organization".into()));
+    s.add("person", SynonymTarget::Table("individual".into()));
+    s.add("employee", SynonymTarget::Table("associate_employment".into()));
+    s.add("payment", SynonymTarget::Table("money_transaction_td".into()));
+    s.add("deal", SynonymTarget::Table("agreement_td".into()));
+    s.add("contract", SynonymTarget::Table("agreement_td".into()));
+    s.add("stock", SynonymTarget::Table("investment_product_td".into()));
+    s.add("fund", SynonymTarget::Table("investment_product_td".into()));
+    s.add("money", SynonymTarget::Table("currency".into()));
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ontology_covers_the_workload_business_terms() {
+        let o = ontology();
+        for term in [
+            "private customers",
+            "corporate customers",
+            "wealthy customers",
+            "names",
+            "trading volume",
+            "investments",
+            "period",
+        ] {
+            assert!(!o.by_name(term).is_empty(), "missing ontology term {term}");
+        }
+    }
+
+    #[test]
+    fn wealthy_customers_threshold_matches_data_generator() {
+        let o = ontology();
+        let w = o.concept("wealthy-customers").unwrap();
+        assert_eq!(w.filter.as_ref().unwrap().value, "500000");
+    }
+
+    #[test]
+    fn synonym_store_points_at_core_tables() {
+        let s = synonyms();
+        assert!(!s.lookup("client").is_empty());
+        assert!(!s.lookup("company").is_empty());
+        assert!(s.len() >= 10);
+    }
+}

@@ -1,0 +1,506 @@
+//! Translates a [`SchemaModel`], a [`DomainOntology`] and a [`SynonymStore`]
+//! into the metadata graph that SODA's patterns match against (Figure 3 of the
+//! paper: DBpedia → domain ontologies → conceptual schema → logical schema →
+//! physical schema → base data).
+//!
+//! ## URI conventions
+//!
+//! | Node | URI |
+//! |---|---|
+//! | physical table | `phys/<table>` |
+//! | physical column | `phys/<table>/<column>` |
+//! | logical entity | `logical/<name-slug>` |
+//! | logical attribute | `logical/<entity-slug>/<attr-slug>` |
+//! | conceptual entity | `concept/<name-slug>` |
+//! | conceptual attribute | `concept/<entity-slug>/<attr-slug>` |
+//! | ontology concept | `onto/<slug>` |
+//! | DBpedia term | `dbpedia/<slug>` |
+//! | inheritance node | `inh/<parent-table>` |
+//! | explicit join node | `join/<table>.<column>--<ref_table>.<ref_column>` |
+//! | metadata filter | `filter/<concept-slug>` |
+//!
+//! Text labels are attached with the predicates SODA's patterns look for
+//! (`tablename`, `columnname`, `name`).  Names are normalised to lower-case,
+//! space-separated phrases so that the lookup step can match business phrasing
+//! ("financial instruments") against schema identifiers
+//! (`financial_instruments`).
+
+use soda_metagraph::builder::{preds, types};
+use soda_metagraph::{GraphBuilder, MetaGraph, NodeId};
+use soda_relation::tokenize;
+
+use crate::dbpedia::{SynonymStore, SynonymTarget};
+use crate::model::{RelationshipKind, SchemaModel};
+use crate::ontology::{ClassifyTarget, DomainOntology};
+
+/// Converts an arbitrary name into a URI slug.
+pub fn slug(name: &str) -> String {
+    tokenize(name).join("_")
+}
+
+/// Converts an arbitrary name into the normalised phrase used as a lookup
+/// label ("Financial_Instruments" → "financial instruments").
+pub fn phrase(name: &str) -> String {
+    tokenize(name).join(" ")
+}
+
+/// Loose identifier comparison used to link business attribute names to
+/// physical column names: case, separators and word boundaries are ignored, so
+/// "transaction date" matches `transactiondate` and "given name" matches
+/// `given_name`.
+pub fn loose_eq(a: &str, b: &str) -> bool {
+    let squash = |s: &str| tokenize(s).concat();
+    squash(a) == squash(b)
+}
+
+/// Builds the metadata graph for a warehouse.
+pub fn build_graph(
+    model: &SchemaModel,
+    ontology: &DomainOntology,
+    synonyms: &SynonymStore,
+) -> MetaGraph {
+    let mut b = GraphBuilder::new();
+
+    // --- Physical layer -----------------------------------------------------
+    for table in &model.physical {
+        let t = b.physical_table(&format!("phys/{}", table.name), &phrase(&table.name));
+        // Keep the exact physical identifier available as a secondary label so
+        // that users typing `trade_order_td` still find the table.
+        b.text(t, preds::TABLENAME, &table.name.to_lowercase());
+        if let Some(comment) = &table.comment {
+            b.text(t, preds::NAME, &phrase(comment));
+        }
+        for col in &table.columns {
+            let c = b.physical_column(
+                t,
+                &format!("phys/{}/{}", table.name, col.name),
+                &phrase(&col.name),
+            );
+            b.text(c, preds::COLUMNNAME, &col.name.to_lowercase());
+        }
+    }
+
+    // Foreign keys (only the annotated ones are visible to SODA).
+    for fk in &model.foreign_keys {
+        if !fk.annotated {
+            continue;
+        }
+        let Some(fk_col) = b.graph().node(&format!("phys/{}/{}", fk.table, fk.column)) else {
+            continue;
+        };
+        let Some(pk_col) = b
+            .graph()
+            .node(&format!("phys/{}/{}", fk.ref_table, fk.ref_column))
+        else {
+            continue;
+        };
+        if fk.explicit_join_node {
+            b.join_relationship(
+                &format!(
+                    "join/{}.{}--{}.{}",
+                    fk.table, fk.column, fk.ref_table, fk.ref_column
+                ),
+                fk_col,
+                pk_col,
+            );
+        } else {
+            b.foreign_key(fk_col, pk_col);
+        }
+    }
+
+    // Bi-temporal historization annotations (only present in models built with
+    // the annotated variants — see `crate::model::HistorizationLink`).
+    for link in &model.historization {
+        let Some(hist) = b.graph().node(&format!("phys/{}", link.hist_table)) else {
+            continue;
+        };
+        let Some(current) = b.graph().node(&format!("phys/{}", link.current_table)) else {
+            continue;
+        };
+        b.historization(
+            &format!("hist/{}", link.hist_table),
+            hist,
+            current,
+            &link.valid_from_column,
+            &link.valid_to_column,
+        );
+    }
+
+    // Inheritance groups.
+    for group in &model.inheritance {
+        let Some(parent) = b.graph().node(&format!("phys/{}", group.parent_table)) else {
+            continue;
+        };
+        let children: Vec<NodeId> = group
+            .child_tables
+            .iter()
+            .filter_map(|c| b.graph().node(&format!("phys/{c}")))
+            .collect();
+        if children.len() >= 2 {
+            b.inheritance(&format!("inh/{}", group.parent_table), parent, &children);
+        }
+    }
+
+    // --- Logical layer -------------------------------------------------------
+    for entity in &model.logical {
+        let e = b.named_node(
+            &format!("logical/{}", slug(&entity.name)),
+            types::LOGICAL_ENTITY,
+            &phrase(&entity.name),
+        );
+        for attr in &entity.attributes {
+            let a = b.named_node(
+                &format!("logical/{}/{}", slug(&entity.name), slug(attr)),
+                types::LOGICAL_ATTRIBUTE,
+                &phrase(attr),
+            );
+            b.edge(e, preds::ATTRIBUTE, a);
+            // Attributes are linked down to the physical column of an
+            // implementing table whose identifier loosely matches the
+            // business name ("transaction date" → `transactiondate`).
+            for table in &entity.implemented_by {
+                let Some(schema) = model.physical_table(table) else {
+                    continue;
+                };
+                for col in &schema.columns {
+                    if loose_eq(attr, &col.name) {
+                        if let Some(col_node) =
+                            b.graph().node(&format!("phys/{}/{}", schema.name, col.name))
+                        {
+                            b.edge(a, preds::REALIZED_BY, col_node);
+                        }
+                    }
+                }
+            }
+        }
+        for table in &entity.implemented_by {
+            if let Some(t) = b.graph().node(&format!("phys/{table}")) {
+                b.edge(e, preds::IMPLEMENTED_BY, t);
+            }
+        }
+    }
+    for rel in &model.logical_relationships {
+        let from = b.node(&format!("logical/{}", slug(&rel.from)));
+        let to = b.node(&format!("logical/{}", slug(&rel.to)));
+        let pred = match rel.kind {
+            RelationshipKind::ManyToOne => "related_n1",
+            RelationshipKind::ManyToMany => "related_nn",
+            RelationshipKind::Inheritance => "specializes",
+        };
+        b.edge(from, pred, to);
+    }
+
+    // --- Conceptual layer ----------------------------------------------------
+    for entity in &model.conceptual {
+        let e = b.named_node(
+            &format!("concept/{}", slug(&entity.name)),
+            types::CONCEPTUAL_ENTITY,
+            &phrase(&entity.name),
+        );
+        for attr in &entity.attributes {
+            let a = b.named_node(
+                &format!("concept/{}/{}", slug(&entity.name), slug(attr)),
+                types::CONCEPTUAL_ATTRIBUTE,
+                &phrase(attr),
+            );
+            b.edge(e, preds::ATTRIBUTE, a);
+            // Conceptual attributes are realised by loosely-matching logical
+            // attributes of the refining entities, giving the lookup a path
+            // from the business phrasing all the way down to a physical column.
+            for logical_name in &entity.refined_by {
+                let Some(logical) = model
+                    .logical
+                    .iter()
+                    .find(|l| l.name.eq_ignore_ascii_case(logical_name))
+                else {
+                    continue;
+                };
+                for l_attr in &logical.attributes {
+                    if loose_eq(attr, l_attr) {
+                        if let Some(l_node) = b
+                            .graph()
+                            .node(&format!("logical/{}/{}", slug(&logical.name), slug(l_attr)))
+                        {
+                            b.edge(a, preds::REALIZED_BY, l_node);
+                        }
+                    }
+                }
+            }
+        }
+        for logical in &entity.refined_by {
+            if let Some(l) = b.graph().node(&format!("logical/{}", slug(logical))) {
+                b.edge(e, preds::REFINED_BY, l);
+            }
+        }
+    }
+    for rel in &model.conceptual_relationships {
+        let from = b.node(&format!("concept/{}", slug(&rel.from)));
+        let to = b.node(&format!("concept/{}", slug(&rel.to)));
+        let pred = match rel.kind {
+            RelationshipKind::ManyToOne => "related_n1",
+            RelationshipKind::ManyToMany => "related_nn",
+            RelationshipKind::Inheritance => "specializes",
+        };
+        b.edge(from, pred, to);
+    }
+
+    // --- Domain ontology -----------------------------------------------------
+    for concept in &ontology.concepts {
+        let c = b.ontology_concept(&format!("onto/{}", concept.slug), &phrase(&concept.name));
+        for alt in &concept.alt_names {
+            b.text(c, preds::NAME, &phrase(alt));
+        }
+        for target in &concept.classifies {
+            let target_node = match target {
+                ClassifyTarget::Conceptual(name) => b.graph().node(&format!("concept/{}", slug(name))),
+                ClassifyTarget::Logical(name) => b.graph().node(&format!("logical/{}", slug(name))),
+                ClassifyTarget::Table(name) => b.graph().node(&format!("phys/{name}")),
+                ClassifyTarget::Column { table, column } => {
+                    b.graph().node(&format!("phys/{table}/{column}"))
+                }
+                ClassifyTarget::Concept(s) => b.graph().node(&format!("onto/{s}")),
+            };
+            if let Some(t) = target_node {
+                b.edge(c, preds::CLASSIFIES, t);
+            }
+        }
+        if let Some(filter) = &concept.filter {
+            if let Some(col) = b
+                .graph()
+                .node(&format!("phys/{}/{}", filter.table, filter.column))
+            {
+                b.metadata_filter(
+                    &format!("filter/{}", concept.slug),
+                    c,
+                    col,
+                    &filter.op,
+                    &filter.value,
+                );
+            }
+        }
+    }
+
+    // --- DBpedia -------------------------------------------------------------
+    for (i, entry) in synonyms.entries.iter().enumerate() {
+        let target = match &entry.target {
+            SynonymTarget::Concept(s) => b.graph().node(&format!("onto/{s}")),
+            SynonymTarget::Conceptual(name) => b.graph().node(&format!("concept/{}", slug(name))),
+            SynonymTarget::Logical(name) => b.graph().node(&format!("logical/{}", slug(name))),
+            SynonymTarget::Table(name) => b.graph().node(&format!("phys/{name}")),
+        };
+        if let Some(t) = target {
+            b.dbpedia_synonym(
+                &format!("dbpedia/{}_{}", slug(&entry.term), i),
+                &phrase(&entry.term),
+                t,
+            );
+        }
+    }
+
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{
+        AnnotatedForeignKey, ConceptualEntity, InheritanceGroup, LogicalEntity, Relationship,
+    };
+    use crate::ontology::{ConceptFilter, OntologyConcept};
+    use soda_relation::{DataType, TableSchema};
+
+    fn tiny_model() -> SchemaModel {
+        let mut model = SchemaModel {
+            conceptual: vec![ConceptualEntity {
+                name: "Parties".into(),
+                attributes: vec!["name".into()],
+                refined_by: vec!["Individuals".into()],
+            }],
+            conceptual_relationships: vec![Relationship {
+                from: "Parties".into(),
+                to: "Parties".into(),
+                kind: RelationshipKind::ManyToMany,
+            }],
+            logical: vec![LogicalEntity {
+                name: "Individuals".into(),
+                attributes: vec!["given name".into(), "salary".into()],
+                implemented_by: vec!["individual".into()],
+            }],
+            logical_relationships: vec![],
+            physical: vec![
+                TableSchema::builder("party")
+                    .column("party_id", DataType::Int)
+                    .primary_key("party_id")
+                    .build(),
+                TableSchema::builder("individual")
+                    .column("party_id", DataType::Int)
+                    .column("given_name", DataType::Text)
+                    .column("salary", DataType::Float)
+                    .primary_key("party_id")
+                    .foreign_key("party_id", "party", "party_id")
+                    .build(),
+                TableSchema::builder("organization")
+                    .column("party_id", DataType::Int)
+                    .column("org_name", DataType::Text)
+                    .primary_key("party_id")
+                    .foreign_key("party_id", "party", "party_id")
+                    .build(),
+                TableSchema::builder("individual_name_hist")
+                    .column("party_id", DataType::Int)
+                    .column("given_name", DataType::Text)
+                    .build(),
+            ],
+            foreign_keys: vec![AnnotatedForeignKey {
+                table: "individual_name_hist".into(),
+                column: "party_id".into(),
+                ref_table: "individual".into(),
+                ref_column: "party_id".into(),
+                annotated: false,
+                explicit_join_node: false,
+            }],
+            inheritance: vec![InheritanceGroup {
+                parent_table: "party".into(),
+                child_tables: vec!["individual".into(), "organization".into()],
+            }],
+            historization: vec![],
+        };
+        model.adopt_physical_foreign_keys();
+        model
+    }
+
+    fn tiny_ontology() -> DomainOntology {
+        let mut o = DomainOntology::new();
+        o.add(
+            OntologyConcept::new("private-customers", "private customers")
+                .classifies(ClassifyTarget::Table("individual".into())),
+        );
+        o.add(
+            OntologyConcept::new("wealthy-customers", "wealthy customers")
+                .classifies(ClassifyTarget::Table("individual".into()))
+                .with_filter(ConceptFilter {
+                    table: "individual".into(),
+                    column: "salary".into(),
+                    op: ">=".into(),
+                    value: "500000".into(),
+                }),
+        );
+        o
+    }
+
+    fn tiny_synonyms() -> SynonymStore {
+        let mut s = SynonymStore::new();
+        s.add("client", SynonymTarget::Conceptual("Parties".into()));
+        s.add("ghost", SynonymTarget::Table("does_not_exist".into()));
+        s
+    }
+
+    #[test]
+    fn physical_layer_nodes_and_labels() {
+        let g = build_graph(&tiny_model(), &tiny_ontology(), &tiny_synonyms());
+        let t = g.node("phys/individual").unwrap();
+        assert!(g.has_type(t, types::PHYSICAL_TABLE));
+        assert_eq!(g.text_of(t, preds::TABLENAME), Some("individual"));
+        let c = g.node("phys/individual/given_name").unwrap();
+        assert!(g.has_type(c, types::PHYSICAL_COLUMN));
+        // Both the phrase form and the identifier form are attached.
+        let labels = g.nodes_with_label("given name");
+        assert!(labels.iter().any(|(n, _)| *n == c));
+    }
+
+    #[test]
+    fn unannotated_foreign_keys_are_absent_from_the_graph() {
+        let g = build_graph(&tiny_model(), &tiny_ontology(), &tiny_synonyms());
+        let annotated_fk = g.node("phys/individual/party_id").unwrap();
+        assert_eq!(
+            g.objects_of(annotated_fk, preds::FOREIGN_KEY).len(),
+            1,
+            "annotated FK must be present"
+        );
+        let hist_fk = g.node("phys/individual_name_hist/party_id").unwrap();
+        assert!(
+            g.objects_of(hist_fk, preds::FOREIGN_KEY).is_empty(),
+            "historisation FK must be invisible to SODA"
+        );
+    }
+
+    #[test]
+    fn historization_links_become_annotation_nodes() {
+        let mut model = tiny_model();
+        model.historization.push(crate::model::HistorizationLink {
+            hist_table: "individual_name_hist".into(),
+            current_table: "individual".into(),
+            valid_from_column: "valid_from".into(),
+            valid_to_column: "valid_to".into(),
+        });
+        // A link pointing at a missing table is skipped rather than panicking.
+        model.historization.push(crate::model::HistorizationLink {
+            hist_table: "missing_hist".into(),
+            current_table: "individual".into(),
+            valid_from_column: "valid_from".into(),
+            valid_to_column: "valid_to".into(),
+        });
+        let g = build_graph(&model, &tiny_ontology(), &tiny_synonyms());
+        let h = g.node("hist/individual_name_hist").unwrap();
+        assert!(g.has_type(h, types::HISTORIZATION_NODE));
+        let hist = g.node("phys/individual_name_hist").unwrap();
+        let current = g.node("phys/individual").unwrap();
+        assert_eq!(g.objects_of(h, preds::HIST_TABLE), vec![hist]);
+        assert_eq!(g.objects_of(h, preds::CURRENT_TABLE), vec![current]);
+        assert!(g.node("hist/missing_hist").is_none());
+    }
+
+    #[test]
+    fn inheritance_node_connects_parent_and_children() {
+        let g = build_graph(&tiny_model(), &tiny_ontology(), &tiny_synonyms());
+        let inh = g.node("inh/party").unwrap();
+        assert!(g.has_type(inh, types::INHERITANCE_NODE));
+        assert_eq!(g.objects_of(inh, preds::INHERITANCE_CHILD).len(), 2);
+        assert_eq!(g.objects_of(inh, preds::INHERITANCE_PARENT).len(), 1);
+    }
+
+    #[test]
+    fn layers_are_linked_top_down() {
+        let g = build_graph(&tiny_model(), &tiny_ontology(), &tiny_synonyms());
+        let conceptual = g.node("concept/parties").unwrap();
+        let logical = g.node("logical/individuals").unwrap();
+        let physical = g.node("phys/individual").unwrap();
+        assert!(g.objects_of(conceptual, preds::REFINED_BY).contains(&logical));
+        assert!(g.objects_of(logical, preds::IMPLEMENTED_BY).contains(&physical));
+        // The logical "salary" attribute is realised by the physical column.
+        let attr = g.node("logical/individuals/salary").unwrap();
+        let col = g.node("phys/individual/salary").unwrap();
+        assert!(g.objects_of(attr, preds::REALIZED_BY).contains(&col));
+    }
+
+    #[test]
+    fn ontology_concepts_classify_and_define_filters() {
+        let g = build_graph(&tiny_model(), &tiny_ontology(), &tiny_synonyms());
+        let private = g.node("onto/private-customers").unwrap();
+        let individual = g.node("phys/individual").unwrap();
+        assert!(g.objects_of(private, preds::CLASSIFIES).contains(&individual));
+
+        let wealthy = g.node("onto/wealthy-customers").unwrap();
+        let filters = g.objects_of(wealthy, preds::DEFINED_FILTER);
+        assert_eq!(filters.len(), 1);
+        assert_eq!(g.text_of(filters[0], preds::FILTER_VALUE), Some("500000"));
+    }
+
+    #[test]
+    fn dbpedia_terms_point_at_existing_targets_only() {
+        let g = build_graph(&tiny_model(), &tiny_ontology(), &tiny_synonyms());
+        // "client" resolves to the Parties conceptual entity.
+        let hits = g.nodes_with_label("client");
+        assert_eq!(hits.len(), 1);
+        let (node, _) = hits[0];
+        assert!(g.has_type(node, types::DBPEDIA_TERM));
+        // "ghost" pointed at a missing table and must not create a node.
+        assert!(g.nodes_with_label("ghost").is_empty());
+    }
+
+    #[test]
+    fn slug_and_phrase_normalisation() {
+        assert_eq!(slug("Financial Instruments"), "financial_instruments");
+        assert_eq!(phrase("trade_order_td"), "trade order td");
+        assert_eq!(phrase("  Given   Name "), "given name");
+    }
+}

@@ -1,0 +1,60 @@
+//! # soda
+//!
+//! Facade crate for the reproduction of *"SODA: Generating SQL for Business
+//! Users"* (Blunschi, Jossen, Kossmann, Mori, Stockinger — PVLDB 5(10), 2012).
+//!
+//! SODA lets business users pose keyword + operator queries against a complex
+//! enterprise data warehouse and generates ranked, executable SQL by matching
+//! *metadata-graph patterns* against a graph that spans the conceptual,
+//! logical and physical schema, domain ontologies, DBpedia synonyms and the
+//! base data (via an inverted index).
+//!
+//! This crate simply re-exports the workspace crates under stable paths and
+//! hosts the runnable examples (`examples/`) and the cross-crate integration
+//! tests (`tests/`):
+//!
+//! * [`metagraph`] — RDF-like metadata graph, pattern language, matcher.
+//! * [`relation`] — in-memory relational engine with a SQL subset and an
+//!   inverted index over the base data.
+//! * [`warehouse`] — the paper's mini-bank running example and a synthetic
+//!   enterprise warehouse mirroring the Credit Suisse schema statistics.
+//! * [`core`] — the SODA engine itself: query language, five-step pipeline,
+//!   ranking and SQL generation.
+//! * [`baselines`] — capability-level re-implementations of DBExplorer,
+//!   DISCOVER, BANKS, SQAK and Keymantic.
+//! * [`eval`] — workload, gold standard, precision/recall metrics and the
+//!   experiment drivers that regenerate every table and figure of the paper.
+//! * [`explorer`] — schema browser and legacy-system reverse engineering (the
+//!   war-story use cases of §5.3.2).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use soda::prelude::*;
+//!
+//! // Build the paper's running example (Figures 1 and 2) with seeded data.
+//! let warehouse = soda::warehouse::minibank::build(42);
+//! let engine = SodaEngine::new(&warehouse.database, &warehouse.graph, SodaConfig::default());
+//!
+//! // "What is the address of Sara Guttinger?"
+//! let results = engine.search("Sara Guttinger").unwrap();
+//! assert!(!results.is_empty());
+//! println!("{}", results[0].sql);
+//! ```
+
+pub use soda_baselines as baselines;
+pub use soda_core as core;
+pub use soda_eval as eval;
+pub use soda_explorer as explorer;
+pub use soda_metagraph as metagraph;
+pub use soda_relation as relation;
+pub use soda_warehouse as warehouse;
+
+/// Convenient glob-import surface for examples and downstream users.
+pub mod prelude {
+    pub use soda_core::{FeedbackStore, SodaConfig, SodaEngine, SodaResult};
+    pub use soda_explorer::SchemaBrowser;
+    pub use soda_metagraph::{MetaGraph, Pattern, PatternRegistry};
+    pub use soda_relation::{Database, ResultSet, Value};
+    pub use soda_warehouse::Warehouse;
+}
