@@ -105,14 +105,7 @@ impl BaselineSystem for Banks {
         for table in &schema_tables {
             hits.push(DataHit {
                 table: table.clone(),
-                column: db
-                    .table(table)
-                    .ok()?
-                    .schema()
-                    .columns
-                    .first()?
-                    .name
-                    .clone(),
+                column: db.table(table).ok()?.schema().columns.first()?.name.clone(),
                 value: String::new(),
                 exact: false,
             });
@@ -150,7 +143,9 @@ mod tests {
         let w = minibank::build(42);
         let index = InvertedIndex::build(&w.database);
         let b = Banks;
-        assert!(b.answer(&w.database, &index, "count (transactions)").is_none());
+        assert!(b
+            .answer(&w.database, &index, "count (transactions)")
+            .is_none());
         assert!(b.answer(&w.database, &index, "salary > 100000").is_none());
         assert_eq!(b.support(QueryFeature::Schema), Support::Yes);
         assert_eq!(b.support(QueryFeature::Inheritance), Support::No);

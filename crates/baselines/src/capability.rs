@@ -41,9 +41,8 @@ mod tests {
     fn matrix_matches_table5_of_the_paper() {
         let matrix = capability_matrix();
         assert_eq!(matrix.len(), 6);
-        let row = |name: &str| -> &SystemCapability {
-            matrix.iter().find(|r| r.system == name).unwrap()
-        };
+        let row =
+            |name: &str| -> &SystemCapability { matrix.iter().find(|r| r.system == name).unwrap() };
         // Base data row: (X) (X) X NO (NO) X
         assert_eq!(row("DBExplorer").support[0], Support::Partial);
         assert_eq!(row("DISCOVER").support[0], Support::Partial);

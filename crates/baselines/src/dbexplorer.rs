@@ -8,7 +8,9 @@
 use soda_relation::{Database, InvertedIndex};
 
 use crate::feature::{QueryFeature, Support};
-use crate::system::{base_data_terms, candidate_network_sql, BaselineAnswer, BaselineSystem, SchemaJoinGraph};
+use crate::system::{
+    base_data_terms, candidate_network_sql, BaselineAnswer, BaselineSystem, SchemaJoinGraph,
+};
 
 /// The DBExplorer-like system.
 #[derive(Debug, Default, Clone)]
@@ -67,9 +69,7 @@ mod tests {
         let w = minibank::build(42);
         let index = InvertedIndex::build(&w.database);
         let d = DbExplorer;
-        assert!(d
-            .answer(&w.database, &index, "salary >= 100000")
-            .is_none());
+        assert!(d.answer(&w.database, &index, "salary >= 100000").is_none());
         assert_eq!(d.support(QueryFeature::Predicates), Support::No);
     }
 }

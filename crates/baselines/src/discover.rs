@@ -9,7 +9,9 @@
 use soda_relation::{Database, InvertedIndex};
 
 use crate::feature::{QueryFeature, Support};
-use crate::system::{base_data_terms, candidate_network_sql, BaselineAnswer, BaselineSystem, SchemaJoinGraph};
+use crate::system::{
+    base_data_terms, candidate_network_sql, BaselineAnswer, BaselineSystem, SchemaJoinGraph,
+};
 
 /// The DISCOVER-like system.
 #[derive(Debug, Default, Clone)]
@@ -82,7 +84,13 @@ mod tests {
         let w = minibank::build(42);
         let index = InvertedIndex::build(&w.database);
         let d = Discover;
-        assert!(d.answer(&w.database, &index, "sum (amount) group by (transaction date)").is_none());
+        assert!(d
+            .answer(
+                &w.database,
+                &index,
+                "sum (amount) group by (transaction date)"
+            )
+            .is_none());
         // "private customers" only exists in the ontology, not in the data.
         assert!(d.answer(&w.database, &index, "private customers").is_none());
     }

@@ -8,7 +8,7 @@
 //! with thousands of columns this assignment picks the wrong columns — which
 //! is exactly what happens here on the enterprise schema.
 
-use soda_relation::{Database, DataType, InvertedIndex};
+use soda_relation::{DataType, Database, InvertedIndex};
 
 use crate::feature::{QueryFeature, Support};
 use crate::system::{BaselineAnswer, BaselineSystem, SchemaJoinGraph};
@@ -56,13 +56,19 @@ impl Keymantic {
                 || (token.ends_with("ies") && format!("{}y", &token[..token.len() - 3]) == word)
         };
         for table in db.tables() {
-            if soda_relation::tokenize(table.name()).iter().any(|t| token_matches(t)) {
+            if soda_relation::tokenize(table.name())
+                .iter()
+                .any(|t| token_matches(t))
+            {
                 return Some((table.name().to_string(), None));
             }
         }
         for table in db.tables() {
             for col in &table.schema().columns {
-                if soda_relation::tokenize(&col.name).iter().any(|t| token_matches(t)) {
+                if soda_relation::tokenize(&col.name)
+                    .iter()
+                    .any(|t| token_matches(t))
+                {
                     return Some((table.name().to_string(), Some(col.name.clone())));
                 }
             }
@@ -139,7 +145,10 @@ impl BaselineSystem for Keymantic {
                 .map(|c| c.name.clone())?;
             for w in &value_words {
                 filters.push(format!("{}.{} LIKE '%{}%'", tables[0], column, w));
-                notes.push(format!("'{w}' treated as a value of {}.{}", tables[0], column));
+                notes.push(format!(
+                    "'{w}' treated as a value of {}.{}",
+                    tables[0], column
+                ));
             }
         }
         // Join the matched tables pairwise through the FK graph.
@@ -182,7 +191,9 @@ mod tests {
         let w = minibank::build(42);
         let index = InvertedIndex::build(&w.database);
         let k = Keymantic::default();
-        let a = k.answer(&w.database, &index, "customers addresses").unwrap();
+        let a = k
+            .answer(&w.database, &index, "customers addresses")
+            .unwrap();
         assert!(a.sql[0].contains("parties"));
         assert!(a.sql[0].contains("addresses"));
         let rs = w.database.run_sql(&a.sql[0]);

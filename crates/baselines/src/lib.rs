@@ -29,10 +29,10 @@ pub use system::{BaselineAnswer, BaselineSystem, SchemaJoinGraph};
 /// Constructs every baseline system.
 pub fn all_baselines() -> Vec<Box<dyn BaselineSystem>> {
     vec![
-        Box::new(dbexplorer::DbExplorer::default()),
-        Box::new(discover::Discover::default()),
-        Box::new(banks::Banks::default()),
-        Box::new(sqak::Sqak::default()),
+        Box::new(dbexplorer::DbExplorer),
+        Box::new(discover::Discover),
+        Box::new(banks::Banks),
+        Box::new(sqak::Sqak),
         Box::new(keymantic::Keymantic::default()),
     ]
 }
@@ -43,7 +43,10 @@ mod tests {
 
     #[test]
     fn all_five_comparison_systems_are_available() {
-        let names: Vec<_> = all_baselines().iter().map(|b| b.name().to_string()).collect();
+        let names: Vec<_> = all_baselines()
+            .iter()
+            .map(|b| b.name().to_string())
+            .collect();
         assert_eq!(
             names,
             vec!["DBExplorer", "DISCOVER", "BANKS", "SQAK", "Keymantic"]

@@ -33,7 +33,10 @@ impl Sqak {
         // Fall back to a table-name match: use its first column.
         for table in db.tables() {
             let squashed: String = soda_relation::tokenize(table.name()).concat();
-            if squashed == wanted || squashed == format!("{wanted}s") || format!("{squashed}s") == wanted {
+            if squashed == wanted
+                || squashed == format!("{wanted}s")
+                || format!("{squashed}s") == wanted
+            {
                 return table
                     .schema()
                     .columns
@@ -125,7 +128,11 @@ impl BaselineSystem for Sqak {
             select_list.push(format!("{t}.{c}"));
         }
         select_list.push(agg_sql);
-        let mut sql = format!("SELECT {} FROM {}", select_list.join(", "), tables.join(", "));
+        let mut sql = format!(
+            "SELECT {} FROM {}",
+            select_list.join(", "),
+            tables.join(", ")
+        );
         if !joins.is_empty() {
             sql.push_str(" WHERE ");
             sql.push_str(&joins.join(" AND "));
@@ -151,7 +158,11 @@ mod tests {
         let index = InvertedIndex::build(&w.database);
         let s = Sqak;
         let a = s
-            .answer(&w.database, &index, "sum (amount) group by (transactiondate)")
+            .answer(
+                &w.database,
+                &index,
+                "sum (amount) group by (transactiondate)",
+            )
             .unwrap();
         assert!(a.sql[0].to_lowercase().contains("group by"));
         let rs = w.database.run_sql(&a.sql[0]).unwrap();

@@ -112,7 +112,12 @@ impl SchemaJoinGraph {
         seen.insert(from.clone());
         let mut queue = VecDeque::from([from]);
         while let Some(current) = queue.pop_front() {
-            for &i in self.adjacency.get(&current).map(|v| v.as_slice()).unwrap_or(&[]) {
+            for &i in self
+                .adjacency
+                .get(&current)
+                .map(|v| v.as_slice())
+                .unwrap_or(&[])
+            {
                 let join = &self.joins[i];
                 let next = if join.fk_table.eq_ignore_ascii_case(&current) {
                     join.pk_table.to_ascii_lowercase()
@@ -223,7 +228,10 @@ pub fn candidate_network_sql(graph: &SchemaJoinGraph, hits: &[DataHit]) -> Optio
                 hit.value.replace('\'', "''")
             ));
         } else {
-            conditions.push(format!("{}.{} LIKE '%{}%'", hit.table, hit.column, hit.value));
+            conditions.push(format!(
+                "{}.{} LIKE '%{}%'",
+                hit.table, hit.column, hit.value
+            ));
         }
     }
     // Connect every hit table to the first one.
@@ -286,7 +294,8 @@ mod tests {
         )
         .unwrap();
         db.insert("parties", vec![Value::Int(1)]).unwrap();
-        db.insert("individuals", vec![Value::Int(1), Value::from("Sara")]).unwrap();
+        db.insert("individuals", vec![Value::Int(1), Value::from("Sara")])
+            .unwrap();
         db.insert(
             "addresses",
             vec![Value::Int(1), Value::Int(1), Value::from("Zurich")],

@@ -44,7 +44,10 @@ fn bench_historization(c: &mut Criterion) {
     }
     group.finish();
 
-    println!("\n{}", print_historization(&historization_comparison(CONFIG)));
+    println!(
+        "\n{}",
+        print_historization(&historization_comparison(CONFIG))
+    );
 }
 
 /// Far-fetching: workload quality and latency as the join-path bound grows.
@@ -130,5 +133,10 @@ fn bench_reranking(c: &mut Criterion) {
     println!("  after 3 dislikes    : {:?}", reranked[0].tables);
 }
 
-criterion_group!(benches, bench_historization, bench_far_fetching, bench_reranking);
+criterion_group!(
+    benches,
+    bench_historization,
+    bench_far_fetching,
+    bench_reranking
+);
 criterion_main!(benches);

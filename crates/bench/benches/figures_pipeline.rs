@@ -22,7 +22,13 @@ fn bench_figures(c: &mut Criterion) {
     let mut group = c.benchmark_group("figures_pipeline");
     group.sample_size(20);
     group.bench_function("figure5_lookup_classification", |b| {
-        b.iter(|| black_box(engine.search_traced("customers Zurich financial instruments").unwrap()))
+        b.iter(|| {
+            black_box(
+                engine
+                    .search_traced("customers Zurich financial instruments")
+                    .unwrap(),
+            )
+        })
     });
     group.bench_function("figure6_tables_step", |b| {
         b.iter(|| black_box(figures::figure6_tables(&bank)))
@@ -32,9 +38,18 @@ fn bench_figures(c: &mut Criterion) {
     });
     group.finish();
 
-    println!("\nFigure 1 (conceptual schema, DOT):\n{}", figures::figure1_dot(&bank));
-    println!("Figure 2 (logical schema, DOT):\n{}", figures::figure2_dot(&bank));
-    println!("Figure 3 (metadata layers): {:?}", figures::figure3_layers(&bank));
+    println!(
+        "\nFigure 1 (conceptual schema, DOT):\n{}",
+        figures::figure1_dot(&bank)
+    );
+    println!(
+        "Figure 2 (logical schema, DOT):\n{}",
+        figures::figure2_dot(&bank)
+    );
+    println!(
+        "Figure 3 (metadata layers): {:?}",
+        figures::figure3_layers(&bank)
+    );
     println!(
         "Figure 4 (pipeline step shares): {:?}",
         figures::figure4_trace(&bank, "customers Zurich financial instruments")
@@ -43,12 +58,21 @@ fn bench_figures(c: &mut Criterion) {
         "Figure 5 (classification): {:?}",
         figures::figure5_classification(&bank)
     );
-    println!("Figure 6 (tables step): {:?}", figures::figure6_tables(&bank));
+    println!(
+        "Figure 6 (tables step): {:?}",
+        figures::figure6_tables(&bank)
+    );
     println!("Figure 7 (table pattern): {}", figures::figure7_pattern());
-    println!("Figure 8 (foreign-key pattern): {}", figures::figure8_pattern());
+    println!(
+        "Figure 8 (foreign-key pattern): {}",
+        figures::figure8_pattern()
+    );
     let (used, attached) = figures::figure9_direct_path(&enterprise);
     println!("Figure 9 (joins on direct path): used {used:?} of attached {attached:?}");
-    println!("Figure 10 (schema hierarchy):\n{}", figures::figure10_hierarchy(&enterprise));
+    println!(
+        "Figure 10 (schema hierarchy):\n{}",
+        figures::figure10_hierarchy(&enterprise)
+    );
 }
 
 criterion_group!(benches, bench_figures);

@@ -34,7 +34,11 @@ fn bench_lookup(c: &mut Criterion) {
             &warehouse,
             |b, w| {
                 b.iter(|| {
-                    black_box(SodaEngine::new(&w.database, &w.graph, SodaConfig::default()))
+                    black_box(SodaEngine::new(
+                        &w.database,
+                        &w.graph,
+                        SodaConfig::default(),
+                    ))
                 })
             },
         );

@@ -39,7 +39,13 @@ fn bench_metagraph(c: &mut Criterion) {
     });
 
     group.bench_function("join_catalog_build", |b| {
-        b.iter(|| black_box(JoinCatalog::build(graph, &patterns, &warehouse.database).edges.len()))
+        b.iter(|| {
+            black_box(
+                JoinCatalog::build(graph, &patterns, &warehouse.database)
+                    .edges
+                    .len(),
+            )
+        })
     });
 
     group.bench_function("join_path_5way", |b| {

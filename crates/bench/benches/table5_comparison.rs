@@ -33,7 +33,11 @@ fn bench_table5(c: &mut Criterion) {
                 b.iter(|| {
                     let answered: usize = queries
                         .iter()
-                        .filter(|q| system.answer(&warehouse.database, &index, q.keywords).is_some())
+                        .filter(|q| {
+                            system
+                                .answer(&warehouse.database, &index, q.keywords)
+                                .is_some()
+                        })
                         .count();
                     black_box(answered)
                 })

@@ -153,6 +153,9 @@ mod tests {
     #[test]
     fn uniform_weights_are_flat() {
         let w = RankingWeights::uniform();
-        assert_eq!(w.weight(Provenance::DomainOntology), w.weight(Provenance::DbPedia));
+        assert_eq!(
+            w.weight(Provenance::DomainOntology),
+            w.weight(Provenance::DbPedia)
+        );
     }
 }

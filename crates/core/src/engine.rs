@@ -136,12 +136,7 @@ impl<'a> SodaEngine<'a> {
     /// ones, and so on.  The engine materialises up to
     /// `(page + 1) * page_size` statements for the request, independent of
     /// `config.max_results`.
-    pub fn search_paged(
-        &self,
-        input: &str,
-        page: usize,
-        page_size: usize,
-    ) -> Result<ResultPage> {
+    pub fn search_paged(&self, input: &str, page: usize, page_size: usize) -> Result<ResultPage> {
         let page_size = page_size.max(1);
         let needed = (page + 1).saturating_mul(page_size).saturating_add(1);
         let (results, _) = self.search_limited(input, None, needed)?;

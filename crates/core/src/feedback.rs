@@ -146,7 +146,10 @@ mod tests {
         store.like(&org);
         store.like(&org);
         store.dislike(&org);
-        assert_eq!(store.net_votes("Credit Suisse", "phys/organization/org_name"), 1);
+        assert_eq!(
+            store.net_votes("Credit Suisse", "phys/organization/org_name"),
+            1
+        );
         // The agreement interpretation of the same phrase is unaffected.
         assert_eq!(
             store.net_votes("credit suisse", "phys/agreement_td/agreement_name"),
@@ -171,13 +174,19 @@ mod tests {
         let mut store = FeedbackStore::with_weights(0.5, 2.0);
         store.vote("sara", "phys/individual/given_name", 3);
         assert!((store.adjustment("sara", "phys/individual/given_name") - 1.5).abs() < 1e-9);
-        assert_eq!(store.adjustment("sara", "phys/individual_name_hist/given_name"), 0.0);
+        assert_eq!(
+            store.adjustment("sara", "phys/individual_name_hist/given_name"),
+            0.0
+        );
     }
 
     #[test]
     fn feedback_is_case_insensitive_on_the_phrase() {
         let mut store = FeedbackStore::new();
-        let r = result_with(vec![choice("Financial Instruments", "concept/financial_instruments")]);
+        let r = result_with(vec![choice(
+            "Financial Instruments",
+            "concept/financial_instruments",
+        )]);
         store.dislike(&r);
         assert_eq!(
             store.net_votes("financial instruments", "concept/financial_instruments"),

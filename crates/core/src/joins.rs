@@ -131,7 +131,9 @@ impl JoinCatalog {
             let Some((fk_table, fk_column)) = column_name(graph, node, db) else {
                 continue;
             };
-            let Some(pk_node) = binding.node("y") else { continue };
+            let Some(pk_node) = binding.node("y") else {
+                continue;
+            };
             let Some((pk_table, pk_column)) = column_name(graph, pk_node, db) else {
                 continue;
             };
@@ -162,7 +164,7 @@ impl JoinCatalog {
                 explicit_join_node: true,
             });
         }
-        edges.sort_by(|a, b| a.condition().cmp(&b.condition()));
+        edges.sort_by_key(|a| a.condition());
         edges.dedup_by(|a, b| a.condition() == b.condition());
 
         // Inheritance links.
@@ -171,7 +173,9 @@ impl JoinCatalog {
             let Some(child_table) = crate::resolve::table_name(graph, child_node, db) else {
                 continue;
             };
-            let Some(parent_node) = binding.node("p") else { continue };
+            let Some(parent_node) = binding.node("p") else {
+                continue;
+            };
             let Some(parent_table) = crate::resolve::table_name(graph, parent_node, db) else {
                 continue;
             };
@@ -201,7 +205,9 @@ impl JoinCatalog {
             let Some(hist_table) = crate::resolve::table_name(graph, hist_node, db) else {
                 continue;
             };
-            let Some(current_node) = binding.node("c") else { continue };
+            let Some(current_node) = binding.node("c") else {
+                continue;
+            };
             let Some(current_table) = crate::resolve::table_name(graph, current_node, db) else {
                 continue;
             };
@@ -310,7 +316,9 @@ impl JoinCatalog {
             };
             for &i in idxs {
                 let edge = &self.edges[i];
-                let Some(next) = edge.other(&current) else { continue };
+                let Some(next) = edge.other(&current) else {
+                    continue;
+                };
                 let next = next.to_ascii_lowercase();
                 if seen.insert(next.clone()) {
                     prev.insert(next.clone(), (current.clone(), i));
@@ -383,7 +391,10 @@ mod tests {
             ("party", vec!["party_id"]),
             ("individual", vec!["party_id", "given_name"]),
             ("organization", vec!["party_id", "org_name"]),
-            ("associate_employment", vec!["individual_id", "organization_id"]),
+            (
+                "associate_employment",
+                vec!["individual_id", "organization_id"],
+            ),
             ("agreement_td", vec!["agreement_id", "party_id"]),
             ("account_td", vec!["account_id", "agreement_id"]),
         ] {
@@ -406,9 +417,13 @@ mod tests {
         let (party, party_cols) = mk_table(&mut b, "party", &["party_id"]);
         let (individual, ind_cols) = mk_table(&mut b, "individual", &["party_id", "given_name"]);
         let (organization, org_cols) = mk_table(&mut b, "organization", &["party_id", "org_name"]);
-        let (_bridge, bridge_cols) =
-            mk_table(&mut b, "associate_employment", &["individual_id", "organization_id"]);
-        let (_agreement, agr_cols) = mk_table(&mut b, "agreement_td", &["agreement_id", "party_id"]);
+        let (_bridge, bridge_cols) = mk_table(
+            &mut b,
+            "associate_employment",
+            &["individual_id", "organization_id"],
+        );
+        let (_agreement, agr_cols) =
+            mk_table(&mut b, "agreement_td", &["agreement_id", "party_id"]);
         let (_account, acc_cols) = mk_table(&mut b, "account_td", &["account_id", "agreement_id"]);
 
         b.foreign_key(ind_cols[0], party_cols[0]);
@@ -439,7 +454,10 @@ mod tests {
         assert_eq!(catalog.inheritance.len(), 2);
         let link = catalog.parent_of("individual").unwrap();
         assert_eq!(link.parent_table, "party");
-        assert_eq!(link.join.as_ref().unwrap().condition(), "individual.party_id = party.party_id");
+        assert_eq!(
+            link.join.as_ref().unwrap().condition(),
+            "individual.party_id = party.party_id"
+        );
         assert!(catalog.parent_of("party").is_none());
     }
 
@@ -477,7 +495,13 @@ mod tests {
         let hist = b.physical_table("phys/individual_name_hist", "individual_name_hist");
         b.physical_column(individual, "phys/individual/party_id", "party_id");
         b.physical_column(hist, "phys/individual_name_hist/party_id", "party_id");
-        b.historization("hist/individual_name_hist", hist, individual, "valid_from", "valid_to");
+        b.historization(
+            "hist/individual_name_hist",
+            hist,
+            individual,
+            "valid_from",
+            "valid_to",
+        );
         let g = b.build();
         let catalog = JoinCatalog::build(&g, &SodaPatterns::default(), &db);
         assert_eq!(catalog.historization.len(), 1);
@@ -510,7 +534,10 @@ mod tests {
         // The account_td → individual path needs 3 edges.
         assert!(catalog.path_within("account_td", "individual", 2).is_none());
         assert_eq!(
-            catalog.path_within("account_td", "individual", 3).unwrap().len(),
+            catalog
+                .path_within("account_td", "individual", 3)
+                .unwrap()
+                .len(),
             3
         );
         // A generous bound behaves like the unbounded search.
@@ -519,7 +546,9 @@ mod tests {
             catalog.path("account_td", "individual")
         );
         // Degenerate bounds.
-        assert!(catalog.path_within("account_td", "agreement_td", 0).is_none());
+        assert!(catalog
+            .path_within("account_td", "agreement_td", 0)
+            .is_none());
         assert!(catalog
             .path_within("account_td", "account_td", 0)
             .unwrap()

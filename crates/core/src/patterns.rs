@@ -72,8 +72,7 @@ impl Default for SodaPatterns {
                 .expect("metadata filter pattern"),
         );
         registry.register(
-            Pattern::parse("historization", HISTORIZATION_PATTERN)
-                .expect("historization pattern"),
+            Pattern::parse("historization", HISTORIZATION_PATTERN).expect("historization pattern"),
         );
         Self { registry }
     }
@@ -93,12 +92,16 @@ impl SodaPatterns {
 
     /// The Table pattern.
     pub fn table(&self) -> &Pattern {
-        self.registry.get("table").expect("table pattern registered")
+        self.registry
+            .get("table")
+            .expect("table pattern registered")
     }
 
     /// The Column pattern.
     pub fn column(&self) -> &Pattern {
-        self.registry.get("column").expect("column pattern registered")
+        self.registry
+            .get("column")
+            .expect("column pattern registered")
     }
 
     /// The Foreign-Key pattern.
@@ -157,8 +160,11 @@ mod tests {
     #[test]
     fn custom_patterns_can_replace_defaults() {
         let mut p = SodaPatterns::default();
-        let custom =
-            Pattern::parse("table", "( x table_name t:y ) & ( x type relational_table )").unwrap();
+        let custom = Pattern::parse(
+            "table",
+            "( x table_name t:y ) & ( x type relational_table )",
+        )
+        .unwrap();
         p.register(custom);
         assert_eq!(p.table().items[0].to_string(), "( x table_name t:y )");
     }

@@ -58,7 +58,10 @@ pub fn run(
                 .into_iter()
                 .next()
             else {
-                notes.push(format!("metadata filter of '{}' has no column", entry.phrase));
+                notes.push(format!(
+                    "metadata filter of '{}' has no column",
+                    entry.phrase
+                ));
                 continue;
             };
             let Some((table, column)) = column_name(ctx.graph, column_node, ctx.db) else {
@@ -77,10 +80,11 @@ pub fn run(
             // Make sure the filtered table participates in the query.
             if !plan.tables.iter().any(|t| t.eq_ignore_ascii_case(&table)) {
                 if let Some(anchor_table) = plan.tables.iter().next().cloned() {
-                    if let Some(path) =
-                        ctx.joins
-                            .path_within(&table, &anchor_table, ctx.config.max_join_path_length)
-                    {
+                    if let Some(path) = ctx.joins.path_within(
+                        &table,
+                        &anchor_table,
+                        ctx.config.max_join_path_length,
+                    ) {
                         for edge in path {
                             plan.tables.insert(edge.fk_table.clone());
                             plan.tables.insert(edge.pk_table.clone());
@@ -123,8 +127,16 @@ pub fn run(
                 };
                 let from = Expr::qualified(link.hist_table.clone(), link.valid_from_column.clone());
                 let to = Expr::qualified(link.hist_table.clone(), link.valid_to_column.clone());
-                filters.push(Expr::compare(CompareOp::LtEq, from, Expr::Literal(date.clone())));
-                filters.push(Expr::compare(CompareOp::GtEq, to, Expr::Literal(date.clone())));
+                filters.push(Expr::compare(
+                    CompareOp::LtEq,
+                    from,
+                    Expr::Literal(date.clone()),
+                ));
+                filters.push(Expr::compare(
+                    CompareOp::GtEq,
+                    to,
+                    Expr::Literal(date.clone()),
+                ));
                 applied = true;
             }
             if !applied {
@@ -154,7 +166,11 @@ pub fn run(
         let column_expr = Expr::qualified(table, column);
         match &constraint.kind {
             ConstraintKind::Compare { op, value } => {
-                filters.push(Expr::compare(*op, column_expr, Expr::Literal(value.clone())));
+                filters.push(Expr::compare(
+                    *op,
+                    column_expr,
+                    Expr::Literal(value.clone()),
+                ));
             }
             ConstraintKind::Between { low, high } => {
                 filters.push(Expr::compare(
@@ -204,7 +220,10 @@ mod tests {
     fn literal_parsing_prefers_numbers_then_dates() {
         assert_eq!(parse_literal("500000"), Value::Int(500000));
         assert_eq!(parse_literal("1.5"), Value::Float(1.5));
-        assert_eq!(parse_literal("2011-09-01"), Value::Date(Date::new(2011, 9, 1)));
+        assert_eq!(
+            parse_literal("2011-09-01"),
+            Value::Date(Date::new(2011, 9, 1))
+        );
         assert_eq!(parse_literal("Zurich"), Value::Text("Zurich".into()));
     }
 }

@@ -104,7 +104,11 @@ pub fn enumerate_and_rank_boosted(
         }
     }
 
-    solutions.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal));
+    solutions.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     solutions.truncate(top_n);
     solutions
 }
@@ -191,19 +195,13 @@ mod tests {
         let (lookup, _g) = lookup_fixture();
         // Without a boost the conceptual-schema interpretation wins; a strong
         // boost on the logical-schema candidate flips the order.
-        let sols = enumerate_and_rank_boosted(
-            &lookup,
-            &RankingWeights::default(),
-            10,
-            1000,
-            |e| {
-                if e.provenance == Provenance::LogicalSchema {
-                    0.5
-                } else {
-                    0.0
-                }
-            },
-        );
+        let sols = enumerate_and_rank_boosted(&lookup, &RankingWeights::default(), 10, 1000, |e| {
+            if e.provenance == Provenance::LogicalSchema {
+                0.5
+            } else {
+                0.0
+            }
+        });
         assert_eq!(sols.len(), 2);
         assert_eq!(sols[0].entries[1].provenance, Provenance::LogicalSchema);
     }

@@ -5,7 +5,9 @@
 //! single executable `SELECT` statement in the style the paper uses
 //! (comma-separated FROM list, join predicates in the WHERE clause).
 
-use soda_relation::{CompareOp, DataType, Expr, OrderByItem, SelectItem, SelectStatement, TableRef};
+use soda_relation::{
+    CompareOp, DataType, Expr, OrderByItem, SelectItem, SelectStatement, TableRef,
+};
 
 use crate::pipeline::lookup::{LookupResult, TermRole};
 use crate::pipeline::tables::TablePlan;
@@ -60,7 +62,12 @@ pub fn run(
             None => None,
             Some(phrase) => {
                 // Same reasoning as for group-by attributes.
-                Some(resolve_attribute(ctx, plan, phrase, TermRole::AggregationAttribute)?)
+                Some(resolve_attribute(
+                    ctx,
+                    plan,
+                    phrase,
+                    TermRole::AggregationAttribute,
+                )?)
             }
         };
         let expr = Expr::Aggregate {
@@ -110,11 +117,7 @@ fn resolve_attribute(
     phrase: &str,
     role: TermRole,
 ) -> Option<Expr> {
-    let anchors: Vec<_> = plan
-        .anchors
-        .iter()
-        .filter(|a| a.phrase == phrase)
-        .collect();
+    let anchors: Vec<_> = plan.anchors.iter().filter(|a| a.phrase == phrase).collect();
     let preferred = anchors
         .iter()
         .find(|a| a.role == role && a.column.is_some())

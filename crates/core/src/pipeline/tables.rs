@@ -232,12 +232,20 @@ pub fn run(ctx: &PipelineContext<'_>, solution: &Solution) -> TablePlan {
     // Tables that ended up without any join to the rest (and are not anchors)
     // would force a cross product in the executor; connect them if possible,
     // otherwise drop them.
-    let anchor_set: HashSet<String> = anchor_tables.iter().map(|t| t.to_ascii_lowercase()).collect();
+    let anchor_set: HashSet<String> = anchor_tables
+        .iter()
+        .map(|t| t.to_ascii_lowercase())
+        .collect();
     if plan.tables.len() > 1 {
         let connected: HashSet<String> = plan
             .joins
             .iter()
-            .flat_map(|j| [j.fk_table.to_ascii_lowercase(), j.pk_table.to_ascii_lowercase()])
+            .flat_map(|j| {
+                [
+                    j.fk_table.to_ascii_lowercase(),
+                    j.pk_table.to_ascii_lowercase(),
+                ]
+            })
             .collect();
         let reference = anchor_tables
             .first()
@@ -252,7 +260,8 @@ pub fn run(ctx: &PipelineContext<'_>, solution: &Solution) -> TablePlan {
             if let Some(reference) = &reference {
                 if !reference.eq_ignore_ascii_case(&table) {
                     if let Some(path) =
-                        ctx.joins.path_within(&table, reference, ctx.config.max_join_path_length)
+                        ctx.joins
+                            .path_within(&table, reference, ctx.config.max_join_path_length)
                     {
                         for edge in path {
                             plan.tables.insert(edge.fk_table.clone());

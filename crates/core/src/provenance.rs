@@ -79,11 +79,26 @@ mod tests {
         let inh = b.inheritance("inh/t", table, &[col, col]);
         let g = b.build();
 
-        assert_eq!(Provenance::of_node(&g, table), Some(Provenance::PhysicalSchema));
-        assert_eq!(Provenance::of_node(&g, col), Some(Provenance::PhysicalSchema));
-        assert_eq!(Provenance::of_node(&g, onto), Some(Provenance::DomainOntology));
-        assert_eq!(Provenance::of_node(&g, logical), Some(Provenance::LogicalSchema));
-        assert_eq!(Provenance::of_node(&g, conceptual), Some(Provenance::ConceptualSchema));
+        assert_eq!(
+            Provenance::of_node(&g, table),
+            Some(Provenance::PhysicalSchema)
+        );
+        assert_eq!(
+            Provenance::of_node(&g, col),
+            Some(Provenance::PhysicalSchema)
+        );
+        assert_eq!(
+            Provenance::of_node(&g, onto),
+            Some(Provenance::DomainOntology)
+        );
+        assert_eq!(
+            Provenance::of_node(&g, logical),
+            Some(Provenance::LogicalSchema)
+        );
+        assert_eq!(
+            Provenance::of_node(&g, conceptual),
+            Some(Provenance::ConceptualSchema)
+        );
         assert_eq!(Provenance::of_node(&g, dbp), Some(Provenance::DbPedia));
         assert_eq!(Provenance::of_node(&g, inh), None);
     }

@@ -183,7 +183,10 @@ mod tests {
             soda_relation::Value::Text("Sara".into())
         );
         let d = Date::new(2011, 9, 1);
-        assert_eq!(QueryValue::Date(d).to_value(), soda_relation::Value::Date(d));
+        assert_eq!(
+            QueryValue::Date(d).to_value(),
+            soda_relation::Value::Date(d)
+        );
     }
 
     #[test]

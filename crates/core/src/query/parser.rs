@@ -123,7 +123,9 @@ impl Parser {
                 }
                 Ok(QueryValue::Text(w))
             }
-            other => Err(SodaError::Query(format!("expected a value, found {other:?}"))),
+            other => Err(SodaError::Query(format!(
+                "expected a value, found {other:?}"
+            ))),
         }
     }
 
@@ -233,10 +235,9 @@ pub fn parse_query(input: &str) -> Result<SodaQuery> {
                         // `valid at date(…)` — the temporal operator of the
                         // historization extension.  A bare "valid" without
                         // "at" stays an ordinary keyword.
-                        if p.toks
-                            .get(p.pos + 1)
-                            .is_some_and(|t| matches!(t, Tok::Word(w) if w.eq_ignore_ascii_case("at")))
-                        {
+                        if p.toks.get(p.pos + 1).is_some_and(
+                            |t| matches!(t, Tok::Word(w) if w.eq_ignore_ascii_case("at")),
+                        ) {
                             p.pos += 2;
                             flush(&mut keywords, &mut terms);
                             let value = p.value()?;

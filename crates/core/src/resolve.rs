@@ -123,7 +123,10 @@ mod tests {
     fn node_target_of_a_table_has_no_column() {
         let (g, db) = fixtures();
         let node = g.node("phys/trade_order_td").unwrap();
-        assert_eq!(node_target(&g, node, &db), Some(("trade_order_td".into(), None)));
+        assert_eq!(
+            node_target(&g, node, &db),
+            Some(("trade_order_td".into(), None))
+        );
     }
 
     #[test]

@@ -60,7 +60,13 @@ fn affinity(term: &str, phrase: &str) -> Option<f64> {
         .map(|w| edit_distance(&term, w))
         .min()
         .unwrap_or(usize::MAX);
-    let longest = term.len().max(phrase_lower.split_whitespace().map(str::len).max().unwrap_or(1));
+    let longest = term.len().max(
+        phrase_lower
+            .split_whitespace()
+            .map(str::len)
+            .max()
+            .unwrap_or(1),
+    );
     let normalized = 1.0 - best_distance as f64 / longest as f64;
 
     // Keep candidates that share a prefix or are within ~1/3 edits of a word.

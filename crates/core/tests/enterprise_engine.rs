@@ -21,12 +21,19 @@ fn q1_private_customers_family_name_uses_ontology_and_schema() {
     let e = SodaEngine::new(&w.database, &w.graph, SodaConfig::default());
     let (results, trace) = e.search_traced("private customers family name").unwrap();
     assert!(!results.is_empty());
-    let classification: Vec<_> = trace.classification.iter().map(|(p, _)| p.clone()).collect();
+    let classification: Vec<_> = trace
+        .classification
+        .iter()
+        .map(|(p, _)| p.clone())
+        .collect();
     assert!(classification.contains(&"private customers".to_string()));
     assert!(classification.contains(&"family name".to_string()));
     let top = &results[0];
     assert!(top.tables.contains(&"individual".to_string()));
-    assert!(top.tables.contains(&"party".to_string()), "inheritance parent added");
+    assert!(
+        top.tables.contains(&"party".to_string()),
+        "inheritance parent added"
+    );
     let rs = e.execute(top).unwrap();
     assert!(rs.row_count() > 100);
 }
@@ -36,7 +43,10 @@ fn q2_sara_interpretations_current_vs_historised() {
     let w = small_warehouse();
     let e = SodaEngine::new(&w.database, &w.graph, SodaConfig::default());
     let results = e.search("Sara").unwrap();
-    assert!(results.len() >= 2, "both the current and the historised column should match");
+    assert!(
+        results.len() >= 2,
+        "both the current and the historised column should match"
+    );
     // The current-name interpretation returns exactly the CURRENT_SARA rows;
     // the historisation gap means no interpretation reaches all 20 parties.
     let counts: Vec<usize> = results
@@ -81,7 +91,10 @@ fn historization_annotations_recover_the_historised_saras() {
     let annotated = enterprise::build_with_historization(config);
     let e = SodaEngine::new(&annotated.database, &annotated.graph, SodaConfig::default());
     let results = e.search("Sara").unwrap();
-    assert!(e.join_catalog().historization_of("individual_name_hist").is_some());
+    assert!(e
+        .join_catalog()
+        .historization_of("individual_name_hist")
+        .is_some());
     let joined_hist = results
         .iter()
         .find(|r| {
@@ -128,7 +141,10 @@ fn valid_at_operator_constrains_annotated_history_tables() {
         .map(|r| e.execute(r).unwrap().row_count())
         .unwrap();
     assert!(constrained <= unconstrained);
-    assert!(constrained > 0, "the 2006 validity window intersects the generated history");
+    assert!(
+        constrained > 0,
+        "the 2006 validity window intersects the generated history"
+    );
 
     // On the paper-faithful graph the operator is ignored with a note.
     let plain = enterprise::build_with(config);
@@ -159,9 +175,10 @@ fn use_historization_flag_disables_the_temporal_operator() {
     assert!(results
         .iter()
         .all(|r| !r.sql.contains("valid_from <= '2006-06-30'")));
-    assert!(results
+    assert!(results.iter().any(|r| r
+        .notes
         .iter()
-        .any(|r| r.notes.iter().any(|n| n.contains("historization support disabled"))));
+        .any(|n| n.contains("historization support disabled"))));
 }
 
 #[test]
@@ -194,8 +211,14 @@ fn disliking_an_interpretation_demotes_it_on_later_queries() {
     }
     let reranked = e.search_with_feedback("Credit Suisse", &feedback).unwrap();
     assert_eq!(reranked.len(), results.len(), "feedback only re-ranks");
-    assert_ne!(reranked[0].tables, top_tables, "disliked interpretation still on top");
-    assert!(reranked.iter().any(|r| r.tables == top_tables), "…but it is not removed");
+    assert_ne!(
+        reranked[0].tables, top_tables,
+        "disliked interpretation still on top"
+    );
+    assert!(
+        reranked.iter().any(|r| r.tables == top_tables),
+        "…but it is not removed"
+    );
 
     // …while liking it keeps it on top.
     let mut praise = FeedbackStore::new();
@@ -262,7 +285,10 @@ fn q7_yen_trade_orders_produce_a_multiway_join() {
         r.tables.contains(&"trade_order_td".to_string())
             && e.execute(r).map(|rs| rs.row_count() > 0).unwrap_or(false)
     });
-    assert!(good.is_some(), "no YEN trade-order interpretation produced rows");
+    assert!(
+        good.is_some(),
+        "no YEN trade-order interpretation produced rows"
+    );
 }
 
 #[test]
@@ -299,10 +325,20 @@ fn q10_sum_investments_grouped_by_currency() {
     let results = e.search("sum(investments) group by (currency)").unwrap();
     assert!(!results.is_empty());
     let top = &results[0];
-    assert!(top.sql.to_lowercase().contains("sum(trade_order_td.amount)"), "{}", top.sql);
+    assert!(
+        top.sql
+            .to_lowercase()
+            .contains("sum(trade_order_td.amount)"),
+        "{}",
+        top.sql
+    );
     assert!(top.sql.to_lowercase().contains("group by"), "{}", top.sql);
     let rs = e.execute(top).unwrap();
-    assert!(rs.row_count() >= 5, "one row per currency expected: {}", top.sql);
+    assert!(
+        rs.row_count() >= 5,
+        "one row per currency expected: {}",
+        top.sql
+    );
 }
 
 #[test]
@@ -321,7 +357,10 @@ fn result_pages_partition_the_ranked_list_without_gaps() {
     // The first page is exactly the head of the unpaged ranking.
     assert_eq!(
         first.results.iter().map(|r| &r.sql).collect::<Vec<_>>(),
-        all.iter().take(page_size).map(|r| &r.sql).collect::<Vec<_>>()
+        all.iter()
+            .take(page_size)
+            .map(|r| &r.sql)
+            .collect::<Vec<_>>()
     );
 
     let second = e.search_paged("Credit Suisse", 1, page_size).unwrap();
@@ -349,7 +388,10 @@ fn unmatched_words_get_reformulation_suggestions() {
     assert_eq!(suggestions.len(), 1, "{suggestions:?}");
     assert_eq!(suggestions[0].term, "agreemnt");
     assert!(
-        suggestions[0].candidates.iter().any(|c| c.contains("agreement")),
+        suggestions[0]
+            .candidates
+            .iter()
+            .any(|c| c.contains("agreement")),
         "{:?}",
         suggestions[0].candidates
     );
@@ -364,7 +406,11 @@ fn wealthy_customers_business_term_resolves_through_the_metadata_filter() {
     let e = SodaEngine::new(&w.database, &w.graph, SodaConfig::default());
     let results = e.search("wealthy customers").unwrap();
     assert!(!results.is_empty());
-    assert!(results[0].sql.contains("salary >= 500000"), "{}", results[0].sql);
+    assert!(
+        results[0].sql.contains("salary >= 500000"),
+        "{}",
+        results[0].sql
+    );
 }
 
 #[test]
@@ -384,8 +430,10 @@ fn dbpedia_synonyms_rank_below_domain_ontology() {
 #[test]
 fn disabling_the_inverted_index_removes_base_data_interpretations() {
     let w = small_warehouse();
-    let mut config = SodaConfig::default();
-    config.use_inverted_index = false;
+    let config = SodaConfig {
+        use_inverted_index: false,
+        ..SodaConfig::default()
+    };
     let e = SodaEngine::new(&w.database, &w.graph, config);
     let results = e.search("Credit Suisse").unwrap();
     // "Credit Suisse" only exists in the base data, so metadata-only lookup
@@ -397,7 +445,9 @@ fn disabling_the_inverted_index_removes_base_data_interpretations() {
 fn bridge_tables_between_siblings_are_in_the_join_catalog() {
     let w = small_warehouse();
     let e = SodaEngine::new(&w.database, &w.graph, SodaConfig::default());
-    let bridges = e.join_catalog().bridges_connecting("individual", "organization");
+    let bridges = e
+        .join_catalog()
+        .bridges_connecting("individual", "organization");
     assert_eq!(bridges.len(), 1);
     assert_eq!(bridges[0].table, "associate_employment");
 }

@@ -20,10 +20,22 @@ fn query1_sara_guttinger_produces_an_executable_join() {
     // The generated SQL parses and executes.
     parse_select(&top.sql).unwrap();
     let rs = e.execute(top).unwrap();
-    assert!(rs.row_count() >= 1, "Sara Guttinger must be found: {}", top.sql);
+    assert!(
+        rs.row_count() >= 1,
+        "Sara Guttinger must be found: {}",
+        top.sql
+    );
     // Both filters are present.
-    assert!(top.sql.contains("'Sara'"), "missing Sara filter: {}", top.sql);
-    assert!(top.sql.contains("'Guttinger'"), "missing Guttinger filter: {}", top.sql);
+    assert!(
+        top.sql.contains("'Sara'"),
+        "missing Sara filter: {}",
+        top.sql
+    );
+    assert!(
+        top.sql.contains("'Guttinger'"),
+        "missing Guttinger filter: {}",
+        top.sql
+    );
     // The individuals table participates; the inheritance parent is added.
     assert!(top.tables.iter().any(|t| t == "individuals"));
     assert!(top.tables.iter().any(|t| t == "parties"));
@@ -84,7 +96,10 @@ fn figure6_tables_step_discovers_the_expected_tables() {
         "fi_contains_sec",
         "securities",
     ] {
-        assert!(tables.iter().any(|t| t == expected), "missing table {expected} in {tables:?}");
+        assert!(
+            tables.iter().any(|t| t == expected),
+            "missing table {expected} in {tables:?}"
+        );
     }
 }
 
@@ -126,7 +141,9 @@ fn query2_comparison_operators_become_where_predicates() {
 fn query3_aggregation_with_group_by_transaction_date() {
     let w = minibank::build(42);
     let e = engine(&w);
-    let results = e.search("sum (amount) group by (transaction date)").unwrap();
+    let results = e
+        .search("sum (amount) group by (transaction date)")
+        .unwrap();
     assert!(!results.is_empty());
     let top = &results[0];
     assert!(top.sql.to_lowercase().contains("sum("), "{}", top.sql);
@@ -145,7 +162,11 @@ fn query4_count_transactions_grouped_by_company_name() {
     assert!(!results.is_empty());
     let top = &results[0];
     assert!(top.sql.to_lowercase().contains("count("), "{}", top.sql);
-    assert!(top.sql.to_lowercase().contains("companyname"), "{}", top.sql);
+    assert!(
+        top.sql.to_lowercase().contains("companyname"),
+        "{}",
+        top.sql
+    );
     // The top-ranked interpretation expands the conceptual Transactions entity
     // into both (mutually exclusive) transaction sub-types, which joins to an
     // empty result — one of the failure modes §5.3.1 describes.  At least one
@@ -231,7 +252,9 @@ fn every_generated_statement_round_trips_through_the_sql_parser() {
 fn timings_and_complexity_are_reported() {
     let w = minibank::build(42);
     let e = engine(&w);
-    let (_r, trace) = e.search_traced("customers Zurich financial instruments").unwrap();
+    let (_r, trace) = e
+        .search_traced("customers Zurich financial instruments")
+        .unwrap();
     assert!(trace.timings.total().as_nanos() > 0);
     assert_eq!(trace.solutions, 3);
     assert_eq!(trace.results, 3);

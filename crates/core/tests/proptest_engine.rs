@@ -15,10 +15,7 @@ proptest! {
     /// successfully parsed query preserves at least one term.
     #[test]
     fn query_parser_never_panics(input in "[ -~]{0,60}") {
-        match parse_query(&input) {
-            Ok(query) => prop_assert!(!query.terms.is_empty()),
-            Err(_) => {}
-        }
+        if let Ok(query) = parse_query(&input) { prop_assert!(!query.terms.is_empty()) }
     }
 
     /// Keyword-only inputs over a small vocabulary always yield SQL that both

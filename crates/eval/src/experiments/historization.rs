@@ -108,7 +108,9 @@ fn entity_recall(
     let mut best = (0.0_f64, 0.0_f64, 0.0_f64); // (f1, precision, recall)
     let mut union: Vec<String> = Vec::new();
     for result in &results {
-        let Ok(rs) = engine.execute(result) else { continue };
+        let Ok(rs) = engine.execute(result) else {
+            continue;
+        };
         if !answers_the_question(&rs, gold_columns) {
             continue;
         }
@@ -145,7 +147,11 @@ fn entity_recall(
             }
         }
     }
-    (best.1, best.2, union.len() as f64 / gold.len().max(1) as f64)
+    (
+        best.1,
+        best.2,
+        union.len() as f64 / gold.len().max(1) as f64,
+    )
 }
 
 /// Runs the comparison: Q2.1/Q2.2 on the paper-faithful enterprise warehouse

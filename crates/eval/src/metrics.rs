@@ -126,7 +126,7 @@ pub fn evaluate(soda: &ResultSet, gold: &[ResultSet]) -> PrecisionRecall {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use soda_relation::{Database, DataType, TableSchema, Value};
+    use soda_relation::{DataType, Database, TableSchema, Value};
 
     fn db() -> Database {
         let mut db = Database::new();
@@ -157,7 +157,10 @@ mod tests {
     #[test]
     fn normalization_strips_qualifiers_everywhere() {
         assert_eq!(normalize_column("individual.party_id"), "party_id");
-        assert_eq!(normalize_column("sum(trade_order_td.amount)"), "sum(amount)");
+        assert_eq!(
+            normalize_column("sum(trade_order_td.amount)"),
+            "sum(amount)"
+        );
         assert_eq!(normalize_column("count(*)"), "count(*)");
         assert_eq!(normalize_column("Family_Name"), "family_name");
     }

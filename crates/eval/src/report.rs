@@ -15,10 +15,16 @@ fn hline(width: usize) -> String {
 pub fn print_table1(rows: &[Table1Row]) -> String {
     let mut out = String::new();
     out.push_str("Table 1: Complexity of the schema graph\n");
-    out.push_str(&format!("{:<28} {:>10} {:>10}\n", "Type", "measured", "paper"));
+    out.push_str(&format!(
+        "{:<28} {:>10} {:>10}\n",
+        "Type", "measured", "paper"
+    ));
     out.push_str(&format!("{}\n", hline(50)));
     for r in rows {
-        out.push_str(&format!("{:<28} {:>10} {:>10}\n", r.metric, r.measured, r.paper));
+        out.push_str(&format!(
+            "{:<28} {:>10} {:>10}\n",
+            r.metric, r.measured, r.paper
+        ));
     }
     out
 }
@@ -27,7 +33,10 @@ pub fn print_table1(rows: &[Table1Row]) -> String {
 pub fn print_table2(queries: &[WorkloadQuery]) -> String {
     let mut out = String::new();
     out.push_str("Table 2: Experiment queries\n");
-    out.push_str(&format!("{:<6} {:<45} {:<8} {}\n", "Q", "Keywords", "Types", "Comment"));
+    out.push_str(&format!(
+        "{:<6} {:<45} {:<8} {}\n",
+        "Q", "Keywords", "Types", "Comment"
+    ));
     out.push_str(&format!("{}\n", hline(110)));
     for q in queries {
         let flags: String = q.features.iter().map(|f| f.flag()).collect();
@@ -91,7 +100,10 @@ pub fn print_table4(evals: &[QueryEvaluation]) -> String {
 pub fn print_table5(table: &Table5) -> String {
     let mut out = String::new();
     out.push_str("Table 5: Qualitative comparison\n");
-    out.push_str(&format!("{:<18} {:<28}", "Query type", "Experiment queries"));
+    out.push_str(&format!(
+        "{:<18} {:<28}",
+        "Query type", "Experiment queries"
+    ));
     for s in &table.systems {
         out.push_str(&format!(" {:>11}", s.system));
     }
@@ -104,11 +116,7 @@ pub fn print_table5(table: &Table5) -> String {
             queries.join(", ")
         ));
         for s in &table.systems {
-            let cell = s
-                .support
-                .get(i)
-                .map(|sup| sup.cell())
-                .unwrap_or("?");
+            let cell = s.support.get(i).map(|sup| sup.cell()).unwrap_or("?");
             out.push_str(&format!(" {cell:>11}"));
         }
         out.push('\n');
@@ -133,7 +141,15 @@ pub fn print_historization(rows: &[HistorizationRow]) -> String {
     out.push_str("Historization annotations (extension): entity precision/recall of Q2.1/Q2.2\n");
     out.push_str(&format!(
         "{:<6} {:<18} {:>9} {:>9} {:>9} {:>11} {:>9} {:>9} {:>11}\n",
-        "Q", "Keywords", "#entities", "plain P", "plain R", "plain page", "annot P", "annot R", "annot page"
+        "Q",
+        "Keywords",
+        "#entities",
+        "plain P",
+        "plain R",
+        "plain page",
+        "annot P",
+        "annot R",
+        "annot page"
     ));
     out.push_str(&format!("{}\n", hline(100)));
     for r in rows {

@@ -291,7 +291,10 @@ mod tests {
         let ids: Vec<_> = w.iter().map(|q| q.id).collect();
         assert_eq!(
             ids,
-            vec!["1.0", "2.1", "2.2", "2.3", "3.1", "3.2", "4.0", "5.0", "6.0", "7.0", "8.0", "9.0", "10.0"]
+            vec![
+                "1.0", "2.1", "2.2", "2.3", "3.1", "3.2", "4.0", "5.0", "6.0", "7.0", "8.0", "9.0",
+                "10.0"
+            ]
         );
     }
 
@@ -299,19 +302,22 @@ mod tests {
     fn every_query_has_gold_sql_and_features() {
         for q in workload() {
             assert!(!q.gold_sql.is_empty(), "query {} has no gold SQL", q.id);
-            assert!(!q.features.is_empty(), "query {} has no feature flags", q.id);
+            assert!(
+                !q.features.is_empty(),
+                "query {} has no feature flags",
+                q.id
+            );
         }
     }
 
     #[test]
     fn gold_sql_parses_and_executes_on_the_enterprise_warehouse() {
-        let warehouse = soda_warehouse::enterprise::build_with(
-            soda_warehouse::enterprise::EnterpriseConfig {
+        let warehouse =
+            soda_warehouse::enterprise::build_with(soda_warehouse::enterprise::EnterpriseConfig {
                 seed: 42,
                 padding: false,
                 data_scale: 0.2,
-            },
-        );
+            });
         for q in workload() {
             for sql in &q.gold_sql {
                 let rs = warehouse

@@ -117,7 +117,12 @@ impl<'a> SchemaBrowser<'a> {
 
     /// All physical table names, sorted.
     pub fn tables(&self) -> Vec<String> {
-        let mut names: Vec<String> = self.db.table_names().iter().map(|s| s.to_string()).collect();
+        let mut names: Vec<String> = self
+            .db
+            .table_names()
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         names.sort();
         names
     }
@@ -145,7 +150,9 @@ impl<'a> SchemaBrowser<'a> {
                 name: c.name.clone(),
                 data_type: c.data_type.to_string(),
                 primary_key: schema.is_primary_key(&c.name),
-                references: schema.foreign_key_of(&c.name).map(|fk| fk.ref_table.clone()),
+                references: schema
+                    .foreign_key_of(&c.name)
+                    .map(|fk| fk.ref_table.clone()),
             })
             .collect();
 
@@ -193,7 +200,11 @@ impl<'a> SchemaBrowser<'a> {
             .joins
             .bridges
             .iter()
-            .filter(|b| b.connects().iter().any(|t| t.eq_ignore_ascii_case(&schema.name)))
+            .filter(|b| {
+                b.connects()
+                    .iter()
+                    .any(|t| t.eq_ignore_ascii_case(&schema.name))
+            })
             .map(|b| b.table.clone())
             .collect();
 
@@ -372,7 +383,10 @@ mod tests {
             .iter()
             .any(|c| c.references.as_deref() == Some("parties")));
         assert!(d.logical_entities.contains(&"individuals".to_string()));
-        assert!(d.conceptual_entities.iter().any(|e| e.contains("individuals")));
+        assert!(d
+            .conceptual_entities
+            .iter()
+            .any(|e| e.contains("individuals")));
         assert!(d
             .ontology_concepts
             .iter()
@@ -437,7 +451,10 @@ mod tests {
         assert_eq!(steps.len(), 3, "{steps:?}");
         assert!(steps[0].contains("trade_order_td"));
         assert!(steps.last().unwrap().contains("party"));
-        assert!(browser.join_path_explained("party", "party").unwrap().is_empty());
+        assert!(browser
+            .join_path_explained("party", "party")
+            .unwrap()
+            .is_empty());
         assert!(browser.join_path_explained("party", "missing").is_none());
     }
 

@@ -42,7 +42,7 @@ fn expand_word(word: &str) -> &str {
 /// "birth date").
 pub fn business_name(identifier: &str) -> String {
     let words: Vec<String> = identifier
-        .split(|c: char| c == '_' || c == ' ' || c == '-')
+        .split(['_', ' ', '-'])
         .filter(|w| !w.is_empty())
         .map(|w| expand_word(&w.to_lowercase()).to_string())
         .filter(|w| !w.is_empty())
@@ -56,7 +56,11 @@ pub fn business_name(identifier: &str) -> String {
 /// foreign-key columns.  Payload attributes on the bridge (e.g. an employment
 /// `role`) are allowed.
 fn is_bridge(schema: &TableSchema) -> bool {
-    let mut targets: Vec<&str> = schema.foreign_keys.iter().map(|fk| fk.ref_table.as_str()).collect();
+    let mut targets: Vec<&str> = schema
+        .foreign_keys
+        .iter()
+        .map(|fk| fk.ref_table.as_str())
+        .collect();
     targets.sort_unstable();
     targets.dedup();
     if targets.len() < 2 {
@@ -185,7 +189,11 @@ pub fn reverse_engineer(db: &Database) -> SchemaModel {
         .iter()
         .map(|schema| LogicalEntity {
             name: business_name(&schema.name),
-            attributes: schema.columns.iter().map(|c| business_name(&c.name)).collect(),
+            attributes: schema
+                .columns
+                .iter()
+                .map(|c| business_name(&c.name))
+                .collect(),
             implemented_by: vec![schema.name.clone()],
         })
         .collect();
@@ -212,8 +220,11 @@ pub fn reverse_engineer(db: &Database) -> SchemaModel {
             continue;
         }
         let mut refined_by = vec![business_name(&schema.name)];
-        let mut attributes: Vec<String> =
-            schema.columns.iter().map(|c| business_name(&c.name)).collect();
+        let mut attributes: Vec<String> = schema
+            .columns
+            .iter()
+            .map(|c| business_name(&c.name))
+            .collect();
         for other in &physical {
             if folded_into(&other.name)
                 .map(|base| base.eq_ignore_ascii_case(&schema.name))
@@ -335,7 +346,10 @@ mod tests {
         assert_eq!(business_name("trade_order_td"), "trade order");
         assert_eq!(business_name("birth_dt"), "birth date");
         assert_eq!(business_name("currency_cd"), "currency code");
-        assert_eq!(business_name("individual_name_hist"), "individual name history");
+        assert_eq!(
+            business_name("individual_name_hist"),
+            "individual name history"
+        );
         assert_eq!(business_name("party_id"), "party identifier");
         assert_eq!(business_name("org_name"), "org name");
     }
@@ -418,6 +432,9 @@ mod tests {
         assert_eq!(stats.physical_tables, db.table_count());
         assert_eq!(stats.logical_entities, db.table_count());
         assert!(stats.conceptual_entities < stats.logical_entities);
-        assert!(!model.foreign_keys.is_empty(), "FKs adopted from the physical schemas");
+        assert!(
+            !model.foreign_keys.is_empty(),
+            "FKs adopted from the physical schemas"
+        );
     }
 }

@@ -48,7 +48,11 @@ fn reverse_engineered_metadata_makes_the_legacy_system_searchable() {
     let results = engine.search("trade order amount > 40000").unwrap();
     assert!(!results.is_empty());
     let top = &results[0];
-    assert!(top.tables.contains(&"trade_order_td".to_string()), "{:?}", top.tables);
+    assert!(
+        top.tables.contains(&"trade_order_td".to_string()),
+        "{:?}",
+        top.tables
+    );
     assert!(top.sql.contains("amount > 40000"), "{}", top.sql);
     assert!(engine.execute(top).unwrap().row_count() > 0);
 }
@@ -66,7 +70,9 @@ fn browser_and_documentation_work_on_the_reverse_engineered_graph() {
         .iter()
         .any(|e| e.contains("trade order")));
     assert!(description.columns.iter().any(|c| c.name == "amount"));
-    let steps = browser.join_path_explained("trade_order_td", "party").unwrap();
+    let steps = browser
+        .join_path_explained("trade_order_td", "party")
+        .unwrap();
     assert!(!steps.is_empty());
 
     let doc = document_model(&model);

@@ -119,7 +119,11 @@ impl GraphBuilder {
     pub fn typed_node(&mut self, uri: &str, type_uri: &str) -> NodeId {
         let node = self.graph.add_node(uri);
         let type_node = self.graph.add_node(type_uri);
-        if !self.graph.objects_of(node, preds::TYPE).contains(&type_node) {
+        if !self
+            .graph
+            .objects_of(node, preds::TYPE)
+            .contains(&type_node)
+        {
             self.graph.add_edge(node, preds::TYPE, type_node);
         }
         node
@@ -143,15 +147,18 @@ impl GraphBuilder {
 
     /// Adds a direct foreign-key edge between two column nodes.
     pub fn foreign_key(&mut self, fk_column: NodeId, pk_column: NodeId) {
-        self.graph.add_edge(fk_column, preds::FOREIGN_KEY, pk_column);
+        self.graph
+            .add_edge(fk_column, preds::FOREIGN_KEY, pk_column);
     }
 
     /// Adds an explicit join node (the Credit Suisse join-relationship
     /// pattern) between a foreign-key column and a primary-key column.
     pub fn join_relationship(&mut self, uri: &str, fk_column: NodeId, pk_column: NodeId) -> NodeId {
         let join = self.typed_node(uri, types::JOIN_NODE);
-        self.graph.add_edge(join, preds::JOIN_FOREIGN_KEY, fk_column);
-        self.graph.add_edge(join, preds::JOIN_PRIMARY_KEY, pk_column);
+        self.graph
+            .add_edge(join, preds::JOIN_FOREIGN_KEY, fk_column);
+        self.graph
+            .add_edge(join, preds::JOIN_PRIMARY_KEY, pk_column);
         // Also connect the columns to the join node so that outgoing traversal
         // from either side discovers it.
         self.graph.add_edge(fk_column, "join", join);
@@ -227,8 +234,10 @@ impl GraphBuilder {
         let h = self.typed_node(uri, types::HISTORIZATION_NODE);
         self.graph.add_edge(h, preds::HIST_TABLE, hist_table);
         self.graph.add_edge(h, preds::CURRENT_TABLE, current_table);
-        self.graph.add_text_edge(h, preds::VALID_FROM_COLUMN, valid_from);
-        self.graph.add_text_edge(h, preds::VALID_TO_COLUMN, valid_to);
+        self.graph
+            .add_text_edge(h, preds::VALID_FROM_COLUMN, valid_from);
+        self.graph
+            .add_text_edge(h, preds::VALID_TO_COLUMN, valid_to);
         // Link both tables back so a traversal starting at either side can
         // discover the annotation.
         self.graph.add_edge(hist_table, "historized_via", h);

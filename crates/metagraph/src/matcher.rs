@@ -140,7 +140,7 @@ impl<'a> Matcher<'a> {
         let mut binding = Binding::default();
         binding.bind(&pattern.anchor, BoundValue::Node(node));
         let mut results = Vec::new();
-        self.solve(pattern, &pattern.items, binding, 0, &mut results);
+        self.solve(&pattern.items, binding, 0, &mut results);
         results.dedup();
         results
     }
@@ -165,7 +165,6 @@ impl<'a> Matcher<'a> {
 
     fn solve(
         &self,
-        pattern: &Pattern,
         remaining: &[PatternItem],
         binding: Binding,
         depth: usize,
@@ -185,7 +184,7 @@ impl<'a> Matcher<'a> {
         match item {
             PatternItem::Triple(t) => {
                 for next in self.match_triple(t, &binding) {
-                    self.solve(pattern, &rest, next, depth, results);
+                    self.solve(&rest, next, depth, results);
                 }
             }
             PatternItem::Reference { var, pattern: name } => {
@@ -212,7 +211,7 @@ impl<'a> Matcher<'a> {
                     let mut sub_binding = Binding::default();
                     sub_binding.bind(&sub.anchor, BoundValue::Node(anchor));
                     let mut sub_results = Vec::new();
-                    self.solve(sub, &sub.items, sub_binding, depth + 1, &mut sub_results);
+                    self.solve(&sub.items, sub_binding, depth + 1, &mut sub_results);
                     if !sub_results.is_empty() {
                         let mut next = binding.clone();
                         if let Term::Var(v) = var {
@@ -220,7 +219,7 @@ impl<'a> Matcher<'a> {
                                 continue;
                             }
                         }
-                        self.solve(pattern, &rest, next, depth, results);
+                        self.solve(&rest, next, depth, results);
                     }
                 }
             }

@@ -36,7 +36,11 @@ pub struct ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "pattern parse error at byte {}: {}", self.offset, self.message)
+        write!(
+            f,
+            "pattern parse error at byte {}: {}",
+            self.offset, self.message
+        )
     }
 }
 
@@ -188,7 +192,10 @@ pub fn parse_pattern(name: &str, text: &str) -> Result<Pattern, ParseError> {
                 }));
             }
             n => {
-                return err(format!("triple group must have 2 or 3 terms, got {n}"), offset);
+                return err(
+                    format!("triple group must have 2 or 3 terms, got {n}"),
+                    offset,
+                );
             }
         }
     }
@@ -201,11 +208,7 @@ mod tests {
 
     #[test]
     fn parses_table_pattern_from_the_paper() {
-        let p = parse_pattern(
-            "table",
-            "( x tablename t:y ) &\n( x type physical_table )",
-        )
-        .unwrap();
+        let p = parse_pattern("table", "( x tablename t:y ) &\n( x type physical_table )").unwrap();
         assert_eq!(p.items.len(), 2);
         assert_eq!(
             p.items[0],

@@ -235,7 +235,10 @@ mod tests {
     #[test]
     fn term_display_forms() {
         assert_eq!(Term::Var("x".into()).to_string(), "x");
-        assert_eq!(Term::Uri("physical_table".into()).to_string(), "physical_table");
+        assert_eq!(
+            Term::Uri("physical_table".into()).to_string(),
+            "physical_table"
+        );
         assert_eq!(Term::TextVar("y".into()).to_string(), "t:y");
         assert_eq!(Term::TextLit("Zurich".into()).to_string(), "t:\"Zurich\"");
     }

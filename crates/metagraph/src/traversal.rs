@@ -221,7 +221,9 @@ mod tests {
     #[test]
     fn incoming_direction() {
         let (g, n) = chain_graph();
-        let t = Traversal::new(&g).direction(Direction::Incoming).max_depth(2);
+        let t = Traversal::new(&g)
+            .direction(Direction::Incoming)
+            .max_depth(2);
         let r = t.reachable(&[n[1]]);
         // b's predecessors within two hops: a directly, d via the back edge to a.
         assert!(r.contains(&n[0]));

@@ -56,7 +56,11 @@ impl Database {
     }
 
     /// Inserts many rows into a table.
-    pub fn insert_all<I: IntoIterator<Item = Row>>(&mut self, table: &str, rows: I) -> Result<usize> {
+    pub fn insert_all<I: IntoIterator<Item = Row>>(
+        &mut self,
+        table: &str,
+        rows: I,
+    ) -> Result<usize> {
         self.table_mut(table)?.insert_all(rows)
     }
 
@@ -137,7 +141,11 @@ mod tests {
     fn duplicate_table_rejected() {
         let mut db = db();
         let err = db
-            .create_table(TableSchema::builder("parties").column("x", DataType::Int).build())
+            .create_table(
+                TableSchema::builder("parties")
+                    .column("x", DataType::Int)
+                    .build(),
+            )
             .unwrap_err();
         assert!(matches!(err, RelationError::DuplicateTable(_)));
     }

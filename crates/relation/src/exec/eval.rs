@@ -356,30 +356,52 @@ mod tests {
     fn aggregates_over_groups() {
         let s = schema();
         let group: Vec<Vec<Value>> = vec![
-            vec![Value::Int(1), Value::from("a"), Value::Float(10.0), Value::Int(1)],
-            vec![Value::Int(2), Value::from("b"), Value::Float(20.0), Value::Int(1)],
+            vec![
+                Value::Int(1),
+                Value::from("a"),
+                Value::Float(10.0),
+                Value::Int(1),
+            ],
+            vec![
+                Value::Int(2),
+                Value::from("b"),
+                Value::Float(20.0),
+                Value::Int(1),
+            ],
             vec![Value::Int(3), Value::from("c"), Value::Null, Value::Int(1)],
         ];
         let count_star = Expr::Aggregate {
             func: AggFunc::Count,
             arg: None,
         };
-        assert_eq!(eval_over_group(&count_star, &s, &group).unwrap(), Value::Int(3));
+        assert_eq!(
+            eval_over_group(&count_star, &s, &group).unwrap(),
+            Value::Int(3)
+        );
         let count_salary = Expr::Aggregate {
             func: AggFunc::Count,
             arg: Some(Box::new(Expr::column("salary"))),
         };
-        assert_eq!(eval_over_group(&count_salary, &s, &group).unwrap(), Value::Int(2));
+        assert_eq!(
+            eval_over_group(&count_salary, &s, &group).unwrap(),
+            Value::Int(2)
+        );
         let sum = Expr::Aggregate {
             func: AggFunc::Sum,
             arg: Some(Box::new(Expr::column("salary"))),
         };
-        assert_eq!(eval_over_group(&sum, &s, &group).unwrap(), Value::Float(30.0));
+        assert_eq!(
+            eval_over_group(&sum, &s, &group).unwrap(),
+            Value::Float(30.0)
+        );
         let avg = Expr::Aggregate {
             func: AggFunc::Avg,
             arg: Some(Box::new(Expr::column("salary"))),
         };
-        assert_eq!(eval_over_group(&avg, &s, &group).unwrap(), Value::Float(15.0));
+        assert_eq!(
+            eval_over_group(&avg, &s, &group).unwrap(),
+            Value::Float(15.0)
+        );
         let min = Expr::Aggregate {
             func: AggFunc::Min,
             arg: Some(Box::new(Expr::qualified("individuals", "id"))),
@@ -397,15 +419,28 @@ mod tests {
         let s = schema();
         let group: Vec<Vec<Value>> = vec![row(), row()];
         let key = Expr::column("firstname");
-        assert_eq!(eval_over_group(&key, &s, &group).unwrap(), Value::from("Sara"));
+        assert_eq!(
+            eval_over_group(&key, &s, &group).unwrap(),
+            Value::from("Sara")
+        );
     }
 
     #[test]
     fn sum_of_int_values_stays_integer() {
         let s = schema();
         let group: Vec<Vec<Value>> = vec![
-            vec![Value::Int(1), Value::from("a"), Value::Int(5), Value::Int(1)],
-            vec![Value::Int(2), Value::from("b"), Value::Int(7), Value::Int(1)],
+            vec![
+                Value::Int(1),
+                Value::from("a"),
+                Value::Int(5),
+                Value::Int(1),
+            ],
+            vec![
+                Value::Int(2),
+                Value::from("b"),
+                Value::Int(7),
+                Value::Int(1),
+            ],
         ];
         let sum = Expr::Aggregate {
             func: AggFunc::Sum,

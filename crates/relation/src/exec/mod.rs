@@ -11,12 +11,12 @@ pub mod eval;
 
 use std::collections::HashMap;
 
+use self::eval::{eval_over_group, eval_scalar, truthy, RowSchema};
 use crate::catalog::Database;
 use crate::error::{RelationError, Result};
 use crate::expr::{CompareOp, Expr};
 use crate::sql::ast::{SelectStatement, TableRef};
 use crate::value::Value;
-use eval::{eval_over_group, eval_scalar, truthy, RowSchema};
 
 /// The result of executing a `SELECT` statement.
 #[derive(Debug, Clone, PartialEq, serde::Serialize)]
@@ -167,9 +167,9 @@ pub fn execute(db: &Database, stmt: &SelectStatement) -> Result<ResultSet> {
         // Find a not-yet-joined table connected by at least one equi-join.
         let candidate = (0..bounds.len()).find(|i| {
             !joined_tables.contains(i)
-                && equi_joins
-                    .iter()
-                    .any(|(a, b, ..)| (joined_tables.contains(a) && b == i) || (joined_tables.contains(b) && a == i))
+                && equi_joins.iter().any(|(a, b, ..)| {
+                    (joined_tables.contains(a) && b == i) || (joined_tables.contains(b) && a == i)
+                })
         });
         let next = candidate.unwrap_or_else(|| {
             (0..bounds.len())
@@ -217,8 +217,7 @@ pub fn execute(db: &Database, stmt: &SelectStatement) -> Result<ResultSet> {
     }
 
     // Projection / aggregation.
-    let (columns, mut output): (Vec<String>, Vec<(Vec<Value>, Vec<Value>)>) = if stmt.is_aggregate()
-    {
+    let (columns, mut output): Projected = if stmt.is_aggregate() {
         aggregate_project(stmt, &joined_schema, &joined_rows)?
     } else {
         plain_project(stmt, &joined_schema, &joined_rows)?
@@ -227,7 +226,9 @@ pub fn execute(db: &Database, stmt: &SelectStatement) -> Result<ResultSet> {
     // DISTINCT.
     if stmt.distinct {
         let mut seen = std::collections::HashSet::new();
-        output.retain(|(vals, _)| seen.insert(vals.iter().map(|v| v.to_string()).collect::<Vec<_>>()));
+        output.retain(|(vals, _)| {
+            seen.insert(vals.iter().map(|v| v.to_string()).collect::<Vec<_>>())
+        });
     }
 
     // ORDER BY (sort keys were computed during projection).
@@ -294,7 +295,12 @@ fn classify(conj: &Expr, bounds: &[Bound<'_>], full: &RowSchema) -> Result<Class
                 let lt = table_of(left, bounds, full)?;
                 let rt = table_of(right, bounds, full)?;
                 if lt != rt {
-                    return Ok(Classified::EquiJoin(lt, rt, (**left).clone(), (**right).clone()));
+                    return Ok(Classified::EquiJoin(
+                        lt,
+                        rt,
+                        (**left).clone(),
+                        (**right).clone(),
+                    ));
                 }
             }
         }
@@ -540,7 +546,8 @@ mod tests {
         .unwrap();
 
         for (id, ty) in [(1, "IND"), (2, "IND"), (3, "ORG")] {
-            db.insert("parties", vec![Value::Int(id), Value::from(ty)]).unwrap();
+            db.insert("parties", vec![Value::Int(id), Value::from(ty)])
+                .unwrap();
         }
         db.insert(
             "individuals",
@@ -614,14 +621,12 @@ mod tests {
     fn query3_group_by_transaction_date() {
         let db = minidb();
         let rs = db
-            .run_sql("SELECT sum(amount), transactiondate FROM fi_transactions GROUP BY transactiondate")
+            .run_sql(
+                "SELECT sum(amount), transactiondate FROM fi_transactions GROUP BY transactiondate",
+            )
             .unwrap();
         assert_eq!(rs.row_count(), 3);
-        let total: f64 = rs
-            .rows()
-            .iter()
-            .map(|r| r[0].as_f64().unwrap())
-            .sum();
+        let total: f64 = rs.rows().iter().map(|r| r[0].as_f64().unwrap()).sum();
         assert!((total - 11_700.0).abs() < 1e-9);
     }
 

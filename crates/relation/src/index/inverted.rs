@@ -10,9 +10,9 @@
 
 use std::collections::{BTreeMap, HashMap, HashSet};
 
+use super::tokenizer::tokenize;
 use crate::catalog::Database;
 use crate::value::Value;
-use super::tokenizer::tokenize;
 
 /// A single posting: one row of one text column containing the token.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, serde::Serialize)]
@@ -140,11 +140,7 @@ impl InvertedIndex {
             let normalized = tokenize(text).join(" ");
             if normalized.contains(&needle) {
                 *hits
-                    .entry((
-                        posting.table.clone(),
-                        posting.column.clone(),
-                        text.clone(),
-                    ))
+                    .entry((posting.table.clone(), posting.column.clone(), text.clone()))
                     .or_default() += 1;
             }
         }
@@ -198,12 +194,20 @@ mod tests {
         .unwrap();
         db.insert(
             "organization",
-            vec![Value::Int(1), Value::from("Credit Suisse"), Value::from("Switzerland")],
+            vec![
+                Value::Int(1),
+                Value::from("Credit Suisse"),
+                Value::from("Switzerland"),
+            ],
         )
         .unwrap();
         db.insert(
             "organization",
-            vec![Value::Int(2), Value::from("Helvetia Insurance"), Value::from("Switzerland")],
+            vec![
+                Value::Int(2),
+                Value::from("Helvetia Insurance"),
+                Value::from("Switzerland"),
+            ],
         )
         .unwrap();
         db.insert(
@@ -272,7 +276,10 @@ mod tests {
         let db = db();
         let idx = InvertedIndex::build(&db);
         let cols = idx.columns_containing(&db, "Switzerland");
-        assert_eq!(cols, vec![("organization".to_string(), "country".to_string())]);
+        assert_eq!(
+            cols,
+            vec![("organization".to_string(), "country".to_string())]
+        );
     }
 
     #[test]

@@ -52,8 +52,14 @@ mod tests {
 
     #[test]
     fn normalize_phrase_canonicalises_spacing_and_case() {
-        assert_eq!(normalize_phrase("  Private   CUSTOMERS "), "private customers");
-        assert_eq!(normalize_phrase("financial_instruments"), "financial instruments");
+        assert_eq!(
+            normalize_phrase("  Private   CUSTOMERS "),
+            "private customers"
+        );
+        assert_eq!(
+            normalize_phrase("financial_instruments"),
+            "financial instruments"
+        );
     }
 
     #[test]

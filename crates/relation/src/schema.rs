@@ -82,7 +82,9 @@ impl TableSchema {
 
     /// True if `name` is part of the primary key.
     pub fn is_primary_key(&self, name: &str) -> bool {
-        self.primary_key.iter().any(|k| k.eq_ignore_ascii_case(name))
+        self.primary_key
+            .iter()
+            .any(|k| k.eq_ignore_ascii_case(name))
     }
 
     /// Returns the foreign key declared on `column`, if any.
@@ -158,7 +160,9 @@ impl TableSchemaBuilder {
         let s = self.schema;
         for (i, c) in s.columns.iter().enumerate() {
             assert!(
-                !s.columns[..i].iter().any(|o| o.name.eq_ignore_ascii_case(&c.name)),
+                !s.columns[..i]
+                    .iter()
+                    .any(|o| o.name.eq_ignore_ascii_case(&c.name)),
                 "duplicate column {} in table {}",
                 c.name,
                 s.name
@@ -251,7 +255,13 @@ mod tests {
         let s = schema();
         assert_eq!(
             s.column_names(),
-            vec!["party_id", "given_name", "family_name", "salary", "birth_dt"]
+            vec![
+                "party_id",
+                "given_name",
+                "family_name",
+                "salary",
+                "birth_dt"
+            ]
         );
     }
 }

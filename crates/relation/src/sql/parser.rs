@@ -141,9 +141,10 @@ impl Parser {
         }
         let limit = if self.eat_keyword("limit") {
             match self.next() {
-                Some(Token::Number(n)) => Some(n.parse::<usize>().map_err(|_| {
-                    RelationError::Parse(format!("invalid LIMIT value: {n}"))
-                })?),
+                Some(Token::Number(n)) => Some(
+                    n.parse::<usize>()
+                        .map_err(|_| RelationError::Parse(format!("invalid LIMIT value: {n}")))?,
+                ),
                 other => {
                     return Err(RelationError::Parse(format!(
                         "expected number after LIMIT, found {other:?}"
@@ -347,9 +348,9 @@ impl Parser {
                 if self.peek() == Some(&Token::LParen) {
                     if let Some(func) = AggFunc::parse(&name) {
                         self.pos += 1;
-                        let arg = if self.eat(&Token::Star) {
-                            None
-                        } else if self.peek() == Some(&Token::RParen) {
+                        // Both `count(*)` and a bare `count()` mean "no
+                        // argument"; the star just needs consuming.
+                        let arg = if self.eat(&Token::Star) || self.peek() == Some(&Token::RParen) {
                             None
                         } else {
                             Some(Box::new(self.operand()?))
@@ -414,7 +415,8 @@ mod tests {
 
     #[test]
     fn parses_query3_aggregation() {
-        let sql = "SELECT sum(amount), transactiondate FROM fi_transactions GROUP BY transactiondate";
+        let sql =
+            "SELECT sum(amount), transactiondate FROM fi_transactions GROUP BY transactiondate";
         let stmt = parse_select(sql).unwrap();
         assert!(stmt.is_aggregate());
         assert_eq!(stmt.group_by.len(), 1);
@@ -479,10 +481,9 @@ mod tests {
 
     #[test]
     fn parses_like_and_or_and_not() {
-        let stmt = parse_select(
-            "SELECT * FROM t WHERE (a LIKE '%gold%' OR b = 1) AND NOT c IS NULL",
-        )
-        .unwrap();
+        let stmt =
+            parse_select("SELECT * FROM t WHERE (a LIKE '%gold%' OR b = 1) AND NOT c IS NULL")
+                .unwrap();
         let sel = stmt.selection.unwrap();
         assert_eq!(sel.conjuncts().len(), 2);
     }
@@ -499,11 +500,17 @@ mod tests {
         let stmt = parse_select("SELECT count(*), count(id) FROM t GROUP BY x").unwrap();
         assert!(matches!(
             stmt.projection[0].expr,
-            Expr::Aggregate { func: AggFunc::Count, arg: None }
+            Expr::Aggregate {
+                func: AggFunc::Count,
+                arg: None
+            }
         ));
         assert!(matches!(
             stmt.projection[1].expr,
-            Expr::Aggregate { func: AggFunc::Count, arg: Some(_) }
+            Expr::Aggregate {
+                func: AggFunc::Count,
+                arg: Some(_)
+            }
         ));
     }
 

@@ -39,7 +39,9 @@ impl fmt::Display for DataType {
 }
 
 /// A calendar date (year, month, day) with no time-zone concerns.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
 pub struct Date {
     /// Year, e.g. 2011.
     pub year: i32,
@@ -216,9 +218,7 @@ impl PartialEq for Value {
             (Value::Bool(a), Value::Bool(b)) => a == b,
             (Value::Int(a), Value::Int(b)) => a == b,
             (Value::Float(a), Value::Float(b)) => a.to_bits() == b.to_bits(),
-            (Value::Int(a), Value::Float(b)) | (Value::Float(b), Value::Int(a)) => {
-                *b == *a as f64
-            }
+            (Value::Int(a), Value::Float(b)) | (Value::Float(b), Value::Int(a)) => *b == *a as f64,
             (Value::Text(a), Value::Text(b)) => a == b,
             (Value::Date(a), Value::Date(b)) => a == b,
             _ => false,
@@ -376,7 +376,7 @@ mod tests {
 
     #[test]
     fn total_cmp_is_stable_across_types() {
-        let mut vals = vec![
+        let mut vals = [
             Value::Text("b".into()),
             Value::Int(2),
             Value::Null,

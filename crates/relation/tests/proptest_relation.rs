@@ -4,9 +4,7 @@
 use proptest::prelude::*;
 
 use soda_relation::exec::eval::like_match;
-use soda_relation::{
-    parse_select, print_select, Database, DataType, Date, TableSchema, Value,
-};
+use soda_relation::{parse_select, print_select, DataType, Database, Date, TableSchema, Value};
 
 fn value_strategy() -> impl Strategy<Value = Value> {
     prop_oneof![
@@ -104,7 +102,8 @@ fn populated_db(salaries: &[i64]) -> Database {
     )
     .unwrap();
     for (i, s) in salaries.iter().enumerate() {
-        db.insert("person", vec![Value::Int(i as i64), Value::Int(*s)]).unwrap();
+        db.insert("person", vec![Value::Int(i as i64), Value::Int(*s)])
+            .unwrap();
     }
     db
 }

@@ -19,21 +19,54 @@ pub const GIVEN_NAMES: &[&str] = &[
 
 /// Pool of family names; "Guttinger" is deliberately present (Query 1).
 pub const FAMILY_NAMES: &[&str] = &[
-    "Guttinger", "Meier", "Mueller", "Schmid", "Keller", "Weber", "Huber", "Schneider", "Frei",
-    "Baumann", "Fischer", "Brunner", "Gerber", "Widmer", "Zimmermann", "Moser", "Graf", "Wyss",
-    "Roth", "Suter",
+    "Guttinger",
+    "Meier",
+    "Mueller",
+    "Schmid",
+    "Keller",
+    "Weber",
+    "Huber",
+    "Schneider",
+    "Frei",
+    "Baumann",
+    "Fischer",
+    "Brunner",
+    "Gerber",
+    "Widmer",
+    "Zimmermann",
+    "Moser",
+    "Graf",
+    "Wyss",
+    "Roth",
+    "Suter",
 ];
 
 /// Pool of cities; "Zurich" is deliberately present (introduction query).
 pub const CITIES: &[&str] = &[
-    "Zurich", "Geneva", "Basel", "Bern", "Lausanne", "Lugano", "Winterthur", "St. Gallen",
-    "Lucerne", "Zug",
+    "Zurich",
+    "Geneva",
+    "Basel",
+    "Bern",
+    "Lausanne",
+    "Lugano",
+    "Winterthur",
+    "St. Gallen",
+    "Lucerne",
+    "Zug",
 ];
 
 /// Pool of countries; "Switzerland" is deliberately present (Q9.0).
 pub const COUNTRIES: &[&str] = &[
-    "Switzerland", "Germany", "France", "Italy", "Austria", "Liechtenstein", "United Kingdom",
-    "United States", "Japan", "Singapore",
+    "Switzerland",
+    "Germany",
+    "France",
+    "Italy",
+    "Austria",
+    "Liechtenstein",
+    "United Kingdom",
+    "United States",
+    "Japan",
+    "Singapore",
 ];
 
 /// Pool of organisation names; "Credit Suisse" is deliberately present (Q3.*).
@@ -115,8 +148,16 @@ pub const AGREEMENT_NAMES: &[&str] = &[
 
 /// Pool of street names.
 pub const STREETS: &[&str] = &[
-    "Bahnhofstrasse", "Paradeplatz", "Limmatquai", "Seestrasse", "Hauptstrasse",
-    "Dorfstrasse", "Kirchgasse", "Marktgasse", "Industriestrasse", "Bergweg",
+    "Bahnhofstrasse",
+    "Paradeplatz",
+    "Limmatquai",
+    "Seestrasse",
+    "Hauptstrasse",
+    "Dorfstrasse",
+    "Kirchgasse",
+    "Marktgasse",
+    "Industriestrasse",
+    "Bergweg",
 ];
 
 /// A deterministic random generator wrapper used by the warehouse builders.
@@ -195,7 +236,9 @@ mod tests {
         assert!(ORG_NAMES.contains(&"Credit Suisse"));
         assert!(CURRENCIES.iter().any(|(c, _)| *c == "YEN"));
         assert!(PRODUCT_NAMES.iter().any(|p| p.contains("Lehman XYZ")));
-        assert!(AGREEMENT_NAMES.iter().any(|a| a.to_lowercase().contains("gold")));
+        assert!(AGREEMENT_NAMES
+            .iter()
+            .any(|a| a.to_lowercase().contains("gold")));
         assert!(AGREEMENT_NAMES.iter().any(|a| a.contains("Credit Suisse")));
     }
 

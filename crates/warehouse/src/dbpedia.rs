@@ -77,10 +77,16 @@ mod tests {
     fn lookup_is_case_insensitive() {
         let mut s = SynonymStore::new();
         s.add("client", SynonymTarget::Concept("customers".into()));
-        s.add("political organization", SynonymTarget::Conceptual("Parties".into()));
+        s.add(
+            "political organization",
+            SynonymTarget::Conceptual("Parties".into()),
+        );
         assert_eq!(s.len(), 2);
         assert_eq!(s.lookup("Client").len(), 1);
-        assert_eq!(s.lookup("CLIENT")[0].target, SynonymTarget::Concept("customers".into()));
+        assert_eq!(
+            s.lookup("CLIENT")[0].target,
+            SynonymTarget::Concept("customers".into())
+        );
         assert!(s.lookup("nothing").is_empty());
     }
 
@@ -88,7 +94,10 @@ mod tests {
     fn multiple_targets_for_the_same_term() {
         let mut s = SynonymStore::new();
         s.add("company", SynonymTarget::Table("organization".into()));
-        s.add("company", SynonymTarget::Concept("corporate-customers".into()));
+        s.add(
+            "company",
+            SynonymTarget::Concept("corporate-customers".into()),
+        );
         assert_eq!(s.lookup("company").len(), 2);
     }
 }

@@ -41,7 +41,11 @@ pub const CURRENT_SARA: usize = 4;
 /// `CURRENT_SARA+1 ..= CURRENT_SARA+HISTORIC_SARA`).
 pub const HISTORIC_SARA: usize = 16;
 
-const OPEN_END: Date = Date { year: 9999, month: 12, day: 31 };
+const OPEN_END: Date = Date {
+    year: 9999,
+    month: 12,
+    day: 31,
+};
 
 /// Populates every core table.  `scale` multiplies the transactional row
 /// counts (orders, payments); dimension sizes stay fixed.
@@ -154,8 +158,16 @@ pub fn populate(db: &mut Database, seed: u64, scale: f64) {
                 Value::Int(id),
                 Value::Int(id),
                 Value::from(*gen.pick(STREETS)),
-                Value::from(if gen.chance(0.3) { "Zurich" } else { *gen.pick(CITIES) }),
-                Value::from(if gen.chance(0.75) { "Switzerland" } else { *gen.pick(COUNTRIES) }),
+                Value::from(if gen.chance(0.3) {
+                    "Zurich"
+                } else {
+                    *gen.pick(CITIES)
+                }),
+                Value::from(if gen.chance(0.75) {
+                    "Switzerland"
+                } else {
+                    *gen.pick(COUNTRIES)
+                }),
                 Value::Date(gen.date(2000, 2010)),
                 Value::Date(OPEN_END),
             ],
@@ -174,7 +186,11 @@ pub fn populate(db: &mut Database, seed: u64, scale: f64) {
                     Value::Int(id),
                     Value::from(*gen.pick(STREETS)),
                     Value::from(*gen.pick(CITIES)),
-                    Value::from(if gen.chance(0.6) { "Switzerland" } else { *gen.pick(COUNTRIES) }),
+                    Value::from(if gen.chance(0.6) {
+                        "Switzerland"
+                    } else {
+                        *gen.pick(COUNTRIES)
+                    }),
                     Value::Date(gen.date(1990, 1999)),
                     Value::Date(gen.date(2000, 2009)),
                 ],
@@ -185,7 +201,11 @@ pub fn populate(db: &mut Database, seed: u64, scale: f64) {
             "party_classification",
             vec![
                 Value::Int(id),
-                Value::from(if salary >= 500_000.0 { "private banking" } else { "retail" }),
+                Value::from(if salary >= 500_000.0 {
+                    "private banking"
+                } else {
+                    "retail"
+                }),
                 Value::Date(gen.date(2005, 2011)),
             ],
         )
@@ -218,7 +238,11 @@ pub fn populate(db: &mut Database, seed: u64, scale: f64) {
                 Value::Int(id),
                 Value::from(name.as_str()),
                 Value::from(*gen.pick(LEGAL_FORMS)),
-                Value::from(if gen.chance(0.6) { "Switzerland" } else { *gen.pick(COUNTRIES) }),
+                Value::from(if gen.chance(0.6) {
+                    "Switzerland"
+                } else {
+                    *gen.pick(COUNTRIES)
+                }),
             ],
         )
         .expect("organization");
@@ -249,7 +273,11 @@ pub fn populate(db: &mut Database, seed: u64, scale: f64) {
         .expect("address");
         db.insert(
             "party_classification",
-            vec![Value::Int(id), Value::from("institutional"), Value::Date(gen.date(2005, 2011))],
+            vec![
+                Value::Int(id),
+                Value::from("institutional"),
+                Value::Date(gen.date(2005, 2011)),
+            ],
         )
         .expect("party_classification");
     }
@@ -390,7 +418,11 @@ pub fn populate(db: &mut Database, seed: u64, scale: f64) {
                     NUM_INDIVIDUALS as i64 + 1,
                     (NUM_INDIVIDUALS + NUM_ORGANIZATIONS) as i64,
                 )),
-                Value::from(if gen.chance(0.3) { "board member" } else { "employee" }),
+                Value::from(if gen.chance(0.3) {
+                    "board member"
+                } else {
+                    "employee"
+                }),
             ],
         )
         .expect("employment");
@@ -433,7 +465,9 @@ mod tests {
             .unwrap();
         assert!(orgs.row_count() >= 1);
         let agreements = db
-            .run_sql("SELECT agreement_id FROM agreement_td WHERE agreement_name LIKE '%Credit Suisse%'")
+            .run_sql(
+                "SELECT agreement_id FROM agreement_td WHERE agreement_name LIKE '%Credit Suisse%'",
+            )
             .unwrap();
         assert!(agreements.row_count() >= 1);
     }

@@ -14,9 +14,9 @@ pub mod schema;
 
 use soda_relation::Database;
 
+use self::padding::PaddingTargets;
 use crate::graph_builder::build_graph;
 use crate::model::Warehouse;
-use padding::PaddingTargets;
 
 /// Configuration of the enterprise warehouse builder.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -167,7 +167,9 @@ mod tests {
         // …while the annotated graph carries historization nodes and explicit
         // join nodes for the same physical keys.
         let hist_node = annotated.graph.node("hist/individual_name_hist").unwrap();
-        assert!(annotated.graph.has_type(hist_node, types::HISTORIZATION_NODE));
+        assert!(annotated
+            .graph
+            .has_type(hist_node, types::HISTORIZATION_NODE));
         assert_eq!(
             annotated.graph.text_of(hist_node, preds::VALID_TO_COLUMN),
             Some("valid_to")
@@ -182,8 +184,16 @@ mod tests {
 
     #[test]
     fn build_is_deterministic() {
-        let a = build_with(EnterpriseConfig { seed: 7, padding: false, data_scale: 0.1 });
-        let b = build_with(EnterpriseConfig { seed: 7, padding: false, data_scale: 0.1 });
+        let a = build_with(EnterpriseConfig {
+            seed: 7,
+            padding: false,
+            data_scale: 0.1,
+        });
+        let b = build_with(EnterpriseConfig {
+            seed: 7,
+            padding: false,
+            data_scale: 0.1,
+        });
         assert_eq!(a.database.total_rows(), b.database.total_rows());
         assert_eq!(
             a.database.table("individual").unwrap().rows(),

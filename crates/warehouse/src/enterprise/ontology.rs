@@ -51,11 +51,12 @@ pub fn ontology() -> DomainOntology {
             }),
     );
     o.add(
-        OntologyConcept::new("trading-volume", "trading volume")
-            .classifies(ClassifyTarget::Column {
+        OntologyConcept::new("trading-volume", "trading volume").classifies(
+            ClassifyTarget::Column {
                 table: "trade_order_td".into(),
                 column: "amount".into(),
-            }),
+            },
+        ),
     );
     o.add(
         OntologyConcept::new("investments", "investments")
@@ -82,11 +83,10 @@ pub fn ontology() -> DomainOntology {
             }),
     );
     o.add(
-        OntologyConcept::new("segments", "customer segments")
-            .classifies(ClassifyTarget::Column {
-                table: "party_classification".into(),
-                column: "segment".into(),
-            }),
+        OntologyConcept::new("segments", "customer segments").classifies(ClassifyTarget::Column {
+            table: "party_classification".into(),
+            column: "segment".into(),
+        }),
     );
     o
 }
@@ -97,16 +97,28 @@ pub fn synonyms() -> SynonymStore {
     let mut s = SynonymStore::new();
     s.add("client", SynonymTarget::Concept("customers".into()));
     s.add("purchaser", SynonymTarget::Concept("customers".into()));
-    s.add("political organization", SynonymTarget::Conceptual("Parties".into()));
+    s.add(
+        "political organization",
+        SynonymTarget::Conceptual("Parties".into()),
+    );
     s.add("company", SynonymTarget::Table("organization".into()));
     s.add("firm", SynonymTarget::Table("organization".into()));
     s.add("enterprise", SynonymTarget::Table("organization".into()));
     s.add("person", SynonymTarget::Table("individual".into()));
-    s.add("employee", SynonymTarget::Table("associate_employment".into()));
-    s.add("payment", SynonymTarget::Table("money_transaction_td".into()));
+    s.add(
+        "employee",
+        SynonymTarget::Table("associate_employment".into()),
+    );
+    s.add(
+        "payment",
+        SynonymTarget::Table("money_transaction_td".into()),
+    );
     s.add("deal", SynonymTarget::Table("agreement_td".into()));
     s.add("contract", SynonymTarget::Table("agreement_td".into()));
-    s.add("stock", SynonymTarget::Table("investment_product_td".into()));
+    s.add(
+        "stock",
+        SynonymTarget::Table("investment_product_td".into()),
+    );
     s.add("fund", SynonymTarget::Table("investment_product_td".into()));
     s.add("money", SynonymTarget::Table("currency".into()));
     s

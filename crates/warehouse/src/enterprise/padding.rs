@@ -66,19 +66,32 @@ fn distribute(total: usize, n: usize) -> Vec<usize> {
 /// target (that would be a programming error in the core schema).
 pub fn pad_model(model: &mut SchemaModel, targets: PaddingTargets) {
     let stats = model.stats();
-    assert!(stats.physical_tables <= targets.physical_tables, "core physical too large");
-    assert!(stats.logical_entities <= targets.logical_entities, "core logical too large");
-    assert!(stats.conceptual_entities <= targets.conceptual_entities, "core conceptual too large");
+    assert!(
+        stats.physical_tables <= targets.physical_tables,
+        "core physical too large"
+    );
+    assert!(
+        stats.logical_entities <= targets.logical_entities,
+        "core logical too large"
+    );
+    assert!(
+        stats.conceptual_entities <= targets.conceptual_entities,
+        "core conceptual too large"
+    );
 
     // ----- physical tables and columns --------------------------------------
     let new_tables = targets.physical_tables - stats.physical_tables;
-    let new_columns_total = targets.physical_columns.saturating_sub(stats.physical_columns);
+    let new_columns_total = targets
+        .physical_columns
+        .saturating_sub(stats.physical_columns);
     let cols_per_table = distribute(new_columns_total, new_tables);
     let mut padding_table_names = Vec::with_capacity(new_tables);
     for (i, &ncols) in cols_per_table.iter().enumerate() {
         let area = i / 8;
         let name = format!("sa{area:02}_ref_table_{i:03}");
-        let mut builder = TableSchema::builder(&name).column("id", DataType::Int).primary_key("id");
+        let mut builder = TableSchema::builder(&name)
+            .column("id", DataType::Int)
+            .primary_key("id");
         // `ncols` includes the id column when possible; always keep >= 1 col.
         for c in 1..ncols.max(1) {
             let ty = match c % 4 {
@@ -122,7 +135,9 @@ pub fn pad_model(model: &mut SchemaModel, targets: PaddingTargets) {
 
     // ----- logical entities and attributes -----------------------------------
     let new_logical = targets.logical_entities - stats.logical_entities;
-    let new_l_attrs = targets.logical_attributes.saturating_sub(stats.logical_attributes);
+    let new_l_attrs = targets
+        .logical_attributes
+        .saturating_sub(stats.logical_attributes);
     let attrs_per_logical = distribute(new_l_attrs, new_logical);
     let mut padding_logical_names = Vec::with_capacity(new_logical);
     for (i, &nattrs) in attrs_per_logical.iter().enumerate() {
@@ -175,7 +190,9 @@ pub fn pad_model(model: &mut SchemaModel, targets: PaddingTargets) {
         };
         model.conceptual.push(ConceptualEntity {
             name: name.clone(),
-            attributes: (0..nattrs).map(|a| format!("business attr {a:02}")).collect(),
+            attributes: (0..nattrs)
+                .map(|a| format!("business attr {a:02}"))
+                .collect(),
             refined_by,
         });
         padding_conceptual_names.push(name);
@@ -236,7 +253,14 @@ mod tests {
         let inh_before = model.inheritance.len();
         pad_model(&mut model, PaddingTargets::default());
         assert!(model.inheritance.len() > inh_before);
-        assert!(model.foreign_keys.iter().filter(|fk| fk.explicit_join_node).count() > 2);
+        assert!(
+            model
+                .foreign_keys
+                .iter()
+                .filter(|fk| fk.explicit_join_node)
+                .count()
+                > 2
+        );
     }
 
     #[test]

@@ -182,7 +182,11 @@ pub fn core_logical_entities() -> Vec<LogicalEntity> {
         },
         LogicalEntity {
             name: "Individual Name History".into(),
-            attributes: vec!["given name".into(), "family name".into(), "valid from".into()],
+            attributes: vec![
+                "given name".into(),
+                "family name".into(),
+                "valid from".into(),
+            ],
             implemented_by: vec!["individual_name_hist".into()],
         },
         LogicalEntity {
@@ -222,7 +226,11 @@ pub fn core_logical_entities() -> Vec<LogicalEntity> {
         },
         LogicalEntity {
             name: "Investment Product".into(),
-            attributes: vec!["product name".into(), "product type".into(), "issuer".into()],
+            attributes: vec![
+                "product name".into(),
+                "product type".into(),
+                "issuer".into(),
+            ],
             implemented_by: vec!["investment_product_td".into()],
         },
         LogicalEntity {
@@ -288,8 +296,16 @@ pub fn core_conceptual_entities() -> Vec<ConceptualEntity> {
         },
         ConceptualEntity {
             name: "Investment Products".into(),
-            attributes: vec!["product name".into(), "product type".into(), "issuer".into()],
-            refined_by: vec!["Investment Product".into(), "Security".into(), "Product Composition".into()],
+            attributes: vec![
+                "product name".into(),
+                "product type".into(),
+                "issuer".into(),
+            ],
+            refined_by: vec![
+                "Investment Product".into(),
+                "Security".into(),
+                "Product Composition".into(),
+            ],
         },
         ConceptualEntity {
             name: "Payments".into(),
@@ -317,32 +333,128 @@ pub fn core_conceptual_entities() -> Vec<ConceptualEntity> {
 /// Relationship lists for both upper layers.
 pub fn core_relationships() -> (Vec<Relationship>, Vec<Relationship>) {
     let conceptual = vec![
-        Relationship { from: "Parties".into(), to: "Addresses".into(), kind: RelationshipKind::ManyToOne },
-        Relationship { from: "Parties".into(), to: "Agreements".into(), kind: RelationshipKind::ManyToMany },
-        Relationship { from: "Agreements".into(), to: "Accounts".into(), kind: RelationshipKind::ManyToOne },
-        Relationship { from: "Accounts".into(), to: "Trade Orders".into(), kind: RelationshipKind::ManyToOne },
-        Relationship { from: "Trade Orders".into(), to: "Investment Products".into(), kind: RelationshipKind::ManyToOne },
-        Relationship { from: "Accounts".into(), to: "Payments".into(), kind: RelationshipKind::ManyToOne },
-        Relationship { from: "Parties".into(), to: "Employment".into(), kind: RelationshipKind::ManyToMany },
-        Relationship { from: "Parties".into(), to: "Customer Segments".into(), kind: RelationshipKind::ManyToOne },
-        Relationship { from: "Investment Products".into(), to: "Currencies".into(), kind: RelationshipKind::ManyToOne },
+        Relationship {
+            from: "Parties".into(),
+            to: "Addresses".into(),
+            kind: RelationshipKind::ManyToOne,
+        },
+        Relationship {
+            from: "Parties".into(),
+            to: "Agreements".into(),
+            kind: RelationshipKind::ManyToMany,
+        },
+        Relationship {
+            from: "Agreements".into(),
+            to: "Accounts".into(),
+            kind: RelationshipKind::ManyToOne,
+        },
+        Relationship {
+            from: "Accounts".into(),
+            to: "Trade Orders".into(),
+            kind: RelationshipKind::ManyToOne,
+        },
+        Relationship {
+            from: "Trade Orders".into(),
+            to: "Investment Products".into(),
+            kind: RelationshipKind::ManyToOne,
+        },
+        Relationship {
+            from: "Accounts".into(),
+            to: "Payments".into(),
+            kind: RelationshipKind::ManyToOne,
+        },
+        Relationship {
+            from: "Parties".into(),
+            to: "Employment".into(),
+            kind: RelationshipKind::ManyToMany,
+        },
+        Relationship {
+            from: "Parties".into(),
+            to: "Customer Segments".into(),
+            kind: RelationshipKind::ManyToOne,
+        },
+        Relationship {
+            from: "Investment Products".into(),
+            to: "Currencies".into(),
+            kind: RelationshipKind::ManyToOne,
+        },
     ];
     let logical = vec![
-        Relationship { from: "Party".into(), to: "Individual".into(), kind: RelationshipKind::Inheritance },
-        Relationship { from: "Party".into(), to: "Organization".into(), kind: RelationshipKind::Inheritance },
-        Relationship { from: "Individual".into(), to: "Individual Name History".into(), kind: RelationshipKind::ManyToOne },
-        Relationship { from: "Organization".into(), to: "Organization Name History".into(), kind: RelationshipKind::ManyToOne },
-        Relationship { from: "Party".into(), to: "Address".into(), kind: RelationshipKind::ManyToOne },
-        Relationship { from: "Party".into(), to: "Agreement".into(), kind: RelationshipKind::ManyToOne },
-        Relationship { from: "Agreement".into(), to: "Account".into(), kind: RelationshipKind::ManyToOne },
-        Relationship { from: "Account".into(), to: "Trade Order".into(), kind: RelationshipKind::ManyToOne },
-        Relationship { from: "Trade Order".into(), to: "Investment Product".into(), kind: RelationshipKind::ManyToOne },
-        Relationship { from: "Investment Product".into(), to: "Security".into(), kind: RelationshipKind::ManyToMany },
-        Relationship { from: "Account".into(), to: "Money Transaction".into(), kind: RelationshipKind::ManyToOne },
-        Relationship { from: "Individual".into(), to: "Associate Employment".into(), kind: RelationshipKind::ManyToMany },
-        Relationship { from: "Organization".into(), to: "Associate Employment".into(), kind: RelationshipKind::ManyToMany },
-        Relationship { from: "Party".into(), to: "Party Classification".into(), kind: RelationshipKind::ManyToOne },
-        Relationship { from: "Account".into(), to: "Currency".into(), kind: RelationshipKind::ManyToOne },
+        Relationship {
+            from: "Party".into(),
+            to: "Individual".into(),
+            kind: RelationshipKind::Inheritance,
+        },
+        Relationship {
+            from: "Party".into(),
+            to: "Organization".into(),
+            kind: RelationshipKind::Inheritance,
+        },
+        Relationship {
+            from: "Individual".into(),
+            to: "Individual Name History".into(),
+            kind: RelationshipKind::ManyToOne,
+        },
+        Relationship {
+            from: "Organization".into(),
+            to: "Organization Name History".into(),
+            kind: RelationshipKind::ManyToOne,
+        },
+        Relationship {
+            from: "Party".into(),
+            to: "Address".into(),
+            kind: RelationshipKind::ManyToOne,
+        },
+        Relationship {
+            from: "Party".into(),
+            to: "Agreement".into(),
+            kind: RelationshipKind::ManyToOne,
+        },
+        Relationship {
+            from: "Agreement".into(),
+            to: "Account".into(),
+            kind: RelationshipKind::ManyToOne,
+        },
+        Relationship {
+            from: "Account".into(),
+            to: "Trade Order".into(),
+            kind: RelationshipKind::ManyToOne,
+        },
+        Relationship {
+            from: "Trade Order".into(),
+            to: "Investment Product".into(),
+            kind: RelationshipKind::ManyToOne,
+        },
+        Relationship {
+            from: "Investment Product".into(),
+            to: "Security".into(),
+            kind: RelationshipKind::ManyToMany,
+        },
+        Relationship {
+            from: "Account".into(),
+            to: "Money Transaction".into(),
+            kind: RelationshipKind::ManyToOne,
+        },
+        Relationship {
+            from: "Individual".into(),
+            to: "Associate Employment".into(),
+            kind: RelationshipKind::ManyToMany,
+        },
+        Relationship {
+            from: "Organization".into(),
+            to: "Associate Employment".into(),
+            kind: RelationshipKind::ManyToMany,
+        },
+        Relationship {
+            from: "Party".into(),
+            to: "Party Classification".into(),
+            kind: RelationshipKind::ManyToOne,
+        },
+        Relationship {
+            from: "Account".into(),
+            to: "Currency".into(),
+            kind: RelationshipKind::ManyToOne,
+        },
     ];
     (conceptual, logical)
 }

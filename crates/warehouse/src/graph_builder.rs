@@ -164,8 +164,9 @@ pub fn build_graph(
                 };
                 for col in &schema.columns {
                     if loose_eq(attr, &col.name) {
-                        if let Some(col_node) =
-                            b.graph().node(&format!("phys/{}/{}", schema.name, col.name))
+                        if let Some(col_node) = b
+                            .graph()
+                            .node(&format!("phys/{}/{}", schema.name, col.name))
                         {
                             b.edge(a, preds::REALIZED_BY, col_node);
                         }
@@ -217,10 +218,11 @@ pub fn build_graph(
                 };
                 for l_attr in &logical.attributes {
                     if loose_eq(attr, l_attr) {
-                        if let Some(l_node) = b
-                            .graph()
-                            .node(&format!("logical/{}/{}", slug(&logical.name), slug(l_attr)))
-                        {
+                        if let Some(l_node) = b.graph().node(&format!(
+                            "logical/{}/{}",
+                            slug(&logical.name),
+                            slug(l_attr)
+                        )) {
                             b.edge(a, preds::REALIZED_BY, l_node);
                         }
                     }
@@ -252,7 +254,9 @@ pub fn build_graph(
         }
         for target in &concept.classifies {
             let target_node = match target {
-                ClassifyTarget::Conceptual(name) => b.graph().node(&format!("concept/{}", slug(name))),
+                ClassifyTarget::Conceptual(name) => {
+                    b.graph().node(&format!("concept/{}", slug(name)))
+                }
                 ClassifyTarget::Logical(name) => b.graph().node(&format!("logical/{}", slug(name))),
                 ClassifyTarget::Table(name) => b.graph().node(&format!("phys/{name}")),
                 ClassifyTarget::Column { table, column } => {
@@ -464,8 +468,12 @@ mod tests {
         let conceptual = g.node("concept/parties").unwrap();
         let logical = g.node("logical/individuals").unwrap();
         let physical = g.node("phys/individual").unwrap();
-        assert!(g.objects_of(conceptual, preds::REFINED_BY).contains(&logical));
-        assert!(g.objects_of(logical, preds::IMPLEMENTED_BY).contains(&physical));
+        assert!(g
+            .objects_of(conceptual, preds::REFINED_BY)
+            .contains(&logical));
+        assert!(g
+            .objects_of(logical, preds::IMPLEMENTED_BY)
+            .contains(&physical));
         // The logical "salary" attribute is realised by the physical column.
         let attr = g.node("logical/individuals/salary").unwrap();
         let col = g.node("phys/individual/salary").unwrap();
@@ -477,7 +485,9 @@ mod tests {
         let g = build_graph(&tiny_model(), &tiny_ontology(), &tiny_synonyms());
         let private = g.node("onto/private-customers").unwrap();
         let individual = g.node("phys/individual").unwrap();
-        assert!(g.objects_of(private, preds::CLASSIFIES).contains(&individual));
+        assert!(g
+            .objects_of(private, preds::CLASSIFIES)
+            .contains(&individual));
 
         let wealthy = g.node("onto/wealthy-customers").unwrap();
         let filters = g.objects_of(wealthy, preds::DEFINED_FILTER);

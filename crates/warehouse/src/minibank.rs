@@ -8,7 +8,7 @@
 //! `fi_contains_sec` bridge table for the N-to-N relationship between
 //! financial instruments and securities.
 
-use soda_relation::{Database, DataType, TableSchema, Value};
+use soda_relation::{DataType, Database, TableSchema, Value};
 
 use crate::datagen::{
     DataGen, CITIES, COUNTRIES, CURRENCIES, FAMILY_NAMES, GIVEN_NAMES, LEGAL_FORMS, ORG_NAMES,
@@ -17,8 +17,8 @@ use crate::datagen::{
 use crate::dbpedia::{SynonymStore, SynonymTarget};
 use crate::graph_builder::build_graph;
 use crate::model::{
-    ConceptualEntity, InheritanceGroup, LogicalEntity, Relationship, RelationshipKind,
-    SchemaModel, Warehouse,
+    ConceptualEntity, InheritanceGroup, LogicalEntity, Relationship, RelationshipKind, SchemaModel,
+    Warehouse,
 };
 use crate::ontology::{ClassifyTarget, ConceptFilter, DomainOntology, OntologyConcept};
 
@@ -119,11 +119,20 @@ pub fn schema_model() -> SchemaModel {
         ConceptualEntity {
             name: "Parties".into(),
             attributes: vec!["name".into(), "domicile".into()],
-            refined_by: vec!["Parties".into(), "Individuals".into(), "Organizations".into()],
+            refined_by: vec![
+                "Parties".into(),
+                "Individuals".into(),
+                "Organizations".into(),
+            ],
         },
         ConceptualEntity {
             name: "Individuals".into(),
-            attributes: vec!["first name".into(), "last name".into(), "salary".into(), "birthday".into()],
+            attributes: vec![
+                "first name".into(),
+                "last name".into(),
+                "salary".into(),
+                "birthday".into(),
+            ],
             refined_by: vec!["Individuals".into(), "Addresses".into()],
         },
         ConceptualEntity {
@@ -181,7 +190,12 @@ pub fn schema_model() -> SchemaModel {
         },
         LogicalEntity {
             name: "Individuals".into(),
-            attributes: vec!["firstname".into(), "lastname".into(), "salary".into(), "birthday".into()],
+            attributes: vec![
+                "firstname".into(),
+                "lastname".into(),
+                "salary".into(),
+                "birthday".into(),
+            ],
             implemented_by: vec!["individuals".into()],
         },
         LogicalEntity {
@@ -305,11 +319,12 @@ pub fn ontology() -> DomainOntology {
             }),
     );
     o.add(
-        OntologyConcept::new("trading-volume", "trading volume")
-            .classifies(ClassifyTarget::Column {
+        OntologyConcept::new("trading-volume", "trading volume").classifies(
+            ClassifyTarget::Column {
                 table: "fi_transactions".into(),
                 column: "amount".into(),
-            }),
+            },
+        ),
     );
     o.add(
         OntologyConcept::new("names", "names")
@@ -332,13 +347,25 @@ pub fn synonyms() -> SynonymStore {
     let mut s = SynonymStore::new();
     s.add("client", SynonymTarget::Concept("customers".into()));
     s.add("purchaser", SynonymTarget::Concept("customers".into()));
-    s.add("political organization", SynonymTarget::Conceptual("Parties".into()));
+    s.add(
+        "political organization",
+        SynonymTarget::Conceptual("Parties".into()),
+    );
     s.add("company", SynonymTarget::Table("organizations".into()));
     s.add("firm", SynonymTarget::Table("organizations".into()));
     s.add("person", SynonymTarget::Table("individuals".into()));
-    s.add("stock", SynonymTarget::Conceptual("Financial Instruments".into()));
-    s.add("share", SynonymTarget::Conceptual("Financial Instruments".into()));
-    s.add("payment", SynonymTarget::Logical("Money Transactions".into()));
+    s.add(
+        "stock",
+        SynonymTarget::Conceptual("Financial Instruments".into()),
+    );
+    s.add(
+        "share",
+        SynonymTarget::Conceptual("Financial Instruments".into()),
+    );
+    s.add(
+        "payment",
+        SynonymTarget::Logical("Money Transactions".into()),
+    );
     s
 }
 
@@ -439,7 +466,11 @@ pub fn populate(db: &mut Database, seed: u64) {
         let toparty = gen.int(1, (NUM_INDIVIDUALS + NUM_ORGANIZATIONS) as i64);
         db.insert(
             "transactions",
-            vec![Value::Int(id), Value::Int(toparty), Value::Date(gen.date(2009, 2011))],
+            vec![
+                Value::Int(id),
+                Value::Int(toparty),
+                Value::Date(gen.date(2009, 2011)),
+            ],
         )
         .expect("insert transaction");
         if id <= fi_count as i64 {
@@ -507,7 +538,9 @@ mod tests {
         let w = build(42);
         let sara = w
             .database
-            .run_sql("SELECT * FROM individuals WHERE firstname = 'Sara' AND lastname = 'Guttinger'")
+            .run_sql(
+                "SELECT * FROM individuals WHERE firstname = 'Sara' AND lastname = 'Guttinger'",
+            )
             .unwrap();
         assert!(sara.row_count() >= 1);
         let zurich = w
@@ -521,9 +554,18 @@ mod tests {
     fn all_ten_physical_tables_exist_and_are_populated_where_expected() {
         let w = build(42);
         assert_eq!(w.database.table_count(), 10);
-        assert_eq!(w.database.table("parties").unwrap().row_count(), NUM_INDIVIDUALS + NUM_ORGANIZATIONS);
-        assert_eq!(w.database.table("individuals").unwrap().row_count(), NUM_INDIVIDUALS);
-        assert_eq!(w.database.table("transactions").unwrap().row_count(), NUM_TRANSACTIONS);
+        assert_eq!(
+            w.database.table("parties").unwrap().row_count(),
+            NUM_INDIVIDUALS + NUM_ORGANIZATIONS
+        );
+        assert_eq!(
+            w.database.table("individuals").unwrap().row_count(),
+            NUM_INDIVIDUALS
+        );
+        assert_eq!(
+            w.database.table("transactions").unwrap().row_count(),
+            NUM_TRANSACTIONS
+        );
         assert!(w.database.table("fi_transactions").unwrap().row_count() > 0);
         assert!(w.database.table("money_transactions").unwrap().row_count() > 0);
     }

@@ -293,7 +293,9 @@ mod tests {
     #[test]
     fn physical_table_lookup_is_case_insensitive() {
         let model = SchemaModel {
-            physical: vec![TableSchema::builder("Party").column("id", DataType::Int).build()],
+            physical: vec![TableSchema::builder("Party")
+                .column("id", DataType::Int)
+                .build()],
             ..Default::default()
         };
         assert!(model.physical_table("party").is_some());

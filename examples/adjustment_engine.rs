@@ -36,12 +36,18 @@ fn main() {
                 &format!(" WHERE trade_order_td.order_dt >= '{year}-01-01' AND trade_order_td.order_dt <= '{year}-12-31' AND ")
             )
         );
-        warehouse.database.run_sql(sql.trim()).expect("period query runs")
+        warehouse
+            .database
+            .run_sql(sql.trim())
+            .expect("period query runs")
     };
     let current = by_period(2011);
     let previous = by_period(2010);
 
-    println!("{:<10} {:>16} {:>16} {:>12}", "currency", "2011", "2010", "delta");
+    println!(
+        "{:<10} {:>16} {:>16} {:>12}",
+        "currency", "2011", "2010", "delta"
+    );
     println!("{}", "-".repeat(58));
     for row in current.rows() {
         let currency = row[0].to_string();

@@ -46,7 +46,9 @@ fn main() {
         "== after disliking the {:?} interpretation three times",
         full[0].tables
     );
-    let reranked = engine.search_with_feedback("Credit Suisse", &feedback).unwrap();
+    let reranked = engine
+        .search_with_feedback("Credit Suisse", &feedback)
+        .unwrap();
     for (i, r) in reranked.iter().take(3).enumerate() {
         println!("  {}. [{:.2}] tables {:?}", i + 1, r.score, r.tables);
     }
@@ -60,7 +62,10 @@ fn main() {
             println!("  every word matched — nothing to suggest");
         }
         for s in suggestions {
-            println!("  '{}' is unknown — did you mean {:?}?", s.term, s.candidates);
+            println!(
+                "  '{}' is unknown — did you mean {:?}?",
+                s.term, s.candidates
+            );
         }
         println!();
     }

@@ -42,7 +42,14 @@ fn main() {
     let description = browser.describe("trade_order_td").unwrap();
     println!("== trade_order_td as recovered from the physical schema");
     println!("  logical entity: {:?}", description.logical_entities);
-    println!("  columns       : {:?}", description.columns.iter().map(|c| &c.name).collect::<Vec<_>>());
+    println!(
+        "  columns       : {:?}",
+        description
+            .columns
+            .iter()
+            .map(|c| &c.name)
+            .collect::<Vec<_>>()
+    );
     println!(
         "  join path to party:\n    {}",
         browser

@@ -20,7 +20,12 @@ fn main() {
     // 1. Where does a business term live?  The classification index answers
     //    directly, without generating SQL.
     println!("== where do business terms resolve?");
-    for term in ["private customers", "trading volume", "wealthy customers", "birth date"] {
+    for term in [
+        "private customers",
+        "trading volume",
+        "wealthy customers",
+        "birth date",
+    ] {
         let (results, trace) = engine.search_traced(term).unwrap();
         let provenance: Vec<String> = trace
             .classification
@@ -33,7 +38,10 @@ fn main() {
             .collect::<std::collections::BTreeSet<_>>()
             .into_iter()
             .collect();
-        println!("  {term:<20} found in {:?}, physical tables {:?}", provenance, tables);
+        println!(
+            "  {term:<20} found in {:?}, physical tables {:?}",
+            provenance, tables
+        );
     }
 
     // 2. Which join path connects two entities?  "Give me tables X and Y" —

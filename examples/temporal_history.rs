@@ -42,13 +42,21 @@ fn main() {
     let plain = enterprise::build_with(config);
     let engine = SodaEngine::new(&plain.database, &plain.graph, SodaConfig::default());
     show(&engine, "Q2.1", "Sara");
-    show(&engine, "temporal operator (ignored without annotations)", "Sara valid at date(2006-06-30)");
+    show(
+        &engine,
+        "temporal operator (ignored without annotations)",
+        "Sara valid at date(2006-06-30)",
+    );
 
     println!("== historization-annotated metadata graph (the paper's proposed remedy)\n");
     let annotated = enterprise::build_with_historization(config);
     let engine = SodaEngine::new(&annotated.database, &annotated.graph, SodaConfig::default());
     show(&engine, "Q2.1", "Sara");
-    show(&engine, "temporal operator", "Sara valid at date(2006-06-30)");
+    show(
+        &engine,
+        "temporal operator",
+        "Sara valid at date(2006-06-30)",
+    );
 
     println!("== entity recall, plain vs annotated (Q2.1 / Q2.2)\n");
     println!("{}", print_historization(&historization_comparison(config)));

@@ -114,7 +114,10 @@ fn query1_keyword_pattern_sara_guttinger() {
     // The generated statement must filter on both name parts, not just one.
     let lower = sql.to_ascii_lowercase();
     assert!(lower.contains("sara"), "missing first-name filter: {sql}");
-    assert!(lower.contains("guttinger"), "missing last-name filter: {sql}");
+    assert!(
+        lower.contains("guttinger"),
+        "missing last-name filter: {sql}"
+    );
 }
 
 /// Query 2 (§4.4.1): comparison operators and `date()` values.
@@ -132,7 +135,10 @@ fn query2_input_pattern_salary_and_birthday() {
         .database
         .run_sql("SELECT individuals.birthday FROM individuals WHERE individuals.salary >= 500000")
         .unwrap();
-    assert!(probe.row_count() > 0, "test data must contain wealthy individuals");
+    assert!(
+        probe.row_count() > 0,
+        "test data must contain wealthy individuals"
+    );
     let birthday = format!("{}", probe.rows()[0][0]);
 
     let soda_input = format!("salary >= 500000 and birthday = date({birthday})");
@@ -140,7 +146,13 @@ fn query2_input_pattern_salary_and_birthday() {
         "SELECT individuals.id, individuals.salary, individuals.birthday FROM individuals \
          WHERE individuals.salary >= 500000 AND individuals.birthday = '{birthday}'"
     );
-    assert_equivalent(&w, &e, &soda_input, &expert_sql, &["id", "salary", "birthday"]);
+    assert_equivalent(
+        &w,
+        &e,
+        &soda_input,
+        &expert_sql,
+        &["id", "salary", "birthday"],
+    );
 }
 
 /// Query 3 (§4.4.2): "sum (amount) group by (transaction date)".
@@ -313,5 +325,8 @@ fn address_of_sara_guttinger() {
             break;
         }
     }
-    assert!(found_zurich, "no result returned Sara Guttinger's Zurich address");
+    assert!(
+        found_zurich,
+        "no result returned Sara Guttinger's Zurich address"
+    );
 }

@@ -54,7 +54,11 @@ fn table3_shape_is_reproduced() {
             "query {id} expected recall ~0.2, got {:.2}",
             e.best.recall
         );
-        assert!(e.best.precision >= 0.99, "query {id} precision {:.2}", e.best.precision);
+        assert!(
+            e.best.precision >= 0.99,
+            "query {id} precision {:.2}",
+            e.best.precision
+        );
     }
 
     // The complex inheritance + sibling-bridge part of the schema defeats the
@@ -111,7 +115,12 @@ fn every_produced_statement_is_executable() {
             // execution failure would have been counted as zero rows AND zero
             // precision/recall. Re-execute explicitly to be sure.
             let parsed = soda::relation::parse_select(&r.sql);
-            assert!(parsed.is_ok(), "query {}: generated SQL does not parse: {}", e.id, r.sql);
+            assert!(
+                parsed.is_ok(),
+                "query {}: generated SQL does not parse: {}",
+                e.id,
+                r.sql
+            );
             assert!(
                 warehouse.database.run_sql(&r.sql).is_ok(),
                 "query {}: generated SQL does not execute: {}",

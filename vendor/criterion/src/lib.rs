@@ -1,0 +1,268 @@
+//! Vendored stand-in for the subset of the `criterion` API used by the
+//! `soda-bench` crate: `Criterion`, `BenchmarkGroup`, `BenchmarkId`,
+//! `Bencher::iter`, and the `criterion_group!`/`criterion_main!` macros.
+//!
+//! Statistical machinery (outlier analysis, HTML reports) is out of scope; the
+//! harness warms each benchmark up, runs `sample_size` timed samples and
+//! prints mean / min / max wall-clock per iteration.  Bench *registration* is
+//! identical to real criterion (`harness = false` targets calling
+//! `criterion_main!`), so swapping in the real crate later is a one-line
+//! `Cargo.toml` change.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Identifier for a benchmark within a group, mirroring
+/// `criterion::BenchmarkId`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId {
+    function: Option<String>,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// Benchmark id from a function name and a parameter value.
+    pub fn new<S: Into<String>, P: fmt::Display>(function: S, parameter: P) -> Self {
+        Self {
+            function: Some(function.into()),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    /// Benchmark id from a parameter value alone.
+    pub fn from_parameter<P: fmt::Display>(parameter: P) -> Self {
+        Self {
+            function: None,
+            parameter: Some(parameter.to_string()),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (&self.function, &self.parameter) {
+            (Some(func), Some(param)) => write!(f, "{func}/{param}"),
+            (Some(func), None) => write!(f, "{func}"),
+            (None, Some(param)) => write!(f, "{param}"),
+            (None, None) => write!(f, "benchmark"),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        Self {
+            function: Some(name.to_string()),
+            parameter: None,
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        Self {
+            function: Some(name),
+            parameter: None,
+        }
+    }
+}
+
+/// Times one benchmark routine, mirroring `criterion::Bencher`.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+    sample_count: usize,
+}
+
+impl Bencher {
+    fn new(sample_count: usize) -> Self {
+        Self {
+            samples: Vec::new(),
+            iters_per_sample: 1,
+            sample_count,
+        }
+    }
+
+    /// Runs the routine repeatedly and records per-iteration wall-clock.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: one untimed call, also used to size the sample batches so
+        // fast routines are not dominated by timer overhead.
+        let warmup_start = Instant::now();
+        std::hint::black_box(routine());
+        let warmup = warmup_start.elapsed();
+        let target = Duration::from_millis(5);
+        self.iters_per_sample = if warmup.is_zero() {
+            1000
+        } else {
+            (target.as_nanos() / warmup.as_nanos().max(1)).clamp(1, 1000) as u64
+        };
+        for _ in 0..self.sample_count {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                std::hint::black_box(routine());
+            }
+            self.samples
+                .push(start.elapsed() / self.iters_per_sample as u32);
+        }
+    }
+}
+
+/// A named collection of related benchmarks, mirroring
+/// `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the target measurement time (accepted for API compatibility; the
+    /// stub sizes its batches internally).
+    pub fn measurement_time(&mut self, _dur: Duration) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks a routine under an id.
+    pub fn bench_function<I, O, F>(&mut self, id: I, mut f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        F: FnMut(&mut Bencher) -> O,
+    {
+        let id = id.into();
+        let mut bencher = Bencher::new(self.sample_size);
+        f(&mut bencher);
+        self.criterion.report(&self.name, &id, &bencher);
+        self
+    }
+
+    /// Benchmarks a routine parameterised by a borrowed input.
+    pub fn bench_with_input<I, In, O, F>(&mut self, id: I, input: &In, mut f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        In: ?Sized,
+        F: FnMut(&mut Bencher, &In) -> O,
+    {
+        let id = id.into();
+        let mut bencher = Bencher::new(self.sample_size);
+        f(&mut bencher, input);
+        self.criterion.report(&self.name, &id, &bencher);
+        self
+    }
+
+    /// Finishes the group (prints a trailing separator).
+    pub fn finish(&mut self) {
+        println!();
+    }
+}
+
+/// Benchmark harness entry point, mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {
+    benchmarks_run: usize,
+}
+
+impl Criterion {
+    /// Starts a named benchmark group.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("group: {name}");
+        BenchmarkGroup {
+            criterion: self,
+            name,
+            sample_size: 10,
+        }
+    }
+
+    /// Benchmarks a routine outside any group.
+    pub fn bench_function<O, F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher) -> O,
+    {
+        let mut bencher = Bencher::new(10);
+        f(&mut bencher);
+        let id = BenchmarkId::from(name);
+        self.report("", &id, &bencher);
+        self
+    }
+
+    fn report(&mut self, group: &str, id: &BenchmarkId, bencher: &Bencher) {
+        self.benchmarks_run += 1;
+        if bencher.samples.is_empty() {
+            println!("  {id}: no samples recorded");
+            return;
+        }
+        let total: Duration = bencher.samples.iter().sum();
+        let mean = total / bencher.samples.len() as u32;
+        let min = bencher.samples.iter().min().copied().unwrap_or_default();
+        let max = bencher.samples.iter().max().copied().unwrap_or_default();
+        let label = if group.is_empty() {
+            format!("{id}")
+        } else {
+            format!("{group}/{id}")
+        };
+        println!(
+            "  {label}: mean {mean:?}  min {min:?}  max {max:?}  ({} samples x {} iters)",
+            bencher.samples.len(),
+            bencher.iters_per_sample
+        );
+    }
+}
+
+/// Re-export for parity with `criterion::black_box` call sites.
+pub use std::hint::black_box;
+
+/// Declares a benchmark group function, mirroring `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, mirroring `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` passes harness flags such as `--bench`; a plain
+            // binary harness ignores them.
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(3);
+        let mut calls = 0u64;
+        group.bench_function("incr", |b| b.iter(|| calls = calls.wrapping_add(1)));
+        group.bench_with_input(BenchmarkId::new("add", 7), &7u64, |b, n| {
+            b.iter(|| std::hint::black_box(n + 1))
+        });
+        group.finish();
+        assert!(calls > 0);
+        assert_eq!(c.benchmarks_run, 2);
+    }
+
+    #[test]
+    fn benchmark_id_formatting() {
+        assert_eq!(BenchmarkId::new("f", "p").to_string(), "f/p");
+        assert_eq!(BenchmarkId::from_parameter(3).to_string(), "3");
+        assert_eq!(BenchmarkId::from("plain").to_string(), "plain");
+    }
+}

@@ -1,0 +1,136 @@
+//! Vendored stand-in for the subset of the `proptest` API used by the SODA
+//! workspace.
+//!
+//! Supported surface: the `proptest!` macro (with an optional
+//! `#![proptest_config(...)]` inner attribute), `prop_assert!` /
+//! `prop_assert_eq!` / `prop_assert_ne!`, `prop_oneof!`, `Just`, `any`,
+//! strategies over integer and float ranges, string strategies from a small
+//! regex subset, tuples, `prop_map` / `prop_flat_map`, `collection::vec` and
+//! `option::of`.
+//!
+//! The implementation samples deterministically (seeded per test name and
+//! case index) and does **not** shrink failing inputs — failures report the
+//! case number so the exact inputs can be regenerated.  Swapping in the real
+//! `proptest` later is a one-line `Cargo.toml` change.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod option;
+pub mod prelude;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+/// The `proptest! { ... }` macro: declares deterministic property tests.
+///
+/// Accepts an optional `#![proptest_config(expr)]` header followed by any
+/// number of `#[test] fn name(pat in strategy, ...) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config = $cfg;
+            $crate::test_runner::TestRunner::new(__config).run(stringify!($name), |__rng| {
+                $(let $pat = $crate::strategy::Strategy::sample(&($strat), __rng);)+
+                let __result: $crate::test_runner::TestCaseResult = (|| {
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                __result
+            });
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+/// Fails the current test case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Fails the current test case unless both expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__left, __right) = (&$left, &$right);
+        if !(*__left == *__right) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `{:?}` == `{:?}`",
+                __left, __right
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (__left, __right) = (&$left, &$right);
+        if !(*__left == *__right) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `{:?}` == `{:?}`: {}",
+                __left,
+                __right,
+                format!($($fmt)*)
+            )));
+        }
+    }};
+}
+
+/// Fails the current test case if both expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__left, __right) = (&$left, &$right);
+        if *__left == *__right {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `{:?}` != `{:?}`",
+                __left, __right
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (__left, __right) = (&$left, &$right);
+        if *__left == *__right {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `{:?}` != `{:?}`: {}",
+                __left,
+                __right,
+                format!($($fmt)*)
+            )));
+        }
+    }};
+}
+
+/// Uniform choice between several strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::boxed_strategy($strat)),+
+        ])
+    };
+}

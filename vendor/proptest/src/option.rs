@@ -1,0 +1,28 @@
+//! Option strategies (`proptest::option::of`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Generates `Some` of the inner strategy three times out of four, `None`
+/// otherwise.
+pub fn of<S: Strategy>(strategy: S) -> OptionStrategy<S> {
+    OptionStrategy { strategy }
+}
+
+/// See [`of`].
+#[derive(Debug, Clone)]
+pub struct OptionStrategy<S> {
+    strategy: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+
+    fn sample(&self, rng: &mut TestRng) -> Option<S::Value> {
+        if rng.next_bool(0.75) {
+            Some(self.strategy.sample(rng))
+        } else {
+            None
+        }
+    }
+}

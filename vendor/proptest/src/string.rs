@@ -1,0 +1,203 @@
+//! Sampling strings from a small regex subset.
+//!
+//! Supported syntax — enough for every pattern in the workspace's tests:
+//!
+//! * literal characters,
+//! * `.` (any printable ASCII character),
+//! * character classes `[...]` with ranges (`a-z`, ` -~`) and literal members
+//!   (a `-` first or last is literal; a leading `^` is not supported),
+//! * escapes `\d`, `\w`, `\s` and escaped literals (`\.`, `\[`, …),
+//! * quantifiers `{n}`, `{m,n}`, `?`, `*`, `+` (`*`/`+` capped at 8 repeats).
+
+use crate::test_runner::TestRng;
+
+const UNBOUNDED_CAP: usize = 8;
+
+/// One repeatable unit of the pattern: a set of candidate characters plus a
+/// repetition range (inclusive).
+struct Atom {
+    choices: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+fn printable_ascii() -> Vec<char> {
+    (0x20u8..=0x7E).map(char::from).collect()
+}
+
+fn escape_class(escape: char) -> Vec<char> {
+    match escape {
+        'd' => ('0'..='9').collect(),
+        'w' => ('a'..='z')
+            .chain('A'..='Z')
+            .chain('0'..='9')
+            .chain(std::iter::once('_'))
+            .collect(),
+        's' => vec![' ', '\t', '\n'],
+        other => vec![other],
+    }
+}
+
+fn parse_class(chars: &mut std::iter::Peekable<std::str::Chars<'_>>, pattern: &str) -> Vec<char> {
+    let mut members: Vec<char> = Vec::new();
+    let mut closed = false;
+    while let Some(c) = chars.next() {
+        match c {
+            ']' => {
+                closed = true;
+                break;
+            }
+            '\\' => {
+                let escape = chars
+                    .next()
+                    .unwrap_or_else(|| panic!("dangling escape in pattern {pattern:?}"));
+                members.extend(escape_class(escape));
+            }
+            '-' if !members.is_empty() && chars.peek().is_some_and(|&next| next != ']') => {
+                let start = *members.last().unwrap();
+                let end = chars.next().unwrap();
+                assert!(
+                    start <= end,
+                    "invalid class range {start:?}-{end:?} in pattern {pattern:?}"
+                );
+                members.pop();
+                members.extend(start..=end);
+            }
+            other => members.push(other),
+        }
+    }
+    assert!(
+        closed,
+        "unterminated character class in pattern {pattern:?}"
+    );
+    assert!(
+        !members.is_empty(),
+        "empty character class in pattern {pattern:?}"
+    );
+    members
+}
+
+fn parse_quantifier(
+    chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+    pattern: &str,
+) -> (usize, usize) {
+    match chars.peek() {
+        Some('{') => {
+            chars.next();
+            let mut body = String::new();
+            for c in chars.by_ref() {
+                if c == '}' {
+                    break;
+                }
+                body.push(c);
+            }
+            let (min, max) = match body.split_once(',') {
+                Some((min, max)) => (
+                    min.trim().parse().expect("bad quantifier"),
+                    max.trim().parse().expect("bad quantifier"),
+                ),
+                None => {
+                    let n = body.trim().parse().expect("bad quantifier");
+                    (n, n)
+                }
+            };
+            assert!(min <= max, "inverted quantifier in pattern {pattern:?}");
+            (min, max)
+        }
+        Some('?') => {
+            chars.next();
+            (0, 1)
+        }
+        Some('*') => {
+            chars.next();
+            (0, UNBOUNDED_CAP)
+        }
+        Some('+') => {
+            chars.next();
+            (1, UNBOUNDED_CAP)
+        }
+        _ => (1, 1),
+    }
+}
+
+fn parse(pattern: &str) -> Vec<Atom> {
+    let mut atoms = Vec::new();
+    let mut chars = pattern.chars().peekable();
+    while let Some(c) = chars.next() {
+        let choices = match c {
+            '[' => parse_class(&mut chars, pattern),
+            '\\' => {
+                let escape = chars
+                    .next()
+                    .unwrap_or_else(|| panic!("dangling escape in pattern {pattern:?}"));
+                escape_class(escape)
+            }
+            '.' => printable_ascii(),
+            other => vec![other],
+        };
+        let (min, max) = parse_quantifier(&mut chars, pattern);
+        atoms.push(Atom { choices, min, max });
+    }
+    atoms
+}
+
+/// Samples one string matching `pattern`.
+pub(crate) fn sample_regex(pattern: &str, rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    for atom in parse(pattern) {
+        let span = (atom.max - atom.min + 1) as u64;
+        let count = atom.min + rng.next_below(span) as usize;
+        for _ in 0..count {
+            let index = rng.next_below(atom.choices.len() as u64) as usize;
+            out.push(atom.choices[index]);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::deterministic("string-tests", 0)
+    }
+
+    #[test]
+    fn class_with_range_and_count() {
+        let mut rng = rng();
+        for _ in 0..200 {
+            let s = sample_regex("[a-z_]{1,12}", &mut rng);
+            assert!((1..=12).contains(&s.chars().count()), "{s:?}");
+            assert!(s.chars().all(|c| c == '_' || c.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn space_to_tilde_covers_printables() {
+        let mut rng = rng();
+        for _ in 0..200 {
+            let s = sample_regex("[ -~]{0,60}", &mut rng);
+            assert!(s.len() <= 60);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn concatenated_atoms() {
+        let mut rng = rng();
+        for _ in 0..200 {
+            let s = sample_regex("[a-zA-Z][a-zA-Z0-9_]{0,30}", &mut rng);
+            assert!(!s.is_empty() && s.len() <= 31);
+            assert!(s.chars().next().unwrap().is_ascii_alphabetic());
+        }
+    }
+
+    #[test]
+    fn literal_and_quantifiers() {
+        let mut rng = rng();
+        let s = sample_regex("ab{3}c?", &mut rng);
+        assert!(s.starts_with('a'));
+        assert!(s.contains("bbb"));
+    }
+}

@@ -1,0 +1,124 @@
+//! Deterministic test-case runner and RNG.
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+/// Configuration mirroring `proptest::test_runner::Config`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+/// A failed property check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    /// Builds a failure from a message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        Self(message.into())
+    }
+
+    /// The failure message.
+    pub fn message(&self) -> &str {
+        &self.0
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Outcome of one property-test case.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Deterministic RNG handed to strategies (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// A generator seeded from a test name and case index.
+    pub fn deterministic(name: &str, case: u32) -> Self {
+        let mut hasher = DefaultHasher::new();
+        name.hash(&mut hasher);
+        case.hash(&mut hasher);
+        0x5355_4f44_4153_4f44u64.hash(&mut hasher);
+        Self {
+            state: hasher.finish(),
+        }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform integer in `[0, bound)`; `bound` must be non-zero.
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        self.next_u64() % bound
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn next_unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Random coin flip with probability `p` of `true`.
+    pub fn next_bool(&mut self, p: f64) -> bool {
+        self.next_unit_f64() < p.clamp(0.0, 1.0)
+    }
+}
+
+/// Runs a property over many deterministic cases.
+pub struct TestRunner {
+    config: ProptestConfig,
+}
+
+impl TestRunner {
+    /// A runner for the given configuration.  The `PROPTEST_CASES`
+    /// environment variable overrides the configured case count.
+    pub fn new(config: ProptestConfig) -> Self {
+        Self { config }
+    }
+
+    /// Runs `f` once per case, panicking (and thereby failing the enclosing
+    /// `#[test]`) on the first case whose check fails.
+    pub fn run<F>(&self, name: &str, mut f: F)
+    where
+        F: FnMut(&mut TestRng) -> TestCaseResult,
+    {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(self.config.cases);
+        for case in 0..cases {
+            let mut rng = TestRng::deterministic(name, case);
+            if let Err(error) = f(&mut rng) {
+                panic!("property `{name}` failed at case {case}/{cases}: {error}");
+            }
+        }
+    }
+}

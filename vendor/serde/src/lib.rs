@@ -1,0 +1,15 @@
+//! Vendored stand-in for `serde`, sufficient for this offline workspace.
+//!
+//! The SODA crates use `#[derive(serde::Serialize)]` (and `#[serde(skip)]`
+//! field attributes) purely to keep their public types serialization-ready;
+//! nothing in the workspace serializes yet, so `Serialize`/`Deserialize` are
+//! empty marker traits here.  Swapping in the real serde later is a
+//! one-line `Cargo.toml` change — no source edits required.
+
+/// Marker trait mirroring `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize`.
+pub trait Deserialize {}
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,89 @@
+//! Vendored stand-in for `serde_derive`, sufficient for this offline workspace.
+//!
+//! The SODA crates only ever *derive* `serde::Serialize` (no code in the
+//! workspace serializes anything yet — there is no `serde_json` and no bound
+//! on the trait), so the derive here simply emits a marker-trait impl for the
+//! deriving type and swallows the `#[serde(...)]` helper attributes.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts `(type_name, generics_tokens)` from a `struct`/`enum` item.
+///
+/// Only the generic *parameter names* are retained (bounds and defaults are
+/// dropped), which is all the emitted marker impl needs.
+fn type_header(input: TokenStream) -> Option<(String, Vec<String>)> {
+    let mut tokens = input.into_iter().peekable();
+    // Skip attributes, doc comments and visibility until `struct` / `enum`.
+    for tree in tokens.by_ref() {
+        match tree {
+            TokenTree::Ident(ident)
+                if ident.to_string() == "struct" || ident.to_string() == "enum" =>
+            {
+                break
+            }
+            _ => continue,
+        }
+    }
+    let name = match tokens.next()? {
+        TokenTree::Ident(ident) => ident.to_string(),
+        _ => return None,
+    };
+    let mut params = Vec::new();
+    if let Some(TokenTree::Punct(p)) = tokens.peek() {
+        if p.as_char() == '<' {
+            tokens.next();
+            let mut depth = 1usize;
+            let mut expect_param = true;
+            while let Some(tree) = tokens.next() {
+                match tree {
+                    TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                    TokenTree::Punct(p) if p.as_char() == '>' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    TokenTree::Punct(p) if p.as_char() == ',' && depth == 1 => expect_param = true,
+                    TokenTree::Punct(p) if p.as_char() == '\'' && depth == 1 && expect_param => {
+                        // Lifetime parameter: consume its identifier.
+                        if let Some(TokenTree::Ident(ident)) = tokens.next() {
+                            params.push(format!("'{ident}"));
+                        }
+                        expect_param = false;
+                    }
+                    TokenTree::Ident(ident) if depth == 1 && expect_param => {
+                        params.push(ident.to_string());
+                        expect_param = false;
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+    Some((name, params))
+}
+
+/// Derives the (empty) `serde::Serialize` marker trait.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, "Serialize")
+}
+
+/// Derives the (empty) `serde::Deserialize` marker trait.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, "Deserialize")
+}
+
+fn expand(input: TokenStream, trait_name: &str) -> TokenStream {
+    let Some((name, params)) = type_header(input) else {
+        return TokenStream::new();
+    };
+    let generics = if params.is_empty() {
+        String::new()
+    } else {
+        format!("<{}>", params.join(", "))
+    };
+    let impl_block = format!("impl{generics} ::serde::{trait_name} for {name}{generics} {{}}");
+    impl_block.parse().unwrap_or_else(|_| TokenStream::new())
+}
