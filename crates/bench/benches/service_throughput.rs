@@ -1,0 +1,111 @@
+//! Serving-layer benchmarks: cold vs warm interpretation cache and batch
+//! throughput across worker-pool sizes (the first entries of the perf
+//! trajectory for the `soda-service` crate).
+//!
+//! `cold/*` clears the cache before every iteration, so each measurement pays
+//! the full five-step pipeline through the queue; `warm/*` submits a query
+//! already resident in the cache, so each measurement is a normalization,
+//! one probe and a page clone.  The acceptance bar for the serving layer is
+//! warm ≥ 10× faster than cold (also asserted by `tests/service.rs`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+
+use soda_core::{EngineSnapshot, SodaConfig};
+use soda_service::{QueryRequest, QueryService, ServiceConfig};
+use soda_warehouse::minibank;
+
+/// A mixed mini-bank workload: keyword lookups, comparisons, aggregation.
+const QUERIES: &[&str] = &[
+    "Sara Guttinger",
+    "wealthy customers",
+    "financial instruments customers Zurich",
+    "salary >= 100000 and birthday = date(1981-04-23)",
+    "sum (amount) group by (transaction date)",
+    "count (transactions) group by (company name)",
+];
+
+fn service(workers: usize) -> QueryService {
+    let warehouse = minibank::build(42);
+    let snapshot = Arc::new(EngineSnapshot::build(
+        Arc::new(warehouse.database),
+        Arc::new(warehouse.graph),
+        SodaConfig::default(),
+    ));
+    QueryService::start(
+        snapshot,
+        ServiceConfig {
+            workers,
+            ..ServiceConfig::default()
+        },
+    )
+}
+
+fn bench_cold_vs_warm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("service_cache");
+    group.sample_size(10);
+
+    let svc = service(2);
+    // The flagship multi-entry-point query: three keyword groups, join-path
+    // discovery across the schema — a representative "expensive" cold run.
+    let query = "financial instruments customers Zurich";
+
+    group.bench_function("cold/single_query", |b| {
+        b.iter(|| {
+            svc.clear_cache();
+            black_box(
+                svc.submit(QueryRequest::new(query))
+                    .wait()
+                    .expect("query serves")
+                    .results
+                    .len(),
+            )
+        })
+    });
+
+    // Populate the cache once, then measure pure hits.
+    svc.submit(QueryRequest::new(query)).wait().expect("warms");
+    group.bench_function("warm/single_query", |b| {
+        b.iter(|| {
+            black_box(
+                svc.submit(QueryRequest::new(query))
+                    .wait()
+                    .expect("query serves")
+                    .results
+                    .len(),
+            )
+        })
+    });
+
+    group.finish();
+}
+
+fn bench_batch_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("service_throughput");
+    group.sample_size(10);
+
+    for workers in [1usize, 2, 4] {
+        let svc = service(workers);
+        group.bench_with_input(BenchmarkId::new("cold_batch", workers), &workers, |b, _| {
+            b.iter(|| {
+                svc.clear_cache();
+                let requests: Vec<QueryRequest> =
+                    QUERIES.iter().map(|q| QueryRequest::new(*q)).collect();
+                black_box(svc.submit_batch(requests).len())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("warm_batch", workers), &workers, |b, _| {
+            // One priming pass, then every iteration is all-hits.
+            let requests: Vec<QueryRequest> =
+                QUERIES.iter().map(|q| QueryRequest::new(*q)).collect();
+            svc.submit_batch(requests.clone());
+            b.iter(|| black_box(svc.submit_batch(requests.clone()).len()))
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_cold_vs_warm, bench_batch_throughput);
+criterion_main!(benches);

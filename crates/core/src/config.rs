@@ -109,6 +109,23 @@ pub struct SodaConfig {
     pub snippet_rows: usize,
 }
 
+impl SodaConfig {
+    /// A stable hash over every configuration field, used by the serving
+    /// layer (`soda-service`) to key its interpretation cache: two engines
+    /// with different configurations must never share cached result pages,
+    /// because almost every field changes what the pipeline produces.
+    ///
+    /// Stable within one process run (and across runs of the same build) —
+    /// it hashes the `Debug` rendering, which covers every field by
+    /// construction and keeps float fields (the ranking weights) exact.
+    pub fn fingerprint(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        format!("{self:?}").hash(&mut hasher);
+        hasher.finish()
+    }
+}
+
 impl Default for SodaConfig {
     fn default() -> Self {
         Self {
@@ -148,6 +165,23 @@ mod tests {
         let w = RankingWeights::default();
         assert!(w.weight(Provenance::DomainOntology) > w.weight(Provenance::DbPedia));
         assert!(w.weight(Provenance::ConceptualSchema) > w.weight(Provenance::BaseData));
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_configs() {
+        let a = SodaConfig::default();
+        let b = SodaConfig::default();
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        let c = SodaConfig {
+            top_n: 25,
+            ..SodaConfig::default()
+        };
+        assert_ne!(a.fingerprint(), c.fingerprint());
+        let d = SodaConfig {
+            weights: RankingWeights::uniform(),
+            ..SodaConfig::default()
+        };
+        assert_ne!(a.fingerprint(), d.fingerprint());
     }
 
     #[test]

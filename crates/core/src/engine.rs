@@ -5,8 +5,20 @@
 //! the join catalog) and then answers any number of keyword queries, each
 //! returning a ranked list of executable SQL statements — the paper's "result
 //! page" from which the business user picks.
+//!
+//! Two ownership modes exist:
+//!
+//! * [`SodaEngine`] borrows its [`Database`] and [`MetaGraph`] — the original
+//!   one-shot shape, convenient for examples and experiments where the
+//!   warehouse outlives the engine on the stack.
+//! * [`EngineSnapshot`] owns them behind
+//!   [`Arc`]s — the serving shape: `Send + Sync`, can outlive
+//!   its builder and be shared across a worker pool (see the `soda-service`
+//!   crate).  [`SodaEngine::into_shared`] converts the former into the latter
+//!   without rebuilding the indexes.
 
 use std::collections::HashSet;
+use std::sync::Arc;
 use std::time::Instant;
 
 use soda_metagraph::MetaGraph;
@@ -21,12 +33,15 @@ use crate::patterns::SodaPatterns;
 use crate::pipeline::{filters, lookup, rank, sqlgen, tables, PipelineContext};
 use crate::query::parse_query;
 use crate::result::{Interpretation, QueryTrace, ResultPage, SodaResult, StepTimings};
+use crate::snapshot::EngineSnapshot;
 use crate::suggest::{suggest_for_term, TermSuggestion};
 
-/// The SODA engine.
-pub struct SodaEngine<'a> {
-    db: &'a Database,
-    graph: &'a MetaGraph,
+/// The built, immutable engine state: configuration plus every index the
+/// pipeline consults.  It is deliberately independent of *how* the base data
+/// and the metadata graph are owned, so the borrowed [`SodaEngine`] and the
+/// owned [`EngineSnapshot`](crate::snapshot::EngineSnapshot) share one
+/// implementation of the five-step pipeline.
+pub(crate) struct EngineCore {
     config: SodaConfig,
     patterns: SodaPatterns,
     classification: ClassificationIndex,
@@ -34,17 +49,12 @@ pub struct SodaEngine<'a> {
     joins: JoinCatalog,
 }
 
-impl<'a> SodaEngine<'a> {
-    /// Builds an engine over a warehouse with the default patterns.
-    pub fn new(db: &'a Database, graph: &'a MetaGraph, config: SodaConfig) -> Self {
-        Self::with_patterns(db, graph, config, SodaPatterns::default())
-    }
-
-    /// Builds an engine with custom metadata-graph patterns (how SODA is
-    /// ported to a warehouse with different modelling conventions).
-    pub fn with_patterns(
-        db: &'a Database,
-        graph: &'a MetaGraph,
+impl EngineCore {
+    /// Builds the classification index, the inverted index (when enabled) and
+    /// the join catalog for a warehouse.
+    pub(crate) fn build(
+        db: &Database,
+        graph: &MetaGraph,
         config: SodaConfig,
         patterns: SodaPatterns,
     ) -> Self {
@@ -56,8 +66,6 @@ impl<'a> SodaEngine<'a> {
         };
         let joins = JoinCatalog::build(graph, &patterns, db);
         Self {
-            db,
-            graph,
             config,
             patterns,
             classification,
@@ -66,30 +74,26 @@ impl<'a> SodaEngine<'a> {
         }
     }
 
-    /// The engine configuration.
-    pub fn config(&self) -> &SodaConfig {
+    pub(crate) fn config(&self) -> &SodaConfig {
         &self.config
     }
 
-    /// The join catalog (exposed for experiments and figures).
-    pub fn join_catalog(&self) -> &JoinCatalog {
+    pub(crate) fn join_catalog(&self) -> &JoinCatalog {
         &self.joins
     }
 
-    /// The classification index (exposed for experiments and figures).
-    pub fn classification_index(&self) -> &ClassificationIndex {
+    pub(crate) fn classification_index(&self) -> &ClassificationIndex {
         &self.classification
     }
 
-    /// The inverted index over the base data, if enabled.
-    pub fn inverted_index(&self) -> Option<&InvertedIndex> {
+    pub(crate) fn inverted_index(&self) -> Option<&InvertedIndex> {
         self.index.as_ref()
     }
 
-    fn context(&self) -> PipelineContext<'_> {
+    fn context<'a>(&'a self, db: &'a Database, graph: &'a MetaGraph) -> PipelineContext<'a> {
         PipelineContext {
-            db: self.db,
-            graph: self.graph,
+            db,
+            graph,
             config: &self.config,
             classification: &self.classification,
             index: self.index.as_ref(),
@@ -98,48 +102,17 @@ impl<'a> SodaEngine<'a> {
         }
     }
 
-    /// Translates a keyword query into a ranked list of SQL statements.
-    pub fn search(&self, input: &str) -> Result<Vec<SodaResult>> {
-        self.search_traced(input).map(|(results, _)| results)
-    }
-
-    /// Like [`search`](Self::search) but also returns the pipeline trace
-    /// (classification, complexity, step timings).
-    pub fn search_traced(&self, input: &str) -> Result<(Vec<SodaResult>, QueryTrace)> {
-        self.search_internal(input, None)
-    }
-
-    /// Like [`search`](Self::search) but folding accumulated relevance
-    /// feedback (§6.3 — users like or dislike results) into the Step 2
-    /// ranking: interpretation choices the user liked gain score, disliked
-    /// ones lose it.
-    pub fn search_with_feedback(
+    pub(crate) fn search_paged(
         &self,
+        db: &Database,
+        graph: &MetaGraph,
         input: &str,
-        feedback: &FeedbackStore,
-    ) -> Result<Vec<SodaResult>> {
-        self.search_internal(input, Some(feedback))
-            .map(|(results, _)| results)
-    }
-
-    /// [`search_with_feedback`](Self::search_with_feedback) plus the trace.
-    pub fn search_with_feedback_traced(
-        &self,
-        input: &str,
-        feedback: &FeedbackStore,
-    ) -> Result<(Vec<SodaResult>, QueryTrace)> {
-        self.search_internal(input, Some(feedback))
-    }
-
-    /// One page of the ranked result list (the paper's "next result page"):
-    /// page `0` returns the first `page_size` statements, page `1` the next
-    /// ones, and so on.  The engine materialises up to
-    /// `(page + 1) * page_size` statements for the request, independent of
-    /// `config.max_results`.
-    pub fn search_paged(&self, input: &str, page: usize, page_size: usize) -> Result<ResultPage> {
+        page: usize,
+        page_size: usize,
+    ) -> Result<ResultPage> {
         let page_size = page_size.max(1);
         let needed = (page + 1).saturating_mul(page_size).saturating_add(1);
-        let (results, _) = self.search_limited(input, None, needed)?;
+        let (results, _) = self.search_limited(db, graph, input, None, needed)?;
         let total_results = results.len();
         let start = (page * page_size).min(total_results);
         let end = (start + page_size).min(total_results);
@@ -152,11 +125,13 @@ impl<'a> SodaEngine<'a> {
         })
     }
 
-    /// Reformulation suggestions for the input words the lookup step could not
-    /// match anywhere (NaLIX-style feedback, §6.3): the closest metadata
-    /// phrases per unmatched word.
-    pub fn suggestions(&self, input: &str) -> Result<Vec<TermSuggestion>> {
-        let (_, trace) = self.search_traced(input)?;
+    pub(crate) fn suggestions(
+        &self,
+        db: &Database,
+        graph: &MetaGraph,
+        input: &str,
+    ) -> Result<Vec<TermSuggestion>> {
+        let (_, trace) = self.search_limited(db, graph, input, None, self.config.max_results)?;
         Ok(trace
             .unmatched
             .iter()
@@ -168,21 +143,15 @@ impl<'a> SodaEngine<'a> {
             .collect())
     }
 
-    fn search_internal(
+    pub(crate) fn search_limited(
         &self,
-        input: &str,
-        feedback: Option<&FeedbackStore>,
-    ) -> Result<(Vec<SodaResult>, QueryTrace)> {
-        self.search_limited(input, feedback, self.config.max_results)
-    }
-
-    fn search_limited(
-        &self,
+        db: &Database,
+        graph: &MetaGraph,
         input: &str,
         feedback: Option<&FeedbackStore>,
         max_results: usize,
     ) -> Result<(Vec<SodaResult>, QueryTrace)> {
-        let ctx = self.context();
+        let ctx = self.context(db, graph);
         let query = parse_query(input)?;
         let mut timings = StepTimings::default();
 
@@ -200,7 +169,7 @@ impl<'a> SodaEngine<'a> {
             1_000,
             |entry| {
                 feedback
-                    .map(|f| f.adjustment(&entry.phrase, self.graph.uri(entry.node)))
+                    .map(|f| f.adjustment(&entry.phrase, graph.uri(entry.node)))
                     .unwrap_or(0.0)
             },
         );
@@ -242,7 +211,7 @@ impl<'a> SodaEngine<'a> {
                     .map(|e| Interpretation {
                         phrase: e.phrase.clone(),
                         provenance: e.provenance,
-                        entry_uri: self.graph.uri(e.node).to_string(),
+                        entry_uri: graph.uri(e.node).to_string(),
                     })
                     .collect(),
                 join_path_complete: plan.join_path_complete,
@@ -293,17 +262,150 @@ impl<'a> SodaEngine<'a> {
         Ok((results, trace))
     }
 
+    pub(crate) fn execute(&self, db: &Database, result: &SodaResult) -> Result<ResultSet> {
+        Ok(soda_relation::execute(db, &result.statement)?)
+    }
+
+    pub(crate) fn snippet(&self, db: &Database, result: &SodaResult) -> Result<String> {
+        let rs = self.execute(db, result)?;
+        Ok(rs.snippet(self.config.snippet_rows))
+    }
+}
+
+/// The SODA engine (borrowed form).
+pub struct SodaEngine<'a> {
+    db: &'a Database,
+    graph: &'a MetaGraph,
+    core: EngineCore,
+}
+
+impl<'a> SodaEngine<'a> {
+    /// Builds an engine over a warehouse with the default patterns.
+    pub fn new(db: &'a Database, graph: &'a MetaGraph, config: SodaConfig) -> Self {
+        Self::with_patterns(db, graph, config, SodaPatterns::default())
+    }
+
+    /// Builds an engine with custom metadata-graph patterns (how SODA is
+    /// ported to a warehouse with different modelling conventions).
+    pub fn with_patterns(
+        db: &'a Database,
+        graph: &'a MetaGraph,
+        config: SodaConfig,
+        patterns: SodaPatterns,
+    ) -> Self {
+        let core = EngineCore::build(db, graph, config, patterns);
+        Self { db, graph, core }
+    }
+
+    /// Converts this borrowed engine into an owned, shareable
+    /// [`EngineSnapshot`] without rebuilding the classification index, the
+    /// inverted index or the join catalog.
+    ///
+    /// The base data and the metadata graph are cloned once into
+    /// [`Arc`]s; the resulting snapshot is `Send + Sync` and
+    /// independent of the warehouse it was built from.
+    pub fn into_shared(self) -> EngineSnapshot {
+        EngineSnapshot::from_parts(
+            Arc::new(self.db.clone()),
+            Arc::new(self.graph.clone()),
+            self.core,
+        )
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &SodaConfig {
+        self.core.config()
+    }
+
+    /// The join catalog (exposed for experiments and figures).
+    pub fn join_catalog(&self) -> &JoinCatalog {
+        self.core.join_catalog()
+    }
+
+    /// The classification index (exposed for experiments and figures).
+    pub fn classification_index(&self) -> &ClassificationIndex {
+        self.core.classification_index()
+    }
+
+    /// The inverted index over the base data, if enabled.
+    pub fn inverted_index(&self) -> Option<&InvertedIndex> {
+        self.core.inverted_index()
+    }
+
+    /// Translates a keyword query into a ranked list of SQL statements.
+    pub fn search(&self, input: &str) -> Result<Vec<SodaResult>> {
+        self.search_traced(input).map(|(results, _)| results)
+    }
+
+    /// Like [`search`](Self::search) but also returns the pipeline trace
+    /// (classification, complexity, step timings).
+    pub fn search_traced(&self, input: &str) -> Result<(Vec<SodaResult>, QueryTrace)> {
+        self.search_internal(input, None)
+    }
+
+    /// Like [`search`](Self::search) but folding accumulated relevance
+    /// feedback (§6.3 — users like or dislike results) into the Step 2
+    /// ranking: interpretation choices the user liked gain score, disliked
+    /// ones lose it.
+    pub fn search_with_feedback(
+        &self,
+        input: &str,
+        feedback: &FeedbackStore,
+    ) -> Result<Vec<SodaResult>> {
+        self.search_internal(input, Some(feedback))
+            .map(|(results, _)| results)
+    }
+
+    /// [`search_with_feedback`](Self::search_with_feedback) plus the trace.
+    pub fn search_with_feedback_traced(
+        &self,
+        input: &str,
+        feedback: &FeedbackStore,
+    ) -> Result<(Vec<SodaResult>, QueryTrace)> {
+        self.search_internal(input, Some(feedback))
+    }
+
+    /// One page of the ranked result list (the paper's "next result page"):
+    /// page `0` returns the first `page_size` statements, page `1` the next
+    /// ones, and so on.  The engine materialises up to
+    /// `(page + 1) * page_size` statements for the request, independent of
+    /// `config.max_results`.
+    pub fn search_paged(&self, input: &str, page: usize, page_size: usize) -> Result<ResultPage> {
+        self.core
+            .search_paged(self.db, self.graph, input, page, page_size)
+    }
+
+    /// Reformulation suggestions for the input words the lookup step could not
+    /// match anywhere (NaLIX-style feedback, §6.3): the closest metadata
+    /// phrases per unmatched word.
+    pub fn suggestions(&self, input: &str) -> Result<Vec<TermSuggestion>> {
+        self.core.suggestions(self.db, self.graph, input)
+    }
+
+    fn search_internal(
+        &self,
+        input: &str,
+        feedback: Option<&FeedbackStore>,
+    ) -> Result<(Vec<SodaResult>, QueryTrace)> {
+        self.core.search_limited(
+            self.db,
+            self.graph,
+            input,
+            feedback,
+            self.core.config().max_results,
+        )
+    }
+
     /// Executes one generated statement against the base data (the paper
     /// executes the top 10 partially to produce result snippets; experiments
     /// execute them fully to compute precision and recall).
     pub fn execute(&self, result: &SodaResult) -> Result<ResultSet> {
-        Ok(soda_relation::execute(self.db, &result.statement)?)
+        self.core.execute(self.db, result)
     }
 
     /// Executes a statement and renders the snippet of up to
     /// `config.snippet_rows` rows shown on the result page.
     pub fn snippet(&self, result: &SodaResult) -> Result<String> {
-        let rs = self.execute(result)?;
-        Ok(rs.snippet(self.config.snippet_rows))
+        self.core.snippet(self.db, result)
     }
 }

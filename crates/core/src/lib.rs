@@ -43,6 +43,7 @@ pub mod provenance;
 pub mod query;
 pub mod resolve;
 pub mod result;
+pub mod snapshot;
 pub mod suggest;
 
 pub use classification::ClassificationIndex;
@@ -53,6 +54,7 @@ pub use feedback::FeedbackStore;
 pub use joins::{BridgeTable, HistorizationLink, InheritanceLink, JoinCatalog, JoinEdge};
 pub use patterns::SodaPatterns;
 pub use provenance::Provenance;
-pub use query::{parse_query, QueryTerm, QueryValue, SodaQuery};
+pub use query::{normalize_query, parse_query, QueryTerm, QueryValue, SodaQuery};
 pub use result::{Interpretation, QueryTrace, ResultPage, SodaResult, StepTimings};
+pub use snapshot::EngineSnapshot;
 pub use suggest::TermSuggestion;

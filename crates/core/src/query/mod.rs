@@ -2,7 +2,9 @@
 //! operators, `group by`, `top N`, `between` and `date(…)` values (§4.3).
 
 pub mod ast;
+pub mod normalize;
 pub mod parser;
 
 pub use ast::{QueryTerm, QueryValue, SodaQuery};
+pub use normalize::{normalize_parsed, normalize_query};
 pub use parser::parse_query;

@@ -1,0 +1,247 @@
+//! Canonical normalization of input queries, used as the cache key of the
+//! serving layer (`soda-service`).
+//!
+//! Two inputs that normalize identically are guaranteed to produce the same
+//! [`ResultPage`](crate::result::ResultPage): the only rewrites applied are
+//! ones the engine itself is invariant under.
+//!
+//! * Keyword groups, aggregation attributes and group-by attributes are
+//!   folded through the same tokenizer the lookup step uses
+//!   ([`normalize_phrase`]): lower-cased, split on punctuation, re-joined
+//!   with single spaces.  `"Trade Order TD"`, `trade_order_td` and
+//!   `"trade   order  td"` all normalize to `trade order td`.
+//! * Values are printed canonically: integral numbers lose their fraction
+//!   (`100000.0` → `100000`), dates always render as `date(YYYY-MM-DD)`.
+//! * A `top N` term is hoisted to the front — the pipeline reads it with a
+//!   position-independent accessor, so its placement never affects output.
+//! * Connector words (`and`/`or`), the meaningless `select` prefix and stray
+//!   punctuation are already erased by the parser; adjacent keyword groups
+//!   are re-separated with a canonical `and`.
+//!
+//! Deliberately **not** rewritten, because the engine is *not* invariant
+//! under them: the order of keyword groups (comparison operators attach to
+//! the group before them), the order of constraints (it shows in the
+//! generated `WHERE` clause), the case of comparison / `like` values (they
+//! flow verbatim into SQL literals) and the order of group-by attributes.
+
+use soda_relation::index::tokenizer::normalize_phrase;
+use soda_relation::{AggFunc, CompareOp};
+
+use crate::error::Result;
+use crate::query::ast::{QueryTerm, QueryValue, SodaQuery};
+use crate::query::parser::parse_query;
+
+/// Parses an input query and renders its canonical form.
+///
+/// Returns the parse error of [`parse_query`] for inputs the engine would
+/// reject anyway — callers can surface it without running the pipeline.
+pub fn normalize_query(input: &str) -> Result<String> {
+    Ok(normalize_parsed(&parse_query(input)?))
+}
+
+/// Renders the canonical form of an already-parsed query.
+pub fn normalize_parsed(query: &SodaQuery) -> String {
+    let mut parts: Vec<String> = Vec::new();
+    // The *last* `top N` term, because that is the one the lookup step
+    // applies (it overwrites on every occurrence) — hoisting any other one
+    // would collide inputs the engine answers differently.
+    let top_n = query.terms.iter().rev().find_map(|t| match t {
+        QueryTerm::TopN(n) => Some(*n),
+        _ => None,
+    });
+    if let Some(n) = top_n {
+        parts.push(format!("top {n}"));
+    }
+    let mut prev_was_keywords = false;
+    for term in &query.terms {
+        match term {
+            // Hoisted to the front above.
+            QueryTerm::TopN(_) => continue,
+            QueryTerm::Keywords(group) => {
+                let group = normalize_phrase(group);
+                if group.is_empty() {
+                    continue;
+                }
+                if prev_was_keywords {
+                    parts.push("and".to_string());
+                }
+                parts.push(group);
+                prev_was_keywords = true;
+                continue;
+            }
+            QueryTerm::Comparison { op, value } => {
+                parts.push(format!("{} {}", op_text(*op), value_text(value)));
+            }
+            QueryTerm::Like(pattern) => parts.push(format!("like {pattern}")),
+            QueryTerm::Between { low, high } => {
+                parts.push(format!(
+                    "between {} and {}",
+                    value_text(low),
+                    value_text(high)
+                ));
+            }
+            QueryTerm::Aggregation { func, attribute } => {
+                parts.push(format!(
+                    "{} ({})",
+                    func_text(*func),
+                    normalize_phrase(attribute)
+                ));
+            }
+            QueryTerm::GroupBy(attrs) => {
+                let attrs: Vec<String> = attrs.iter().map(|a| normalize_phrase(a)).collect();
+                parts.push(format!("group by ({})", attrs.join(", ")));
+            }
+            QueryTerm::ValidAt(value) => parts.push(format!("valid at {}", value_text(value))),
+        }
+        prev_was_keywords = false;
+    }
+    parts.join(" ")
+}
+
+fn op_text(op: CompareOp) -> &'static str {
+    match op {
+        CompareOp::Eq => "=",
+        CompareOp::NotEq => "!=",
+        CompareOp::Lt => "<",
+        CompareOp::LtEq => "<=",
+        CompareOp::Gt => ">",
+        CompareOp::GtEq => ">=",
+    }
+}
+
+fn func_text(func: AggFunc) -> &'static str {
+    match func {
+        AggFunc::Sum => "sum",
+        AggFunc::Count => "count",
+        AggFunc::Avg => "avg",
+        AggFunc::Min => "min",
+        AggFunc::Max => "max",
+    }
+}
+
+fn value_text(value: &QueryValue) -> String {
+    match value {
+        QueryValue::Number(n) => {
+            if n.fract() == 0.0 && n.abs() < 1e15 {
+                format!("{}", *n as i64)
+            } else {
+                format!("{n}")
+            }
+        }
+        QueryValue::Date(d) => format!("date({:04}-{:02}-{:02})", d.year, d.month, d.day),
+        QueryValue::Text(s) => s.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn case_and_whitespace_fold_together() {
+        let a = normalize_query("Sara   Guttinger").unwrap();
+        let b = normalize_query("sara guttinger").unwrap();
+        let c = normalize_query("SARA GUTTINGER").unwrap();
+        assert_eq!(a, "sara guttinger");
+        assert_eq!(a, b);
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn identifier_and_phrase_forms_share_a_key() {
+        assert_eq!(
+            normalize_query("trade_order_td").unwrap(),
+            normalize_query("Trade Order TD").unwrap()
+        );
+    }
+
+    #[test]
+    fn numbers_and_dates_render_canonically() {
+        let a = normalize_query("salary >= 100000 and birthday = date(1981-04-23)").unwrap();
+        let b = normalize_query("Salary >= 100000.0 and Birthday = 1981-04-23").unwrap();
+        assert_eq!(a, "salary >= 100000 birthday = date(1981-04-23)");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn top_n_is_hoisted_to_the_front() {
+        let a = normalize_query("top 10 wealthy customers").unwrap();
+        let b = normalize_query("wealthy customers top 10").unwrap();
+        assert_eq!(a, "top 10 wealthy customers");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn repeated_top_n_keeps_the_one_the_engine_applies() {
+        // The lookup step overwrites `top_n` per occurrence, so the last one
+        // wins at execution time; normalization must agree or two queries
+        // the engine answers differently would share a cache key.
+        let q = normalize_query("top 5 customers top 10").unwrap();
+        assert_eq!(q, "top 10 customers");
+        assert_ne!(q, normalize_query("top 5 customers").unwrap());
+    }
+
+    #[test]
+    fn aggregation_and_group_by_fold_attribute_case() {
+        let a = normalize_query("sum (Amount) group by (Transaction Date)").unwrap();
+        let b = normalize_query("SUM(amount) group by (transaction_date)").unwrap();
+        assert_eq!(a, "sum (amount) group by (transaction date)");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn keyword_groups_are_separated_by_canonical_and() {
+        let a = normalize_query("customers and Zurich or financial instruments").unwrap();
+        let b = normalize_query("Customers AND zurich AND Financial Instruments").unwrap();
+        assert_eq!(a, "customers and zurich and financial instruments");
+        assert_eq!(a, b);
+        // A single merged group is a *different* query (different longest-word
+        // segmentation), so it must not collide.
+        let merged = normalize_query("customers Zurich financial instruments").unwrap();
+        assert_ne!(a, merged);
+    }
+
+    #[test]
+    fn comparison_values_keep_their_case() {
+        // Text values flow verbatim into SQL literals, so `Zurich` and
+        // `zurich` are different filters and must not share a cache slot.
+        let a = normalize_query("city = Zurich").unwrap();
+        let b = normalize_query("city = zurich").unwrap();
+        assert_ne!(a, b);
+        // The keyword part still folds.
+        assert!(a.starts_with("city = "));
+    }
+
+    #[test]
+    fn between_and_valid_at_render_canonically() {
+        let q = normalize_query(
+            "transaction date between date(2010-01-01) and date(2010-12-31) valid at date(2011-01-01)",
+        )
+        .unwrap();
+        assert_eq!(
+            q,
+            "transaction date between date(2010-01-01) and date(2010-12-31) valid at date(2011-01-01)"
+        );
+    }
+
+    #[test]
+    fn normalized_form_reparses_to_the_same_canonical_form() {
+        for input in [
+            "Sara Guttinger",
+            "top 10 sum (amount) group by (company name)",
+            "salary >= 100000 and birthday = date(1981-04-23)",
+            "customers and Zurich or financial instruments",
+            "agreement like gold",
+        ] {
+            let once = normalize_query(input).unwrap();
+            let twice = normalize_query(&once).unwrap();
+            assert_eq!(once, twice, "not a fixed point for '{input}'");
+        }
+    }
+
+    #[test]
+    fn parse_errors_propagate() {
+        assert!(normalize_query("   ").is_err());
+        assert!(normalize_query("salary >=").is_err());
+    }
+}

@@ -1,0 +1,257 @@
+//! Owned, shareable engine state for long-lived query serving.
+//!
+//! [`SodaEngine`](crate::SodaEngine) borrows its warehouse, which is the
+//! right shape for one-shot experiments but not for a service: a serving
+//! process builds the warehouse once, then answers queries from many threads
+//! for hours.  [`EngineSnapshot`] is the owned counterpart — it holds the
+//! base data and the metadata graph behind [`Arc`]s together with the built
+//! indexes (classification index, inverted index, join catalog), is
+//! `Send + Sync`, and can outlive whatever built it.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use soda_core::{EngineSnapshot, SodaConfig};
+//!
+//! let snapshot = {
+//!     // The warehouse is dropped at the end of this scope; the snapshot
+//!     // keeps serving.
+//!     let warehouse = soda_warehouse::minibank::build(42);
+//!     EngineSnapshot::build(
+//!         Arc::new(warehouse.database),
+//!         Arc::new(warehouse.graph),
+//!         SodaConfig::default(),
+//!     )
+//! };
+//! let results = snapshot.search("Sara Guttinger").unwrap();
+//! assert!(!results.is_empty());
+//! ```
+
+use std::sync::Arc;
+
+use soda_metagraph::MetaGraph;
+use soda_relation::{Database, InvertedIndex, ResultSet};
+
+use crate::classification::ClassificationIndex;
+use crate::config::SodaConfig;
+use crate::engine::EngineCore;
+use crate::error::Result;
+use crate::feedback::FeedbackStore;
+use crate::joins::JoinCatalog;
+use crate::patterns::SodaPatterns;
+use crate::result::{QueryTrace, ResultPage, SodaResult};
+use crate::suggest::TermSuggestion;
+
+/// An owned, immutable, thread-safe SODA engine.
+///
+/// Construction cost is identical to [`SodaEngine`](crate::SodaEngine) (the
+/// same indexes are built); afterwards every method takes `&self` and the
+/// whole snapshot can be wrapped in an [`Arc`] and shared across threads —
+/// the `soda-service` crate builds its worker pool on exactly that.
+pub struct EngineSnapshot {
+    db: Arc<Database>,
+    graph: Arc<MetaGraph>,
+    core: EngineCore,
+}
+
+impl EngineSnapshot {
+    /// Builds a snapshot over an owned warehouse with the default patterns.
+    pub fn build(db: Arc<Database>, graph: Arc<MetaGraph>, config: SodaConfig) -> Self {
+        Self::with_patterns(db, graph, config, SodaPatterns::default())
+    }
+
+    /// Builds a snapshot with custom metadata-graph patterns.
+    pub fn with_patterns(
+        db: Arc<Database>,
+        graph: Arc<MetaGraph>,
+        config: SodaConfig,
+        patterns: SodaPatterns,
+    ) -> Self {
+        let core = EngineCore::build(&db, &graph, config, patterns);
+        Self { db, graph, core }
+    }
+
+    /// Assembles a snapshot from already-built engine state (used by
+    /// [`SodaEngine::into_shared`](crate::SodaEngine::into_shared) to avoid
+    /// rebuilding the indexes).
+    pub(crate) fn from_parts(db: Arc<Database>, graph: Arc<MetaGraph>, core: EngineCore) -> Self {
+        Self { db, graph, core }
+    }
+
+    /// The base data.
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    /// A clone of the [`Arc`] holding the base data.
+    pub fn database_arc(&self) -> Arc<Database> {
+        Arc::clone(&self.db)
+    }
+
+    /// The metadata graph.
+    pub fn graph(&self) -> &MetaGraph {
+        &self.graph
+    }
+
+    /// A clone of the [`Arc`] holding the metadata graph.
+    pub fn graph_arc(&self) -> Arc<MetaGraph> {
+        Arc::clone(&self.graph)
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &SodaConfig {
+        self.core.config()
+    }
+
+    /// The join catalog (exposed for experiments and figures).
+    pub fn join_catalog(&self) -> &JoinCatalog {
+        self.core.join_catalog()
+    }
+
+    /// The classification index (exposed for experiments and figures).
+    pub fn classification_index(&self) -> &ClassificationIndex {
+        self.core.classification_index()
+    }
+
+    /// The inverted index over the base data, if enabled.
+    pub fn inverted_index(&self) -> Option<&InvertedIndex> {
+        self.core.inverted_index()
+    }
+
+    /// Translates a keyword query into a ranked list of SQL statements.
+    pub fn search(&self, input: &str) -> Result<Vec<SodaResult>> {
+        self.search_traced(input).map(|(results, _)| results)
+    }
+
+    /// Like [`search`](Self::search) but also returns the pipeline trace.
+    pub fn search_traced(&self, input: &str) -> Result<(Vec<SodaResult>, QueryTrace)> {
+        self.core.search_limited(
+            &self.db,
+            &self.graph,
+            input,
+            None,
+            self.config().max_results,
+        )
+    }
+
+    /// Like [`search`](Self::search) but folding accumulated relevance
+    /// feedback into the ranking.
+    pub fn search_with_feedback(
+        &self,
+        input: &str,
+        feedback: &FeedbackStore,
+    ) -> Result<Vec<SodaResult>> {
+        self.core
+            .search_limited(
+                &self.db,
+                &self.graph,
+                input,
+                Some(feedback),
+                self.config().max_results,
+            )
+            .map(|(results, _)| results)
+    }
+
+    /// One page of the ranked result list (see
+    /// [`SodaEngine::search_paged`](crate::SodaEngine::search_paged)).
+    pub fn search_paged(&self, input: &str, page: usize, page_size: usize) -> Result<ResultPage> {
+        self.core
+            .search_paged(&self.db, &self.graph, input, page, page_size)
+    }
+
+    /// Reformulation suggestions for unmatched input words.
+    pub fn suggestions(&self, input: &str) -> Result<Vec<TermSuggestion>> {
+        self.core.suggestions(&self.db, &self.graph, input)
+    }
+
+    /// Executes one generated statement against the base data.
+    pub fn execute(&self, result: &SodaResult) -> Result<ResultSet> {
+        self.core.execute(&self.db, result)
+    }
+
+    /// Executes a statement and renders the snippet of up to
+    /// `config.snippet_rows` rows shown on the result page.
+    pub fn snippet(&self, result: &SodaResult) -> Result<String> {
+        self.core.snippet(&self.db, result)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SodaEngine;
+
+    fn assert_send_sync<T: Send + Sync>() {}
+
+    #[test]
+    fn snapshot_is_send_and_sync() {
+        assert_send_sync::<EngineSnapshot>();
+        assert_send_sync::<Arc<EngineSnapshot>>();
+    }
+
+    #[test]
+    fn snapshot_outlives_its_warehouse() {
+        let snapshot = {
+            let w = soda_warehouse::minibank::build(42);
+            EngineSnapshot::build(
+                Arc::new(w.database),
+                Arc::new(w.graph),
+                SodaConfig::default(),
+            )
+        };
+        let results = snapshot.search("Sara Guttinger").unwrap();
+        assert!(!results.is_empty());
+        assert!(results[0].sql.starts_with("SELECT"));
+    }
+
+    #[test]
+    fn snapshot_matches_borrowed_engine() {
+        let w = soda_warehouse::minibank::build(42);
+        let engine = SodaEngine::new(&w.database, &w.graph, SodaConfig::default());
+        let snapshot = EngineSnapshot::build(
+            Arc::new(w.database.clone()),
+            Arc::new(w.graph.clone()),
+            SodaConfig::default(),
+        );
+        for query in [
+            "Sara Guttinger",
+            "wealthy customers",
+            "sum (amount) group by (transaction date)",
+        ] {
+            let borrowed = engine.search(query).unwrap();
+            let owned = snapshot.search(query).unwrap();
+            assert_eq!(borrowed, owned, "divergence on '{query}'");
+        }
+    }
+
+    #[test]
+    fn into_shared_preserves_behaviour() {
+        let w = soda_warehouse::minibank::build(42);
+        let engine = SodaEngine::new(&w.database, &w.graph, SodaConfig::default());
+        let before = engine.search("wealthy customers").unwrap();
+        let snapshot = engine.into_shared();
+        drop(w);
+        let after = snapshot.search("wealthy customers").unwrap();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn shared_snapshot_serves_multiple_threads() {
+        let w = soda_warehouse::minibank::build(42);
+        let snapshot = Arc::new(EngineSnapshot::build(
+            Arc::new(w.database),
+            Arc::new(w.graph),
+            SodaConfig::default(),
+        ));
+        let expected = snapshot.search("Sara Guttinger").unwrap();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let snapshot = Arc::clone(&snapshot);
+                let expected = expected.clone();
+                scope.spawn(move || {
+                    let got = snapshot.search("Sara Guttinger").unwrap();
+                    assert_eq!(got, expected);
+                });
+            }
+        });
+    }
+}

@@ -1,0 +1,257 @@
+//! A small least-recently-used cache with hit / miss / eviction accounting.
+//!
+//! SODA's interpretation pipeline recomputes everything per query; business
+//! users, however, repeat queries constantly (dashboards, back buttons,
+//! colleagues pasting the same question).  The service keys this cache by the
+//! *canonical* form of the query ([`soda_core::normalize_query`]) plus the
+//! engine-configuration fingerprint, so equivalent spellings share one slot
+//! and differently-configured engines never do.
+//!
+//! Implementation: `std` only — a `HashMap` for storage plus a `BTreeMap`
+//! keyed by a monotonically increasing recency stamp for O(log n) eviction
+//! order.  Not internally synchronised; the service wraps it in a `Mutex`.
+
+use std::collections::{BTreeMap, HashMap};
+use std::hash::Hash;
+
+/// Counters describing cache effectiveness, embedded in
+/// [`ServiceMetrics`](crate::metrics::ServiceMetrics).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that fell through to the engine.
+    pub misses: u64,
+    /// Entries removed to make room for newer ones.
+    pub evictions: u64,
+    /// Entries currently resident.
+    pub len: usize,
+    /// Maximum number of resident entries.
+    pub capacity: usize,
+}
+
+impl CacheStats {
+    /// Fraction of lookups answered from the cache (0.0 when none happened).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Slot<V> {
+    value: V,
+    stamp: u64,
+}
+
+/// A bounded LRU map.
+#[derive(Debug)]
+pub struct LruCache<K, V> {
+    capacity: usize,
+    map: HashMap<K, Slot<V>>,
+    recency: BTreeMap<u64, K>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> LruCache<K, V> {
+    /// Creates a cache holding at most `capacity` entries (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity: capacity.max(1),
+            map: HashMap::new(),
+            recency: BTreeMap::new(),
+            tick: 0,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    fn next_stamp(&mut self) -> u64 {
+        self.tick += 1;
+        self.tick
+    }
+
+    /// Looks up `key`, marking the entry most-recently-used on a hit and
+    /// counting the outcome either way.
+    pub fn get(&mut self, key: &K) -> Option<V> {
+        let stamp = self.next_stamp();
+        match self.map.get_mut(key) {
+            Some(slot) => {
+                self.recency.remove(&slot.stamp);
+                slot.stamp = stamp;
+                self.recency.insert(stamp, key.clone());
+                self.hits += 1;
+                Some(slot.value.clone())
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts (or refreshes) an entry, evicting the least-recently-used one
+    /// when the cache is full.
+    pub fn insert(&mut self, key: K, value: V) {
+        let stamp = self.next_stamp();
+        if let Some(slot) = self.map.get_mut(&key) {
+            self.recency.remove(&slot.stamp);
+            slot.value = value;
+            slot.stamp = stamp;
+            self.recency.insert(stamp, key);
+            return;
+        }
+        if self.map.len() >= self.capacity {
+            if let Some((&oldest, _)) = self.recency.iter().next() {
+                if let Some(victim) = self.recency.remove(&oldest) {
+                    self.map.remove(&victim);
+                    self.evictions += 1;
+                }
+            }
+        }
+        self.map.insert(key.clone(), Slot { value, stamp });
+        self.recency.insert(stamp, key);
+    }
+
+    /// Drops every entry; the hit / miss / eviction counters survive so that
+    /// metrics keep describing the whole service lifetime.
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.recency.clear();
+    }
+
+    /// Number of resident entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when no entries are resident.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Maximum number of resident entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Snapshot of the counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits,
+            misses: self.misses,
+            evictions: self.evictions,
+            len: self.map.len(),
+            capacity: self.capacity,
+        }
+    }
+}
+
+/// The key under which a served result page is cached.
+///
+/// `normalized` is the canonical query text; `config_fingerprint` is
+/// [`soda_core::SodaConfig::fingerprint`], so result pages computed under
+/// different engine configurations never collide; page coordinates
+/// distinguish the pages of one result list.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// Canonical query text ([`soda_core::normalize_query`]).
+    pub normalized: String,
+    /// Engine-configuration fingerprint.
+    pub config_fingerprint: u64,
+    /// Zero-based page index.
+    pub page: usize,
+    /// Requested page size.
+    pub page_size: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(s: &str) -> CacheKey {
+        CacheKey {
+            normalized: s.to_string(),
+            config_fingerprint: 7,
+            page: 0,
+            page_size: 10,
+        }
+    }
+
+    #[test]
+    fn hits_and_misses_are_counted() {
+        let mut cache: LruCache<CacheKey, u32> = LruCache::new(4);
+        assert_eq!(cache.get(&key("a")), None);
+        cache.insert(key("a"), 1);
+        assert_eq!(cache.get(&key("a")), Some(1));
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.len, 1);
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn least_recently_used_entry_is_evicted() {
+        let mut cache: LruCache<CacheKey, u32> = LruCache::new(2);
+        cache.insert(key("a"), 1);
+        cache.insert(key("b"), 2);
+        // Touch "a" so "b" becomes the LRU entry.
+        assert_eq!(cache.get(&key("a")), Some(1));
+        cache.insert(key("c"), 3);
+        assert_eq!(cache.get(&key("b")), None, "b should have been evicted");
+        assert_eq!(cache.get(&key("a")), Some(1));
+        assert_eq!(cache.get(&key("c")), Some(3));
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn reinsert_refreshes_instead_of_evicting() {
+        let mut cache: LruCache<CacheKey, u32> = LruCache::new(2);
+        cache.insert(key("a"), 1);
+        cache.insert(key("b"), 2);
+        cache.insert(key("a"), 10);
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.stats().evictions, 0);
+        assert_eq!(cache.get(&key("a")), Some(10));
+    }
+
+    #[test]
+    fn clear_keeps_lifetime_counters() {
+        let mut cache: LruCache<CacheKey, u32> = LruCache::new(2);
+        cache.insert(key("a"), 1);
+        let _ = cache.get(&key("a"));
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats().hits, 1);
+        assert_eq!(cache.get(&key("a")), None);
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped_to_one() {
+        let mut cache: LruCache<CacheKey, u32> = LruCache::new(0);
+        assert_eq!(cache.capacity(), 1);
+        cache.insert(key("a"), 1);
+        cache.insert(key("b"), 2);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn keys_with_different_fingerprints_do_not_collide() {
+        let mut cache: LruCache<CacheKey, u32> = LruCache::new(4);
+        let mut other = key("a");
+        other.config_fingerprint = 8;
+        cache.insert(key("a"), 1);
+        cache.insert(other.clone(), 2);
+        assert_eq!(cache.get(&key("a")), Some(1));
+        assert_eq!(cache.get(&other), Some(2));
+    }
+}

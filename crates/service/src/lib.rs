@@ -1,0 +1,44 @@
+//! # soda-service
+//!
+//! The serving layer of the SODA reproduction: where `soda-core` answers one
+//! query from one thread, this crate turns a built engine into a long-lived,
+//! thread-safe **query service** — the shape a warehouse deployment needs
+//! when many business users hit the same metadata graph and indexes all day.
+//!
+//! Three pieces, all `std`-only:
+//!
+//! * [`QueryService`] — a bounded worker pool over a shared
+//!   [`EngineSnapshot`](soda_core::EngineSnapshot), with a channel-per-job
+//!   [`submit`](QueryService::submit) /
+//!   [`submit_batch`](QueryService::submit_batch) API and blocking
+//!   backpressure when the job queue is full.
+//! * [`LruCache`] — an interpretation cache mapping *canonicalized* queries
+//!   ([`soda_core::normalize_query`]) plus the engine-configuration
+//!   fingerprint to served [`ResultPage`](soda_core::ResultPage)s, with
+//!   hit / miss / eviction accounting.
+//! * [`ServiceMetrics`] — a health snapshot: QPS, latency
+//!   min / mean / p50 / p95 / max, cache hit rate and queue depth.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use soda_core::{EngineSnapshot, SodaConfig};
+//! use soda_service::{QueryRequest, QueryService, ServiceConfig};
+//!
+//! let warehouse = soda_warehouse::minibank::build(42);
+//! let snapshot = Arc::new(EngineSnapshot::build(
+//!     Arc::new(warehouse.database),
+//!     Arc::new(warehouse.graph),
+//!     SodaConfig::default(),
+//! ));
+//! let service = QueryService::start(snapshot, ServiceConfig::default());
+//! let page = service.submit(QueryRequest::new("wealthy customers")).wait().unwrap();
+//! assert!(page.results.iter().all(|r| r.sql.starts_with("SELECT")));
+//! ```
+
+pub mod cache;
+pub mod metrics;
+pub mod service;
+
+pub use cache::{CacheKey, CacheStats, LruCache};
+pub use metrics::{LatencySummary, ServiceMetrics};
+pub use service::{JobHandle, JobResult, QueryRequest, QueryService, ServiceConfig, ServiceError};

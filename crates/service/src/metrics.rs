@@ -1,0 +1,169 @@
+//! Service observability: per-query latency accounting and the
+//! [`ServiceMetrics`] snapshot (QPS, latency percentiles, cache hit rate,
+//! queue depth).
+//!
+//! The recorder keeps exact lifetime aggregates (count, sum, min, max) plus a
+//! bounded ring of recent samples from which the percentiles are computed, so
+//! memory stays constant no matter how long the service runs.
+
+use std::time::Duration;
+
+use crate::cache::CacheStats;
+
+/// How many recent latency samples the percentile window retains.
+const WINDOW: usize = 4096;
+
+/// Aggregated latency figures.
+///
+/// `min`, `mean` and `max` are exact over the service lifetime; `p50` and
+/// `p95` are computed over a sliding window of the most recent samples.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LatencySummary {
+    /// Fastest query served.
+    pub min: Duration,
+    /// Lifetime mean.
+    pub mean: Duration,
+    /// Median over the recent window.
+    pub p50: Duration,
+    /// 95th percentile over the recent window.
+    pub p95: Duration,
+    /// Slowest query served.
+    pub max: Duration,
+}
+
+/// One snapshot of the service's health, returned by
+/// [`QueryService::metrics`](crate::QueryService::metrics).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceMetrics {
+    /// Time since the service started.
+    pub uptime: Duration,
+    /// Queries answered (cache hits included).
+    pub completed: u64,
+    /// Lifetime queries per second (`completed / uptime`).
+    pub qps: f64,
+    /// Latency distribution, measured from submission to completion (queue
+    /// wait included).
+    pub latency: LatencySummary,
+    /// Interpretation-cache effectiveness.
+    pub cache: CacheStats,
+    /// Jobs currently waiting in the queue.
+    pub queue_depth: usize,
+    /// Size of the worker pool.
+    pub workers: usize,
+}
+
+/// Latency accounting shared by the workers.  Not internally synchronised;
+/// the service wraps it in a `Mutex`.
+#[derive(Debug)]
+pub(crate) struct LatencyRecorder {
+    window: Vec<u64>,
+    next: usize,
+    count: u64,
+    sum_nanos: u128,
+    min_nanos: u64,
+    max_nanos: u64,
+}
+
+impl LatencyRecorder {
+    pub(crate) fn new() -> Self {
+        Self {
+            window: Vec::new(),
+            next: 0,
+            count: 0,
+            sum_nanos: 0,
+            min_nanos: u64::MAX,
+            max_nanos: 0,
+        }
+    }
+
+    pub(crate) fn record(&mut self, latency: Duration) {
+        let nanos = latency.as_nanos().min(u128::from(u64::MAX)) as u64;
+        self.count += 1;
+        self.sum_nanos += u128::from(nanos);
+        self.min_nanos = self.min_nanos.min(nanos);
+        self.max_nanos = self.max_nanos.max(nanos);
+        if self.window.len() < WINDOW {
+            self.window.push(nanos);
+        } else {
+            self.window[self.next] = nanos;
+            self.next = (self.next + 1) % WINDOW;
+        }
+    }
+
+    pub(crate) fn count(&self) -> u64 {
+        self.count
+    }
+
+    pub(crate) fn summary(&self) -> LatencySummary {
+        if self.count == 0 {
+            return LatencySummary::default();
+        }
+        let mut sorted = self.window.clone();
+        sorted.sort_unstable();
+        LatencySummary {
+            min: Duration::from_nanos(self.min_nanos),
+            mean: Duration::from_nanos((self.sum_nanos / u128::from(self.count)) as u64),
+            p50: Duration::from_nanos(percentile(&sorted, 50.0)),
+            p95: Duration::from_nanos(percentile(&sorted, 95.0)),
+            max: Duration::from_nanos(self.max_nanos),
+        }
+    }
+}
+
+/// Nearest-rank percentile over an ascending-sorted slice.
+fn percentile(sorted: &[u64], pct: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((pct / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_recorder_reports_zeros() {
+        let r = LatencyRecorder::new();
+        assert_eq!(r.count(), 0);
+        assert_eq!(r.summary(), LatencySummary::default());
+    }
+
+    #[test]
+    fn summary_tracks_min_mean_max() {
+        let mut r = LatencyRecorder::new();
+        for ms in [10u64, 20, 30] {
+            r.record(Duration::from_millis(ms));
+        }
+        let s = r.summary();
+        assert_eq!(s.min, Duration::from_millis(10));
+        assert_eq!(s.mean, Duration::from_millis(20));
+        assert_eq!(s.max, Duration::from_millis(30));
+        assert_eq!(s.p50, Duration::from_millis(20));
+    }
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let sorted: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&sorted, 50.0), 50);
+        assert_eq!(percentile(&sorted, 95.0), 95);
+        assert_eq!(percentile(&sorted, 100.0), 100);
+        assert_eq!(percentile(&[42], 95.0), 42);
+        assert_eq!(percentile(&[], 95.0), 0);
+    }
+
+    #[test]
+    fn window_is_bounded() {
+        let mut r = LatencyRecorder::new();
+        for i in 0..(WINDOW as u64 + 500) {
+            r.record(Duration::from_nanos(i));
+        }
+        assert_eq!(r.window.len(), WINDOW);
+        assert_eq!(r.count(), WINDOW as u64 + 500);
+        // Lifetime extremes survive even after the early samples left the
+        // percentile window.
+        assert_eq!(r.summary().min, Duration::from_nanos(0));
+        assert_eq!(r.summary().max, Duration::from_nanos(WINDOW as u64 + 499));
+    }
+}

@@ -1,0 +1,631 @@
+//! The query service: a bounded worker pool over a shared
+//! [`EngineSnapshot`], with an LRU interpretation cache in front of it.
+//!
+//! ## Life of a query
+//!
+//! 1. [`QueryService::submit`] canonicalizes the input
+//!    ([`soda_core::normalize_query`]) and probes the cache under
+//!    (normalized query, config fingerprint, page coordinates).  A hit is
+//!    answered immediately on the caller's thread — no queueing, no pipeline.
+//! 2. A miss becomes a job on the bounded queue.  When the queue is full the
+//!    submitting thread *blocks* until a worker drains a slot — backpressure
+//!    instead of unbounded memory growth under overload.
+//! 3. A worker pops the job, runs the five-step pipeline via
+//!    [`EngineSnapshot::search_paged`], stores the page in the cache and
+//!    completes the caller's [`JobHandle`].
+//!
+//! Concurrent misses on the same key may compute the page more than once
+//! (last write wins); the result is identical by construction, so this
+//! trades a little duplicate work for not holding any lock across the
+//! pipeline.
+//!
+//! Shutdown is graceful: dropping the service stops intake, lets the workers
+//! drain every queued job, then joins them.
+
+use std::collections::VecDeque;
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use soda_core::{normalize_query, EngineSnapshot, ResultPage, SodaError};
+
+use crate::cache::{CacheKey, LruCache};
+use crate::metrics::{LatencyRecorder, ServiceMetrics};
+
+/// Tuning knobs of the service.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServiceConfig {
+    /// Worker threads executing the pipeline.
+    pub workers: usize,
+    /// Maximum queued (not yet running) jobs before `submit` blocks.
+    pub queue_capacity: usize,
+    /// Maximum result pages held by the interpretation cache.
+    pub cache_capacity: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            workers: 4,
+            queue_capacity: 256,
+            cache_capacity: 1024,
+        }
+    }
+}
+
+/// One query as submitted by a client.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryRequest {
+    /// The business user's input text.
+    pub input: String,
+    /// Zero-based page of the ranked result list.
+    pub page: usize,
+    /// Page size (clamped to at least 1 by the engine).
+    pub page_size: usize,
+}
+
+impl QueryRequest {
+    /// A request for the first page (size 10, the paper's result page).
+    pub fn new(input: impl Into<String>) -> Self {
+        Self {
+            input: input.into(),
+            page: 0,
+            page_size: 10,
+        }
+    }
+
+    /// Selects a page.
+    pub fn page(mut self, page: usize) -> Self {
+        self.page = page;
+        self
+    }
+
+    /// Selects a page size.
+    pub fn page_size(mut self, page_size: usize) -> Self {
+        self.page_size = page_size;
+        self
+    }
+}
+
+/// Errors surfaced by the service.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServiceError {
+    /// The engine rejected or failed the query.
+    Engine(SodaError),
+    /// The service is shutting down and no longer accepts work.
+    ShuttingDown,
+    /// The worker completing this job disappeared (only possible if a worker
+    /// panicked mid-query).
+    Disconnected,
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::Engine(e) => write!(f, "engine error: {e}"),
+            ServiceError::ShuttingDown => write!(f, "the query service is shutting down"),
+            ServiceError::Disconnected => write!(f, "the worker serving this job disappeared"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServiceError::Engine(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SodaError> for ServiceError {
+    fn from(e: SodaError) -> Self {
+        ServiceError::Engine(e)
+    }
+}
+
+/// Outcome of one served query.
+pub type JobResult = Result<ResultPage, ServiceError>;
+
+/// A claim on the result of a submitted query.
+///
+/// Cache hits are resolved at submission time; misses resolve when a worker
+/// finishes the job.  [`wait`](Self::wait) blocks until then.
+#[derive(Debug)]
+pub struct JobHandle {
+    inner: HandleInner,
+}
+
+#[derive(Debug)]
+enum HandleInner {
+    Ready(Box<JobResult>),
+    Pending(mpsc::Receiver<JobResult>),
+}
+
+impl JobHandle {
+    fn ready(result: JobResult) -> Self {
+        Self {
+            inner: HandleInner::Ready(Box::new(result)),
+        }
+    }
+
+    fn pending(rx: mpsc::Receiver<JobResult>) -> Self {
+        Self {
+            inner: HandleInner::Pending(rx),
+        }
+    }
+
+    /// True when the result is already available (`wait` will not block).
+    pub fn is_ready(&self) -> bool {
+        matches!(self.inner, HandleInner::Ready(_))
+    }
+
+    /// Blocks until the query completes and returns its result.
+    pub fn wait(self) -> JobResult {
+        match self.inner {
+            HandleInner::Ready(result) => *result,
+            HandleInner::Pending(rx) => rx.recv().unwrap_or(Err(ServiceError::Disconnected)),
+        }
+    }
+}
+
+struct Job {
+    key: CacheKey,
+    input: String,
+    page: usize,
+    page_size: usize,
+    submitted: Instant,
+    tx: mpsc::Sender<JobResult>,
+}
+
+struct QueueState {
+    jobs: VecDeque<Job>,
+    shutdown: bool,
+}
+
+struct Shared {
+    engine: Arc<EngineSnapshot>,
+    /// [`SodaConfig::fingerprint`](soda_core::SodaConfig::fingerprint) of the
+    /// engine's configuration, computed once at startup — it participates in
+    /// every cache key and the configuration is immutable for the service's
+    /// lifetime.
+    config_fingerprint: u64,
+    queue: Mutex<QueueState>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    queue_capacity: usize,
+    cache: Mutex<LruCache<CacheKey, ResultPage>>,
+    latency: Mutex<LatencyRecorder>,
+    started: Instant,
+}
+
+impl Shared {
+    fn record(&self, submitted: Instant) {
+        self.latency
+            .lock()
+            .expect("latency recorder poisoned")
+            .record(submitted.elapsed());
+    }
+}
+
+/// A long-lived, thread-safe SODA query service.
+///
+/// ```
+/// use std::sync::Arc;
+/// use soda_core::{EngineSnapshot, SodaConfig};
+/// use soda_service::{QueryRequest, QueryService, ServiceConfig};
+///
+/// let warehouse = soda_warehouse::minibank::build(42);
+/// let snapshot = EngineSnapshot::build(
+///     Arc::new(warehouse.database),
+///     Arc::new(warehouse.graph),
+///     SodaConfig::default(),
+/// );
+/// let service = QueryService::start(Arc::new(snapshot), ServiceConfig::default());
+///
+/// let page = service.submit(QueryRequest::new("Sara Guttinger")).wait().unwrap();
+/// assert!(!page.results.is_empty());
+///
+/// // The repeat is answered from the cache.
+/// let again = service.submit(QueryRequest::new("sara   guttinger")).wait().unwrap();
+/// assert_eq!(page, again);
+/// assert_eq!(service.metrics().cache.hits, 1);
+/// ```
+pub struct QueryService {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl QueryService {
+    /// Starts the worker pool over a shared engine snapshot.
+    pub fn start(engine: Arc<EngineSnapshot>, config: ServiceConfig) -> Self {
+        let config_fingerprint = engine.config().fingerprint();
+        let shared = Arc::new(Shared {
+            engine,
+            config_fingerprint,
+            queue: Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                shutdown: false,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            queue_capacity: config.queue_capacity.max(1),
+            cache: Mutex::new(LruCache::new(config.cache_capacity)),
+            latency: Mutex::new(LatencyRecorder::new()),
+            started: Instant::now(),
+        });
+        let workers = (0..config.workers.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("soda-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("failed to spawn service worker")
+            })
+            .collect();
+        Self { shared, workers }
+    }
+
+    /// Submits one query.  Returns immediately with a resolved handle on a
+    /// cache hit or a parse error; otherwise enqueues the job, blocking while
+    /// the queue is at capacity (backpressure).
+    pub fn submit(&self, request: QueryRequest) -> JobHandle {
+        let submitted = Instant::now();
+        let normalized = match normalize_query(&request.input) {
+            Ok(n) => n,
+            Err(e) => return JobHandle::ready(Err(ServiceError::Engine(e))),
+        };
+        let key = CacheKey {
+            normalized,
+            config_fingerprint: self.shared.config_fingerprint,
+            page: request.page,
+            page_size: request.page_size.max(1),
+        };
+
+        // Bind the probe result before touching the latency lock: an
+        // `if let` scrutinee would keep the cache guard alive through the
+        // body, and `metrics()` takes these locks in the opposite order.
+        let cached = self.shared.cache.lock().expect("cache poisoned").get(&key);
+        if let Some(page) = cached {
+            self.shared.record(submitted);
+            return JobHandle::ready(Ok(page));
+        }
+
+        let (tx, rx) = mpsc::channel();
+        let job = Job {
+            key,
+            input: request.input,
+            page: request.page,
+            page_size: request.page_size,
+            submitted,
+            tx,
+        };
+        let mut state = self.shared.queue.lock().expect("queue poisoned");
+        while state.jobs.len() >= self.shared.queue_capacity && !state.shutdown {
+            state = self.shared.not_full.wait(state).expect("queue poisoned");
+        }
+        if state.shutdown {
+            return JobHandle::ready(Err(ServiceError::ShuttingDown));
+        }
+        state.jobs.push_back(job);
+        drop(state);
+        self.shared.not_empty.notify_one();
+        JobHandle::pending(rx)
+    }
+
+    /// Submits a batch and waits for every result, preserving order.
+    ///
+    /// Submission interleaves with execution: the first jobs are already
+    /// being served while the last ones are still entering the queue, and a
+    /// batch larger than the queue capacity simply rides the backpressure.
+    pub fn submit_batch(&self, requests: Vec<QueryRequest>) -> Vec<JobResult> {
+        let handles: Vec<JobHandle> = requests.into_iter().map(|r| self.submit(r)).collect();
+        handles.into_iter().map(JobHandle::wait).collect()
+    }
+
+    /// A point-in-time snapshot of the service's health.
+    pub fn metrics(&self) -> ServiceMetrics {
+        // One lock at a time, never nested: submit() takes cache then
+        // latency, so holding latency while locking cache here would invert
+        // the order and risk a deadlock.
+        let (completed, latency) = {
+            let recorder = self.shared.latency.lock().expect("latency poisoned");
+            (recorder.count(), recorder.summary())
+        };
+        let uptime = self.shared.started.elapsed();
+        let qps = if uptime.as_secs_f64() > 0.0 {
+            completed as f64 / uptime.as_secs_f64()
+        } else {
+            0.0
+        };
+        ServiceMetrics {
+            uptime,
+            completed,
+            qps,
+            latency,
+            cache: self.shared.cache.lock().expect("cache poisoned").stats(),
+            queue_depth: self.shared.queue.lock().expect("queue poisoned").jobs.len(),
+            workers: self.workers.len(),
+        }
+    }
+
+    /// Drops every cached result page (the lifetime hit/miss counters
+    /// survive).  Used by benchmarks to measure the cold path and by
+    /// operators after warehouse reloads.
+    pub fn clear_cache(&self) {
+        self.shared.cache.lock().expect("cache poisoned").clear();
+    }
+
+    /// Jobs currently waiting in the queue.
+    pub fn queue_depth(&self) -> usize {
+        self.shared.queue.lock().expect("queue poisoned").jobs.len()
+    }
+
+    /// Size of the worker pool.
+    pub fn worker_count(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// The engine snapshot this service serves from.
+    pub fn engine(&self) -> &EngineSnapshot {
+        &self.shared.engine
+    }
+}
+
+impl Drop for QueryService {
+    fn drop(&mut self) {
+        {
+            let mut state = self.shared.queue.lock().expect("queue poisoned");
+            state.shutdown = true;
+        }
+        // Wake every waiter: workers drain the remaining jobs and exit;
+        // blocked submitters observe the shutdown flag and bail out.
+        self.shared.not_empty.notify_all();
+        self.shared.not_full.notify_all();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut state = shared.queue.lock().expect("queue poisoned");
+            loop {
+                if let Some(job) = state.jobs.pop_front() {
+                    break job;
+                }
+                if state.shutdown {
+                    return;
+                }
+                state = shared.not_empty.wait(state).expect("queue poisoned");
+            }
+        };
+        shared.not_full.notify_one();
+
+        let outcome = shared
+            .engine
+            .search_paged(&job.input, job.page, job.page_size);
+        if let Ok(page) = &outcome {
+            shared
+                .cache
+                .lock()
+                .expect("cache poisoned")
+                .insert(job.key.clone(), page.clone());
+        }
+        shared.record(job.submitted);
+        // The caller may have dropped its handle; that is not an error.
+        let _ = job.tx.send(outcome.map_err(ServiceError::Engine));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soda_core::SodaConfig;
+    use std::time::Duration;
+
+    fn assert_send_sync<T: Send + Sync>() {}
+
+    fn minibank_service(config: ServiceConfig) -> QueryService {
+        let w = soda_warehouse::minibank::build(42);
+        let snapshot = EngineSnapshot::build(
+            Arc::new(w.database),
+            Arc::new(w.graph),
+            SodaConfig::default(),
+        );
+        QueryService::start(Arc::new(snapshot), config)
+    }
+
+    #[test]
+    fn service_is_send_and_sync() {
+        assert_send_sync::<QueryService>();
+        assert_send_sync::<ServiceConfig>();
+    }
+
+    #[test]
+    fn serves_the_same_page_as_the_engine() {
+        let service = minibank_service(ServiceConfig::default());
+        let direct = service
+            .engine()
+            .search_paged("Sara Guttinger", 0, 10)
+            .unwrap();
+        let served = service
+            .submit(QueryRequest::new("Sara Guttinger"))
+            .wait()
+            .unwrap();
+        assert_eq!(direct, served);
+    }
+
+    #[test]
+    fn equivalent_spellings_share_one_cache_slot() {
+        let service = minibank_service(ServiceConfig::default());
+        let first = service
+            .submit(QueryRequest::new("Sara Guttinger"))
+            .wait()
+            .unwrap();
+        let second = service
+            .submit(QueryRequest::new("  sara   GUTTINGER "))
+            .wait()
+            .unwrap();
+        assert_eq!(first, second);
+        let stats = service.metrics().cache;
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.len, 1);
+    }
+
+    #[test]
+    fn pages_are_cached_independently() {
+        let service = minibank_service(ServiceConfig::default());
+        let p0 = service
+            .submit(QueryRequest::new("customers").page_size(2))
+            .wait()
+            .unwrap();
+        let p1 = service
+            .submit(QueryRequest::new("customers").page(1).page_size(2))
+            .wait()
+            .unwrap();
+        assert_eq!(p0.page, 0);
+        assert_eq!(p1.page, 1);
+        assert_ne!(p0.results, p1.results);
+        assert_eq!(service.metrics().cache.len, 2);
+    }
+
+    #[test]
+    fn parse_errors_resolve_immediately() {
+        let service = minibank_service(ServiceConfig::default());
+        let handle = service.submit(QueryRequest::new("   "));
+        assert!(handle.is_ready());
+        match handle.wait() {
+            Err(ServiceError::Engine(SodaError::EmptyQuery)) => {}
+            other => panic!("expected EmptyQuery, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn batch_preserves_request_order() {
+        let service = minibank_service(ServiceConfig {
+            workers: 4,
+            ..ServiceConfig::default()
+        });
+        let queries = ["Sara Guttinger", "wealthy customers", "customers"];
+        let expected: Vec<ResultPage> = queries
+            .iter()
+            .map(|q| service.engine().search_paged(q, 0, 10).unwrap())
+            .collect();
+        let got = service.submit_batch(queries.iter().map(|q| QueryRequest::new(*q)).collect());
+        for (want, got) in expected.iter().zip(&got) {
+            assert_eq!(want, got.as_ref().unwrap());
+        }
+    }
+
+    #[test]
+    fn tiny_queue_applies_backpressure_without_deadlock() {
+        let service = minibank_service(ServiceConfig {
+            workers: 1,
+            queue_capacity: 1,
+            cache_capacity: 4,
+        });
+        // More jobs than queue slots: submit_batch must ride the
+        // backpressure and still answer everything.
+        let requests: Vec<QueryRequest> = (0..8)
+            .map(|i| QueryRequest::new(["customers", "Sara Guttinger"][i % 2]))
+            .collect();
+        let results = service.submit_batch(requests);
+        assert_eq!(results.len(), 8);
+        assert!(results.iter().all(|r| r.is_ok()));
+    }
+
+    #[test]
+    fn metrics_cover_latency_cache_and_queue() {
+        let service = minibank_service(ServiceConfig::default());
+        for _ in 0..3 {
+            service
+                .submit(QueryRequest::new("Sara Guttinger"))
+                .wait()
+                .unwrap();
+        }
+        let m = service.metrics();
+        assert_eq!(m.completed, 3);
+        assert_eq!(m.cache.hits, 2);
+        assert!(m.qps > 0.0);
+        assert!(m.latency.max >= m.latency.min);
+        assert!(m.latency.mean > Duration::ZERO);
+        assert_eq!(m.queue_depth, 0);
+        assert_eq!(m.workers, 4);
+    }
+
+    #[test]
+    fn clear_cache_forces_recomputation() {
+        let service = minibank_service(ServiceConfig::default());
+        service
+            .submit(QueryRequest::new("Sara Guttinger"))
+            .wait()
+            .unwrap();
+        service.clear_cache();
+        service
+            .submit(QueryRequest::new("Sara Guttinger"))
+            .wait()
+            .unwrap();
+        let stats = service.metrics().cache;
+        assert_eq!(stats.hits, 0);
+        assert_eq!(stats.misses, 2);
+    }
+
+    #[test]
+    fn concurrent_clients_get_consistent_answers() {
+        let service = minibank_service(ServiceConfig {
+            workers: 4,
+            queue_capacity: 16,
+            cache_capacity: 64,
+        });
+        let queries = ["Sara Guttinger", "wealthy customers", "customers"];
+        let expected: Vec<ResultPage> = queries
+            .iter()
+            .map(|q| service.engine().search_paged(q, 0, 10).unwrap())
+            .collect();
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    for (query, want) in queries.iter().zip(&expected) {
+                        let got = service.submit(QueryRequest::new(*query)).wait().unwrap();
+                        assert_eq!(&got, want);
+                    }
+                });
+            }
+        });
+        assert_eq!(service.metrics().completed, 8 * 3);
+    }
+
+    #[test]
+    fn metrics_polling_does_not_deadlock_cache_hits() {
+        // Regression test: `submit` locks cache then latency on a hit, while
+        // `metrics` reads latency and cache — with nested guards in either
+        // path this interleaving deadlocks within a few iterations.
+        let service = minibank_service(ServiceConfig::default());
+        service
+            .submit(QueryRequest::new("Sara Guttinger"))
+            .wait()
+            .unwrap();
+        std::thread::scope(|scope| {
+            for _ in 0..2 {
+                scope.spawn(|| {
+                    for _ in 0..500 {
+                        service
+                            .submit(QueryRequest::new("Sara Guttinger"))
+                            .wait()
+                            .unwrap();
+                    }
+                });
+                scope.spawn(|| {
+                    for _ in 0..500 {
+                        let m = service.metrics();
+                        assert!(m.completed >= 1);
+                    }
+                });
+            }
+        });
+    }
+}

@@ -26,6 +26,11 @@
 //!   experiment drivers that regenerate every table and figure of the paper.
 //! * [`explorer`] — schema browser and legacy-system reverse engineering (the
 //!   war-story use cases of §5.3.2).
+//! * [`service`] — the serving layer: a thread-safe
+//!   [`QueryService`](soda_service::QueryService) worker pool over a shared
+//!   [`EngineSnapshot`](soda_core::EngineSnapshot), with an LRU
+//!   interpretation cache keyed by canonicalized queries and live service
+//!   metrics.
 //!
 //! ## Quickstart
 //!
@@ -48,13 +53,15 @@ pub use soda_eval as eval;
 pub use soda_explorer as explorer;
 pub use soda_metagraph as metagraph;
 pub use soda_relation as relation;
+pub use soda_service as service;
 pub use soda_warehouse as warehouse;
 
 /// Convenient glob-import surface for examples and downstream users.
 pub mod prelude {
-    pub use soda_core::{FeedbackStore, SodaConfig, SodaEngine, SodaResult};
+    pub use soda_core::{EngineSnapshot, FeedbackStore, SodaConfig, SodaEngine, SodaResult};
     pub use soda_explorer::SchemaBrowser;
     pub use soda_metagraph::{MetaGraph, Pattern, PatternRegistry};
     pub use soda_relation::{Database, ResultSet, Value};
+    pub use soda_service::{QueryRequest, QueryService, ServiceConfig, ServiceMetrics};
     pub use soda_warehouse::Warehouse;
 }

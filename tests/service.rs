@@ -1,0 +1,203 @@
+//! Cross-crate integration tests of the serving layer: the `QueryService`
+//! must produce byte-identical SQL to the single-threaded engine under
+//! concurrency, and its warm cache must beat the cold pipeline by at least
+//! an order of magnitude.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use soda::prelude::*;
+use soda::warehouse::minibank;
+
+const QUERIES: &[&str] = &[
+    "Sara Guttinger",
+    "wealthy customers",
+    "financial instruments customers Zurich",
+    "salary >= 100000 and birthday = date(1981-04-23)",
+    "sum (amount) group by (transaction date)",
+    "count (transactions) group by (company name)",
+    "Top 10 sum (amount) group by (company name)",
+];
+
+fn shared_snapshot() -> Arc<EngineSnapshot> {
+    let w = minibank::build(42);
+    Arc::new(EngineSnapshot::build(
+        Arc::new(w.database),
+        Arc::new(w.graph),
+        SodaConfig::default(),
+    ))
+}
+
+/// N threads × M queries through the service produce byte-identical result
+/// pages (SQL text included) to a fresh single-threaded borrowed engine.
+#[test]
+fn concurrent_service_matches_single_threaded_engine_byte_for_byte() {
+    // The reference run uses the original borrowed engine over its own copy
+    // of the warehouse, so nothing is shared with the service under test.
+    let reference_warehouse = minibank::build(42);
+    let reference_engine = SodaEngine::new(
+        &reference_warehouse.database,
+        &reference_warehouse.graph,
+        SodaConfig::default(),
+    );
+    let expected: Vec<Vec<String>> = QUERIES
+        .iter()
+        .map(|q| {
+            reference_engine
+                .search_paged(q, 0, 10)
+                .expect("reference query runs")
+                .results
+                .iter()
+                .map(|r| r.sql.clone())
+                .collect()
+        })
+        .collect();
+
+    let service = QueryService::start(
+        shared_snapshot(),
+        ServiceConfig {
+            workers: 4,
+            queue_capacity: 8, // small on purpose: exercises backpressure
+            cache_capacity: 32,
+        },
+    );
+
+    const THREADS: usize = 8;
+    const ROUNDS: usize = 5;
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let service = &service;
+            let expected = &expected;
+            scope.spawn(move || {
+                for round in 0..ROUNDS {
+                    // Rotate the starting query per thread so cache hits and
+                    // misses interleave across the pool.
+                    for i in 0..QUERIES.len() {
+                        let idx = (t + round + i) % QUERIES.len();
+                        let page = service
+                            .submit(QueryRequest::new(QUERIES[idx]))
+                            .wait()
+                            .expect("service answers");
+                        let sql: Vec<String> = page.results.iter().map(|r| r.sql.clone()).collect();
+                        assert_eq!(
+                            sql, expected[idx],
+                            "thread {t} round {round} diverged on '{}'",
+                            QUERIES[idx]
+                        );
+                    }
+                }
+            });
+        }
+    });
+
+    let metrics = service.metrics();
+    assert_eq!(metrics.completed, (THREADS * ROUNDS * QUERIES.len()) as u64);
+    // Every query repeats many times, so the cache must have carried most of
+    // the load.
+    assert!(
+        metrics.cache.hit_rate() > 0.5,
+        "expected a warm cache, got {:?}",
+        metrics.cache
+    );
+}
+
+/// The warm cache answers a repeated query at least 10× faster than the cold
+/// pipeline run of the same query.
+#[test]
+fn warm_cache_is_at_least_ten_times_faster_than_cold() {
+    let service = QueryService::start(shared_snapshot(), ServiceConfig::default());
+    let query = "financial instruments customers Zurich";
+
+    // Cold: best of several full-pipeline runs (cache cleared each time), so
+    // scheduler noise can only make cold look *faster*, never slower.
+    let mut cold = Duration::MAX;
+    for _ in 0..5 {
+        service.clear_cache();
+        let t0 = Instant::now();
+        service
+            .submit(QueryRequest::new(query))
+            .wait()
+            .expect("cold query serves");
+        cold = cold.min(t0.elapsed());
+    }
+
+    // Warm: best of many pure cache hits.
+    service
+        .submit(QueryRequest::new(query))
+        .wait()
+        .expect("priming query serves");
+    let mut warm = Duration::MAX;
+    for _ in 0..50 {
+        let t0 = Instant::now();
+        let handle = service.submit(QueryRequest::new(query));
+        assert!(handle.is_ready(), "warm submit must resolve synchronously");
+        handle.wait().expect("warm query serves");
+        warm = warm.min(t0.elapsed());
+    }
+
+    assert!(
+        cold >= warm * 10,
+        "warm cache not ≥10× faster: cold {cold:?} vs warm {warm:?}"
+    );
+}
+
+/// Cache hits must respect the engine configuration: two services with
+/// different configs never share interpretations, even for the same input.
+#[test]
+fn different_configs_produce_independent_answers() {
+    let w = minibank::build(42);
+    let default_cfg = SodaConfig::default();
+    let no_index_cfg = SodaConfig {
+        use_inverted_index: false,
+        ..SodaConfig::default()
+    };
+    assert_ne!(default_cfg.fingerprint(), no_index_cfg.fingerprint());
+
+    let with_index = QueryService::start(
+        Arc::new(EngineSnapshot::build(
+            Arc::new(w.database.clone()),
+            Arc::new(w.graph.clone()),
+            default_cfg,
+        )),
+        ServiceConfig::default(),
+    );
+    let without_index = QueryService::start(
+        Arc::new(EngineSnapshot::build(
+            Arc::new(w.database),
+            Arc::new(w.graph),
+            no_index_cfg,
+        )),
+        ServiceConfig::default(),
+    );
+
+    // "Sara Guttinger" only resolves through the inverted index over the
+    // base data, so the two services must answer differently.
+    let a = with_index
+        .submit(QueryRequest::new("Sara Guttinger"))
+        .wait()
+        .expect("serves");
+    let b = without_index
+        .submit(QueryRequest::new("Sara Guttinger"))
+        .wait()
+        .expect("serves");
+    assert!(!a.results.is_empty());
+    assert_ne!(a.results, b.results);
+}
+
+/// The batch API returns results in request order and populates metrics.
+#[test]
+fn submit_batch_round_trips_a_mixed_workload() {
+    let service = QueryService::start(shared_snapshot(), ServiceConfig::default());
+    let requests: Vec<QueryRequest> = QUERIES.iter().map(|q| QueryRequest::new(*q)).collect();
+    let results = service.submit_batch(requests);
+    assert_eq!(results.len(), QUERIES.len());
+    for (query, result) in QUERIES.iter().zip(&results) {
+        let page = result.as_ref().unwrap_or_else(|e| {
+            panic!("'{query}' failed: {e}");
+        });
+        assert!(page.results.iter().all(|r| r.sql.starts_with("SELECT")));
+    }
+    let metrics = service.metrics();
+    assert_eq!(metrics.completed, QUERIES.len() as u64);
+    assert!(metrics.latency.max >= metrics.latency.p50);
+}
