@@ -1,5 +1,5 @@
 //! The classification index: a lookup table from normalised keyword phrases to
-//! metadata-graph nodes.
+//! metadata-graph nodes, partitioned into shards.
 //!
 //! Step 1 of the pipeline matches the words of the input query against this
 //! index ("we first try to match all the words in the input against our
@@ -7,11 +7,23 @@
 //! every text label of the metadata graph; labels are normalised the same way
 //! keywords are, so that `trade_order_td`, "Trade Order TD" and
 //! "trade order td" all meet at the same key.
+//!
+//! ## Sharding
+//!
+//! Like the inverted index, the classification index is partitioned by a
+//! stable hash ([`soda_relation::stable_shard`]) — here of the normalised
+//! phrase, since a phrase (not a table) is the unit of lookup.  Every phrase
+//! lives in exactly one shard, so a lookup routes directly to its owning
+//! shard instead of fanning out, and the entries of each bucket keep the
+//! exact order the monolithic build produces: results are byte-identical for
+//! any shard count.  [`ClassificationIndex::build`] is the classic 1-shard
+//! case.
 
 use std::collections::HashMap;
 
 use soda_metagraph::{MetaGraph, NodeId};
 use soda_relation::index::tokenizer::normalize_phrase;
+use soda_relation::stable_shard;
 
 use crate::provenance::Provenance;
 
@@ -24,23 +36,41 @@ pub struct ClassificationEntry {
     pub provenance: Provenance,
 }
 
-/// The classification index.
-#[derive(Debug, Default, Clone)]
+/// The classification index, partitioned by stable phrase hash.
+#[derive(Debug, Clone)]
 pub struct ClassificationIndex {
-    entries: HashMap<String, Vec<ClassificationEntry>>,
+    shards: Vec<HashMap<String, Vec<ClassificationEntry>>>,
+}
+
+impl Default for ClassificationIndex {
+    fn default() -> Self {
+        Self {
+            shards: vec![HashMap::new()],
+        }
+    }
 }
 
 impl ClassificationIndex {
-    /// Builds the index from every text label of the graph.  Nodes without a
-    /// recognised provenance (filter nodes, join nodes, …) are skipped, as are
-    /// DBpedia nodes when `include_dbpedia` is false.
+    /// Builds the classic monolithic index (one shard) from every text label
+    /// of the graph.  Nodes without a recognised provenance (filter nodes,
+    /// join nodes, …) are skipped, as are DBpedia nodes when
+    /// `include_dbpedia` is false.
     pub fn build(graph: &MetaGraph, include_dbpedia: bool) -> Self {
-        let mut entries: HashMap<String, Vec<ClassificationEntry>> = HashMap::new();
+        Self::build_sharded(graph, include_dbpedia, 1)
+    }
+
+    /// Builds the index partitioned into `shard_count` shards (clamped to at
+    /// least 1) by the stable hash of the normalised phrase.
+    pub fn build_sharded(graph: &MetaGraph, include_dbpedia: bool, shard_count: usize) -> Self {
+        let shard_count = shard_count.max(1);
+        let mut shards: Vec<HashMap<String, Vec<ClassificationEntry>>> =
+            vec![HashMap::new(); shard_count];
         for (label, holders) in graph.all_labels() {
             let key = normalize_phrase(label);
             if key.is_empty() {
                 continue;
             }
+            let shard = &mut shards[stable_shard(&key, shard_count)];
             for (node, _pred) in holders {
                 let Some(provenance) = Provenance::of_node(graph, *node) else {
                     continue;
@@ -48,7 +78,7 @@ impl ClassificationIndex {
                 if provenance == Provenance::DbPedia && !include_dbpedia {
                     continue;
                 }
-                let bucket = entries.entry(key.clone()).or_default();
+                let bucket = shard.entry(key.clone()).or_default();
                 let entry = ClassificationEntry {
                     node: *node,
                     provenance,
@@ -58,13 +88,27 @@ impl ClassificationIndex {
                 }
             }
         }
-        Self { entries }
+        Self { shards }
     }
 
-    /// Looks up a phrase (normalised internally).
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Number of distinct phrases per shard, in partition order.
+    pub fn shard_sizes(&self) -> Vec<usize> {
+        self.shards.iter().map(HashMap::len).collect()
+    }
+
+    /// Looks up a phrase (normalised internally), routing directly to the
+    /// shard that owns it.
     pub fn lookup(&self, phrase: &str) -> &[ClassificationEntry] {
         let key = normalize_phrase(phrase);
-        self.entries.get(&key).map(|v| v.as_slice()).unwrap_or(&[])
+        self.shards[stable_shard(&key, self.shards.len())]
+            .get(&key)
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
     }
 
     /// True if the phrase is present.
@@ -75,17 +119,19 @@ impl ClassificationIndex {
     /// All distinct (normalised) phrases in the index.  Used by the
     /// query-refinement suggestions to find near-misses for unmatched words.
     pub fn phrases(&self) -> impl Iterator<Item = &str> {
-        self.entries.keys().map(|k| k.as_str())
+        self.shards
+            .iter()
+            .flat_map(|s| s.keys().map(String::as_str))
     }
 
     /// Number of distinct phrases.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.shards.iter().map(HashMap::len).sum()
     }
 
     /// True if the index is empty.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.shards.iter().all(HashMap::is_empty)
     }
 }
 
@@ -144,5 +190,38 @@ mod tests {
         let idx = ClassificationIndex::build(&g, true);
         assert!(idx.lookup("does not exist").is_empty());
         assert!(!idx.is_empty());
+    }
+
+    #[test]
+    fn sharded_build_matches_monolithic_lookups() {
+        let g = graph();
+        let mono = ClassificationIndex::build(&g, true);
+        for shards in [2usize, 3, 8] {
+            let idx = ClassificationIndex::build_sharded(&g, true, shards);
+            assert_eq!(idx.shard_count(), shards);
+            assert_eq!(idx.len(), mono.len());
+            assert_eq!(idx.shard_sizes().iter().sum::<usize>(), mono.len());
+            for phrase in [
+                "Trade Order TD",
+                "trade_order_td",
+                "customers",
+                "clients",
+                "client",
+                "amount",
+                "does not exist",
+            ] {
+                assert_eq!(
+                    mono.lookup(phrase),
+                    idx.lookup(phrase),
+                    "'{phrase}' diverged at {shards} shards"
+                );
+            }
+            // The phrase sets agree (order is hash-map arbitrary either way).
+            let mut a: Vec<&str> = mono.phrases().collect();
+            let mut b: Vec<&str> = idx.phrases().collect();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b);
+        }
     }
 }

@@ -103,6 +103,16 @@ pub struct SodaConfig {
     /// fewer tables and a complete join path rank higher).  Off by default —
     /// the paper's ranking uses entry-point provenance only.
     pub compactness_rerank: bool,
+    /// Number of partitions ("shards") the lookup-layer indexes are split
+    /// into.  `1` (the default) keeps the classic monolithic classification
+    /// and inverted indexes; larger values partition both by stable hash
+    /// (inverted index by owning table, classification index by phrase) and
+    /// make the lookup step fan each term's base-data probe out across the
+    /// shards on scoped threads.  The merge is canonical, so generated SQL is
+    /// byte-identical for every shard count; the knob only trades lookup
+    /// latency against thread fan-out overhead.  Folded into
+    /// [`fingerprint`](Self::fingerprint) like every other field.
+    pub shards: usize,
     /// Ranking weights.
     pub weights: RankingWeights,
     /// Number of snippet rows materialised when executing a result.
@@ -140,10 +150,25 @@ impl Default for SodaConfig {
             use_dbpedia: true,
             use_historization: true,
             compactness_rerank: false,
+            shards: default_shards(),
             weights: RankingWeights::default(),
             snippet_rows: 20,
         }
     }
+}
+
+/// The default lookup-shard count: 1, unless the `SODA_TEST_SHARDS`
+/// environment variable overrides it.
+///
+/// The override exists for CI: because SQL output is shard-invariant by
+/// construction, the entire workspace test suite can be re-run with e.g.
+/// `SODA_TEST_SHARDS=4` to exercise the multi-shard fan-out paths everywhere
+/// a test builds a default-configured engine, without touching any test.
+fn default_shards() -> usize {
+    std::env::var("SODA_TEST_SHARDS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .map_or(1, |n| n.max(1))
 }
 
 #[cfg(test)]
@@ -182,6 +207,19 @@ mod tests {
             ..SodaConfig::default()
         };
         assert_ne!(a.fingerprint(), d.fingerprint());
+        // The shard knob must invalidate service caches too.  Derived from
+        // the default so the assertion holds under a SODA_TEST_SHARDS
+        // override as well.
+        let e = SodaConfig {
+            shards: a.shards + 1,
+            ..SodaConfig::default()
+        };
+        assert_ne!(a.fingerprint(), e.fingerprint());
+    }
+
+    #[test]
+    fn shard_default_is_at_least_one() {
+        assert!(SodaConfig::default().shards >= 1);
     }
 
     #[test]

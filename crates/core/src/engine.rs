@@ -22,7 +22,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use soda_metagraph::MetaGraph;
-use soda_relation::{print_select, Database, InvertedIndex, ResultSet};
+use soda_relation::{print_select, Database, IndexShard, ResultSet, ShardedInvertedIndex};
 
 use crate::classification::ClassificationIndex;
 use crate::config::SodaConfig;
@@ -30,9 +30,11 @@ use crate::error::Result;
 use crate::feedback::FeedbackStore;
 use crate::joins::JoinCatalog;
 use crate::patterns::SodaPatterns;
+use crate::pipeline::lookup::LookupResult;
 use crate::pipeline::{filters, lookup, rank, sqlgen, tables, PipelineContext};
 use crate::query::parse_query;
 use crate::result::{Interpretation, QueryTrace, ResultPage, SodaResult, StepTimings};
+use crate::shard::{ShardProbes, ShardStats};
 use crate::snapshot::EngineSnapshot;
 use crate::suggest::{suggest_for_term, TermSuggestion};
 
@@ -41,36 +43,72 @@ use crate::suggest::{suggest_for_term, TermSuggestion};
 /// and the metadata graph are owned, so the borrowed [`SodaEngine`] and the
 /// owned [`EngineSnapshot`](crate::snapshot::EngineSnapshot) share one
 /// implementation of the five-step pipeline.
+///
+/// Both indexes are partitioned into `config.shards` shards by stable hashes
+/// (classification by phrase, inverted index by owning table); the lookup
+/// step fans base-data probes out across the inverted-index shards and bumps
+/// the per-shard [`ShardProbes`] counters.
 pub(crate) struct EngineCore {
     config: SodaConfig,
     patterns: SodaPatterns,
     classification: ClassificationIndex,
-    index: Option<InvertedIndex>,
+    index: Option<ShardedInvertedIndex>,
     joins: JoinCatalog,
+    probes: ShardProbes,
+    /// Per-shard index sizes, computed once at build: the indexes are
+    /// immutable afterwards, and recounting postings on every metrics poll
+    /// would be O(distinct tokens).
+    sizes: ShardSizes,
+}
+
+/// Immutable per-shard size vectors of the built indexes.
+struct ShardSizes {
+    classification_phrases: Vec<usize>,
+    index_tokens: Vec<usize>,
+    index_postings: Vec<usize>,
 }
 
 impl EngineCore {
-    /// Builds the classification index, the inverted index (when enabled) and
-    /// the join catalog for a warehouse.
+    /// Builds the sharded classification index, the sharded inverted index
+    /// (when enabled) and the join catalog for a warehouse.
     pub(crate) fn build(
         db: &Database,
         graph: &MetaGraph,
         config: SodaConfig,
         patterns: SodaPatterns,
     ) -> Self {
-        let classification = ClassificationIndex::build(graph, config.use_dbpedia);
+        let shards = config.shards.max(1);
+        let classification = ClassificationIndex::build_sharded(graph, config.use_dbpedia, shards);
         let index = if config.use_inverted_index {
-            Some(InvertedIndex::build(db))
+            Some(ShardedInvertedIndex::build_sharded(db, shards))
         } else {
             None
         };
         let joins = JoinCatalog::build(graph, &patterns, db);
+        let (index_tokens, index_postings) = match &index {
+            Some(index) => (
+                index.shards().iter().map(IndexShard::token_count).collect(),
+                index
+                    .shards()
+                    .iter()
+                    .map(IndexShard::posting_count)
+                    .collect(),
+            ),
+            None => (Vec::new(), Vec::new()),
+        };
+        let sizes = ShardSizes {
+            classification_phrases: classification.shard_sizes(),
+            index_tokens,
+            index_postings,
+        };
         Self {
             config,
             patterns,
             classification,
             index,
             joins,
+            probes: ShardProbes::new(shards),
+            sizes,
         }
     }
 
@@ -86,8 +124,20 @@ impl EngineCore {
         &self.classification
     }
 
-    pub(crate) fn inverted_index(&self) -> Option<&InvertedIndex> {
+    pub(crate) fn inverted_index(&self) -> Option<&ShardedInvertedIndex> {
         self.index.as_ref()
+    }
+
+    /// Per-shard sizes of both indexes (precomputed at build) plus the live
+    /// probe counters — cheap enough for every metrics poll.
+    pub(crate) fn shard_stats(&self) -> ShardStats {
+        ShardStats {
+            shards: self.config.shards.max(1),
+            classification_phrases: self.sizes.classification_phrases.clone(),
+            index_tokens: self.sizes.index_tokens.clone(),
+            index_postings: self.sizes.index_postings.clone(),
+            probes: self.probes.counts(),
+        }
     }
 
     fn context<'a>(&'a self, db: &'a Database, graph: &'a MetaGraph) -> PipelineContext<'a> {
@@ -97,9 +147,23 @@ impl EngineCore {
             config: &self.config,
             classification: &self.classification,
             index: self.index.as_ref(),
+            probes: &self.probes,
             patterns: &self.patterns,
             joins: &self.joins,
         }
+    }
+
+    /// Runs only Step 1 (lookup) for an input — the shard fan-out hot path,
+    /// exposed for benchmarks and diagnostics.
+    pub(crate) fn lookup(
+        &self,
+        db: &Database,
+        graph: &MetaGraph,
+        input: &str,
+    ) -> Result<LookupResult> {
+        let ctx = self.context(db, graph);
+        let query = parse_query(input)?;
+        Ok(lookup::run(&ctx, &query))
     }
 
     pub(crate) fn search_paged(
@@ -328,8 +392,21 @@ impl<'a> SodaEngine<'a> {
     }
 
     /// The inverted index over the base data, if enabled.
-    pub fn inverted_index(&self) -> Option<&InvertedIndex> {
+    pub fn inverted_index(&self) -> Option<&ShardedInvertedIndex> {
         self.core.inverted_index()
+    }
+
+    /// Per-shard sizes and probe counts of the lookup layer.
+    pub fn shard_stats(&self) -> ShardStats {
+        self.core.shard_stats()
+    }
+
+    /// Runs only Step 1 (lookup) for an input: keyword segmentation plus the
+    /// per-shard classification/base-data probes, without ranking or SQL
+    /// generation.  This is the fan-out hot path the `lookup_sharding`
+    /// benchmark measures.
+    pub fn lookup(&self, input: &str) -> Result<LookupResult> {
+        self.core.lookup(self.db, self.graph, input)
     }
 
     /// Translates a keyword query into a ranked list of SQL statements.

@@ -43,6 +43,7 @@ pub mod provenance;
 pub mod query;
 pub mod resolve;
 pub mod result;
+pub mod shard;
 pub mod snapshot;
 pub mod suggest;
 
@@ -53,8 +54,10 @@ pub use error::{Result, SodaError};
 pub use feedback::FeedbackStore;
 pub use joins::{BridgeTable, HistorizationLink, InheritanceLink, JoinCatalog, JoinEdge};
 pub use patterns::SodaPatterns;
+pub use pipeline::lookup::LookupResult;
 pub use provenance::Provenance;
 pub use query::{normalize_query, parse_query, QueryTerm, QueryValue, SodaQuery};
 pub use result::{Interpretation, QueryTrace, ResultPage, SodaResult, StepTimings};
+pub use shard::{ShardProbes, ShardStats};
 pub use snapshot::EngineSnapshot;
 pub use suggest::TermSuggestion;

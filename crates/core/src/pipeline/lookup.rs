@@ -7,9 +7,19 @@
 //! dropped.  Each matched term yields a set of candidate entry points — the
 //! combinatorial product of those sets is the query complexity reported in
 //! Table 4.
+//!
+//! ## Shard fan-out
+//!
+//! The inverted index is partitioned by table; each term's base-data probe
+//! fans out across the shards (`base_data_hits`) — on scoped threads when
+//! the probe token's postings are plentiful enough to amortise the spawns,
+//! inline otherwise — and the per-shard results merge in canonical
+//! `(table, column, value)` order.  Every shard scans the postings of the
+//! *same*, globally chosen probe token, so the merged candidate set (and
+//! therefore the generated SQL) is byte-identical for any shard count.
 
 use soda_relation::index::tokenizer::tokenize;
-use soda_relation::{AggFunc, CompareOp, Value};
+use soda_relation::{merge_hits, AggFunc, CompareOp, PhraseHit, Value};
 
 use soda_metagraph::NodeId;
 
@@ -258,6 +268,105 @@ fn segment(
     (matches, unmatched)
 }
 
+/// Minimum number of candidate postings (of the probe token, across all
+/// shards) before the per-shard probes fan out on scoped threads.  Below
+/// this, thread-spawn overhead dwarfs the scan and the shards are probed
+/// inline on the caller's thread; either way the merged result is identical.
+const PARALLEL_PROBE_MIN_POSTINGS: usize = 512;
+
+/// Minimum candidate postings a single shard must hold to earn its own
+/// helper thread during fan-out; shards below this ride along on the
+/// caller's thread, whose scan of the largest shard bounds the critical path
+/// anyway.
+const PARALLEL_PROBE_MIN_SHARD_POSTINGS: usize = 256;
+
+/// Cached `available_parallelism`: on a single-core host helper threads can
+/// only serialize behind the caller plus spawn overhead, so fan-out is
+/// skipped entirely; on an N-core host at most N-1 helpers are spawned.
+fn probe_parallelism() -> usize {
+    static PARALLELISM: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *PARALLELISM.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    })
+}
+
+/// Probes the base data for a phrase: one probe per inverted-index shard
+/// holding candidates, fanned out on scoped threads for heavy probes and
+/// merged canonically.
+///
+/// Fan-out spawns threads only for the shards where the probe token actually
+/// has postings, and the calling thread scans the *largest* such shard
+/// itself while the helpers run — the largest shard bounds the critical path
+/// anyway, so its scan absorbs the spawn latency of the others.  Shard
+/// partitioning is by table, so result merging is a plain canonical sort
+/// ([`merge_hits`]) regardless of which thread produced what.
+fn base_data_hits(ctx: &PipelineContext<'_>, phrase: &str) -> Vec<PhraseHit> {
+    let Some(index) = ctx.index else {
+        return Vec::new();
+    };
+    let Some(probe) = index.probe(phrase) else {
+        return Vec::new();
+    };
+    let shards = index.shards();
+    // Shards with candidate postings for the probe token, largest first; the
+    // probe counters track which shards carried real scan work.
+    let mut busy: Vec<(usize, usize)> = shards
+        .iter()
+        .enumerate()
+        .filter_map(|(i, shard)| {
+            let candidates = shard.probe_candidates(&probe).len();
+            (candidates > 0).then_some((i, candidates))
+        })
+        .collect();
+    busy.sort_by_key(|&(i, candidates)| (std::cmp::Reverse(candidates), i));
+    for &(i, _) in &busy {
+        ctx.probes.record(i);
+    }
+    let total_candidates: usize = busy.iter().map(|&(_, n)| n).sum();
+    // Helper threads are only worth their spawn cost for shards with a
+    // substantial scan, and only up to the host's spare cores; the caller
+    // keeps the largest shard (which bounds the critical path regardless)
+    // plus every below-threshold or over-core straggler.
+    let helpers: Vec<usize> = busy
+        .iter()
+        .skip(1)
+        .filter(|&&(_, n)| n >= PARALLEL_PROBE_MIN_SHARD_POSTINGS)
+        .map(|&(i, _)| i)
+        .take(probe_parallelism().saturating_sub(1))
+        .collect();
+    let per_shard: Vec<Vec<PhraseHit>> =
+        if !helpers.is_empty() && total_candidates >= PARALLEL_PROBE_MIN_POSTINGS {
+            std::thread::scope(|scope| {
+                let probe = &probe;
+                let handles: Vec<_> = helpers
+                    .iter()
+                    .map(|&i| {
+                        let shard = &shards[i];
+                        scope.spawn(move || shard.probe_phrase(ctx.db, probe))
+                    })
+                    .collect();
+                let mut results: Vec<Vec<PhraseHit>> = busy
+                    .iter()
+                    .filter(|&&(i, _)| !helpers.contains(&i))
+                    .map(|&(i, _)| shards[i].probe_phrase(ctx.db, probe))
+                    .collect();
+                results.extend(
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("shard probe thread panicked")),
+                );
+                results
+            })
+        } else {
+            busy.iter()
+                .map(|&(i, _)| shards[i].probe_phrase(ctx.db, &probe))
+                .collect()
+        };
+    merge_hits(per_shard)
+}
+
 /// All candidate entry points for a phrase: metadata labels plus base data.
 fn candidates_for(ctx: &PipelineContext<'_>, phrase: &str) -> Vec<EntryPoint> {
     let mut out: Vec<EntryPoint> = ctx
@@ -272,8 +381,8 @@ fn candidates_for(ctx: &PipelineContext<'_>, phrase: &str) -> Vec<EntryPoint> {
         })
         .collect();
 
-    if let Some(index) = ctx.index {
-        let hits = index.lookup_phrase(ctx.db, phrase);
+    if ctx.index.is_some() {
+        let hits = base_data_hits(ctx, phrase);
         // Group hits per column; a column with a single distinct value gets an
         // equality filter on that value, otherwise a LIKE on the phrase.
         let mut per_column: Vec<(String, String, Vec<String>)> = Vec::new();

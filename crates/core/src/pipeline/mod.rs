@@ -20,12 +20,13 @@ pub mod sqlgen;
 pub mod tables;
 
 use soda_metagraph::MetaGraph;
-use soda_relation::{Database, InvertedIndex};
+use soda_relation::{Database, ShardedInvertedIndex};
 
 use crate::classification::ClassificationIndex;
 use crate::config::SodaConfig;
 use crate::joins::JoinCatalog;
 use crate::patterns::SodaPatterns;
+use crate::shard::ShardProbes;
 
 /// Shared, read-only context handed to every pipeline step.
 pub struct PipelineContext<'a> {
@@ -35,10 +36,15 @@ pub struct PipelineContext<'a> {
     pub graph: &'a MetaGraph,
     /// Engine configuration.
     pub config: &'a SodaConfig,
-    /// Classification index over metadata labels.
+    /// Classification index over metadata labels (sharded by phrase hash;
+    /// lookups route directly to the owning shard).
     pub classification: &'a ClassificationIndex,
-    /// Inverted index over the base data (absent when disabled).
-    pub index: Option<&'a InvertedIndex>,
+    /// Sharded inverted index over the base data (absent when disabled).
+    /// The lookup step fans each term's probe out across
+    /// [`shards`](ShardedInvertedIndex::shards).
+    pub index: Option<&'a ShardedInvertedIndex>,
+    /// Per-shard probe counters, bumped by the lookup step.
+    pub probes: &'a ShardProbes,
     /// The metadata-graph patterns.
     pub patterns: &'a SodaPatterns,
     /// The pre-computed join catalog.

@@ -1,0 +1,120 @@
+//! Shard bookkeeping for the partitioned lookup layer.
+//!
+//! The classification index and the inverted index are partitioned by stable
+//! hashes (see [`crate::classification`] and
+//! [`soda_relation::ShardedInvertedIndex`]); this module carries the
+//! cross-cutting accounting: per-shard probe counters the lookup step bumps
+//! on every base-data probe, and the [`ShardStats`] snapshot the serving
+//! layer surfaces through its metrics.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Per-shard probe counters, shared by every pipeline run of one engine.
+///
+/// Lock-free: the lookup step runs on worker threads (and fans out over
+/// scoped threads), so the counters are relaxed atomics — totals are exact,
+/// momentary cross-shard skew is acceptable for a metrics gauge.
+#[derive(Debug)]
+pub struct ShardProbes {
+    counters: Vec<AtomicU64>,
+}
+
+impl ShardProbes {
+    /// Creates counters for `shards` partitions (clamped to at least 1).
+    pub fn new(shards: usize) -> Self {
+        Self {
+            counters: (0..shards.max(1)).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// Number of shards tracked.
+    pub fn shard_count(&self) -> usize {
+        self.counters.len()
+    }
+
+    /// Records one probe of `shard` (out-of-range indexes are ignored).
+    pub fn record(&self, shard: usize) {
+        if let Some(counter) = self.counters.get(shard) {
+            counter.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Probe count per shard, in partition order.
+    pub fn counts(&self) -> Vec<u64> {
+        self.counters
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Total probes across all shards.
+    pub fn total(&self) -> u64 {
+        self.counters
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .sum()
+    }
+}
+
+/// Per-shard sizes and probe counts of one engine's lookup layer, exposed by
+/// [`SodaEngine::shard_stats`](crate::SodaEngine::shard_stats) /
+/// [`EngineSnapshot::shard_stats`](crate::EngineSnapshot::shard_stats) and
+/// embedded in the serving layer's `ServiceMetrics`.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize)]
+pub struct ShardStats {
+    /// Number of lookup-layer shards (the `shards` configuration knob).
+    pub shards: usize,
+    /// Distinct classification phrases per shard.
+    pub classification_phrases: Vec<usize>,
+    /// Distinct inverted-index tokens per shard (empty when the inverted
+    /// index is disabled).
+    pub index_tokens: Vec<usize>,
+    /// Inverted-index postings per shard (empty when disabled).
+    pub index_postings: Vec<usize>,
+    /// Base-data probes served per shard since the engine was built.
+    pub probes: Vec<u64>,
+}
+
+impl ShardStats {
+    /// Total base-data probes across all shards.
+    pub fn total_probes(&self) -> u64 {
+        self.probes.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probes_accumulate_per_shard() {
+        let probes = ShardProbes::new(3);
+        assert_eq!(probes.shard_count(), 3);
+        probes.record(0);
+        probes.record(2);
+        probes.record(2);
+        probes.record(99); // out of range: ignored
+        assert_eq!(probes.counts(), vec![1, 0, 2]);
+        assert_eq!(probes.total(), 3);
+    }
+
+    #[test]
+    fn zero_shards_clamp_to_one() {
+        let probes = ShardProbes::new(0);
+        assert_eq!(probes.shard_count(), 1);
+        probes.record(0);
+        assert_eq!(probes.total(), 1);
+    }
+
+    #[test]
+    fn stats_total_sums_shards() {
+        let stats = ShardStats {
+            shards: 2,
+            classification_phrases: vec![10, 12],
+            index_tokens: vec![5, 7],
+            index_postings: vec![100, 90],
+            probes: vec![3, 4],
+        };
+        assert_eq!(stats.total_probes(), 7);
+    }
+}

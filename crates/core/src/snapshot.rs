@@ -29,7 +29,7 @@
 use std::sync::Arc;
 
 use soda_metagraph::MetaGraph;
-use soda_relation::{Database, InvertedIndex, ResultSet};
+use soda_relation::{Database, ResultSet, ShardedInvertedIndex};
 
 use crate::classification::ClassificationIndex;
 use crate::config::SodaConfig;
@@ -38,7 +38,9 @@ use crate::error::Result;
 use crate::feedback::FeedbackStore;
 use crate::joins::JoinCatalog;
 use crate::patterns::SodaPatterns;
+use crate::pipeline::lookup::LookupResult;
 use crate::result::{QueryTrace, ResultPage, SodaResult};
+use crate::shard::ShardStats;
 use crate::suggest::TermSuggestion;
 
 /// An owned, immutable, thread-safe SODA engine.
@@ -47,6 +49,12 @@ use crate::suggest::TermSuggestion;
 /// same indexes are built); afterwards every method takes `&self` and the
 /// whole snapshot can be wrapped in an [`Arc`] and shared across threads —
 /// the `soda-service` crate builds its worker pool on exactly that.
+///
+/// The snapshot is built around the *sharded* lookup layer: both indexes are
+/// partitioned into `config.shards` partitions at construction and every
+/// query's lookup step fans its base-data probes out across them;
+/// [`shard_stats`](Self::shard_stats) reports the per-shard sizes and probe
+/// counts the serving layer folds into its metrics.
 pub struct EngineSnapshot {
     db: Arc<Database>,
     graph: Arc<MetaGraph>,
@@ -113,8 +121,24 @@ impl EngineSnapshot {
     }
 
     /// The inverted index over the base data, if enabled.
-    pub fn inverted_index(&self) -> Option<&InvertedIndex> {
+    pub fn inverted_index(&self) -> Option<&ShardedInvertedIndex> {
         self.core.inverted_index()
+    }
+
+    /// Number of lookup-layer shards this snapshot was built with.
+    pub fn shard_count(&self) -> usize {
+        self.config().shards.max(1)
+    }
+
+    /// Per-shard sizes and probe counts of the lookup layer.
+    pub fn shard_stats(&self) -> ShardStats {
+        self.core.shard_stats()
+    }
+
+    /// Runs only Step 1 (lookup) for an input (see
+    /// [`SodaEngine::lookup`](crate::SodaEngine::lookup)).
+    pub fn lookup(&self, input: &str) -> Result<LookupResult> {
+        self.core.lookup(&self.db, &self.graph, input)
     }
 
     /// Translates a keyword query into a ranked list of SQL statements.
@@ -232,6 +256,51 @@ mod tests {
         drop(w);
         let after = snapshot.search("wealthy customers").unwrap();
         assert_eq!(before, after);
+    }
+
+    #[test]
+    fn sharded_snapshot_is_byte_identical_and_reports_stats() {
+        let w = soda_warehouse::minibank::build(42);
+        let baseline = EngineSnapshot::build(
+            Arc::new(w.database.clone()),
+            Arc::new(w.graph.clone()),
+            SodaConfig {
+                shards: 1,
+                ..SodaConfig::default()
+            },
+        );
+        let sharded = EngineSnapshot::build(
+            Arc::new(w.database),
+            Arc::new(w.graph),
+            SodaConfig {
+                shards: 4,
+                ..SodaConfig::default()
+            },
+        );
+        assert_eq!(sharded.shard_count(), 4);
+        for query in ["Sara Guttinger", "wealthy customers", "customers Zurich"] {
+            assert_eq!(
+                baseline.search(query).unwrap(),
+                sharded.search(query).unwrap(),
+                "divergence on '{query}'"
+            );
+        }
+        let stats = sharded.shard_stats();
+        assert_eq!(stats.shards, 4);
+        assert_eq!(stats.classification_phrases.len(), 4);
+        assert_eq!(stats.index_postings.len(), 4);
+        assert_eq!(
+            stats.classification_phrases.iter().sum::<usize>(),
+            sharded.classification_index().len()
+        );
+        assert_eq!(
+            stats.index_postings.iter().sum::<usize>(),
+            sharded.inverted_index().unwrap().posting_count()
+        );
+        // The searches above probed the base data, so scan work accumulated
+        // on the shards holding the matched tables.
+        assert_eq!(stats.probes.len(), 4);
+        assert!(stats.total_probes() > 0);
     }
 
     #[test]

@@ -1,0 +1,118 @@
+//! Shard-invariance property tests: partitioning the lookup layer must never
+//! change what the engine produces.  For generated warehouses and a corpus of
+//! queries, the generated SQL is byte-identical and the ranking (scores and
+//! order) identical across shard counts 1, 2 and 8 — the invariant that lets
+//! the serving layer treat `shards` purely as a latency knob.
+
+use proptest::prelude::*;
+
+use soda_core::{SodaConfig, SodaEngine};
+use soda_warehouse::enterprise::{self, EnterpriseConfig};
+use soda_warehouse::{minibank, Warehouse};
+
+const SHARD_COUNTS: &[usize] = &[1, 2, 8];
+
+/// A corpus covering every query shape: plain keywords, base-data lookups,
+/// business terms, comparisons, aggregation, grouping and paging.
+const CORPUS: &[&str] = &[
+    "Sara Guttinger",
+    "wealthy customers",
+    "financial instruments customers Zurich",
+    "customers Switzerland",
+    "Credit Suisse",
+    "salary >= 100000",
+    "sum (amount) group by (currency)",
+    "count (transactions) group by (company name)",
+    "Top 10 sum (amount) group by (company name)",
+    "YEN trade orders",
+    "addresses Zurich Switzerland",
+];
+
+fn engine_with_shards(warehouse: &Warehouse, shards: usize) -> SodaEngine<'_> {
+    SodaEngine::new(
+        &warehouse.database,
+        &warehouse.graph,
+        SodaConfig {
+            shards,
+            ..SodaConfig::default()
+        },
+    )
+}
+
+/// Runs the corpus on one warehouse and asserts full result equality
+/// (SQL text, scores, ranking order, interpretations) across shard counts.
+fn assert_corpus_invariant(name: &str, warehouse: &Warehouse) {
+    let baseline = engine_with_shards(warehouse, 1);
+    for &shards in &SHARD_COUNTS[1..] {
+        let sharded = engine_with_shards(warehouse, shards);
+        for query in CORPUS {
+            let expected = baseline.search(query);
+            let got = sharded.search(query);
+            match (&expected, &got) {
+                (Ok(a), Ok(b)) => assert_eq!(
+                    a, b,
+                    "{name}: '{query}' diverged between 1 and {shards} shards"
+                ),
+                (Err(_), Err(_)) => {}
+                _ => panic!(
+                    "{name}: '{query}' error behaviour diverged between 1 and {shards} shards"
+                ),
+            }
+        }
+    }
+}
+
+#[test]
+fn corpus_is_shard_invariant_on_minibank() {
+    let warehouse = minibank::build(42);
+    assert_corpus_invariant("minibank", &warehouse);
+}
+
+#[test]
+fn corpus_is_shard_invariant_on_the_enterprise_warehouse() {
+    let warehouse = enterprise::build_with(EnterpriseConfig {
+        seed: 42,
+        padding: false,
+        data_scale: 0.1,
+    });
+    assert_corpus_invariant("enterprise", &warehouse);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Arbitrary keyword combinations over the mini-bank vocabulary produce
+    /// byte-identical SQL and identical scores at 1, 2 and 8 shards.
+    #[test]
+    fn random_keyword_queries_are_shard_invariant(
+        words in proptest::collection::vec(
+            prop_oneof![
+                Just("customers"), Just("Zurich"), Just("financial"), Just("instruments"),
+                Just("Sara"), Just("wealthy"), Just("Switzerland"), Just("volume"),
+                Just("organizations"), Just("transactions"), Just("gibberishword")
+            ],
+            1..5
+        )
+    ) {
+        thread_local! {
+            static WAREHOUSE: soda_warehouse::Warehouse = minibank::build(42);
+        }
+        WAREHOUSE.with(|warehouse| {
+            let input = words.join(" ");
+            let baseline: Vec<_> = match engine_with_shards(warehouse, 1).search(&input) {
+                Ok(results) => results,
+                Err(_) => return Ok(()),
+            };
+            for &shards in &SHARD_COUNTS[1..] {
+                let got = engine_with_shards(warehouse, shards)
+                    .search(&input)
+                    .expect("sharded engine must accept what the baseline accepted");
+                prop_assert_eq!(
+                    &baseline, &got,
+                    "'{}' diverged between 1 and {} shards", input, shards
+                );
+            }
+            Ok(())
+        })?;
+    }
+}

@@ -1,4 +1,4 @@
-//! Inverted index over the text columns of the base data.
+//! Sharded inverted index over the text columns of the base data.
 //!
 //! The paper builds an inverted index over all 472 base tables (text columns
 //! only; 9.5 GB, 24 hours to build on their hardware).  Here the index maps
@@ -7,12 +7,31 @@
 //! "Credit Suisse", return the columns whose cells contain it, together with
 //! the matched cell value — that value becomes the filter literal in the
 //! generated SQL.
+//!
+//! ## Sharding
+//!
+//! The postings are partitioned into [`IndexShard`]s by a *stable* hash of
+//! the owning table ([`shard_for_table`]), so every table's postings live in
+//! exactly one shard and a phrase probe decomposes into independent per-shard
+//! probes whose results merge deterministically ([`merge_hits`] — shards own
+//! disjoint table sets, so a sort by `(table, column, value)` reproduces the
+//! exact output of the monolithic index regardless of the shard count).
+//! [`ShardedInvertedIndex::build`] is the classic 1-shard case; callers that
+//! want partition-parallel probes build with
+//! [`ShardedInvertedIndex::build_sharded`] and drive the shards themselves
+//! (see `soda-core`'s lookup step), or call
+//! [`lookup_phrase`](ShardedInvertedIndex::lookup_phrase) for the sequential
+//! all-shard probe.
 
 use std::collections::{BTreeMap, HashMap, HashSet};
 
 use super::tokenizer::tokenize;
 use crate::catalog::Database;
 use crate::value::Value;
+
+/// The classic (monolithic) inverted index is the 1-shard case of the
+/// sharded structure.
+pub type InvertedIndex = ShardedInvertedIndex;
 
 /// A single posting: one row of one text column containing the token.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, serde::Serialize)]
@@ -39,9 +58,56 @@ pub struct PhraseHit {
     pub row_count: usize,
 }
 
-/// Inverted index over text columns of a [`Database`].
+/// A prepared phrase probe, shared by every shard of one lookup so that all
+/// shards scan the postings of the *same* token.
+///
+/// The probe token is chosen by global frequency across all shards
+/// ([`ShardedInvertedIndex::probe`]); choosing it per shard would let the
+/// shard count change which candidate cells are scanned and thereby the
+/// result set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhraseProbe {
+    /// The normalized phrase: its tokens joined by single spaces.  A cell
+    /// matches when its normalized text contains this needle.
+    pub needle: String,
+    /// The globally rarest token of the phrase — every shard scans this
+    /// token's postings list.  Always normalized (lower-case tokenizer
+    /// output), so probes can access the postings maps directly.
+    pub token: String,
+}
+
+/// FNV-1a over the bytes of a key: a stable hash (same value in every process
+/// and on every platform), unlike `DefaultHasher`, whose output is only
+/// guaranteed stable within one compiler release.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Routes a string key to one of `shard_count` partitions by stable hash.
+/// Used for the inverted index (keyed by owning table) and for any other
+/// index that wants the same deterministic partitioning.
+pub fn stable_shard(key: &str, shard_count: usize) -> usize {
+    if shard_count <= 1 {
+        return 0;
+    }
+    (fnv1a(key.as_bytes()) % shard_count as u64) as usize
+}
+
+/// The shard that owns `table`'s postings (case-insensitive, matching the
+/// catalog's case-insensitive table names).
+pub fn shard_for_table(table: &str, shard_count: usize) -> usize {
+    stable_shard(&table.to_lowercase(), shard_count)
+}
+
+/// One partition of the inverted index: the postings of the tables whose
+/// stable hash routes here, plus per-shard size accounting.
 #[derive(Debug, Default, Clone)]
-pub struct InvertedIndex {
+pub struct IndexShard {
     postings: HashMap<String, Vec<Posting>>,
     /// Number of indexed cells (non-unique records, in the paper's terms).
     indexed_cells: usize,
@@ -49,85 +115,49 @@ pub struct InvertedIndex {
     indexed_columns: usize,
 }
 
-impl InvertedIndex {
-    /// Builds the index over every text column of every table.
-    pub fn build(db: &Database) -> Self {
-        let mut index = InvertedIndex::default();
-        for table in db.tables() {
-            let schema = table.schema();
-            for (col_idx, col) in schema.columns.iter().enumerate() {
-                if col.data_type != crate::value::DataType::Text {
-                    continue;
-                }
-                index.indexed_columns += 1;
-                for (row_idx, row) in table.rows().iter().enumerate() {
-                    if let Value::Text(text) = &row[col_idx] {
-                        index.indexed_cells += 1;
-                        let mut seen: HashSet<String> = HashSet::new();
-                        for token in tokenize(text) {
-                            if seen.insert(token.clone()) {
-                                index.postings.entry(token).or_default().push(Posting {
-                                    table: schema.name.clone(),
-                                    column: col.name.clone(),
-                                    row: row_idx,
-                                });
-                            }
-                        }
-                    }
-                }
-            }
-        }
-        index
-    }
-
-    /// Number of distinct tokens.
+impl IndexShard {
+    /// Number of distinct tokens in this shard.
     pub fn token_count(&self) -> usize {
         self.postings.len()
     }
 
-    /// Number of indexed text cells.
+    /// Number of indexed text cells in this shard.
     pub fn indexed_cells(&self) -> usize {
         self.indexed_cells
     }
 
-    /// Number of indexed text columns.
+    /// Number of indexed text columns in this shard.
     pub fn indexed_columns(&self) -> usize {
         self.indexed_columns
     }
 
-    /// Total number of postings.
+    /// Number of postings in this shard.
     pub fn posting_count(&self) -> usize {
         self.postings.values().map(|v| v.len()).sum()
     }
 
-    /// Postings for a single token (lower-cased internally).
+    /// Postings for a single token (lower-cased internally) within this shard.
     pub fn lookup_token(&self, token: &str) -> &[Posting] {
         let key = token.to_lowercase();
         self.postings.get(&key).map(|v| v.as_slice()).unwrap_or(&[])
     }
 
-    /// Phrase lookup: finds columns whose cells contain *all* words of the
-    /// phrase (as a case-insensitive substring of the cell text, mirroring the
-    /// paper's "Credit Suisse" example which must match the full organisation
-    /// name).  Returns one hit per distinct `(table, column, cell value)`.
-    pub fn lookup_phrase(&self, db: &Database, phrase: &str) -> Vec<PhraseHit> {
-        let words = tokenize(phrase);
-        if words.is_empty() {
-            return Vec::new();
-        }
-        // Candidate postings: rows containing the first (rarest would be
-        // better, but first is fine at our scale) token.
-        let mut rarest = &words[0];
-        let mut rarest_len = self.lookup_token(rarest).len();
-        for w in &words[1..] {
-            let len = self.lookup_token(w).len();
-            if len < rarest_len {
-                rarest = w;
-                rarest_len = len;
-            }
-        }
-        let candidates = self.lookup_token(rarest);
-        let needle = words.join(" ");
+    /// Candidate postings of a prepared probe's token in this shard.  The
+    /// probe token is already normalized, so this is a direct map access
+    /// with no allocation — the hot path of the per-shard fan-out.
+    pub fn probe_candidates(&self, probe: &PhraseProbe) -> &[Posting] {
+        self.postings
+            .get(&probe.token)
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Probes this shard for a prepared phrase: scans the probe token's local
+    /// postings and verifies the full needle against each candidate cell.
+    /// Returns one hit per distinct `(table, column, cell value)`, sorted by
+    /// that triple.
+    pub fn probe_phrase(&self, db: &Database, probe: &PhraseProbe) -> Vec<PhraseHit> {
+        let candidates = self.probe_candidates(probe);
         let mut hits: BTreeMap<(String, String, String), usize> = BTreeMap::new();
         for posting in candidates {
             let Ok(table) = db.table(&posting.table) else {
@@ -138,7 +168,7 @@ impl InvertedIndex {
             };
             let Value::Text(text) = value else { continue };
             let normalized = tokenize(text).join(" ");
-            if normalized.contains(&needle) {
+            if normalized.contains(&probe.needle) {
                 *hits
                     .entry((posting.table.clone(), posting.column.clone(), text.clone()))
                     .or_default() += 1;
@@ -152,6 +182,180 @@ impl InvertedIndex {
                 row_count,
             })
             .collect()
+    }
+}
+
+/// Merges per-shard probe results into the canonical order: ascending by
+/// `(table, column, value)`.  Because shards own disjoint table sets, this is
+/// byte-identical to what the 1-shard index produces for the same probe —
+/// the invariant the shard-invariance property tests pin down.
+pub fn merge_hits(per_shard: Vec<Vec<PhraseHit>>) -> Vec<PhraseHit> {
+    let mut all: Vec<PhraseHit> = per_shard.into_iter().flatten().collect();
+    all.sort_by(|a, b| (&a.table, &a.column, &a.value).cmp(&(&b.table, &b.column, &b.value)));
+    all
+}
+
+/// Inverted index over text columns of a [`Database`], partitioned by table.
+#[derive(Debug, Clone)]
+pub struct ShardedInvertedIndex {
+    shards: Vec<IndexShard>,
+    /// Number of distinct tokens across all shards (a token whose postings
+    /// span several tables can live in several shards).
+    distinct_tokens: usize,
+}
+
+impl Default for ShardedInvertedIndex {
+    fn default() -> Self {
+        Self {
+            shards: vec![IndexShard::default()],
+            distinct_tokens: 0,
+        }
+    }
+}
+
+impl ShardedInvertedIndex {
+    /// Builds the classic monolithic index (one shard) over every text column
+    /// of every table.
+    pub fn build(db: &Database) -> Self {
+        Self::build_sharded(db, 1)
+    }
+
+    /// Builds the index partitioned into `shard_count` shards (clamped to at
+    /// least 1) by the stable table hash.
+    pub fn build_sharded(db: &Database, shard_count: usize) -> Self {
+        let shard_count = shard_count.max(1);
+        let mut shards = vec![IndexShard::default(); shard_count];
+        for table in db.tables() {
+            let schema = table.schema();
+            let shard = &mut shards[shard_for_table(&schema.name, shard_count)];
+            for (col_idx, col) in schema.columns.iter().enumerate() {
+                if col.data_type != crate::value::DataType::Text {
+                    continue;
+                }
+                shard.indexed_columns += 1;
+                for (row_idx, row) in table.rows().iter().enumerate() {
+                    if let Value::Text(text) = &row[col_idx] {
+                        shard.indexed_cells += 1;
+                        let mut seen: HashSet<String> = HashSet::new();
+                        for token in tokenize(text) {
+                            if seen.insert(token.clone()) {
+                                shard.postings.entry(token).or_default().push(Posting {
+                                    table: schema.name.clone(),
+                                    column: col.name.clone(),
+                                    row: row_idx,
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let distinct_tokens = {
+            let mut tokens: HashSet<&str> = HashSet::new();
+            for shard in &shards {
+                tokens.extend(shard.postings.keys().map(String::as_str));
+            }
+            tokens.len()
+        };
+        Self {
+            shards,
+            distinct_tokens,
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shards, in partition order.  The SODA lookup step fans a probe out
+    /// across these on scoped threads.
+    pub fn shards(&self) -> &[IndexShard] {
+        &self.shards
+    }
+
+    /// Number of distinct tokens across all shards.
+    pub fn token_count(&self) -> usize {
+        self.distinct_tokens
+    }
+
+    /// Number of indexed text cells.
+    pub fn indexed_cells(&self) -> usize {
+        self.shards.iter().map(IndexShard::indexed_cells).sum()
+    }
+
+    /// Number of indexed text columns.
+    pub fn indexed_columns(&self) -> usize {
+        self.shards.iter().map(IndexShard::indexed_columns).sum()
+    }
+
+    /// Total number of postings.
+    pub fn posting_count(&self) -> usize {
+        self.shards.iter().map(IndexShard::posting_count).sum()
+    }
+
+    /// Total postings for a single token across all shards.
+    pub fn token_frequency(&self, token: &str) -> usize {
+        let key = token.to_lowercase();
+        self.shards
+            .iter()
+            .map(|s| s.postings.get(&key).map_or(0, Vec::len))
+            .sum()
+    }
+
+    /// Postings for a single token (lower-cased internally), merged across
+    /// shards into the canonical order `(table, column, row)`.
+    pub fn lookup_token(&self, token: &str) -> Vec<Posting> {
+        let mut out: Vec<Posting> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.lookup_token(token).iter().cloned())
+            .collect();
+        out.sort_by(|a, b| (&a.table, &a.column, a.row).cmp(&(&b.table, &b.column, b.row)));
+        out
+    }
+
+    /// Prepares a phrase probe: normalizes the phrase and selects the
+    /// globally rarest token.  Returns `None` when the phrase has no tokens
+    /// or the rarest token has no postings anywhere (the probe cannot hit).
+    pub fn probe(&self, phrase: &str) -> Option<PhraseProbe> {
+        let words = tokenize(phrase);
+        if words.is_empty() {
+            return None;
+        }
+        let mut rarest = &words[0];
+        let mut rarest_len = self.token_frequency(rarest);
+        for w in &words[1..] {
+            let len = self.token_frequency(w);
+            if len < rarest_len {
+                rarest = w;
+                rarest_len = len;
+            }
+        }
+        if rarest_len == 0 {
+            return None;
+        }
+        Some(PhraseProbe {
+            needle: words.join(" "),
+            token: rarest.clone(),
+        })
+    }
+
+    /// Phrase lookup: finds columns whose cells contain *all* words of the
+    /// phrase (as a case-insensitive substring of the cell text, mirroring the
+    /// paper's "Credit Suisse" example which must match the full organisation
+    /// name).  Returns one hit per distinct `(table, column, cell value)` in
+    /// canonical order; the result is independent of the shard count.
+    pub fn lookup_phrase(&self, db: &Database, phrase: &str) -> Vec<PhraseHit> {
+        let Some(probe) = self.probe(phrase) else {
+            return Vec::new();
+        };
+        merge_hits(
+            self.shards
+                .iter()
+                .map(|shard| shard.probe_phrase(db, &probe))
+                .collect(),
+        )
     }
 
     /// Distinct `(table, column)` pairs containing the phrase.
@@ -232,6 +436,7 @@ mod tests {
     fn builds_over_text_columns_only() {
         let db = db();
         let idx = InvertedIndex::build(&db);
+        assert_eq!(idx.shard_count(), 1);
         assert_eq!(idx.indexed_columns(), 3); // org_name, country, city
         assert_eq!(idx.indexed_cells(), 4 + 3); // 2 orgs x 2 cols + 3 addresses x 1 col
         assert!(idx.token_count() > 0);
@@ -295,5 +500,84 @@ mod tests {
         let idx = InvertedIndex::build(&db);
         // The same token in one cell is recorded once.
         assert_eq!(idx.posting_count(), 1);
+    }
+
+    #[test]
+    fn stable_shard_is_deterministic_and_in_range() {
+        for n in [1usize, 2, 3, 8, 16] {
+            for key in ["organization", "address", "trade_order_td", ""] {
+                let s = stable_shard(key, n);
+                assert!(s < n.max(1));
+                assert_eq!(s, stable_shard(key, n), "hash must be stable");
+            }
+        }
+        assert_eq!(stable_shard("anything", 1), 0);
+        // Case-insensitive routing matches the catalog's table naming.
+        assert_eq!(
+            shard_for_table("Trade_Order_TD", 8),
+            shard_for_table("trade_order_td", 8)
+        );
+    }
+
+    #[test]
+    fn sharded_build_partitions_every_table_into_exactly_one_shard() {
+        let db = db();
+        for shards in [2usize, 3, 8] {
+            let idx = InvertedIndex::build_sharded(&db, shards);
+            assert_eq!(idx.shard_count(), shards);
+            // Global sizes are preserved under partitioning.
+            let mono = InvertedIndex::build(&db);
+            assert_eq!(idx.indexed_cells(), mono.indexed_cells());
+            assert_eq!(idx.indexed_columns(), mono.indexed_columns());
+            assert_eq!(idx.posting_count(), mono.posting_count());
+            assert_eq!(idx.token_count(), mono.token_count());
+            // Each table's postings live in exactly the shard its hash names.
+            for (i, shard) in idx.shards().iter().enumerate() {
+                for postings in shard.postings.values() {
+                    for p in postings {
+                        assert_eq!(shard_for_table(&p.table, shards), i);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_lookup_matches_monolithic_lookup() {
+        let db = db();
+        let mono = InvertedIndex::build(&db);
+        for shards in [2usize, 5, 8] {
+            let idx = InvertedIndex::build_sharded(&db, shards);
+            for phrase in ["Zurich", "Credit Suisse", "Switzerland", "Geneva", ""] {
+                assert_eq!(
+                    mono.lookup_phrase(&db, phrase),
+                    idx.lookup_phrase(&db, phrase),
+                    "phrase '{phrase}' diverged at {shards} shards"
+                );
+                assert_eq!(
+                    mono.lookup_token(phrase),
+                    idx.lookup_token(phrase),
+                    "token '{phrase}' diverged at {shards} shards"
+                );
+            }
+            assert_eq!(
+                mono.columns_containing(&db, "Switzerland"),
+                idx.columns_containing(&db, "Switzerland")
+            );
+        }
+    }
+
+    #[test]
+    fn probe_picks_the_globally_rarest_token() {
+        let db = db();
+        let idx = InvertedIndex::build_sharded(&db, 4);
+        // "suisse" (1 posting) is rarer than "credit" (1) — first wins ties —
+        // and both are rarer than "switzerland" (2).
+        let probe = idx.probe("Credit Suisse").unwrap();
+        assert_eq!(probe.needle, "credit suisse");
+        assert_eq!(probe.token, "credit");
+        assert_eq!(idx.token_frequency("switzerland"), 2);
+        assert!(idx.probe("no such words anywhere").is_none());
+        assert!(idx.probe("").is_none());
     }
 }

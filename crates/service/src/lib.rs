@@ -10,14 +10,18 @@
 //! * [`QueryService`] — a bounded worker pool over a shared
 //!   [`EngineSnapshot`](soda_core::EngineSnapshot), with a channel-per-job
 //!   [`submit`](QueryService::submit) /
-//!   [`submit_batch`](QueryService::submit_batch) API and blocking
-//!   backpressure when the job queue is full.
+//!   [`submit_batch`](QueryService::submit_batch) API, blocking
+//!   backpressure when the job queue is full, and in-flight request
+//!   coalescing: concurrent misses on one cache key execute the pipeline
+//!   once and share the page.
 //! * [`LruCache`] — an interpretation cache mapping *canonicalized* queries
 //!   ([`soda_core::normalize_query`]) plus the engine-configuration
 //!   fingerprint to served [`ResultPage`](soda_core::ResultPage)s, with
 //!   hit / miss / eviction accounting.
 //! * [`ServiceMetrics`] — a health snapshot: QPS, latency
-//!   min / mean / p50 / p95 / max, cache hit rate and queue depth.
+//!   min / mean / p50 / p95 / max, cache hit rate, queue depth, coalescing
+//!   counters and the per-shard sizes / probe counts of the snapshot's
+//!   sharded lookup layer ([`soda_core::ShardStats`]).
 //!
 //! ```
 //! use std::sync::Arc;

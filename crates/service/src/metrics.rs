@@ -8,6 +8,8 @@
 
 use std::time::Duration;
 
+use soda_core::ShardStats;
+
 use crate::cache::CacheStats;
 
 /// How many recent latency samples the percentile window retains.
@@ -46,10 +48,18 @@ pub struct ServiceMetrics {
     pub latency: LatencySummary,
     /// Interpretation-cache effectiveness.
     pub cache: CacheStats,
+    /// Full pipeline executions performed by the workers — cache misses that
+    /// were actually computed (coalesced duplicates excluded).
+    pub pipeline_executions: u64,
+    /// Submissions that joined an identical in-flight computation instead of
+    /// enqueuing a duplicate job.
+    pub coalesced: u64,
     /// Jobs currently waiting in the queue.
     pub queue_depth: usize,
     /// Size of the worker pool.
     pub workers: usize,
+    /// Per-shard sizes and probe counts of the engine's lookup layer.
+    pub shards: ShardStats,
 }
 
 /// Latency accounting shared by the workers.  Not internally synchronised;

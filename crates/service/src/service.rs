@@ -14,15 +14,19 @@
 //!    [`EngineSnapshot::search_paged`], stores the page in the cache and
 //!    completes the caller's [`JobHandle`].
 //!
-//! Concurrent misses on the same key may compute the page more than once
-//! (last write wins); the result is identical by construction, so this
-//! trades a little duplicate work for not holding any lock across the
-//! pipeline.
+//! Concurrent misses on one key are **coalesced**: the first miss enqueues
+//! the job and registers it in a pending-jobs map; every further submission
+//! of the same key while that job is in flight just attaches a waiter to the
+//! pending entry instead of enqueuing a duplicate, so N concurrent identical
+//! cold queries execute the pipeline exactly once.  The cache probe, the
+//! pending check and the completion hand-off happen under one lock, which is
+//! never held across the pipeline itself.
 //!
 //! Shutdown is graceful: dropping the service stops intake, lets the workers
-//! drain every queued job, then joins them.
+//! drain every queued job (resolving their coalesced waiters), then joins
+//! them.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
@@ -183,6 +187,28 @@ struct QueueState {
     shutdown: bool,
 }
 
+/// One submission waiting on another submission's in-flight computation.
+struct Waiter {
+    submitted: Instant,
+    tx: mpsc::Sender<JobResult>,
+}
+
+/// The cache and the pending-jobs map live under ONE mutex so that
+/// probe-then-register is atomic: between a cache miss and the pending
+/// registration no completion can slip through unobserved.
+struct StoreState {
+    cache: LruCache<CacheKey, ResultPage>,
+    /// Keys with a job in flight (queued or executing), each with the
+    /// waiters coalesced onto it.  An entry is created by the submission
+    /// that enqueues the job and removed by the worker at completion (or by
+    /// the submitter itself when shutdown aborts the enqueue).
+    pending: HashMap<CacheKey, Vec<Waiter>>,
+    /// Full pipeline executions performed by the workers.
+    pipeline_executions: u64,
+    /// Submissions that attached to an in-flight job instead of enqueuing.
+    coalesced: u64,
+}
+
 struct Shared {
     engine: Arc<EngineSnapshot>,
     /// [`SodaConfig::fingerprint`](soda_core::SodaConfig::fingerprint) of the
@@ -194,7 +220,7 @@ struct Shared {
     not_empty: Condvar,
     not_full: Condvar,
     queue_capacity: usize,
-    cache: Mutex<LruCache<CacheKey, ResultPage>>,
+    store: Mutex<StoreState>,
     latency: Mutex<LatencyRecorder>,
     started: Instant,
 }
@@ -250,7 +276,12 @@ impl QueryService {
             not_empty: Condvar::new(),
             not_full: Condvar::new(),
             queue_capacity: config.queue_capacity.max(1),
-            cache: Mutex::new(LruCache::new(config.cache_capacity)),
+            store: Mutex::new(StoreState {
+                cache: LruCache::new(config.cache_capacity),
+                pending: HashMap::new(),
+                pipeline_executions: 0,
+                coalesced: 0,
+            }),
             latency: Mutex::new(LatencyRecorder::new()),
             started: Instant::now(),
         });
@@ -267,8 +298,9 @@ impl QueryService {
     }
 
     /// Submits one query.  Returns immediately with a resolved handle on a
-    /// cache hit or a parse error; otherwise enqueues the job, blocking while
-    /// the queue is at capacity (backpressure).
+    /// cache hit or a parse error; coalesces onto an identical in-flight job
+    /// when one exists; otherwise enqueues the job, blocking while the queue
+    /// is at capacity (backpressure).
     pub fn submit(&self, request: QueryRequest) -> JobHandle {
         let submitted = Instant::now();
         let normalized = match normalize_query(&request.input) {
@@ -282,18 +314,42 @@ impl QueryService {
             page_size: request.page_size.max(1),
         };
 
-        // Bind the probe result before touching the latency lock: an
-        // `if let` scrutinee would keep the cache guard alive through the
-        // body, and `metrics()` takes these locks in the opposite order.
-        let cached = self.shared.cache.lock().expect("cache poisoned").get(&key);
-        if let Some(page) = cached {
-            self.shared.record(submitted);
-            return JobHandle::ready(Ok(page));
+        // One critical section decides the submission's fate: cache hit,
+        // coalesce onto an in-flight job, or become the job that computes.
+        // Bind the outcome before touching the latency lock — holding the
+        // store guard while recording would nest locks that `metrics()`
+        // takes in another order.
+        enum Probe {
+            Hit(ResultPage),
+            Coalesced(mpsc::Receiver<JobResult>),
+            Compute,
+        }
+        let probe = {
+            let mut store = self.shared.store.lock().expect("store poisoned");
+            if let Some(page) = store.cache.get(&key) {
+                Probe::Hit(page)
+            } else if let Some(waiters) = store.pending.get_mut(&key) {
+                let (tx, rx) = mpsc::channel();
+                waiters.push(Waiter { submitted, tx });
+                store.coalesced += 1;
+                Probe::Coalesced(rx)
+            } else {
+                store.pending.insert(key.clone(), Vec::new());
+                Probe::Compute
+            }
+        };
+        match probe {
+            Probe::Hit(page) => {
+                self.shared.record(submitted);
+                return JobHandle::ready(Ok(page));
+            }
+            Probe::Coalesced(rx) => return JobHandle::pending(rx),
+            Probe::Compute => {}
         }
 
         let (tx, rx) = mpsc::channel();
         let job = Job {
-            key,
+            key: key.clone(),
             input: request.input,
             page: request.page,
             page_size: request.page_size,
@@ -305,6 +361,16 @@ impl QueryService {
             state = self.shared.not_full.wait(state).expect("queue poisoned");
         }
         if state.shutdown {
+            drop(state);
+            // The job will never run: withdraw the pending entry and resolve
+            // any waiters that coalesced onto it in the meantime.
+            let waiters = {
+                let mut store = self.shared.store.lock().expect("store poisoned");
+                store.pending.remove(&key).unwrap_or_default()
+            };
+            for waiter in waiters {
+                let _ = waiter.tx.send(Err(ServiceError::ShuttingDown));
+            }
             return JobHandle::ready(Err(ServiceError::ShuttingDown));
         }
         state.jobs.push_back(job);
@@ -325,8 +391,8 @@ impl QueryService {
 
     /// A point-in-time snapshot of the service's health.
     pub fn metrics(&self) -> ServiceMetrics {
-        // One lock at a time, never nested: submit() takes cache then
-        // latency, so holding latency while locking cache here would invert
+        // One lock at a time, never nested: submit() takes store then
+        // latency, so holding latency while locking store here would invert
         // the order and risk a deadlock.
         let (completed, latency) = {
             let recorder = self.shared.latency.lock().expect("latency poisoned");
@@ -338,14 +404,25 @@ impl QueryService {
         } else {
             0.0
         };
+        let (cache, pipeline_executions, coalesced) = {
+            let store = self.shared.store.lock().expect("store poisoned");
+            (
+                store.cache.stats(),
+                store.pipeline_executions,
+                store.coalesced,
+            )
+        };
         ServiceMetrics {
             uptime,
             completed,
             qps,
             latency,
-            cache: self.shared.cache.lock().expect("cache poisoned").stats(),
+            cache,
+            pipeline_executions,
+            coalesced,
             queue_depth: self.shared.queue.lock().expect("queue poisoned").jobs.len(),
             workers: self.workers.len(),
+            shards: self.shared.engine.shard_stats(),
         }
     }
 
@@ -353,7 +430,12 @@ impl QueryService {
     /// survive).  Used by benchmarks to measure the cold path and by
     /// operators after warehouse reloads.
     pub fn clear_cache(&self) {
-        self.shared.cache.lock().expect("cache poisoned").clear();
+        self.shared
+            .store
+            .lock()
+            .expect("store poisoned")
+            .cache
+            .clear();
     }
 
     /// Jobs currently waiting in the queue.
@@ -404,19 +486,52 @@ fn worker_loop(shared: &Shared) {
         };
         shared.not_full.notify_one();
 
+        // If the pipeline panics, the pending entry must not leak: this
+        // guard removes it and drops the coalesced waiters' senders, so
+        // their `wait()` resolves with `Disconnected` (exactly what a worker
+        // panic produced before coalescing existed) and future submissions
+        // of the key recompute instead of attaching to a dead job.
+        struct PendingGuard<'a> {
+            shared: &'a Shared,
+            key: Option<CacheKey>,
+        }
+        impl Drop for PendingGuard<'_> {
+            fn drop(&mut self) {
+                if let Some(key) = self.key.take() {
+                    if let Ok(mut store) = self.shared.store.lock() {
+                        store.pending.remove(&key);
+                    }
+                }
+            }
+        }
+        let mut guard = PendingGuard {
+            shared,
+            key: Some(job.key.clone()),
+        };
         let outcome = shared
             .engine
-            .search_paged(&job.input, job.page, job.page_size);
-        if let Ok(page) = &outcome {
-            shared
-                .cache
-                .lock()
-                .expect("cache poisoned")
-                .insert(job.key.clone(), page.clone());
-        }
+            .search_paged(&job.input, job.page, job.page_size)
+            .map_err(ServiceError::Engine);
+        // Normal path: the completion hand-off below owns the cleanup.
+        guard.key = None;
+        // Publish the page and claim the coalesced waiters in one critical
+        // section, so no submission can slip between the cache insert and
+        // the pending-entry removal and end up waiting forever.
+        let waiters = {
+            let mut store = shared.store.lock().expect("store poisoned");
+            store.pipeline_executions += 1;
+            if let Ok(page) = &outcome {
+                store.cache.insert(job.key.clone(), page.clone());
+            }
+            store.pending.remove(&job.key).unwrap_or_default()
+        };
         shared.record(job.submitted);
-        // The caller may have dropped its handle; that is not an error.
-        let _ = job.tx.send(outcome.map_err(ServiceError::Engine));
+        for waiter in waiters {
+            shared.record(waiter.submitted);
+            // A waiter may have dropped its handle; that is not an error.
+            let _ = waiter.tx.send(outcome.clone());
+        }
+        let _ = job.tx.send(outcome);
     }
 }
 
@@ -597,6 +712,98 @@ mod tests {
             }
         });
         assert_eq!(service.metrics().completed, 8 * 3);
+    }
+
+    #[test]
+    fn concurrent_identical_cold_queries_execute_the_pipeline_once() {
+        let service = minibank_service(ServiceConfig {
+            workers: 1,
+            queue_capacity: 16,
+            cache_capacity: 16,
+        });
+        // Two distinct cold queries occupy the single worker so the identical
+        // submissions below all land while their key is still in flight.
+        let blockers = [
+            service.submit(QueryRequest::new("wealthy customers")),
+            service.submit(QueryRequest::new("customers Zurich")),
+        ];
+
+        const CLIENTS: usize = 8;
+        let query = "Sara Guttinger";
+        let pages: Vec<ResultPage> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..CLIENTS)
+                .map(|_| scope.spawn(|| service.submit(QueryRequest::new(query)).wait().unwrap()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for blocker in blockers {
+            blocker.wait().unwrap();
+        }
+
+        for page in &pages {
+            assert_eq!(page, &pages[0]);
+        }
+        let m = service.metrics();
+        // Two blockers plus exactly ONE execution for the identical batch —
+        // whether a client coalesced or arrived late enough for a cache hit.
+        assert_eq!(m.pipeline_executions, 3);
+        assert_eq!(
+            m.coalesced + m.cache.hits,
+            (CLIENTS - 1) as u64,
+            "every duplicate must be served without recomputation: {m:?}"
+        );
+        assert_eq!(m.completed, (CLIENTS + 2) as u64);
+    }
+
+    #[test]
+    fn coalesced_and_computing_submissions_get_equal_pages() {
+        // Force the coalescing path deterministically: the worker is busy
+        // with a blocker, so the second identical submission must attach to
+        // the first one's pending entry.
+        let service = minibank_service(ServiceConfig {
+            workers: 1,
+            queue_capacity: 4,
+            cache_capacity: 4,
+        });
+        let blocker = service.submit(QueryRequest::new("wealthy customers"));
+        let first = service.submit(QueryRequest::new("customers"));
+        let second = service.submit(QueryRequest::new("customers"));
+        let third = service.submit(QueryRequest::new("  CUSTOMERS  "));
+        assert_eq!(service.metrics().coalesced, 2);
+        let a = first.wait().unwrap();
+        let b = second.wait().unwrap();
+        let c = third.wait().unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a, c);
+        blocker.wait().unwrap();
+        assert_eq!(service.metrics().pipeline_executions, 2);
+    }
+
+    #[test]
+    fn metrics_report_shard_sizes_and_probes() {
+        let w = soda_warehouse::minibank::build(42);
+        let snapshot = EngineSnapshot::build(
+            Arc::new(w.database),
+            Arc::new(w.graph),
+            SodaConfig {
+                shards: 4,
+                ..SodaConfig::default()
+            },
+        );
+        let service = QueryService::start(Arc::new(snapshot), ServiceConfig::default());
+        let m = service.metrics();
+        assert_eq!(m.shards.shards, 4);
+        assert_eq!(m.shards.classification_phrases.len(), 4);
+        assert_eq!(m.shards.index_postings.len(), 4);
+        assert_eq!(m.shards.total_probes(), 0);
+        // A base-data query scans the shards holding its candidate postings.
+        service
+            .submit(QueryRequest::new("Sara Guttinger"))
+            .wait()
+            .unwrap();
+        let m = service.metrics();
+        assert_eq!(m.shards.probes.len(), 4);
+        assert!(m.shards.total_probes() > 0);
     }
 
     #[test]

@@ -50,10 +50,34 @@ const OPEN_END: Date = Date {
 /// Populates every core table.  `scale` multiplies the transactional row
 /// counts (orders, payments); dimension sizes stay fixed.
 pub fn populate(db: &mut Database, seed: u64, scale: f64) {
+    populate_scaled(db, seed, scale, 1.0);
+}
+
+/// Like [`populate`] but with independently scaled dimensions:
+/// `dimension_scale` multiplies the party-rooted row counts (individuals,
+/// organizations, and through them addresses, agreements, accounts and
+/// employments).  The engineered low-id distributions ("Sara", "Credit
+/// Suisse", …) are pinned to absolute ids and survive any scale ≥ 1.0 —
+/// smaller scales are for callers that don't rely on them.
+pub fn populate_scaled(db: &mut Database, seed: u64, scale: f64, dimension_scale: f64) {
     let mut gen = DataGen::new(seed);
     let scale = scale.max(0.01);
+    let dimension_scale = dimension_scale.max(0.1);
     let orders = ((NUM_TRADE_ORDERS as f64) * scale) as usize;
     let payments = ((NUM_MONEY_TXNS as f64) * scale) as usize;
+    let individuals = ((NUM_INDIVIDUALS as f64) * dimension_scale) as usize;
+    let organizations = ((NUM_ORGANIZATIONS as f64) * dimension_scale) as usize;
+    let employments = ((NUM_EMPLOYMENTS as f64) * dimension_scale) as usize;
+    // The fixed address-id offsets (current = party id, organization =
+    // 1_000 + party id, historised = 10_000 + party id) only stay disjoint
+    // while the party-id space fits below them; fail loudly instead of
+    // silently generating duplicate address ids.
+    assert!(
+        individuals + organizations < 9_000,
+        "dimension_scale {dimension_scale} exceeds the address-id headroom \
+         ({} parties >= 9000); keep it below ~23",
+        individuals + organizations
+    );
 
     // Currencies.
     for (code, name) in CURRENCIES {
@@ -62,7 +86,7 @@ pub fn populate(db: &mut Database, seed: u64, scale: f64) {
     }
 
     // Parties: individuals 1..=NUM_INDIVIDUALS, organizations after that.
-    for id in 1..=(NUM_INDIVIDUALS as i64) {
+    for id in 1..=(individuals as i64) {
         let open = gen.date(1990, 2010);
         db.insert(
             "party",
@@ -212,8 +236,8 @@ pub fn populate(db: &mut Database, seed: u64, scale: f64) {
         .expect("party_classification");
     }
 
-    for i in 0..NUM_ORGANIZATIONS {
-        let id = (NUM_INDIVIDUALS + 1 + i) as i64;
+    for i in 0..organizations {
+        let id = (individuals + 1 + i) as i64;
         let open = gen.date(1985, 2010);
         db.insert(
             "party",
@@ -283,7 +307,7 @@ pub fn populate(db: &mut Database, seed: u64, scale: f64) {
     }
 
     // Agreements: one per party, ids aligned with party ids.
-    let total_parties = (NUM_INDIVIDUALS + NUM_ORGANIZATIONS) as i64;
+    let total_parties = (individuals + organizations) as i64;
     for id in 1..=total_parties {
         let name = match id {
             1 => "Gold Savings Agreement",
@@ -409,15 +433,12 @@ pub fn populate(db: &mut Database, seed: u64, scale: f64) {
     }
 
     // Employment bridge between the inheritance siblings.
-    for _ in 0..NUM_EMPLOYMENTS {
+    for _ in 0..employments {
         db.insert(
             "associate_employment",
             vec![
-                Value::Int(gen.int(1, NUM_INDIVIDUALS as i64)),
-                Value::Int(gen.int(
-                    NUM_INDIVIDUALS as i64 + 1,
-                    (NUM_INDIVIDUALS + NUM_ORGANIZATIONS) as i64,
-                )),
+                Value::Int(gen.int(1, individuals as i64)),
+                Value::Int(gen.int(individuals as i64 + 1, (individuals + organizations) as i64)),
                 Value::from(if gen.chance(0.3) {
                     "board member"
                 } else {

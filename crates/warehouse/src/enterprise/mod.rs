@@ -56,7 +56,7 @@ pub fn build(seed: u64) -> Warehouse {
 /// Q2.1/Q2.2 at the share of current names.  Use
 /// [`build_with_historization`] for the annotated variant.
 pub fn build_with(config: EnterpriseConfig) -> Warehouse {
-    build_internal(config, false)
+    build_internal(config, false, 1.0)
 }
 
 /// Builds the enterprise warehouse *with* bi-temporal historization
@@ -66,10 +66,28 @@ pub fn build_with(config: EnterpriseConfig) -> Warehouse {
 /// historization join relationships become explicit join nodes and
 /// historization nodes describe the validity columns).
 pub fn build_with_historization(config: EnterpriseConfig) -> Warehouse {
-    build_internal(config, true)
+    build_internal(config, true, 1.0)
 }
 
-fn build_internal(config: EnterpriseConfig, annotate_historization: bool) -> Warehouse {
+/// Builds the enterprise warehouse with independently scaled *dimension*
+/// tables: `dimension_scale` multiplies the party-rooted row counts
+/// (individuals, organizations, and through them addresses, agreements,
+/// accounts and employments) on top of `config.data_scale`'s transactional
+/// scaling.  Schema and metadata graph are unchanged.
+///
+/// This exists for lookup-layer benchmarks: shared text values such as
+/// "Switzerland" or the currency codes then accumulate long postings lists
+/// spread over *many* tables, which is the shape the sharded inverted
+/// index's partition-parallel fan-out accelerates.
+pub fn build_with_dimensions(config: EnterpriseConfig, dimension_scale: f64) -> Warehouse {
+    build_internal(config, false, dimension_scale)
+}
+
+fn build_internal(
+    config: EnterpriseConfig,
+    annotate_historization: bool,
+    dimension_scale: f64,
+) -> Warehouse {
     let mut model = schema::core_model_annotated(annotate_historization);
     if config.padding {
         padding::pad_model(&mut model, PaddingTargets::default());
@@ -78,7 +96,12 @@ fn build_internal(config: EnterpriseConfig, annotate_historization: bool) -> War
     for schema in &model.physical {
         database.create_table(schema.clone()).expect("create table");
     }
-    data::populate(&mut database, config.seed, config.data_scale);
+    data::populate_scaled(
+        &mut database,
+        config.seed,
+        config.data_scale,
+        dimension_scale,
+    );
     let graph = build_graph(&model, &ontology::ontology(), &ontology::synonyms());
     Warehouse {
         database,
@@ -109,6 +132,30 @@ mod tests {
         assert_eq!(s.physical_tables, 472);
         assert_eq!(s.physical_columns, 3181);
         assert_eq!(w.database.table_count(), 472);
+    }
+
+    #[test]
+    fn dimension_scaling_multiplies_parties_and_keeps_pinned_rows() {
+        let config = EnterpriseConfig {
+            seed: 42,
+            padding: false,
+            data_scale: 0.05,
+        };
+        let base = build_with(config);
+        let big = build_with_dimensions(config, 3.0);
+        let rows = |w: &Warehouse, t: &str| w.database.table(t).unwrap().rows().len();
+        assert_eq!(rows(&big, "individual"), 3 * rows(&base, "individual"));
+        assert_eq!(rows(&big, "organization"), 3 * rows(&base, "organization"));
+        assert_eq!(rows(&big, "agreement_td"), 3 * rows(&base, "agreement_td"));
+        // The engineered distributions are pinned to absolute ids and must
+        // survive dimension scaling exactly.
+        for w in [&base, &big] {
+            let saras = w
+                .database
+                .run_sql("SELECT party_id FROM individual WHERE given_name = 'Sara'")
+                .unwrap();
+            assert_eq!(saras.row_count(), data::CURRENT_SARA);
+        }
     }
 
     #[test]

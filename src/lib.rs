@@ -58,7 +58,9 @@ pub use soda_warehouse as warehouse;
 
 /// Convenient glob-import surface for examples and downstream users.
 pub mod prelude {
-    pub use soda_core::{EngineSnapshot, FeedbackStore, SodaConfig, SodaEngine, SodaResult};
+    pub use soda_core::{
+        EngineSnapshot, FeedbackStore, ResultPage, ShardStats, SodaConfig, SodaEngine, SodaResult,
+    };
     pub use soda_explorer::SchemaBrowser;
     pub use soda_metagraph::{MetaGraph, Pattern, PatternRegistry};
     pub use soda_relation::{Database, ResultSet, Value};

@@ -184,6 +184,77 @@ fn different_configs_produce_independent_answers() {
     assert_ne!(a.results, b.results);
 }
 
+/// The cheap `queue_depth()` accessor mirrors the gauge in the full metrics
+/// snapshot without paying for latency/cache/shard aggregation.
+#[test]
+fn queue_depth_accessor_tracks_the_queue() {
+    let service = QueryService::start(
+        shared_snapshot(),
+        ServiceConfig {
+            workers: 1,
+            queue_capacity: 16,
+            cache_capacity: 16,
+        },
+    );
+    assert_eq!(service.queue_depth(), 0);
+    assert_eq!(service.metrics().queue_depth, 0);
+
+    // Distinct cold queries pile up behind the single worker; the accessor
+    // and the metrics gauge must agree while the queue drains.
+    let handles: Vec<_> = QUERIES
+        .iter()
+        .map(|q| service.submit(QueryRequest::new(*q)))
+        .collect();
+    // No further submissions happen, so depth only shrinks as the worker
+    // drains: the accessor sampled after the snapshot can never exceed it.
+    let snapshot_depth = service.metrics().queue_depth;
+    assert!(service.queue_depth() <= snapshot_depth);
+    for handle in handles {
+        handle.wait().expect("query serves");
+    }
+    assert_eq!(service.queue_depth(), 0);
+    assert_eq!(service.metrics().queue_depth, 0);
+}
+
+/// N concurrent identical cold queries execute the five-step pipeline once:
+/// the first miss computes, everyone else coalesces onto it (or hits the
+/// cache if it arrives after completion) — never a duplicate execution.
+#[test]
+fn concurrent_identical_cold_queries_are_coalesced() {
+    let service = QueryService::start(
+        shared_snapshot(),
+        ServiceConfig {
+            workers: 1,
+            queue_capacity: 32,
+            cache_capacity: 32,
+        },
+    );
+    // Occupy the single worker so the identical submissions below overlap
+    // with their key's in-flight window.
+    let blocker = service.submit(QueryRequest::new("financial instruments customers Zurich"));
+
+    const CLIENTS: usize = 12;
+    let query = "sum (amount) group by (transaction date)";
+    let pages: Vec<ResultPage> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|_| scope.spawn(|| service.submit(QueryRequest::new(query)).wait().unwrap()))
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    blocker.wait().expect("blocker serves");
+
+    for page in &pages {
+        assert_eq!(page, &pages[0], "coalesced clients must share one page");
+    }
+    let m = service.metrics();
+    assert_eq!(
+        m.pipeline_executions, 2,
+        "blocker + exactly one execution for {CLIENTS} identical queries: {m:?}"
+    );
+    assert_eq!(m.coalesced + m.cache.hits, (CLIENTS - 1) as u64);
+    assert_eq!(m.completed, (CLIENTS + 1) as u64);
+}
+
 /// The batch API returns results in request order and populates metrics.
 #[test]
 fn submit_batch_round_trips_a_mixed_workload() {
