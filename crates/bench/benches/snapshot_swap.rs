@@ -1,0 +1,135 @@
+//! Hot-snapshot-swap benchmarks on the enterprise warehouse.
+//!
+//! Three questions, one group:
+//!
+//! * `publish_full` — what a whole-warehouse reload costs (index rebuild +
+//!   atomic publish).  This is the price per-shard swapping avoids.
+//! * `rebuild_shard` — the per-shard path for a one-table data delta: only
+//!   the partition owning `individual` is rebuilt; everything else is
+//!   shared by `Arc` with the previous generation.
+//! * `probe_idle` vs `probe_during_rebuild` — the acceptance question: the
+//!   probe path of the *other* shards must not stall while a writer thread
+//!   rebuilds one partition in a loop.  The probed queries lean on tokens
+//!   whose postings live across the partitioned dimension tables, exactly
+//!   the `lookup_sharding` workload, so any writer-induced stall would show
+//!   directly in the reported per-iteration time.
+//!
+//! Read `probe_during_rebuild` through its **min**: readers never block on
+//! the writer (the handle's swap is a pointer store; unchanged shards are
+//! `Arc`-shared), so the minimum matches `probe_idle` — on a host with a
+//! single core the *mean* still rises because the writer competes for the
+//! CPU itself, which is scheduling, not stalling.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use soda_core::{EngineSnapshot, SnapshotHandle, SodaConfig};
+use soda_warehouse::enterprise::{self, data, EnterpriseConfig};
+
+const SHARDS: usize = 4;
+
+/// The `lookup_sharding` probe workload (minus the aggregates): probe-heavy
+/// tokens spread over several tables.
+const QUERIES: &[&str] = &[
+    "customers Switzerland",
+    "Meier",
+    "Keller Switzerland",
+    "CHF",
+];
+
+fn bench_snapshot_swap(c: &mut Criterion) {
+    let warehouse = enterprise::build_with_dimensions(
+        EnterpriseConfig {
+            seed: 42,
+            padding: false,
+            data_scale: 1.0,
+        },
+        4.0,
+    );
+    let config = SodaConfig {
+        shards: SHARDS,
+        ..SodaConfig::default()
+    };
+    let db = Arc::new(warehouse.database.clone());
+    let graph = Arc::new(warehouse.graph.clone());
+    let handle = Arc::new(SnapshotHandle::new(Arc::new(EngineSnapshot::build(
+        Arc::clone(&db),
+        Arc::clone(&graph),
+        config.clone(),
+    ))));
+    // The data delta a rebuild consumes: a fresh batch of onboarded
+    // customers appended to `party` and `individual`.
+    let delta = data::onboarding_delta(&warehouse.database, 7, 32);
+    let delta_db = Arc::new(delta.apply(&warehouse.database).expect("delta applies"));
+    let delta_tables = delta.changed_tables();
+
+    let mut group = c.benchmark_group("snapshot_swap");
+    group.sample_size(10);
+
+    group.bench_with_input(BenchmarkId::new("publish_full", SHARDS), &(), |b, ()| {
+        b.iter(|| {
+            let generation = handle.publish(EngineSnapshot::build(
+                Arc::clone(&db),
+                Arc::clone(&graph),
+                config.clone(),
+            ));
+            black_box(generation)
+        })
+    });
+
+    group.bench_with_input(BenchmarkId::new("rebuild_shard", SHARDS), &(), |b, ()| {
+        b.iter(|| black_box(handle.rebuild_shards(Arc::clone(&delta_db), &delta_tables)))
+    });
+
+    // Probe latency with the handle quiescent…
+    group.bench_with_input(BenchmarkId::new("probe_idle", SHARDS), &(), |b, ()| {
+        b.iter(|| {
+            let snapshot = handle.load();
+            let mut complexity = 0usize;
+            for query in QUERIES {
+                complexity += snapshot.lookup(query).expect("lookup runs").complexity();
+            }
+            black_box(complexity)
+        })
+    });
+
+    // …and with a writer thread continuously rebuilding one partition.  The
+    // probes pin whatever generation is current per iteration; the other
+    // shards' postings are Arc-shared across generations, so the scans must
+    // not degrade.
+    let stop = Arc::new(AtomicBool::new(false));
+    let writer = {
+        let handle = Arc::clone(&handle);
+        let delta_db = Arc::clone(&delta_db);
+        let delta_tables = delta_tables.clone();
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                handle.rebuild_shards(Arc::clone(&delta_db), &delta_tables);
+            }
+        })
+    };
+    group.bench_with_input(
+        BenchmarkId::new("probe_during_rebuild", SHARDS),
+        &(),
+        |b, ()| {
+            b.iter(|| {
+                let snapshot = handle.load();
+                let mut complexity = 0usize;
+                for query in QUERIES {
+                    complexity += snapshot.lookup(query).expect("lookup runs").complexity();
+                }
+                black_box(complexity)
+            })
+        },
+    );
+    stop.store(true, Ordering::Relaxed);
+    writer.join().expect("writer thread joins");
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_snapshot_swap);
+criterion_main!(benches);

@@ -1,0 +1,264 @@
+//! `bench_check` — diffs a `BENCH_*.json` estimates file (emitted by the
+//! vendored criterion harness via `SODA_BENCH_JSON`) against a checked-in
+//! baseline and fails on regressions.
+//!
+//! ```text
+//! bench_check <baseline.json> <current.json> [--threshold 0.25] [--normalize]
+//! ```
+//!
+//! A benchmark regresses when its current `min_ns` exceeds the baseline's
+//! `min_ns` by more than the threshold.  The *minimum* is compared because
+//! it is the most machine-noise-resistant estimate the stub harness produces
+//! (scheduler interference only ever makes samples slower).  Benchmarks
+//! present on only one side are reported but never fail the check, so adding
+//! or retiring benchmarks does not require lockstep baseline updates.
+//!
+//! `--normalize` makes the comparison machine-speed-invariant: every
+//! benchmark's current/baseline ratio is divided by the *median* ratio
+//! across the suite before the threshold applies.  A baseline recorded on
+//! different hardware then still catches the interesting signal — one
+//! benchmark regressing *relative to its peers* — while a uniformly slower
+//! (or faster) machine shifts every ratio equally and cancels out.  CI gates
+//! use this mode; refreshing baselines from a same-hardware CI artifact
+//! tightens the gate back to absolute.
+//!
+//! Exit code 0 = no regressions, 1 = at least one, 2 = usage/parse error.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+/// The fields bench_check consumes from one benchmark line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Estimate {
+    min_ns: u128,
+    mean_ns: u128,
+}
+
+/// Extracts `"key": <integer>` from a JSON object line.
+fn field_u128(line: &str, key: &str) -> Option<u128> {
+    let marker = format!("\"{key}\":");
+    let rest = &line[line.find(&marker)? + marker.len()..];
+    let digits: String = rest
+        .trim_start()
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect();
+    digits.parse().ok()
+}
+
+/// Extracts `"name": "<value>"` from a JSON object line.
+fn field_str(line: &str) -> Option<String> {
+    let marker = "\"name\": \"";
+    let rest = &line[line.find(marker)? + marker.len()..];
+    Some(rest[..rest.find('"')?].to_string())
+}
+
+/// Parses the one-benchmark-per-line JSON the vendored criterion emits.
+fn parse(content: &str) -> BTreeMap<String, Estimate> {
+    let mut out = BTreeMap::new();
+    for line in content.lines() {
+        let Some(name) = field_str(line) else {
+            continue;
+        };
+        let (Some(min_ns), Some(mean_ns)) =
+            (field_u128(line, "min_ns"), field_u128(line, "mean_ns"))
+        else {
+            continue;
+        };
+        out.insert(name, Estimate { min_ns, mean_ns });
+    }
+    out
+}
+
+/// Median of the current/baseline min ratios over the shared benchmarks —
+/// the machine-speed factor `--normalize` divides out.  1.0 when fewer than
+/// two benchmarks are shared (nothing to normalise against).
+fn speed_scale(baseline: &BTreeMap<String, Estimate>, current: &BTreeMap<String, Estimate>) -> f64 {
+    let mut ratios: Vec<f64> = current
+        .iter()
+        .filter_map(|(name, cur)| {
+            baseline
+                .get(name)
+                .map(|base| cur.min_ns as f64 / base.min_ns.max(1) as f64)
+        })
+        .collect();
+    if ratios.len() < 2 {
+        return 1.0;
+    }
+    ratios.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let mid = ratios.len() / 2;
+    if ratios.len().is_multiple_of(2) {
+        (ratios[mid - 1] + ratios[mid]) / 2.0
+    } else {
+        ratios[mid]
+    }
+}
+
+fn run(
+    baseline_path: &str,
+    current_path: &str,
+    threshold: f64,
+    normalize: bool,
+) -> Result<bool, String> {
+    let read =
+        |path: &str| std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"));
+    let baseline = parse(&read(baseline_path)?);
+    let current = parse(&read(current_path)?);
+    if current.is_empty() {
+        return Err(format!("{current_path} contains no benchmark estimates"));
+    }
+    let scale = if normalize {
+        let scale = speed_scale(&baseline, &current);
+        println!("  machine-speed scale (median ratio): {scale:.2}x — dividing it out");
+        scale
+    } else {
+        1.0
+    };
+
+    let mut regressions = 0usize;
+    for (name, cur) in &current {
+        match baseline.get(name) {
+            None => println!("  NEW      {name}: min {} ns (no baseline)", cur.min_ns),
+            Some(base) => {
+                let limit = (base.min_ns as f64) * scale * (1.0 + threshold);
+                let ratio = cur.min_ns as f64 / (base.min_ns.max(1) as f64 * scale);
+                if (cur.min_ns as f64) > limit {
+                    regressions += 1;
+                    println!(
+                        "  REGRESS  {name}: min {} ns vs baseline {} ns ({ratio:.2}x > {:.2}x allowed)",
+                        cur.min_ns,
+                        base.min_ns,
+                        1.0 + threshold
+                    );
+                } else {
+                    println!(
+                        "  OK       {name}: min {} ns vs baseline {} ns ({ratio:.2}x)",
+                        cur.min_ns, base.min_ns
+                    );
+                }
+            }
+        }
+    }
+    for name in baseline.keys() {
+        if !current.contains_key(name) {
+            println!("  RETIRED  {name}: in baseline but not in this run");
+        }
+    }
+    if regressions > 0 {
+        println!(
+            "{regressions} benchmark(s) regressed by more than {threshold:.0}%",
+            threshold = threshold * 100.0
+        );
+    } else {
+        println!("no regressions beyond {:.0}%", threshold * 100.0);
+    }
+    Ok(regressions == 0)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths = Vec::new();
+    let mut threshold = 0.25f64;
+    let mut normalize = false;
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--threshold" {
+            let Some(value) = args.get(i + 1).and_then(|v| v.parse().ok()) else {
+                eprintln!("--threshold needs a numeric argument");
+                return ExitCode::from(2);
+            };
+            threshold = value;
+            i += 2;
+        } else if args[i] == "--normalize" {
+            normalize = true;
+            i += 1;
+        } else {
+            paths.push(args[i].clone());
+            i += 1;
+        }
+    }
+    let [baseline, current] = paths.as_slice() else {
+        eprintln!(
+            "usage: bench_check <baseline.json> <current.json> [--threshold 0.25] [--normalize]"
+        );
+        return ExitCode::from(2);
+    };
+    match run(baseline, current, threshold, normalize) {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(e) => {
+            eprintln!("bench_check: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"{
+  "benchmarks": [
+    {"name": "g/fast/1", "mean_ns": 1200, "min_ns": 1000, "max_ns": 1500, "samples": 10, "iters": 3},
+    {"name": "g/slow/4", "mean_ns": 9000, "min_ns": 8000, "max_ns": 9900, "samples": 10, "iters": 1}
+  ]
+}
+"#;
+
+    #[test]
+    fn parses_the_emitted_shape() {
+        let parsed = parse(SAMPLE);
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed["g/fast/1"].min_ns, 1000);
+        assert_eq!(parsed["g/slow/4"].mean_ns, 9000);
+    }
+
+    #[test]
+    fn normalization_divides_out_a_uniform_machine_factor() {
+        let base = parse(SAMPLE);
+        // A machine 3x slower across the board: every ratio is 3.0, the
+        // median scale is 3.0, and nothing should look like a regression.
+        let mut current = base.clone();
+        for est in current.values_mut() {
+            est.min_ns *= 3;
+        }
+        let scale = speed_scale(&base, &current);
+        assert!((scale - 3.0).abs() < 1e-9);
+        for (name, cur) in &current {
+            let limit = base[name].min_ns as f64 * scale * 1.25;
+            assert!((cur.min_ns as f64) <= limit, "{name} falsely regressed");
+        }
+        // One benchmark regressing 2x relative to its peers still trips the
+        // normalized gate.
+        current.get_mut("g/fast/1").unwrap().min_ns *= 2;
+        let scale = speed_scale(&base, &current);
+        let limit = base["g/fast/1"].min_ns as f64 * scale * 1.25;
+        assert!((current["g/fast/1"].min_ns as f64) > limit);
+    }
+
+    #[test]
+    fn fewer_than_two_shared_benchmarks_fall_back_to_absolute() {
+        let base = parse(SAMPLE);
+        let mut only_one = BTreeMap::new();
+        only_one.insert("g/fast/1".to_string(), base["g/fast/1"].clone());
+        assert_eq!(speed_scale(&base, &only_one), 1.0);
+    }
+
+    #[test]
+    fn threshold_separates_ok_from_regression() {
+        let base = parse(SAMPLE);
+        // 1249 is within 25% of 1000?  No — 1.25x limit means 1250 is the
+        // edge; 1249 passes, 1251 fails.
+        let ok = Estimate {
+            min_ns: 1249,
+            mean_ns: 0,
+        };
+        let bad = Estimate {
+            min_ns: 1251,
+            mean_ns: 0,
+        };
+        let limit = (base["g/fast/1"].min_ns as f64) * 1.25;
+        assert!((ok.min_ns as f64) <= limit);
+        assert!((bad.min_ns as f64) > limit);
+    }
+}

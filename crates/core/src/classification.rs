@@ -18,8 +18,15 @@
 //! exact order the monolithic build produces: results are byte-identical for
 //! any shard count.  [`ClassificationIndex::build`] is the classic 1-shard
 //! case.
+//!
+//! Each shard sits behind an [`Arc`]: a metadata refresh rebuilds the index
+//! ([`rebuild_shared`](ClassificationIndex::rebuild_shared)) but shares every
+//! partition whose content did not change with the previous build, so a hot
+//! snapshot swap only replaces (and only re-ages the cache entries of) the
+//! partitions the refresh actually touched.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use soda_metagraph::{MetaGraph, NodeId};
 use soda_relation::index::tokenizer::normalize_phrase;
@@ -36,16 +43,21 @@ pub struct ClassificationEntry {
     pub provenance: Provenance,
 }
 
-/// The classification index, partitioned by stable phrase hash.
+/// One partition of the classification index.
+type ClassificationShard = HashMap<String, Vec<ClassificationEntry>>;
+
+/// The classification index, partitioned by stable phrase hash.  Cloning is
+/// cheap (per-shard [`Arc`]s), which is what lets derived engine snapshots
+/// share the metadata lookup tables across generations.
 #[derive(Debug, Clone)]
 pub struct ClassificationIndex {
-    shards: Vec<HashMap<String, Vec<ClassificationEntry>>>,
+    shards: Vec<Arc<ClassificationShard>>,
 }
 
 impl Default for ClassificationIndex {
     fn default() -> Self {
         Self {
-            shards: vec![HashMap::new()],
+            shards: vec![Arc::new(HashMap::new())],
         }
     }
 }
@@ -63,8 +75,7 @@ impl ClassificationIndex {
     /// least 1) by the stable hash of the normalised phrase.
     pub fn build_sharded(graph: &MetaGraph, include_dbpedia: bool, shard_count: usize) -> Self {
         let shard_count = shard_count.max(1);
-        let mut shards: Vec<HashMap<String, Vec<ClassificationEntry>>> =
-            vec![HashMap::new(); shard_count];
+        let mut shards: Vec<ClassificationShard> = vec![HashMap::new(); shard_count];
         for (label, holders) in graph.all_labels() {
             let key = normalize_phrase(label);
             if key.is_empty() {
@@ -88,7 +99,38 @@ impl ClassificationIndex {
                 }
             }
         }
-        Self { shards }
+        Self {
+            shards: shards.into_iter().map(Arc::new).collect(),
+        }
+    }
+
+    /// Rebuilds the index from a (possibly changed) metadata graph, sharing
+    /// every partition whose content is identical to this one's with it by
+    /// [`Arc`].  Returns the new index plus a per-shard `changed` vector —
+    /// the hot-swap layer bumps exactly the changed partitions' generations.
+    ///
+    /// Equality is by content (phrase → entry list), so a graph rebuild that
+    /// reproduces the same labels and node ids shares everything, while a
+    /// refresh that renumbers nodes swaps every shard — correct either way,
+    /// just less sharing.
+    pub fn rebuild_shared(&self, graph: &MetaGraph, include_dbpedia: bool) -> (Self, Vec<bool>) {
+        let fresh = Self::build_sharded(graph, include_dbpedia, self.shards.len());
+        let mut changed = vec![false; self.shards.len()];
+        let shards = fresh
+            .shards
+            .into_iter()
+            .zip(&self.shards)
+            .enumerate()
+            .map(|(i, (new, old))| {
+                if *new == **old {
+                    Arc::clone(old)
+                } else {
+                    changed[i] = true;
+                    new
+                }
+            })
+            .collect();
+        (Self { shards }, changed)
     }
 
     /// Number of shards.
@@ -98,7 +140,16 @@ impl ClassificationIndex {
 
     /// Number of distinct phrases per shard, in partition order.
     pub fn shard_sizes(&self) -> Vec<usize> {
-        self.shards.iter().map(HashMap::len).collect()
+        self.shards.iter().map(|s| s.len()).collect()
+    }
+
+    /// True when partition `i` of both indexes is the same shared allocation
+    /// (used by tests and diagnostics to observe cross-generation sharing).
+    pub fn shares_shard_with(&self, other: &Self, i: usize) -> bool {
+        match (self.shards.get(i), other.shards.get(i)) {
+            (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+            _ => false,
+        }
     }
 
     /// Looks up a phrase (normalised internally), routing directly to the
@@ -126,12 +177,12 @@ impl ClassificationIndex {
 
     /// Number of distinct phrases.
     pub fn len(&self) -> usize {
-        self.shards.iter().map(HashMap::len).sum()
+        self.shards.iter().map(|s| s.len()).sum()
     }
 
     /// True if the index is empty.
     pub fn is_empty(&self) -> bool {
-        self.shards.iter().all(HashMap::is_empty)
+        self.shards.iter().all(|s| s.is_empty())
     }
 }
 
@@ -190,6 +241,52 @@ mod tests {
         let idx = ClassificationIndex::build(&g, true);
         assert!(idx.lookup("does not exist").is_empty());
         assert!(!idx.is_empty());
+    }
+
+    #[test]
+    fn rebuild_shared_reuses_unchanged_partitions() {
+        let g = graph();
+        let idx = ClassificationIndex::build_sharded(&g, true, 4);
+
+        // Same graph: every partition is shared, nothing is marked changed.
+        let (same, changed) = idx.rebuild_shared(&g, true);
+        assert_eq!(changed, vec![false; 4]);
+        for i in 0..4 {
+            assert!(same.shares_shard_with(&idx, i), "shard {i} must be shared");
+        }
+
+        // Extend the graph with one new label: only the partitions whose
+        // phrase set actually changed are replaced.
+        let mut b = GraphBuilder::new();
+        let t = b.physical_table("phys/trade_order_td", "trade order td");
+        b.text(t, "tablename", "trade_order_td");
+        b.physical_column(t, "phys/trade_order_td/amount", "amount");
+        let onto = b.ontology_concept("onto/customers", "customers");
+        b.text(onto, "name", "clients");
+        let concept = b.named_node("concept/parties", types::CONCEPTUAL_ENTITY, "parties");
+        b.dbpedia_synonym("dbpedia/client", "client", concept);
+        b.text(onto, "name", "patrons"); // the refresh: one extra synonym
+        let g2 = b.build();
+
+        let (refreshed, changed) = idx.rebuild_shared(&g2, true);
+        assert!(refreshed.contains("patrons"));
+        let fresh = ClassificationIndex::build_sharded(&g2, true, 4);
+        for phrase in ["patrons", "clients", "customers", "amount"] {
+            assert_eq!(refreshed.lookup(phrase), fresh.lookup(phrase));
+        }
+        let touched: Vec<usize> = changed
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &c)| c.then_some(i))
+            .collect();
+        assert!(!touched.is_empty());
+        for (i, &was_changed) in changed.iter().enumerate() {
+            assert_eq!(
+                refreshed.shares_shard_with(&idx, i),
+                !was_changed,
+                "sharing must be the complement of the changed vector (shard {i})"
+            );
+        }
     }
 
     #[test]

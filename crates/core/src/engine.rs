@@ -22,7 +22,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use soda_metagraph::MetaGraph;
-use soda_relation::{print_select, Database, IndexShard, ResultSet, ShardedInvertedIndex};
+use soda_relation::{print_select, Database, ResultSet, ShardedInvertedIndex};
 
 use crate::classification::ClassificationIndex;
 use crate::config::SodaConfig;
@@ -48,13 +48,20 @@ use crate::suggest::{suggest_for_term, TermSuggestion};
 /// (classification by phrase, inverted index by owning table); the lookup
 /// step fans base-data probes out across the inverted-index shards and bumps
 /// the per-shard [`ShardProbes`] counters.
+///
+/// Everything expensive sits behind [`Arc`]s (the index shards internally,
+/// the join catalog and the probe counters here), so the hot-swap derive
+/// paths ([`derive_with_rebuilt_tables`](Self::derive_with_rebuilt_tables),
+/// [`derive_with_refreshed_graph`](Self::derive_with_refreshed_graph)) build
+/// a next-generation core that shares every untouched structure with its
+/// parent instead of copying it.
 pub(crate) struct EngineCore {
     config: SodaConfig,
     patterns: SodaPatterns,
     classification: ClassificationIndex,
     index: Option<ShardedInvertedIndex>,
-    joins: JoinCatalog,
-    probes: ShardProbes,
+    joins: Arc<JoinCatalog>,
+    probes: Arc<ShardProbes>,
     /// Per-shard index sizes, computed once at build: the indexes are
     /// immutable afterwards, and recounting postings on every metrics poll
     /// would be O(distinct tokens).
@@ -66,6 +73,23 @@ struct ShardSizes {
     classification_phrases: Vec<usize>,
     index_tokens: Vec<usize>,
     index_postings: Vec<usize>,
+}
+
+impl ShardSizes {
+    fn of(classification: &ClassificationIndex, index: Option<&ShardedInvertedIndex>) -> Self {
+        let (index_tokens, index_postings) = match index {
+            Some(index) => (
+                index.shards().iter().map(|s| s.token_count()).collect(),
+                index.shards().iter().map(|s| s.posting_count()).collect(),
+            ),
+            None => (Vec::new(), Vec::new()),
+        };
+        Self {
+            classification_phrases: classification.shard_sizes(),
+            index_tokens,
+            index_postings,
+        }
+    }
 }
 
 impl EngineCore {
@@ -84,32 +108,88 @@ impl EngineCore {
         } else {
             None
         };
-        let joins = JoinCatalog::build(graph, &patterns, db);
-        let (index_tokens, index_postings) = match &index {
-            Some(index) => (
-                index.shards().iter().map(IndexShard::token_count).collect(),
-                index
-                    .shards()
-                    .iter()
-                    .map(IndexShard::posting_count)
-                    .collect(),
-            ),
-            None => (Vec::new(), Vec::new()),
-        };
-        let sizes = ShardSizes {
-            classification_phrases: classification.shard_sizes(),
-            index_tokens,
-            index_postings,
-        };
+        let joins = Arc::new(JoinCatalog::build(graph, &patterns, db));
+        let sizes = ShardSizes::of(&classification, index.as_ref());
         Self {
             config,
             patterns,
             classification,
             index,
             joins,
-            probes: ShardProbes::new(shards),
+            probes: Arc::new(ShardProbes::new(shards)),
             sizes,
         }
+    }
+
+    /// Derives a next-generation core for a database in which only `tables`
+    /// changed: the inverted-index partitions owning those tables are rebuilt
+    /// from `db`, everything else (classification, join catalog, probe
+    /// counters, the untouched index partitions) is shared with `self`.
+    /// Returns the derived core plus the rebuilt partition indexes, sorted.
+    ///
+    /// The join catalog reads the database only to resolve schema-level
+    /// names, so a data-only delta cannot change it — which is what makes
+    /// sharing it here sound.
+    pub(crate) fn derive_with_rebuilt_tables(
+        &self,
+        db: &Database,
+        tables: &[String],
+    ) -> (Self, Vec<usize>) {
+        let shard_count = self.config.shards.max(1);
+        let mut affected: Vec<usize> = tables
+            .iter()
+            .map(|t| soda_relation::shard_for_table(t, shard_count))
+            .collect();
+        affected.sort_unstable();
+        affected.dedup();
+        let index = self
+            .index
+            .as_ref()
+            .map(|index| index.with_rebuilt_shards(db, &affected));
+        let sizes = ShardSizes::of(&self.classification, index.as_ref());
+        (
+            Self {
+                config: self.config.clone(),
+                patterns: self.patterns.clone(),
+                classification: self.classification.clone(),
+                index,
+                joins: Arc::clone(&self.joins),
+                probes: Arc::clone(&self.probes),
+                sizes,
+            },
+            affected,
+        )
+    }
+
+    /// Derives a next-generation core for a refreshed metadata graph over an
+    /// unchanged database: the classification index is rebuilt but shares
+    /// every partition whose content survived the refresh
+    /// ([`ClassificationIndex::rebuild_shared`]), the join catalog is rebuilt
+    /// (it is graph-derived), and the inverted index and probe counters are
+    /// shared.  Returns the derived core plus the per-partition `changed`
+    /// vector of the classification rebuild.
+    pub(crate) fn derive_with_refreshed_graph(
+        &self,
+        db: &Database,
+        graph: &MetaGraph,
+    ) -> (Self, Vec<bool>) {
+        let (classification, changed) = self
+            .classification
+            .rebuild_shared(graph, self.config.use_dbpedia);
+        let joins = Arc::new(JoinCatalog::build(graph, &self.patterns, db));
+        let sizes = ShardSizes::of(&classification, self.index.as_ref());
+        (
+            Self {
+                config: self.config.clone(),
+                patterns: self.patterns.clone(),
+                classification,
+                index: self.index.clone(),
+                joins,
+                probes: Arc::clone(&self.probes),
+                sizes,
+            },
+            changed,
+        )
     }
 
     pub(crate) fn config(&self) -> &SodaConfig {
@@ -129,14 +209,18 @@ impl EngineCore {
     }
 
     /// Per-shard sizes of both indexes (precomputed at build) plus the live
-    /// probe counters — cheap enough for every metrics poll.
+    /// probe counters — cheap enough for every metrics poll.  The generation
+    /// vector is zeroed here; [`EngineSnapshot`](crate::EngineSnapshot)
+    /// overlays its own.
     pub(crate) fn shard_stats(&self) -> ShardStats {
+        let shards = self.config.shards.max(1);
         ShardStats {
-            shards: self.config.shards.max(1),
+            shards,
             classification_phrases: self.sizes.classification_phrases.clone(),
             index_tokens: self.sizes.index_tokens.clone(),
             index_postings: self.sizes.index_postings.clone(),
             probes: self.probes.counts(),
+            generations: vec![0; shards],
         }
     }
 

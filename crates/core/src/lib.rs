@@ -36,6 +36,7 @@ pub mod config;
 pub mod engine;
 pub mod error;
 pub mod feedback;
+pub mod handle;
 pub mod joins;
 pub mod patterns;
 pub mod pipeline;
@@ -52,6 +53,7 @@ pub use config::{RankingWeights, SodaConfig};
 pub use engine::SodaEngine;
 pub use error::{Result, SodaError};
 pub use feedback::FeedbackStore;
+pub use handle::SnapshotHandle;
 pub use joins::{BridgeTable, HistorizationLink, InheritanceLink, JoinCatalog, JoinEdge};
 pub use patterns::SodaPatterns;
 pub use pipeline::lookup::LookupResult;
@@ -61,3 +63,9 @@ pub use result::{Interpretation, QueryTrace, ResultPage, SodaResult, StepTimings
 pub use shard::{ShardProbes, ShardStats};
 pub use snapshot::EngineSnapshot;
 pub use suggest::TermSuggestion;
+
+// Re-exported so hot-swap callers (the serving layer hands new databases and
+// metadata graphs to `SnapshotHandle`) need no direct dependency on the
+// lower crates.
+pub use soda_metagraph::MetaGraph;
+pub use soda_relation::{Database, Value};

@@ -71,8 +71,14 @@ pub struct ShardStats {
     pub index_tokens: Vec<usize>,
     /// Inverted-index postings per shard (empty when disabled).
     pub index_postings: Vec<usize>,
-    /// Base-data probes served per shard since the engine was built.
+    /// Base-data probes served per shard since the engine was built.  Probe
+    /// counters are shared across derived snapshot generations (a per-shard
+    /// rebuild does not reset the other shards' history).
     pub probes: Vec<u64>,
+    /// Snapshot generation that last rebuilt each lookup-layer partition
+    /// (all zero for an engine that never went through a
+    /// [`SnapshotHandle`](crate::SnapshotHandle) swap).
+    pub generations: Vec<u64>,
 }
 
 impl ShardStats {
@@ -114,6 +120,7 @@ mod tests {
             index_tokens: vec![5, 7],
             index_postings: vec![100, 90],
             probes: vec![3, 4],
+            generations: vec![0, 1],
         };
         assert_eq!(stats.total_probes(), 7);
     }

@@ -55,10 +55,30 @@ use crate::suggest::TermSuggestion;
 /// query's lookup step fans its base-data probes out across them;
 /// [`shard_stats`](Self::shard_stats) reports the per-shard sizes and probe
 /// counts the serving layer folds into its metrics.
+///
+/// ## Generations
+///
+/// Every snapshot carries a [`generation`](Self::generation) counter and a
+/// per-shard generation vector, stamped by the
+/// [`SnapshotHandle`](crate::SnapshotHandle) that publishes it (both stay `0`
+/// for snapshots that never go through a handle).  A freshly published full
+/// snapshot carries its generation in every slot; a per-shard rebuild bumps
+/// only the rebuilt partitions' slots — the vector records *which*
+/// partitions each publication touched (surfaced through
+/// [`shard_stats`](Self::shard_stats)).  [`cache_fingerprint`](Self::cache_fingerprint)
+/// folds the configuration fingerprint together with the publication
+/// generation and the vector, so every publication retires the previous
+/// generation's cached pages wholesale; per-page retention across a swap
+/// (keeping pages whose probes never touched a rebuilt partition) is a
+/// recorded follow-on.
 pub struct EngineSnapshot {
     db: Arc<Database>,
     graph: Arc<MetaGraph>,
     core: EngineCore,
+    /// Generation stamped at publication (0 = never published via a handle).
+    generation: u64,
+    /// Generation that last rebuilt each lookup-layer partition.
+    shard_generations: Vec<u64>,
 }
 
 impl EngineSnapshot {
@@ -75,14 +95,112 @@ impl EngineSnapshot {
         patterns: SodaPatterns,
     ) -> Self {
         let core = EngineCore::build(&db, &graph, config, patterns);
-        Self { db, graph, core }
+        Self::from_parts(db, graph, core)
     }
 
     /// Assembles a snapshot from already-built engine state (used by
     /// [`SodaEngine::into_shared`](crate::SodaEngine::into_shared) to avoid
     /// rebuilding the indexes).
     pub(crate) fn from_parts(db: Arc<Database>, graph: Arc<MetaGraph>, core: EngineCore) -> Self {
-        Self { db, graph, core }
+        let shards = core.config().shards.max(1);
+        Self {
+            db,
+            graph,
+            core,
+            generation: 0,
+            shard_generations: vec![0; shards],
+        }
+    }
+
+    /// Stamps this snapshot as published at `generation` (every shard slot
+    /// included) — called by [`SnapshotHandle::publish`](crate::SnapshotHandle::publish).
+    pub(crate) fn stamped(mut self, generation: u64) -> Self {
+        self.generation = generation;
+        self.shard_generations = vec![generation; self.shard_generations.len()];
+        self
+    }
+
+    /// Derives a snapshot over `db` in which only `tables` changed: the
+    /// inverted-index partitions owning those tables are rebuilt from `db`
+    /// and stamped with `generation`; every other structure — classification
+    /// index, join catalog, probe counters, untouched index partitions — is
+    /// shared with `self`.
+    pub(crate) fn derive_rebuilt_tables(
+        &self,
+        db: Arc<Database>,
+        tables: &[String],
+        generation: u64,
+    ) -> Self {
+        let (core, affected) = self.core.derive_with_rebuilt_tables(&db, tables);
+        let mut shard_generations = self.shard_generations.clone();
+        for shard in affected {
+            if let Some(slot) = shard_generations.get_mut(shard) {
+                *slot = generation;
+            }
+        }
+        Self {
+            db,
+            graph: Arc::clone(&self.graph),
+            core,
+            generation,
+            shard_generations,
+        }
+    }
+
+    /// Derives a snapshot over a refreshed metadata graph (unchanged base
+    /// data): the classification index is rebuilt sharing every unchanged
+    /// partition, the join catalog is rebuilt, and only the classification
+    /// partitions the refresh touched get `generation` stamped into their
+    /// slot.
+    pub(crate) fn derive_refreshed_graph(&self, graph: Arc<MetaGraph>, generation: u64) -> Self {
+        let (core, changed) = self.core.derive_with_refreshed_graph(&self.db, &graph);
+        let mut shard_generations = self.shard_generations.clone();
+        for (slot, changed) in shard_generations.iter_mut().zip(&changed) {
+            if *changed {
+                *slot = generation;
+            }
+        }
+        Self {
+            db: Arc::clone(&self.db),
+            graph,
+            core,
+            generation,
+            shard_generations,
+        }
+    }
+
+    /// Generation stamped at publication (0 when the snapshot never went
+    /// through a [`SnapshotHandle`](crate::SnapshotHandle)).
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Generation that last rebuilt each lookup-layer partition.
+    pub fn shard_generations(&self) -> &[u64] {
+        &self.shard_generations
+    }
+
+    /// A stable fingerprint of everything that determines this snapshot's
+    /// answers *and* freshness: the configuration fingerprint folded with the
+    /// snapshot generation and the per-shard generation vector.  The serving
+    /// layer keys its interpretation cache by this, so pages computed against
+    /// a swapped-out generation can never be returned for a newer one — they
+    /// stop being addressable and the service purges them.
+    pub fn cache_fingerprint(&self) -> u64 {
+        // FNV-1a over the generation vector, seeded by the config
+        // fingerprint: cheap, stable, and sensitive to slot order.
+        let mut hash = self.config().fingerprint() ^ 0xcbf2_9ce4_8422_2325;
+        let mut mix = |v: u64| {
+            for byte in v.to_le_bytes() {
+                hash ^= u64::from(byte);
+                hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        mix(self.generation);
+        for &g in &self.shard_generations {
+            mix(g);
+        }
+        hash
     }
 
     /// The base data.
@@ -130,9 +248,12 @@ impl EngineSnapshot {
         self.config().shards.max(1)
     }
 
-    /// Per-shard sizes and probe counts of the lookup layer.
+    /// Per-shard sizes and probe counts of the lookup layer, with this
+    /// snapshot's per-shard generation vector overlaid.
     pub fn shard_stats(&self) -> ShardStats {
-        self.core.shard_stats()
+        let mut stats = self.core.shard_stats();
+        stats.generations = self.shard_generations.clone();
+        stats
     }
 
     /// Runs only Step 1 (lookup) for an input (see

@@ -24,6 +24,7 @@
 //! all-shard probe.
 
 use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::Arc;
 
 use super::tokenizer::tokenize;
 use crate::catalog::Database;
@@ -152,6 +153,48 @@ impl IndexShard {
             .unwrap_or(&[])
     }
 
+    /// Builds the single partition `shard_idx` of a `shard_count`-way sharded
+    /// index: only the tables whose stable hash routes to that partition are
+    /// scanned.  `build_sharded` produces exactly this shard at position
+    /// `shard_idx`, so a hot-swap layer can rebuild one partition from a new
+    /// [`Database`] and splice it in while the other shards keep serving.
+    pub fn build_partition(db: &Database, shard_idx: usize, shard_count: usize) -> Self {
+        let shard_count = shard_count.max(1);
+        let mut shard = IndexShard::default();
+        for table in db.tables() {
+            if shard_for_table(&table.schema().name, shard_count) == shard_idx {
+                shard.index_table(table);
+            }
+        }
+        shard
+    }
+
+    /// Indexes every text cell of one table into this shard.
+    fn index_table(&mut self, table: &crate::table::Table) {
+        let schema = table.schema();
+        for (col_idx, col) in schema.columns.iter().enumerate() {
+            if col.data_type != crate::value::DataType::Text {
+                continue;
+            }
+            self.indexed_columns += 1;
+            for (row_idx, row) in table.rows().iter().enumerate() {
+                if let Value::Text(text) = &row[col_idx] {
+                    self.indexed_cells += 1;
+                    let mut seen: HashSet<String> = HashSet::new();
+                    for token in tokenize(text) {
+                        if seen.insert(token.clone()) {
+                            self.postings.entry(token).or_default().push(Posting {
+                                table: schema.name.clone(),
+                                column: col.name.clone(),
+                                row: row_idx,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+
     /// Probes this shard for a prepared phrase: scans the probe token's local
     /// postings and verifies the full needle against each candidate cell.
     /// Returns one hit per distinct `(table, column, cell value)`, sorted by
@@ -196,9 +239,14 @@ pub fn merge_hits(per_shard: Vec<Vec<PhraseHit>>) -> Vec<PhraseHit> {
 }
 
 /// Inverted index over text columns of a [`Database`], partitioned by table.
+///
+/// Each partition sits behind an [`Arc`], so a derived index that rebuilds
+/// only some partitions (see [`with_rebuilt_shards`](Self::with_rebuilt_shards))
+/// shares the untouched ones with its parent instead of copying their
+/// postings — the structural basis of per-shard hot snapshot swapping.
 #[derive(Debug, Clone)]
 pub struct ShardedInvertedIndex {
-    shards: Vec<IndexShard>,
+    shards: Vec<Arc<IndexShard>>,
     /// Number of distinct tokens across all shards (a token whose postings
     /// span several tables can live in several shards).
     distinct_tokens: usize,
@@ -207,7 +255,7 @@ pub struct ShardedInvertedIndex {
 impl Default for ShardedInvertedIndex {
     fn default() -> Self {
         Self {
-            shards: vec![IndexShard::default()],
+            shards: vec![Arc::new(IndexShard::default())],
             distinct_tokens: 0,
         }
     }
@@ -226,30 +274,17 @@ impl ShardedInvertedIndex {
         let shard_count = shard_count.max(1);
         let mut shards = vec![IndexShard::default(); shard_count];
         for table in db.tables() {
-            let schema = table.schema();
-            let shard = &mut shards[shard_for_table(&schema.name, shard_count)];
-            for (col_idx, col) in schema.columns.iter().enumerate() {
-                if col.data_type != crate::value::DataType::Text {
-                    continue;
-                }
-                shard.indexed_columns += 1;
-                for (row_idx, row) in table.rows().iter().enumerate() {
-                    if let Value::Text(text) = &row[col_idx] {
-                        shard.indexed_cells += 1;
-                        let mut seen: HashSet<String> = HashSet::new();
-                        for token in tokenize(text) {
-                            if seen.insert(token.clone()) {
-                                shard.postings.entry(token).or_default().push(Posting {
-                                    table: schema.name.clone(),
-                                    column: col.name.clone(),
-                                    row: row_idx,
-                                });
-                            }
-                        }
-                    }
-                }
-            }
+            shards[shard_for_table(&table.schema().name, shard_count)].index_table(table);
         }
+        Self::from_shards(shards.into_iter().map(Arc::new).collect())
+    }
+
+    /// Assembles an index from already-built partitions, recounting the
+    /// distinct tokens.  The recount hashes every shard's vocabulary —
+    /// O(distinct tokens), which a per-shard rebuild pays once per swap; the
+    /// rebuilt partition's posting scan dominates it in practice, and the
+    /// count must span all shards anyway (tokens overlap across partitions).
+    fn from_shards(shards: Vec<Arc<IndexShard>>) -> Self {
         let distinct_tokens = {
             let mut tokens: HashSet<&str> = HashSet::new();
             for shard in &shards {
@@ -263,14 +298,40 @@ impl ShardedInvertedIndex {
         }
     }
 
+    /// Derives an index over `db` in which only the partitions named by
+    /// `affected` are rebuilt (from `db`, scanning just the tables they own);
+    /// every other partition is shared with `self` by [`Arc`].
+    ///
+    /// Sound only when the tables owned by the *unaffected* partitions are
+    /// unchanged between the database this index was built from and `db` —
+    /// their postings carry row indexes into those tables.  Out-of-range
+    /// entries in `affected` are ignored.
+    pub fn with_rebuilt_shards(&self, db: &Database, affected: &[usize]) -> Self {
+        let shard_count = self.shards.len();
+        let shards = self
+            .shards
+            .iter()
+            .enumerate()
+            .map(|(i, shard)| {
+                if affected.contains(&i) {
+                    Arc::new(IndexShard::build_partition(db, i, shard_count))
+                } else {
+                    Arc::clone(shard)
+                }
+            })
+            .collect();
+        Self::from_shards(shards)
+    }
+
     /// Number of shards.
     pub fn shard_count(&self) -> usize {
         self.shards.len()
     }
 
     /// The shards, in partition order.  The SODA lookup step fans a probe out
-    /// across these on scoped threads.
-    pub fn shards(&self) -> &[IndexShard] {
+    /// across these on scoped threads; the hot-swap layer clones individual
+    /// [`Arc`]s to share unchanged partitions across snapshot generations.
+    pub fn shards(&self) -> &[Arc<IndexShard>] {
         &self.shards
     }
 
@@ -281,17 +342,17 @@ impl ShardedInvertedIndex {
 
     /// Number of indexed text cells.
     pub fn indexed_cells(&self) -> usize {
-        self.shards.iter().map(IndexShard::indexed_cells).sum()
+        self.shards.iter().map(|s| s.indexed_cells()).sum()
     }
 
     /// Number of indexed text columns.
     pub fn indexed_columns(&self) -> usize {
-        self.shards.iter().map(IndexShard::indexed_columns).sum()
+        self.shards.iter().map(|s| s.indexed_columns()).sum()
     }
 
     /// Total number of postings.
     pub fn posting_count(&self) -> usize {
-        self.shards.iter().map(IndexShard::posting_count).sum()
+        self.shards.iter().map(|s| s.posting_count()).sum()
     }
 
     /// Total postings for a single token across all shards.
@@ -564,6 +625,59 @@ mod tests {
                 mono.columns_containing(&db, "Switzerland"),
                 idx.columns_containing(&db, "Switzerland")
             );
+        }
+    }
+
+    #[test]
+    fn build_partition_reproduces_the_sharded_build_shard_by_shard() {
+        let db = db();
+        for shards in [1usize, 2, 3, 8] {
+            let idx = InvertedIndex::build_sharded(&db, shards);
+            for (i, shard) in idx.shards().iter().enumerate() {
+                let rebuilt = IndexShard::build_partition(&db, i, shards);
+                assert_eq!(rebuilt.postings, shard.postings, "shard {i}/{shards}");
+                assert_eq!(rebuilt.indexed_cells(), shard.indexed_cells());
+                assert_eq!(rebuilt.indexed_columns(), shard.indexed_columns());
+            }
+        }
+    }
+
+    #[test]
+    fn with_rebuilt_shards_shares_untouched_partitions_and_tracks_changes() {
+        let mut db = db();
+        let shards = 4;
+        let before = InvertedIndex::build_sharded(&db, shards);
+        // Mutate one table, then rebuild only its owning partition.
+        let owner = shard_for_table("address", shards);
+        db.insert(
+            "address",
+            vec![Value::Int(13), Value::from("Basel"), Value::Int(4001)],
+        )
+        .unwrap();
+        let after = before.with_rebuilt_shards(&db, &[owner]);
+        // The derived index answers exactly like a fresh full build.
+        let fresh = InvertedIndex::build_sharded(&db, shards);
+        for phrase in ["Basel", "Zurich", "Credit Suisse", "Switzerland"] {
+            assert_eq!(
+                after.lookup_phrase(&db, phrase),
+                fresh.lookup_phrase(&db, phrase),
+                "phrase '{phrase}'"
+            );
+        }
+        assert_eq!(after.posting_count(), fresh.posting_count());
+        assert_eq!(after.token_count(), fresh.token_count());
+        // Untouched partitions are shared, not copied; the rebuilt one is new.
+        for (i, (old, new)) in before.shards().iter().zip(after.shards()).enumerate() {
+            if i == owner {
+                assert!(!Arc::ptr_eq(old, new), "owner shard must be rebuilt");
+            } else {
+                assert!(Arc::ptr_eq(old, new), "shard {i} must be shared");
+            }
+        }
+        // Out-of-range indexes are ignored.
+        let noop = after.with_rebuilt_shards(&db, &[99]);
+        for (old, new) in after.shards().iter().zip(noop.shards()) {
+            assert!(Arc::ptr_eq(old, new));
         }
     }
 

@@ -81,6 +81,12 @@ impl Table {
         Ok(n)
     }
 
+    /// Removes every row, keeping the schema.  Used by the warehouse delta
+    /// layer to implement full-table replacement.
+    pub fn truncate(&mut self) {
+        self.rows.clear();
+    }
+
     /// Value of `column` in row `row_index`.
     pub fn value(&self, row_index: usize, column: &str) -> Option<&Value> {
         let col = self.schema.column_index(column)?;

@@ -24,6 +24,10 @@ pub struct CacheStats {
     pub misses: u64,
     /// Entries removed to make room for newer ones.
     pub evictions: u64,
+    /// Entries proactively dropped because their snapshot generation was
+    /// swapped out (see [`LruCache::retain`]); distinct from capacity
+    /// evictions.
+    pub purged: u64,
     /// Entries currently resident.
     pub len: usize,
     /// Maximum number of resident entries.
@@ -58,6 +62,7 @@ pub struct LruCache<K, V> {
     hits: u64,
     misses: u64,
     evictions: u64,
+    purged: u64,
 }
 
 impl<K: Eq + Hash + Clone, V: Clone> LruCache<K, V> {
@@ -71,6 +76,7 @@ impl<K: Eq + Hash + Clone, V: Clone> LruCache<K, V> {
             hits: 0,
             misses: 0,
             evictions: 0,
+            purged: 0,
         }
     }
 
@@ -128,6 +134,27 @@ impl<K: Eq + Hash + Clone, V: Clone> LruCache<K, V> {
         self.recency.clear();
     }
 
+    /// Drops every entry whose key fails the predicate, returning how many
+    /// were removed (also accumulated in [`CacheStats::purged`]).  The
+    /// serving layer calls this after a snapshot swap with "does this key
+    /// carry the live fingerprint?" so superseded generations free their
+    /// slots immediately instead of aging out of the LRU.
+    pub fn retain<F: FnMut(&K) -> bool>(&mut self, mut keep: F) -> usize {
+        let mut dropped_stamps = Vec::new();
+        self.map.retain(|key, slot| {
+            let keep = keep(key);
+            if !keep {
+                dropped_stamps.push(slot.stamp);
+            }
+            keep
+        });
+        for stamp in &dropped_stamps {
+            self.recency.remove(stamp);
+        }
+        self.purged += dropped_stamps.len() as u64;
+        dropped_stamps.len()
+    }
+
     /// Number of resident entries.
     pub fn len(&self) -> usize {
         self.map.len()
@@ -149,6 +176,7 @@ impl<K: Eq + Hash + Clone, V: Clone> LruCache<K, V> {
             hits: self.hits,
             misses: self.misses,
             evictions: self.evictions,
+            purged: self.purged,
             len: self.map.len(),
             capacity: self.capacity,
         }
@@ -157,16 +185,20 @@ impl<K: Eq + Hash + Clone, V: Clone> LruCache<K, V> {
 
 /// The key under which a served result page is cached.
 ///
-/// `normalized` is the canonical query text; `config_fingerprint` is
-/// [`soda_core::SodaConfig::fingerprint`], so result pages computed under
-/// different engine configurations never collide; page coordinates
-/// distinguish the pages of one result list.
+/// `normalized` is the canonical query text; `snapshot_fingerprint` is
+/// [`soda_core::EngineSnapshot::cache_fingerprint`] — the engine
+/// configuration fingerprint folded with the snapshot's generation vector —
+/// so result pages computed under different configurations *or different
+/// snapshot generations* never collide; page coordinates distinguish the
+/// pages of one result list.  Folding the generations in is what makes hot
+/// snapshot swaps safe: a page computed against a swapped-out generation is
+/// simply no longer addressable.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct CacheKey {
     /// Canonical query text ([`soda_core::normalize_query`]).
     pub normalized: String,
-    /// Engine-configuration fingerprint.
-    pub config_fingerprint: u64,
+    /// Snapshot fingerprint (configuration ⊕ generation vector).
+    pub snapshot_fingerprint: u64,
     /// Zero-based page index.
     pub page: usize,
     /// Requested page size.
@@ -180,7 +212,7 @@ mod tests {
     fn key(s: &str) -> CacheKey {
         CacheKey {
             normalized: s.to_string(),
-            config_fingerprint: 7,
+            snapshot_fingerprint: 7,
             page: 0,
             page_size: 10,
         }
@@ -248,10 +280,33 @@ mod tests {
     fn keys_with_different_fingerprints_do_not_collide() {
         let mut cache: LruCache<CacheKey, u32> = LruCache::new(4);
         let mut other = key("a");
-        other.config_fingerprint = 8;
+        other.snapshot_fingerprint = 8;
         cache.insert(key("a"), 1);
         cache.insert(other.clone(), 2);
         assert_eq!(cache.get(&key("a")), Some(1));
         assert_eq!(cache.get(&other), Some(2));
+    }
+
+    #[test]
+    fn retain_purges_stale_fingerprints_and_keeps_eviction_order_sane() {
+        let mut cache: LruCache<CacheKey, u32> = LruCache::new(4);
+        let mut stale = key("a");
+        stale.snapshot_fingerprint = 8;
+        cache.insert(key("a"), 1);
+        cache.insert(key("b"), 2);
+        cache.insert(stale.clone(), 3);
+        let dropped = cache.retain(|k| k.snapshot_fingerprint == 7);
+        assert_eq!(dropped, 1);
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.stats().purged, 1);
+        assert_eq!(cache.stats().evictions, 0, "purges are not evictions");
+        assert_eq!(cache.get(&stale), None);
+        // The survivors still evict in LRU order afterwards.
+        assert_eq!(cache.get(&key("a")), Some(1));
+        cache.insert(key("c"), 4);
+        cache.insert(key("d"), 5);
+        cache.insert(key("e"), 6);
+        assert_eq!(cache.get(&key("b")), None, "b was the LRU survivor");
+        assert_eq!(cache.get(&key("a")), Some(1));
     }
 }

@@ -7,21 +7,31 @@
 //!
 //! Three pieces, all `std`-only:
 //!
-//! * [`QueryService`] — a bounded worker pool over a shared
-//!   [`EngineSnapshot`](soda_core::EngineSnapshot), with a channel-per-job
+//! * [`QueryService`] — a bounded worker pool over a hot-swappable
+//!   [`EngineSnapshot`](soda_core::EngineSnapshot)
+//!   ([`soda_core::SnapshotHandle`]), with a channel-per-job
 //!   [`submit`](QueryService::submit) /
 //!   [`submit_batch`](QueryService::submit_batch) API, blocking
-//!   backpressure when the job queue is full, and in-flight request
-//!   coalescing: concurrent misses on one cache key execute the pipeline
-//!   once and share the page.
+//!   backpressure when the job queue is full, in-flight request
+//!   coalescing (concurrent misses on one cache key execute the pipeline
+//!   once and share the page), and zero-downtime warehouse reloads:
+//!   [`reload`](QueryService::reload) /
+//!   [`rebuild_shards`](QueryService::rebuild_shards) /
+//!   [`refresh_graph`](QueryService::refresh_graph) swap in a new snapshot
+//!   generation without draining the pool — in-flight queries finish on the
+//!   generation they pinned at submission.
 //! * [`LruCache`] — an interpretation cache mapping *canonicalized* queries
-//!   ([`soda_core::normalize_query`]) plus the engine-configuration
-//!   fingerprint to served [`ResultPage`](soda_core::ResultPage)s, with
-//!   hit / miss / eviction accounting.
+//!   ([`soda_core::normalize_query`]) plus the snapshot fingerprint
+//!   (engine configuration ⊕ generation vector,
+//!   [`soda_core::EngineSnapshot::cache_fingerprint`]) to served
+//!   [`ResultPage`](soda_core::ResultPage)s, with hit / miss / eviction /
+//!   purge accounting — pages of swapped-out generations stop being
+//!   addressable and are purged.
 //! * [`ServiceMetrics`] — a health snapshot: QPS, latency
 //!   min / mean / p50 / p95 / max, cache hit rate, queue depth, coalescing
-//!   counters and the per-shard sizes / probe counts of the snapshot's
-//!   sharded lookup layer ([`soda_core::ShardStats`]).
+//!   and reload/generation counters, and the per-shard sizes / probe counts /
+//!   generations of the *live* snapshot's sharded lookup layer
+//!   ([`soda_core::ShardStats`]).
 //!
 //! ```
 //! use std::sync::Arc;

@@ -58,7 +58,17 @@ pub struct ServiceMetrics {
     pub queue_depth: usize,
     /// Size of the worker pool.
     pub workers: usize,
-    /// Per-shard sizes and probe counts of the engine's lookup layer.
+    /// Generation of the snapshot currently being served (bumped by every
+    /// [`reload`](crate::QueryService::reload) /
+    /// [`rebuild_shards`](crate::QueryService::rebuild_shards) /
+    /// [`refresh_graph`](crate::QueryService::refresh_graph)).
+    pub generation: u64,
+    /// Snapshot swaps performed since the service started (full reloads and
+    /// per-shard rebuilds alike).
+    pub reloads: u64,
+    /// Per-shard sizes, probe counts and generations of the lookup layer —
+    /// re-sampled from the *live* snapshot on every call, so the gauges
+    /// track whatever generation is currently serving.
     pub shards: ShardStats,
 }
 

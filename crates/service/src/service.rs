@@ -22,16 +22,34 @@
 //! pending check and the completion hand-off happen under one lock, which is
 //! never held across the pipeline itself.
 //!
+//! ## Hot snapshot swapping
+//!
+//! The service serves from a [`SnapshotHandle`], not a fixed snapshot.
+//! Every submission pins the snapshot that is current *at submission time* —
+//! the job carries that `Arc` to the worker, so a concurrent
+//! [`reload`](QueryService::reload) /
+//! [`rebuild_shards`](QueryService::rebuild_shards) never changes what an
+//! in-flight query computes; new submissions load the new generation.  The
+//! cache key carries [`EngineSnapshot::cache_fingerprint`] (configuration ⊕
+//! generation vector), which also scopes the coalescing map: a pending cold
+//! query keyed against generation G can only ever hand its page to waiters
+//! that also pinned G — a post-swap requester computes a different key and
+//! recomputes against the new snapshot.  No queries are drained, dropped or
+//! errored by a swap.
+//!
 //! Shutdown is graceful: dropping the service stops intake, lets the workers
 //! drain every queued job (resolving their coalesced waiters), then joins
 //! them.
 
 use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
-use soda_core::{normalize_query, EngineSnapshot, ResultPage, SodaError};
+use soda_core::{
+    normalize_query, Database, EngineSnapshot, MetaGraph, ResultPage, SnapshotHandle, SodaError,
+};
 
 use crate::cache::{CacheKey, LruCache};
 use crate::metrics::{LatencyRecorder, ServiceMetrics};
@@ -178,6 +196,11 @@ struct Job {
     input: String,
     page: usize,
     page_size: usize,
+    /// The snapshot generation pinned at submission time: the worker runs
+    /// the pipeline against exactly this snapshot, so a swap that lands
+    /// between submission and execution cannot change the answer (or leak a
+    /// new-generation page under an old-generation key).
+    engine: Arc<EngineSnapshot>,
     submitted: Instant,
     tx: mpsc::Sender<JobResult>,
 }
@@ -210,12 +233,12 @@ struct StoreState {
 }
 
 struct Shared {
-    engine: Arc<EngineSnapshot>,
-    /// [`SodaConfig::fingerprint`](soda_core::SodaConfig::fingerprint) of the
-    /// engine's configuration, computed once at startup — it participates in
-    /// every cache key and the configuration is immutable for the service's
-    /// lifetime.
-    config_fingerprint: u64,
+    /// The swappable current snapshot.  Submissions load it once and pin
+    /// what they got; writers publish replacements through
+    /// [`QueryService::reload`] and friends.
+    handle: SnapshotHandle,
+    /// Snapshot swaps performed (full reloads + per-shard rebuilds).
+    reloads: AtomicU64,
     queue: Mutex<QueueState>,
     not_empty: Condvar,
     not_full: Condvar,
@@ -263,12 +286,13 @@ pub struct QueryService {
 }
 
 impl QueryService {
-    /// Starts the worker pool over a shared engine snapshot.
+    /// Starts the worker pool over a shared engine snapshot (wrapped in a
+    /// [`SnapshotHandle`] internally, so the warehouse can be reloaded later
+    /// without restarting the pool).
     pub fn start(engine: Arc<EngineSnapshot>, config: ServiceConfig) -> Self {
-        let config_fingerprint = engine.config().fingerprint();
         let shared = Arc::new(Shared {
-            engine,
-            config_fingerprint,
+            handle: SnapshotHandle::new(engine),
+            reloads: AtomicU64::new(0),
             queue: Mutex::new(QueueState {
                 jobs: VecDeque::new(),
                 shutdown: false,
@@ -307,9 +331,14 @@ impl QueryService {
             Ok(n) => n,
             Err(e) => return JobHandle::ready(Err(ServiceError::Engine(e))),
         };
+        // Pin the current snapshot for this submission's whole life: the key
+        // carries its fingerprint (so cache hits and coalescing stay within
+        // one generation) and the job carries the Arc (so the worker
+        // computes against the same generation the key names).
+        let engine = self.shared.handle.load();
         let key = CacheKey {
             normalized,
-            config_fingerprint: self.shared.config_fingerprint,
+            snapshot_fingerprint: engine.cache_fingerprint(),
             page: request.page,
             page_size: request.page_size.max(1),
         };
@@ -353,6 +382,7 @@ impl QueryService {
             input: request.input,
             page: request.page,
             page_size: request.page_size,
+            engine,
             submitted,
             tx,
         };
@@ -412,6 +442,11 @@ impl QueryService {
                 store.coalesced,
             )
         };
+        // Re-sampled from the live handle on every call (not captured at
+        // construction), so the per-shard gauges and the generation always
+        // describe the snapshot that is serving *now*, including after a
+        // swap.
+        let snapshot = self.shared.handle.load();
         ServiceMetrics {
             uptime,
             completed,
@@ -422,7 +457,9 @@ impl QueryService {
             coalesced,
             queue_depth: self.shared.queue.lock().expect("queue poisoned").jobs.len(),
             workers: self.workers.len(),
-            shards: self.shared.engine.shard_stats(),
+            generation: snapshot.generation(),
+            reloads: self.shared.reloads.load(Ordering::Relaxed),
+            shards: snapshot.shard_stats(),
         }
     }
 
@@ -448,9 +485,64 @@ impl QueryService {
         self.workers.len()
     }
 
-    /// The engine snapshot this service serves from.
-    pub fn engine(&self) -> &EngineSnapshot {
-        &self.shared.engine
+    /// The engine snapshot currently being served.  A subsequent
+    /// [`reload`](Self::reload) does not invalidate the returned `Arc`; it
+    /// just stops being what new submissions see.
+    pub fn engine(&self) -> Arc<EngineSnapshot> {
+        self.shared.handle.load()
+    }
+
+    /// Generation of the snapshot currently being served.
+    pub fn generation(&self) -> u64 {
+        self.shared.handle.generation()
+    }
+
+    /// Swaps in a full replacement snapshot **without draining the worker
+    /// pool**: in-flight queries finish on the generation they pinned at
+    /// submission, new submissions see the new one.  Interpretation-cache
+    /// pages of superseded generations are purged (they would be
+    /// unaddressable anyway — the fingerprint in their key no longer
+    /// matches).  Returns the new generation.
+    pub fn reload(&self, snapshot: EngineSnapshot) -> u64 {
+        let generation = self.shared.handle.publish(snapshot);
+        self.after_swap();
+        generation
+    }
+
+    /// Per-shard hot swap: given a database in which only `tables` changed,
+    /// rebuilds and atomically replaces the inverted-index partitions owning
+    /// those tables while every other shard keeps serving — see
+    /// [`SnapshotHandle::rebuild_shards`].  Returns the new generation.
+    pub fn rebuild_shards(&self, db: Arc<Database>, tables: &[String]) -> u64 {
+        let generation = self.shared.handle.rebuild_shards(db, tables);
+        self.after_swap();
+        generation
+    }
+
+    /// Metadata hot swap: rebuilds the classification index and join catalog
+    /// against a refreshed graph, sharing every classification partition the
+    /// refresh did not touch — see [`SnapshotHandle::refresh_graph`].
+    /// Returns the new generation.
+    pub fn refresh_graph(&self, graph: Arc<MetaGraph>) -> u64 {
+        let generation = self.shared.handle.refresh_graph(graph);
+        self.after_swap();
+        generation
+    }
+
+    /// Post-swap bookkeeping: count the reload and purge cache pages whose
+    /// generation vector is no longer the live one.  Still-running
+    /// old-generation jobs skip their cache insert at completion (the
+    /// worker re-checks the live fingerprint), so a full cache is not
+    /// churned by pages that can never be hit again.
+    fn after_swap(&self) {
+        self.shared.reloads.fetch_add(1, Ordering::Relaxed);
+        let live = self.shared.handle.load().cache_fingerprint();
+        self.shared
+            .store
+            .lock()
+            .expect("store poisoned")
+            .cache
+            .retain(|key| key.snapshot_fingerprint == live);
     }
 }
 
@@ -508,19 +600,26 @@ fn worker_loop(shared: &Shared) {
             shared,
             key: Some(job.key.clone()),
         };
-        let outcome = shared
+        let outcome = job
             .engine
             .search_paged(&job.input, job.page, job.page_size)
             .map_err(ServiceError::Engine);
         // Normal path: the completion hand-off below owns the cleanup.
         guard.key = None;
+        // A swap may have landed while this job ran: a page keyed by a
+        // superseded fingerprint can never be hit again (submissions compute
+        // keys from the live snapshot), so inserting it would only evict a
+        // live entry from a full cache.  The check races benignly with a
+        // concurrent swap — worst case one soon-unaddressable page slips in
+        // and ages out of the LRU.
+        let still_live = job.key.snapshot_fingerprint == shared.handle.load().cache_fingerprint();
         // Publish the page and claim the coalesced waiters in one critical
         // section, so no submission can slip between the cache insert and
         // the pending-entry removal and end up waiting forever.
         let waiters = {
             let mut store = shared.store.lock().expect("store poisoned");
             store.pipeline_executions += 1;
-            if let Ok(page) = &outcome {
+            if let (Ok(page), true) = (&outcome, still_live) {
                 store.cache.insert(job.key.clone(), page.clone());
             }
             store.pending.remove(&job.key).unwrap_or_default()
@@ -804,6 +903,116 @@ mod tests {
         let m = service.metrics();
         assert_eq!(m.shards.probes.len(), 4);
         assert!(m.shards.total_probes() > 0);
+    }
+
+    #[test]
+    fn reload_bumps_the_generation_and_purges_stale_pages() {
+        let service = minibank_service(ServiceConfig::default());
+        let before = service
+            .submit(QueryRequest::new("Sara Guttinger"))
+            .wait()
+            .unwrap();
+        assert_eq!(service.metrics().cache.len, 1);
+        assert_eq!(service.generation(), 0);
+
+        let w = soda_warehouse::minibank::build(42);
+        let generation = service.reload(EngineSnapshot::build(
+            Arc::new(w.database),
+            Arc::new(w.graph),
+            SodaConfig::default(),
+        ));
+        assert_eq!(generation, 1);
+        let m = service.metrics();
+        assert_eq!(m.generation, 1);
+        assert_eq!(m.reloads, 1);
+        assert_eq!(m.cache.len, 0, "superseded pages must be purged");
+        assert_eq!(m.cache.purged, 1);
+
+        // Identical warehouse, new generation: same answer, recomputed.
+        let after = service
+            .submit(QueryRequest::new("Sara Guttinger"))
+            .wait()
+            .unwrap();
+        assert_eq!(before, after);
+        let m = service.metrics();
+        assert_eq!(m.pipeline_executions, 2);
+        assert_eq!(m.cache.hits, 0);
+    }
+
+    #[test]
+    fn metrics_resample_the_live_snapshot_per_call() {
+        // Regression test for the shard gauge being captured once: after a
+        // reload with a different shard count, metrics() must describe the
+        // swapped-in snapshot, not the boot-time one.
+        let w = soda_warehouse::minibank::build(42);
+        let service = QueryService::start(
+            Arc::new(EngineSnapshot::build(
+                Arc::new(w.database.clone()),
+                Arc::new(w.graph.clone()),
+                SodaConfig {
+                    shards: 2,
+                    ..SodaConfig::default()
+                },
+            )),
+            ServiceConfig::default(),
+        );
+        assert_eq!(service.metrics().shards.shards, 2);
+        service.reload(EngineSnapshot::build(
+            Arc::new(w.database),
+            Arc::new(w.graph),
+            SodaConfig {
+                shards: 4,
+                ..SodaConfig::default()
+            },
+        ));
+        let m = service.metrics();
+        assert_eq!(m.shards.shards, 4);
+        assert_eq!(m.shards.generations, vec![1, 1, 1, 1]);
+        // Probes land on the live snapshot's counters.
+        service
+            .submit(QueryRequest::new("Sara Guttinger"))
+            .wait()
+            .unwrap();
+        assert!(service.metrics().shards.total_probes() > 0);
+    }
+
+    #[test]
+    fn rebuild_shards_through_the_service_serves_the_new_rows() {
+        let w = soda_warehouse::minibank::build(42);
+        let service = QueryService::start(
+            Arc::new(EngineSnapshot::build(
+                Arc::new(w.database.clone()),
+                Arc::new(w.graph),
+                SodaConfig {
+                    shards: 4,
+                    ..SodaConfig::default()
+                },
+            )),
+            ServiceConfig::default(),
+        );
+        assert!(service
+            .submit(QueryRequest::new("Zebulon"))
+            .wait()
+            .unwrap()
+            .results
+            .is_empty());
+
+        let mut db = w.database;
+        let individuals = db.table("individuals").unwrap();
+        let mut row = individuals.rows()[0].clone();
+        let name_col = individuals
+            .schema()
+            .columns
+            .iter()
+            .position(|c| c.name == "firstname")
+            .unwrap();
+        row[0] = soda_core::Value::Int(9_999);
+        row[name_col] = soda_core::Value::from("Zebulon");
+        db.insert("individuals", row).unwrap();
+        let generation = service.rebuild_shards(Arc::new(db), &["individuals".to_string()]);
+        assert_eq!(generation, 1);
+        let page = service.submit(QueryRequest::new("Zebulon")).wait().unwrap();
+        assert!(!page.results.is_empty());
     }
 
     #[test]

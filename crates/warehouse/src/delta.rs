@@ -1,0 +1,206 @@
+//! Incremental warehouse updates: the feed a hot snapshot swap consumes.
+//!
+//! An enterprise warehouse is never rebuilt wholesale — nightly batch feeds
+//! append to the transactional tables and occasionally restate a dimension
+//! (§6 of the paper describes exactly this churn at Credit Suisse).  A
+//! [`WarehouseDelta`] captures such a feed as per-table [`TableDelta`]s,
+//! [`apply`](WarehouseDelta::apply) materialises it into a *new* [`Database`]
+//! value (the current one stays untouched — snapshots are immutable), and
+//! [`changed_tables`](WarehouseDelta::changed_tables) names exactly the
+//! tables whose inverted-index partitions the swap layer
+//! (`soda_core::SnapshotHandle::rebuild_shards`) must rebuild.  Everything
+//! else — the other partitions, the classification index, the join catalog —
+//! keeps serving unchanged.
+
+use std::collections::BTreeMap;
+
+use soda_relation::{Database, Result, Row};
+
+/// The change applied to one table.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TableDelta {
+    /// Rows appended after the existing ones (batch feed).
+    Append(Vec<Row>),
+    /// The table's content replaced wholesale (dimension restatement).
+    Replace(Vec<Row>),
+}
+
+/// A set of per-table changes, applied atomically to a copy of the database.
+///
+/// ```
+/// use soda_relation::Value;
+/// use soda_warehouse::delta::WarehouseDelta;
+///
+/// let w = soda_warehouse::minibank::build(42);
+/// let delta = WarehouseDelta::new().append(
+///     "addresses",
+///     vec![vec![
+///         Value::Int(999),
+///         Value::Int(1),
+///         Value::from("Lake Road 1"),
+///         Value::from("Mountain View"),
+///         Value::from("Switzerland"),
+///     ]],
+/// );
+/// let next = delta.apply(&w.database).unwrap();
+/// assert_eq!(
+///     next.table("addresses").unwrap().row_count(),
+///     w.database.table("addresses").unwrap().row_count() + 1,
+/// );
+/// assert_eq!(delta.changed_tables(), vec!["addresses".to_string()]);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct WarehouseDelta {
+    /// Per-table change, keyed by (lower-cased) table name so
+    /// `changed_tables` is deterministic.
+    tables: BTreeMap<String, TableDelta>,
+}
+
+impl WarehouseDelta {
+    /// An empty delta.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds appended rows for `table` (merging with any rows already staged
+    /// for it; an earlier `Replace` keeps replace semantics and gains the
+    /// rows).
+    pub fn append(mut self, table: impl Into<String>, rows: Vec<Row>) -> Self {
+        let key = table.into().to_lowercase();
+        match self.tables.entry(key) {
+            std::collections::btree_map::Entry::Vacant(e) => {
+                e.insert(TableDelta::Append(rows));
+            }
+            std::collections::btree_map::Entry::Occupied(mut e) => match e.get_mut() {
+                TableDelta::Append(existing) | TableDelta::Replace(existing) => {
+                    existing.extend(rows);
+                }
+            },
+        }
+        self
+    }
+
+    /// Stages a wholesale replacement of `table`'s rows (overriding anything
+    /// previously staged for it).
+    pub fn replace(mut self, table: impl Into<String>, rows: Vec<Row>) -> Self {
+        self.tables
+            .insert(table.into().to_lowercase(), TableDelta::Replace(rows));
+        self
+    }
+
+    /// True when the delta stages no changes.
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+
+    /// The tables this delta touches, sorted — exactly the `tables` argument
+    /// a per-shard snapshot rebuild wants.
+    pub fn changed_tables(&self) -> Vec<String> {
+        self.tables.keys().cloned().collect()
+    }
+
+    /// Total number of staged rows across all tables.
+    pub fn row_count(&self) -> usize {
+        self.tables
+            .values()
+            .map(|d| match d {
+                TableDelta::Append(rows) | TableDelta::Replace(rows) => rows.len(),
+            })
+            .sum()
+    }
+
+    /// Materialises the delta into a new database value.  The input is never
+    /// mutated; on any schema violation the error is returned and no partial
+    /// state escapes (the half-applied copy is dropped).
+    pub fn apply(&self, db: &Database) -> Result<Database> {
+        let mut next = db.clone();
+        for (table, delta) in &self.tables {
+            match delta {
+                TableDelta::Append(rows) => {
+                    next.insert_all(table, rows.iter().cloned())?;
+                }
+                TableDelta::Replace(rows) => {
+                    next.table_mut(table)?.truncate();
+                    next.insert_all(table, rows.iter().cloned())?;
+                }
+            }
+        }
+        Ok(next)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soda_relation::Value;
+
+    fn minibank_db() -> Database {
+        crate::minibank::build(42).database
+    }
+
+    fn address_row(id: i64, city: &str) -> Row {
+        vec![
+            Value::Int(id),
+            Value::Int(1),
+            Value::from("Main St 1"),
+            Value::from(city),
+            Value::from("Switzerland"),
+        ]
+    }
+
+    #[test]
+    fn append_adds_rows_without_touching_the_source() {
+        let db = minibank_db();
+        let before = db.table("addresses").unwrap().row_count();
+        let delta = WarehouseDelta::new().append("addresses", vec![address_row(900, "Basel")]);
+        let next = delta.apply(&db).unwrap();
+        assert_eq!(db.table("addresses").unwrap().row_count(), before);
+        assert_eq!(next.table("addresses").unwrap().row_count(), before + 1);
+        assert_eq!(delta.row_count(), 1);
+    }
+
+    #[test]
+    fn replace_swaps_the_whole_table() {
+        let db = minibank_db();
+        let delta = WarehouseDelta::new().replace(
+            "addresses",
+            vec![address_row(1, "Basel"), address_row(2, "Chur")],
+        );
+        let next = delta.apply(&db).unwrap();
+        assert_eq!(next.table("addresses").unwrap().row_count(), 2);
+        assert!(db.table("addresses").unwrap().row_count() > 2);
+    }
+
+    #[test]
+    fn changed_tables_are_sorted_and_case_folded() {
+        let delta = WarehouseDelta::new()
+            .append("Transactions", vec![])
+            .append("ADDRESSES", vec![]);
+        assert_eq!(
+            delta.changed_tables(),
+            vec!["addresses".to_string(), "transactions".to_string()]
+        );
+        assert!(!delta.is_empty());
+        assert!(WarehouseDelta::new().is_empty());
+    }
+
+    #[test]
+    fn repeated_appends_merge() {
+        let delta = WarehouseDelta::new()
+            .append("addresses", vec![address_row(900, "Basel")])
+            .append("addresses", vec![address_row(901, "Chur")]);
+        assert_eq!(delta.row_count(), 2);
+        assert_eq!(delta.changed_tables().len(), 1);
+    }
+
+    #[test]
+    fn schema_violations_surface_and_leave_the_source_intact() {
+        let db = minibank_db();
+        let delta =
+            WarehouseDelta::new().append("addresses", vec![vec![Value::from("wrong arity")]]);
+        assert!(delta.apply(&db).is_err());
+        // Unknown tables error too.
+        let delta = WarehouseDelta::new().append("no_such_table", vec![]);
+        assert!(delta.apply(&db).is_err());
+    }
+}

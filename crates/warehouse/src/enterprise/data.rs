@@ -20,6 +20,7 @@ use crate::datagen::{
     DataGen, AGREEMENT_NAMES, CITIES, COUNTRIES, CURRENCIES, FAMILY_NAMES, GIVEN_NAMES,
     LEGAL_FORMS, ORG_NAMES, PRODUCT_NAMES, PRODUCT_TYPES, STREETS,
 };
+use crate::delta::WarehouseDelta;
 
 /// Number of private customers.
 pub const NUM_INDIVIDUALS: usize = 300;
@@ -450,6 +451,77 @@ pub fn populate_scaled(db: &mut Database, seed: u64, scale: f64, dimension_scale
     }
 }
 
+/// An incremental batch feed onboarding `count` new private customers: one
+/// `party` row plus one `individual` row each, with party ids continuing
+/// after the warehouse's current maximum.  The engineered distributions of
+/// [`populate_scaled`] (the pinned "Sara" counts, the Swiss domicile bias)
+/// are left untouched — new names are drawn from the regular pools, never
+/// "Sara".
+///
+/// This is the producer side of per-shard hot snapshot swapping: the
+/// returned [`WarehouseDelta`] names exactly the two touched tables, so
+/// `SnapshotHandle::rebuild_shards` only replaces their owning
+/// inverted-index partitions while every other shard keeps serving.
+pub fn onboarding_delta(db: &Database, seed: u64, count: usize) -> WarehouseDelta {
+    let mut gen = DataGen::new(seed ^ 0x6f6e_6264); // "onbd"
+    let next_id = db
+        .table("party")
+        .ok()
+        .and_then(|t| {
+            t.rows()
+                .iter()
+                .filter_map(|r| match r.first() {
+                    Some(Value::Int(id)) => Some(*id),
+                    _ => None,
+                })
+                .max()
+        })
+        .unwrap_or(0)
+        + 1;
+    let mut parties = Vec::with_capacity(count);
+    let mut individuals = Vec::with_capacity(count);
+    for offset in 0..count as i64 {
+        let id = next_id + offset;
+        let open = gen.date(2011, 2024);
+        parties.push(vec![
+            Value::Int(id),
+            Value::from("individual"),
+            Value::Date(open),
+            Value::Date(open),
+            Value::Date(OPEN_END),
+        ]);
+        let given = {
+            let g = *gen.pick(GIVEN_NAMES);
+            if g == "Sara" {
+                "Petra"
+            } else {
+                g
+            }
+        };
+        let salary = if gen.chance(0.12) {
+            gen.amount(500_000.0, 1_500_000.0)
+        } else {
+            gen.amount(45_000.0, 420_000.0)
+        };
+        let domicile = if gen.chance(0.7) {
+            "Switzerland"
+        } else {
+            *gen.pick(COUNTRIES)
+        };
+        individuals.push(vec![
+            Value::Int(id),
+            Value::from(given),
+            Value::from(*gen.pick(FAMILY_NAMES)),
+            Value::Date(gen.date(1950, 2000)),
+            Value::Float(salary),
+            Value::from(domicile),
+        ]);
+    }
+    WarehouseDelta::new()
+        .append("party", parties)
+        .append("individual", individuals)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -463,6 +535,40 @@ mod tests {
         }
         populate(&mut db, 42, 0.2);
         db
+    }
+
+    #[test]
+    fn onboarding_delta_appends_new_parties_without_touching_pinned_counts() {
+        let db = db();
+        let delta = onboarding_delta(&db, 7, 5);
+        assert_eq!(
+            delta.changed_tables(),
+            vec!["individual".to_string(), "party".to_string()]
+        );
+        assert_eq!(delta.row_count(), 10);
+        let next = delta.apply(&db).unwrap();
+        assert_eq!(
+            next.table("party").unwrap().row_count(),
+            db.table("party").unwrap().row_count() + 5
+        );
+        assert_eq!(
+            next.table("individual").unwrap().row_count(),
+            db.table("individual").unwrap().row_count() + 5
+        );
+        // Party ids continue after the current maximum: no collisions.
+        let ids = next
+            .run_sql("SELECT party_id FROM party")
+            .unwrap()
+            .row_count();
+        assert_eq!(ids, next.table("party").unwrap().row_count());
+        // The engineered Sara distribution is untouched by onboarding.
+        let saras = next
+            .run_sql("SELECT party_id FROM individual WHERE given_name = 'Sara'")
+            .unwrap();
+        assert_eq!(saras.row_count(), CURRENT_SARA);
+        // Deterministic per seed.
+        assert_eq!(delta, onboarding_delta(&db, 7, 5));
+        assert_ne!(delta, onboarding_delta(&db, 8, 5));
     }
 
     #[test]

@@ -24,6 +24,7 @@
 
 pub mod datagen;
 pub mod dbpedia;
+pub mod delta;
 pub mod enterprise;
 pub mod graph_builder;
 pub mod minibank;
@@ -31,6 +32,7 @@ pub mod model;
 pub mod ontology;
 
 pub use dbpedia::{DbpediaEntry, SynonymStore, SynonymTarget};
+pub use delta::{TableDelta, WarehouseDelta};
 pub use graph_builder::{build_graph, phrase, slug};
 pub use model::{
     AnnotatedForeignKey, ConceptualEntity, HistorizationLink, InheritanceGroup, LogicalEntity,

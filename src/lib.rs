@@ -59,7 +59,8 @@ pub use soda_warehouse as warehouse;
 /// Convenient glob-import surface for examples and downstream users.
 pub mod prelude {
     pub use soda_core::{
-        EngineSnapshot, FeedbackStore, ResultPage, ShardStats, SodaConfig, SodaEngine, SodaResult,
+        EngineSnapshot, FeedbackStore, ResultPage, ShardStats, SnapshotHandle, SodaConfig,
+        SodaEngine, SodaResult,
     };
     pub use soda_explorer::SchemaBrowser;
     pub use soda_metagraph::{MetaGraph, Pattern, PatternRegistry};

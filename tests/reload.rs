@@ -1,0 +1,281 @@
+//! Cross-crate integration tests of hot snapshot swapping: a `QueryService`
+//! must survive full reloads and per-shard rebuilds under sustained
+//! concurrent load with **zero dropped or errored queries**, every returned
+//! page byte-identical to a single-threaded run against *some* published
+//! generation, and coalesced requesters never crossing generations.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use soda::prelude::*;
+use soda::warehouse::minibank;
+use soda_core::SodaError;
+
+/// Distinct lookup-layer partitions so per-shard rebuilds are meaningful.
+const SHARDS: usize = 4;
+/// Published generations beyond the boot snapshot.
+const GENERATIONS: usize = 6;
+
+fn config() -> SodaConfig {
+    SodaConfig {
+        shards: SHARDS,
+        ..SodaConfig::default()
+    }
+}
+
+/// The database of generation `g`: the seeded mini-bank plus exactly one
+/// extra address whose city embeds the generation number.  Each generation
+/// derives from the *base*, so any two generations differ only in the
+/// `addresses` table, and the marker query below gets a different — single,
+/// distinct — matching cell value per generation.
+fn generation_db(base: &Database, g: usize) -> Database {
+    let mut db = base.clone();
+    db.insert(
+        "addresses",
+        vec![
+            Value::Int(900 + g as i64),
+            Value::Int(1),
+            Value::from("Swap Lane 1"),
+            Value::from(format!("Reloadville Gen{g}")),
+            Value::from("Switzerland"),
+        ],
+    )
+    .expect("generation row inserts");
+    db
+}
+
+/// The query whose answer identifies the generation that served it.
+const MARKER_QUERY: &str = "Reloadville";
+/// A query whose answer is generation-invariant (its tables never change).
+const STABLE_QUERY: &str = "Sara Guttinger";
+
+fn snapshot_over(db: Database, graph: &MetaGraph) -> EngineSnapshot {
+    EngineSnapshot::build(Arc::new(db), Arc::new(graph.clone()), config())
+}
+
+/// Single-threaded reference pages, one per generation (index 0 = boot).
+fn expected_pages(base: &Database, graph: &MetaGraph) -> Vec<ResultPage> {
+    (0..=GENERATIONS)
+        .map(|g| {
+            let db = if g == 0 {
+                base.clone()
+            } else {
+                generation_db(base, g)
+            };
+            snapshot_over(db, graph)
+                .search_paged(MARKER_QUERY, 0, 10)
+                .expect("reference query runs")
+        })
+        .collect()
+}
+
+/// N client threads hammer `submit` while a writer publishes generation
+/// after generation — alternating full reloads and per-shard rebuilds.
+/// Every page served must be byte-identical to the single-threaded answer
+/// of *some* published generation; nothing may error or drop.
+#[test]
+fn concurrent_reloads_never_drop_or_corrupt_a_query() {
+    let w = minibank::build(42);
+    let expected = expected_pages(&w.database, &w.graph);
+    // Sanity: the marker pages identify their generation unambiguously.
+    for (i, a) in expected.iter().enumerate() {
+        for b in expected.iter().skip(i + 1) {
+            assert_ne!(a, b, "marker pages must differ between generations");
+        }
+    }
+    let stable_expected = snapshot_over(w.database.clone(), &w.graph)
+        .search_paged(STABLE_QUERY, 0, 10)
+        .expect("stable query runs");
+
+    let service = QueryService::start(
+        Arc::new(snapshot_over(w.database.clone(), &w.graph)),
+        ServiceConfig {
+            workers: 4,
+            queue_capacity: 32,
+            cache_capacity: 64,
+        },
+    );
+
+    let writer_done = AtomicBool::new(false);
+    let served = AtomicU64::new(0);
+    std::thread::scope(|scope| {
+        let service = &service;
+        let expected = &expected;
+        let stable_expected = &stable_expected;
+        let writer_done = &writer_done;
+        let served = &served;
+
+        // The writer: publish every generation, alternating the full-swap
+        // and the per-shard path, while the clients below keep submitting.
+        scope.spawn(move || {
+            for g in 1..=GENERATIONS {
+                let db = generation_db(&w.database, g);
+                let generation = if g % 2 == 0 {
+                    service.reload(snapshot_over(db, &w.graph))
+                } else {
+                    service.rebuild_shards(Arc::new(db), &["addresses".to_string()])
+                };
+                assert_eq!(generation, g as u64);
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            }
+            writer_done.store(true, Ordering::Release);
+        });
+
+        for _ in 0..6 {
+            scope.spawn(move || {
+                // Keep querying until the writer finishes, then once more so
+                // every thread provably observes the final generation path.
+                loop {
+                    let done = writer_done.load(Ordering::Acquire);
+                    let marker = service
+                        .submit(QueryRequest::new(MARKER_QUERY))
+                        .wait()
+                        .expect("marker query must never error during a swap");
+                    assert!(
+                        expected.contains(&marker),
+                        "page must match some published generation: {marker:?}"
+                    );
+                    let stable = service
+                        .submit(QueryRequest::new(STABLE_QUERY))
+                        .wait()
+                        .expect("stable query must never error during a swap");
+                    assert_eq!(
+                        &stable, stable_expected,
+                        "untouched tables must answer identically in every generation"
+                    );
+                    served.fetch_add(2, Ordering::Relaxed);
+                    if done {
+                        break;
+                    }
+                }
+            });
+        }
+    });
+
+    // After the dust settles: the service serves exactly the final
+    // generation, and bookkeeping is coherent.
+    let final_page = service
+        .submit(QueryRequest::new(MARKER_QUERY))
+        .wait()
+        .expect("final query runs");
+    assert_eq!(final_page, expected[GENERATIONS]);
+    let m = service.metrics();
+    assert_eq!(m.generation, GENERATIONS as u64);
+    assert_eq!(m.reloads, GENERATIONS as u64);
+    assert_eq!(m.completed, served.load(Ordering::Relaxed) + 1);
+    assert!(m.completed >= (GENERATIONS as u64) * 2);
+    assert_eq!(m.shards.shards, SHARDS);
+}
+
+/// The coalescing map must be generation-scoped: a cold query pinned before
+/// a swap may not hand its page to a requester that arrived after the swap,
+/// even though both share the same normalized text.
+#[test]
+fn pending_cold_queries_do_not_leak_across_a_swap() {
+    let w = minibank::build(42);
+    let expected = expected_pages(&w.database, &w.graph);
+    let service = QueryService::start(
+        Arc::new(snapshot_over(w.database.clone(), &w.graph)),
+        ServiceConfig {
+            workers: 1,
+            queue_capacity: 16,
+            cache_capacity: 16,
+        },
+    );
+
+    // Occupy the single worker so both marker submissions below are still
+    // pending when they land.
+    let blocker = service.submit(QueryRequest::new("financial instruments customers Zurich"));
+    // Pinned to generation 0, queued behind the blocker.
+    let old = service.submit(QueryRequest::new(MARKER_QUERY));
+    // Swap to generation 1 while that job is still queued…
+    let generation = service.rebuild_shards(
+        Arc::new(generation_db(&w.database, 1)),
+        &["addresses".to_string()],
+    );
+    assert_eq!(generation, 1);
+    // …then submit the identical text: it must NOT coalesce onto the old
+    // pending job — different generation, different key.
+    let new = service.submit(QueryRequest::new(MARKER_QUERY));
+
+    blocker.wait().expect("blocker serves");
+    let old_page = old.wait().expect("pre-swap query serves");
+    let new_page = new.wait().expect("post-swap query serves");
+    assert_eq!(old_page, expected[0], "pre-swap submission serves gen 0");
+    assert_eq!(new_page, expected[1], "post-swap submission serves gen 1");
+    assert_ne!(old_page, new_page);
+
+    let m = service.metrics();
+    assert_eq!(
+        m.coalesced, 0,
+        "submissions from different generations must never coalesce"
+    );
+    assert_eq!(m.pipeline_executions, 3, "blocker + one run per generation");
+    // Only the post-swap page is cacheable: the blocker and the pre-swap
+    // marker completed under a superseded fingerprint, so their inserts are
+    // skipped instead of evicting live entries.
+    assert_eq!(
+        m.cache.len, 1,
+        "pages of superseded generations must not enter the cache: {m:?}"
+    );
+}
+
+/// Within one generation, coalescing still works across a swap of *other*
+/// shards: identical submissions pinned to the same generation share one
+/// pipeline execution.
+#[test]
+fn same_generation_submissions_still_coalesce_after_swaps() {
+    let w = minibank::build(42);
+    let service = QueryService::start(
+        Arc::new(snapshot_over(w.database.clone(), &w.graph)),
+        ServiceConfig {
+            workers: 1,
+            queue_capacity: 16,
+            cache_capacity: 16,
+        },
+    );
+    service.reload(snapshot_over(generation_db(&w.database, 1), &w.graph));
+
+    let blocker = service.submit(QueryRequest::new("wealthy customers"));
+    let first = service.submit(QueryRequest::new(MARKER_QUERY));
+    let second = service.submit(QueryRequest::new(MARKER_QUERY));
+    blocker.wait().expect("blocker serves");
+    assert_eq!(
+        first.wait().expect("first serves"),
+        second.wait().expect("second serves")
+    );
+    let m = service.metrics();
+    assert_eq!(m.coalesced + m.cache.hits, 1);
+    assert_eq!(m.pipeline_executions, 2);
+    assert_eq!(m.generation, 1);
+}
+
+/// Parse errors still resolve synchronously mid-swap, and a reload with an
+/// *identical* warehouse changes no answers — only the generation.
+#[test]
+fn reload_with_identical_data_is_answer_invariant() {
+    let w = minibank::build(42);
+    let service = QueryService::start(
+        Arc::new(snapshot_over(w.database.clone(), &w.graph)),
+        ServiceConfig::default(),
+    );
+    let before = service
+        .submit(QueryRequest::new(STABLE_QUERY))
+        .wait()
+        .expect("serves");
+    service.reload(snapshot_over(w.database.clone(), &w.graph));
+    match service.submit(QueryRequest::new("   ")).wait() {
+        Err(e) => assert!(e.to_string().contains("engine error")),
+        Ok(_) => panic!("blank query must fail"),
+    }
+    let after = service
+        .submit(QueryRequest::new(STABLE_QUERY))
+        .wait()
+        .expect("serves");
+    assert_eq!(before, after);
+    assert_eq!(service.metrics().generation, 1);
+    // The blank query surfaced the engine's EmptyQuery — proving errors
+    // flow through unchanged across generations.
+    let direct = service.engine().search_paged("   ", 0, 10);
+    assert!(matches!(direct, Err(SodaError::EmptyQuery)));
+}

@@ -1,0 +1,131 @@
+//! Vendored stand-in for the subset of the `arc-swap` API the workspace
+//! uses: [`ArcSwap`] — a cell holding an [`Arc`] that readers can load and a
+//! writer can atomically replace, without ever invalidating an `Arc` a
+//! reader already holds.
+//!
+//! The real crate achieves lock-free reads with a hazard-pointer-style
+//! debt-tracking protocol; that machinery is out of scope for this offline
+//! stand-in.  Here the cell is a mutex that is only ever held for the
+//! duration of one `Arc` refcount bump or pointer swap — never across user
+//! code — so readers cannot block behind anything slower than another
+//! reader's clone.  The API mirrors `arc_swap::ArcSwap` (`new`, `load_full`,
+//! `store`, `swap`, `into_inner`), so swapping in the real crate later is a
+//! one-line `Cargo.toml` change.
+
+use std::sync::{Arc, Mutex};
+
+/// An atomically swappable [`Arc`] cell.
+///
+/// Readers call [`load_full`](Self::load_full) and get a clone of the current
+/// `Arc` — a coherent reference that stays valid (and keeps its pointee
+/// alive) no matter how many times the cell is swapped afterwards.  Writers
+/// call [`store`](Self::store) or [`swap`](Self::swap); the previous value is
+/// dropped when its last outstanding reader drops it.
+///
+/// ```
+/// use std::sync::Arc;
+/// use arc_swap::ArcSwap;
+///
+/// let cell = ArcSwap::new(Arc::new(1));
+/// let before = cell.load_full();
+/// cell.store(Arc::new(2));
+/// assert_eq!(*before, 1); // the old reference stays coherent
+/// assert_eq!(*cell.load_full(), 2);
+/// ```
+#[derive(Debug)]
+pub struct ArcSwap<T> {
+    current: Mutex<Arc<T>>,
+}
+
+impl<T> ArcSwap<T> {
+    /// Creates a cell holding `value`.
+    pub fn new(value: Arc<T>) -> Self {
+        Self {
+            current: Mutex::new(value),
+        }
+    }
+
+    /// Returns a clone of the current `Arc`.
+    ///
+    /// The clone is coherent: concurrent [`store`](Self::store)s replace what
+    /// *future* loads see, never what this load returned.
+    pub fn load_full(&self) -> Arc<T> {
+        Arc::clone(&self.current.lock().expect("arc-swap cell poisoned"))
+    }
+
+    /// Replaces the current value, dropping the cell's reference to the old
+    /// one (readers that already loaded it keep it alive).
+    pub fn store(&self, value: Arc<T>) {
+        *self.current.lock().expect("arc-swap cell poisoned") = value;
+    }
+
+    /// Replaces the current value and returns the previous one.
+    pub fn swap(&self, value: Arc<T>) -> Arc<T> {
+        std::mem::replace(
+            &mut self.current.lock().expect("arc-swap cell poisoned"),
+            value,
+        )
+    }
+
+    /// Consumes the cell, returning the held `Arc`.
+    pub fn into_inner(self) -> Arc<T> {
+        self.current.into_inner().expect("arc-swap cell poisoned")
+    }
+}
+
+impl<T> From<Arc<T>> for ArcSwap<T> {
+    fn from(value: Arc<T>) -> Self {
+        Self::new(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_store_swap_round_trip() {
+        let cell = ArcSwap::new(Arc::new("a"));
+        assert_eq!(*cell.load_full(), "a");
+        cell.store(Arc::new("b"));
+        assert_eq!(*cell.load_full(), "b");
+        let old = cell.swap(Arc::new("c"));
+        assert_eq!(*old, "b");
+        assert_eq!(*cell.into_inner(), "c");
+    }
+
+    #[test]
+    fn loaded_references_survive_swaps() {
+        let cell = ArcSwap::new(Arc::new(vec![1, 2, 3]));
+        let held = cell.load_full();
+        cell.store(Arc::new(vec![4]));
+        assert_eq!(*held, vec![1, 2, 3]);
+        assert_eq!(*cell.load_full(), vec![4]);
+        // The old value is kept alive solely by the outstanding reader.
+        assert_eq!(Arc::strong_count(&held), 1);
+    }
+
+    #[test]
+    fn concurrent_readers_and_a_writer_stay_coherent() {
+        let cell = Arc::new(ArcSwap::new(Arc::new(0u64)));
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let cell = Arc::clone(&cell);
+                scope.spawn(move || {
+                    let mut last = 0;
+                    for _ in 0..1000 {
+                        let v = *cell.load_full();
+                        assert!(v >= last, "observed value went backwards");
+                        last = v;
+                    }
+                });
+            }
+            scope.spawn(|| {
+                for i in 1..=100 {
+                    cell.store(Arc::new(i));
+                }
+            });
+        });
+        assert_eq!(*cell.load_full(), 100);
+    }
+}

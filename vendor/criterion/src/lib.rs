@@ -8,9 +8,82 @@
 //! identical to real criterion (`harness = false` targets calling
 //! `criterion_main!`), so swapping in the real crate later is a one-line
 //! `Cargo.toml` change.
+//!
+//! Two environment knobs support CI perf tracking:
+//!
+//! * `SODA_BENCH_QUICK=1` — caps every benchmark at
+//!   [`QUICK_SAMPLES`] samples × [`QUICK_MAX_ITERS`] iterations (the
+//!   `--quick`-style mode the `bench-regression` job uses so perf smoke
+//!   stays within PR latency).
+//! * `SODA_BENCH_JSON=<path>` — after all groups run, `criterion_main!`
+//!   writes every benchmark's estimates (mean/min/max ns, sample shape) as
+//!   one small JSON file, one benchmark object per line, which
+//!   `soda-bench`'s `bench-check` binary diffs against a checked-in
+//!   baseline.
 
 use std::fmt;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+/// Samples per benchmark in quick mode.
+pub const QUICK_SAMPLES: usize = 3;
+/// Iteration cap per sample in quick mode.
+pub const QUICK_MAX_ITERS: u64 = 10;
+
+fn quick_mode() -> bool {
+    std::env::var("SODA_BENCH_QUICK").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+/// One benchmark's estimates, accumulated for the JSON report.
+#[derive(Debug, Clone)]
+pub struct BenchEstimate {
+    /// Full benchmark path (`group/function/parameter`).
+    pub name: String,
+    /// Mean wall-clock per iteration, nanoseconds.
+    pub mean_ns: u128,
+    /// Fastest sample, nanoseconds per iteration.
+    pub min_ns: u128,
+    /// Slowest sample, nanoseconds per iteration.
+    pub max_ns: u128,
+    /// Timed samples taken.
+    pub samples: usize,
+    /// Iterations per sample.
+    pub iters: u64,
+}
+
+/// Estimates of every benchmark run so far in this process (all
+/// `criterion_group!` functions share it).
+static ESTIMATES: Mutex<Vec<BenchEstimate>> = Mutex::new(Vec::new());
+
+/// Writes the accumulated estimates to `$SODA_BENCH_JSON` (no-op when the
+/// variable is unset).  Called by `criterion_main!` after every group ran;
+/// exposed for harnesses that assemble their own `main`.
+pub fn write_json_report() {
+    let Ok(path) = std::env::var("SODA_BENCH_JSON") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    let estimates = ESTIMATES.lock().expect("estimate registry poisoned");
+    let mut out = String::from("{\n  \"benchmarks\": [\n");
+    for (i, e) in estimates.iter().enumerate() {
+        let comma = if i + 1 < estimates.len() { "," } else { "" };
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"mean_ns\": {}, \"min_ns\": {}, \"max_ns\": {}, \
+             \"samples\": {}, \"iters\": {}}}{comma}\n",
+            e.name.replace('"', "'"),
+            e.mean_ns,
+            e.min_ns,
+            e.max_ns,
+            e.samples,
+            e.iters
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write(&path, out).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+    println!("wrote bench estimates to {path}");
+}
 
 /// Identifier for a benchmark within a group, mirroring
 /// `criterion::BenchmarkId`.
@@ -79,7 +152,11 @@ impl Bencher {
         Self {
             samples: Vec::new(),
             iters_per_sample: 1,
-            sample_count,
+            sample_count: if quick_mode() {
+                sample_count.min(QUICK_SAMPLES)
+            } else {
+                sample_count
+            },
         }
     }
 
@@ -91,10 +168,11 @@ impl Bencher {
         std::hint::black_box(routine());
         let warmup = warmup_start.elapsed();
         let target = Duration::from_millis(5);
+        let max_iters = if quick_mode() { QUICK_MAX_ITERS } else { 1000 };
         self.iters_per_sample = if warmup.is_zero() {
-            1000
+            max_iters
         } else {
-            (target.as_nanos() / warmup.as_nanos().max(1)).clamp(1, 1000) as u64
+            (target.as_nanos() / warmup.as_nanos().max(1)).clamp(1, u128::from(max_iters)) as u64
         };
         for _ in 0..self.sample_count {
             let start = Instant::now();
@@ -211,6 +289,17 @@ impl Criterion {
             bencher.samples.len(),
             bencher.iters_per_sample
         );
+        ESTIMATES
+            .lock()
+            .expect("estimate registry poisoned")
+            .push(BenchEstimate {
+                name: label,
+                mean_ns: mean.as_nanos(),
+                min_ns: min.as_nanos(),
+                max_ns: max.as_nanos(),
+                samples: bencher.samples.len(),
+                iters: bencher.iters_per_sample,
+            });
     }
 }
 
@@ -236,6 +325,9 @@ macro_rules! criterion_main {
             // `cargo bench` passes harness flags such as `--bench`; a plain
             // binary harness ignores them.
             $($group();)+
+            // Emits the estimates of every group above when SODA_BENCH_JSON
+            // names a path (no-op otherwise).
+            $crate::write_json_report();
         }
     };
 }
@@ -257,6 +349,22 @@ mod tests {
         group.finish();
         assert!(calls > 0);
         assert_eq!(c.benchmarks_run, 2);
+    }
+
+    #[test]
+    fn estimates_accumulate_in_the_registry() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("registry");
+        group.sample_size(2);
+        group.bench_function("spin", |b| b.iter(|| std::hint::black_box(1 + 1)));
+        group.finish();
+        let estimates = ESTIMATES.lock().unwrap();
+        let entry = estimates
+            .iter()
+            .find(|e| e.name == "registry/spin")
+            .expect("estimate recorded");
+        assert!(entry.samples >= 1);
+        assert!(entry.min_ns <= entry.mean_ns && entry.mean_ns <= entry.max_ns);
     }
 
     #[test]
