@@ -68,26 +68,36 @@ pub(crate) struct EngineCore {
     sizes: ShardSizes,
 }
 
-/// Immutable per-shard size vectors of the built indexes.
+/// Immutable per-shard size vectors of the built indexes (side-log gauges
+/// included — the logs are immutable within one snapshot generation too).
 struct ShardSizes {
     classification_phrases: Vec<usize>,
     index_tokens: Vec<usize>,
     index_postings: Vec<usize>,
+    log_postings: Vec<usize>,
+    log_rows: Vec<usize>,
+    log_masks: Vec<usize>,
 }
 
 impl ShardSizes {
     fn of(classification: &ClassificationIndex, index: Option<&ShardedInvertedIndex>) -> Self {
-        let (index_tokens, index_postings) = match index {
+        let (index_tokens, index_postings, log_postings, log_rows, log_masks) = match index {
             Some(index) => (
                 index.shards().iter().map(|s| s.token_count()).collect(),
                 index.shards().iter().map(|s| s.posting_count()).collect(),
+                index.side_log_postings(),
+                index.side_log_rows(),
+                index.side_log_masks(),
             ),
-            None => (Vec::new(), Vec::new()),
+            None => (Vec::new(), Vec::new(), Vec::new(), Vec::new(), Vec::new()),
         };
         Self {
             classification_phrases: classification.shard_sizes(),
             index_tokens,
             index_postings,
+            log_postings,
+            log_rows,
+            log_masks,
         }
     }
 }
@@ -135,6 +145,12 @@ impl EngineCore {
         db: &Database,
         tables: &[String],
     ) -> (Self, Vec<usize>) {
+        let affected = self.shards_for_tables(tables);
+        (self.derive_with_rebuilt_partitions(db, &affected), affected)
+    }
+
+    /// The partitions owning `tables`, sorted and deduplicated.
+    pub(crate) fn shards_for_tables(&self, tables: &[String]) -> Vec<usize> {
         let shard_count = self.config.shards.max(1);
         let mut affected: Vec<usize> = tables
             .iter()
@@ -142,12 +158,87 @@ impl EngineCore {
             .collect();
         affected.sort_unstable();
         affected.dedup();
+        affected
+    }
+
+    /// Derives a next-generation core in which exactly the inverted-index
+    /// partitions named by `affected` are rebuilt from `db` (folding — and
+    /// clearing — their side logs); everything else is shared with `self`.
+    /// This is both the tail of [`derive_with_rebuilt_tables`] and the whole
+    /// of a side-log compaction, where `db` is the *current* database (its
+    /// rows already include everything the logs index).
+    pub(crate) fn derive_with_rebuilt_partitions(&self, db: &Database, affected: &[usize]) -> Self {
         let index = self
             .index
             .as_ref()
-            .map(|index| index.with_rebuilt_shards(db, &affected));
+            .map(|index| index.with_rebuilt_shards(db, affected));
         let sizes = ShardSizes::of(&self.classification, index.as_ref());
-        (
+        Self {
+            config: self.config.clone(),
+            patterns: self.patterns.clone(),
+            classification: self.classification.clone(),
+            index,
+            joins: Arc::clone(&self.joins),
+            probes: Arc::clone(&self.probes),
+            sizes,
+        }
+    }
+
+    /// Derives a next-generation core that has absorbed a row-level change
+    /// feed: the events are applied to a copy of `db` and their indexed
+    /// consequences routed into per-shard side logs — **no frozen partition
+    /// is rebuilt**, queries merge log and partition on the fly.  Returns
+    /// the new database, the derived core and the shards whose logs changed.
+    /// With the inverted index disabled only the base data moves.
+    pub(crate) fn derive_with_ingested(
+        &self,
+        db: &Database,
+        feed: &soda_ingest::ChangeFeed,
+    ) -> soda_relation::Result<(Database, Self, Vec<usize>)> {
+        let ingestor = soda_ingest::Ingestor::new(self.config.shards.max(1));
+        let mut next = db.clone();
+        let (index, touched) = match &self.index {
+            Some(index) => {
+                // Clone only the logs the feed will touch (the others get
+                // cheap empty placeholders and are `Arc`-shared afterwards),
+                // so an ingest never copies the accumulated overlays of
+                // unrelated shards.
+                let will_touch: Vec<usize> = self.shards_for_tables(&feed.tables());
+                let mut logs: Vec<soda_relation::SideLog> = index
+                    .side_logs()
+                    .iter()
+                    .enumerate()
+                    .map(|(i, log)| {
+                        if will_touch.contains(&i) {
+                            (**log).clone()
+                        } else {
+                            soda_relation::SideLog::default()
+                        }
+                    })
+                    .collect();
+                let report = ingestor.absorb_into(&mut next, &mut logs, feed)?;
+                debug_assert_eq!(
+                    report.touched_shards, will_touch,
+                    "ingestor routing must agree with shards_for_tables"
+                );
+                let patches: Vec<(usize, soda_relation::SideLog)> = report
+                    .touched_shards
+                    .iter()
+                    .map(|&shard| (shard, std::mem::take(&mut logs[shard])))
+                    .collect();
+                (
+                    Some(index.with_patched_side_logs(patches)),
+                    report.touched_shards,
+                )
+            }
+            None => {
+                let report = ingestor.apply_only(&mut next, feed)?;
+                (None, report.touched_shards)
+            }
+        };
+        let sizes = ShardSizes::of(&self.classification, index.as_ref());
+        Ok((
+            next,
             Self {
                 config: self.config.clone(),
                 patterns: self.patterns.clone(),
@@ -157,8 +248,25 @@ impl EngineCore {
                 probes: Arc::clone(&self.probes),
                 sizes,
             },
-            affected,
-        )
+            touched,
+        ))
+    }
+
+    /// The shards currently carrying a non-empty side log — compaction
+    /// candidates.
+    pub(crate) fn shards_with_side_logs(&self) -> Vec<usize> {
+        self.index
+            .as_ref()
+            .map(|index| {
+                index
+                    .side_logs()
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, log)| !log.is_empty())
+                    .map(|(i, _)| i)
+                    .collect()
+            })
+            .unwrap_or_default()
     }
 
     /// Derives a next-generation core for a refreshed metadata graph over an
@@ -219,12 +327,20 @@ impl EngineCore {
             classification_phrases: self.sizes.classification_phrases.clone(),
             index_tokens: self.sizes.index_tokens.clone(),
             index_postings: self.sizes.index_postings.clone(),
+            log_postings: self.sizes.log_postings.clone(),
+            log_rows: self.sizes.log_rows.clone(),
+            log_masks: self.sizes.log_masks.clone(),
             probes: self.probes.counts(),
             generations: vec![0; shards],
         }
     }
 
-    fn context<'a>(&'a self, db: &'a Database, graph: &'a MetaGraph) -> PipelineContext<'a> {
+    fn context<'a>(
+        &'a self,
+        db: &'a Database,
+        graph: &'a MetaGraph,
+        recorder: Option<&'a crate::shard::ProbeRecorder>,
+    ) -> PipelineContext<'a> {
         PipelineContext {
             db,
             graph,
@@ -232,6 +348,7 @@ impl EngineCore {
             classification: &self.classification,
             index: self.index.as_ref(),
             probes: &self.probes,
+            recorder,
             patterns: &self.patterns,
             joins: &self.joins,
         }
@@ -245,7 +362,7 @@ impl EngineCore {
         graph: &MetaGraph,
         input: &str,
     ) -> Result<LookupResult> {
-        let ctx = self.context(db, graph);
+        let ctx = self.context(db, graph, None);
         let query = parse_query(input)?;
         Ok(lookup::run(&ctx, &query))
     }
@@ -257,10 +374,11 @@ impl EngineCore {
         input: &str,
         page: usize,
         page_size: usize,
+        recorder: Option<&crate::shard::ProbeRecorder>,
     ) -> Result<ResultPage> {
         let page_size = page_size.max(1);
         let needed = (page + 1).saturating_mul(page_size).saturating_add(1);
-        let (results, _) = self.search_limited(db, graph, input, None, needed)?;
+        let (results, _) = self.search_limited(db, graph, input, None, needed, recorder)?;
         let total_results = results.len();
         let start = (page * page_size).min(total_results);
         let end = (start + page_size).min(total_results);
@@ -279,7 +397,8 @@ impl EngineCore {
         graph: &MetaGraph,
         input: &str,
     ) -> Result<Vec<TermSuggestion>> {
-        let (_, trace) = self.search_limited(db, graph, input, None, self.config.max_results)?;
+        let (_, trace) =
+            self.search_limited(db, graph, input, None, self.config.max_results, None)?;
         Ok(trace
             .unmatched
             .iter()
@@ -298,8 +417,9 @@ impl EngineCore {
         input: &str,
         feedback: Option<&FeedbackStore>,
         max_results: usize,
+        recorder: Option<&crate::shard::ProbeRecorder>,
     ) -> Result<(Vec<SodaResult>, QueryTrace)> {
-        let ctx = self.context(db, graph);
+        let ctx = self.context(db, graph, recorder);
         let query = parse_query(input)?;
         let mut timings = StepTimings::default();
 
@@ -533,7 +653,7 @@ impl<'a> SodaEngine<'a> {
     /// `config.max_results`.
     pub fn search_paged(&self, input: &str, page: usize, page_size: usize) -> Result<ResultPage> {
         self.core
-            .search_paged(self.db, self.graph, input, page, page_size)
+            .search_paged(self.db, self.graph, input, page, page_size, None)
     }
 
     /// Reformulation suggestions for the input words the lookup step could not
@@ -554,6 +674,7 @@ impl<'a> SodaEngine<'a> {
             input,
             feedback,
             self.core.config().max_results,
+            None,
         )
     }
 

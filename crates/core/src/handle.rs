@@ -34,9 +34,11 @@ use std::sync::{Arc, Mutex};
 
 use arc_swap::ArcSwap;
 
+use soda_ingest::ChangeFeed;
 use soda_metagraph::MetaGraph;
 use soda_relation::Database;
 
+use crate::error::Result;
 use crate::snapshot::EngineSnapshot;
 
 /// An atomically swappable, generation-stamping cell holding the current
@@ -130,19 +132,67 @@ impl SnapshotHandle {
     /// tables from `db` and publishes a derived snapshot that shares every
     /// other structure with the current one.  Only the rebuilt partitions'
     /// generation slots are bumped — the other shards keep serving their
-    /// existing postings with zero rebuild cost.  Note that interpretation
-    /// caches keyed by [`EngineSnapshot::cache_fingerprint`] still retire
-    /// *all* of the superseded generation's pages (the fingerprint covers
-    /// the publication generation): the per-shard slots buy cheap rebuilds
-    /// and uninterrupted serving, not page retention — retaining provably
-    /// unaffected pages is a recorded follow-on.  Returns the new
-    /// generation.
+    /// existing postings with zero rebuild cost.  Interpretation caches
+    /// keyed by [`EngineSnapshot::cache_fingerprint`] see every page of the
+    /// superseded generation stop being addressable; the serving layer's
+    /// retention pass ([`EngineSnapshot::retains_page`]) re-keys the pages
+    /// that provably never consulted a rebuilt partition instead of
+    /// recomputing them.  Returns the new generation.
     pub fn rebuild_shards(&self, db: Arc<Database>, tables: &[String]) -> u64 {
         let _writer = self.writer.lock().expect("snapshot writer poisoned");
         let generation = self.next_generation.fetch_add(1, Ordering::Relaxed);
         let next = self.load().derive_rebuilt_tables(db, tables, generation);
         self.current.store(Arc::new(next));
         generation
+    }
+
+    /// Streaming ingestion: absorbs a row-level [`ChangeFeed`] into a new
+    /// generation **without rebuilding any frozen index partition** — the
+    /// events are applied to a copy of the base data and their indexed
+    /// consequences accumulate in per-shard side logs that every probe
+    /// merges on the fly.  Only the shards whose logs changed get their
+    /// generation slot bumped.  Returns the new generation; on any feed
+    /// error (unknown table, arity violation) nothing is published and the
+    /// current generation keeps serving.
+    ///
+    /// Side logs tax probes on their shard; fold them back into rebuilt
+    /// partitions with [`compact`](Self::compact) once they outgrow a
+    /// budget (`soda_ingest::CompactionPolicy` decides when).
+    pub fn absorb(&self, feed: &ChangeFeed) -> Result<u64> {
+        let _writer = self.writer.lock().expect("snapshot writer poisoned");
+        // Reserve the number only after the derive succeeds, so a rejected
+        // feed leaves no gap in the generation sequence.
+        let generation = self.next_generation.load(Ordering::Relaxed);
+        let next = self.load().derive_absorbed(feed, generation)?;
+        self.current.store(Arc::new(next));
+        self.next_generation
+            .store(generation + 1, Ordering::Relaxed);
+        Ok(generation)
+    }
+
+    /// Folds the side logs of `shards` into freshly rebuilt partitions — the
+    /// background half of streaming ingestion, reusing the per-shard rebuild
+    /// machinery of [`rebuild_shards`](Self::rebuild_shards) against the
+    /// *current* base data (which already contains every logged row), so
+    /// answers are unchanged by construction.  Shards without a log to fold
+    /// are skipped; returns `None` (publishing nothing) when none of the
+    /// named shards has one, otherwise the new generation.
+    pub fn compact(&self, shards: &[usize]) -> Option<u64> {
+        let _writer = self.writer.lock().expect("snapshot writer poisoned");
+        let current = self.load();
+        let logged = current.shards_with_side_logs();
+        let foldable: Vec<usize> = shards
+            .iter()
+            .copied()
+            .filter(|s| logged.contains(s))
+            .collect();
+        if foldable.is_empty() {
+            return None;
+        }
+        let generation = self.next_generation.fetch_add(1, Ordering::Relaxed);
+        let next = current.derive_compacted(&foldable, generation);
+        self.current.store(Arc::new(next));
+        Some(generation)
     }
 
     /// Per-shard hot swap for a metadata refresh: rebuilds the
@@ -296,6 +346,119 @@ mod tests {
         assert!(!after.search("Zebulon").unwrap().is_empty());
         // The old generation still serves its old view.
         assert!(before.search("Zebulon").unwrap().is_empty());
+    }
+
+    fn address_feed(id: i64, city: &str) -> ChangeFeed {
+        ChangeFeed::new().append_row(
+            "addresses",
+            vec![
+                soda_relation::Value::Int(id),
+                soda_relation::Value::Int(1),
+                soda_relation::Value::from("Stream Lane 1"),
+                soda_relation::Value::from(city),
+                soda_relation::Value::from("Switzerland"),
+            ],
+        )
+    }
+
+    #[test]
+    fn absorb_serves_new_rows_without_touching_frozen_partitions() {
+        let w = soda_warehouse::minibank::build(42);
+        let config = SodaConfig {
+            shards: 4,
+            ..SodaConfig::default()
+        };
+        let handle = SnapshotHandle::new(Arc::new(EngineSnapshot::build(
+            Arc::new(w.database),
+            Arc::new(w.graph.clone()),
+            config.clone(),
+        )));
+        let before = handle.load();
+        assert!(before.search("Streamville").unwrap().is_empty());
+
+        let generation = handle.absorb(&address_feed(900, "Streamville")).unwrap();
+        assert_eq!(generation, 1);
+        let after = handle.load();
+        assert!(!after.search("Streamville").unwrap().is_empty());
+        // The pinned old generation still serves its old view.
+        assert!(before.search("Streamville").unwrap().is_empty());
+
+        // No frozen partition was rebuilt: every shard Arc is shared.
+        for (old, new) in before
+            .inverted_index()
+            .unwrap()
+            .shards()
+            .iter()
+            .zip(after.inverted_index().unwrap().shards())
+        {
+            assert!(Arc::ptr_eq(old, new), "absorb must not rebuild partitions");
+        }
+        // Only the owning shard's generation slot is bumped.
+        let owner = soda_relation::shard_for_table("addresses", 4);
+        for (i, &slot) in after.shard_generations().iter().enumerate() {
+            assert_eq!(slot, if i == owner { 1 } else { 0 }, "shard {i}");
+        }
+        assert_eq!(after.shards_with_side_logs(), vec![owner]);
+        assert_ne!(after.cache_fingerprint(), before.cache_fingerprint());
+
+        // Byte-identical to a full rebuild over the absorbed database.
+        let fresh = EngineSnapshot::build(after.database_arc(), after.graph_arc(), config.clone());
+        for query in ["Streamville", "Sara Guttinger", "wealthy customers"] {
+            assert_eq!(
+                after.search(query).unwrap(),
+                fresh.search(query).unwrap(),
+                "'{query}' diverged from full rebuild"
+            );
+        }
+        let stats = after.shard_stats();
+        assert!(stats.log_postings[owner] > 0);
+        assert_eq!(stats.log_rows[owner], 1);
+    }
+
+    #[test]
+    fn compact_folds_side_logs_without_changing_answers() {
+        let handle = minibank_handle(4);
+        handle.absorb(&address_feed(900, "Streamville")).unwrap();
+        let logged = handle.load();
+        let owner = soda_relation::shard_for_table("addresses", 4);
+        let expected = logged.search("Streamville").unwrap();
+        assert!(!expected.is_empty());
+
+        let generation = handle.compact(&[0, 1, 2, 3]).expect("a log to fold");
+        assert_eq!(generation, 2);
+        let folded = handle.load();
+        assert!(folded.shards_with_side_logs().is_empty());
+        assert_eq!(folded.shard_stats().log_postings, vec![0; 4]);
+        assert_eq!(folded.search("Streamville").unwrap(), expected);
+        // Only the folded shard's slot moves; untouched partitions stay
+        // shared between the logged and the folded generation.
+        for (i, (old, new)) in logged
+            .inverted_index()
+            .unwrap()
+            .shards()
+            .iter()
+            .zip(folded.inverted_index().unwrap().shards())
+            .enumerate()
+        {
+            assert_eq!(Arc::ptr_eq(old, new), i != owner, "shard {i}");
+        }
+        assert_eq!(folded.shard_generations()[owner], 2);
+
+        // Nothing left to fold: no generation is spent.
+        assert!(handle.compact(&[0, 1, 2, 3]).is_none());
+        assert_eq!(handle.generation(), 2);
+    }
+
+    #[test]
+    fn rejected_feeds_publish_nothing_and_leave_no_generation_gap() {
+        let handle = minibank_handle(2);
+        let bad = ChangeFeed::new().append_row("no_such_table", vec![]);
+        assert!(handle.absorb(&bad).is_err());
+        assert_eq!(handle.generation(), 0);
+        // The next successful publication continues the sequence densely.
+        let generation = handle.absorb(&address_feed(901, "Gapless")).unwrap();
+        assert_eq!(generation, 1);
+        assert!(!handle.load().search("Gapless").unwrap().is_empty());
     }
 
     #[test]

@@ -60,12 +60,13 @@ pub use pipeline::lookup::LookupResult;
 pub use provenance::Provenance;
 pub use query::{normalize_query, parse_query, QueryTerm, QueryValue, SodaQuery};
 pub use result::{Interpretation, QueryTrace, ResultPage, SodaResult, StepTimings};
-pub use shard::{ShardProbes, ShardStats};
-pub use snapshot::EngineSnapshot;
+pub use shard::{ProbeDep, ProbeRecorder, ShardProbes, ShardStats};
+pub use snapshot::{EngineSnapshot, RetentionGate};
 pub use suggest::TermSuggestion;
 
-// Re-exported so hot-swap callers (the serving layer hands new databases and
-// metadata graphs to `SnapshotHandle`) need no direct dependency on the
-// lower crates.
+// Re-exported so hot-swap callers (the serving layer hands new databases,
+// metadata graphs and change feeds to `SnapshotHandle`) need no direct
+// dependency on the lower crates.
+pub use soda_ingest::{ChangeFeed, CompactionPolicy, RowEvent};
 pub use soda_metagraph::MetaGraph;
 pub use soda_relation::{Database, Value};

@@ -306,23 +306,31 @@ fn base_data_hits(ctx: &PipelineContext<'_>, phrase: &str) -> Vec<PhraseHit> {
     let Some(index) = ctx.index else {
         return Vec::new();
     };
-    let Some(probe) = index.probe(phrase) else {
+    let probe = index.probe(phrase);
+    if let Some(recorder) = ctx.recorder {
+        // Probing is a dependency even when it misses: ingested rows could
+        // give a postings-free phrase candidates later, so a cached page is
+        // only reusable while the probe outcome is provably unchanged.
+        recorder.record_probe(phrase, probe.as_ref().map(|p| p.token.clone()));
+    }
+    let Some(probe) = probe else {
         return Vec::new();
     };
-    let shards = index.shards();
-    // Shards with candidate postings for the probe token, largest first; the
-    // probe counters track which shards carried real scan work.
-    let mut busy: Vec<(usize, usize)> = shards
-        .iter()
-        .enumerate()
-        .filter_map(|(i, shard)| {
-            let candidates = shard.probe_candidates(&probe).len();
+    // Shards with candidate postings (frozen + side log) for the probe
+    // token, largest first; the probe counters track which shards carried
+    // real scan work.
+    let mut busy: Vec<(usize, usize)> = (0..index.shard_count())
+        .filter_map(|i| {
+            let candidates = index.shard_candidates(i, &probe);
             (candidates > 0).then_some((i, candidates))
         })
         .collect();
     busy.sort_by_key(|&(i, candidates)| (std::cmp::Reverse(candidates), i));
     for &(i, _) in &busy {
         ctx.probes.record(i);
+        if let Some(recorder) = ctx.recorder {
+            recorder.touch(i);
+        }
     }
     let total_candidates: usize = busy.iter().map(|&(_, n)| n).sum();
     // Helper threads are only worth their spawn cost for shards with a
@@ -342,15 +350,12 @@ fn base_data_hits(ctx: &PipelineContext<'_>, phrase: &str) -> Vec<PhraseHit> {
                 let probe = &probe;
                 let handles: Vec<_> = helpers
                     .iter()
-                    .map(|&i| {
-                        let shard = &shards[i];
-                        scope.spawn(move || shard.probe_phrase(ctx.db, probe))
-                    })
+                    .map(|&i| scope.spawn(move || index.probe_shard(i, ctx.db, probe)))
                     .collect();
                 let mut results: Vec<Vec<PhraseHit>> = busy
                     .iter()
                     .filter(|&&(i, _)| !helpers.contains(&i))
-                    .map(|&(i, _)| shards[i].probe_phrase(ctx.db, probe))
+                    .map(|&(i, _)| index.probe_shard(i, ctx.db, probe))
                     .collect();
                 results.extend(
                     handles
@@ -361,7 +366,7 @@ fn base_data_hits(ctx: &PipelineContext<'_>, phrase: &str) -> Vec<PhraseHit> {
             })
         } else {
             busy.iter()
-                .map(|&(i, _)| shards[i].probe_phrase(ctx.db, &probe))
+                .map(|&(i, _)| index.probe_shard(i, ctx.db, &probe))
                 .collect()
         };
     merge_hits(per_shard)

@@ -26,7 +26,7 @@ use crate::classification::ClassificationIndex;
 use crate::config::SodaConfig;
 use crate::joins::JoinCatalog;
 use crate::patterns::SodaPatterns;
-use crate::shard::ShardProbes;
+use crate::shard::{ProbeRecorder, ShardProbes};
 
 /// Shared, read-only context handed to every pipeline step.
 pub struct PipelineContext<'a> {
@@ -45,6 +45,11 @@ pub struct PipelineContext<'a> {
     pub index: Option<&'a ShardedInvertedIndex>,
     /// Per-shard probe counters, bumped by the lookup step.
     pub probes: &'a ShardProbes,
+    /// Optional per-query dependency recorder: when present, the lookup
+    /// step reports which shards its base-data probes scanned and which
+    /// probe token each phrase selected — what the serving layer needs to
+    /// retain cached pages across data-only snapshot swaps.
+    pub recorder: Option<&'a ProbeRecorder>,
     /// The metadata-graph patterns.
     pub patterns: &'a SodaPatterns,
     /// The pre-computed join catalog.

@@ -7,7 +7,8 @@
 //! on every base-data probe, and the [`ShardStats`] snapshot the serving
 //! layer surfaces through its metrics.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
 
 /// Per-shard probe counters, shared by every pipeline run of one engine.
 ///
@@ -56,6 +57,85 @@ impl ShardProbes {
     }
 }
 
+/// One base-data probe dependency of a served query: the phrase the lookup
+/// step probed and the globally-chosen probe token it scanned (`None` when
+/// the phrase had no postings anywhere, which is itself a dependency — rows
+/// ingested later could give it some).
+///
+/// Recorded by a [`ProbeRecorder`] and kept with cached result pages: after
+/// a data-only snapshot swap, a page provably still answers correctly when
+/// every recorded probe still selects the same token and none of the swap's
+/// dirty shards holds candidates for it (see
+/// [`EngineSnapshot::retains_page`](crate::EngineSnapshot::retains_page)).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, serde::Serialize)]
+pub struct ProbeDep {
+    /// The probed phrase, as handed to the inverted index.
+    pub phrase: String,
+    /// The probe token the index selected (normalized), or `None` when the
+    /// phrase could not be probed.
+    pub token: Option<String>,
+}
+
+/// Records what one query's lookup actually consulted in the base data: the
+/// shards its probes scanned and the (phrase, token) pair of every probe.
+///
+/// Thread-safe because the lookup step fans probes out over scoped threads;
+/// shards are a relaxed bitmask (counts don't matter, membership does) and
+/// the dependency list sits behind a mutex taken once per probed phrase.
+/// Shard indexes ≥ 64 set the overflow flag instead — consumers must then
+/// treat the query as having touched everything.
+#[derive(Debug, Default)]
+pub struct ProbeRecorder {
+    mask: AtomicU64,
+    overflow: AtomicBool,
+    deps: Mutex<Vec<ProbeDep>>,
+}
+
+impl ProbeRecorder {
+    /// A fresh recorder (nothing touched).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Marks `shard` as scanned by a probe.
+    pub fn touch(&self, shard: usize) {
+        if shard < 64 {
+            self.mask.fetch_or(1 << shard, Ordering::Relaxed);
+        } else {
+            self.overflow.store(true, Ordering::Relaxed);
+        }
+    }
+
+    /// Records one phrase probe and its selected token (deduplicated by
+    /// phrase — the same phrase always selects the same token within one
+    /// snapshot).
+    pub fn record_probe(&self, phrase: &str, token: Option<String>) {
+        let mut deps = self.deps.lock().expect("probe deps poisoned");
+        if !deps.iter().any(|d| d.phrase == phrase) {
+            deps.push(ProbeDep {
+                phrase: phrase.to_string(),
+                token,
+            });
+        }
+    }
+
+    /// Bitmask of the shards scanned (bit i = shard i; only meaningful when
+    /// [`overflowed`](Self::overflowed) is false).
+    pub fn touched_mask(&self) -> u64 {
+        self.mask.load(Ordering::Relaxed)
+    }
+
+    /// True when a shard index beyond the mask width was touched.
+    pub fn overflowed(&self) -> bool {
+        self.overflow.load(Ordering::Relaxed)
+    }
+
+    /// The recorded probe dependencies.
+    pub fn deps(&self) -> Vec<ProbeDep> {
+        self.deps.lock().expect("probe deps poisoned").clone()
+    }
+}
+
 /// Per-shard sizes and probe counts of one engine's lookup layer, exposed by
 /// [`SodaEngine::shard_stats`](crate::SodaEngine::shard_stats) /
 /// [`EngineSnapshot::shard_stats`](crate::EngineSnapshot::shard_stats) and
@@ -71,6 +151,16 @@ pub struct ShardStats {
     pub index_tokens: Vec<usize>,
     /// Inverted-index postings per shard (empty when disabled).
     pub index_postings: Vec<usize>,
+    /// Side-log postings per shard — the streaming-ingestion overlay a
+    /// compaction folds back into the frozen partition (empty when the
+    /// inverted index is disabled, all zero when nothing was ingested).
+    pub log_postings: Vec<usize>,
+    /// Side-log rows per shard.
+    pub log_rows: Vec<usize>,
+    /// Masked tables per shard's side log (replaced/truncated tables whose
+    /// frozen postings are filtered on every probe until a compaction folds
+    /// them — any mask makes the shard due).
+    pub log_masks: Vec<usize>,
     /// Base-data probes served per shard since the engine was built.  Probe
     /// counters are shared across derived snapshot generations (a per-shard
     /// rebuild does not reset the other shards' history).
@@ -119,9 +209,36 @@ mod tests {
             classification_phrases: vec![10, 12],
             index_tokens: vec![5, 7],
             index_postings: vec![100, 90],
+            log_postings: vec![0, 8],
+            log_rows: vec![0, 2],
+            log_masks: vec![0, 1],
             probes: vec![3, 4],
             generations: vec![0, 1],
         };
         assert_eq!(stats.total_probes(), 7);
+    }
+
+    #[test]
+    fn recorder_tracks_shards_and_deduplicates_phrases() {
+        let rec = ProbeRecorder::new();
+        rec.touch(0);
+        rec.touch(3);
+        rec.record_probe("zurich", Some("zurich".into()));
+        rec.record_probe("zurich", Some("zurich".into()));
+        rec.record_probe("nowhere", None);
+        assert_eq!(rec.touched_mask(), 0b1001);
+        assert!(!rec.overflowed());
+        let deps = rec.deps();
+        assert_eq!(deps.len(), 2);
+        assert_eq!(deps[0].token.as_deref(), Some("zurich"));
+        assert_eq!(deps[1].token, None);
+    }
+
+    #[test]
+    fn recorder_overflows_past_the_mask_width() {
+        let rec = ProbeRecorder::new();
+        rec.touch(64);
+        assert!(rec.overflowed());
+        assert_eq!(rec.touched_mask(), 0);
     }
 }

@@ -40,7 +40,7 @@ use crate::joins::JoinCatalog;
 use crate::patterns::SodaPatterns;
 use crate::pipeline::lookup::LookupResult;
 use crate::result::{QueryTrace, ResultPage, SodaResult};
-use crate::shard::ShardStats;
+use crate::shard::{ProbeDep, ProbeRecorder, ShardStats};
 use crate::suggest::TermSuggestion;
 
 /// An owned, immutable, thread-safe SODA engine.
@@ -67,10 +67,10 @@ use crate::suggest::TermSuggestion;
 /// partitions each publication touched (surfaced through
 /// [`shard_stats`](Self::shard_stats)).  [`cache_fingerprint`](Self::cache_fingerprint)
 /// folds the configuration fingerprint together with the publication
-/// generation and the vector, so every publication retires the previous
-/// generation's cached pages wholesale; per-page retention across a swap
-/// (keeping pages whose probes never touched a rebuilt partition) is a
-/// recorded follow-on.
+/// generation and the vector, so a superseded generation's cached pages
+/// stop being addressable; for data-only swaps the serving layer re-keys
+/// pages that provably never consulted a dirty shard
+/// ([`retains_page`](Self::retains_page)) instead of recomputing them.
 pub struct EngineSnapshot {
     db: Arc<Database>,
     graph: Arc<MetaGraph>,
@@ -140,6 +140,54 @@ impl EngineSnapshot {
         }
         Self {
             db,
+            graph: Arc::clone(&self.graph),
+            core,
+            generation,
+            shard_generations,
+        }
+    }
+
+    /// Derives a snapshot that has absorbed a row-level change feed: the
+    /// events are applied to a copy of the base data and routed into
+    /// per-shard side logs — **no frozen index partition is touched**.  The
+    /// shards whose logs changed get `generation` stamped into their slot
+    /// (they answer differently now), everything else is shared with `self`.
+    pub(crate) fn derive_absorbed(
+        &self,
+        feed: &soda_ingest::ChangeFeed,
+        generation: u64,
+    ) -> Result<Self> {
+        let (db, core, touched) = self.core.derive_with_ingested(&self.db, feed)?;
+        let mut shard_generations = self.shard_generations.clone();
+        for shard in touched {
+            if let Some(slot) = shard_generations.get_mut(shard) {
+                *slot = generation;
+            }
+        }
+        Ok(Self {
+            db: Arc::new(db),
+            graph: Arc::clone(&self.graph),
+            core,
+            generation,
+            shard_generations,
+        })
+    }
+
+    /// Derives a snapshot in which the partitions named by `shards` are
+    /// rebuilt from the *current* base data, folding (and clearing) their
+    /// side logs — a compaction.  Answers are unchanged by construction (the
+    /// database already contains every logged row); the folded shards' slots
+    /// get `generation` so fingerprint-scoped caches notice.
+    pub(crate) fn derive_compacted(&self, shards: &[usize], generation: u64) -> Self {
+        let core = self.core.derive_with_rebuilt_partitions(&self.db, shards);
+        let mut shard_generations = self.shard_generations.clone();
+        for &shard in shards {
+            if let Some(slot) = shard_generations.get_mut(shard) {
+                *slot = generation;
+            }
+        }
+        Self {
+            db: Arc::clone(&self.db),
             graph: Arc::clone(&self.graph),
             core,
             generation,
@@ -256,6 +304,87 @@ impl EngineSnapshot {
         stats
     }
 
+    /// The partitions owning `tables`, sorted and deduplicated — the dirty
+    /// set of a data-only swap over those tables.
+    pub fn shards_for_tables(&self, tables: &[String]) -> Vec<usize> {
+        self.core.shards_for_tables(tables)
+    }
+
+    /// The shards currently carrying a non-empty ingestion side log —
+    /// compaction candidates.
+    pub fn shards_with_side_logs(&self) -> Vec<usize> {
+        self.core.shards_with_side_logs()
+    }
+
+    /// Decides whether a result page computed against an *earlier* snapshot
+    /// generation provably still answers correctly against `self`, given
+    /// that the swap between them was **data-only** (base rows of the tables
+    /// owned by `dirty` changed; schemas, metadata graph and configuration
+    /// identical) and given what the page's query actually consulted:
+    ///
+    /// * `touched_mask` / `touched_overflow` — the shards its probes scanned
+    ///   (from a [`ProbeRecorder`]),
+    /// * `deps` — the phrases it probed and the probe tokens they selected.
+    ///
+    /// The page survives when none of its probes scanned a dirty shard, and
+    /// for every probed phrase the *new* index still selects the same probe
+    /// token with zero candidates in every dirty shard — then the hit set is
+    /// computed from the same postings over unchanged rows (non-lookup
+    /// pipeline steps only read schema-level catalog data, which a data
+    /// delta cannot change).  Everything else is conservatively rejected.
+    pub fn retains_page(
+        &self,
+        touched_mask: u64,
+        touched_overflow: bool,
+        deps: &[ProbeDep],
+        dirty: &[usize],
+    ) -> bool {
+        RetentionGate::new(self, dirty).retains(touched_mask, touched_overflow, deps)
+    }
+
+    /// Whether one probe dependency is provably unchanged by a data-only
+    /// swap dirtying `dirty`: the index still selects the same probe token
+    /// for the phrase, and no dirty shard holds candidates for it.  The
+    /// building block of [`retains_page`](Self::retains_page); swap-time
+    /// cache passes memoize it per distinct dependency through a
+    /// [`RetentionGate`].
+    pub fn probe_dep_unchanged(&self, dep: &ProbeDep, dirty: &[usize]) -> bool {
+        let Some(index) = self.core.inverted_index() else {
+            // Without an inverted index no query consults base rows during
+            // interpretation, so data deltas cannot change any page.
+            return true;
+        };
+        let probe = index.probe(&dep.phrase);
+        match (&probe, &dep.token) {
+            (None, None) => true,
+            (Some(probe), Some(token)) if &probe.token == token => dirty
+                .iter()
+                .all(|&shard| index.shard_candidates(shard, probe) == 0),
+            _ => false,
+        }
+    }
+
+    /// Like [`search_paged`](Self::search_paged), additionally reporting
+    /// into `recorder` which shards the query's base-data probes scanned and
+    /// which probe token each phrase selected — the dependency set
+    /// [`retains_page`](Self::retains_page) consumes.
+    pub fn search_paged_recorded(
+        &self,
+        input: &str,
+        page: usize,
+        page_size: usize,
+        recorder: &ProbeRecorder,
+    ) -> Result<ResultPage> {
+        self.core.search_paged(
+            &self.db,
+            &self.graph,
+            input,
+            page,
+            page_size,
+            Some(recorder),
+        )
+    }
+
     /// Runs only Step 1 (lookup) for an input (see
     /// [`SodaEngine::lookup`](crate::SodaEngine::lookup)).
     pub fn lookup(&self, input: &str) -> Result<LookupResult> {
@@ -275,6 +404,7 @@ impl EngineSnapshot {
             input,
             None,
             self.config().max_results,
+            None,
         )
     }
 
@@ -292,6 +422,7 @@ impl EngineSnapshot {
                 input,
                 Some(feedback),
                 self.config().max_results,
+                None,
             )
             .map(|(results, _)| results)
     }
@@ -300,7 +431,7 @@ impl EngineSnapshot {
     /// [`SodaEngine::search_paged`](crate::SodaEngine::search_paged)).
     pub fn search_paged(&self, input: &str, page: usize, page_size: usize) -> Result<ResultPage> {
         self.core
-            .search_paged(&self.db, &self.graph, input, page, page_size)
+            .search_paged(&self.db, &self.graph, input, page, page_size, None)
     }
 
     /// Reformulation suggestions for unmatched input words.
@@ -317,6 +448,58 @@ impl EngineSnapshot {
     /// `config.snippet_rows` rows shown on the result page.
     pub fn snippet(&self, result: &SodaResult) -> Result<String> {
         self.core.snippet(&self.db, result)
+    }
+}
+
+/// A memoizing retention checker for one data-only swap episode: each
+/// distinct probe dependency is checked against the new index at most once,
+/// no matter how many cached pages share it — the swap-time pass over a
+/// full cache costs `O(distinct dependencies)` probes instead of
+/// `O(entries × deps)`.
+pub struct RetentionGate<'a> {
+    snapshot: &'a EngineSnapshot,
+    dirty: &'a [usize],
+    memo: std::collections::HashMap<ProbeDep, bool>,
+}
+
+impl<'a> RetentionGate<'a> {
+    /// A gate for pages crossing the swap that dirtied `dirty` shards,
+    /// checked against the *new* snapshot.
+    pub fn new(snapshot: &'a EngineSnapshot, dirty: &'a [usize]) -> Self {
+        Self {
+            snapshot,
+            dirty,
+            memo: std::collections::HashMap::new(),
+        }
+    }
+
+    /// [`EngineSnapshot::retains_page`] with the per-dependency probe checks
+    /// memoized across calls.
+    pub fn retains(
+        &mut self,
+        touched_mask: u64,
+        touched_overflow: bool,
+        deps: &[ProbeDep],
+    ) -> bool {
+        if self.dirty.is_empty() {
+            return true;
+        }
+        if touched_overflow || self.dirty.iter().any(|&s| s >= 64) {
+            return false;
+        }
+        if self.dirty.iter().any(|&s| touched_mask & (1 << s) != 0) {
+            return false;
+        }
+        deps.iter().all(|dep| self.dep_unchanged(dep))
+    }
+
+    fn dep_unchanged(&mut self, dep: &ProbeDep) -> bool {
+        if let Some(&ok) = self.memo.get(dep) {
+            return ok;
+        }
+        let ok = self.snapshot.probe_dep_unchanged(dep, self.dirty);
+        self.memo.insert(dep.clone(), ok);
+        ok
     }
 }
 
@@ -422,6 +605,92 @@ mod tests {
         // on the shards holding the matched tables.
         assert_eq!(stats.probes.len(), 4);
         assert!(stats.total_probes() > 0);
+    }
+
+    #[test]
+    fn retains_page_attests_only_provably_unaffected_queries() {
+        // At 8 shards `individuals` (shard 7) and `addresses` (shard 3) land
+        // in different partitions — the split this test relies on.
+        let shards = 8;
+        assert_ne!(
+            soda_relation::shard_for_table("individuals", shards),
+            soda_relation::shard_for_table("addresses", shards),
+        );
+        let w = soda_warehouse::minibank::build(42);
+        let handle = crate::SnapshotHandle::new(Arc::new(EngineSnapshot::build(
+            Arc::new(w.database),
+            Arc::new(w.graph),
+            SodaConfig {
+                shards,
+                ..SodaConfig::default()
+            },
+        )));
+        let recorder = crate::shard::ProbeRecorder::new();
+        handle
+            .load()
+            .search_paged_recorded("Sara Guttinger", 0, 10, &recorder)
+            .unwrap();
+        let deps = recorder.deps();
+        assert!(!deps.is_empty(), "the query probes the base data");
+        let mask = recorder.touched_mask();
+        assert!(!recorder.overflowed());
+
+        // Ingest into `addresses`: the Sara page provably never saw it.
+        let feed = crate::ChangeFeed::new().append_row(
+            "addresses",
+            vec![
+                soda_relation::Value::Int(900),
+                soda_relation::Value::Int(1),
+                soda_relation::Value::from("Retain Lane 1"),
+                soda_relation::Value::from("Retainville"),
+                soda_relation::Value::from("Switzerland"),
+            ],
+        );
+        handle.absorb(&feed).unwrap();
+        let after = handle.load();
+        let dirty = after.shards_for_tables(&["addresses".to_string()]);
+        assert!(after.retains_page(mask, false, &deps, &dirty));
+        // …and the retained answer really is unchanged.
+        assert_eq!(
+            after.search("Sara Guttinger").unwrap(),
+            handle.load().search("Sara Guttinger").unwrap()
+        );
+
+        // A swap dirtying a shard the page's probes scanned is rejected.
+        let sara_shard = after.shards_for_tables(&["individuals".to_string()]);
+        assert!(!after.retains_page(mask, false, &deps, &sara_shard));
+        // Overflowed recorders and empty dirty sets take the trivial paths.
+        assert!(!after.retains_page(mask, true, &deps, &dirty));
+        assert!(after.retains_page(mask, true, &deps, &[]));
+
+        // A feed that gives a previously postings-free phrase candidates in
+        // a dirty shard kills pages that probed it: "Retainville" was
+        // nowhere before this absorb, so a page that probed it carried a
+        // `None` token — and now the probe resolves.
+        let nowhere = crate::shard::ProbeRecorder::new();
+        handle
+            .load()
+            .search_paged_recorded("Nowhereville", 0, 10, &nowhere)
+            .unwrap();
+        let nowhere_deps = nowhere.deps();
+        assert!(nowhere_deps.iter().any(|d| d.token.is_none()));
+        let retain_probe = crate::shard::ProbeRecorder::new();
+        handle
+            .load()
+            .search_paged_recorded("Retainville", 0, 10, &retain_probe)
+            .unwrap();
+        assert!(
+            retain_probe.deps().iter().any(|d| d.token.is_some()),
+            "the absorbed row resolves the probe"
+        );
+        // Against a hypothetical swap dirtying the addresses shard, the
+        // Retainville page (whose probe scanned it) must not be retained.
+        assert!(!after.retains_page(
+            retain_probe.touched_mask(),
+            retain_probe.overflowed(),
+            &retain_probe.deps(),
+            &dirty
+        ));
     }
 
     #[test]

@@ -78,6 +78,96 @@ fn corpus_is_shard_invariant_on_the_enterprise_warehouse() {
     assert_corpus_invariant("enterprise", &warehouse);
 }
 
+/// The acceptance invariant of streaming ingestion: with live (uncompacted)
+/// side logs covering appends *and* a wholesale replacement, generated SQL
+/// is byte-identical to a snapshot fully rebuilt over the absorbed database
+/// — at every shard count, and identical across shard counts.
+#[test]
+fn corpus_is_invariant_with_live_side_logs() {
+    use soda_core::{ChangeFeed, EngineSnapshot, SnapshotHandle, Value};
+    use std::sync::Arc;
+
+    let warehouse = minibank::build(42);
+    let individual = {
+        let table = warehouse.database.table("individuals").unwrap();
+        let mut row = table.rows()[0].clone();
+        row[0] = Value::Int(9_999);
+        row[1] = Value::from("Zebulon");
+        row
+    };
+    let feed = ChangeFeed::new()
+        .append_row(
+            "addresses",
+            vec![
+                Value::Int(900),
+                Value::Int(1),
+                Value::from("Log Lane 1"),
+                Value::from("Sidelogville"),
+                Value::from("Switzerland"),
+            ],
+        )
+        .append_row("individuals", individual)
+        .replace(
+            "securities",
+            vec![vec![
+                Value::Int(1),
+                Value::from("Alpine Gold Bond"),
+                Value::from("CH0000000001"),
+            ]],
+        );
+    let corpus: Vec<&str> = CORPUS
+        .iter()
+        .copied()
+        .chain(["Sidelogville", "Zebulon", "Alpine Gold Bond", "securities"])
+        .collect();
+
+    let mut per_shard_answers: Vec<Vec<String>> = Vec::new();
+    for &shards in SHARD_COUNTS {
+        let config = SodaConfig {
+            shards,
+            ..SodaConfig::default()
+        };
+        let handle = SnapshotHandle::new(Arc::new(EngineSnapshot::build(
+            Arc::new(warehouse.database.clone()),
+            Arc::new(warehouse.graph.clone()),
+            config.clone(),
+        )));
+        handle.absorb(&feed).expect("feed absorbs");
+        let absorbed = handle.load();
+        assert!(
+            !absorbed.shards_with_side_logs().is_empty(),
+            "the probes below must exercise live side logs"
+        );
+        let rebuilt = EngineSnapshot::build(absorbed.database_arc(), absorbed.graph_arc(), config);
+        let mut answers: Vec<String> = Vec::new();
+        for query in &corpus {
+            match (absorbed.search(query), rebuilt.search(query)) {
+                (Ok(a), Ok(b)) => {
+                    assert_eq!(
+                        a, b,
+                        "'{query}' diverged from a full rebuild at {shards} shards"
+                    );
+                    answers.extend(a.into_iter().map(|r| r.sql));
+                }
+                (Err(_), Err(_)) => {}
+                _ => panic!("'{query}' error behaviour diverged at {shards} shards"),
+            }
+        }
+        assert!(
+            answers.iter().any(|sql| sql.contains("Sidelogville")),
+            "the appended row must be reachable"
+        );
+        per_shard_answers.push(answers);
+    }
+    for (i, answers) in per_shard_answers.iter().enumerate().skip(1) {
+        assert_eq!(
+            &per_shard_answers[0], answers,
+            "live-side-log answers diverged between {} and {} shards",
+            SHARD_COUNTS[0], SHARD_COUNTS[i]
+        );
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 

@@ -1,0 +1,202 @@
+//! Row-level change events and the ordered feed that carries them.
+
+use soda_relation::Row;
+
+/// One row-level change to one table.
+///
+/// Events are ordered: a feed replays them in sequence, so `Replace`
+/// supersedes earlier events for the same table and later `Append`s extend
+/// the replacement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RowEvent {
+    /// One row appended after the table's existing rows.
+    Append {
+        /// Target table (matched case-insensitively, like the catalog).
+        table: String,
+        /// The appended row.
+        row: Row,
+    },
+    /// The table's content replaced wholesale (dimension restatement).
+    Replace {
+        /// Target table.
+        table: String,
+        /// The replacement rows.
+        rows: Vec<Row>,
+    },
+    /// Every row of the table dropped.
+    Truncate {
+        /// Target table.
+        table: String,
+    },
+}
+
+impl RowEvent {
+    /// The table this event touches.
+    pub fn table(&self) -> &str {
+        match self {
+            RowEvent::Append { table, .. }
+            | RowEvent::Replace { table, .. }
+            | RowEvent::Truncate { table } => table,
+        }
+    }
+
+    /// Number of rows this event carries.
+    pub fn row_count(&self) -> usize {
+        match self {
+            RowEvent::Append { .. } => 1,
+            RowEvent::Replace { rows, .. } => rows.len(),
+            RowEvent::Truncate { .. } => 0,
+        }
+    }
+}
+
+/// An ordered sequence of [`RowEvent`]s — the unit an ingestion absorbs.
+///
+/// Builder-style construction mirrors `soda_warehouse::delta::WarehouseDelta`
+/// (whose `to_feed` adapter produces exactly this type):
+///
+/// ```
+/// use soda_ingest::ChangeFeed;
+/// use soda_relation::Value;
+///
+/// let feed = ChangeFeed::new()
+///     .append_row("trades", vec![Value::Int(1), Value::from("CHF")])
+///     .truncate("stale_dim");
+/// assert_eq!(feed.len(), 2);
+/// assert_eq!(feed.row_count(), 1);
+/// assert_eq!(feed.tables(), vec!["stale_dim".to_string(), "trades".to_string()]);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ChangeFeed {
+    events: Vec<RowEvent>,
+}
+
+impl ChangeFeed {
+    /// An empty feed.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one row to `table`.
+    pub fn append_row(mut self, table: impl Into<String>, row: Row) -> Self {
+        self.events.push(RowEvent::Append {
+            table: table.into(),
+            row,
+        });
+        self
+    }
+
+    /// Appends many rows to `table` (one event per row, preserving order).
+    pub fn append_rows(mut self, table: impl Into<String>, rows: Vec<Row>) -> Self {
+        let table = table.into();
+        for row in rows {
+            self.events.push(RowEvent::Append {
+                table: table.clone(),
+                row,
+            });
+        }
+        self
+    }
+
+    /// Replaces `table`'s content wholesale.
+    pub fn replace(mut self, table: impl Into<String>, rows: Vec<Row>) -> Self {
+        self.events.push(RowEvent::Replace {
+            table: table.into(),
+            rows,
+        });
+        self
+    }
+
+    /// Truncates `table`.
+    pub fn truncate(mut self, table: impl Into<String>) -> Self {
+        self.events.push(RowEvent::Truncate {
+            table: table.into(),
+        });
+        self
+    }
+
+    /// Pushes a pre-built event.
+    pub fn push(&mut self, event: RowEvent) {
+        self.events.push(event);
+    }
+
+    /// Appends every event of `other` after this feed's events.
+    pub fn merge(mut self, other: ChangeFeed) -> Self {
+        self.events.extend(other.events);
+        self
+    }
+
+    /// The events, in order.
+    pub fn events(&self) -> &[RowEvent] {
+        &self.events
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when the feed carries no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Total rows carried by the feed's events.
+    pub fn row_count(&self) -> usize {
+        self.events.iter().map(RowEvent::row_count).sum()
+    }
+
+    /// The distinct tables the feed touches, lower-cased and sorted — the
+    /// set whose owning shards an absorb dirties (and what a cache-retention
+    /// check needs to know).
+    pub fn tables(&self) -> Vec<String> {
+        let mut tables: Vec<String> = self
+            .events
+            .iter()
+            .map(|e| e.table().to_lowercase())
+            .collect();
+        tables.sort_unstable();
+        tables.dedup();
+        tables
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soda_relation::Value;
+
+    #[test]
+    fn builder_preserves_event_order() {
+        let feed = ChangeFeed::new()
+            .append_row("a", vec![Value::Int(1)])
+            .replace("b", vec![vec![Value::Int(2)], vec![Value::Int(3)]])
+            .truncate("a");
+        assert_eq!(feed.len(), 3);
+        assert_eq!(feed.row_count(), 3);
+        assert!(matches!(feed.events()[2], RowEvent::Truncate { .. }));
+        assert_eq!(feed.events()[1].row_count(), 2);
+    }
+
+    #[test]
+    fn tables_are_case_folded_sorted_and_deduped() {
+        let feed = ChangeFeed::new()
+            .append_row("Trades", vec![])
+            .append_row("ADDRESSES", vec![])
+            .truncate("trades");
+        assert_eq!(
+            feed.tables(),
+            vec!["addresses".to_string(), "trades".to_string()]
+        );
+    }
+
+    #[test]
+    fn merge_concatenates_in_order() {
+        let a = ChangeFeed::new().append_row("t", vec![Value::Int(1)]);
+        let b = ChangeFeed::new().truncate("t");
+        let merged = a.merge(b);
+        assert_eq!(merged.len(), 2);
+        assert!(matches!(merged.events()[1], RowEvent::Truncate { .. }));
+        assert!(ChangeFeed::new().is_empty());
+    }
+}

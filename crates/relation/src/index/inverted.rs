@@ -26,6 +26,7 @@
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::Arc;
 
+use super::sidelog::SideLog;
 use super::tokenizer::tokenize;
 use crate::catalog::Database;
 use crate::value::Value;
@@ -200,21 +201,49 @@ impl IndexShard {
     /// Returns one hit per distinct `(table, column, cell value)`, sorted by
     /// that triple.
     pub fn probe_phrase(&self, db: &Database, probe: &PhraseProbe) -> Vec<PhraseHit> {
-        let candidates = self.probe_candidates(probe);
+        self.probe_phrase_with_log(db, probe, &SideLog::default())
+    }
+
+    /// Probes this shard *overlaid with its side log*: frozen candidates of
+    /// masked tables are skipped (their rows were replaced or truncated
+    /// since the partition was built), the log's candidates join the scan,
+    /// and per-triple row counts accumulate across both sources.  Frozen
+    /// and log postings are row-disjoint by construction (appends index
+    /// only the new tail rows; replacements mask the frozen side), so the
+    /// result is byte-identical to probing a partition freshly rebuilt over
+    /// `db`.
+    pub fn probe_phrase_with_log(
+        &self,
+        db: &Database,
+        probe: &PhraseProbe,
+        log: &SideLog,
+    ) -> Vec<PhraseHit> {
         let mut hits: BTreeMap<(String, String, String), usize> = BTreeMap::new();
-        for posting in candidates {
-            let Ok(table) = db.table(&posting.table) else {
-                continue;
+        {
+            let mut scan = |posting: &Posting| {
+                let Ok(table) = db.table(&posting.table) else {
+                    return;
+                };
+                let Some(value) = table.value(posting.row, &posting.column) else {
+                    return;
+                };
+                let Value::Text(text) = value else { return };
+                let normalized = tokenize(text).join(" ");
+                if normalized.contains(&probe.needle) {
+                    *hits
+                        .entry((posting.table.clone(), posting.column.clone(), text.clone()))
+                        .or_default() += 1;
+                }
             };
-            let Some(value) = table.value(posting.row, &posting.column) else {
-                continue;
-            };
-            let Value::Text(text) = value else { continue };
-            let normalized = tokenize(text).join(" ");
-            if normalized.contains(&probe.needle) {
-                *hits
-                    .entry((posting.table.clone(), posting.column.clone(), text.clone()))
-                    .or_default() += 1;
+            let masked = log.has_masks();
+            for posting in self.probe_candidates(probe) {
+                if masked && log.masks(&posting.table) {
+                    continue;
+                }
+                scan(posting);
+            }
+            for posting in log.candidates(probe) {
+                scan(posting);
             }
         }
         hits.into_iter()
@@ -247,8 +276,15 @@ pub fn merge_hits(per_shard: Vec<Vec<PhraseHit>>) -> Vec<PhraseHit> {
 #[derive(Debug, Clone)]
 pub struct ShardedInvertedIndex {
     shards: Vec<Arc<IndexShard>>,
-    /// Number of distinct tokens across all shards (a token whose postings
-    /// span several tables can live in several shards).
+    /// Per-shard side logs, parallel to `shards` (all empty until a
+    /// streaming ingestion derives a logged index via
+    /// [`with_side_logs`](Self::with_side_logs)).  Every probe merges a
+    /// shard with its log; a rebuild of a partition folds (and clears) its
+    /// log.
+    logs: Vec<Arc<SideLog>>,
+    /// Number of distinct tokens across all *frozen* shards (a token whose
+    /// postings span several tables can live in several shards);
+    /// [`token_count`](Self::token_count) adds the log-only tokens on top.
     distinct_tokens: usize,
 }
 
@@ -256,6 +292,7 @@ impl Default for ShardedInvertedIndex {
     fn default() -> Self {
         Self {
             shards: vec![Arc::new(IndexShard::default())],
+            logs: vec![Arc::new(SideLog::default())],
             distinct_tokens: 0,
         }
     }
@@ -285,6 +322,15 @@ impl ShardedInvertedIndex {
     /// rebuilt partition's posting scan dominates it in practice, and the
     /// count must span all shards anyway (tokens overlap across partitions).
     fn from_shards(shards: Vec<Arc<IndexShard>>) -> Self {
+        let logs = shards
+            .iter()
+            .map(|_| Arc::new(SideLog::default()))
+            .collect();
+        Self::from_parts(shards, logs)
+    }
+
+    fn from_parts(shards: Vec<Arc<IndexShard>>, logs: Vec<Arc<SideLog>>) -> Self {
+        debug_assert_eq!(shards.len(), logs.len());
         let distinct_tokens = {
             let mut tokens: HashSet<&str> = HashSet::new();
             for shard in &shards {
@@ -294,18 +340,22 @@ impl ShardedInvertedIndex {
         };
         Self {
             shards,
+            logs,
             distinct_tokens,
         }
     }
 
     /// Derives an index over `db` in which only the partitions named by
     /// `affected` are rebuilt (from `db`, scanning just the tables they own);
-    /// every other partition is shared with `self` by [`Arc`].
+    /// every other partition is shared with `self` by [`Arc`].  A rebuilt
+    /// partition's side log is folded by construction (the rebuild scans
+    /// `db`, which already contains the logged rows), so its log comes back
+    /// empty; unaffected partitions keep their logs.
     ///
     /// Sound only when the tables owned by the *unaffected* partitions are
     /// unchanged between the database this index was built from and `db` —
-    /// their postings carry row indexes into those tables.  Out-of-range
-    /// entries in `affected` are ignored.
+    /// their postings (and side-log postings) carry row indexes into those
+    /// tables.  Out-of-range entries in `affected` are ignored.
     pub fn with_rebuilt_shards(&self, db: &Database, affected: &[usize]) -> Self {
         let shard_count = self.shards.len();
         let shards = self
@@ -320,7 +370,53 @@ impl ShardedInvertedIndex {
                 }
             })
             .collect();
-        Self::from_shards(shards)
+        let logs = self
+            .logs
+            .iter()
+            .enumerate()
+            .map(|(i, log)| {
+                if affected.contains(&i) {
+                    Arc::new(SideLog::default())
+                } else {
+                    Arc::clone(log)
+                }
+            })
+            .collect();
+        Self::from_parts(shards, logs)
+    }
+
+    /// Derives an index with the same frozen partitions but new side logs —
+    /// the publication step of streaming ingestion.  `logs.len()` must equal
+    /// the shard count.
+    pub fn with_side_logs(&self, logs: Vec<SideLog>) -> Self {
+        assert_eq!(
+            logs.len(),
+            self.shards.len(),
+            "one side log per index partition"
+        );
+        Self {
+            shards: self.shards.clone(),
+            logs: logs.into_iter().map(Arc::new).collect(),
+            distinct_tokens: self.distinct_tokens,
+        }
+    }
+
+    /// Like [`with_side_logs`](Self::with_side_logs), but replaces only the
+    /// logs named by `patches` and `Arc`-shares every other shard's log with
+    /// `self` — so an ingest touching one shard never copies the accumulated
+    /// logs of the others.  Out-of-range patch indexes are ignored.
+    pub fn with_patched_side_logs(&self, patches: Vec<(usize, SideLog)>) -> Self {
+        let mut logs: Vec<Arc<SideLog>> = self.logs.iter().map(Arc::clone).collect();
+        for (shard, log) in patches {
+            if let Some(slot) = logs.get_mut(shard) {
+                *slot = Arc::new(log);
+            }
+        }
+        Self {
+            shards: self.shards.clone(),
+            logs,
+            distinct_tokens: self.distinct_tokens,
+        }
     }
 
     /// Number of shards.
@@ -335,9 +431,51 @@ impl ShardedInvertedIndex {
         &self.shards
     }
 
-    /// Number of distinct tokens across all shards.
+    /// The per-shard side logs, parallel to [`shards`](Self::shards) (empty
+    /// logs for an index that never absorbed a change feed).
+    pub fn side_logs(&self) -> &[Arc<SideLog>] {
+        &self.logs
+    }
+
+    /// True when any shard carries a non-empty side log.
+    pub fn has_side_logs(&self) -> bool {
+        self.logs.iter().any(|l| !l.is_empty())
+    }
+
+    /// Side-log postings per shard, in partition order.
+    pub fn side_log_postings(&self) -> Vec<usize> {
+        self.logs.iter().map(|l| l.posting_count()).collect()
+    }
+
+    /// Side-log rows per shard, in partition order.
+    pub fn side_log_rows(&self) -> Vec<usize> {
+        self.logs.iter().map(|l| l.row_count()).collect()
+    }
+
+    /// Masked tables per shard's side log, in partition order.  A mask taxes
+    /// every probe of its shard even when the log holds no postings (frozen
+    /// candidates are filtered per posting), so compaction policies treat
+    /// any mask as worth folding.
+    pub fn side_log_masks(&self) -> Vec<usize> {
+        self.logs.iter().map(|l| l.masked_tables().len()).collect()
+    }
+
+    /// Number of distinct tokens across all shards *and* their side logs
+    /// (tokens of masked frozen postings still count — this is a size gauge,
+    /// not a semantic invariant).
     pub fn token_count(&self) -> usize {
-        self.distinct_tokens
+        if !self.has_side_logs() {
+            return self.distinct_tokens;
+        }
+        let mut extra: HashSet<&str> = HashSet::new();
+        for log in &self.logs {
+            for token in log.tokens() {
+                if !self.shards.iter().any(|s| s.postings.contains_key(token)) {
+                    extra.insert(token);
+                }
+            }
+        }
+        self.distinct_tokens + extra.len()
     }
 
     /// Number of indexed text cells.
@@ -355,25 +493,63 @@ impl ShardedInvertedIndex {
         self.shards.iter().map(|s| s.posting_count()).sum()
     }
 
-    /// Total postings for a single token across all shards.
+    /// Total *live* postings for a single token across all shards: frozen
+    /// postings of masked tables are excluded and side-log postings are
+    /// included, so the count equals what a full rebuild over the ingested
+    /// database would report.  Probe-token selection rides on this, which is
+    /// what keeps the chosen token — and therefore the candidate scan and
+    /// the generated SQL — identical between a side-log-merged index and a
+    /// fully rebuilt one.
     pub fn token_frequency(&self, token: &str) -> usize {
         let key = token.to_lowercase();
-        self.shards
-            .iter()
-            .map(|s| s.postings.get(&key).map_or(0, Vec::len))
+        (0..self.shards.len())
+            .map(|i| self.shard_token_frequency(i, &key))
             .sum()
     }
 
+    /// Live postings of an already-normalized token in one shard (frozen
+    /// minus masked, plus log).
+    fn shard_token_frequency(&self, shard: usize, key: &str) -> usize {
+        let log = &self.logs[shard];
+        let frozen = match self.shards[shard].postings.get(key) {
+            Some(list) if log.has_masks() => list.iter().filter(|p| !log.masks(&p.table)).count(),
+            Some(list) => list.len(),
+            None => 0,
+        };
+        frozen + log.postings_of(key).len()
+    }
+
     /// Postings for a single token (lower-cased internally), merged across
-    /// shards into the canonical order `(table, column, row)`.
+    /// shards and side logs into the canonical order `(table, column, row)`.
     pub fn lookup_token(&self, token: &str) -> Vec<Posting> {
-        let mut out: Vec<Posting> = self
-            .shards
-            .iter()
-            .flat_map(|s| s.lookup_token(token).iter().cloned())
-            .collect();
+        let key = token.to_lowercase();
+        let mut out: Vec<Posting> = Vec::new();
+        for (shard, log) in self.shards.iter().zip(&self.logs) {
+            let masked = log.has_masks();
+            out.extend(
+                shard
+                    .lookup_token(&key)
+                    .iter()
+                    .filter(|p| !(masked && log.masks(&p.table)))
+                    .cloned(),
+            );
+            out.extend(log.postings_of(&key).iter().cloned());
+        }
         out.sort_by(|a, b| (&a.table, &a.column, a.row).cmp(&(&b.table, &b.column, b.row)));
         out
+    }
+
+    /// Probes one shard, merged with its side log — the unit of work of the
+    /// lookup step's per-shard fan-out.
+    pub fn probe_shard(&self, shard: usize, db: &Database, probe: &PhraseProbe) -> Vec<PhraseHit> {
+        self.shards[shard].probe_phrase_with_log(db, probe, &self.logs[shard])
+    }
+
+    /// Number of candidate postings (frozen + side log) a probe would scan
+    /// in one shard.  Frozen candidates of masked tables are included — this
+    /// gauges scan work for the fan-out heuristics, not the hit count.
+    pub fn shard_candidates(&self, shard: usize, probe: &PhraseProbe) -> usize {
+        self.shards[shard].probe_candidates(probe).len() + self.logs[shard].candidates(probe).len()
     }
 
     /// Prepares a phrase probe: normalizes the phrase and selects the
@@ -412,9 +588,8 @@ impl ShardedInvertedIndex {
             return Vec::new();
         };
         merge_hits(
-            self.shards
-                .iter()
-                .map(|shard| shard.probe_phrase(db, &probe))
+            (0..self.shards.len())
+                .map(|shard| self.probe_shard(shard, db, &probe))
                 .collect(),
         )
     }
@@ -677,6 +852,136 @@ mod tests {
         // Out-of-range indexes are ignored.
         let noop = after.with_rebuilt_shards(&db, &[99]);
         for (old, new) in after.shards().iter().zip(noop.shards()) {
+            assert!(Arc::ptr_eq(old, new));
+        }
+    }
+
+    /// Builds per-shard side logs reflecting `events` applied on top of
+    /// `base`: the canonical ingestion shape (`soda-ingest` drives the same
+    /// calls through its `Ingestor`).
+    fn logged_index_after(
+        base: &Database,
+        shards: usize,
+        apply: impl Fn(&mut Database, &mut Vec<SideLog>),
+    ) -> (Database, InvertedIndex) {
+        let idx = InvertedIndex::build_sharded(base, shards);
+        let mut db = base.clone();
+        let mut logs = vec![SideLog::default(); shards];
+        apply(&mut db, &mut logs);
+        (db, idx.with_side_logs(logs))
+    }
+
+    #[test]
+    fn side_log_merged_index_matches_a_full_rebuild() {
+        let base = db();
+        for shards in [1usize, 2, 4, 8] {
+            let (new_db, logged) = logged_index_after(&base, shards, |db, logs| {
+                // Append a new address row…
+                let start = db.table("address").unwrap().row_count();
+                db.insert(
+                    "address",
+                    vec![Value::Int(13), Value::from("Basel"), Value::Int(4001)],
+                )
+                .unwrap();
+                logs[shard_for_table("address", shards)]
+                    .append_rows(db.table("address").unwrap(), start);
+                // …and replace the organization table wholesale.
+                db.table_mut("organization").unwrap().truncate();
+                db.insert(
+                    "organization",
+                    vec![
+                        Value::Int(7),
+                        Value::from("Basler Bank"),
+                        Value::from("Basel"),
+                    ],
+                )
+                .unwrap();
+                logs[shard_for_table("organization", shards)]
+                    .replace_table(db.table("organization").unwrap());
+            });
+            let rebuilt = InvertedIndex::build_sharded(&new_db, shards);
+            for phrase in [
+                "Basel",
+                "Basler Bank",
+                "Zurich",
+                "Credit Suisse",
+                "Switzerland",
+                "Geneva",
+                "",
+            ] {
+                assert_eq!(
+                    logged.lookup_phrase(&new_db, phrase),
+                    rebuilt.lookup_phrase(&new_db, phrase),
+                    "phrase '{phrase}' diverged at {shards} shards"
+                );
+                assert_eq!(
+                    logged.lookup_token(phrase),
+                    rebuilt.lookup_token(phrase),
+                    "token '{phrase}' diverged at {shards} shards"
+                );
+                assert_eq!(
+                    logged.token_frequency(phrase),
+                    rebuilt.token_frequency(phrase),
+                    "frequency of '{phrase}' diverged at {shards} shards"
+                );
+            }
+            // Probe selection is identical, so the same token is scanned.
+            assert_eq!(
+                logged.probe("Basler Bank"),
+                rebuilt.probe("Basler Bank"),
+                "probe choice diverged at {shards} shards"
+            );
+            // Credit Suisse was replaced away: both views agree it is gone.
+            assert!(logged.lookup_phrase(&new_db, "Credit Suisse").is_empty());
+            assert!(logged.has_side_logs());
+            assert!(!rebuilt.has_side_logs());
+        }
+    }
+
+    #[test]
+    fn rebuilding_a_shard_folds_its_side_log() {
+        let base = db();
+        let shards = 4;
+        let (new_db, logged) = logged_index_after(&base, shards, |db, logs| {
+            let start = db.table("address").unwrap().row_count();
+            db.insert(
+                "address",
+                vec![Value::Int(13), Value::from("Basel"), Value::Int(4001)],
+            )
+            .unwrap();
+            logs[shard_for_table("address", shards)]
+                .append_rows(db.table("address").unwrap(), start);
+        });
+        let owner = shard_for_table("address", shards);
+        assert!(!logged.side_logs()[owner].is_empty());
+        let folded = logged.with_rebuilt_shards(&new_db, &[owner]);
+        assert!(folded.side_logs()[owner].is_empty(), "log must be folded");
+        assert!(!folded.has_side_logs());
+        assert_eq!(
+            folded.lookup_phrase(&new_db, "Basel"),
+            logged.lookup_phrase(&new_db, "Basel"),
+            "folding must not change answers"
+        );
+        assert_eq!(folded.side_log_postings(), vec![0; shards]);
+        assert!(logged.side_log_postings()[owner] > 0);
+        assert_eq!(logged.side_log_rows()[owner], 1);
+    }
+
+    #[test]
+    fn patched_side_logs_share_untouched_overlays() {
+        let base = db();
+        let shards = 4;
+        let idx = InvertedIndex::build_sharded(&base, shards);
+        let mut log = SideLog::default();
+        log.truncate_table("address");
+        let patched = idx.with_patched_side_logs(vec![(1, log), (99, SideLog::default())]);
+        for (i, (old, new)) in idx.side_logs().iter().zip(patched.side_logs()).enumerate() {
+            assert_eq!(Arc::ptr_eq(old, new), i != 1, "log {i}");
+        }
+        assert_eq!(patched.side_log_masks(), vec![0, 1, 0, 0]);
+        assert_eq!(idx.side_log_masks(), vec![0; shards]);
+        // Frozen partitions are shared wholesale.
+        for (old, new) in idx.shards().iter().zip(patched.shards()) {
             assert!(Arc::ptr_eq(old, new));
         }
     }

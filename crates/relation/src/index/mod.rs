@@ -1,4 +1,6 @@
-//! Base-data indexing: tokenizer and inverted index over text columns.
+//! Base-data indexing: tokenizer, inverted index over text columns and the
+//! per-shard side logs streaming ingestion overlays on top of it.
 
 pub mod inverted;
+pub mod sidelog;
 pub mod tokenizer;

@@ -1,0 +1,259 @@
+//! Per-shard side logs: append-only posting overlays for streaming ingestion.
+//!
+//! A frozen [`IndexShard`](super::inverted::IndexShard) is immutable by
+//! design — freshness normally comes from rebuilding the partition.  A
+//! [`SideLog`] is the cheap alternative for row-level change feeds: it
+//! indexes *only* the rows an ingestion event touched, in the same
+//! `(table, column, row)` posting shape as the frozen shard, and the probe
+//! path merges both deterministically
+//! ([`IndexShard::probe_phrase_with_log`](super::inverted::IndexShard::probe_phrase_with_log)).
+//!
+//! Three event shapes map onto the log:
+//!
+//! * **Append** — the new rows get postings with their absolute row indexes
+//!   (which continue after the frozen rows, so frozen and log postings are
+//!   row-disjoint by construction).
+//! * **Replace** — the table is *masked*: its frozen postings are dead (the
+//!   rows they point at were replaced), any earlier log postings for it are
+//!   dropped, and the replacement rows are indexed from row 0.
+//! * **Truncate** — masked, postings dropped, nothing indexed.
+//!
+//! Because appended rows extend the table the frozen postings point into,
+//! and masked tables hide the frozen postings entirely, the merged view is
+//! *posting-for-posting identical* to a shard freshly rebuilt over the
+//! updated database — which is what keeps generated SQL byte-identical to a
+//! full rebuild (the invariant the shard-invariance tests pin down).
+//!
+//! Logs are meant to stay small: a compaction layer folds a grown log into
+//! a rebuilt partition (see `soda-ingest`'s `CompactionPolicy` and
+//! `soda_core::SnapshotHandle::compact`), after which the log is empty
+//! again.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+use super::inverted::{PhraseProbe, Posting};
+use super::tokenizer::tokenize;
+use crate::table::Table;
+use crate::value::Value;
+
+/// An append-only posting overlay over one frozen index partition.
+///
+/// Not internally synchronised: the ingestion layer builds the next
+/// generation's logs on the writer thread and publishes them immutably
+/// behind `Arc`s (see
+/// [`ShardedInvertedIndex::with_side_logs`](super::inverted::ShardedInvertedIndex::with_side_logs)).
+#[derive(Debug, Default, Clone)]
+pub struct SideLog {
+    /// Postings of the ingested rows, keyed by normalized token.
+    postings: HashMap<String, Vec<Posting>>,
+    /// Lower-cased names of tables whose *frozen* postings are superseded
+    /// (replaced or truncated since the partition was built).
+    masked: Vec<String>,
+    /// Live rows indexed into this log, per (lower-cased) table.
+    rows: BTreeMap<String, usize>,
+}
+
+impl SideLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// True when the log carries neither postings nor masks — merging it is
+    /// a no-op and compaction has nothing to fold.
+    pub fn is_empty(&self) -> bool {
+        self.postings.is_empty() && self.masked.is_empty()
+    }
+
+    /// Number of postings in the log.
+    pub fn posting_count(&self) -> usize {
+        self.postings.values().map(Vec::len).sum()
+    }
+
+    /// Number of live rows indexed into the log across all tables.
+    pub fn row_count(&self) -> usize {
+        self.rows.values().sum()
+    }
+
+    /// Lower-cased names of the tables whose frozen postings this log
+    /// supersedes.
+    pub fn masked_tables(&self) -> &[String] {
+        &self.masked
+    }
+
+    /// True when any table is masked (the probe path can skip per-posting
+    /// mask checks otherwise).
+    pub fn has_masks(&self) -> bool {
+        !self.masked.is_empty()
+    }
+
+    /// True when `table`'s frozen postings are superseded by this log.
+    pub fn masks(&self, table: &str) -> bool {
+        self.masked.iter().any(|m| m.eq_ignore_ascii_case(table))
+    }
+
+    /// The distinct tokens present in the log.
+    pub fn tokens(&self) -> impl Iterator<Item = &str> {
+        self.postings.keys().map(String::as_str)
+    }
+
+    /// Log postings of an (already normalized) token.
+    pub fn postings_of(&self, token: &str) -> &[Posting] {
+        self.postings.get(token).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Candidate log postings of a prepared probe's token — the overlay
+    /// counterpart of
+    /// [`IndexShard::probe_candidates`](super::inverted::IndexShard::probe_candidates).
+    pub fn candidates(&self, probe: &PhraseProbe) -> &[Posting] {
+        self.postings_of(&probe.token)
+    }
+
+    /// Indexes the rows of `table` from `start_row` to the end (an append
+    /// event: the rows before `start_row` are already covered, either by the
+    /// frozen partition or by earlier log entries).
+    pub fn append_rows(&mut self, table: &Table, start_row: usize) {
+        let indexed = self.index_range(table, start_row);
+        *self.rows.entry(table.name().to_lowercase()).or_default() += indexed;
+    }
+
+    /// Records a wholesale replacement of `table`: masks its frozen
+    /// postings, drops any earlier log postings for it and indexes the
+    /// replacement rows from row 0.
+    pub fn replace_table(&mut self, table: &Table) {
+        self.drop_table(table.name());
+        self.mask(table.name());
+        let indexed = self.index_range(table, 0);
+        self.rows.insert(table.name().to_lowercase(), indexed);
+    }
+
+    /// Records a truncation of the table named `name`: masks its frozen
+    /// postings and drops any earlier log postings for it.
+    pub fn truncate_table(&mut self, name: &str) {
+        self.drop_table(name);
+        self.mask(name);
+        self.rows.insert(name.to_lowercase(), 0);
+    }
+
+    fn mask(&mut self, name: &str) {
+        if !self.masks(name) {
+            self.masked.push(name.to_lowercase());
+            self.masked.sort_unstable();
+        }
+    }
+
+    fn drop_table(&mut self, name: &str) {
+        self.postings.retain(|_, list| {
+            list.retain(|p| !p.table.eq_ignore_ascii_case(name));
+            !list.is_empty()
+        });
+        self.rows.remove(&name.to_lowercase());
+    }
+
+    /// Indexes every text cell of `table`'s rows `start_row..` into the log,
+    /// mirroring the frozen build's per-cell token dedup.  Returns the
+    /// number of rows indexed.
+    fn index_range(&mut self, table: &Table, start_row: usize) -> usize {
+        let schema = table.schema();
+        let rows = table.rows();
+        for (col_idx, col) in schema.columns.iter().enumerate() {
+            if col.data_type != crate::value::DataType::Text {
+                continue;
+            }
+            for (row_idx, row) in rows.iter().enumerate().skip(start_row) {
+                if let Value::Text(text) = &row[col_idx] {
+                    let mut seen: HashSet<String> = HashSet::new();
+                    for token in tokenize(text) {
+                        if seen.insert(token.clone()) {
+                            self.postings.entry(token).or_default().push(Posting {
+                                table: schema.name.clone(),
+                                column: col.name.clone(),
+                                row: row_idx,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        rows.len().saturating_sub(start_row)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::Database;
+    use crate::schema::TableSchema;
+    use crate::value::DataType;
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.create_table(
+            TableSchema::builder("city")
+                .column("id", DataType::Int)
+                .column("name", DataType::Text)
+                .build(),
+        )
+        .unwrap();
+        db.insert("city", vec![Value::Int(1), Value::from("Zurich")])
+            .unwrap();
+        db.insert("city", vec![Value::Int(2), Value::from("Geneva")])
+            .unwrap();
+        db
+    }
+
+    #[test]
+    fn append_indexes_only_the_new_rows_with_absolute_indexes() {
+        let mut db = db();
+        let mut log = SideLog::new();
+        db.insert("city", vec![Value::Int(3), Value::from("Basel Stadt")])
+            .unwrap();
+        log.append_rows(db.table("city").unwrap(), 2);
+        assert!(!log.is_empty());
+        assert_eq!(log.row_count(), 1);
+        assert_eq!(log.posting_count(), 2); // "basel", "stadt"
+        assert_eq!(log.postings_of("basel")[0].row, 2);
+        assert!(log.postings_of("zurich").is_empty());
+        assert!(!log.has_masks());
+    }
+
+    #[test]
+    fn replace_masks_and_reindexes_from_zero() {
+        let mut db = db();
+        let mut log = SideLog::new();
+        // Earlier append…
+        db.insert("city", vec![Value::Int(3), Value::from("Basel")])
+            .unwrap();
+        log.append_rows(db.table("city").unwrap(), 2);
+        // …then a wholesale replacement drops it and masks the table.
+        db.table_mut("city").unwrap().truncate();
+        db.insert("city", vec![Value::Int(9), Value::from("Chur")])
+            .unwrap();
+        log.replace_table(db.table("city").unwrap());
+        assert!(log.masks("city"));
+        assert!(log.masks("CITY"));
+        assert!(log.postings_of("basel").is_empty());
+        assert_eq!(log.postings_of("chur")[0].row, 0);
+        assert_eq!(log.row_count(), 1);
+    }
+
+    #[test]
+    fn truncate_masks_without_indexing() {
+        let mut log = SideLog::new();
+        log.truncate_table("City");
+        assert!(log.masks("city"));
+        assert_eq!(log.posting_count(), 0);
+        assert_eq!(log.row_count(), 0);
+        assert!(!log.is_empty(), "a mask alone still changes probe results");
+    }
+
+    #[test]
+    fn cells_dedupe_repeated_tokens() {
+        let mut db = db();
+        db.insert("city", vec![Value::Int(3), Value::from("gold gold gold")])
+            .unwrap();
+        let mut log = SideLog::new();
+        log.append_rows(db.table("city").unwrap(), 2);
+        assert_eq!(log.posting_count(), 1);
+    }
+}

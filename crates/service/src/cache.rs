@@ -28,6 +28,11 @@ pub struct CacheStats {
     /// swapped out (see [`LruCache::retain`]); distinct from capacity
     /// evictions.
     pub purged: u64,
+    /// Entries carried *across* a data-only snapshot swap because their
+    /// queries provably never consulted a rebuilt or ingested partition
+    /// (see [`LruCache::rekey`]) — recomputations the generation-aware
+    /// retention saved.
+    pub retained: u64,
     /// Entries currently resident.
     pub len: usize,
     /// Maximum number of resident entries.
@@ -63,6 +68,7 @@ pub struct LruCache<K, V> {
     misses: u64,
     evictions: u64,
     purged: u64,
+    retained: u64,
 }
 
 impl<K: Eq + Hash + Clone, V: Clone> LruCache<K, V> {
@@ -77,6 +83,7 @@ impl<K: Eq + Hash + Clone, V: Clone> LruCache<K, V> {
             misses: 0,
             evictions: 0,
             purged: 0,
+            retained: 0,
         }
     }
 
@@ -155,6 +162,44 @@ impl<K: Eq + Hash + Clone, V: Clone> LruCache<K, V> {
         dropped_stamps.len()
     }
 
+    /// Re-keys or drops every entry in one pass — the swap-time primitive of
+    /// generation-aware page retention.  For each entry, `decide` returns
+    /// the key it should live under from now on (typically the old key with
+    /// the new snapshot fingerprint substituted) or `None` to drop it.
+    /// Recency order survives re-keying.  Returns `(retained, dropped)`;
+    /// entries re-keyed to a *different* key count into
+    /// [`CacheStats::retained`], dropped ones into [`CacheStats::purged`].
+    pub fn rekey<F: FnMut(&K, &V) -> Option<K>>(&mut self, mut decide: F) -> (usize, usize) {
+        let old = std::mem::take(&mut self.map);
+        self.recency.clear();
+        let (mut retained, mut dropped) = (0usize, 0usize);
+        for (key, slot) in old {
+            match decide(&key, &slot.value) {
+                Some(new_key) => {
+                    if new_key != key {
+                        retained += 1;
+                    }
+                    let stamp = slot.stamp;
+                    if let Some(evicted) = self.map.insert(new_key.clone(), slot) {
+                        // Two entries converged on one key (e.g. a fresh
+                        // live-generation page raced the retention pass that
+                        // promotes its predecessor): last one wins, and the
+                        // loser's stamp must not dangle in the recency index
+                        // — a dangling stamp would later evict the live
+                        // entry while the map stays over-counted.
+                        self.recency.remove(&evicted.stamp);
+                        dropped += 1;
+                    }
+                    self.recency.insert(stamp, new_key);
+                }
+                None => dropped += 1,
+            }
+        }
+        self.retained += retained as u64;
+        self.purged += dropped as u64;
+        (retained, dropped)
+    }
+
     /// Number of resident entries.
     pub fn len(&self) -> usize {
         self.map.len()
@@ -177,6 +222,7 @@ impl<K: Eq + Hash + Clone, V: Clone> LruCache<K, V> {
             misses: self.misses,
             evictions: self.evictions,
             purged: self.purged,
+            retained: self.retained,
             len: self.map.len(),
             capacity: self.capacity,
         }
@@ -285,6 +331,80 @@ mod tests {
         cache.insert(other.clone(), 2);
         assert_eq!(cache.get(&key("a")), Some(1));
         assert_eq!(cache.get(&other), Some(2));
+    }
+
+    #[test]
+    fn rekey_remaps_survivors_and_counts_both_outcomes() {
+        let mut cache: LruCache<CacheKey, u32> = LruCache::new(4);
+        cache.insert(key("a"), 1);
+        cache.insert(key("b"), 2);
+        cache.insert(key("c"), 3);
+        // Promote "a" and "c" to fingerprint 9, drop "b".
+        let (retained, dropped) = cache.rekey(|k, _| {
+            (k.normalized != "b").then(|| CacheKey {
+                snapshot_fingerprint: 9,
+                ..k.clone()
+            })
+        });
+        assert_eq!((retained, dropped), (2, 1));
+        let stats = cache.stats();
+        assert_eq!(stats.retained, 2);
+        assert_eq!(stats.purged, 1);
+        assert_eq!(stats.len, 2);
+        // The survivors answer under their new key only.
+        let mut a9 = key("a");
+        a9.snapshot_fingerprint = 9;
+        assert_eq!(cache.get(&a9), Some(1));
+        assert_eq!(cache.get(&key("a")), None);
+        // LRU order survived: "a" was just touched, so "c" evicts first.
+        cache.insert(key("d"), 4);
+        cache.insert(key("e"), 5);
+        cache.insert(key("f"), 6);
+        let mut c9 = key("c");
+        c9.snapshot_fingerprint = 9;
+        assert_eq!(cache.get(&c9), None, "c was the LRU survivor");
+        assert_eq!(cache.get(&a9), Some(1));
+    }
+
+    #[test]
+    fn rekey_collisions_keep_map_and_recency_consistent() {
+        let mut cache: LruCache<CacheKey, u32> = LruCache::new(4);
+        // "a" under the superseded fingerprint 7, plus a fresh racing entry
+        // for the same query already under the live fingerprint 9.
+        let mut a9 = key("a");
+        a9.snapshot_fingerprint = 9;
+        cache.insert(key("a"), 1);
+        cache.insert(a9.clone(), 2);
+        // The retention pass promotes everything to fingerprint 9: the two
+        // entries converge on one key.
+        cache.rekey(|k, _| {
+            Some(CacheKey {
+                snapshot_fingerprint: 9,
+                ..k.clone()
+            })
+        });
+        assert_eq!(cache.len(), 1);
+        assert!(cache.get(&a9).is_some());
+        // No dangling recency stamp: filling the cache to capacity must
+        // evict exactly the LRU entries, never phantom-evict the survivor.
+        cache.insert(key("b"), 3);
+        cache.insert(key("c"), 4);
+        cache.insert(key("d"), 5);
+        assert_eq!(cache.len(), 4);
+        cache.insert(key("e"), 6);
+        assert_eq!(cache.len(), 4);
+        assert_eq!(cache.get(&a9), None, "a9 was the true LRU entry");
+        assert_eq!(cache.get(&key("e")), Some(6));
+    }
+
+    #[test]
+    fn rekey_keeping_the_same_key_counts_as_neither() {
+        let mut cache: LruCache<CacheKey, u32> = LruCache::new(4);
+        cache.insert(key("a"), 1);
+        let (retained, dropped) = cache.rekey(|k, _| Some(k.clone()));
+        assert_eq!((retained, dropped), (0, 0));
+        assert_eq!(cache.stats().retained, 0);
+        assert_eq!(cache.get(&key("a")), Some(1));
     }
 
     #[test]

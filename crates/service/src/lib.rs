@@ -19,7 +19,12 @@
 //!   [`rebuild_shards`](QueryService::rebuild_shards) /
 //!   [`refresh_graph`](QueryService::refresh_graph) swap in a new snapshot
 //!   generation without draining the pool — in-flight queries finish on the
-//!   generation they pinned at submission.
+//!   generation they pinned at submission.  Streaming deltas ride the same
+//!   machinery: [`ingest`](QueryService::ingest) absorbs a row-level
+//!   [`ChangeFeed`](soda_core::ChangeFeed) into per-shard side logs without
+//!   rebuilding a single partition, and a background compaction worker
+//!   (see [`CompactionConfig`]) folds grown logs back into rebuilt
+//!   partitions once they cross a budget.
 //! * [`LruCache`] — an interpretation cache mapping *canonicalized* queries
 //!   ([`soda_core::normalize_query`]) plus the snapshot fingerprint
 //!   (engine configuration ⊕ generation vector,
@@ -54,5 +59,7 @@ pub mod metrics;
 pub mod service;
 
 pub use cache::{CacheKey, CacheStats, LruCache};
-pub use metrics::{LatencySummary, ServiceMetrics};
-pub use service::{JobHandle, JobResult, QueryRequest, QueryService, ServiceConfig, ServiceError};
+pub use metrics::{IngestMetrics, LatencySummary, ServiceMetrics};
+pub use service::{
+    CompactionConfig, JobHandle, JobResult, QueryRequest, QueryService, ServiceConfig, ServiceError,
+};

@@ -33,6 +33,25 @@ pub struct LatencySummary {
     pub max: Duration,
 }
 
+/// Streaming-ingestion counters, embedded in [`ServiceMetrics`].
+///
+/// Current side-log *sizes* live in [`ServiceMetrics::shards`]
+/// (`log_postings` / `log_rows`, re-sampled from the live snapshot); these
+/// are the lifetime counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IngestMetrics {
+    /// Change feeds absorbed ([`QueryService::ingest`](crate::QueryService::ingest)).
+    pub ingests: u64,
+    /// Row events those feeds carried.
+    pub events: u64,
+    /// Rows those events carried.
+    pub rows: u64,
+    /// Compactions performed (manual and background alike).
+    pub compactions: u64,
+    /// Side logs folded into rebuilt partitions across those compactions.
+    pub compacted_shards: u64,
+}
+
 /// One snapshot of the service's health, returned by
 /// [`QueryService::metrics`](crate::QueryService::metrics).
 #[derive(Debug, Clone, PartialEq)]
@@ -64,8 +83,12 @@ pub struct ServiceMetrics {
     /// [`refresh_graph`](crate::QueryService::refresh_graph)).
     pub generation: u64,
     /// Snapshot swaps performed since the service started (full reloads and
-    /// per-shard rebuilds alike).
+    /// per-shard rebuilds alike; streaming ingests and compactions count
+    /// separately, in [`ingest`](Self::ingest)).
     pub reloads: u64,
+    /// Streaming-ingestion counters (feeds absorbed, rows ingested,
+    /// compactions).
+    pub ingest: IngestMetrics,
     /// Per-shard sizes, probe counts and generations of the lookup layer —
     /// re-sampled from the *live* snapshot on every call, so the gauges
     /// track whatever generation is currently serving.

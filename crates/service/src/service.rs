@@ -37,22 +37,37 @@
 //! recomputes against the new snapshot.  No queries are drained, dropped or
 //! errored by a swap.
 //!
-//! Shutdown is graceful: dropping the service stops intake, lets the workers
-//! drain every queued job (resolving their coalesced waiters), then joins
-//! them.
+//! ## Streaming ingestion
+//!
+//! [`ingest`](QueryService::ingest) absorbs a row-level change feed into a
+//! new generation without rebuilding any index partition: the events land in
+//! per-shard side logs that every probe merges on the fly.  A background
+//! compaction worker (opt-in via [`ServiceConfig::compaction`]) folds a
+//! shard's log into a rebuilt partition once it crosses the policy budget —
+//! nudged by every ingest and on a poll interval — so reload latency becomes
+//! a continuous background cost.  Data-only swaps (ingest, shard rebuild,
+//! compaction) run a *generation-aware retention* pass over the cache
+//! instead of the wholesale purge: pages whose recorded probes provably
+//! never consulted a dirty shard are re-keyed to the new fingerprint
+//! ([`CacheStats::retained`](crate::CacheStats)), everything else is purged.
+//!
+//! Shutdown is graceful: dropping the service stops intake (stopping the
+//! compaction worker first), lets the workers drain every queued job
+//! (resolving their coalesced waiters), then joins them.
 
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use soda_core::{
-    normalize_query, Database, EngineSnapshot, MetaGraph, ResultPage, SnapshotHandle, SodaError,
+    normalize_query, ChangeFeed, CompactionPolicy, Database, EngineSnapshot, MetaGraph, ProbeDep,
+    ProbeRecorder, ResultPage, RetentionGate, SnapshotHandle, SodaError,
 };
 
 use crate::cache::{CacheKey, LruCache};
-use crate::metrics::{LatencyRecorder, ServiceMetrics};
+use crate::metrics::{IngestMetrics, LatencyRecorder, ServiceMetrics};
 
 /// Tuning knobs of the service.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -63,6 +78,11 @@ pub struct ServiceConfig {
     pub queue_capacity: usize,
     /// Maximum result pages held by the interpretation cache.
     pub cache_capacity: usize,
+    /// When set, a background compaction worker folds ingestion side logs
+    /// into rebuilt index partitions once they cross the policy's budget
+    /// (`None` — the default — leaves compaction to explicit
+    /// [`QueryService::compact`] calls).
+    pub compaction: Option<CompactionConfig>,
 }
 
 impl Default for ServiceConfig {
@@ -71,6 +91,27 @@ impl Default for ServiceConfig {
             workers: 4,
             queue_capacity: 256,
             cache_capacity: 1024,
+            compaction: None,
+        }
+    }
+}
+
+/// Configuration of the background compaction worker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompactionConfig {
+    /// The side-log budget past which a shard is folded.
+    pub policy: CompactionPolicy,
+    /// How often the worker re-checks the budget on its own.  Every
+    /// [`ingest`](QueryService::ingest) additionally nudges it awake, so a
+    /// threshold crossing is acted on promptly even with a long interval.
+    pub poll_interval: Duration,
+}
+
+impl Default for CompactionConfig {
+    fn default() -> Self {
+        Self {
+            policy: CompactionPolicy::default(),
+            poll_interval: Duration::from_millis(250),
         }
     }
 }
@@ -216,11 +257,27 @@ struct Waiter {
     tx: mpsc::Sender<JobResult>,
 }
 
+/// A cached result page together with what its query actually consulted —
+/// the evidence [`EngineSnapshot::retains_page`] needs to carry the page
+/// across a data-only snapshot swap instead of purging it.
+#[derive(Debug, Clone)]
+struct CachedPage {
+    page: ResultPage,
+    /// Bitmask of the shards the query's base-data probes scanned.
+    touched_mask: u64,
+    /// True when a shard index beyond the mask width was touched (the page
+    /// is then never retained across a swap).
+    touched_overflow: bool,
+    /// The phrases the query probed and the probe tokens they selected
+    /// (`Arc` so cache hits clone cheaply).
+    deps: Arc<Vec<ProbeDep>>,
+}
+
 /// The cache and the pending-jobs map live under ONE mutex so that
 /// probe-then-register is atomic: between a cache miss and the pending
 /// registration no completion can slip through unobserved.
 struct StoreState {
-    cache: LruCache<CacheKey, ResultPage>,
+    cache: LruCache<CacheKey, CachedPage>,
     /// Keys with a job in flight (queued or executing), each with the
     /// waiters coalesced onto it.  An entry is created by the submission
     /// that enqueues the job and removed by the worker at completion (or by
@@ -237,8 +294,23 @@ struct Shared {
     /// what they got; writers publish replacements through
     /// [`QueryService::reload`] and friends.
     handle: SnapshotHandle,
+    /// Serializes the *service-level* swap paths (reload, shard rebuild,
+    /// graph refresh, ingest, compaction) so each one's pre-swap
+    /// fingerprint capture, the handle publication and the cache
+    /// retention/purge form one atomic episode.  Never held by readers.
+    swaps: Mutex<()>,
     /// Snapshot swaps performed (full reloads + per-shard rebuilds).
     reloads: AtomicU64,
+    /// Streaming-ingestion lifetime counters.
+    ingests: AtomicU64,
+    ingest_events: AtomicU64,
+    ingest_rows: AtomicU64,
+    compactions: AtomicU64,
+    compacted_shards: AtomicU64,
+    /// Shutdown flag + wakeup signal of the background compaction worker
+    /// (present even without one; ingest nudges are then no-ops).
+    compactor_shutdown: Mutex<bool>,
+    compactor_wake: Condvar,
     queue: Mutex<QueueState>,
     not_empty: Condvar,
     not_full: Condvar,
@@ -283,6 +355,7 @@ impl Shared {
 pub struct QueryService {
     shared: Arc<Shared>,
     workers: Vec<JoinHandle<()>>,
+    compactor: Option<JoinHandle<()>>,
 }
 
 impl QueryService {
@@ -292,7 +365,15 @@ impl QueryService {
     pub fn start(engine: Arc<EngineSnapshot>, config: ServiceConfig) -> Self {
         let shared = Arc::new(Shared {
             handle: SnapshotHandle::new(engine),
+            swaps: Mutex::new(()),
             reloads: AtomicU64::new(0),
+            ingests: AtomicU64::new(0),
+            ingest_events: AtomicU64::new(0),
+            ingest_rows: AtomicU64::new(0),
+            compactions: AtomicU64::new(0),
+            compacted_shards: AtomicU64::new(0),
+            compactor_shutdown: Mutex::new(false),
+            compactor_wake: Condvar::new(),
             queue: Mutex::new(QueueState {
                 jobs: VecDeque::new(),
                 shutdown: false,
@@ -318,7 +399,18 @@ impl QueryService {
                     .expect("failed to spawn service worker")
             })
             .collect();
-        Self { shared, workers }
+        let compactor = config.compaction.map(|compaction| {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("soda-compactor".to_string())
+                .spawn(move || compactor_loop(&shared, &compaction))
+                .expect("failed to spawn compaction worker")
+        });
+        Self {
+            shared,
+            workers,
+            compactor,
+        }
     }
 
     /// Submits one query.  Returns immediately with a resolved handle on a
@@ -355,8 +447,8 @@ impl QueryService {
         }
         let probe = {
             let mut store = self.shared.store.lock().expect("store poisoned");
-            if let Some(page) = store.cache.get(&key) {
-                Probe::Hit(page)
+            if let Some(entry) = store.cache.get(&key) {
+                Probe::Hit(entry.page)
             } else if let Some(waiters) = store.pending.get_mut(&key) {
                 let (tx, rx) = mpsc::channel();
                 waiters.push(Waiter { submitted, tx });
@@ -459,6 +551,13 @@ impl QueryService {
             workers: self.workers.len(),
             generation: snapshot.generation(),
             reloads: self.shared.reloads.load(Ordering::Relaxed),
+            ingest: IngestMetrics {
+                ingests: self.shared.ingests.load(Ordering::Relaxed),
+                events: self.shared.ingest_events.load(Ordering::Relaxed),
+                rows: self.shared.ingest_rows.load(Ordering::Relaxed),
+                compactions: self.shared.compactions.load(Ordering::Relaxed),
+                compacted_shards: self.shared.compacted_shards.load(Ordering::Relaxed),
+            },
             shards: snapshot.shard_stats(),
         }
     }
@@ -504,18 +603,27 @@ impl QueryService {
     /// unaddressable anyway — the fingerprint in their key no longer
     /// matches).  Returns the new generation.
     pub fn reload(&self, snapshot: EngineSnapshot) -> u64 {
+        let _swap = self.shared.swaps.lock().expect("swap lock poisoned");
         let generation = self.shared.handle.publish(snapshot);
-        self.after_swap();
+        self.shared.reloads.fetch_add(1, Ordering::Relaxed);
+        self.purge_superseded();
         generation
     }
 
     /// Per-shard hot swap: given a database in which only `tables` changed,
     /// rebuilds and atomically replaces the inverted-index partitions owning
     /// those tables while every other shard keeps serving — see
-    /// [`SnapshotHandle::rebuild_shards`].  Returns the new generation.
+    /// [`SnapshotHandle::rebuild_shards`].  Cached pages whose queries
+    /// provably never consulted a rebuilt partition are carried across the
+    /// swap ([`CacheStats::retained`](crate::CacheStats)); the rest are
+    /// purged.  Returns the new generation.
     pub fn rebuild_shards(&self, db: Arc<Database>, tables: &[String]) -> u64 {
+        let _swap = self.shared.swaps.lock().expect("swap lock poisoned");
+        let prev = self.shared.handle.load().cache_fingerprint();
+        let dirty = self.shared.handle.load().shards_for_tables(tables);
         let generation = self.shared.handle.rebuild_shards(db, tables);
-        self.after_swap();
+        self.shared.reloads.fetch_add(1, Ordering::Relaxed);
+        self.retain_unaffected(prev, &dirty);
         generation
     }
 
@@ -524,18 +632,61 @@ impl QueryService {
     /// refresh did not touch — see [`SnapshotHandle::refresh_graph`].
     /// Returns the new generation.
     pub fn refresh_graph(&self, graph: Arc<MetaGraph>) -> u64 {
+        let _swap = self.shared.swaps.lock().expect("swap lock poisoned");
         let generation = self.shared.handle.refresh_graph(graph);
-        self.after_swap();
+        self.shared.reloads.fetch_add(1, Ordering::Relaxed);
+        self.purge_superseded();
         generation
     }
 
-    /// Post-swap bookkeeping: count the reload and purge cache pages whose
-    /// generation vector is no longer the live one.  Still-running
-    /// old-generation jobs skip their cache insert at completion (the
-    /// worker re-checks the live fingerprint), so a full cache is not
-    /// churned by pages that can never be hit again.
-    fn after_swap(&self) {
-        self.shared.reloads.fetch_add(1, Ordering::Relaxed);
+    /// Streaming ingestion: absorbs a row-level change feed into a new
+    /// snapshot generation **without rebuilding any index partition** — the
+    /// events accumulate in per-shard side logs that every probe merges on
+    /// the fly (see [`SnapshotHandle::absorb`]).  In-flight queries finish
+    /// on their pinned generation; cached pages that provably never
+    /// consulted an ingested shard are carried across.  When a background
+    /// compaction worker is configured it is nudged afterwards, so a feed
+    /// that pushes a log past its budget gets folded promptly.  Returns the
+    /// new generation; a rejected feed (unknown table, arity violation)
+    /// publishes nothing.
+    pub fn ingest(&self, feed: &ChangeFeed) -> Result<u64, ServiceError> {
+        let _swap = self.shared.swaps.lock().expect("swap lock poisoned");
+        let before = self.shared.handle.load();
+        let prev = before.cache_fingerprint();
+        let dirty = before.shards_for_tables(&feed.tables());
+        let generation = self
+            .shared
+            .handle
+            .absorb(feed)
+            .map_err(ServiceError::Engine)?;
+        self.shared.ingests.fetch_add(1, Ordering::Relaxed);
+        self.shared
+            .ingest_events
+            .fetch_add(feed.len() as u64, Ordering::Relaxed);
+        self.shared
+            .ingest_rows
+            .fetch_add(feed.row_count() as u64, Ordering::Relaxed);
+        self.retain_unaffected(prev, &dirty);
+        drop(_swap);
+        self.shared.compactor_wake.notify_all();
+        Ok(generation)
+    }
+
+    /// Folds the ingestion side logs of `shards` into rebuilt partitions
+    /// (answers unchanged by construction; see [`SnapshotHandle::compact`]).
+    /// Returns the new generation, or `None` when none of the named shards
+    /// had a log to fold.  With a background worker configured this is
+    /// rarely needed — the worker calls the same path once a log crosses
+    /// the policy budget.
+    pub fn compact(&self, shards: &[usize]) -> Option<u64> {
+        let _swap = self.shared.swaps.lock().expect("swap lock poisoned");
+        compact_under_swap_lock(&self.shared, shards)
+    }
+
+    /// Purges every cached page whose fingerprint is not the live one —
+    /// the conservative post-swap path for full reloads and graph
+    /// refreshes, where nothing about a page is provably unchanged.
+    fn purge_superseded(&self) {
         let live = self.shared.handle.load().cache_fingerprint();
         self.shared
             .store
@@ -544,10 +695,120 @@ impl QueryService {
             .cache
             .retain(|key| key.snapshot_fingerprint == live);
     }
+
+    /// See [`retain_unaffected`].
+    fn retain_unaffected(&self, prev: u64, dirty: &[usize]) {
+        retain_unaffected(&self.shared, prev, dirty);
+    }
+}
+
+/// Post-swap cache pass for *data-only* swaps (shard rebuilds, ingests,
+/// compactions): pages keyed by the immediately superseded fingerprint
+/// `prev` whose recorded probes provably never consulted a `dirty` shard
+/// are re-keyed to the live fingerprint (staying addressable — a retention,
+/// not a recomputation); everything else non-live is purged.  Only the
+/// previous generation is eligible: a page a racing worker inserted under
+/// an older fingerprint was never retention-checked against the intervening
+/// swaps, so it must age out, never come back.
+fn retain_unaffected(shared: &Shared, prev: u64, dirty: &[usize]) {
+    let snapshot = shared.handle.load();
+    let live = snapshot.cache_fingerprint();
+    // The gate memoizes each distinct (phrase, token) probe check, so the
+    // pass — which runs under the store lock — costs one index probe per
+    // distinct dependency, not per cache entry.
+    let mut gate = RetentionGate::new(&snapshot, dirty);
+    let mut store = shared.store.lock().expect("store poisoned");
+    store.cache.rekey(|key, entry| {
+        if key.snapshot_fingerprint == live {
+            Some(key.clone())
+        } else if key.snapshot_fingerprint == prev
+            && gate.retains(entry.touched_mask, entry.touched_overflow, &entry.deps)
+        {
+            Some(CacheKey {
+                snapshot_fingerprint: live,
+                ..key.clone()
+            })
+        } else {
+            None
+        }
+    });
+}
+
+/// The compaction step shared by [`QueryService::compact`] and the
+/// background worker; the caller must hold the service swap lock.
+fn compact_under_swap_lock(shared: &Shared, shards: &[usize]) -> Option<u64> {
+    let before = shared.handle.load();
+    let prev = before.cache_fingerprint();
+    let logged = before.shards_with_side_logs();
+    let foldable: Vec<usize> = shards
+        .iter()
+        .copied()
+        .filter(|s| logged.contains(s))
+        .collect();
+    let generation = shared.handle.compact(&foldable)?;
+    shared.compactions.fetch_add(1, Ordering::Relaxed);
+    shared
+        .compacted_shards
+        .fetch_add(foldable.len() as u64, Ordering::Relaxed);
+    // A fold changes no answers, but the fingerprint moved: carry every
+    // provably unaffected page over; pages whose probes scanned a folded
+    // shard are recomputed (conservative — their hits merely moved from the
+    // log into the frozen partition).
+    retain_unaffected(shared, prev, &foldable);
+    Some(generation)
+}
+
+/// The background compaction worker: wakes on every ingest nudge (and at
+/// least every `poll_interval`), folds whatever the policy says is due, and
+/// exits when the service drops.
+fn compactor_loop(shared: &Arc<Shared>, config: &CompactionConfig) {
+    let mut shutdown = shared
+        .compactor_shutdown
+        .lock()
+        .expect("compactor lock poisoned");
+    loop {
+        if *shutdown {
+            return;
+        }
+        let (state, _timeout) = shared
+            .compactor_wake
+            .wait_timeout(shutdown, config.poll_interval)
+            .expect("compactor lock poisoned");
+        shutdown = state;
+        if *shutdown {
+            return;
+        }
+        drop(shutdown);
+        {
+            let _swap = shared.swaps.lock().expect("swap lock poisoned");
+            let stats = shared.handle.load().shard_stats();
+            let due = config
+                .policy
+                .due(&stats.log_postings, &stats.log_rows, &stats.log_masks);
+            if !due.is_empty() {
+                compact_under_swap_lock(shared, &due);
+            }
+        }
+        shutdown = shared
+            .compactor_shutdown
+            .lock()
+            .expect("compactor lock poisoned");
+    }
 }
 
 impl Drop for QueryService {
     fn drop(&mut self) {
+        // Stop the compaction worker first so no further swap lands while
+        // the pool drains.
+        if let Some(compactor) = self.compactor.take() {
+            *self
+                .shared
+                .compactor_shutdown
+                .lock()
+                .expect("compactor lock poisoned") = true;
+            self.shared.compactor_wake.notify_all();
+            let _ = compactor.join();
+        }
         {
             let mut state = self.shared.queue.lock().expect("queue poisoned");
             state.shutdown = true;
@@ -600,9 +861,13 @@ fn worker_loop(shared: &Shared) {
             shared,
             key: Some(job.key.clone()),
         };
+        // The recorder captures which shards the probes scan and which probe
+        // tokens the phrases select — the evidence that lets a data-only
+        // snapshot swap retain this page instead of purging it.
+        let recorder = ProbeRecorder::new();
         let outcome = job
             .engine
-            .search_paged(&job.input, job.page, job.page_size)
+            .search_paged_recorded(&job.input, job.page, job.page_size, &recorder)
             .map_err(ServiceError::Engine);
         // Normal path: the completion hand-off below owns the cleanup.
         guard.key = None;
@@ -620,7 +885,15 @@ fn worker_loop(shared: &Shared) {
             let mut store = shared.store.lock().expect("store poisoned");
             store.pipeline_executions += 1;
             if let (Ok(page), true) = (&outcome, still_live) {
-                store.cache.insert(job.key.clone(), page.clone());
+                store.cache.insert(
+                    job.key.clone(),
+                    CachedPage {
+                        page: page.clone(),
+                        touched_mask: recorder.touched_mask(),
+                        touched_overflow: recorder.overflowed(),
+                        deps: Arc::new(recorder.deps()),
+                    },
+                );
             }
             store.pending.remove(&job.key).unwrap_or_default()
         };
@@ -741,6 +1014,7 @@ mod tests {
             workers: 1,
             queue_capacity: 1,
             cache_capacity: 4,
+            ..ServiceConfig::default()
         });
         // More jobs than queue slots: submit_batch must ride the
         // backpressure and still answer everything.
@@ -794,6 +1068,7 @@ mod tests {
             workers: 4,
             queue_capacity: 16,
             cache_capacity: 64,
+            ..ServiceConfig::default()
         });
         let queries = ["Sara Guttinger", "wealthy customers", "customers"];
         let expected: Vec<ResultPage> = queries
@@ -819,6 +1094,7 @@ mod tests {
             workers: 1,
             queue_capacity: 16,
             cache_capacity: 16,
+            ..ServiceConfig::default()
         });
         // Two distinct cold queries occupy the single worker so the identical
         // submissions below all land while their key is still in flight.
@@ -863,6 +1139,7 @@ mod tests {
             workers: 1,
             queue_capacity: 4,
             cache_capacity: 4,
+            ..ServiceConfig::default()
         });
         let blocker = service.submit(QueryRequest::new("wealthy customers"));
         let first = service.submit(QueryRequest::new("customers"));
@@ -1013,6 +1290,208 @@ mod tests {
         assert_eq!(generation, 1);
         let page = service.submit(QueryRequest::new("Zebulon")).wait().unwrap();
         assert!(!page.results.is_empty());
+    }
+
+    fn address_feed(id: i64, city: &str) -> ChangeFeed {
+        ChangeFeed::new().append_row(
+            "addresses",
+            vec![
+                soda_core::Value::Int(id),
+                soda_core::Value::Int(1),
+                soda_core::Value::from("Stream Lane 1"),
+                soda_core::Value::from(city),
+                soda_core::Value::from("Switzerland"),
+            ],
+        )
+    }
+
+    #[test]
+    fn ingest_serves_new_rows_and_counts() {
+        let service = minibank_service(ServiceConfig::default());
+        assert!(service
+            .submit(QueryRequest::new("Streamville"))
+            .wait()
+            .unwrap()
+            .results
+            .is_empty());
+        let generation = service.ingest(&address_feed(900, "Streamville")).unwrap();
+        assert_eq!(generation, 1);
+        let page = service
+            .submit(QueryRequest::new("Streamville"))
+            .wait()
+            .unwrap();
+        assert!(!page.results.is_empty());
+        let m = service.metrics();
+        assert_eq!(m.generation, 1);
+        assert_eq!(m.reloads, 0, "an ingest is not a reload");
+        assert_eq!(m.ingest.ingests, 1);
+        assert_eq!(m.ingest.events, 1);
+        assert_eq!(m.ingest.rows, 1);
+        assert_eq!(m.ingest.compactions, 0);
+        assert!(m.shards.log_postings.iter().sum::<usize>() > 0);
+
+        // A rejected feed publishes nothing and counts nothing.
+        let bad = ChangeFeed::new().append_row("no_such_table", vec![]);
+        assert!(service.ingest(&bad).is_err());
+        let m = service.metrics();
+        assert_eq!(m.generation, 1);
+        assert_eq!(m.ingest.ingests, 1);
+    }
+
+    #[test]
+    fn manual_compaction_folds_logs_and_keeps_answers() {
+        let service = minibank_service(ServiceConfig::default());
+        service.ingest(&address_feed(900, "Streamville")).unwrap();
+        let before = service
+            .submit(QueryRequest::new("Streamville"))
+            .wait()
+            .unwrap();
+        let shards: Vec<usize> = (0..service.engine().shard_count()).collect();
+        let generation = service.compact(&shards).expect("a log to fold");
+        assert_eq!(generation, 2);
+        assert!(service.compact(&shards).is_none(), "nothing left to fold");
+        let m = service.metrics();
+        assert_eq!(m.ingest.compactions, 1);
+        assert_eq!(m.ingest.compacted_shards, 1);
+        assert_eq!(m.shards.log_postings.iter().sum::<usize>(), 0);
+        let after = service
+            .submit(QueryRequest::new("Streamville"))
+            .wait()
+            .unwrap();
+        assert_eq!(before, after, "compaction must not change answers");
+    }
+
+    #[test]
+    fn data_swaps_retain_provably_unaffected_pages() {
+        // 8 shards: `individuals` (Sara) and `addresses` (the feed target)
+        // live in different partitions, so the Sara page survives the swap.
+        let w = soda_warehouse::minibank::build(42);
+        let service = QueryService::start(
+            Arc::new(EngineSnapshot::build(
+                Arc::new(w.database),
+                Arc::new(w.graph),
+                SodaConfig {
+                    shards: 8,
+                    ..SodaConfig::default()
+                },
+            )),
+            ServiceConfig::default(),
+        );
+        let sara = service
+            .submit(QueryRequest::new("Sara Guttinger"))
+            .wait()
+            .unwrap();
+        assert_eq!(service.metrics().cache.len, 1);
+
+        service.ingest(&address_feed(900, "Retainville")).unwrap();
+        let m = service.metrics();
+        assert_eq!(m.cache.retained, 1, "the Sara page must be carried over");
+        assert_eq!(m.cache.len, 1);
+
+        // The next identical submission is a cache hit on the new
+        // generation — no recomputation — and the answer is right.
+        let again = service
+            .submit(QueryRequest::new("Sara Guttinger"))
+            .wait()
+            .unwrap();
+        assert_eq!(sara, again);
+        let m = service.metrics();
+        assert_eq!(m.cache.hits, 1);
+        assert_eq!(m.pipeline_executions, 1);
+
+        // A page whose probes scanned the ingested shard is NOT retained.
+        service
+            .submit(QueryRequest::new("Retainville"))
+            .wait()
+            .unwrap();
+        service.ingest(&address_feed(901, "Retainville")).unwrap();
+        let m = service.metrics();
+        // The address-touching page died; the Sara page survived again.
+        assert_eq!(m.cache.retained, 2);
+        let recomputed = service
+            .submit(QueryRequest::new("Retainville"))
+            .wait()
+            .unwrap();
+        // Two matching rows now — the recomputation saw the second ingest.
+        assert_eq!(m.cache.len, 1, "the stale Retainville page was purged");
+        assert!(!recomputed.results.is_empty());
+        assert_eq!(service.metrics().pipeline_executions, 3);
+    }
+
+    #[test]
+    fn full_reloads_still_purge_everything() {
+        let service = minibank_service(ServiceConfig::default());
+        service
+            .submit(QueryRequest::new("Sara Guttinger"))
+            .wait()
+            .unwrap();
+        let w = soda_warehouse::minibank::build(42);
+        service.reload(EngineSnapshot::build(
+            Arc::new(w.database),
+            Arc::new(w.graph),
+            SodaConfig::default(),
+        ));
+        let m = service.metrics();
+        assert_eq!(m.cache.len, 0);
+        assert_eq!(m.cache.retained, 0, "full reloads retain nothing");
+    }
+
+    #[test]
+    fn background_compactor_fires_past_the_threshold() {
+        let service = minibank_service(ServiceConfig {
+            compaction: Some(CompactionConfig {
+                policy: CompactionPolicy::eager(),
+                poll_interval: Duration::from_millis(10),
+            }),
+            ..ServiceConfig::default()
+        });
+        service.ingest(&address_feed(900, "Streamville")).unwrap();
+        // The worker is nudged by the ingest; give it a moment.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            let m = service.metrics();
+            if m.ingest.compactions >= 1 && m.shards.log_postings.iter().sum::<usize>() == 0 {
+                break;
+            }
+            assert!(Instant::now() < deadline, "compaction did not fire: {m:?}");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        // Queries keep answering correctly throughout.
+        let page = service
+            .submit(QueryRequest::new("Streamville"))
+            .wait()
+            .unwrap();
+        assert!(!page.results.is_empty());
+    }
+
+    #[test]
+    fn background_compactor_folds_mask_only_logs() {
+        // A Truncate leaves a log with zero postings and zero rows but a
+        // mask that taxes every probe of its shard — the worker must fold
+        // it even though the size gauges never cross a threshold.
+        let service = minibank_service(ServiceConfig {
+            compaction: Some(CompactionConfig {
+                policy: CompactionPolicy::default(),
+                poll_interval: Duration::from_millis(10),
+            }),
+            ..ServiceConfig::default()
+        });
+        service
+            .ingest(&ChangeFeed::new().truncate("securities"))
+            .unwrap();
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            let m = service.metrics();
+            if m.ingest.compactions >= 1 && m.shards.log_masks.iter().sum::<usize>() == 0 {
+                break;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "mask-only compaction did not fire: {m:?}"
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(service.engine().shards_with_side_logs().is_empty());
     }
 
     #[test]

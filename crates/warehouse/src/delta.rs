@@ -14,6 +14,7 @@
 
 use std::collections::BTreeMap;
 
+use soda_ingest::ChangeFeed;
 use soda_relation::{Database, Result, Row};
 
 /// The change applied to one table.
@@ -109,6 +110,25 @@ impl WarehouseDelta {
             .sum()
     }
 
+    /// Adapts the delta into a row-level [`ChangeFeed`] — the streaming
+    /// ingestion shape: appends become one event per row, replacements one
+    /// event per table.  Replaying the feed
+    /// (`soda_ingest::Ingestor::absorb_into`, or
+    /// `soda_core::SnapshotHandle::absorb` end to end) produces exactly the
+    /// database [`apply`](Self::apply) would, but accumulates the indexed
+    /// consequences in per-shard side logs instead of forcing a partition
+    /// rebuild — the batch and streaming paths consume one source of truth.
+    pub fn to_feed(&self) -> ChangeFeed {
+        let mut feed = ChangeFeed::new();
+        for (table, delta) in &self.tables {
+            feed = match delta {
+                TableDelta::Append(rows) => feed.append_rows(table.clone(), rows.clone()),
+                TableDelta::Replace(rows) => feed.replace(table.clone(), rows.clone()),
+            };
+        }
+        feed
+    }
+
     /// Materialises the delta into a new database value.  The input is never
     /// mutated; on any schema violation the error is returned and no partial
     /// state escapes (the half-applied copy is dropped).
@@ -202,5 +222,77 @@ mod tests {
         // Unknown tables error too.
         let delta = WarehouseDelta::new().append("no_such_table", vec![]);
         assert!(delta.apply(&db).is_err());
+    }
+
+    #[test]
+    fn empty_delta_applies_to_an_identical_database() {
+        let db = minibank_db();
+        let delta = WarehouseDelta::new();
+        assert!(delta.is_empty());
+        assert!(delta.changed_tables().is_empty());
+        let next = delta.apply(&db).unwrap();
+        assert_eq!(next.table_count(), db.table_count());
+        for table in db.tables() {
+            let applied = next.table(table.name()).unwrap();
+            assert_eq!(applied.rows(), table.rows(), "{}", table.name());
+        }
+        assert!(delta.to_feed().is_empty());
+    }
+
+    #[test]
+    fn replace_of_an_absent_table_errors_before_any_change() {
+        let db = minibank_db();
+        let rows_before = db.table("addresses").unwrap().row_count();
+        let delta = WarehouseDelta::new()
+            .replace("addresses", vec![address_row(1, "Basel")])
+            .replace("no_such_dimension", vec![address_row(2, "Chur")]);
+        assert!(delta.apply(&db).is_err());
+        // The *source* is untouched even though another staged table was
+        // valid — apply works on a discarded copy.
+        assert_eq!(db.table("addresses").unwrap().row_count(), rows_before);
+    }
+
+    #[test]
+    fn append_with_mismatched_arity_errors_per_row() {
+        let db = minibank_db();
+        // One good row, one short row: the delta as a whole is rejected.
+        let delta = WarehouseDelta::new().append(
+            "addresses",
+            vec![address_row(900, "Basel"), vec![Value::Int(901)]],
+        );
+        assert!(delta.apply(&db).is_err());
+        assert_eq!(delta.row_count(), 2);
+        // A wrongly *typed* row of the right arity is rejected too.
+        let mut typed = address_row(902, "Basel");
+        typed[0] = Value::from("not an id");
+        let delta = WarehouseDelta::new().append("addresses", vec![typed]);
+        assert!(delta.apply(&db).is_err());
+    }
+
+    #[test]
+    fn to_feed_replays_to_the_same_database_as_apply() {
+        let db = minibank_db();
+        let delta = WarehouseDelta::new()
+            .append(
+                "addresses",
+                vec![address_row(900, "Basel"), address_row(901, "Chur")],
+            )
+            .replace("organizations", vec![]);
+        let feed = delta.to_feed();
+        assert_eq!(feed.row_count(), delta.row_count());
+        assert_eq!(feed.tables(), delta.changed_tables());
+        let applied = delta.apply(&db).unwrap();
+        let mut replayed = db.clone();
+        soda_ingest::Ingestor::new(1)
+            .apply_only(&mut replayed, &feed)
+            .unwrap();
+        for table in applied.tables() {
+            assert_eq!(
+                replayed.table(table.name()).unwrap().rows(),
+                table.rows(),
+                "{} diverged between apply and feed replay",
+                table.name()
+            );
+        }
     }
 }

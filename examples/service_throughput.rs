@@ -43,6 +43,7 @@ fn main() {
             workers: 4,
             queue_capacity: 64,
             cache_capacity: 256,
+            ..ServiceConfig::default()
         },
     );
 

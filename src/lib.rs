@@ -26,6 +26,9 @@
 //!   experiment drivers that regenerate every table and figure of the paper.
 //! * [`explorer`] — schema browser and legacy-system reverse engineering (the
 //!   war-story use cases of §5.3.2).
+//! * [`ingest`] — streaming delta ingestion: row-level change feeds routed
+//!   into per-shard side logs that queries merge on the fly, plus the
+//!   compaction policy that folds grown logs back into rebuilt partitions.
 //! * [`service`] — the serving layer: a thread-safe
 //!   [`QueryService`](soda_service::QueryService) worker pool over a shared
 //!   [`EngineSnapshot`](soda_core::EngineSnapshot), with an LRU
@@ -51,6 +54,7 @@ pub use soda_baselines as baselines;
 pub use soda_core as core;
 pub use soda_eval as eval;
 pub use soda_explorer as explorer;
+pub use soda_ingest as ingest;
 pub use soda_metagraph as metagraph;
 pub use soda_relation as relation;
 pub use soda_service as service;
@@ -63,8 +67,11 @@ pub mod prelude {
         SodaEngine, SodaResult,
     };
     pub use soda_explorer::SchemaBrowser;
+    pub use soda_ingest::{ChangeFeed, CompactionPolicy, Ingestor, RowEvent};
     pub use soda_metagraph::{MetaGraph, Pattern, PatternRegistry};
     pub use soda_relation::{Database, ResultSet, Value};
-    pub use soda_service::{QueryRequest, QueryService, ServiceConfig, ServiceMetrics};
+    pub use soda_service::{
+        CompactionConfig, QueryRequest, QueryService, ServiceConfig, ServiceMetrics,
+    };
     pub use soda_warehouse::Warehouse;
 }

@@ -6,6 +6,9 @@
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
+
+use proptest::prelude::*;
 
 use soda::prelude::*;
 use soda::warehouse::minibank;
@@ -93,6 +96,7 @@ fn concurrent_reloads_never_drop_or_corrupt_a_query() {
             workers: 4,
             queue_capacity: 32,
             cache_capacity: 64,
+            ..ServiceConfig::default()
         },
     );
 
@@ -180,6 +184,7 @@ fn pending_cold_queries_do_not_leak_across_a_swap() {
             workers: 1,
             queue_capacity: 16,
             cache_capacity: 16,
+            ..ServiceConfig::default()
         },
     );
 
@@ -232,6 +237,7 @@ fn same_generation_submissions_still_coalesce_after_swaps() {
             workers: 1,
             queue_capacity: 16,
             cache_capacity: 16,
+            ..ServiceConfig::default()
         },
     );
     service.reload(snapshot_over(generation_db(&w.database, 1), &w.graph));
@@ -248,6 +254,252 @@ fn same_generation_submissions_still_coalesce_after_swaps() {
     assert_eq!(m.coalesced + m.cache.hits, 1);
     assert_eq!(m.pipeline_executions, 2);
     assert_eq!(m.generation, 1);
+}
+
+// ---------------------------------------------------------------------------
+// Streaming ingestion: the reload guarantees must hold when generations are
+// published by `ingest` (side logs) and background compaction instead of
+// full reloads and per-shard rebuilds.
+// ---------------------------------------------------------------------------
+
+/// The ingestion marker feed of generation `g`: one appended address whose
+/// city embeds the generation number plus a wholesale *replacement* of the
+/// one-row `securities` table with a gen-stamped bond — appends and
+/// replacements (log masking) both stay on the hot path, and the
+/// replacement keeps the marker pages distinct even though the accumulated
+/// address rows collapse into one `LIKE` filter.
+fn marker_feed(g: usize) -> ChangeFeed {
+    ChangeFeed::new()
+        .append_row(
+            "addresses",
+            vec![
+                Value::Int(900 + g as i64),
+                Value::Int(1),
+                Value::from("Swap Lane 1"),
+                Value::from(format!("Reloadville Gen{g}")),
+                Value::from("Switzerland"),
+            ],
+        )
+        .replace(
+            "securities",
+            vec![vec![
+                Value::Int(1),
+                Value::from(format!("Reloadville Bond {g}")),
+                Value::from("CH0000000042"),
+            ]],
+        )
+}
+
+/// Ingestion is cumulative (unlike `generation_db`, which derives each
+/// generation from the base): the reference database after `g` ingests
+/// carries the markers of every generation up to `g`.
+fn cumulative_db(base: &Database, g: usize) -> Database {
+    let mut db = base.clone();
+    for i in 1..=g {
+        Ingestor::new(1)
+            .apply_only(&mut db, &marker_feed(i))
+            .expect("marker feed applies");
+    }
+    db
+}
+
+/// Clients hammer `submit` while a writer ingests generation after
+/// generation and a background compactor folds side logs past a tiny
+/// budget.  Every served page must be byte-identical to a full-rebuild
+/// reference of *some* ingested state; nothing may error or drop; the
+/// compactor must actually fire.
+#[test]
+fn streaming_ingest_with_background_compaction_never_drops_or_corrupts() {
+    let w = minibank::build(42);
+    let expected: Vec<ResultPage> = (0..=GENERATIONS)
+        .map(|g| {
+            snapshot_over(cumulative_db(&w.database, g), &w.graph)
+                .search_paged(MARKER_QUERY, 0, 10)
+                .expect("reference query runs")
+        })
+        .collect();
+    for (i, a) in expected.iter().enumerate() {
+        for b in expected.iter().skip(i + 1) {
+            assert_ne!(a, b, "marker pages must differ between ingest states");
+        }
+    }
+    let stable_expected = snapshot_over(w.database.clone(), &w.graph)
+        .search_paged(STABLE_QUERY, 0, 10)
+        .expect("stable query runs");
+
+    let service = QueryService::start(
+        Arc::new(snapshot_over(w.database.clone(), &w.graph)),
+        ServiceConfig {
+            workers: 4,
+            queue_capacity: 32,
+            cache_capacity: 64,
+            // Tiny budget + fast poll: compaction provably interleaves with
+            // the ingests and the queries below.
+            compaction: Some(CompactionConfig {
+                policy: CompactionPolicy::eager(),
+                poll_interval: Duration::from_millis(5),
+            }),
+        },
+    );
+
+    let writer_done = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        let service = &service;
+        let expected = &expected;
+        let stable_expected = &stable_expected;
+        let writer_done = &writer_done;
+
+        scope.spawn(move || {
+            for g in 1..=GENERATIONS {
+                service.ingest(&marker_feed(g)).expect("feed absorbs");
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            writer_done.store(true, Ordering::Release);
+        });
+
+        for _ in 0..6 {
+            scope.spawn(move || loop {
+                let done = writer_done.load(Ordering::Acquire);
+                let marker = service
+                    .submit(QueryRequest::new(MARKER_QUERY))
+                    .wait()
+                    .expect("marker query must never error during ingestion");
+                assert!(
+                    expected.contains(&marker),
+                    "page must match some ingested state: {marker:?}"
+                );
+                let stable = service
+                    .submit(QueryRequest::new(STABLE_QUERY))
+                    .wait()
+                    .expect("stable query must never error during ingestion");
+                assert_eq!(
+                    &stable, stable_expected,
+                    "untouched tables must answer identically in every generation"
+                );
+                if done {
+                    break;
+                }
+            });
+        }
+    });
+
+    // After the dust settles: exactly the final ingested state serves.
+    let final_page = service
+        .submit(QueryRequest::new(MARKER_QUERY))
+        .wait()
+        .expect("final query runs");
+    assert_eq!(final_page, expected[GENERATIONS]);
+    // The compactor is still alive and may fold between any two reads, so
+    // only race-free orderings are asserted: a fold counted by the *first*
+    // read has certainly published its generation before the second read.
+    let folds_before = service.metrics().ingest.compactions;
+    let m = service.metrics();
+    assert_eq!(m.ingest.ingests, GENERATIONS as u64);
+    assert_eq!(m.ingest.events, 2 * GENERATIONS as u64);
+    assert_eq!(m.ingest.rows, 2 * GENERATIONS as u64);
+    assert!(
+        m.ingest.compactions >= 1,
+        "the eager budget must have forced at least one fold: {m:?}"
+    );
+    assert_eq!(m.reloads, 0, "no batch swap was involved");
+    assert!(
+        m.generation >= GENERATIONS as u64 + folds_before,
+        "every ingest and every counted compaction has published a generation: {m:?}"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Random interleavings of appends, replacements, compactions and
+    /// queries: after every step, every query served (fresh, coalesced,
+    /// cached or swap-retained) is byte-identical to a snapshot fully
+    /// rebuilt over a reference database that replayed the same events.
+    #[test]
+    fn interleaved_ingest_compact_query_is_byte_identical(
+        ops in proptest::collection::vec(0usize..4, 1..7)
+    ) {
+        let w = minibank::build(42);
+        let service = QueryService::start(
+            Arc::new(snapshot_over(w.database.clone(), &w.graph)),
+            ServiceConfig {
+                workers: 2,
+                queue_capacity: 16,
+                cache_capacity: 32,
+                compaction: None, // compaction is an explicit op here
+            },
+        );
+        let mut reference = w.database.clone();
+        let mut queries: Vec<String> =
+            vec![STABLE_QUERY.to_string(), "customers Zurich".to_string()];
+        for (i, &op) in ops.iter().enumerate() {
+            let feed = match op {
+                0 => {
+                    queries.push(format!("Propville{i}"));
+                    Some(ChangeFeed::new().append_row(
+                        "addresses",
+                        vec![
+                            Value::Int(2_000 + i as i64),
+                            Value::Int(1),
+                            Value::from("Prop Lane 1"),
+                            Value::from(format!("Propville{i}")),
+                            Value::from("Switzerland"),
+                        ],
+                    ))
+                }
+                1 => {
+                    let mut row = reference.table("individuals").unwrap().rows()[0].clone();
+                    row[0] = Value::Int(20_000 + i as i64);
+                    row[1] = Value::from(format!("Streamer{i}"));
+                    queries.push(format!("Streamer{i}"));
+                    Some(ChangeFeed::new().append_row("individuals", row))
+                }
+                2 => {
+                    queries.push(format!("Goldbond{i}"));
+                    Some(ChangeFeed::new().replace(
+                        "securities",
+                        vec![vec![
+                            Value::Int(1),
+                            Value::from(format!("Goldbond{i}")),
+                            Value::from("CH0000000077"),
+                        ]],
+                    ))
+                }
+                _ => None, // compact
+            };
+            match feed {
+                Some(feed) => {
+                    service.ingest(&feed).expect("feed absorbs");
+                    Ingestor::new(1)
+                        .apply_only(&mut reference, &feed)
+                        .expect("reference replays");
+                }
+                None => {
+                    let _ = service.compact(&(0..SHARDS).collect::<Vec<_>>());
+                }
+            }
+            let rebuilt = snapshot_over(reference.clone(), &w.graph);
+            for query in &queries {
+                let served = service
+                    .submit(QueryRequest::new(query.clone()))
+                    .wait()
+                    .expect("query serves");
+                let direct = rebuilt
+                    .search_paged(query, 0, 10)
+                    .expect("reference query runs");
+                prop_assert_eq!(
+                    &served, &direct,
+                    "'{}' diverged from the full-rebuild reference after op {} ({})",
+                    query, i, op
+                );
+            }
+        }
+        // The tracked queries exercised the retention path: repeats of the
+        // stable query across data-only swaps are served without
+        // recomputation whenever provably safe — and the asserts above
+        // guarantee those retained pages were still byte-correct.
+        prop_assert!(service.metrics().completed >= (queries.len() as u64));
+    }
 }
 
 /// Parse errors still resolve synchronously mid-swap, and a reload with an

@@ -59,6 +59,7 @@ fn concurrent_service_matches_single_threaded_engine_byte_for_byte() {
             workers: 4,
             queue_capacity: 8, // small on purpose: exercises backpressure
             cache_capacity: 32,
+            ..ServiceConfig::default()
         },
     );
 
@@ -194,6 +195,7 @@ fn queue_depth_accessor_tracks_the_queue() {
             workers: 1,
             queue_capacity: 16,
             cache_capacity: 16,
+            ..ServiceConfig::default()
         },
     );
     assert_eq!(service.queue_depth(), 0);
@@ -227,6 +229,7 @@ fn concurrent_identical_cold_queries_are_coalesced() {
             workers: 1,
             queue_capacity: 32,
             cache_capacity: 32,
+            ..ServiceConfig::default()
         },
     );
     // Occupy the single worker so the identical submissions below overlap
