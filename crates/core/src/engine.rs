@@ -70,6 +70,7 @@ pub(crate) struct EngineCore {
 
 /// Immutable per-shard size vectors of the built indexes (side-log gauges
 /// included — the logs are immutable within one snapshot generation too).
+#[derive(Clone)]
 struct ShardSizes {
     classification_phrases: Vec<usize>,
     index_tokens: Vec<usize>,
@@ -167,6 +168,22 @@ impl EngineCore {
     /// This is both the tail of [`derive_with_rebuilt_tables`] and the whole
     /// of a side-log compaction, where `db` is the *current* database (its
     /// rows already include everything the logs index).
+    /// A structurally identical core sharing every built structure with
+    /// `self` — the indexes clone by `Arc` internally, so this is cheap.
+    /// Used by recovery to restamp a snapshot's generation vector without
+    /// rebuilding anything.
+    pub(crate) fn share(&self) -> Self {
+        Self {
+            config: self.config.clone(),
+            patterns: self.patterns.clone(),
+            classification: self.classification.clone(),
+            index: self.index.clone(),
+            joins: Arc::clone(&self.joins),
+            probes: Arc::clone(&self.probes),
+            sizes: self.sizes.clone(),
+        }
+    }
+
     pub(crate) fn derive_with_rebuilt_partitions(&self, db: &Database, affected: &[usize]) -> Self {
         let index = self
             .index

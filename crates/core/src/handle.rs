@@ -195,6 +195,44 @@ impl SnapshotHandle {
         Some(generation)
     }
 
+    /// Restores the generation stamps a durable checkpoint recorded — the
+    /// recovery counterpart of the stamping the swap paths do.  The current
+    /// snapshot is republished carrying exactly `generation` and
+    /// `shard_generations` (sharing every built structure), and the next
+    /// publication will be stamped `generation + 1`, continuing the
+    /// pre-crash sequence densely.
+    ///
+    /// Validates the checkpoint against the live engine before touching
+    /// anything: the vector must have one slot per lookup-layer shard and no
+    /// slot may exceed the snapshot generation (no swap can stamp a shard
+    /// with a generation that was never published).  A violation means the
+    /// checkpoint was written by an engine shaped differently from the one
+    /// recovering — an error, not a panic, so the caller can surface it.
+    pub fn restore_generations(&self, generation: u64, shard_generations: &[u64]) -> Result<()> {
+        let _writer = self.writer.lock().expect("snapshot writer poisoned");
+        let current = self.load();
+        if shard_generations.len() != current.shard_count() {
+            return Err(crate::SodaError::Pipeline(format!(
+                "recovery checkpoint carries {} shard generation slots, \
+                 but the engine has {} lookup-layer shards",
+                shard_generations.len(),
+                current.shard_count()
+            )));
+        }
+        if let Some(&bad) = shard_generations.iter().find(|&&slot| slot > generation) {
+            return Err(crate::SodaError::Pipeline(format!(
+                "recovery checkpoint stamps a shard with generation {bad}, \
+                 beyond its snapshot generation {generation}"
+            )));
+        }
+        self.current.store(Arc::new(
+            current.restored(generation, shard_generations.to_vec()),
+        ));
+        self.next_generation
+            .store(generation + 1, Ordering::Relaxed);
+        Ok(())
+    }
+
     /// Per-shard hot swap for a metadata refresh: rebuilds the
     /// classification index against `graph` (sharing every partition whose
     /// content did not change) and the graph-derived join catalog, keeping
@@ -459,6 +497,49 @@ mod tests {
         let generation = handle.absorb(&address_feed(901, "Gapless")).unwrap();
         assert_eq!(generation, 1);
         assert!(!handle.load().search("Gapless").unwrap().is_empty());
+    }
+
+    #[test]
+    fn restore_generations_relands_the_recorded_stamps() {
+        let handle = minibank_handle(4);
+        handle.absorb(&address_feed(900, "Streamville")).unwrap();
+        let live = handle.load();
+        let expected_fp = live.cache_fingerprint();
+        let generation = live.generation();
+        let shard_generations = live.shard_generations().to_vec();
+        let answer = live.search("Streamville").unwrap();
+
+        // A "rebooted" handle over an equivalent snapshot starts at
+        // generation 0 with a different fingerprint…
+        let rebooted = SnapshotHandle::new(Arc::new(EngineSnapshot::build(
+            live.database_arc(),
+            live.graph_arc(),
+            live.config().clone(),
+        )));
+        assert_ne!(rebooted.load().cache_fingerprint(), expected_fp);
+        // …until the checkpoint stamps are restored.
+        rebooted
+            .restore_generations(generation, &shard_generations)
+            .unwrap();
+        let restored = rebooted.load();
+        assert_eq!(restored.generation(), generation);
+        assert_eq!(restored.shard_generations(), &shard_generations[..]);
+        assert_eq!(restored.cache_fingerprint(), expected_fp);
+        assert_eq!(restored.search("Streamville").unwrap(), answer);
+        // The sequence continues densely after restoration.
+        let next = rebooted.absorb(&address_feed(901, "Afterville")).unwrap();
+        assert_eq!(next, generation + 1);
+    }
+
+    #[test]
+    fn restore_generations_rejects_malformed_checkpoints() {
+        let handle = minibank_handle(4);
+        // Wrong slot count: the checkpoint came from a different shard count.
+        assert!(handle.restore_generations(3, &[3, 3]).is_err());
+        // A slot beyond the snapshot generation was never published.
+        assert!(handle.restore_generations(3, &[3, 4, 0, 0]).is_err());
+        // The handle is untouched by the failed attempts.
+        assert_eq!(handle.generation(), 0);
     }
 
     #[test]

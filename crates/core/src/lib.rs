@@ -32,6 +32,7 @@
 //! ```
 
 pub mod classification;
+pub mod codec;
 pub mod config;
 pub mod engine;
 pub mod error;

@@ -120,6 +120,22 @@ impl EngineSnapshot {
         self
     }
 
+    /// A structurally identical snapshot carrying exactly the given
+    /// generation stamps — the durable-recovery path uses this (via
+    /// [`SnapshotHandle::restore_generations`](crate::SnapshotHandle::restore_generations))
+    /// to land a rebooted engine on the same generation vector, and thus the
+    /// same [`cache_fingerprint`](Self::cache_fingerprint), a checkpoint
+    /// recorded.  Every built structure is shared with `self`.
+    pub(crate) fn restored(&self, generation: u64, shard_generations: Vec<u64>) -> Self {
+        Self {
+            db: Arc::clone(&self.db),
+            graph: Arc::clone(&self.graph),
+            core: self.core.share(),
+            generation,
+            shard_generations,
+        }
+    }
+
     /// Derives a snapshot over `db` in which only `tables` changed: the
     /// inverted-index partitions owning those tables are rebuilt from `db`
     /// and stamped with `generation`; every other structure — classification

@@ -1,6 +1,6 @@
 //! Gold-standard execution helpers.
 //!
-//! The gold SQL lives next to its query in [`crate::workload`]; this module
+//! The gold SQL lives next to its query in [`mod@crate::workload`]; this module
 //! provides the convenience of executing all gold statements for a query and
 //! inspecting the resulting tuple sets (used by the experiments and by tests
 //! that validate the gold standard itself).

@@ -1,5 +1,6 @@
 //! Row-level change events and the ordered feed that carries them.
 
+use soda_relation::codec::{CodecError, CodecResult, Decoder, Encoder};
 use soda_relation::Row;
 
 /// One row-level change to one table.
@@ -46,6 +47,59 @@ impl RowEvent {
             RowEvent::Append { .. } => 1,
             RowEvent::Replace { rows, .. } => rows.len(),
             RowEvent::Truncate { .. } => 0,
+        }
+    }
+
+    /// Appends this event's binary encoding to `enc` (see
+    /// [`ChangeFeed::encode`] for the framing this participates in).
+    pub fn encode(&self, enc: &mut Encoder) {
+        match self {
+            RowEvent::Append { table, row } => {
+                enc.put_u8(0);
+                enc.put_str(table);
+                enc.put_row(row);
+            }
+            RowEvent::Replace { table, rows } => {
+                enc.put_u8(1);
+                enc.put_str(table);
+                enc.put_usize(rows.len());
+                for row in rows {
+                    enc.put_row(row);
+                }
+            }
+            RowEvent::Truncate { table } => {
+                enc.put_u8(2);
+                enc.put_str(table);
+            }
+        }
+    }
+
+    /// Decodes one event previously written by [`RowEvent::encode`].
+    pub fn decode(dec: &mut Decoder<'_>) -> CodecResult<Self> {
+        match dec.get_u8()? {
+            0 => Ok(RowEvent::Append {
+                table: dec.get_str()?,
+                row: dec.get_row()?,
+            }),
+            1 => {
+                let table = dec.get_str()?;
+                let n = dec.get_usize()?;
+                if n > dec.remaining() {
+                    return Err(CodecError::BadLength);
+                }
+                let mut rows = Vec::with_capacity(n);
+                for _ in 0..n {
+                    rows.push(dec.get_row()?);
+                }
+                Ok(RowEvent::Replace { table, rows })
+            }
+            2 => Ok(RowEvent::Truncate {
+                table: dec.get_str()?,
+            }),
+            tag => Err(CodecError::BadTag {
+                what: "RowEvent",
+                tag,
+            }),
         }
     }
 }
@@ -159,6 +213,57 @@ impl ChangeFeed {
         tables.dedup();
         tables
     }
+
+    /// Serializes the feed to the compact binary form the durability journal
+    /// stores on disk: an event count followed by each event in order.
+    ///
+    /// ```
+    /// use soda_ingest::ChangeFeed;
+    /// use soda_relation::Value;
+    ///
+    /// let feed = ChangeFeed::new()
+    ///     .append_row("trades", vec![Value::Int(7), Value::from("CHF")])
+    ///     .truncate("stale_dim");
+    /// let bytes = feed.encode();
+    /// assert_eq!(ChangeFeed::decode(&bytes).unwrap(), feed);
+    /// ```
+    pub fn encode(&self) -> Vec<u8> {
+        let mut enc = Encoder::new();
+        self.encode_into(&mut enc);
+        enc.into_bytes()
+    }
+
+    /// Appends the feed's encoding to an existing [`Encoder`] — used when the
+    /// feed is embedded in a larger frame (e.g. a journal record).
+    pub fn encode_into(&self, enc: &mut Encoder) {
+        enc.put_usize(self.events.len());
+        for event in &self.events {
+            event.encode(enc);
+        }
+    }
+
+    /// Deserializes a feed previously written by [`ChangeFeed::encode`].
+    pub fn decode(bytes: &[u8]) -> CodecResult<Self> {
+        let mut dec = Decoder::new(bytes);
+        let feed = Self::decode_from(&mut dec)?;
+        if !dec.is_empty() {
+            return Err(CodecError::BadLength);
+        }
+        Ok(feed)
+    }
+
+    /// Reads a feed out of a decoder positioned at an embedded encoding.
+    pub fn decode_from(dec: &mut Decoder<'_>) -> CodecResult<Self> {
+        let n = dec.get_usize()?;
+        if n > dec.remaining() {
+            return Err(CodecError::BadLength);
+        }
+        let mut events = Vec::with_capacity(n);
+        for _ in 0..n {
+            events.push(RowEvent::decode(dec)?);
+        }
+        Ok(Self { events })
+    }
 }
 
 #[cfg(test)]
@@ -188,6 +293,32 @@ mod tests {
             feed.tables(),
             vec!["addresses".to_string(), "trades".to_string()]
         );
+    }
+
+    #[test]
+    fn encode_decode_round_trips_every_event_kind() {
+        let feed = ChangeFeed::new()
+            .append_row("trades", vec![Value::Int(1), Value::Float(2.5)])
+            .replace("dim", vec![vec![Value::from("a")], vec![Value::Null]])
+            .truncate("stale");
+        let bytes = feed.encode();
+        assert_eq!(ChangeFeed::decode(&bytes).unwrap(), feed);
+        // An empty feed round-trips too.
+        assert_eq!(
+            ChangeFeed::decode(&ChangeFeed::new().encode()).unwrap(),
+            ChangeFeed::new()
+        );
+    }
+
+    #[test]
+    fn decode_rejects_truncated_and_trailing_bytes() {
+        let bytes = ChangeFeed::new()
+            .append_row("t", vec![Value::Int(1)])
+            .encode();
+        assert!(ChangeFeed::decode(&bytes[..bytes.len() - 1]).is_err());
+        let mut padded = bytes.clone();
+        padded.push(0);
+        assert!(ChangeFeed::decode(&padded).is_err());
     }
 
     #[test]

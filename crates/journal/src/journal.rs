@@ -1,0 +1,455 @@
+//! The feed journal: an append-only log of [`ChangeFeed`]s with checkpoint
+//! truncation, bound to one engine configuration by fingerprint.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+use soda_ingest::ChangeFeed;
+use soda_relation::codec::{CodecError, CodecResult, Decoder, Encoder};
+use soda_relation::Row;
+
+use crate::frame::{FrameFile, FrameScan};
+
+/// Magic prefix of a feed-journal file (`1` is the format version).
+pub const JOURNAL_MAGIC: [u8; 8] = *b"SODAJNL1";
+
+const KIND_FEED: u8 = 0x01;
+const KIND_CHECKPOINT: u8 = 0x02;
+
+/// When appends are forced to stable storage.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// `fsync` after every append — an acknowledged ingest survives a crash.
+    /// The default, and what the crash-recovery guarantee assumes.
+    #[default]
+    Always,
+    /// Leave flushing to the OS.  Faster; a crash may lose the most recent
+    /// appends (the checksummed frames still guarantee the journal never
+    /// replays a half-written record).
+    Never,
+}
+
+impl FsyncPolicy {
+    pub(crate) fn should_sync(self) -> bool {
+        matches!(self, FsyncPolicy::Always)
+    }
+}
+
+/// A point-in-time fold of everything the journal had recorded: the full
+/// content of every table feeds have ever touched, plus the snapshot
+/// generation stamps at the moment the checkpoint was cut.
+///
+/// Replaying a checkpoint (apply the rows over the base warehouse, restore
+/// the generation stamps, then absorb any feeds journaled after it) lands a
+/// rebooted engine on the same answers — and the same cache fingerprint — as
+/// the process that wrote it.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Checkpoint {
+    /// Snapshot generation at the time of the checkpoint.
+    pub generation: u64,
+    /// Per-shard generation stamps at the time of the checkpoint.
+    pub shard_generations: Vec<u64>,
+    /// Full replacement content for every table any journaled feed ever
+    /// touched: `(lower-cased table name, rows)`.
+    pub tables: Vec<(String, Vec<Row>)>,
+}
+
+impl Checkpoint {
+    fn encode(&self) -> Vec<u8> {
+        let mut enc = Encoder::new();
+        enc.put_u8(KIND_CHECKPOINT);
+        enc.put_u64(self.generation);
+        enc.put_usize(self.shard_generations.len());
+        for &g in &self.shard_generations {
+            enc.put_u64(g);
+        }
+        enc.put_usize(self.tables.len());
+        for (name, rows) in &self.tables {
+            enc.put_str(name);
+            enc.put_usize(rows.len());
+            for row in rows {
+                enc.put_row(row);
+            }
+        }
+        enc.into_bytes()
+    }
+
+    fn decode_from(dec: &mut Decoder<'_>) -> CodecResult<Self> {
+        let generation = dec.get_u64()?;
+        let n = dec.get_usize()?;
+        if n > dec.remaining() {
+            return Err(CodecError::BadLength);
+        }
+        let mut shard_generations = Vec::with_capacity(n);
+        for _ in 0..n {
+            shard_generations.push(dec.get_u64()?);
+        }
+        let n = dec.get_usize()?;
+        if n > dec.remaining() {
+            return Err(CodecError::BadLength);
+        }
+        let mut tables = Vec::with_capacity(n);
+        for _ in 0..n {
+            let name = dec.get_str()?;
+            let rows_n = dec.get_usize()?;
+            if rows_n > dec.remaining() {
+                return Err(CodecError::BadLength);
+            }
+            let mut rows = Vec::with_capacity(rows_n);
+            for _ in 0..rows_n {
+                rows.push(dec.get_row()?);
+            }
+            tables.push((name, rows));
+        }
+        Ok(Self {
+            generation,
+            shard_generations,
+            tables,
+        })
+    }
+
+    /// Total rows carried across all tables.
+    pub fn row_count(&self) -> usize {
+        self.tables.iter().map(|(_, rows)| rows.len()).sum()
+    }
+}
+
+/// One record replayed out of the journal.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JournalRecord {
+    /// A change feed appended by `ingest`.
+    Feed(ChangeFeed),
+    /// A checkpoint written by compaction (always the journal's first record
+    /// when present — writing one truncates everything before it).
+    Checkpoint(Checkpoint),
+}
+
+/// Everything recovery needs, read back in one pass at open time.
+#[derive(Debug)]
+pub struct Replay {
+    /// The journal's records in append order.
+    pub records: Vec<JournalRecord>,
+    /// Bytes of torn/corrupt tail discarded during the scan.
+    pub truncated_bytes: u64,
+    /// True when no journal existed — this boot starts a fresh log.
+    pub created: bool,
+}
+
+impl Replay {
+    /// Splits the records into the latest checkpoint (if any) and the feeds
+    /// journaled after it — the minimal work a recovery has to do.
+    pub fn into_plan(self) -> (Option<Checkpoint>, Vec<ChangeFeed>) {
+        let mut checkpoint = None;
+        let mut feeds = Vec::new();
+        for record in self.records {
+            match record {
+                JournalRecord::Checkpoint(c) => {
+                    checkpoint = Some(c);
+                    feeds.clear();
+                }
+                JournalRecord::Feed(f) => feeds.push(f),
+            }
+        }
+        (checkpoint, feeds)
+    }
+}
+
+/// Errors from journal operations.
+#[derive(Debug)]
+pub enum JournalError {
+    /// An underlying filesystem operation failed.
+    Io(std::io::Error),
+    /// A checksummed frame decoded to garbage — version skew or a logic bug,
+    /// never ordinary corruption (that is caught by the CRC and truncated).
+    Codec(CodecError),
+    /// The journal on disk was written under a different engine
+    /// configuration; replaying it would silently produce different answers.
+    ConfigMismatch {
+        /// Fingerprint stored in the journal header.
+        journal: u64,
+        /// Fingerprint of the engine attempting recovery.
+        engine: u64,
+    },
+}
+
+impl fmt::Display for JournalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JournalError::Io(e) => write!(f, "journal I/O error: {e}"),
+            JournalError::Codec(e) => write!(f, "journal record failed to decode: {e}"),
+            JournalError::ConfigMismatch { journal, engine } => write!(
+                f,
+                "journal was written under config fingerprint {journal:#018x}, \
+                 but the engine recovering it has {engine:#018x}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for JournalError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            JournalError::Io(e) => Some(e),
+            JournalError::Codec(e) => Some(e),
+            JournalError::ConfigMismatch { .. } => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for JournalError {
+    fn from(e: std::io::Error) -> Self {
+        JournalError::Io(e)
+    }
+}
+
+impl From<CodecError> for JournalError {
+    fn from(e: CodecError) -> Self {
+        JournalError::Codec(e)
+    }
+}
+
+/// Result alias for journal operations.
+pub type JournalResult<T> = std::result::Result<T, JournalError>;
+
+/// The crash-safe feed journal.
+///
+/// One file, bound to one engine configuration: the header stores the
+/// config fingerprint and [`FeedJournal::recover`] refuses to replay a
+/// journal written under a different one.  [`append_feed`] logs a
+/// [`ChangeFeed`] *before* the service absorbs it (write-ahead);
+/// [`write_checkpoint`] atomically replaces the whole log with a single
+/// checkpoint record, bounding replay time.
+///
+/// [`append_feed`]: FeedJournal::append_feed
+/// [`write_checkpoint`]: FeedJournal::write_checkpoint
+#[derive(Debug)]
+pub struct FeedJournal {
+    file: FrameFile,
+}
+
+impl FeedJournal {
+    /// Opens (or creates) the journal at `path` and replays what it holds.
+    ///
+    /// A torn tail — the process died mid-append — is truncated in place and
+    /// reported via [`Replay::truncated_bytes`]; everything before it
+    /// replays normally.  An existing journal whose header fingerprint
+    /// differs from `config_fingerprint` is a hard
+    /// [`JournalError::ConfigMismatch`]: silently ignoring it would discard
+    /// acknowledged ingests.
+    pub fn recover(
+        path: &Path,
+        config_fingerprint: u64,
+        fsync: FsyncPolicy,
+    ) -> JournalResult<(Self, Replay)> {
+        let (file, scan) =
+            FrameFile::open_or_create(path, JOURNAL_MAGIC, config_fingerprint, fsync)?;
+        if !scan.created && scan.fingerprint != config_fingerprint {
+            return Err(JournalError::ConfigMismatch {
+                journal: scan.fingerprint,
+                engine: config_fingerprint,
+            });
+        }
+        let replay = decode_scan(scan)?;
+        Ok((Self { file }, replay))
+    }
+
+    /// Appends one feed and (per the fsync policy) forces it to disk.
+    /// Returns the bytes appended.
+    pub fn append_feed(&mut self, feed: &ChangeFeed) -> JournalResult<u64> {
+        let mut enc = Encoder::new();
+        enc.put_u8(KIND_FEED);
+        feed.encode_into(&mut enc);
+        Ok(self.file.append(&enc.into_bytes())?)
+    }
+
+    /// Atomically replaces the journal's entire content with `checkpoint` —
+    /// the checkpoint truncation step.  A crash during the rewrite leaves
+    /// either the old journal or the new one, never a mix.  Returns the
+    /// journal's new size in bytes.
+    pub fn write_checkpoint(&mut self, checkpoint: &Checkpoint) -> JournalResult<u64> {
+        let payload = checkpoint.encode();
+        self.file.rewrite(&[&payload])?;
+        Ok(self.file.len_bytes())
+    }
+
+    /// Current journal size in bytes (header included).
+    pub fn len_bytes(&self) -> u64 {
+        self.file.len_bytes()
+    }
+
+    /// The journal file's path.
+    pub fn path(&self) -> &Path {
+        self.file.path()
+    }
+}
+
+/// The conventional journal file name under a durability directory.
+pub fn journal_path(dir: &Path) -> PathBuf {
+    dir.join("feed.journal")
+}
+
+fn decode_scan(scan: FrameScan) -> JournalResult<Replay> {
+    let mut records = Vec::with_capacity(scan.frames.len());
+    for frame in &scan.frames {
+        records.push(decode_record(frame)?);
+    }
+    Ok(Replay {
+        records,
+        truncated_bytes: scan.truncated_bytes,
+        created: scan.created,
+    })
+}
+
+fn decode_record(payload: &[u8]) -> JournalResult<JournalRecord> {
+    let mut dec = Decoder::new(payload);
+    let record = match dec.get_u8()? {
+        KIND_FEED => JournalRecord::Feed(ChangeFeed::decode_from(&mut dec)?),
+        KIND_CHECKPOINT => JournalRecord::Checkpoint(Checkpoint::decode_from(&mut dec)?),
+        tag => {
+            return Err(JournalError::Codec(CodecError::BadTag {
+                what: "JournalRecord",
+                tag,
+            }))
+        }
+    };
+    if !dec.is_empty() {
+        return Err(JournalError::Codec(CodecError::BadLength));
+    }
+    Ok(record)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::TempDir;
+    use soda_relation::Value;
+
+    fn feed(n: i64) -> ChangeFeed {
+        ChangeFeed::new().append_row("trades", vec![Value::Int(n), Value::from("CHF")])
+    }
+
+    #[test]
+    fn fresh_journal_replays_empty() {
+        let dir = TempDir::new("jnl-fresh");
+        let path = journal_path(dir.path());
+        let (_j, replay) = FeedJournal::recover(&path, 42, FsyncPolicy::Always).unwrap();
+        assert!(replay.created);
+        assert!(replay.records.is_empty());
+        let (checkpoint, feeds) = replay.into_plan();
+        assert!(checkpoint.is_none());
+        assert!(feeds.is_empty());
+    }
+
+    #[test]
+    fn appended_feeds_replay_in_order() {
+        let dir = TempDir::new("jnl-replay");
+        let path = journal_path(dir.path());
+        {
+            let (mut j, _) = FeedJournal::recover(&path, 42, FsyncPolicy::Always).unwrap();
+            j.append_feed(&feed(1)).unwrap();
+            j.append_feed(&feed(2)).unwrap();
+        }
+        let (_j, replay) = FeedJournal::recover(&path, 42, FsyncPolicy::Always).unwrap();
+        assert!(!replay.created);
+        assert_eq!(replay.truncated_bytes, 0);
+        assert_eq!(
+            replay.records,
+            vec![JournalRecord::Feed(feed(1)), JournalRecord::Feed(feed(2)),]
+        );
+    }
+
+    #[test]
+    fn config_mismatch_is_a_hard_error() {
+        let dir = TempDir::new("jnl-config");
+        let path = journal_path(dir.path());
+        {
+            let (mut j, _) = FeedJournal::recover(&path, 1, FsyncPolicy::Always).unwrap();
+            j.append_feed(&feed(1)).unwrap();
+        }
+        match FeedJournal::recover(&path, 2, FsyncPolicy::Always) {
+            Err(JournalError::ConfigMismatch { journal, engine }) => {
+                assert_eq!((journal, engine), (1, 2));
+            }
+            other => panic!("expected ConfigMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn checkpoint_truncates_and_bounds_replay() {
+        let dir = TempDir::new("jnl-ckpt");
+        let path = journal_path(dir.path());
+        let (mut j, _) = FeedJournal::recover(&path, 42, FsyncPolicy::Always).unwrap();
+        j.append_feed(&feed(1)).unwrap();
+        j.append_feed(&feed(2)).unwrap();
+        let before = j.len_bytes();
+        let checkpoint = Checkpoint {
+            generation: 5,
+            shard_generations: vec![5, 3],
+            tables: vec![(
+                "trades".into(),
+                vec![vec![Value::Int(1)], vec![Value::Int(2)]],
+            )],
+        };
+        j.write_checkpoint(&checkpoint).unwrap();
+        // Checkpointing dropped the two feed records.
+        assert!(j.len_bytes() < before + 64);
+        j.append_feed(&feed(3)).unwrap();
+        drop(j);
+
+        let (_j, replay) = FeedJournal::recover(&path, 42, FsyncPolicy::Always).unwrap();
+        let (recovered, feeds) = replay.into_plan();
+        assert_eq!(recovered.unwrap(), checkpoint);
+        assert_eq!(feeds, vec![feed(3)]);
+    }
+
+    #[test]
+    fn torn_tail_loses_only_the_torn_record() {
+        let dir = TempDir::new("jnl-torn");
+        let path = journal_path(dir.path());
+        {
+            let (mut j, _) = FeedJournal::recover(&path, 42, FsyncPolicy::Always).unwrap();
+            j.append_feed(&feed(1)).unwrap();
+            j.append_feed(&feed(2)).unwrap();
+        }
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 5]).unwrap();
+
+        let (mut j, replay) = FeedJournal::recover(&path, 42, FsyncPolicy::Always).unwrap();
+        assert_eq!(replay.records, vec![JournalRecord::Feed(feed(1))]);
+        assert!(replay.truncated_bytes > 0);
+        // The journal stays usable after the truncation.
+        j.append_feed(&feed(3)).unwrap();
+        drop(j);
+        let (_j, replay) = FeedJournal::recover(&path, 42, FsyncPolicy::Always).unwrap();
+        assert_eq!(
+            replay.records,
+            vec![JournalRecord::Feed(feed(1)), JournalRecord::Feed(feed(3))]
+        );
+    }
+
+    #[test]
+    fn into_plan_keeps_only_records_after_the_last_checkpoint() {
+        let a = Checkpoint {
+            generation: 1,
+            ..Checkpoint::default()
+        };
+        let b = Checkpoint {
+            generation: 2,
+            ..Checkpoint::default()
+        };
+        let replay = Replay {
+            records: vec![
+                JournalRecord::Feed(feed(1)),
+                JournalRecord::Checkpoint(a),
+                JournalRecord::Feed(feed(2)),
+                JournalRecord::Checkpoint(b.clone()),
+                JournalRecord::Feed(feed(3)),
+            ],
+            truncated_bytes: 0,
+            created: false,
+        };
+        let (checkpoint, feeds) = replay.into_plan();
+        assert_eq!(checkpoint.unwrap(), b);
+        assert_eq!(feeds, vec![feed(3)]);
+    }
+}

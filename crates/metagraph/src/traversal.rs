@@ -1,7 +1,7 @@
 //! Graph traversal primitives used by the SODA "tables" step.
 //!
 //! The paper's algorithm starts at every entry point discovered by the lookup
-//! step and "recursively follow[s] all the outgoing edges", testing the basic
+//! step and "recursively follow\[s\] all the outgoing edges", testing the basic
 //! patterns at every node.  This module provides bounded breadth-first
 //! traversal, reachability, and shortest-path computation (the latter is used
 //! to keep only join conditions that lie on a direct path between entry

@@ -200,6 +200,19 @@ impl<K: Eq + Hash + Clone, V: Clone> LruCache<K, V> {
         (retained, dropped)
     }
 
+    /// Iterates the resident entries oldest-first (least-recently-used
+    /// first).  The page-persistence layer writes entries in this order so
+    /// that re-inserting them sequentially on reload reproduces the recency
+    /// order — the restored cache evicts in the same order the drained one
+    /// would have.
+    pub fn iter_oldest_first(&self) -> impl Iterator<Item = (&K, &V)> {
+        self.recency.values().filter_map(|key| {
+            self.map
+                .get_key_value(key)
+                .map(|(k, slot)| (k, &slot.value))
+        })
+    }
+
     /// Number of resident entries.
     pub fn len(&self) -> usize {
         self.map.len()

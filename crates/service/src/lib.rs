@@ -24,7 +24,13 @@
 //!   [`ChangeFeed`](soda_core::ChangeFeed) into per-shard side logs without
 //!   rebuilding a single partition, and a background compaction worker
 //!   (see [`CompactionConfig`]) folds grown logs back into rebuilt
-//!   partitions once they cross a budget.
+//!   partitions once they cross a budget.  With a [`DurabilityConfig`] the
+//!   service is additionally **crash-safe**: ingests are journaled
+//!   write-ahead to an on-disk feed journal ([`soda_journal`]), compactions
+//!   checkpoint and truncate it, [`QueryService::recover`] replays it on
+//!   boot into byte-identical answers, and a graceful drain persists the
+//!   warm cache pages so a restarted service answers repeated queries at
+//!   warm-hit latency.
 //! * [`LruCache`] — an interpretation cache mapping *canonicalized* queries
 //!   ([`soda_core::normalize_query`]) plus the snapshot fingerprint
 //!   (engine configuration ⊕ generation vector,
@@ -59,7 +65,12 @@ pub mod metrics;
 pub mod service;
 
 pub use cache::{CacheKey, CacheStats, LruCache};
-pub use metrics::{IngestMetrics, LatencySummary, ServiceMetrics};
+pub use metrics::{DurabilityMetrics, IngestMetrics, LatencySummary, ServiceMetrics};
 pub use service::{
-    CompactionConfig, JobHandle, JobResult, QueryRequest, QueryService, ServiceConfig, ServiceError,
+    CompactionConfig, DurabilityConfig, JobHandle, JobResult, QueryRequest, QueryService,
+    RecoveryReport, ServiceConfig, ServiceError,
 };
+
+// Re-exported so durable-service callers can set the fsync policy without a
+// direct dependency on the journal crate.
+pub use soda_journal::FsyncPolicy;

@@ -52,6 +52,44 @@ pub struct IngestMetrics {
     pub compacted_shards: u64,
 }
 
+/// Durable-restart counters, embedded in [`ServiceMetrics`].  All zero (and
+/// `enabled` false) for a service started without a
+/// [`DurabilityConfig`](crate::DurabilityConfig).
+///
+/// The replay / truncation / cache-restore figures describe the recovery
+/// that *created* this service instance
+/// ([`QueryService::recover`](crate::QueryService::recover)) and stay
+/// constant afterwards; the journal gauges and checkpoint counters advance
+/// as the service runs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DurabilityMetrics {
+    /// True when the service journals its ingests.
+    pub enabled: bool,
+    /// Current size of the feed journal in bytes (header included) — drops
+    /// back to one checkpoint record after every compaction.
+    pub journal_bytes: u64,
+    /// Change feeds appended to the journal since this instance started.
+    pub journal_appends: u64,
+    /// Checkpoints written (each one truncates the journal).
+    pub checkpoints: u64,
+    /// Checkpoint attempts that failed and left the journal untouched (the
+    /// journal remains replayable; the truncation is merely postponed).
+    pub checkpoint_failures: u64,
+    /// Journaled feeds re-absorbed during recovery.
+    pub replayed_feeds: u64,
+    /// Journaled feeds the engine rejected again during recovery (a feed
+    /// that was rejected when first ingested is journaled ahead of the
+    /// rejection and deterministically re-rejected on replay).
+    pub rejected_replays: u64,
+    /// Bytes of torn or corrupt journal tail discarded during recovery.
+    pub truncated_bytes: u64,
+    /// Persisted result pages restored into the cache during recovery.
+    pub cache_pages_restored: u64,
+    /// Persisted result pages discarded during recovery because their
+    /// snapshot fingerprint no longer matched the recovered engine.
+    pub cache_pages_stale: u64,
+}
+
 /// One snapshot of the service's health, returned by
 /// [`QueryService::metrics`](crate::QueryService::metrics).
 #[derive(Debug, Clone, PartialEq)]
@@ -93,6 +131,10 @@ pub struct ServiceMetrics {
     /// re-sampled from the *live* snapshot on every call, so the gauges
     /// track whatever generation is currently serving.
     pub shards: ShardStats,
+    /// Crash-safety counters: journal size and appends, checkpoints, and the
+    /// replay / cache-restore figures of the recovery that created this
+    /// instance.
+    pub durability: DurabilityMetrics,
 }
 
 /// Latency accounting shared by the workers.  Not internally synchronised;

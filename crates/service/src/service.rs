@@ -54,20 +54,58 @@
 //! Shutdown is graceful: dropping the service stops intake (stopping the
 //! compaction worker first), lets the workers drain every queued job
 //! (resolving their coalesced waiters), then joins them.
+//!
+//! ## Durable restart
+//!
+//! A service started through [`QueryService::recover`] with a
+//! [`DurabilityConfig`] survives crashes: every [`ingest`](QueryService::ingest)
+//! appends the feed to an on-disk [`FeedJournal`] *before* the engine
+//! absorbs it (write-ahead), and every compaction / swap
+//! writes a [`Checkpoint`] that folds the replay
+//! prefix away, so the journal stays bounded.  On the next boot, `recover`
+//! replays the journal — checkpoint first, then the feeds appended after it —
+//! and restores the recorded generation stamps, so the recovered engine
+//! serves **byte-identical pages under the same cache fingerprints** as the
+//! instance that died.  A torn tail (crash mid-append) is truncated; a
+//! journal written under a different engine configuration is a hard error.
+//!
+//! On a *graceful* drain (dropping the service) the warm entries of the
+//! interpretation cache are additionally serialized to a page-cache file,
+//! which `recover` reloads — so the first repeated queries after a restart
+//! are answered at warm-hit latency instead of re-running the pipeline.  The
+//! cache file is best-effort: a stale, torn or foreign file is ignored
+//! (counted in [`DurabilityMetrics::cache_pages_stale`]), never an error.
+//!
+//! One caveat: the metadata **graph is not journaled** — `recover` takes the
+//! graph (and the base database) as arguments, so after a
+//! [`refresh_graph`](QueryService::refresh_graph) the operator must hand the
+//! refreshed graph to the next recovery.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use soda_core::codec::{decode_page, decode_probe_dep, encode_page, encode_probe_dep};
 use soda_core::{
     normalize_query, ChangeFeed, CompactionPolicy, Database, EngineSnapshot, MetaGraph, ProbeDep,
-    ProbeRecorder, ResultPage, RetentionGate, SnapshotHandle, SodaError,
+    ProbeRecorder, ResultPage, RetentionGate, SnapshotHandle, SodaConfig, SodaError,
 };
+use soda_journal::frame::{read_frame_file, write_frame_file};
+use soda_journal::{journal_path, Checkpoint, FeedJournal, FsyncPolicy};
+use soda_relation::codec::{CodecError, CodecResult, Decoder, Encoder};
 
 use crate::cache::{CacheKey, LruCache};
-use crate::metrics::{IngestMetrics, LatencyRecorder, ServiceMetrics};
+use crate::metrics::{DurabilityMetrics, IngestMetrics, LatencyRecorder, ServiceMetrics};
+
+/// Magic of the persistent page-cache file (the journal has its own,
+/// [`soda_journal::JOURNAL_MAGIC`]).
+const CACHE_MAGIC: [u8; 8] = *b"SODACSH1";
+
+/// File name of the persistent page cache under the durability directory.
+const CACHE_FILE: &str = "pages.cache";
 
 /// Tuning knobs of the service.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -116,6 +154,147 @@ impl Default for CompactionConfig {
     }
 }
 
+/// Where and how the service persists its crash-safety state.
+///
+/// The directory holds two files: `feed.journal` (the write-ahead feed
+/// journal, [`soda_journal::journal_path`]) and `pages.cache` (the warm
+/// result pages serialized on a graceful drain).  Pass the same directory to
+/// [`QueryService::recover`] on every boot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DurabilityConfig {
+    /// Directory holding the journal and the page-cache file (created if
+    /// missing).
+    pub dir: PathBuf,
+    /// Whether every journal append forces the bytes to disk before the
+    /// engine absorbs the feed.  [`FsyncPolicy::Always`] (the default) makes
+    /// acknowledged ingests survive power loss; [`FsyncPolicy::Never`]
+    /// trades that for append latency.
+    pub fsync: FsyncPolicy,
+    /// Whether a graceful drain serializes the warm cache pages to disk
+    /// (and recovery reloads them).  Default true.
+    pub persist_cache: bool,
+}
+
+impl DurabilityConfig {
+    /// Durability under `dir` with the safe defaults: fsync on every append,
+    /// cache persistence on.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        Self {
+            dir: dir.into(),
+            fsync: FsyncPolicy::Always,
+            persist_cache: true,
+        }
+    }
+}
+
+/// What [`QueryService::recover`] found and rebuilt, for operator logging.
+/// The same figures stay observable afterwards via
+/// [`ServiceMetrics::durability`](crate::ServiceMetrics).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// True when no journal existed and a fresh one was created (first boot).
+    pub journal_created: bool,
+    /// True when the journal began with a checkpoint whose table contents
+    /// and generation stamps were applied over the base database.
+    pub checkpoint_applied: bool,
+    /// Rows the applied checkpoint carried.
+    pub checkpoint_rows: usize,
+    /// Journaled feeds re-absorbed, in append order.
+    pub replayed_feeds: u64,
+    /// Journaled feeds the engine rejected again (deterministically — they
+    /// were rejected when first ingested, too).
+    pub rejected_feeds: u64,
+    /// Bytes of torn or corrupt journal tail truncated before replay.
+    pub truncated_bytes: u64,
+    /// Persisted pages restored into the warm cache.
+    pub cache_pages_restored: u64,
+    /// Persisted pages discarded as stale (fingerprint mismatch or
+    /// undecodable entry).
+    pub cache_pages_stale: u64,
+}
+
+/// The journal, the dirty-table ledger and the recovery counters, held under
+/// one mutex on [`Shared`] (lock order: swap lock → durability → store;
+/// `metrics()` takes it alone).
+struct DurabilityState {
+    journal: FeedJournal,
+    /// Where the warm pages go on a graceful drain.
+    cache_path: PathBuf,
+    persist_cache: bool,
+    /// Stamped into both file headers; [`QueryService::recover`] refuses a
+    /// journal carrying a different one.
+    config_fingerprint: u64,
+    /// Every table a journaled feed (or an applied checkpoint) has touched
+    /// since the base database.  A checkpoint must re-record **all** of them
+    /// — recovery applies it over the unchanged base database, so a table
+    /// omitted from one checkpoint would silently revert to its base
+    /// content.  The set therefore only ever grows.
+    dirty_tables: BTreeSet<String>,
+    journal_appends: u64,
+    checkpoints: u64,
+    checkpoint_failures: u64,
+    replayed_feeds: u64,
+    rejected_replays: u64,
+    truncated_bytes: u64,
+    cache_pages_restored: u64,
+    cache_pages_stale: u64,
+}
+
+/// Serializes one warm cache entry for the page-cache file: the full key
+/// (the fingerprint included — recovery filters on it) plus the page and the
+/// retention evidence, so a restored entry behaves exactly like the original
+/// across later data-only swaps.
+fn encode_cache_entry(key: &CacheKey, entry: &CachedPage) -> Vec<u8> {
+    let mut enc = Encoder::new();
+    enc.put_str(&key.normalized);
+    enc.put_u64(key.snapshot_fingerprint);
+    enc.put_usize(key.page);
+    enc.put_usize(key.page_size);
+    encode_page(&mut enc, &entry.page);
+    enc.put_u64(entry.touched_mask);
+    enc.put_bool(entry.touched_overflow);
+    enc.put_usize(entry.deps.len());
+    for dep in entry.deps.iter() {
+        encode_probe_dep(&mut enc, dep);
+    }
+    enc.into_bytes()
+}
+
+/// Inverse of [`encode_cache_entry`]; trailing bytes are an error so a
+/// miscounted frame cannot half-decode.
+fn decode_cache_entry(bytes: &[u8]) -> CodecResult<(CacheKey, CachedPage)> {
+    let mut dec = Decoder::new(bytes);
+    let key = CacheKey {
+        normalized: dec.get_str()?,
+        snapshot_fingerprint: dec.get_u64()?,
+        page: dec.get_usize()?,
+        page_size: dec.get_usize()?,
+    };
+    let page = decode_page(&mut dec)?;
+    let touched_mask = dec.get_u64()?;
+    let touched_overflow = dec.get_bool()?;
+    let n = dec.get_usize()?;
+    if n > dec.remaining() {
+        return Err(CodecError::BadLength);
+    }
+    let mut deps = Vec::with_capacity(n);
+    for _ in 0..n {
+        deps.push(decode_probe_dep(&mut dec)?);
+    }
+    if !dec.is_empty() {
+        return Err(CodecError::BadLength);
+    }
+    Ok((
+        key,
+        CachedPage {
+            page,
+            touched_mask,
+            touched_overflow,
+            deps: Arc::new(deps),
+        },
+    ))
+}
+
 /// One query as submitted by a client.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct QueryRequest {
@@ -160,6 +339,12 @@ pub enum ServiceError {
     /// The worker completing this job disappeared (only possible if a worker
     /// panicked mid-query).
     Disconnected,
+    /// The feed journal or page cache could not be written or recovered
+    /// (rendered to text because `std::io::Error` is not `Clone`).  Surfaced
+    /// by [`QueryService::recover`] and by an [`ingest`](QueryService::ingest)
+    /// whose write-ahead append failed — such a feed is **not** absorbed, so
+    /// the engine never serves rows the journal would lose in a crash.
+    Durability(String),
 }
 
 impl std::fmt::Display for ServiceError {
@@ -168,6 +353,7 @@ impl std::fmt::Display for ServiceError {
             ServiceError::Engine(e) => write!(f, "engine error: {e}"),
             ServiceError::ShuttingDown => write!(f, "the query service is shutting down"),
             ServiceError::Disconnected => write!(f, "the worker serving this job disappeared"),
+            ServiceError::Durability(msg) => write!(f, "durability error: {msg}"),
         }
     }
 }
@@ -318,6 +504,9 @@ struct Shared {
     store: Mutex<StoreState>,
     latency: Mutex<LatencyRecorder>,
     started: Instant,
+    /// Crash-safety state (`None` for a non-durable service).  Lock order:
+    /// swap lock → durability → store; `metrics()` takes it alone.
+    durability: Option<Mutex<DurabilityState>>,
 }
 
 impl Shared {
@@ -363,8 +552,20 @@ impl QueryService {
     /// [`SnapshotHandle`] internally, so the warehouse can be reloaded later
     /// without restarting the pool).
     pub fn start(engine: Arc<EngineSnapshot>, config: ServiceConfig) -> Self {
+        Self::start_with(SnapshotHandle::new(engine), config, None)
+    }
+
+    /// The constructor shared by [`start`](Self::start) and
+    /// [`recover`](Self::recover): wraps an already-prepared handle (recovery
+    /// restores generation stamps and replays feeds before any worker
+    /// exists) and spawns the pool.
+    fn start_with(
+        handle: SnapshotHandle,
+        config: ServiceConfig,
+        durability: Option<DurabilityState>,
+    ) -> Self {
         let shared = Arc::new(Shared {
-            handle: SnapshotHandle::new(engine),
+            handle,
             swaps: Mutex::new(()),
             reloads: AtomicU64::new(0),
             ingests: AtomicU64::new(0),
@@ -389,6 +590,7 @@ impl QueryService {
             }),
             latency: Mutex::new(LatencyRecorder::new()),
             started: Instant::now(),
+            durability: durability.map(Mutex::new),
         });
         let workers = (0..config.workers.max(1))
             .map(|i| {
@@ -411,6 +613,147 @@ impl QueryService {
             workers,
             compactor,
         }
+    }
+
+    /// Boots a **durable** service from the journal under
+    /// [`DurabilityConfig::dir`], creating it when missing — this is both
+    /// the first-boot and the post-crash entry point.
+    ///
+    /// `base_db` and `graph` must be the warehouse and metadata graph the
+    /// journaled history started from (the graph is *not* journaled; after a
+    /// [`refresh_graph`](Self::refresh_graph) pass the refreshed one).
+    /// Recovery then replays the journal: the latest checkpoint's table
+    /// contents are applied over `base_db` and its generation stamps are
+    /// restored, every feed appended after it is re-absorbed in order, and —
+    /// because absorbed state answers identically to a rebuild over the same
+    /// rows — the recovered engine serves byte-identical pages under the
+    /// same cache fingerprints as the instance that died.  Warm pages
+    /// persisted by a graceful drain are reloaded into the cache when they
+    /// still match.
+    ///
+    /// Errors are [`ServiceError::Durability`] for journal I/O, decode or
+    /// checkpoint-apply failures — including a journal written under a
+    /// different engine configuration, which must not be silently dropped —
+    /// and [`ServiceError::Engine`] for malformed generation stamps.  A
+    /// torn journal tail and any page-cache problem are *not* errors: the
+    /// tail is truncated and the cache file ignored, both reported in the
+    /// [`RecoveryReport`].
+    pub fn recover(
+        base_db: Arc<Database>,
+        graph: Arc<MetaGraph>,
+        config: SodaConfig,
+        service: ServiceConfig,
+        durability: DurabilityConfig,
+    ) -> Result<(Self, RecoveryReport), ServiceError> {
+        std::fs::create_dir_all(&durability.dir).map_err(|e| {
+            ServiceError::Durability(format!("creating {}: {e}", durability.dir.display()))
+        })?;
+        let config_fingerprint = config.fingerprint();
+        let (journal, replay) = FeedJournal::recover(
+            &journal_path(&durability.dir),
+            config_fingerprint,
+            durability.fsync,
+        )
+        .map_err(|e| ServiceError::Durability(e.to_string()))?;
+        let mut report = RecoveryReport {
+            journal_created: replay.created,
+            truncated_bytes: replay.truncated_bytes,
+            ..RecoveryReport::default()
+        };
+        let (checkpoint, feeds) = replay.into_plan();
+
+        // The checkpoint's tables land over the base database; everything it
+        // did not record keeps its base content (which is why checkpoints
+        // re-record every table ever touched).
+        let mut dirty_tables = BTreeSet::new();
+        let db = match &checkpoint {
+            Some(cp) => {
+                let mut db = (*base_db).clone();
+                for (name, rows) in &cp.tables {
+                    let table = db.table_mut(name).map_err(|e| {
+                        ServiceError::Durability(format!("applying checkpoint to `{name}`: {e}"))
+                    })?;
+                    table.truncate();
+                    table.insert_all(rows.iter().cloned()).map_err(|e| {
+                        ServiceError::Durability(format!("applying checkpoint to `{name}`: {e}"))
+                    })?;
+                    report.checkpoint_rows += rows.len();
+                    dirty_tables.insert(name.clone());
+                }
+                report.checkpoint_applied = true;
+                Arc::new(db)
+            }
+            None => base_db,
+        };
+        let handle = SnapshotHandle::new(Arc::new(EngineSnapshot::build(db, graph, config)));
+        if let Some(cp) = &checkpoint {
+            handle
+                .restore_generations(cp.generation, &cp.shard_generations)
+                .map_err(ServiceError::Engine)?;
+        }
+        for feed in &feeds {
+            // A replay rejection is deterministic — the feed was rejected
+            // when first ingested too (it reached the journal write-ahead) —
+            // so it is counted, not fatal.
+            match handle.absorb(feed) {
+                Ok(_) => {
+                    report.replayed_feeds += 1;
+                    dirty_tables.extend(feed.tables());
+                }
+                Err(_) => report.rejected_feeds += 1,
+            }
+        }
+
+        // The page cache is strictly best-effort: a missing, foreign, torn
+        // or stale file restores nothing and fails nothing.  Entries are
+        // kept only when their fingerprint matches the *recovered* snapshot
+        // — queries will actually look them up under that key.
+        let cache_path = durability.dir.join(CACHE_FILE);
+        let live = handle.load().cache_fingerprint();
+        let mut restored = Vec::new();
+        if durability.persist_cache {
+            if let Ok(Some(scan)) = read_frame_file(&cache_path, CACHE_MAGIC) {
+                if scan.fingerprint == config_fingerprint {
+                    for payload in &scan.frames {
+                        match decode_cache_entry(payload) {
+                            Ok((key, entry)) if key.snapshot_fingerprint == live => {
+                                restored.push((key, entry));
+                            }
+                            _ => report.cache_pages_stale += 1,
+                        }
+                    }
+                } else {
+                    report.cache_pages_stale += scan.frames.len() as u64;
+                }
+            }
+        }
+        report.cache_pages_restored = restored.len() as u64;
+
+        let state = DurabilityState {
+            journal,
+            cache_path,
+            persist_cache: durability.persist_cache,
+            config_fingerprint,
+            dirty_tables,
+            journal_appends: 0,
+            checkpoints: 0,
+            checkpoint_failures: 0,
+            replayed_feeds: report.replayed_feeds,
+            rejected_replays: report.rejected_feeds,
+            truncated_bytes: report.truncated_bytes,
+            cache_pages_restored: report.cache_pages_restored,
+            cache_pages_stale: report.cache_pages_stale,
+        };
+        let service = Self::start_with(handle, service, Some(state));
+        {
+            // The file was written oldest-first, so sequential re-insertion
+            // reproduces the drained cache's recency order.
+            let mut store = service.shared.store.lock().expect("store poisoned");
+            for (key, entry) in restored {
+                store.cache.insert(key, entry);
+            }
+        }
+        Ok((service, report))
     }
 
     /// Submits one query.  Returns immediately with a resolved handle on a
@@ -559,6 +902,24 @@ impl QueryService {
                 compacted_shards: self.shared.compacted_shards.load(Ordering::Relaxed),
             },
             shards: snapshot.shard_stats(),
+            durability: match &self.shared.durability {
+                Some(durability) => {
+                    let d = durability.lock().expect("durability state poisoned");
+                    DurabilityMetrics {
+                        enabled: true,
+                        journal_bytes: d.journal.len_bytes(),
+                        journal_appends: d.journal_appends,
+                        checkpoints: d.checkpoints,
+                        checkpoint_failures: d.checkpoint_failures,
+                        replayed_feeds: d.replayed_feeds,
+                        rejected_replays: d.rejected_replays,
+                        truncated_bytes: d.truncated_bytes,
+                        cache_pages_restored: d.cache_pages_restored,
+                        cache_pages_stale: d.cache_pages_stale,
+                    }
+                }
+                None => DurabilityMetrics::default(),
+            },
         }
     }
 
@@ -607,6 +968,10 @@ impl QueryService {
         let generation = self.shared.handle.publish(snapshot);
         self.shared.reloads.fetch_add(1, Ordering::Relaxed);
         self.purge_superseded();
+        // The reload replaced data the journal knows nothing about: record
+        // the *entire* live database (plus the new stamps), so the next
+        // recovery lands on the reloaded content whatever base it is given.
+        write_checkpoint_under_swap_lock(&self.shared, true);
         generation
     }
 
@@ -624,6 +989,9 @@ impl QueryService {
         let generation = self.shared.handle.rebuild_shards(db, tables);
         self.shared.reloads.fetch_add(1, Ordering::Relaxed);
         self.retain_unaffected(prev, &dirty);
+        // The caller handed a whole replacement database; checkpoint all of
+        // it (see `reload`).
+        write_checkpoint_under_swap_lock(&self.shared, true);
         generation
     }
 
@@ -636,6 +1004,10 @@ impl QueryService {
         let generation = self.shared.handle.refresh_graph(graph);
         self.shared.reloads.fetch_add(1, Ordering::Relaxed);
         self.purge_superseded();
+        // The graph itself is not journaled (recovery receives it as an
+        // argument), but the stamps moved: checkpoint so a recovery under
+        // the refreshed graph restores the post-refresh fingerprints.
+        write_checkpoint_under_swap_lock(&self.shared, true);
         generation
     }
 
@@ -654,6 +1026,19 @@ impl QueryService {
         let before = self.shared.handle.load();
         let prev = before.cache_fingerprint();
         let dirty = before.shards_for_tables(&feed.tables());
+        // Write-ahead: the feed reaches the (fsynced) journal before the
+        // engine absorbs it, so every acknowledged ingest is replayable
+        // after a crash.  If the append fails the feed is not absorbed at
+        // all; if the engine then rejects it, the journaled record is
+        // deterministically re-rejected on replay — harmless either way.
+        if let Some(durability) = &self.shared.durability {
+            let mut d = durability.lock().expect("durability state poisoned");
+            d.journal
+                .append_feed(feed)
+                .map_err(|e| ServiceError::Durability(e.to_string()))?;
+            d.journal_appends += 1;
+            d.dirty_tables.extend(feed.tables());
+        }
         let generation = self
             .shared
             .handle
@@ -755,7 +1140,49 @@ fn compact_under_swap_lock(shared: &Shared, shards: &[usize]) -> Option<u64> {
     // shard are recomputed (conservative — their hits merely moved from the
     // log into the frozen partition).
     retain_unaffected(shared, prev, &foldable);
+    // The fold changed no rows, so the dirty set is already right — but the
+    // stamps moved and the side logs are gone: a checkpoint here both keeps
+    // recovery fingerprints current and truncates the journal (the feeds it
+    // replaces are exactly the ones the fold absorbed into the partitions).
+    write_checkpoint_under_swap_lock(shared, false);
     Some(generation)
+}
+
+/// Writes a checkpoint — the live content of every dirty table plus the
+/// live generation stamps — atomically *replacing* the journal, which is
+/// what keeps replay bounded.  With `mark_all_tables` the whole live
+/// database is recorded first (reloads and shard rebuilds swap in data the
+/// journal never saw).  The caller must hold the service swap lock; a
+/// no-op without durability.  A failed write is counted and leaves the old
+/// journal in place — still fully replayable, just not yet truncated.
+fn write_checkpoint_under_swap_lock(shared: &Shared, mark_all_tables: bool) {
+    let Some(durability) = &shared.durability else {
+        return;
+    };
+    let snapshot = shared.handle.load();
+    let db = snapshot.database();
+    let mut d = durability.lock().expect("durability state poisoned");
+    if mark_all_tables {
+        d.dirty_tables
+            .extend(db.table_names().into_iter().map(String::from));
+    }
+    let mut tables = Vec::with_capacity(d.dirty_tables.len());
+    for name in &d.dirty_tables {
+        // A name the live database no longer knows (possible after a reload
+        // that dropped a table) simply has nothing to record.
+        if let Ok(table) = db.table(name) {
+            tables.push((name.clone(), table.rows().to_vec()));
+        }
+    }
+    let checkpoint = Checkpoint {
+        generation: snapshot.generation(),
+        shard_generations: snapshot.shard_generations().to_vec(),
+        tables,
+    };
+    match d.journal.write_checkpoint(&checkpoint) {
+        Ok(_) => d.checkpoints += 1,
+        Err(_) => d.checkpoint_failures += 1,
+    }
 }
 
 /// The background compaction worker: wakes on every ingest nudge (and at
@@ -819,6 +1246,23 @@ impl Drop for QueryService {
         self.shared.not_full.notify_all();
         for worker in self.workers.drain(..) {
             let _ = worker.join();
+        }
+        // Graceful drain: with the workers joined the cache is final, so
+        // persist the warm pages (oldest-first, preserving recency order)
+        // for the next `recover` to reload.  Best-effort by design — a
+        // failed write costs warm starts, never correctness.
+        if let Some(durability) = &self.shared.durability {
+            let d = durability.lock().expect("durability state poisoned");
+            if d.persist_cache {
+                let store = self.shared.store.lock().expect("store poisoned");
+                let payloads: Vec<Vec<u8>> = store
+                    .cache
+                    .iter_oldest_first()
+                    .map(|(key, entry)| encode_cache_entry(key, entry))
+                    .collect();
+                let refs: Vec<&[u8]> = payloads.iter().map(Vec::as_slice).collect();
+                let _ = write_frame_file(&d.cache_path, CACHE_MAGIC, d.config_fingerprint, &refs);
+            }
         }
     }
 }

@@ -29,6 +29,10 @@
 //! * [`ingest`] — streaming delta ingestion: row-level change feeds routed
 //!   into per-shard side logs that queries merge on the fly, plus the
 //!   compaction policy that folds grown logs back into rebuilt partitions.
+//! * [`journal`] — the crash-safety layer: an append-only, checksummed feed
+//!   journal with checkpoint truncation, replayed by
+//!   [`QueryService::recover`](soda_service::QueryService::recover) into
+//!   byte-identical answers after a crash.
 //! * [`service`] — the serving layer: a thread-safe
 //!   [`QueryService`](soda_service::QueryService) worker pool over a shared
 //!   [`EngineSnapshot`](soda_core::EngineSnapshot), with an LRU
@@ -55,6 +59,7 @@ pub use soda_core as core;
 pub use soda_eval as eval;
 pub use soda_explorer as explorer;
 pub use soda_ingest as ingest;
+pub use soda_journal as journal;
 pub use soda_metagraph as metagraph;
 pub use soda_relation as relation;
 pub use soda_service as service;
@@ -71,7 +76,8 @@ pub mod prelude {
     pub use soda_metagraph::{MetaGraph, Pattern, PatternRegistry};
     pub use soda_relation::{Database, ResultSet, Value};
     pub use soda_service::{
-        CompactionConfig, QueryRequest, QueryService, ServiceConfig, ServiceMetrics,
+        CompactionConfig, DurabilityConfig, FsyncPolicy, QueryRequest, QueryService,
+        RecoveryReport, ServiceConfig, ServiceMetrics,
     };
     pub use soda_warehouse::Warehouse;
 }

@@ -1,0 +1,452 @@
+//! Cross-crate fault-injection tests of the durable-restart layer: a
+//! crashed `QueryService` must recover from its write-ahead feed journal
+//! into **byte-identical answers** — torn tails truncated, corrupt frames
+//! dropped, checkpoints applied — and a gracefully drained one must answer
+//! its first repeated queries from the persisted warm cache.
+
+use std::fs;
+use std::fs::OpenOptions;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use soda::journal::frame::write_frame_file;
+use soda::journal::journal_path;
+use soda::prelude::*;
+use soda_service::ServiceError;
+
+/// A unique scratch directory removed on drop (`std`-only — the workspace
+/// has no tempfile crate).
+struct TempDir {
+    path: PathBuf,
+}
+
+impl TempDir {
+    fn new(label: &str) -> Self {
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let path = std::env::temp_dir().join(format!(
+            "soda-durability-{label}-{}-{}",
+            std::process::id(),
+            COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        fs::create_dir_all(&path).expect("creating temp dir");
+        Self { path }
+    }
+
+    fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.path);
+    }
+}
+
+fn minibank_parts() -> (Arc<Database>, Arc<MetaGraph>) {
+    let w = soda::warehouse::minibank::build(42);
+    (Arc::new(w.database), Arc::new(w.graph))
+}
+
+fn address_feed(id: i64, city: &str) -> ChangeFeed {
+    ChangeFeed::new().append_row(
+        "addresses",
+        vec![
+            Value::Int(id),
+            Value::Int(1),
+            Value::from("Journal Lane 1"),
+            Value::from(city),
+            Value::from("Switzerland"),
+        ],
+    )
+}
+
+fn recover_at(dir: &Path) -> (QueryService, RecoveryReport) {
+    let (db, graph) = minibank_parts();
+    QueryService::recover(
+        db,
+        graph,
+        SodaConfig::default(),
+        ServiceConfig::default(),
+        DurabilityConfig::new(dir),
+    )
+    .expect("recovery must succeed")
+}
+
+fn page_for(service: &QueryService, query: &str) -> ResultPage {
+    service
+        .submit(QueryRequest::new(query))
+        .wait()
+        .expect("query must succeed")
+}
+
+#[test]
+fn first_boot_creates_an_empty_journal_and_serves() {
+    let dir = TempDir::new("first-boot");
+    let (service, report) = recover_at(dir.path());
+    assert!(report.journal_created);
+    assert!(!report.checkpoint_applied);
+    assert_eq!(report.replayed_feeds, 0);
+    assert_eq!(report.truncated_bytes, 0);
+    assert!(journal_path(dir.path()).exists());
+
+    assert!(!page_for(&service, "Sara Guttinger").results.is_empty());
+    let m = service.metrics();
+    assert!(m.durability.enabled);
+    assert_eq!(m.durability.journal_appends, 0);
+    assert!(m.durability.journal_bytes > 0, "the header is on disk");
+}
+
+/// The acceptance scenario: kill a service after N ingested feeds — with a
+/// mid-frame torn tail on top — and recovery must replay the journal into a
+/// service whose every page is byte-identical to one that never crashed.
+#[test]
+fn crash_after_ingests_recovers_byte_identical_pages() {
+    const FEEDS: usize = 5;
+    let live_dir = TempDir::new("crash-live");
+    let crash_dir = TempDir::new("crash-image");
+    let queries = ["Sara Guttinger", "City0", "City3", "wealthy customers"];
+
+    let (before, generation) = {
+        let (service, _) = recover_at(live_dir.path());
+        for i in 0..FEEDS {
+            service
+                .ingest(&address_feed(900 + i as i64, &format!("City{i}")))
+                .unwrap();
+        }
+        let pages: Vec<ResultPage> = queries.iter().map(|q| page_for(&service, q)).collect();
+        assert!(!pages[1].results.is_empty(), "the ingested rows must serve");
+
+        // Crash image: the journal is copied while the service is still
+        // running (fsync=Always keeps it current), so the graceful-drain
+        // cache persist below never reaches this copy — exactly the state a
+        // kill -9 leaves behind.
+        fs::copy(
+            journal_path(live_dir.path()),
+            journal_path(crash_dir.path()),
+        )
+        .unwrap();
+        (pages, service.generation())
+    };
+
+    // The kill additionally lands mid-append: a frame header announcing 64
+    // payload bytes with only 3 behind it.
+    let torn = {
+        let mut torn = Vec::new();
+        torn.extend_from_slice(&64u32.to_le_bytes());
+        torn.extend_from_slice(&0u32.to_le_bytes());
+        torn.extend_from_slice(&[0xAB, 0xCD, 0xEF]);
+        let mut file = OpenOptions::new()
+            .append(true)
+            .open(journal_path(crash_dir.path()))
+            .unwrap();
+        file.write_all(&torn).unwrap();
+        torn.len() as u64
+    };
+
+    let (recovered, report) = recover_at(crash_dir.path());
+    assert!(!report.journal_created);
+    assert_eq!(report.replayed_feeds, FEEDS as u64);
+    assert_eq!(report.rejected_feeds, 0);
+    assert_eq!(report.truncated_bytes, torn);
+    assert_eq!(report.cache_pages_restored, 0, "a crash persists no cache");
+    assert_eq!(
+        recovered.generation(),
+        generation,
+        "replay must reproduce the generation sequence"
+    );
+
+    // A reference service that never crashed: same base, same feeds.
+    let (db, graph) = minibank_parts();
+    let reference = QueryService::start(
+        Arc::new(EngineSnapshot::build(db, graph, SodaConfig::default())),
+        ServiceConfig::default(),
+    );
+    for i in 0..FEEDS {
+        reference
+            .ingest(&address_feed(900 + i as i64, &format!("City{i}")))
+            .unwrap();
+    }
+
+    for (query, before) in queries.iter().zip(&before) {
+        let after = page_for(&recovered, query);
+        assert_eq!(&after, before, "pre-crash page for '{query}' must match");
+        assert_eq!(
+            after,
+            page_for(&reference, query),
+            "never-crashed page for '{query}' must match"
+        );
+    }
+    let m = recovered.metrics();
+    assert_eq!(m.durability.replayed_feeds, FEEDS as u64);
+    assert_eq!(m.durability.truncated_bytes, torn);
+}
+
+/// A flipped byte fails the frame checksum: the corrupt record and
+/// everything behind it are dropped, the intact prefix replays.
+#[test]
+fn corrupt_tail_is_dropped_and_the_prefix_replays() {
+    const FEEDS: usize = 4;
+    let live_dir = TempDir::new("corrupt-live");
+    let crash_dir = TempDir::new("corrupt-image");
+    {
+        let (service, _) = recover_at(live_dir.path());
+        for i in 0..FEEDS {
+            service
+                .ingest(&address_feed(900 + i as i64, &format!("City{i}")))
+                .unwrap();
+        }
+        fs::copy(
+            journal_path(live_dir.path()),
+            journal_path(crash_dir.path()),
+        )
+        .unwrap();
+    }
+    let path = journal_path(crash_dir.path());
+    let mut bytes = fs::read(&path).unwrap();
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0xFF;
+    fs::write(&path, &bytes).unwrap();
+
+    let (recovered, report) = recover_at(crash_dir.path());
+    assert_eq!(
+        report.replayed_feeds,
+        FEEDS as u64 - 1,
+        "exactly the corrupted last feed is lost"
+    );
+    assert!(report.truncated_bytes > 0);
+    assert!(!page_for(&recovered, "City0").results.is_empty());
+    assert!(
+        page_for(&recovered, &format!("City{}", FEEDS - 1))
+            .results
+            .is_empty(),
+        "the corrupted feed's rows must not serve"
+    );
+}
+
+/// Graceful drain → recover: the persisted warm pages answer the first
+/// repeated queries without touching the pipeline.
+#[test]
+fn graceful_drain_restores_the_warm_cache() {
+    let dir = TempDir::new("warm-cache");
+    let queries = ["Sara Guttinger", "Streamville"];
+    let before: Vec<ResultPage> = {
+        let (service, _) = recover_at(dir.path());
+        service.ingest(&address_feed(900, "Streamville")).unwrap();
+        queries.iter().map(|q| page_for(&service, q)).collect()
+        // Drop = graceful drain: the cache is serialized to pages.cache.
+    };
+    assert!(dir.path().join("pages.cache").exists());
+
+    let (recovered, report) = recover_at(dir.path());
+    assert_eq!(report.cache_pages_restored, queries.len() as u64);
+    assert_eq!(report.cache_pages_stale, 0);
+    assert_eq!(report.replayed_feeds, 1);
+
+    for (query, before) in queries.iter().zip(&before) {
+        assert_eq!(&page_for(&recovered, query), before);
+    }
+    let m = recovered.metrics();
+    assert_eq!(
+        m.cache.hits,
+        queries.len() as u64,
+        "every repeat must be a warm hit"
+    );
+    assert_eq!(m.pipeline_executions, 0, "no pipeline ran after recovery");
+    assert_eq!(m.durability.cache_pages_restored, queries.len() as u64);
+}
+
+/// Compaction writes a checkpoint that truncates the journal; recovery then
+/// applies the checkpoint instead of replaying the folded feeds.
+#[test]
+fn checkpoints_bound_replay_and_recover_exactly() {
+    let dir = TempDir::new("checkpoint");
+    {
+        let (service, _) = recover_at(dir.path());
+        for i in 0..3 {
+            service
+                .ingest(&address_feed(900 + i, &format!("City{i}")))
+                .unwrap();
+        }
+        let shards: Vec<usize> = (0..service.engine().shard_count()).collect();
+        service.compact(&shards).expect("a log to fold");
+        assert_eq!(service.metrics().durability.checkpoints, 1);
+        // One more feed lands *after* the checkpoint.
+        service
+            .ingest(&address_feed(950, "PostCheckpoint"))
+            .unwrap();
+    }
+
+    let (recovered, report) = recover_at(dir.path());
+    assert!(report.checkpoint_applied);
+    assert!(report.checkpoint_rows > 0);
+    assert_eq!(
+        report.replayed_feeds, 1,
+        "only the post-checkpoint feed replays"
+    );
+    for city in ["City0", "City1", "City2", "PostCheckpoint"] {
+        assert!(
+            !page_for(&recovered, city).results.is_empty(),
+            "rows for {city} must survive"
+        );
+    }
+}
+
+/// Recovering the same directory twice (replay idempotence) changes nothing:
+/// same pages, same generation, no duplicated rows.
+#[test]
+fn recovery_is_idempotent() {
+    let dir = TempDir::new("idempotent");
+    {
+        let (service, _) = recover_at(dir.path());
+        service.ingest(&address_feed(900, "Onceville")).unwrap();
+        service.ingest(&address_feed(901, "Onceville")).unwrap();
+    }
+    let (first_page, generation) = {
+        let (service, report) = recover_at(dir.path());
+        assert_eq!(report.replayed_feeds, 2);
+        (page_for(&service, "Onceville"), service.generation())
+    };
+    let (service, report) = recover_at(dir.path());
+    assert_eq!(report.replayed_feeds, 2);
+    assert_eq!(service.generation(), generation);
+    let second_page = page_for(&service, "Onceville");
+    assert_eq!(first_page, second_page, "twice must equal once");
+}
+
+/// Page-cache files that do not fit — foreign fingerprint, wrong magic, or
+/// written for engine state the journal no longer reproduces — are ignored,
+/// never an error.
+#[test]
+fn stale_or_foreign_cache_files_are_ignored_not_fatal() {
+    // A cache file stamped with a foreign config fingerprint.
+    let dir = TempDir::new("foreign-cache");
+    write_frame_file(
+        &dir.path().join("pages.cache"),
+        *b"SODACSH1",
+        0xDEAD_BEEF,
+        &[b"not a page".as_slice()],
+    )
+    .unwrap();
+    let (service, report) = recover_at(dir.path());
+    assert_eq!(report.cache_pages_restored, 0);
+    assert_eq!(report.cache_pages_stale, 1);
+    assert!(!page_for(&service, "Sara Guttinger").results.is_empty());
+    drop(service);
+
+    // A cache file with the wrong magic restores nothing (and counts
+    // nothing — there is no way to know what it held).
+    let dir = TempDir::new("wrong-magic-cache");
+    fs::write(dir.path().join("pages.cache"), b"garbage").unwrap();
+    let (_service, report) = recover_at(dir.path());
+    assert_eq!(report.cache_pages_restored, 0);
+
+    // A genuinely stale file: persisted after an ingest, but the journal is
+    // deleted, so recovery rebuilds generation 0 and the persisted pages'
+    // fingerprints no longer match.
+    let dir = TempDir::new("stale-cache");
+    {
+        let (service, _) = recover_at(dir.path());
+        service.ingest(&address_feed(900, "Staleville")).unwrap();
+        page_for(&service, "Staleville");
+    }
+    fs::remove_file(journal_path(dir.path())).unwrap();
+    let (service, report) = recover_at(dir.path());
+    assert_eq!(report.cache_pages_restored, 0);
+    assert!(report.cache_pages_stale > 0);
+    assert!(
+        page_for(&service, "Staleville").results.is_empty(),
+        "without the journal the ingested row is gone — and so must be the page"
+    );
+}
+
+/// A journal written under a different engine configuration is a hard error:
+/// silently ignoring it would discard acknowledged ingests.
+#[test]
+fn journal_config_mismatch_is_a_hard_error() {
+    let dir = TempDir::new("config-mismatch");
+    {
+        let (service, _) = recover_at(dir.path());
+        service.ingest(&address_feed(900, "Mismatchville")).unwrap();
+    }
+    let (db, graph) = minibank_parts();
+    let err = match QueryService::recover(
+        db,
+        graph,
+        SodaConfig {
+            shards: 2,
+            ..SodaConfig::default()
+        },
+        ServiceConfig::default(),
+        DurabilityConfig::new(dir.path()),
+    ) {
+        Ok(_) => panic!("a foreign journal must refuse to recover"),
+        Err(err) => err,
+    };
+    match err {
+        ServiceError::Durability(msg) => {
+            assert!(
+                msg.contains("config fingerprint"),
+                "the error must name the mismatch: {msg}"
+            );
+        }
+        other => panic!("expected a durability error, got {other:?}"),
+    }
+}
+
+/// A header-only journal (boot, no ingests, drop) and a checkpoint-only
+/// journal (every feed folded away) both recover cleanly.
+#[test]
+fn empty_and_checkpoint_only_journals_recover() {
+    // Header-only: the file exists but holds no records.
+    let dir = TempDir::new("empty-journal");
+    drop(recover_at(dir.path()));
+    let (service, report) = recover_at(dir.path());
+    assert!(!report.journal_created, "the journal already existed");
+    assert!(!report.checkpoint_applied);
+    assert_eq!(report.replayed_feeds, 0);
+    assert!(!page_for(&service, "Sara Guttinger").results.is_empty());
+    drop(service);
+
+    // Checkpoint-only: compaction folded every feed into the checkpoint.
+    let dir = TempDir::new("checkpoint-only");
+    let generation = {
+        let (service, _) = recover_at(dir.path());
+        service.ingest(&address_feed(900, "Foldville")).unwrap();
+        let shards: Vec<usize> = (0..service.engine().shard_count()).collect();
+        service.compact(&shards).expect("a log to fold");
+        service.generation()
+    };
+    let (service, report) = recover_at(dir.path());
+    assert!(report.checkpoint_applied);
+    assert_eq!(
+        report.replayed_feeds, 0,
+        "everything lives in the checkpoint"
+    );
+    assert_eq!(service.generation(), generation);
+    assert!(!page_for(&service, "Foldville").results.is_empty());
+}
+
+/// An ingest on a recovered service keeps journaling: a second crash after
+/// further feeds still recovers everything.
+#[test]
+fn recovered_services_keep_journaling() {
+    let dir = TempDir::new("rejournal");
+    {
+        let (service, _) = recover_at(dir.path());
+        service.ingest(&address_feed(900, "FirstLife")).unwrap();
+    }
+    {
+        let (service, report) = recover_at(dir.path());
+        assert_eq!(report.replayed_feeds, 1);
+        service.ingest(&address_feed(901, "SecondLife")).unwrap();
+        assert_eq!(service.metrics().durability.journal_appends, 1);
+    }
+    let (service, report) = recover_at(dir.path());
+    assert_eq!(report.replayed_feeds, 2);
+    for city in ["FirstLife", "SecondLife"] {
+        assert!(!page_for(&service, city).results.is_empty());
+    }
+}
