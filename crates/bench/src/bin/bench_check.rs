@@ -4,10 +4,15 @@
 //!
 //! ```text
 //! bench_check <baseline.json> <current.json> [--threshold 0.25] [--normalize]
+//!             [--limit <benchmark>=<ratio>]...
 //! ```
 //!
 //! A benchmark regresses when its current `min_ns` exceeds the baseline's
-//! `min_ns` by more than the threshold.  The *minimum* is compared because
+//! `min_ns` by more than the threshold.  `--limit` overrides the global
+//! threshold for one benchmark (repeatable), so latency-critical paths can
+//! be held to a tighter budget than the suite-wide gate — e.g.
+//! `--limit service_cache/warm/single_query=0.05` caps the warm cache-hit
+//! path at a 5% regression while the rest of the suite keeps the default.  The *minimum* is compared because
 //! it is the most machine-noise-resistant estimate the stub harness produces
 //! (scheduler interference only ever makes samples slower).  Benchmarks
 //! present on only one side are reported but never fail the check, so adding
@@ -98,6 +103,7 @@ fn run(
     baseline_path: &str,
     current_path: &str,
     threshold: f64,
+    limits: &BTreeMap<String, f64>,
     normalize: bool,
 ) -> Result<bool, String> {
     let read =
@@ -120,7 +126,8 @@ fn run(
         match baseline.get(name) {
             None => println!("  NEW      {name}: min {} ns (no baseline)", cur.min_ns),
             Some(base) => {
-                let limit = (base.min_ns as f64) * scale * (1.0 + threshold);
+                let allowed = limits.get(name).copied().unwrap_or(threshold);
+                let limit = (base.min_ns as f64) * scale * (1.0 + allowed);
                 let ratio = cur.min_ns as f64 / (base.min_ns.max(1) as f64 * scale);
                 if (cur.min_ns as f64) > limit {
                     regressions += 1;
@@ -128,7 +135,7 @@ fn run(
                         "  REGRESS  {name}: min {} ns vs baseline {} ns ({ratio:.2}x > {:.2}x allowed)",
                         cur.min_ns,
                         base.min_ns,
-                        1.0 + threshold
+                        1.0 + allowed
                     );
                 } else {
                     println!(
@@ -145,12 +152,15 @@ fn run(
         }
     }
     if regressions > 0 {
-        println!(
-            "{regressions} benchmark(s) regressed by more than {threshold:.0}%",
-            threshold = threshold * 100.0
-        );
-    } else {
+        println!("{regressions} benchmark(s) regressed beyond their allowed threshold");
+    } else if limits.is_empty() {
         println!("no regressions beyond {:.0}%", threshold * 100.0);
+    } else {
+        println!(
+            "no regressions beyond {:.0}% (with {} per-benchmark limit(s))",
+            threshold * 100.0,
+            limits.len()
+        );
     }
     Ok(regressions == 0)
 }
@@ -159,6 +169,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut paths = Vec::new();
     let mut threshold = 0.25f64;
+    let mut limits = BTreeMap::new();
     let mut normalize = false;
     let mut i = 0;
     while i < args.len() {
@@ -168,6 +179,17 @@ fn main() -> ExitCode {
                 return ExitCode::from(2);
             };
             threshold = value;
+            i += 2;
+        } else if args[i] == "--limit" {
+            let parsed = args.get(i + 1).and_then(|v| {
+                let (name, ratio) = v.split_once('=')?;
+                Some((name.to_string(), ratio.parse::<f64>().ok()?))
+            });
+            let Some((name, ratio)) = parsed else {
+                eprintln!("--limit needs a <benchmark>=<ratio> argument");
+                return ExitCode::from(2);
+            };
+            limits.insert(name, ratio);
             i += 2;
         } else if args[i] == "--normalize" {
             normalize = true;
@@ -179,11 +201,12 @@ fn main() -> ExitCode {
     }
     let [baseline, current] = paths.as_slice() else {
         eprintln!(
-            "usage: bench_check <baseline.json> <current.json> [--threshold 0.25] [--normalize]"
+            "usage: bench_check <baseline.json> <current.json> [--threshold 0.25] [--normalize] \
+             [--limit <benchmark>=<ratio>]..."
         );
         return ExitCode::from(2);
     };
-    match run(baseline, current, threshold, normalize) {
+    match run(baseline, current, threshold, &limits, normalize) {
         Ok(true) => ExitCode::SUCCESS,
         Ok(false) => ExitCode::FAILURE,
         Err(e) => {
@@ -242,6 +265,37 @@ mod tests {
         let mut only_one = BTreeMap::new();
         only_one.insert("g/fast/1".to_string(), base["g/fast/1"].clone());
         assert_eq!(speed_scale(&base, &only_one), 1.0);
+    }
+
+    #[test]
+    fn per_benchmark_limits_override_the_global_threshold() {
+        // A 10% slip on g/fast/1: within the suite-wide 25% gate, but over a
+        // 5% per-benchmark limit.
+        let dir = std::env::temp_dir().join(format!("soda-bench-check-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let baseline = dir.join("baseline.json");
+        let current = dir.join("current.json");
+        std::fs::write(&baseline, SAMPLE).unwrap();
+        std::fs::write(
+            &current,
+            SAMPLE.replace("\"min_ns\": 1000", "\"min_ns\": 1100"),
+        )
+        .unwrap();
+        let path = |p: &std::path::Path| p.to_str().unwrap().to_string();
+
+        let no_limits = BTreeMap::new();
+        assert_eq!(
+            run(&path(&baseline), &path(&current), 0.25, &no_limits, false),
+            Ok(true),
+            "10% is within the global 25% gate"
+        );
+        let limits: BTreeMap<String, f64> = [("g/fast/1".to_string(), 0.05)].into();
+        assert_eq!(
+            run(&path(&baseline), &path(&current), 0.25, &limits, false),
+            Ok(false),
+            "the 5% per-benchmark limit must trip on a 10% slip"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -23,6 +23,7 @@ use std::time::Instant;
 
 use soda_metagraph::MetaGraph;
 use soda_relation::{print_select, Database, ResultSet, ShardedInvertedIndex};
+use soda_trace::{names, NoopSink, SpanId, TraceSink};
 
 use crate::classification::ClassificationIndex;
 use crate::config::SodaConfig;
@@ -357,6 +358,7 @@ impl EngineCore {
         db: &'a Database,
         graph: &'a MetaGraph,
         recorder: Option<&'a crate::shard::ProbeRecorder>,
+        sink: &'a dyn TraceSink,
     ) -> PipelineContext<'a> {
         PipelineContext {
             db,
@@ -366,6 +368,7 @@ impl EngineCore {
             index: self.index.as_ref(),
             probes: &self.probes,
             recorder,
+            sink,
             patterns: &self.patterns,
             joins: &self.joins,
         }
@@ -379,9 +382,9 @@ impl EngineCore {
         graph: &MetaGraph,
         input: &str,
     ) -> Result<LookupResult> {
-        let ctx = self.context(db, graph, None);
+        let ctx = self.context(db, graph, None, &NoopSink);
         let query = parse_query(input)?;
-        Ok(lookup::run(&ctx, &query))
+        Ok(lookup::run(&ctx, &query, SpanId::NONE))
     }
 
     pub(crate) fn search_paged(
@@ -393,19 +396,41 @@ impl EngineCore {
         page_size: usize,
         recorder: Option<&crate::shard::ProbeRecorder>,
     ) -> Result<ResultPage> {
+        self.search_paged_observed(db, graph, input, page, page_size, recorder, &NoopSink)
+            .map(|(page, _)| page)
+    }
+
+    /// [`search_paged`](Self::search_paged) with the full observability
+    /// surface: probe dependencies into `recorder`, spans into `sink`, and
+    /// the per-stage timings returned alongside the page.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn search_paged_observed(
+        &self,
+        db: &Database,
+        graph: &MetaGraph,
+        input: &str,
+        page: usize,
+        page_size: usize,
+        recorder: Option<&crate::shard::ProbeRecorder>,
+        sink: &dyn TraceSink,
+    ) -> Result<(ResultPage, StepTimings)> {
         let page_size = page_size.max(1);
         let needed = (page + 1).saturating_mul(page_size).saturating_add(1);
-        let (results, _) = self.search_limited(db, graph, input, None, needed, recorder)?;
+        let (results, trace) =
+            self.search_limited_observed(db, graph, input, None, needed, recorder, sink)?;
         let total_results = results.len();
         let start = (page * page_size).min(total_results);
         let end = (start + page_size).min(total_results);
-        Ok(ResultPage {
-            results: results[start..end].to_vec(),
-            page,
-            page_size,
-            total_results,
-            has_next: total_results > end,
-        })
+        Ok((
+            ResultPage {
+                results: results[start..end].to_vec(),
+                page,
+                page_size,
+                total_results,
+                has_next: total_results > end,
+            },
+            trace.timings,
+        ))
     }
 
     pub(crate) fn suggestions(
@@ -436,17 +461,64 @@ impl EngineCore {
         max_results: usize,
         recorder: Option<&crate::shard::ProbeRecorder>,
     ) -> Result<(Vec<SodaResult>, QueryTrace)> {
-        let ctx = self.context(db, graph, recorder);
+        self.search_limited_observed(db, graph, input, feedback, max_results, recorder, &NoopSink)
+    }
+
+    /// The five-step pipeline with span reporting.  Stage durations are
+    /// measured unconditionally (they always were — the per-query
+    /// [`StepTimings`] predate the sink); span construction is guarded by
+    /// [`TraceSink::enabled`], so the [`NoopSink`] path adds one virtual
+    /// call per stage over the untraced pipeline.
+    ///
+    /// The lookup and rank stages run once and get live spans; tables,
+    /// filters and SQL generation run once *per solution*, so their
+    /// accumulated durations are reported as one aggregate span each after
+    /// the loop ([`TraceSink::record_span`]).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn search_limited_observed(
+        &self,
+        db: &Database,
+        graph: &MetaGraph,
+        input: &str,
+        feedback: Option<&FeedbackStore>,
+        max_results: usize,
+        recorder: Option<&crate::shard::ProbeRecorder>,
+        sink: &dyn TraceSink,
+    ) -> Result<(Vec<SodaResult>, QueryTrace)> {
+        let ctx = self.context(db, graph, recorder, sink);
+        let enabled = sink.enabled();
+        let root = if enabled {
+            let root = sink.begin_span(names::QUERY, SpanId::NONE);
+            sink.annotate(root, "input", input.into());
+            root
+        } else {
+            SpanId::NONE
+        };
         let query = parse_query(input)?;
         let mut timings = StepTimings::default();
 
         // Step 1 — lookup.
         let t0 = Instant::now();
-        let lookup_result = lookup::run(&ctx, &query);
+        let lookup_span = if enabled {
+            sink.begin_span(names::LOOKUP, root)
+        } else {
+            SpanId::NONE
+        };
+        let lookup_result = lookup::run(&ctx, &query, lookup_span);
+        if enabled {
+            sink.annotate(lookup_span, "terms", lookup_result.matches.len().into());
+            sink.annotate(lookup_span, "complexity", lookup_result.complexity().into());
+            sink.end_span(lookup_span);
+        }
         timings.lookup = t0.elapsed();
 
         // Step 2 — rank and top N.
         let t0 = Instant::now();
+        let rank_span = if enabled {
+            sink.begin_span(names::RANK, root)
+        } else {
+            SpanId::NONE
+        };
         let solutions = rank::enumerate_and_rank_boosted(
             &lookup_result,
             &self.config.weights,
@@ -458,6 +530,10 @@ impl EngineCore {
                     .unwrap_or(0.0)
             },
         );
+        if enabled {
+            sink.annotate(rank_span, "solutions", solutions.len().into());
+            sink.end_span(rank_span);
+        }
         timings.rank = t0.elapsed();
 
         let mut results: Vec<SodaResult> = Vec::new();
@@ -524,6 +600,24 @@ impl EngineCore {
                     .partial_cmp(&a.score)
                     .unwrap_or(std::cmp::Ordering::Equal)
             });
+        }
+
+        if enabled {
+            sink.record_span(
+                names::TABLES,
+                root,
+                timings.tables,
+                vec![("solutions", solutions.len().into())],
+            );
+            sink.record_span(names::FILTERS, root, timings.filters, Vec::new());
+            sink.record_span(
+                names::SQLGEN,
+                root,
+                timings.sql,
+                vec![("results", results.len().into())],
+            );
+            sink.annotate(root, "results", results.len().into());
+            sink.end_span(root);
         }
 
         let trace = QueryTrace {

@@ -71,3 +71,9 @@ pub use suggest::TermSuggestion;
 pub use soda_ingest::{ChangeFeed, CompactionPolicy, RowEvent};
 pub use soda_metagraph::MetaGraph;
 pub use soda_relation::{Database, Value};
+// Re-exported so callers of the observed search paths can name sinks and
+// span trees without a direct `soda-trace` dependency.  (`QueryTrace` above
+// is this crate's per-query pipeline report; the span tree a collecting
+// sink folds into is `soda_trace::QueryTrace` — reach it via `trace::`.)
+pub use soda_trace as trace;
+pub use soda_trace::{CollectingSink, NoopSink, SpanId, TraceSink};

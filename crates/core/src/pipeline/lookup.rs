@@ -20,6 +20,7 @@
 
 use soda_relation::index::tokenizer::tokenize;
 use soda_relation::{merge_hits, AggFunc, CompareOp, PhraseHit, Value};
+use soda_trace::{names, SpanId};
 
 use soda_metagraph::NodeId;
 
@@ -149,15 +150,17 @@ impl LookupResult {
     }
 }
 
-/// Runs the lookup step.
-pub fn run(ctx: &PipelineContext<'_>, query: &SodaQuery) -> LookupResult {
+/// Runs the lookup step.  `span` is the enclosing `lookup` trace span (or
+/// [`SpanId::NONE`]): each phrase's base-data probe reports a `probe` span
+/// under it, with one `probe_shard` sub-span per scanned shard.
+pub fn run(ctx: &PipelineContext<'_>, query: &SodaQuery, span: SpanId) -> LookupResult {
     let mut result = LookupResult::default();
     let mut last_phrase: Option<String> = None;
 
     for term in &query.terms {
         match term {
             QueryTerm::Keywords(group) => {
-                let (matches, unmatched) = segment(ctx, group, TermRole::Keyword);
+                let (matches, unmatched) = segment(ctx, group, TermRole::Keyword, span);
                 if let Some(m) = matches.last() {
                     last_phrase = Some(m.phrase.clone());
                 }
@@ -196,7 +199,7 @@ pub fn run(ctx: &PipelineContext<'_>, query: &SodaQuery) -> LookupResult {
                     });
                 } else {
                     let (matches, unmatched) =
-                        segment(ctx, attribute, TermRole::AggregationAttribute);
+                        segment(ctx, attribute, TermRole::AggregationAttribute, span);
                     let phrase = matches
                         .first()
                         .map(|m| m.phrase.clone())
@@ -211,7 +214,7 @@ pub fn run(ctx: &PipelineContext<'_>, query: &SodaQuery) -> LookupResult {
             }
             QueryTerm::GroupBy(attrs) => {
                 for attr in attrs {
-                    let (matches, unmatched) = segment(ctx, attr, TermRole::GroupByAttribute);
+                    let (matches, unmatched) = segment(ctx, attr, TermRole::GroupByAttribute, span);
                     let phrase = matches
                         .first()
                         .map(|m| m.phrase.clone())
@@ -238,6 +241,7 @@ fn segment(
     ctx: &PipelineContext<'_>,
     group: &str,
     role: TermRole,
+    trace_span: SpanId,
 ) -> (Vec<TermMatch>, Vec<String>) {
     let tokens = tokenize(group);
     let mut matches = Vec::new();
@@ -248,7 +252,7 @@ fn segment(
         let mut matched = false;
         for span in (1..=max_span).rev() {
             let phrase = tokens[i..i + span].join(" ");
-            let candidates = candidates_for(ctx, &phrase);
+            let candidates = candidates_for(ctx, &phrase, trace_span);
             if !candidates.is_empty() {
                 matches.push(TermMatch {
                     phrase,
@@ -302,7 +306,7 @@ fn probe_parallelism() -> usize {
 /// anyway, so its scan absorbs the spawn latency of the others.  Shard
 /// partitioning is by table, so result merging is a plain canonical sort
 /// ([`merge_hits`]) regardless of which thread produced what.
-fn base_data_hits(ctx: &PipelineContext<'_>, phrase: &str) -> Vec<PhraseHit> {
+fn base_data_hits(ctx: &PipelineContext<'_>, phrase: &str, trace_span: SpanId) -> Vec<PhraseHit> {
     let Some(index) = ctx.index else {
         return Vec::new();
     };
@@ -315,6 +319,15 @@ fn base_data_hits(ctx: &PipelineContext<'_>, phrase: &str) -> Vec<PhraseHit> {
     }
     let Some(probe) = probe else {
         return Vec::new();
+    };
+    let enabled = ctx.sink.enabled();
+    let probe_span = if enabled {
+        let span = ctx.sink.begin_span(names::PROBE, trace_span);
+        ctx.sink.annotate(span, "phrase", phrase.into());
+        ctx.sink.annotate(span, "token", probe.token.clone().into());
+        span
+    } else {
+        SpanId::NONE
     };
     // Shards with candidate postings (frozen + side log) for the probe
     // token, largest first; the probe counters track which shards carried
@@ -333,6 +346,31 @@ fn base_data_hits(ctx: &PipelineContext<'_>, phrase: &str) -> Vec<PhraseHit> {
         }
     }
     let total_candidates: usize = busy.iter().map(|&(_, n)| n).sum();
+    if enabled {
+        ctx.sink
+            .annotate(probe_span, "candidates", total_candidates.into());
+    }
+    // One shard's scan, wrapped in a `probe_shard` span when tracing: the
+    // span carries the shard id and splits its candidates into frozen-index
+    // vs. side-log postings, so a trace shows whether scan work came from
+    // the built partition or from not-yet-compacted streaming ingests.
+    // Captures only shared references, so it is `Copy` and can be handed to
+    // every helper thread of the fan-out below.
+    let probe_ref = &probe;
+    let probe_one = move |i: usize| -> Vec<PhraseHit> {
+        if !enabled {
+            return index.probe_shard(i, ctx.db, probe_ref);
+        }
+        let span = ctx.sink.begin_span(names::PROBE_SHARD, probe_span);
+        ctx.sink.annotate(span, "shard", i.into());
+        let (frozen, log) = index.shard_candidate_split(i, probe_ref);
+        ctx.sink.annotate(span, "frozen_candidates", frozen.into());
+        ctx.sink.annotate(span, "log_candidates", log.into());
+        let hits = index.probe_shard(i, ctx.db, probe_ref);
+        ctx.sink.annotate(span, "hits", hits.len().into());
+        ctx.sink.end_span(span);
+        hits
+    };
     // Helper threads are only worth their spawn cost for shards with a
     // substantial scan, and only up to the host's spare cores; the caller
     // keeps the largest shard (which bounds the critical path regardless)
@@ -347,15 +385,14 @@ fn base_data_hits(ctx: &PipelineContext<'_>, phrase: &str) -> Vec<PhraseHit> {
     let per_shard: Vec<Vec<PhraseHit>> =
         if !helpers.is_empty() && total_candidates >= PARALLEL_PROBE_MIN_POSTINGS {
             std::thread::scope(|scope| {
-                let probe = &probe;
                 let handles: Vec<_> = helpers
                     .iter()
-                    .map(|&i| scope.spawn(move || index.probe_shard(i, ctx.db, probe)))
+                    .map(|&i| scope.spawn(move || probe_one(i)))
                     .collect();
                 let mut results: Vec<Vec<PhraseHit>> = busy
                     .iter()
                     .filter(|&&(i, _)| !helpers.contains(&i))
-                    .map(|&(i, _)| index.probe_shard(i, ctx.db, probe))
+                    .map(|&(i, _)| probe_one(i))
                     .collect();
                 results.extend(
                     handles
@@ -365,15 +402,18 @@ fn base_data_hits(ctx: &PipelineContext<'_>, phrase: &str) -> Vec<PhraseHit> {
                 results
             })
         } else {
-            busy.iter()
-                .map(|&(i, _)| index.probe_shard(i, ctx.db, &probe))
-                .collect()
+            busy.iter().map(|&(i, _)| probe_one(i)).collect()
         };
-    merge_hits(per_shard)
+    let merged = merge_hits(per_shard);
+    if enabled {
+        ctx.sink.annotate(probe_span, "hits", merged.len().into());
+        ctx.sink.end_span(probe_span);
+    }
+    merged
 }
 
 /// All candidate entry points for a phrase: metadata labels plus base data.
-fn candidates_for(ctx: &PipelineContext<'_>, phrase: &str) -> Vec<EntryPoint> {
+fn candidates_for(ctx: &PipelineContext<'_>, phrase: &str, trace_span: SpanId) -> Vec<EntryPoint> {
     let mut out: Vec<EntryPoint> = ctx
         .classification
         .lookup(phrase)
@@ -387,7 +427,7 @@ fn candidates_for(ctx: &PipelineContext<'_>, phrase: &str) -> Vec<EntryPoint> {
         .collect();
 
     if ctx.index.is_some() {
-        let hits = base_data_hits(ctx, phrase);
+        let hits = base_data_hits(ctx, phrase, trace_span);
         // Group hits per column; a column with a single distinct value gets an
         // equality filter on that value, otherwise a LIKE on the phrase.
         let mut per_column: Vec<(String, String, Vec<String>)> = Vec::new();

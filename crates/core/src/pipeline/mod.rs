@@ -21,6 +21,7 @@ pub mod tables;
 
 use soda_metagraph::MetaGraph;
 use soda_relation::{Database, ShardedInvertedIndex};
+use soda_trace::TraceSink;
 
 use crate::classification::ClassificationIndex;
 use crate::config::SodaConfig;
@@ -50,6 +51,11 @@ pub struct PipelineContext<'a> {
     /// probe token each phrase selected — what the serving layer needs to
     /// retain cached pages across data-only snapshot swaps.
     pub recorder: Option<&'a ProbeRecorder>,
+    /// Where the pipeline reports its spans (stage timings, per-shard probe
+    /// sub-spans).  Carried exactly like [`recorder`](Self::recorder); with
+    /// [`soda_trace::NoopSink`] every instrumentation site reduces to one
+    /// virtual `enabled()` check.
+    pub sink: &'a dyn TraceSink,
     /// The metadata-graph patterns.
     pub patterns: &'a SodaPatterns,
     /// The pre-computed join catalog.

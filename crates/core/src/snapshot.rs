@@ -39,7 +39,7 @@ use crate::feedback::FeedbackStore;
 use crate::joins::JoinCatalog;
 use crate::patterns::SodaPatterns;
 use crate::pipeline::lookup::LookupResult;
-use crate::result::{QueryTrace, ResultPage, SodaResult};
+use crate::result::{QueryTrace, ResultPage, SodaResult, StepTimings};
 use crate::shard::{ProbeDep, ProbeRecorder, ShardStats};
 use crate::suggest::TermSuggestion;
 
@@ -79,6 +79,12 @@ pub struct EngineSnapshot {
     generation: u64,
     /// Generation that last rebuilt each lookup-layer partition.
     shard_generations: Vec<u64>,
+    /// [`cache_fingerprint`](Self::cache_fingerprint), precomputed.  The
+    /// serving layer reads the fingerprint on *every* submission (it keys
+    /// the interpretation cache), and its inputs — configuration and the
+    /// generation stamps — are immutable once a snapshot is constructed, so
+    /// every constructor seals the value eagerly via [`Self::sealed`].
+    fingerprint: u64,
 }
 
 impl EngineSnapshot {
@@ -109,7 +115,9 @@ impl EngineSnapshot {
             core,
             generation: 0,
             shard_generations: vec![0; shards],
+            fingerprint: 0,
         }
+        .sealed()
     }
 
     /// Stamps this snapshot as published at `generation` (every shard slot
@@ -117,7 +125,7 @@ impl EngineSnapshot {
     pub(crate) fn stamped(mut self, generation: u64) -> Self {
         self.generation = generation;
         self.shard_generations = vec![generation; self.shard_generations.len()];
-        self
+        self.sealed()
     }
 
     /// A structurally identical snapshot carrying exactly the given
@@ -133,7 +141,9 @@ impl EngineSnapshot {
             core: self.core.share(),
             generation,
             shard_generations,
+            fingerprint: 0,
         }
+        .sealed()
     }
 
     /// Derives a snapshot over `db` in which only `tables` changed: the
@@ -160,7 +170,9 @@ impl EngineSnapshot {
             core,
             generation,
             shard_generations,
+            fingerprint: 0,
         }
+        .sealed()
     }
 
     /// Derives a snapshot that has absorbed a row-level change feed: the
@@ -186,7 +198,9 @@ impl EngineSnapshot {
             core,
             generation,
             shard_generations,
-        })
+            fingerprint: 0,
+        }
+        .sealed())
     }
 
     /// Derives a snapshot in which the partitions named by `shards` are
@@ -208,7 +222,9 @@ impl EngineSnapshot {
             core,
             generation,
             shard_generations,
+            fingerprint: 0,
         }
+        .sealed()
     }
 
     /// Derives a snapshot over a refreshed metadata graph (unchanged base
@@ -230,7 +246,9 @@ impl EngineSnapshot {
             core,
             generation,
             shard_generations,
+            fingerprint: 0,
         }
+        .sealed()
     }
 
     /// Generation stamped at publication (0 when the snapshot never went
@@ -251,6 +269,16 @@ impl EngineSnapshot {
     /// a swapped-out generation can never be returned for a newer one — they
     /// stop being addressable and the service purges them.
     pub fn cache_fingerprint(&self) -> u64 {
+        // Precomputed at construction (see `sealed`): the serving layer
+        // calls this on every submission, and hashing the configuration's
+        // `Debug` rendering each time dominated the warm cache-hit path.
+        self.fingerprint
+    }
+
+    /// Computes and stores [`cache_fingerprint`](Self::cache_fingerprint) —
+    /// the final step of every constructor, after the generation stamps are
+    /// settled.
+    fn sealed(mut self) -> Self {
         // FNV-1a over the generation vector, seeded by the config
         // fingerprint: cheap, stable, and sensitive to slot order.
         let mut hash = self.config().fingerprint() ^ 0xcbf2_9ce4_8422_2325;
@@ -264,7 +292,8 @@ impl EngineSnapshot {
         for &g in &self.shard_generations {
             mix(g);
         }
-        hash
+        self.fingerprint = hash;
+        self
     }
 
     /// The base data.
@@ -398,6 +427,36 @@ impl EngineSnapshot {
             page,
             page_size,
             Some(recorder),
+        )
+    }
+
+    /// The full observability surface of one paged search: probe
+    /// dependencies into `recorder` (when given), pipeline spans into `sink`
+    /// — the root `query` span with one child per stage, and per-shard
+    /// `probe_shard` sub-spans under `lookup` — and the per-stage
+    /// [`StepTimings`] returned alongside the page.
+    ///
+    /// With [`soda_trace::NoopSink`] this is exactly
+    /// [`search_paged_recorded`](Self::search_paged_recorded): span
+    /// reporting is guarded by [`soda_trace::TraceSink::enabled`] at every
+    /// site, so tracing can never perturb the generated SQL (the
+    /// `shard_invariance` suite pins this).
+    pub fn search_paged_observed(
+        &self,
+        input: &str,
+        page: usize,
+        page_size: usize,
+        recorder: Option<&ProbeRecorder>,
+        sink: &dyn soda_trace::TraceSink,
+    ) -> Result<(ResultPage, StepTimings)> {
+        self.core.search_paged_observed(
+            &self.db,
+            &self.graph,
+            input,
+            page,
+            page_size,
+            recorder,
+            sink,
         )
     }
 

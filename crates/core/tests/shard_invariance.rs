@@ -168,6 +168,57 @@ fn corpus_is_invariant_with_live_side_logs() {
     }
 }
 
+/// Trace invariance: running a query with a collecting [`TraceSink`] (and a
+/// probe recorder) must produce byte-identical pages — and leave the cache
+/// fingerprint untouched — compared to the untraced `NoopSink` path, at
+/// every shard count.  Observability must never change an answer.
+#[test]
+fn tracing_never_changes_answers_or_fingerprints() {
+    use soda_core::{CollectingSink, EngineSnapshot, NoopSink, ProbeRecorder};
+    use std::sync::Arc;
+
+    let warehouse = minibank::build(42);
+    for &shards in &[1usize, 4] {
+        let snapshot = EngineSnapshot::build(
+            Arc::new(warehouse.database.clone()),
+            Arc::new(warehouse.graph.clone()),
+            SodaConfig {
+                shards,
+                ..SodaConfig::default()
+            },
+        );
+        let fingerprint = snapshot.cache_fingerprint();
+        for query in CORPUS {
+            let plain = snapshot.search_paged_observed(query, 0, 10, None, &NoopSink);
+            let sink = CollectingSink::new();
+            let recorder = ProbeRecorder::new();
+            let traced = snapshot.search_paged_observed(query, 0, 10, Some(&recorder), &sink);
+            match (plain, traced) {
+                (Ok((a, _)), Ok((b, _))) => {
+                    assert_eq!(a, b, "'{query}' diverged under tracing at {shards} shards");
+                }
+                (Err(_), Err(_)) => {}
+                _ => panic!("'{query}' error behaviour diverged under tracing at {shards} shards"),
+            }
+            let trace = sink.finish();
+            if let Some(root) = trace.find("query") {
+                // Traced executions carry the full stage taxonomy.
+                for stage in soda_core::trace::names::STAGES {
+                    assert!(
+                        root.children.iter().any(|c| c.name == stage),
+                        "'{query}': missing {stage} span at {shards} shards"
+                    );
+                }
+            }
+        }
+        assert_eq!(
+            snapshot.cache_fingerprint(),
+            fingerprint,
+            "tracing must not move the cache fingerprint at {shards} shards"
+        );
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 

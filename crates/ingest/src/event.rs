@@ -214,6 +214,31 @@ impl ChangeFeed {
         tables
     }
 
+    /// A one-line human-readable summary of the feed — what the serving
+    /// layer stamps into its operational-event log
+    /// ([`QueryService::events`](../soda_service/struct.QueryService.html#method.events)).
+    ///
+    /// ```
+    /// use soda_ingest::ChangeFeed;
+    /// use soda_relation::Value;
+    ///
+    /// let feed = ChangeFeed::new()
+    ///     .append_row("trades", vec![Value::Int(1)])
+    ///     .truncate("stale_dim");
+    /// assert_eq!(feed.describe(), "2 events, 1 row over stale_dim, trades");
+    /// ```
+    pub fn describe(&self) -> String {
+        let rows = self.row_count();
+        format!(
+            "{} event{}, {} row{} over {}",
+            self.len(),
+            if self.len() == 1 { "" } else { "s" },
+            rows,
+            if rows == 1 { "" } else { "s" },
+            self.tables().join(", "),
+        )
+    }
+
     /// Serializes the feed to the compact binary form the durability journal
     /// stores on disk: an event count followed by each event in order.
     ///

@@ -552,6 +552,18 @@ impl ShardedInvertedIndex {
         self.shards[shard].probe_candidates(probe).len() + self.logs[shard].candidates(probe).len()
     }
 
+    /// [`shard_candidates`](Self::shard_candidates) split into its two
+    /// sources: `(frozen partition postings, side-log postings)`.  Query
+    /// tracing reports both per probed shard, so a trace shows whether a
+    /// probe's scan work came from the frozen index or from not-yet-compacted
+    /// streaming ingests.
+    pub fn shard_candidate_split(&self, shard: usize, probe: &PhraseProbe) -> (usize, usize) {
+        (
+            self.shards[shard].probe_candidates(probe).len(),
+            self.logs[shard].candidates(probe).len(),
+        )
+    }
+
     /// Prepares a phrase probe: normalizes the phrase and selects the
     /// globally rarest token.  Returns `None` when the phrase has no tokens
     /// or the rarest token has no postings anywhere (the probe cannot hit).
@@ -965,6 +977,38 @@ mod tests {
         assert_eq!(folded.side_log_postings(), vec![0; shards]);
         assert!(logged.side_log_postings()[owner] > 0);
         assert_eq!(logged.side_log_rows()[owner], 1);
+    }
+
+    #[test]
+    fn shard_candidate_split_partitions_the_candidate_count() {
+        let base = db();
+        let shards = 4;
+        let (_, logged) = logged_index_after(&base, shards, |db, logs| {
+            let start = db.table("address").unwrap().row_count();
+            db.insert(
+                "address",
+                vec![Value::Int(13), Value::from("Basel"), Value::Int(4001)],
+            )
+            .unwrap();
+            logs[shard_for_table("address", shards)]
+                .append_rows(db.table("address").unwrap(), start);
+        });
+        let owner = shard_for_table("address", shards);
+        let probe = logged.probe("Basel").unwrap();
+        for shard in 0..shards {
+            let (frozen, log) = logged.shard_candidate_split(shard, &probe);
+            assert_eq!(
+                frozen + log,
+                logged.shard_candidates(shard, &probe),
+                "split must sum to the total in shard {shard}"
+            );
+        }
+        // The appended row is indexed only in the owner's side log.
+        let (_, log) = logged.shard_candidate_split(owner, &probe);
+        assert!(log > 0, "side-log candidates must be visible in the split");
+        for shard in (0..shards).filter(|&s| s != owner) {
+            assert_eq!(logged.shard_candidate_split(shard, &probe).1, 0);
+        }
     }
 
     #[test]

@@ -38,11 +38,18 @@
 //!   [`ResultPage`](soda_core::ResultPage)s, with hit / miss / eviction /
 //!   purge accounting — pages of swapped-out generations stop being
 //!   addressable and are purged.
-//! * [`ServiceMetrics`] — a health snapshot: QPS, latency
-//!   min / mean / p50 / p95 / max, cache hit rate, queue depth, coalescing
-//!   and reload/generation counters, and the per-shard sizes / probe counts /
-//!   generations of the *live* snapshot's sharded lookup layer
-//!   ([`soda_core::ShardStats`]).
+//! * [`ServiceMetrics`] — a health snapshot: QPS, histogram-backed latency
+//!   min / mean / p50 / p95 / max with the **queue-wait / execution split**
+//!   and per-stage pipeline latencies, cache hit rate, queue depth,
+//!   coalescing and reload/generation counters, and the per-shard sizes /
+//!   probe counts / generations of the *live* snapshot's sharded lookup
+//!   layer ([`soda_core::ShardStats`]).  The same figures export as a
+//!   Prometheus text document via [`QueryService::metrics_text`]; a bounded
+//!   operational-event log ([`QueryService::events`]), a slow-query log of
+//!   full span trees ([`QueryService::slow_queries`], opt-in via
+//!   [`ServiceConfig::slow_query_threshold`]) and an on-demand traced
+//!   execution ([`QueryService::submit_traced`]) complete the observability
+//!   surface (see `docs/OBSERVABILITY.md`).
 //!
 //! ```
 //! use std::sync::Arc;
@@ -65,12 +72,17 @@ pub mod metrics;
 pub mod service;
 
 pub use cache::{CacheKey, CacheStats, LruCache};
-pub use metrics::{DurabilityMetrics, IngestMetrics, LatencySummary, ServiceMetrics};
+pub use metrics::{
+    DurabilityMetrics, IngestMetrics, LatencySummary, ServiceMetrics, StageLatencies,
+};
 pub use service::{
     CompactionConfig, DurabilityConfig, JobHandle, JobResult, QueryRequest, QueryService,
-    RecoveryReport, ServiceConfig, ServiceError,
+    RecoveryReport, ServiceConfig, ServiceError, SlowQuery, TracedQuery,
 };
 
 // Re-exported so durable-service callers can set the fsync policy without a
 // direct dependency on the journal crate.
 pub use soda_journal::FsyncPolicy;
+// Re-exported so observability callers can name the event/span types (and
+// validate `metrics_text` output) without a direct `soda-trace` dependency.
+pub use soda_trace::{OpEvent, QueryTrace};

@@ -2,35 +2,82 @@
 //! [`ServiceMetrics`] snapshot (QPS, latency percentiles, cache hit rate,
 //! queue depth).
 //!
-//! The recorder keeps exact lifetime aggregates (count, sum, min, max) plus a
-//! bounded ring of recent samples from which the percentiles are computed, so
-//! memory stays constant no matter how long the service runs.
+//! The recorder keeps one fixed-memory [`LogHistogram`] per distribution —
+//! end-to-end latency, queue wait, pipeline execution and each of the five
+//! pipeline stages — so memory stays constant no matter how long the service
+//! runs and the percentiles cover the **whole lifetime**, not a recent
+//! window.
+//!
+//! ## Percentile semantics (changed)
+//!
+//! Earlier versions computed `p50` / `p95` over a sliding window of the most
+//! recent 4096 samples while `min` / `mean` / `max` were lifetime-exact, so
+//! a burst could report a `p95` *below* the lifetime `p50`, and quantiles
+//! silently forgot everything older than the window.  The histogram-backed
+//! figures are lifetime aggregates with a bounded relative error (one
+//! sub-bucket, ≤ `1/32` ≈ 3.1 %) and are monotone by construction:
+//! `min ≤ p50 ≤ p95 ≤ max` always holds.  A reported quantile never
+//! under-reports the exact value (it is the upper bound of the bucket the
+//! exact value landed in, clamped to the observed extremes).
 
 use std::time::Duration;
 
-use soda_core::ShardStats;
+use soda_core::{ShardStats, StepTimings};
+use soda_trace::hist::LogHistogram;
+use soda_trace::names;
+use soda_trace::prom::{MetricKind, PromWriter};
 
 use crate::cache::CacheStats;
 
-/// How many recent latency samples the percentile window retains.
-const WINDOW: usize = 4096;
-
-/// Aggregated latency figures.
+/// Aggregated latency figures, all over the service lifetime.
 ///
-/// `min`, `mean` and `max` are exact over the service lifetime; `p50` and
-/// `p95` are computed over a sliding window of the most recent samples.
+/// `min`, `mean` and `max` are exact; `p50` and `p95` come from a
+/// log-bucketed histogram and over-report by at most one sub-bucket
+/// (≤ `value/32 + 1ns`), never under-report.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct LatencySummary {
-    /// Fastest query served.
+    /// Fastest sample.
     pub min: Duration,
     /// Lifetime mean.
     pub mean: Duration,
-    /// Median over the recent window.
+    /// Lifetime median (bounded-error, see the struct docs).
     pub p50: Duration,
-    /// 95th percentile over the recent window.
+    /// Lifetime 95th percentile (bounded-error, see the struct docs).
     pub p95: Duration,
-    /// Slowest query served.
+    /// Slowest sample.
     pub max: Duration,
+}
+
+impl LatencySummary {
+    fn of(hist: &LogHistogram) -> Self {
+        if hist.count() == 0 {
+            return Self::default();
+        }
+        Self {
+            min: hist.min(),
+            mean: hist.mean(),
+            p50: hist.quantile(0.50),
+            p95: hist.quantile(0.95),
+            max: hist.max(),
+        }
+    }
+}
+
+/// Lifetime latency summaries of the five pipeline stages, embedded in
+/// [`ServiceMetrics`].  Only **executed** pipelines contribute (cache hits
+/// and coalesced waiters never ran the stages).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageLatencies {
+    /// Step 1 — lookup.
+    pub lookup: LatencySummary,
+    /// Step 2 — rank and top N.
+    pub rank: LatencySummary,
+    /// Step 3 — tables and joins.
+    pub tables: LatencySummary,
+    /// Step 4 — filters.
+    pub filters: LatencySummary,
+    /// Step 5 — SQL generation.
+    pub sqlgen: LatencySummary,
 }
 
 /// Streaming-ingestion counters, embedded in [`ServiceMetrics`].
@@ -100,9 +147,17 @@ pub struct ServiceMetrics {
     pub completed: u64,
     /// Lifetime queries per second (`completed / uptime`).
     pub qps: f64,
-    /// Latency distribution, measured from submission to completion (queue
-    /// wait included).
+    /// End-to-end latency (submission to completion: queue wait **and**
+    /// execution), over every answered query — cache hits included.
     pub latency: LatencySummary,
+    /// Time executed jobs spent waiting in the queue before a worker picked
+    /// them up.  Only queued jobs contribute; cache hits never queue.
+    pub queue_wait: LatencySummary,
+    /// Time executed jobs spent in the pipeline itself (dequeue to
+    /// completion) — end-to-end minus queue wait.
+    pub execution: LatencySummary,
+    /// Per-stage pipeline latency of executed jobs.
+    pub stages: StageLatencies,
     /// Interpretation-cache effectiveness.
     pub cache: CacheStats,
     /// Full pipeline executions performed by the workers — cache misses that
@@ -111,6 +166,11 @@ pub struct ServiceMetrics {
     /// Submissions that joined an identical in-flight computation instead of
     /// enqueuing a duplicate job.
     pub coalesced: u64,
+    /// Queries whose end-to-end latency reached
+    /// [`ServiceConfig::slow_query_threshold`](crate::ServiceConfig) and
+    /// landed a full span tree in the slow-query log
+    /// ([`QueryService::slow_queries`](crate::QueryService::slow_queries)).
+    pub slow_queries: u64,
     /// Jobs currently waiting in the queue.
     pub queue_depth: usize,
     /// Size of the worker pool.
@@ -137,71 +197,127 @@ pub struct ServiceMetrics {
     pub durability: DurabilityMetrics,
 }
 
-/// Latency accounting shared by the workers.  Not internally synchronised;
-/// the service wraps it in a `Mutex`.
+/// Latency accounting shared by the workers: one log-bucketed histogram per
+/// distribution (~15 KiB each, fixed).  Not internally synchronised; the
+/// service wraps it in a `Mutex`.
 #[derive(Debug)]
 pub(crate) struct LatencyRecorder {
-    window: Vec<u64>,
-    next: usize,
-    count: u64,
-    sum_nanos: u128,
-    min_nanos: u64,
-    max_nanos: u64,
+    /// Submission → completion, every answered query (hits included).
+    e2e: LogHistogram,
+    /// Submission → dequeue, executed jobs only.
+    queue_wait: LogHistogram,
+    /// Dequeue → completion, executed jobs only.
+    execution: LogHistogram,
+    /// Pipeline stages of executed jobs, in [`names::STAGES`] order.
+    stages: [LogHistogram; 5],
 }
 
 impl LatencyRecorder {
     pub(crate) fn new() -> Self {
         Self {
-            window: Vec::new(),
-            next: 0,
-            count: 0,
-            sum_nanos: 0,
-            min_nanos: u64::MAX,
-            max_nanos: 0,
+            e2e: LogHistogram::new(),
+            queue_wait: LogHistogram::new(),
+            execution: LogHistogram::new(),
+            stages: std::array::from_fn(|_| LogHistogram::new()),
         }
     }
 
-    pub(crate) fn record(&mut self, latency: Duration) {
-        let nanos = latency.as_nanos().min(u128::from(u64::MAX)) as u64;
-        self.count += 1;
-        self.sum_nanos += u128::from(nanos);
-        self.min_nanos = self.min_nanos.min(nanos);
-        self.max_nanos = self.max_nanos.max(nanos);
-        if self.window.len() < WINDOW {
-            self.window.push(nanos);
-        } else {
-            self.window[self.next] = nanos;
-            self.next = (self.next + 1) % WINDOW;
+    /// Records a query answered without executing the pipeline — a cache
+    /// hit, or a waiter coalesced onto another submission's computation.
+    /// Only the end-to-end distribution sees it.
+    pub(crate) fn record_hit(&mut self, e2e: Duration) {
+        self.e2e.record(e2e);
+    }
+
+    /// Records a query a worker actually executed: the end-to-end latency,
+    /// its queue-wait / execution split and the per-stage timings.
+    pub(crate) fn record_executed(
+        &mut self,
+        e2e: Duration,
+        queue_wait: Duration,
+        execution: Duration,
+        timings: Option<&StepTimings>,
+    ) {
+        self.e2e.record(e2e);
+        self.queue_wait.record(queue_wait);
+        self.execution.record(execution);
+        if let Some(t) = timings {
+            for (hist, stage) in self.stages.iter_mut().zip(stage_durations(t)) {
+                hist.record(stage);
+            }
         }
     }
 
+    /// Queries answered over the service lifetime.
     pub(crate) fn count(&self) -> u64 {
-        self.count
+        self.e2e.count()
     }
 
+    /// End-to-end latency summary.
     pub(crate) fn summary(&self) -> LatencySummary {
-        if self.count == 0 {
-            return LatencySummary::default();
+        LatencySummary::of(&self.e2e)
+    }
+
+    /// Queue-wait summary (executed jobs only).
+    pub(crate) fn queue_wait_summary(&self) -> LatencySummary {
+        LatencySummary::of(&self.queue_wait)
+    }
+
+    /// Execution summary (executed jobs only).
+    pub(crate) fn execution_summary(&self) -> LatencySummary {
+        LatencySummary::of(&self.execution)
+    }
+
+    /// Per-stage summaries (executed jobs only).
+    pub(crate) fn stage_summaries(&self) -> StageLatencies {
+        StageLatencies {
+            lookup: LatencySummary::of(&self.stages[0]),
+            rank: LatencySummary::of(&self.stages[1]),
+            tables: LatencySummary::of(&self.stages[2]),
+            filters: LatencySummary::of(&self.stages[3]),
+            sqlgen: LatencySummary::of(&self.stages[4]),
         }
-        let mut sorted = self.window.clone();
-        sorted.sort_unstable();
-        LatencySummary {
-            min: Duration::from_nanos(self.min_nanos),
-            mean: Duration::from_nanos((self.sum_nanos / u128::from(self.count)) as u64),
-            p50: Duration::from_nanos(percentile(&sorted, 50.0)),
-            p95: Duration::from_nanos(percentile(&sorted, 95.0)),
-            max: Duration::from_nanos(self.max_nanos),
+    }
+
+    /// Writes the latency histogram families into a Prometheus exposition
+    /// document (all values in seconds).
+    pub(crate) fn write_prometheus(&self, w: &mut PromWriter) {
+        w.header(
+            "soda_query_duration_seconds",
+            "End-to-end query latency, submission to completion (cache hits included).",
+            MetricKind::Histogram,
+        );
+        w.histogram("soda_query_duration_seconds", &[], &self.e2e);
+        w.header(
+            "soda_queue_wait_seconds",
+            "Time executed jobs waited in the queue before a worker picked them up.",
+            MetricKind::Histogram,
+        );
+        w.histogram("soda_queue_wait_seconds", &[], &self.queue_wait);
+        w.header(
+            "soda_execution_duration_seconds",
+            "Pipeline execution time of executed jobs (dequeue to completion).",
+            MetricKind::Histogram,
+        );
+        w.histogram("soda_execution_duration_seconds", &[], &self.execution);
+        w.header(
+            "soda_stage_duration_seconds",
+            "Per-stage pipeline latency of executed jobs.",
+            MetricKind::Histogram,
+        );
+        for (hist, stage) in self.stages.iter().zip(names::STAGES) {
+            w.histogram(
+                "soda_stage_duration_seconds",
+                &[("stage", stage.to_string())],
+                hist,
+            );
         }
     }
 }
 
-/// Nearest-rank percentile over an ascending-sorted slice.
-fn percentile(sorted: &[u64], pct: f64) -> u64 {
-    if sorted.is_empty() {
-        return 0;
-    }
-    let rank = ((pct / 100.0) * sorted.len() as f64).ceil() as usize;
-    sorted[rank.clamp(1, sorted.len()) - 1]
+/// The five stage durations of one execution, in [`names::STAGES`] order.
+fn stage_durations(t: &StepTimings) -> [Duration; 5] {
+    [t.lookup, t.rank, t.tables, t.filters, t.sql]
 }
 
 #[cfg(test)]
@@ -213,42 +329,87 @@ mod tests {
         let r = LatencyRecorder::new();
         assert_eq!(r.count(), 0);
         assert_eq!(r.summary(), LatencySummary::default());
+        assert_eq!(r.queue_wait_summary(), LatencySummary::default());
+        assert_eq!(r.stage_summaries(), StageLatencies::default());
     }
 
     #[test]
     fn summary_tracks_min_mean_max() {
         let mut r = LatencyRecorder::new();
         for ms in [10u64, 20, 30] {
-            r.record(Duration::from_millis(ms));
+            r.record_hit(Duration::from_millis(ms));
         }
         let s = r.summary();
+        // The extremes and the mean are exact; the quantiles are
+        // histogram-backed with a bounded over-report (≤ value/32 + 1ns).
         assert_eq!(s.min, Duration::from_millis(10));
         assert_eq!(s.mean, Duration::from_millis(20));
         assert_eq!(s.max, Duration::from_millis(30));
-        assert_eq!(s.p50, Duration::from_millis(20));
+        assert!(s.p50 >= Duration::from_millis(20));
+        assert!(s.p50 <= Duration::from_micros(20_626), "p50 = {:?}", s.p50);
     }
 
     #[test]
-    fn percentiles_use_nearest_rank() {
-        let sorted: Vec<u64> = (1..=100).collect();
-        assert_eq!(percentile(&sorted, 50.0), 50);
-        assert_eq!(percentile(&sorted, 95.0), 95);
-        assert_eq!(percentile(&sorted, 100.0), 100);
-        assert_eq!(percentile(&[42], 95.0), 42);
-        assert_eq!(percentile(&[], 95.0), 0);
-    }
-
-    #[test]
-    fn window_is_bounded() {
+    fn quantiles_are_monotone_and_within_extremes() {
         let mut r = LatencyRecorder::new();
-        for i in 0..(WINDOW as u64 + 500) {
-            r.record(Duration::from_nanos(i));
+        for us in [3u64, 5000, 70, 70, 900, 12, 40_000, 7] {
+            r.record_hit(Duration::from_micros(us));
         }
-        assert_eq!(r.window.len(), WINDOW);
-        assert_eq!(r.count(), WINDOW as u64 + 500);
-        // Lifetime extremes survive even after the early samples left the
-        // percentile window.
-        assert_eq!(r.summary().min, Duration::from_nanos(0));
-        assert_eq!(r.summary().max, Duration::from_nanos(WINDOW as u64 + 499));
+        let s = r.summary();
+        assert!(s.min <= s.p50);
+        assert!(s.p50 <= s.p95);
+        assert!(s.p95 <= s.max);
+    }
+
+    #[test]
+    fn hits_do_not_touch_the_executed_distributions() {
+        let mut r = LatencyRecorder::new();
+        r.record_hit(Duration::from_millis(1));
+        assert_eq!(r.count(), 1);
+        assert_eq!(r.queue_wait_summary(), LatencySummary::default());
+        assert_eq!(r.execution_summary(), LatencySummary::default());
+    }
+
+    #[test]
+    fn executed_jobs_split_queue_wait_from_execution() {
+        let mut r = LatencyRecorder::new();
+        let timings = StepTimings {
+            lookup: Duration::from_millis(4),
+            rank: Duration::from_millis(1),
+            tables: Duration::from_millis(2),
+            filters: Duration::from_millis(1),
+            sql: Duration::from_millis(2),
+        };
+        r.record_executed(
+            Duration::from_millis(15),
+            Duration::from_millis(5),
+            Duration::from_millis(10),
+            Some(&timings),
+        );
+        assert_eq!(r.count(), 1);
+        assert_eq!(r.queue_wait_summary().max, Duration::from_millis(5));
+        assert_eq!(r.execution_summary().max, Duration::from_millis(10));
+        let stages = r.stage_summaries();
+        assert_eq!(stages.lookup.max, Duration::from_millis(4));
+        assert_eq!(stages.sqlgen.max, Duration::from_millis(2));
+    }
+
+    #[test]
+    fn prometheus_rendering_validates() {
+        let mut r = LatencyRecorder::new();
+        r.record_hit(Duration::from_millis(1));
+        r.record_executed(
+            Duration::from_millis(3),
+            Duration::from_millis(1),
+            Duration::from_millis(2),
+            Some(&StepTimings::default()),
+        );
+        let mut w = PromWriter::new();
+        r.write_prometheus(&mut w);
+        let text = w.finish();
+        soda_trace::prom::validate(&text).expect("latency families must validate");
+        assert!(text.contains("soda_stage_duration_seconds_count{stage=\"lookup\"} 1"));
+        assert!(text.contains("soda_query_duration_seconds_count 2"));
+        assert!(text.contains("soda_queue_wait_seconds_count 1"));
     }
 }

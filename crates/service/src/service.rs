@@ -91,11 +91,13 @@ use std::time::{Duration, Instant};
 use soda_core::codec::{decode_page, decode_probe_dep, encode_page, encode_probe_dep};
 use soda_core::{
     normalize_query, ChangeFeed, CompactionPolicy, Database, EngineSnapshot, MetaGraph, ProbeDep,
-    ProbeRecorder, ResultPage, RetentionGate, SnapshotHandle, SodaConfig, SodaError,
+    ProbeRecorder, ResultPage, RetentionGate, SnapshotHandle, SodaConfig, SodaError, StepTimings,
 };
 use soda_journal::frame::{read_frame_file, write_frame_file};
 use soda_journal::{journal_path, Checkpoint, FeedJournal, FsyncPolicy};
 use soda_relation::codec::{CodecError, CodecResult, Decoder, Encoder};
+use soda_trace::prom::{MetricKind, PromWriter};
+use soda_trace::{BoundedLog, CollectingSink, NoopSink, OpEvent, QueryTrace, TraceSink};
 
 use crate::cache::{CacheKey, LruCache};
 use crate::metrics::{DurabilityMetrics, IngestMetrics, LatencyRecorder, ServiceMetrics};
@@ -121,6 +123,18 @@ pub struct ServiceConfig {
     /// (`None` — the default — leaves compaction to explicit
     /// [`QueryService::compact`] calls).
     pub compaction: Option<CompactionConfig>,
+    /// When set, every executed query is traced through a
+    /// [`CollectingSink`] and a query whose **end-to-end** latency (queue
+    /// wait included) reaches the threshold lands its full span tree in the
+    /// slow-query log ([`QueryService::slow_queries`]).  `None` — the
+    /// default — keeps the zero-cost [`NoopSink`] on the worker path.
+    pub slow_query_threshold: Option<Duration>,
+    /// Capacity of the slow-query log (oldest captures are evicted).
+    pub slow_query_log: usize,
+    /// Capacity of the operational-event log
+    /// ([`QueryService::events`]: swaps, ingests, compactions,
+    /// checkpoints, recoveries, slow queries).
+    pub event_log: usize,
 }
 
 impl Default for ServiceConfig {
@@ -130,6 +144,9 @@ impl Default for ServiceConfig {
             queue_capacity: 256,
             cache_capacity: 1024,
             compaction: None,
+            slow_query_threshold: None,
+            slow_query_log: 32,
+            event_log: 256,
         }
     }
 }
@@ -329,6 +346,34 @@ impl QueryRequest {
     }
 }
 
+/// One result page together with the span tree its traced execution
+/// produced, returned by [`QueryService::submit_traced`].
+#[derive(Debug, Clone)]
+pub struct TracedQuery {
+    /// The answer, exactly as [`QueryService::submit`] would produce it.
+    pub page: ResultPage,
+    /// The folded span tree: the `query` root with the five stage spans and
+    /// per-shard probe sub-spans underneath.
+    pub trace: QueryTrace,
+}
+
+/// One slow-query capture: a query whose end-to-end latency reached
+/// [`ServiceConfig::slow_query_threshold`], with the full span tree of its
+/// execution.  Retained in a bounded log ([`QueryService::slow_queries`]).
+#[derive(Debug, Clone)]
+pub struct SlowQuery {
+    /// The business user's input text, verbatim.
+    pub input: String,
+    /// End-to-end latency (submission to completion).
+    pub total: Duration,
+    /// Time spent waiting in the queue before a worker picked the job up.
+    pub queue_wait: Duration,
+    /// Pipeline execution time (dequeue to completion).
+    pub execution: Duration,
+    /// The span tree of the execution.
+    pub trace: QueryTrace,
+}
+
 /// Errors surfaced by the service.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ServiceError {
@@ -504,17 +549,58 @@ struct Shared {
     store: Mutex<StoreState>,
     latency: Mutex<LatencyRecorder>,
     started: Instant,
+    /// End-to-end latency past which a worker captures the full span tree
+    /// (`None` — the default — disables tracing on the worker path).
+    slow_query_threshold: Option<Duration>,
+    /// Queries that crossed the threshold (lifetime, evictions included).
+    slow_queries: AtomicU64,
+    /// The captured slow queries, newest-`slow_query_log` retained.
+    slow_log: Mutex<BoundedLog<SlowQuery>>,
+    /// Operational history: swaps, ingests, compactions, checkpoints,
+    /// recoveries and slow queries, newest-`event_log` retained.
+    events: Mutex<BoundedLog<OpEvent>>,
     /// Crash-safety state (`None` for a non-durable service).  Lock order:
     /// swap lock → durability → store; `metrics()` takes it alone.
     durability: Option<Mutex<DurabilityState>>,
 }
 
 impl Shared {
-    fn record(&self, submitted: Instant) {
+    /// Records a query answered without executing the pipeline (cache hit
+    /// or coalesced waiter).
+    fn record_hit(&self, submitted: Instant) {
         self.latency
             .lock()
             .expect("latency recorder poisoned")
-            .record(submitted.elapsed());
+            .record_hit(submitted.elapsed());
+    }
+
+    /// Records an executed query with its queue-wait / execution split and
+    /// the per-stage timings.
+    fn record_executed(
+        &self,
+        e2e: Duration,
+        queue_wait: Duration,
+        execution: Duration,
+        timings: Option<&StepTimings>,
+    ) {
+        self.latency
+            .lock()
+            .expect("latency recorder poisoned")
+            .record_executed(e2e, queue_wait, execution, timings);
+    }
+
+    /// Appends one operational event (stamped with its sequence number and
+    /// the offset from service start) to the bounded event log.
+    fn event(&self, kind: &'static str, detail: String) {
+        let at = self.started.elapsed();
+        let mut events = self.events.lock().expect("event log poisoned");
+        let seq = events.pushed() + 1;
+        events.push(OpEvent {
+            seq,
+            at,
+            kind,
+            detail,
+        });
     }
 }
 
@@ -590,6 +676,10 @@ impl QueryService {
             }),
             latency: Mutex::new(LatencyRecorder::new()),
             started: Instant::now(),
+            slow_query_threshold: config.slow_query_threshold,
+            slow_queries: AtomicU64::new(0),
+            slow_log: Mutex::new(BoundedLog::new(config.slow_query_log)),
+            events: Mutex::new(BoundedLog::new(config.event_log)),
             durability: durability.map(Mutex::new),
         });
         let workers = (0..config.workers.max(1))
@@ -753,6 +843,22 @@ impl QueryService {
                 store.cache.insert(key, entry);
             }
         }
+        service.shared.event(
+            "recovery",
+            format!(
+                "checkpoint {}, {} feeds replayed, {} rejected, {} bytes truncated, \
+                 {} pages restored",
+                if report.checkpoint_applied {
+                    "applied"
+                } else {
+                    "absent"
+                },
+                report.replayed_feeds,
+                report.rejected_feeds,
+                report.truncated_bytes,
+                report.cache_pages_restored,
+            ),
+        );
         Ok((service, report))
     }
 
@@ -804,7 +910,7 @@ impl QueryService {
         };
         match probe {
             Probe::Hit(page) => {
-                self.shared.record(submitted);
+                self.shared.record_hit(submitted);
                 return JobHandle::ready(Ok(page));
             }
             Probe::Coalesced(rx) => return JobHandle::pending(rx),
@@ -859,9 +965,15 @@ impl QueryService {
         // One lock at a time, never nested: submit() takes store then
         // latency, so holding latency while locking store here would invert
         // the order and risk a deadlock.
-        let (completed, latency) = {
+        let (completed, latency, queue_wait, execution, stages) = {
             let recorder = self.shared.latency.lock().expect("latency poisoned");
-            (recorder.count(), recorder.summary())
+            (
+                recorder.count(),
+                recorder.summary(),
+                recorder.queue_wait_summary(),
+                recorder.execution_summary(),
+                recorder.stage_summaries(),
+            )
         };
         let uptime = self.shared.started.elapsed();
         let qps = if uptime.as_secs_f64() > 0.0 {
@@ -887,9 +999,13 @@ impl QueryService {
             completed,
             qps,
             latency,
+            queue_wait,
+            execution,
+            stages,
             cache,
             pipeline_executions,
             coalesced,
+            slow_queries: self.shared.slow_queries.load(Ordering::Relaxed),
             queue_depth: self.shared.queue.lock().expect("queue poisoned").jobs.len(),
             workers: self.workers.len(),
             generation: snapshot.generation(),
@@ -921,6 +1037,291 @@ impl QueryService {
                 None => DurabilityMetrics::default(),
             },
         }
+    }
+
+    /// Renders the service's health as a Prometheus text-exposition
+    /// document (format 0.0.4): the lifetime counters and point-in-time
+    /// gauges of [`metrics`](Self::metrics) plus the latency **histograms**
+    /// (end-to-end, queue wait, execution and per-stage, all in seconds) —
+    /// the full-fidelity surface a scrape-based monitoring stack ingests.
+    ///
+    /// The document always validates against
+    /// [`soda_trace::prom::validate`]; the metric names and label sets are a
+    /// stable interface, pinned by a golden test.
+    pub fn metrics_text(&self) -> String {
+        let m = self.metrics();
+        let mut w = PromWriter::new();
+
+        w.header(
+            "soda_uptime_seconds",
+            "Time since the service started.",
+            MetricKind::Gauge,
+        );
+        w.value("soda_uptime_seconds", &[], m.uptime.as_secs_f64());
+        w.header(
+            "soda_queries_completed_total",
+            "Queries answered (cache hits included).",
+            MetricKind::Counter,
+        );
+        w.int_value("soda_queries_completed_total", &[], m.completed);
+        w.header(
+            "soda_pipeline_executions_total",
+            "Full pipeline executions (cache misses actually computed).",
+            MetricKind::Counter,
+        );
+        w.int_value("soda_pipeline_executions_total", &[], m.pipeline_executions);
+        w.header(
+            "soda_coalesced_total",
+            "Submissions that joined an identical in-flight computation.",
+            MetricKind::Counter,
+        );
+        w.int_value("soda_coalesced_total", &[], m.coalesced);
+        w.header(
+            "soda_slow_queries_total",
+            "Queries whose end-to-end latency reached the slow-query threshold.",
+            MetricKind::Counter,
+        );
+        w.int_value("soda_slow_queries_total", &[], m.slow_queries);
+        w.header(
+            "soda_queue_depth",
+            "Jobs currently waiting in the queue.",
+            MetricKind::Gauge,
+        );
+        w.int_value("soda_queue_depth", &[], m.queue_depth as u64);
+        w.header(
+            "soda_workers",
+            "Size of the worker pool.",
+            MetricKind::Gauge,
+        );
+        w.int_value("soda_workers", &[], m.workers as u64);
+        w.header(
+            "soda_generation",
+            "Generation of the snapshot currently being served.",
+            MetricKind::Gauge,
+        );
+        w.int_value("soda_generation", &[], m.generation);
+        w.header(
+            "soda_reloads_total",
+            "Snapshot swaps performed (full reloads and per-shard rebuilds).",
+            MetricKind::Counter,
+        );
+        w.int_value("soda_reloads_total", &[], m.reloads);
+
+        w.header(
+            "soda_cache_hits_total",
+            "Interpretation-cache hits.",
+            MetricKind::Counter,
+        );
+        w.int_value("soda_cache_hits_total", &[], m.cache.hits);
+        w.header(
+            "soda_cache_misses_total",
+            "Interpretation-cache misses.",
+            MetricKind::Counter,
+        );
+        w.int_value("soda_cache_misses_total", &[], m.cache.misses);
+        w.header(
+            "soda_cache_evicted_total",
+            "Pages evicted by LRU capacity pressure.",
+            MetricKind::Counter,
+        );
+        w.int_value("soda_cache_evicted_total", &[], m.cache.evictions);
+        w.header(
+            "soda_cache_purged_total",
+            "Pages purged by snapshot swaps.",
+            MetricKind::Counter,
+        );
+        w.int_value("soda_cache_purged_total", &[], m.cache.purged);
+        w.header(
+            "soda_cache_retained_total",
+            "Pages carried across data-only swaps by retention proofs.",
+            MetricKind::Counter,
+        );
+        w.int_value("soda_cache_retained_total", &[], m.cache.retained);
+        w.header(
+            "soda_cache_pages",
+            "Result pages currently cached.",
+            MetricKind::Gauge,
+        );
+        w.int_value("soda_cache_pages", &[], m.cache.len as u64);
+
+        w.header(
+            "soda_ingest_feeds_total",
+            "Change feeds absorbed by streaming ingestion.",
+            MetricKind::Counter,
+        );
+        w.int_value("soda_ingest_feeds_total", &[], m.ingest.ingests);
+        w.header(
+            "soda_ingest_events_total",
+            "Row events those feeds carried.",
+            MetricKind::Counter,
+        );
+        w.int_value("soda_ingest_events_total", &[], m.ingest.events);
+        w.header(
+            "soda_ingest_rows_total",
+            "Rows those events carried.",
+            MetricKind::Counter,
+        );
+        w.int_value("soda_ingest_rows_total", &[], m.ingest.rows);
+        w.header(
+            "soda_compactions_total",
+            "Side-log compactions performed.",
+            MetricKind::Counter,
+        );
+        w.int_value("soda_compactions_total", &[], m.ingest.compactions);
+        w.header(
+            "soda_compacted_shards_total",
+            "Side logs folded into rebuilt partitions.",
+            MetricKind::Counter,
+        );
+        w.int_value(
+            "soda_compacted_shards_total",
+            &[],
+            m.ingest.compacted_shards,
+        );
+
+        w.header(
+            "soda_shard_probes_total",
+            "Inverted-index probes served, per shard of the live snapshot.",
+            MetricKind::Counter,
+        );
+        for (shard, probes) in m.shards.probes.iter().enumerate() {
+            w.int_value(
+                "soda_shard_probes_total",
+                &[("shard", shard.to_string())],
+                *probes,
+            );
+        }
+        w.header(
+            "soda_shard_postings",
+            "Frozen index postings, per shard of the live snapshot.",
+            MetricKind::Gauge,
+        );
+        for (shard, postings) in m.shards.index_postings.iter().enumerate() {
+            w.int_value(
+                "soda_shard_postings",
+                &[("shard", shard.to_string())],
+                *postings as u64,
+            );
+        }
+        w.header(
+            "soda_shard_log_postings",
+            "Ingestion side-log postings awaiting compaction, per shard.",
+            MetricKind::Gauge,
+        );
+        for (shard, postings) in m.shards.log_postings.iter().enumerate() {
+            w.int_value(
+                "soda_shard_log_postings",
+                &[("shard", shard.to_string())],
+                *postings as u64,
+            );
+        }
+
+        if m.durability.enabled {
+            w.header(
+                "soda_journal_bytes",
+                "Current size of the feed journal.",
+                MetricKind::Gauge,
+            );
+            w.int_value("soda_journal_bytes", &[], m.durability.journal_bytes);
+            w.header(
+                "soda_journal_appends_total",
+                "Change feeds appended to the journal since this instance started.",
+                MetricKind::Counter,
+            );
+            w.int_value(
+                "soda_journal_appends_total",
+                &[],
+                m.durability.journal_appends,
+            );
+            w.header(
+                "soda_checkpoints_total",
+                "Checkpoints written (each truncates the journal).",
+                MetricKind::Counter,
+            );
+            w.int_value("soda_checkpoints_total", &[], m.durability.checkpoints);
+            w.header(
+                "soda_checkpoint_failures_total",
+                "Checkpoint attempts that failed (journal left replayable).",
+                MetricKind::Counter,
+            );
+            w.int_value(
+                "soda_checkpoint_failures_total",
+                &[],
+                m.durability.checkpoint_failures,
+            );
+        }
+
+        // The histogram families render under the latency lock (taken alone,
+        // consistent with the one-lock-at-a-time rule of `metrics`).
+        self.shared
+            .latency
+            .lock()
+            .expect("latency poisoned")
+            .write_prometheus(&mut w);
+        w.finish()
+    }
+
+    /// Runs one query **traced**, on the caller's thread, and returns the
+    /// page together with the folded span tree — the `query` root, the five
+    /// stage spans (`lookup`, `rank`, `tables`, `filters`, `sqlgen`) and one
+    /// `probe_shard` sub-span per index partition probed.
+    ///
+    /// This is the diagnostic path: it bypasses the cache, the queue and the
+    /// coalescing map so the pipeline genuinely executes and the trace
+    /// reflects a full computation (the execution still counts in
+    /// [`metrics`](Self::metrics) as a pipeline execution and latency
+    /// sample).  The served page is byte-identical to what
+    /// [`submit`](Self::submit) computes for the same request — tracing
+    /// never changes an answer.
+    pub fn submit_traced(&self, request: QueryRequest) -> Result<TracedQuery, ServiceError> {
+        let submitted = Instant::now();
+        let engine = self.shared.handle.load();
+        let sink = CollectingSink::new();
+        let recorder = ProbeRecorder::new();
+        let (page, timings) = engine
+            .search_paged_observed(
+                &request.input,
+                request.page,
+                request.page_size,
+                Some(&recorder),
+                &sink,
+            )
+            .map_err(ServiceError::Engine)?;
+        let e2e = submitted.elapsed();
+        self.shared
+            .store
+            .lock()
+            .expect("store poisoned")
+            .pipeline_executions += 1;
+        self.shared
+            .record_executed(e2e, Duration::ZERO, e2e, Some(&timings));
+        Ok(TracedQuery {
+            page,
+            trace: sink.finish(),
+        })
+    }
+
+    /// A snapshot of the operational-event log, oldest retained entry
+    /// first: snapshot swaps, ingests, compactions, checkpoints, recoveries
+    /// and slow-query captures, each with a sequence number and an offset
+    /// from service start.  Bounded by [`ServiceConfig::event_log`].
+    pub fn events(&self) -> Vec<OpEvent> {
+        self.shared
+            .events
+            .lock()
+            .expect("event log poisoned")
+            .to_vec()
+    }
+
+    /// A snapshot of the slow-query log, oldest retained capture first.
+    /// Populated only when [`ServiceConfig::slow_query_threshold`] is set;
+    /// bounded by [`ServiceConfig::slow_query_log`].
+    pub fn slow_queries(&self) -> Vec<SlowQuery> {
+        self.shared
+            .slow_log
+            .lock()
+            .expect("slow-query log poisoned")
+            .to_vec()
     }
 
     /// Drops every cached result page (the lifetime hit/miss counters
@@ -967,6 +1368,8 @@ impl QueryService {
         let _swap = self.shared.swaps.lock().expect("swap lock poisoned");
         let generation = self.shared.handle.publish(snapshot);
         self.shared.reloads.fetch_add(1, Ordering::Relaxed);
+        self.shared
+            .event("reload", format!("generation {generation}"));
         self.purge_superseded();
         // The reload replaced data the journal knows nothing about: record
         // the *entire* live database (plus the new stamps), so the next
@@ -988,6 +1391,13 @@ impl QueryService {
         let dirty = self.shared.handle.load().shards_for_tables(tables);
         let generation = self.shared.handle.rebuild_shards(db, tables);
         self.shared.reloads.fetch_add(1, Ordering::Relaxed);
+        self.shared.event(
+            "rebuild_shards",
+            format!(
+                "generation {generation}, {} tables, shards {dirty:?}",
+                tables.len()
+            ),
+        );
         self.retain_unaffected(prev, &dirty);
         // The caller handed a whole replacement database; checkpoint all of
         // it (see `reload`).
@@ -1003,6 +1413,8 @@ impl QueryService {
         let _swap = self.shared.swaps.lock().expect("swap lock poisoned");
         let generation = self.shared.handle.refresh_graph(graph);
         self.shared.reloads.fetch_add(1, Ordering::Relaxed);
+        self.shared
+            .event("refresh_graph", format!("generation {generation}"));
         self.purge_superseded();
         // The graph itself is not journaled (recovery receives it as an
         // argument), but the stamps moved: checkpoint so a recovery under
@@ -1032,18 +1444,28 @@ impl QueryService {
         // all; if the engine then rejects it, the journaled record is
         // deterministically re-rejected on replay — harmless either way.
         if let Some(durability) = &self.shared.durability {
-            let mut d = durability.lock().expect("durability state poisoned");
-            d.journal
-                .append_feed(feed)
-                .map_err(|e| ServiceError::Durability(e.to_string()))?;
-            d.journal_appends += 1;
-            d.dirty_tables.extend(feed.tables());
+            let appended = {
+                let mut d = durability.lock().expect("durability state poisoned");
+                let appended = d
+                    .journal
+                    .append_feed(feed)
+                    .map_err(|e| ServiceError::Durability(e.to_string()))?;
+                d.journal_appends += 1;
+                d.dirty_tables.extend(feed.tables());
+                appended
+            };
+            self.shared
+                .event("journal_append", format!("{appended} bytes"));
         }
         let generation = self
             .shared
             .handle
             .absorb(feed)
             .map_err(ServiceError::Engine)?;
+        self.shared.event(
+            "ingest",
+            format!("generation {generation}, {}", feed.describe()),
+        );
         self.shared.ingests.fetch_add(1, Ordering::Relaxed);
         self.shared
             .ingest_events
@@ -1131,6 +1553,10 @@ fn compact_under_swap_lock(shared: &Shared, shards: &[usize]) -> Option<u64> {
         .filter(|s| logged.contains(s))
         .collect();
     let generation = shared.handle.compact(&foldable)?;
+    shared.event(
+        "compaction",
+        format!("generation {generation}, shards {foldable:?}"),
+    );
     shared.compactions.fetch_add(1, Ordering::Relaxed);
     shared
         .compacted_shards
@@ -1179,9 +1605,22 @@ fn write_checkpoint_under_swap_lock(shared: &Shared, mark_all_tables: bool) {
         shard_generations: snapshot.shard_generations().to_vec(),
         tables,
     };
-    match d.journal.write_checkpoint(&checkpoint) {
+    let outcome = d.journal.write_checkpoint(&checkpoint);
+    match &outcome {
         Ok(_) => d.checkpoints += 1,
         Err(_) => d.checkpoint_failures += 1,
+    }
+    drop(d);
+    match outcome {
+        Ok(bytes) => shared.event(
+            "checkpoint",
+            format!(
+                "generation {}, {} tables, journal now {bytes} bytes",
+                checkpoint.generation,
+                checkpoint.tables.len()
+            ),
+        ),
+        Err(e) => shared.event("checkpoint_failure", e.to_string()),
     }
 }
 
@@ -1305,14 +1744,32 @@ fn worker_loop(shared: &Shared) {
             shared,
             key: Some(job.key.clone()),
         };
+        // Queue wait ends here: everything from `dequeued` on is execution.
+        let dequeued = Instant::now();
+        let queue_wait = dequeued.duration_since(job.submitted);
         // The recorder captures which shards the probes scan and which probe
         // tokens the phrases select — the evidence that lets a data-only
         // snapshot swap retain this page instead of purging it.
         let recorder = ProbeRecorder::new();
-        let outcome = job
+        // With a slow-query threshold configured every execution is traced
+        // through a collecting sink (the capture decision needs the final
+        // latency, which only exists afterwards); without one the noop sink
+        // keeps the pipeline's instrumentation at a single `enabled()` check
+        // per site.
+        let collecting = shared.slow_query_threshold.map(|_| CollectingSink::new());
+        let sink: &dyn TraceSink = match &collecting {
+            Some(c) => c,
+            None => &NoopSink,
+        };
+        let observed = job
             .engine
-            .search_paged_recorded(&job.input, job.page, job.page_size, &recorder)
+            .search_paged_observed(&job.input, job.page, job.page_size, Some(&recorder), sink)
             .map_err(ServiceError::Engine);
+        let execution = dequeued.elapsed();
+        let (outcome, timings) = match observed {
+            Ok((page, timings)) => (Ok(page), Some(timings)),
+            Err(e) => (Err(e), None),
+        };
         // Normal path: the completion hand-off below owns the cleanup.
         guard.key = None;
         // A swap may have landed while this job ran: a page keyed by a
@@ -1341,9 +1798,31 @@ fn worker_loop(shared: &Shared) {
             }
             store.pending.remove(&job.key).unwrap_or_default()
         };
-        shared.record(job.submitted);
+        let e2e = job.submitted.elapsed();
+        shared.record_executed(e2e, queue_wait, execution, timings.as_ref());
+        // A query over the threshold lands its full span tree in the
+        // slow-query log (the end-to-end figure decides, so a fast pipeline
+        // behind a deep queue is still captured — that *is* the slowness the
+        // caller experienced).
+        if let (Some(threshold), Some(collecting)) = (shared.slow_query_threshold, collecting) {
+            if e2e >= threshold {
+                shared.slow_queries.fetch_add(1, Ordering::Relaxed);
+                shared.event("slow_query", format!("{:?} end-to-end: {}", e2e, job.input));
+                shared
+                    .slow_log
+                    .lock()
+                    .expect("slow-query log poisoned")
+                    .push(SlowQuery {
+                        input: job.input.clone(),
+                        total: e2e,
+                        queue_wait,
+                        execution,
+                        trace: collecting.finish(),
+                    });
+            }
+        }
         for waiter in waiters {
-            shared.record(waiter.submitted);
+            shared.record_hit(waiter.submitted);
             // A waiter may have dropped its handle; that is not an error.
             let _ = waiter.tx.send(outcome.clone());
         }
@@ -1576,9 +2055,11 @@ mod tests {
 
     #[test]
     fn coalesced_and_computing_submissions_get_equal_pages() {
-        // Force the coalescing path deterministically: the worker is busy
-        // with a blocker, so the second identical submission must attach to
-        // the first one's pending entry.
+        // Steer the duplicates onto the coalescing path: the single worker
+        // is busy with a blocker, so identical submissions normally attach
+        // to the first one's pending entry.  If this thread is preempted
+        // long enough for `first` to complete anyway, they become cache
+        // hits instead — either way, no duplicate may recompute.
         let service = minibank_service(ServiceConfig {
             workers: 1,
             queue_capacity: 4,
@@ -1589,14 +2070,15 @@ mod tests {
         let first = service.submit(QueryRequest::new("customers"));
         let second = service.submit(QueryRequest::new("customers"));
         let third = service.submit(QueryRequest::new("  CUSTOMERS  "));
-        assert_eq!(service.metrics().coalesced, 2);
         let a = first.wait().unwrap();
         let b = second.wait().unwrap();
         let c = third.wait().unwrap();
         assert_eq!(a, b);
         assert_eq!(a, c);
         blocker.wait().unwrap();
-        assert_eq!(service.metrics().pipeline_executions, 2);
+        let m = service.metrics();
+        assert_eq!(m.coalesced + m.cache.hits, 2, "{m:?}");
+        assert_eq!(m.pipeline_executions, 2);
     }
 
     #[test]
@@ -1966,5 +2448,177 @@ mod tests {
                 });
             }
         });
+    }
+
+    #[test]
+    fn latency_accounting_splits_queue_wait_from_execution() {
+        let service = minibank_service(ServiceConfig::default());
+        service
+            .submit(QueryRequest::new("Sara Guttinger"))
+            .wait()
+            .unwrap();
+        // And one cache hit, which must not touch the executed
+        // distributions.
+        service
+            .submit(QueryRequest::new("Sara Guttinger"))
+            .wait()
+            .unwrap();
+        let m = service.metrics();
+        assert_eq!(m.completed, 2);
+        assert!(m.execution.max > Duration::ZERO, "{m:?}");
+        // The split is exhaustive: neither component exceeds the end-to-end
+        // figure of the executed query.
+        assert!(m.queue_wait.max <= m.latency.max);
+        assert!(m.execution.max <= m.latency.max);
+        // Histogram-backed percentiles are monotone by construction.
+        assert!(m.latency.min <= m.latency.p50);
+        assert!(m.latency.p50 <= m.latency.p95);
+        assert!(m.latency.p95 <= m.latency.max);
+        // Stage latencies cover the executed pipeline (lookup ran).
+        assert!(m.stages.lookup.max > Duration::ZERO);
+        assert_eq!(m.stages.lookup.min, m.stages.lookup.max, "one execution");
+    }
+
+    #[test]
+    fn slow_query_threshold_captures_full_traces() {
+        // A zero threshold marks every executed query as slow —
+        // deterministic without timing games.
+        let service = minibank_service(ServiceConfig {
+            slow_query_threshold: Some(Duration::ZERO),
+            ..ServiceConfig::default()
+        });
+        service
+            .submit(QueryRequest::new("Sara Guttinger"))
+            .wait()
+            .unwrap();
+        // The cache hit is answered on the caller's thread — never captured.
+        service
+            .submit(QueryRequest::new("Sara Guttinger"))
+            .wait()
+            .unwrap();
+        let m = service.metrics();
+        assert_eq!(m.slow_queries, 1);
+        let slow = service.slow_queries();
+        assert_eq!(slow.len(), 1);
+        let capture = &slow[0];
+        assert_eq!(capture.input, "Sara Guttinger");
+        assert!(capture.total >= capture.execution);
+        let root = capture.trace.find("query").expect("query root span");
+        for stage in soda_trace::names::STAGES {
+            assert!(
+                root.children.iter().any(|c| c.name == stage),
+                "missing stage {stage} in {}",
+                capture.trace.render()
+            );
+        }
+        assert!(service
+            .events()
+            .iter()
+            .any(|e| e.kind == "slow_query" && e.detail.contains("Sara Guttinger")));
+    }
+
+    #[test]
+    fn without_a_threshold_no_traces_are_captured() {
+        let service = minibank_service(ServiceConfig::default());
+        service
+            .submit(QueryRequest::new("Sara Guttinger"))
+            .wait()
+            .unwrap();
+        assert_eq!(service.metrics().slow_queries, 0);
+        assert!(service.slow_queries().is_empty());
+    }
+
+    #[test]
+    fn submit_traced_matches_submit_and_yields_the_span_tree() {
+        let service = minibank_service(ServiceConfig::default());
+        let expected = service
+            .submit(QueryRequest::new("Sara Guttinger"))
+            .wait()
+            .unwrap();
+        let traced = service
+            .submit_traced(QueryRequest::new("Sara Guttinger"))
+            .unwrap();
+        assert_eq!(traced.page, expected, "tracing must not change answers");
+        let root = traced.trace.find("query").expect("query root span");
+        assert_eq!(root.children.len(), 5, "{}", traced.trace.render());
+        // The diagnostic path bypasses the cache but still counts as an
+        // execution and a latency sample.
+        let m = service.metrics();
+        assert_eq!(m.pipeline_executions, 2);
+        assert_eq!(m.completed, 2);
+        assert_eq!(m.cache.hits, 0);
+    }
+
+    #[test]
+    fn submit_traced_surfaces_engine_errors() {
+        let service = minibank_service(ServiceConfig::default());
+        match service.submit_traced(QueryRequest::new("   ")) {
+            Err(ServiceError::Engine(SodaError::EmptyQuery)) => {}
+            other => panic!("expected EmptyQuery, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn events_record_the_operational_history_in_order() {
+        let service = minibank_service(ServiceConfig::default());
+        service.ingest(&address_feed(900, "Streamville")).unwrap();
+        let shards: Vec<usize> = (0..service.engine().shard_count()).collect();
+        service.compact(&shards).expect("a log to fold");
+        let w = soda_warehouse::minibank::build(42);
+        service.reload(EngineSnapshot::build(
+            Arc::new(w.database),
+            Arc::new(w.graph),
+            SodaConfig::default(),
+        ));
+        let events = service.events();
+        let kinds: Vec<&str> = events.iter().map(|e| e.kind).collect();
+        assert_eq!(kinds, vec!["ingest", "compaction", "reload"]);
+        // Sequence numbers are monotone and the offsets non-decreasing.
+        for pair in events.windows(2) {
+            assert!(pair[0].seq < pair[1].seq);
+            assert!(pair[0].at <= pair[1].at);
+        }
+        assert!(
+            events[0].detail.contains("1 event, 1 row over addresses"),
+            "{}",
+            events[0].detail
+        );
+    }
+
+    #[test]
+    fn metrics_text_validates_and_names_every_family() {
+        let service = minibank_service(ServiceConfig {
+            slow_query_threshold: Some(Duration::ZERO),
+            ..ServiceConfig::default()
+        });
+        service
+            .submit(QueryRequest::new("Sara Guttinger"))
+            .wait()
+            .unwrap();
+        service
+            .submit(QueryRequest::new("Sara Guttinger"))
+            .wait()
+            .unwrap();
+        service.ingest(&address_feed(900, "Streamville")).unwrap();
+        let text = service.metrics_text();
+        soda_trace::prom::validate(&text).expect("exposition must validate");
+        for family in [
+            "soda_queries_completed_total",
+            "soda_cache_hits_total",
+            "soda_slow_queries_total",
+            "soda_shard_probes_total",
+            "soda_query_duration_seconds",
+            "soda_queue_wait_seconds",
+            "soda_execution_duration_seconds",
+            "soda_stage_duration_seconds",
+        ] {
+            assert!(text.contains(&format!("# TYPE {family} ")), "{family}");
+        }
+        // The stage histograms carry one series per pipeline stage.
+        for stage in soda_trace::names::STAGES {
+            assert!(text.contains(&format!("stage=\"{stage}\"")), "{stage}");
+        }
+        // A non-durable service exposes no journal families.
+        assert!(!text.contains("soda_journal_bytes"));
     }
 }

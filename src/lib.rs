@@ -38,6 +38,11 @@
 //!   [`EngineSnapshot`](soda_core::EngineSnapshot), with an LRU
 //!   interpretation cache keyed by canonicalized queries and live service
 //!   metrics.
+//! * [`trace`] — the observability kernel: a [`TraceSink`](soda_trace::TraceSink)
+//!   threaded through every pipeline stage (span trees with per-shard probe
+//!   sub-spans), fixed-memory log-bucketed latency histograms and a
+//!   Prometheus text-exposition writer/validator backing
+//!   [`QueryService::metrics_text`](soda_service::QueryService::metrics_text).
 //!
 //! ## Quickstart
 //!
@@ -63,6 +68,7 @@ pub use soda_journal as journal;
 pub use soda_metagraph as metagraph;
 pub use soda_relation as relation;
 pub use soda_service as service;
+pub use soda_trace as trace;
 pub use soda_warehouse as warehouse;
 
 /// Convenient glob-import surface for examples and downstream users.
@@ -77,7 +83,8 @@ pub mod prelude {
     pub use soda_relation::{Database, ResultSet, Value};
     pub use soda_service::{
         CompactionConfig, DurabilityConfig, FsyncPolicy, QueryRequest, QueryService,
-        RecoveryReport, ServiceConfig, ServiceMetrics,
+        RecoveryReport, ServiceConfig, ServiceMetrics, SlowQuery, TracedQuery,
     };
+    pub use soda_trace::{CollectingSink, NoopSink, OpEvent, QueryTrace, TraceSink};
     pub use soda_warehouse::Warehouse;
 }

@@ -1,0 +1,276 @@
+//! Cross-crate acceptance tests of the observability surface: end-to-end
+//! query traces (span trees with per-shard probe sub-spans), the queue-wait /
+//! execution latency split, the slow-query log and the Prometheus text
+//! exposition — including the golden `# TYPE` surface that pins the metric
+//! names as a stable interface.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use soda::prelude::*;
+use soda::warehouse::enterprise::{self, EnterpriseConfig};
+use soda_trace::names;
+
+/// A unique scratch directory removed on drop (`std`-only — the workspace
+/// has no tempfile crate).
+struct TempDir {
+    path: PathBuf,
+}
+
+impl TempDir {
+    fn new(label: &str) -> Self {
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let path = std::env::temp_dir().join(format!(
+            "soda-observability-{label}-{}-{}",
+            std::process::id(),
+            COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        fs::create_dir_all(&path).expect("creating temp dir");
+        Self { path }
+    }
+
+    fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.path);
+    }
+}
+
+fn enterprise_service(shards: usize) -> QueryService {
+    let warehouse = enterprise::build_with(EnterpriseConfig {
+        seed: 42,
+        padding: false,
+        data_scale: 0.1,
+    });
+    let snapshot = EngineSnapshot::build(
+        Arc::new(warehouse.database),
+        Arc::new(warehouse.graph),
+        SodaConfig {
+            shards,
+            ..SodaConfig::default()
+        },
+    );
+    QueryService::start(Arc::new(snapshot), ServiceConfig::default())
+}
+
+/// The tentpole acceptance: a traced query on the enterprise warehouse
+/// yields a span tree with all five pipeline stages and at least one
+/// per-shard probe sub-span, and the stage durations account for the bulk
+/// of the end-to-end execution.
+#[test]
+fn traced_enterprise_query_yields_the_full_span_tree() {
+    let service = enterprise_service(4);
+    let traced = service
+        .submit_traced(QueryRequest::new("financial instruments customers Zurich"))
+        .expect("traced query succeeds");
+    assert!(!traced.page.results.is_empty());
+
+    let root = traced.trace.find(names::QUERY).expect("query root span");
+    for stage in names::STAGES {
+        assert!(
+            root.children.iter().any(|c| c.name == stage),
+            "missing stage {stage} in\n{}",
+            traced.trace.render()
+        );
+    }
+    let probes = traced.trace.all_spans();
+    assert!(
+        probes.iter().any(|s| s.name == names::PROBE_SHARD),
+        "expected at least one per-shard probe sub-span in\n{}",
+        traced.trace.render()
+    );
+    // Probe sub-spans carry the frozen/side-log candidate split and the
+    // owning shard.
+    let shard_span = probes
+        .iter()
+        .find(|s| s.name == names::PROBE_SHARD)
+        .unwrap();
+    assert!(shard_span.field("shard").is_some());
+    assert!(shard_span.field("frozen_candidates").is_some());
+    assert!(shard_span.field("log_candidates").is_some());
+
+    // The five stages account for (almost all of) the end-to-end execution:
+    // their durations sum to no more than the root and to at least half of
+    // it (parsing and page slicing are the only work outside the stages).
+    let stage_sum: Duration = names::STAGES
+        .iter()
+        .map(|s| traced.trace.sum_durations(s))
+        .sum();
+    assert!(
+        stage_sum <= root.duration,
+        "stage sum {stage_sum:?} exceeds the root span {:?}",
+        root.duration
+    );
+    assert!(
+        stage_sum * 2 >= root.duration,
+        "stages cover too little of the root span: {stage_sum:?} of {:?}\n{}",
+        root.duration,
+        traced.trace.render()
+    );
+}
+
+/// The queue-wait / execution split: with a single worker pinned down by a
+/// batch, later jobs provably wait in the queue, and the split figures are
+/// consistent with the end-to-end latency.
+#[test]
+fn queue_wait_is_split_from_execution() {
+    let w = soda::warehouse::minibank::build(42);
+    let snapshot = EngineSnapshot::build(
+        Arc::new(w.database),
+        Arc::new(w.graph),
+        SodaConfig::default(),
+    );
+    let service = QueryService::start(
+        Arc::new(snapshot),
+        ServiceConfig {
+            workers: 1,
+            ..ServiceConfig::default()
+        },
+    );
+    // Distinct cold queries: each one occupies the single worker while the
+    // rest wait in the queue, so queue wait is structurally non-zero.
+    let results = service.submit_batch(vec![
+        QueryRequest::new("Sara Guttinger"),
+        QueryRequest::new("wealthy customers"),
+        QueryRequest::new("customers Zurich"),
+        QueryRequest::new("Credit Suisse"),
+    ]);
+    assert!(results.iter().all(|r| r.is_ok()));
+
+    let m = service.metrics();
+    assert_eq!(m.completed, 4);
+    assert_eq!(m.pipeline_executions, 4);
+    assert!(m.execution.max > Duration::ZERO);
+    assert!(
+        m.queue_wait.max > Duration::ZERO,
+        "with one worker the later jobs must have queued: {m:?}"
+    );
+    // Every component of an executed query is bounded by some end-to-end
+    // sample: the slowest query waited and executed within the max latency.
+    assert!(m.queue_wait.max <= m.latency.max);
+    assert!(m.execution.max <= m.latency.max);
+    // Stage latencies only ever cover executed pipelines, and their maxima
+    // are bounded by the slowest execution.
+    assert!(m.stages.lookup.max <= m.execution.max);
+    assert!(m.stages.sqlgen.max <= m.execution.max);
+}
+
+/// A query over the slow-query threshold lands its full span tree in the
+/// bounded slow-query log, with the queue-wait / execution split attached.
+#[test]
+fn slow_queries_land_full_traces_in_the_log() {
+    let w = soda::warehouse::minibank::build(42);
+    let snapshot = EngineSnapshot::build(
+        Arc::new(w.database),
+        Arc::new(w.graph),
+        SodaConfig {
+            shards: 4,
+            ..SodaConfig::default()
+        },
+    );
+    let service = QueryService::start(
+        Arc::new(snapshot),
+        ServiceConfig {
+            slow_query_threshold: Some(Duration::ZERO),
+            slow_query_log: 2,
+            ..ServiceConfig::default()
+        },
+    );
+    for query in ["Sara Guttinger", "wealthy customers", "Credit Suisse"] {
+        service.submit(QueryRequest::new(query)).wait().unwrap();
+    }
+    let m = service.metrics();
+    assert_eq!(m.slow_queries, 3);
+    // The log is bounded: only the newest two captures survive.
+    let slow = service.slow_queries();
+    assert_eq!(slow.len(), 2);
+    assert_eq!(slow[0].input, "wealthy customers");
+    assert_eq!(slow[1].input, "Credit Suisse");
+    for capture in &slow {
+        assert!(capture.total >= capture.execution);
+        let root = capture.trace.find(names::QUERY).expect("query root");
+        assert_eq!(root.children.len(), 5, "{}", capture.trace.render());
+    }
+    // The base-data query captured its per-shard probes.
+    assert!(slow[1]
+        .trace
+        .all_spans()
+        .iter()
+        .any(|s| s.name == names::PROBE_SHARD));
+}
+
+/// The Prometheus exposition parses as valid text format 0.0.4 and its
+/// family surface (`# TYPE` lines: names and kinds) matches the checked-in
+/// golden file — the scrape interface is stable.
+#[test]
+fn metrics_text_matches_the_golden_type_surface() {
+    let (db, graph) = {
+        let w = soda::warehouse::minibank::build(42);
+        (Arc::new(w.database), Arc::new(w.graph))
+    };
+    let dir = TempDir::new("golden");
+    // A durable service exposes every family, journal gauges included.
+    let (service, _report) = QueryService::recover(
+        db,
+        graph,
+        SodaConfig::default(),
+        ServiceConfig {
+            slow_query_threshold: Some(Duration::ZERO),
+            ..ServiceConfig::default()
+        },
+        DurabilityConfig::new(dir.path()),
+    )
+    .expect("durable boot");
+    service
+        .submit(QueryRequest::new("Sara Guttinger"))
+        .wait()
+        .unwrap();
+    service
+        .ingest(&ChangeFeed::new().append_row(
+            "addresses",
+            vec![
+                Value::Int(900),
+                Value::Int(1),
+                Value::from("Metric Lane 1"),
+                Value::from("Promville"),
+                Value::from("Switzerland"),
+            ],
+        ))
+        .unwrap();
+
+    let text = service.metrics_text();
+    soda::trace::prom::validate(&text).expect("exposition must validate");
+
+    let got: Vec<&str> = text.lines().filter(|l| l.starts_with("# TYPE ")).collect();
+    let golden = include_str!("golden/metrics_types.txt");
+    let want: Vec<&str> = golden.lines().collect();
+    assert_eq!(
+        got, want,
+        "the metric-family surface changed; update tests/golden/metrics_types.txt \
+         only on a deliberate interface change"
+    );
+}
+
+/// Tracing is invisible to callers: `submit_traced` answers byte-identically
+/// to `submit` for the same request, across shard counts.
+#[test]
+fn traced_and_untraced_answers_are_byte_identical() {
+    for shards in [1usize, 4] {
+        let service = enterprise_service(shards);
+        for query in ["customers Zurich", "Credit Suisse"] {
+            let expected = service.submit(QueryRequest::new(query)).wait().unwrap();
+            let traced = service.submit_traced(QueryRequest::new(query)).unwrap();
+            assert_eq!(
+                traced.page, expected,
+                "'{query}' diverged under tracing at {shards} shards"
+            );
+        }
+    }
+}

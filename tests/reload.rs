@@ -339,6 +339,7 @@ fn streaming_ingest_with_background_compaction_never_drops_or_corrupts() {
                 policy: CompactionPolicy::eager(),
                 poll_interval: Duration::from_millis(5),
             }),
+            ..ServiceConfig::default()
         },
     );
 
@@ -427,6 +428,7 @@ proptest! {
                 queue_capacity: 16,
                 cache_capacity: 32,
                 compaction: None, // compaction is an explicit op here
+                ..ServiceConfig::default()
             },
         );
         let mut reference = w.database.clone();

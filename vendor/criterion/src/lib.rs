@@ -27,8 +27,14 @@ use std::time::{Duration, Instant};
 
 /// Samples per benchmark in quick mode.
 pub const QUICK_SAMPLES: usize = 3;
-/// Iteration cap per sample in quick mode.
-pub const QUICK_MAX_ITERS: u64 = 10;
+/// Iteration cap per sample in quick mode.  The 5ms per-sample target in
+/// [`Bencher::iter`] already bounds wall-clock, so the cap's job is only to
+/// limit iterations of routines with heavy *per-iteration* side effects
+/// (cache clears, rebuilds).  Microsecond-scale routines need far more than
+/// ten iterations per sample for a noise-resistant floor — at 10, a single
+/// scheduler preemption in a ~100µs sample inflated the minimum by 20%+,
+/// which is fatal to tight per-benchmark regression limits.
+pub const QUICK_MAX_ITERS: u64 = 200;
 
 fn quick_mode() -> bool {
     std::env::var("SODA_BENCH_QUICK").is_ok_and(|v| !v.is_empty() && v != "0")
