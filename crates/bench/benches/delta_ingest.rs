@@ -19,6 +19,10 @@
 //!   the hot path.
 //! * `compact_logs` — folding the grown logs back into rebuilt partitions
 //!   (the background cost the `Compactor` pays instead of the reload).
+//! * `ingest_feed_4x` / `rebuild_delta_4x` — the same feed against a 4×
+//!   `data_scale` warehouse: with copy-on-write snapshots the ingest cost is
+//!   O(delta), so `ingest_feed_4x` should stay near `ingest_feed` while the
+//!   rebuild path grows with the warehouse.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
@@ -128,6 +132,49 @@ fn bench_delta_ingest(c: &mut Criterion) {
             black_box(handle.compact(&all_shards).expect("a log to fold"))
         })
     });
+
+    // The scale axis: the same-sized feed against a 4× data_scale
+    // warehouse.  Copy-on-write snapshots make absorb O(delta) — this
+    // point should sit near `ingest_feed`, while the apply+rebuild path
+    // rescans the bigger tables and grows with the warehouse.
+    let warehouse4 = enterprise::build_with_dimensions(
+        EnterpriseConfig {
+            seed: 42,
+            padding: false,
+            data_scale: 4.0,
+        },
+        4.0,
+    );
+    let base4 = {
+        let db4 = Arc::new(warehouse4.database.clone());
+        let graph4 = Arc::new(warehouse4.graph.clone());
+        Arc::new(EngineSnapshot::build(db4, graph4, config.clone()))
+    };
+    let delta4: WarehouseDelta = data::onboarding_delta(&warehouse4.database, 7, FEED_ROWS);
+    let feed4 = delta4.to_feed();
+    let delta4_tables = delta4.changed_tables();
+
+    group.bench_with_input(
+        BenchmarkId::new("ingest_feed_4x", FEED_ROWS),
+        &(),
+        |b, ()| {
+            b.iter(|| {
+                let handle = SnapshotHandle::new(Arc::clone(&base4));
+                black_box(handle.absorb(&feed4).expect("feed absorbs"))
+            })
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::new("rebuild_delta_4x", FEED_ROWS),
+        &(),
+        |b, ()| {
+            b.iter(|| {
+                let handle = SnapshotHandle::new(Arc::clone(&base4));
+                let next = delta4.apply(&warehouse4.database).expect("delta applies");
+                black_box(handle.rebuild_shards(Arc::new(next), &delta4_tables))
+            })
+        },
+    );
 
     group.finish();
 }

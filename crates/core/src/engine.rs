@@ -206,16 +206,22 @@ impl EngineCore {
     /// feed: the events are applied to a copy of `db` and their indexed
     /// consequences routed into per-shard side logs — **no frozen partition
     /// is rebuilt**, queries merge log and partition on the fly.  Returns
-    /// the new database, the derived core and the shards whose logs changed.
-    /// With the inverted index disabled only the base data moves.
+    /// the new database, the derived core and the ingest report (sizes plus
+    /// touched shards).  With the inverted index disabled only the base data
+    /// moves.
+    ///
+    /// The feed is consumed: appended rows move by value into the
+    /// copy-on-write database derive, and the derive itself shares every
+    /// table (and side log) the feed does not touch, so the cost is
+    /// proportional to the delta, not the warehouse.
     pub(crate) fn derive_with_ingested(
         &self,
         db: &Database,
-        feed: &soda_ingest::ChangeFeed,
-    ) -> soda_relation::Result<(Database, Self, Vec<usize>)> {
+        feed: soda_ingest::ChangeFeed,
+    ) -> soda_relation::Result<(Database, Self, soda_ingest::IngestReport)> {
         let ingestor = soda_ingest::Ingestor::new(self.config.shards.max(1));
         let mut next = db.clone();
-        let (index, touched) = match &self.index {
+        let (index, report) = match &self.index {
             Some(index) => {
                 // Clone only the logs the feed will touch (the others get
                 // cheap empty placeholders and are `Arc`-shared afterwards),
@@ -234,7 +240,7 @@ impl EngineCore {
                         }
                     })
                     .collect();
-                let report = ingestor.absorb_into(&mut next, &mut logs, feed)?;
+                let report = ingestor.absorb_feed(&mut next, &mut logs, feed)?;
                 debug_assert_eq!(
                     report.touched_shards, will_touch,
                     "ingestor routing must agree with shards_for_tables"
@@ -244,14 +250,11 @@ impl EngineCore {
                     .iter()
                     .map(|&shard| (shard, std::mem::take(&mut logs[shard])))
                     .collect();
-                (
-                    Some(index.with_patched_side_logs(patches)),
-                    report.touched_shards,
-                )
+                (Some(index.with_patched_side_logs(patches)), report)
             }
             None => {
-                let report = ingestor.apply_only(&mut next, feed)?;
-                (None, report.touched_shards)
+                let report = ingestor.apply_feed(&mut next, feed)?;
+                (None, report)
             }
         };
         let sizes = ShardSizes::of(&self.classification, index.as_ref());
@@ -266,7 +269,7 @@ impl EngineCore {
                 probes: Arc::clone(&self.probes),
                 sizes,
             },
-            touched,
+            report,
         ))
     }
 

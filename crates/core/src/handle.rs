@@ -41,6 +41,17 @@ use soda_relation::Database;
 use crate::error::Result;
 use crate::snapshot::EngineSnapshot;
 
+/// What one [`SnapshotHandle::absorb_owned`] published: the stamped
+/// generation plus the ingest report describing how much the copy-on-write
+/// derive actually moved (and how much it structurally shared).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AbsorbOutcome {
+    /// Generation the absorbed snapshot was stamped with.
+    pub generation: u64,
+    /// Sizes and sharing counters of the absorb.
+    pub report: soda_ingest::IngestReport,
+}
+
 /// An atomically swappable, generation-stamping cell holding the current
 /// [`EngineSnapshot`].
 ///
@@ -159,15 +170,24 @@ impl SnapshotHandle {
     /// partitions with [`compact`](Self::compact) once they outgrow a
     /// budget (`soda_ingest::CompactionPolicy` decides when).
     pub fn absorb(&self, feed: &ChangeFeed) -> Result<u64> {
+        Ok(self.absorb_owned(feed.clone())?.generation)
+    }
+
+    /// [`absorb`](Self::absorb) for an **owned** feed — the zero-copy path:
+    /// appended rows move by value through the copy-on-write database derive
+    /// instead of being cloned out of a borrowed feed.  Returns the stamped
+    /// generation together with the [`IngestReport`](soda_ingest::IngestReport)
+    /// so serving layers can surface structural-sharing metrics.
+    pub fn absorb_owned(&self, feed: ChangeFeed) -> Result<AbsorbOutcome> {
         let _writer = self.writer.lock().expect("snapshot writer poisoned");
         // Reserve the number only after the derive succeeds, so a rejected
         // feed leaves no gap in the generation sequence.
         let generation = self.next_generation.load(Ordering::Relaxed);
-        let next = self.load().derive_absorbed(feed, generation)?;
+        let (next, report) = self.load().derive_absorbed(feed, generation)?;
         self.current.store(Arc::new(next));
         self.next_generation
             .store(generation + 1, Ordering::Relaxed);
-        Ok(generation)
+        Ok(AbsorbOutcome { generation, report })
     }
 
     /// Folds the side logs of `shards` into freshly rebuilt partitions — the
@@ -255,10 +275,10 @@ mod tests {
     fn assert_send_sync<T: Send + Sync>() {}
 
     fn minibank_handle(shards: usize) -> SnapshotHandle {
-        let w = soda_warehouse::minibank::build(42);
+        let (db, graph) = soda_warehouse::minibank::build(42).shared_parts();
         SnapshotHandle::new(Arc::new(EngineSnapshot::build(
-            Arc::new(w.database),
-            Arc::new(w.graph),
+            db,
+            graph,
             SodaConfig {
                 shards,
                 ..SodaConfig::default()
@@ -451,6 +471,53 @@ mod tests {
         let stats = after.shard_stats();
         assert!(stats.log_postings[owner] > 0);
         assert_eq!(stats.log_rows[owner], 1);
+    }
+
+    #[test]
+    fn absorb_shares_every_untouched_table_with_the_previous_database() {
+        let handle = minibank_handle(4);
+        let before = handle.load();
+        let outcome = handle
+            .absorb_owned(address_feed(900, "Streamville"))
+            .unwrap();
+        assert_eq!(outcome.generation, 1);
+        let after = handle.load();
+
+        // Copy-on-write derive: only `addresses` was copied; every other
+        // table of the new database is the *same allocation* as before.
+        let table_count = before.database().table_count();
+        assert_eq!(outcome.report.tables_copied, 1);
+        assert_eq!(outcome.report.tables_shared, table_count - 1);
+        assert_eq!(outcome.report.rows_appended, 1);
+        assert_eq!(
+            after.database().tables_shared_with(before.database()),
+            table_count - 1
+        );
+        assert!(!Arc::ptr_eq(
+            before.database().table_arc("addresses").unwrap(),
+            after.database().table_arc("addresses").unwrap()
+        ));
+        for name in before.database().table_names() {
+            if name != "addresses" {
+                assert!(
+                    Arc::ptr_eq(
+                        before.database().table_arc(name).unwrap(),
+                        after.database().table_arc(name).unwrap()
+                    ),
+                    "table '{name}' must be structurally shared across absorb"
+                );
+            }
+        }
+        // The shared-table database still answers like a full rebuild.
+        let fresh = EngineSnapshot::build(
+            after.database_arc(),
+            after.graph_arc(),
+            after.config().clone(),
+        );
+        assert_eq!(
+            after.search("Streamville").unwrap(),
+            fresh.search("Streamville").unwrap()
+        );
     }
 
     #[test]

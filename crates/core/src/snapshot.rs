@@ -180,27 +180,35 @@ impl EngineSnapshot {
     /// per-shard side logs — **no frozen index partition is touched**.  The
     /// shards whose logs changed get `generation` stamped into their slot
     /// (they answer differently now), everything else is shared with `self`.
+    ///
+    /// The feed is consumed (rows move by value) and the derived database
+    /// structurally shares every untouched table with `self`'s — the whole
+    /// chain is O(delta).  Returns the snapshot plus the ingest report so
+    /// callers can surface sharing metrics.
     pub(crate) fn derive_absorbed(
         &self,
-        feed: &soda_ingest::ChangeFeed,
+        feed: soda_ingest::ChangeFeed,
         generation: u64,
-    ) -> Result<Self> {
-        let (db, core, touched) = self.core.derive_with_ingested(&self.db, feed)?;
+    ) -> Result<(Self, soda_ingest::IngestReport)> {
+        let (db, core, report) = self.core.derive_with_ingested(&self.db, feed)?;
         let mut shard_generations = self.shard_generations.clone();
-        for shard in touched {
+        for &shard in &report.touched_shards {
             if let Some(slot) = shard_generations.get_mut(shard) {
                 *slot = generation;
             }
         }
-        Ok(Self {
-            db: Arc::new(db),
-            graph: Arc::clone(&self.graph),
-            core,
-            generation,
-            shard_generations,
-            fingerprint: 0,
-        }
-        .sealed())
+        Ok((
+            Self {
+                db: Arc::new(db),
+                graph: Arc::clone(&self.graph),
+                core,
+                generation,
+                shard_generations,
+                fingerprint: 0,
+            }
+            .sealed(),
+            report,
+        ))
     }
 
     /// Derives a snapshot in which the partitions named by `shards` are
@@ -639,18 +647,18 @@ mod tests {
 
     #[test]
     fn sharded_snapshot_is_byte_identical_and_reports_stats() {
-        let w = soda_warehouse::minibank::build(42);
+        let (db, graph) = soda_warehouse::minibank::build(42).shared_parts();
         let baseline = EngineSnapshot::build(
-            Arc::new(w.database.clone()),
-            Arc::new(w.graph.clone()),
+            Arc::clone(&db),
+            Arc::clone(&graph),
             SodaConfig {
                 shards: 1,
                 ..SodaConfig::default()
             },
         );
         let sharded = EngineSnapshot::build(
-            Arc::new(w.database),
-            Arc::new(w.graph),
+            db,
+            graph,
             SodaConfig {
                 shards: 4,
                 ..SodaConfig::default()

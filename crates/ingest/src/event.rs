@@ -185,6 +185,14 @@ impl ChangeFeed {
         &self.events
     }
 
+    /// Consumes the feed into its events — the zero-copy ingestion path:
+    /// appended rows move straight into the database instead of being
+    /// cloned out of a borrowed feed
+    /// ([`Ingestor::absorb_feed`](crate::Ingestor::absorb_feed)).
+    pub fn into_events(self) -> Vec<RowEvent> {
+        self.events
+    }
+
     /// Number of events.
     pub fn len(&self) -> usize {
         self.events.len()

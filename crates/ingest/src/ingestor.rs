@@ -15,10 +15,37 @@ pub struct IngestReport {
     pub events: usize,
     /// Rows carried by those events.
     pub rows: usize,
+    /// Rows added by `Append` events (replacement rows excluded) — the
+    /// copy-on-write tail growth this absorb caused.
+    pub rows_appended: usize,
+    /// Tables the feed mutated — the only tables the copy-on-write
+    /// database derive actually copied.
+    pub tables_copied: usize,
+    /// Tables left untouched and therefore structurally shared (`Arc`
+    /// bump, no row copy) with the base database.
+    pub tables_shared: usize,
     /// Shards whose side logs changed, sorted and deduplicated.
     pub touched_shards: Vec<usize>,
     /// Tables touched, lower-cased, sorted and deduplicated.
     pub touched_tables: Vec<String>,
+}
+
+/// Feed-level sizes captured *before* an owned feed is consumed — the parts
+/// of an [`IngestReport`] that describe the input rather than the outcome.
+struct FeedSummary {
+    events: usize,
+    rows: usize,
+    tables: Vec<String>,
+}
+
+impl FeedSummary {
+    fn of(feed: &ChangeFeed) -> Self {
+        Self {
+            events: feed.len(),
+            rows: feed.row_count(),
+            tables: feed.tables(),
+        }
+    }
 }
 
 /// Routes row-level events into per-shard side logs by the same stable table
@@ -67,54 +94,94 @@ impl Ingestor {
         feed: &ChangeFeed,
     ) -> Result<IngestReport> {
         assert_eq!(logs.len(), self.shard_count, "one side log per index shard");
-        self.run(db, Some(logs), feed)
+        self.run(db, Some(logs), feed.events().iter().cloned(), feed)
+    }
+
+    /// [`absorb_into`](Self::absorb_into) for an **owned** feed: appended
+    /// and replacement rows move by value into the database — no per-row
+    /// clone.  The hot ingestion path (`soda_core::SnapshotHandle`'s owned
+    /// absorb) feeds this.
+    pub fn absorb_feed(
+        &self,
+        db: &mut Database,
+        logs: &mut [SideLog],
+        feed: ChangeFeed,
+    ) -> Result<IngestReport> {
+        assert_eq!(logs.len(), self.shard_count, "one side log per index shard");
+        let summary = FeedSummary::of(&feed);
+        self.run_events(db, Some(logs), feed.into_events(), summary)
     }
 
     /// Applies every event of `feed` to `db` without maintaining side logs —
     /// the path for engines whose inverted index is disabled (the base data
     /// still has to move so SQL execution sees the new rows).
     pub fn apply_only(&self, db: &mut Database, feed: &ChangeFeed) -> Result<IngestReport> {
-        self.run(db, None, feed)
+        self.run(db, None, feed.events().iter().cloned(), feed)
     }
 
-    fn run(
+    /// [`apply_only`](Self::apply_only) for an owned feed — rows move by
+    /// value.
+    pub fn apply_feed(&self, db: &mut Database, feed: ChangeFeed) -> Result<IngestReport> {
+        let summary = FeedSummary::of(&feed);
+        self.run_events(db, None, feed.into_events(), summary)
+    }
+
+    fn run<I: Iterator<Item = RowEvent>>(
+        &self,
+        db: &mut Database,
+        logs: Option<&mut [SideLog]>,
+        events: I,
+        feed: &ChangeFeed,
+    ) -> Result<IngestReport> {
+        self.run_events(db, logs, events, FeedSummary::of(feed))
+    }
+
+    fn run_events<I: IntoIterator<Item = RowEvent>>(
         &self,
         db: &mut Database,
         mut logs: Option<&mut [SideLog]>,
-        feed: &ChangeFeed,
+        events: I,
+        summary: FeedSummary,
     ) -> Result<IngestReport> {
         let mut touched: BTreeSet<usize> = BTreeSet::new();
-        for event in feed.events() {
+        let mut rows_appended = 0usize;
+        for event in events {
             let shard = self.shard_for(event.table());
             match event {
                 RowEvent::Append { table, row } => {
-                    let start = db.table(table)?.row_count();
-                    db.insert(table, row.clone())?;
+                    let start = db.table(&table)?.row_count();
+                    db.insert(&table, row)?;
+                    rows_appended += 1;
                     if let Some(logs) = logs.as_deref_mut() {
-                        logs[shard].append_rows(db.table(table)?, start);
+                        logs[shard].append_rows(db.table(&table)?, start);
                     }
                 }
                 RowEvent::Replace { table, rows } => {
-                    db.table_mut(table)?.truncate();
-                    db.insert_all(table, rows.iter().cloned())?;
+                    let target = db.table_mut(&table)?;
+                    target.truncate();
+                    target.insert_all(rows)?;
                     if let Some(logs) = logs.as_deref_mut() {
-                        logs[shard].replace_table(db.table(table)?);
+                        logs[shard].replace_table(db.table(&table)?);
                     }
                 }
                 RowEvent::Truncate { table } => {
-                    db.table_mut(table)?.truncate();
+                    db.table_mut(&table)?.truncate();
                     if let Some(logs) = logs.as_deref_mut() {
-                        logs[shard].truncate_table(table);
+                        logs[shard].truncate_table(&table);
                     }
                 }
             }
             touched.insert(shard);
         }
+        let tables_copied = summary.tables.len();
         Ok(IngestReport {
-            events: feed.len(),
-            rows: feed.row_count(),
+            events: summary.events,
+            rows: summary.rows,
+            rows_appended,
+            tables_copied,
+            tables_shared: db.table_count().saturating_sub(tables_copied),
             touched_shards: touched.into_iter().collect(),
-            touched_tables: feed.tables(),
+            touched_tables: summary.tables,
         })
     }
 }

@@ -1,7 +1,15 @@
 //! The database catalog: a named collection of in-memory tables plus the
 //! convenience entry point [`Database::run_sql`].
+//!
+//! Tables sit behind per-table [`Arc`]s, so cloning a database is one `Arc`
+//! bump per table — no row moves.  Mutation goes through
+//! [`Database::table_mut`], which copy-on-writes exactly the touched table
+//! (`Arc::make_mut`); combined with [`Table`]'s frozen row segments, the
+//! cost of deriving a next-generation database from a published one is
+//! proportional to the delta, not the warehouse.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use crate::error::{RelationError, Result};
 use crate::exec::{execute, ResultSet};
@@ -9,10 +17,11 @@ use crate::schema::TableSchema;
 use crate::sql::parser::parse_select;
 use crate::table::{Row, Table};
 
-/// An in-memory database: the catalog plus all table contents.
+/// An in-memory database: the catalog plus all table contents, structurally
+/// shared between clones until a table is mutated.
 #[derive(Debug, Default, Clone)]
 pub struct Database {
-    tables: BTreeMap<String, Table>,
+    tables: BTreeMap<String, Arc<Table>>,
 }
 
 impl Database {
@@ -27,7 +36,7 @@ impl Database {
         if self.tables.contains_key(&key) {
             return Err(RelationError::DuplicateTable(schema.name));
         }
-        self.tables.insert(key, Table::new(schema));
+        self.tables.insert(key, Arc::new(Table::new(schema)));
         Ok(())
     }
 
@@ -35,13 +44,26 @@ impl Database {
     pub fn table(&self, name: &str) -> Result<&Table> {
         self.tables
             .get(&name.to_ascii_lowercase())
+            .map(Arc::as_ref)
             .ok_or_else(|| RelationError::UnknownTable(name.to_string()))
     }
 
-    /// Returns a mutable table by name.
+    /// Returns the shared handle of a table by name — what snapshot layers
+    /// compare (`Arc::ptr_eq`) to prove an ingest left a table untouched.
+    pub fn table_arc(&self, name: &str) -> Result<&Arc<Table>> {
+        self.tables
+            .get(&name.to_ascii_lowercase())
+            .ok_or_else(|| RelationError::UnknownTable(name.to_string()))
+    }
+
+    /// Returns a mutable table by name, copy-on-writing it first when the
+    /// table is shared with another database clone.  The copy is cheap:
+    /// frozen row segments move by `Arc` bump, only the mutable tail's rows
+    /// are duplicated.
     pub fn table_mut(&mut self, name: &str) -> Result<&mut Table> {
         self.tables
             .get_mut(&name.to_ascii_lowercase())
+            .map(Arc::make_mut)
             .ok_or_else(|| RelationError::UnknownTable(name.to_string()))
     }
 
@@ -71,7 +93,7 @@ impl Database {
 
     /// All tables in deterministic order.
     pub fn tables(&self) -> impl Iterator<Item = &Table> {
-        self.tables.values()
+        self.tables.values().map(Arc::as_ref)
     }
 
     /// Number of tables.
@@ -87,6 +109,20 @@ impl Database {
     /// Total number of rows across all tables.
     pub fn total_rows(&self) -> usize {
         self.tables.values().map(|t| t.row_count()).sum()
+    }
+
+    /// Number of tables whose handle is shared (`Arc::ptr_eq`) with
+    /// `other` — how much of this database a derive left untouched.
+    pub fn tables_shared_with(&self, other: &Database) -> usize {
+        self.tables
+            .iter()
+            .filter(|(name, table)| {
+                other
+                    .tables
+                    .get(*name)
+                    .is_some_and(|theirs| Arc::ptr_eq(table, theirs))
+            })
+            .count()
     }
 
     /// Parses and executes a `SELECT` statement.
@@ -185,5 +221,45 @@ mod tests {
             .unwrap();
         assert_eq!(rs.row_count(), 1);
         assert_eq!(rs.rows()[0][1], Value::from("Guttinger"));
+    }
+
+    #[test]
+    fn clone_shares_every_table_until_one_is_mutated() {
+        let mut base = db();
+        base.insert("parties", vec![Value::Int(1), Value::from("IND")])
+            .unwrap();
+        let mut next = base.clone();
+        assert_eq!(next.tables_shared_with(&base), 2);
+        assert!(Arc::ptr_eq(
+            base.table_arc("parties").unwrap(),
+            next.table_arc("parties").unwrap()
+        ));
+
+        // Copy-on-write: inserting into the clone detaches only `parties`.
+        next.insert("parties", vec![Value::Int(2), Value::from("ORG")])
+            .unwrap();
+        assert_eq!(next.tables_shared_with(&base), 1);
+        assert!(!Arc::ptr_eq(
+            base.table_arc("parties").unwrap(),
+            next.table_arc("parties").unwrap()
+        ));
+        assert!(Arc::ptr_eq(
+            base.table_arc("individuals").unwrap(),
+            next.table_arc("individuals").unwrap()
+        ));
+        // The base is unchanged; the clone sees both rows.
+        assert_eq!(base.table("parties").unwrap().row_count(), 1);
+        assert_eq!(next.table("parties").unwrap().row_count(), 2);
+    }
+
+    #[test]
+    fn table_mut_on_an_unshared_table_does_not_copy() {
+        let mut base = db();
+        base.insert("parties", vec![Value::Int(1), Value::from("IND")])
+            .unwrap();
+        let before = Arc::as_ptr(base.table_arc("parties").unwrap());
+        base.table_mut("parties").unwrap().truncate();
+        // No other owner — `Arc::make_mut` mutated in place.
+        assert_eq!(before, Arc::as_ptr(base.table_arc("parties").unwrap()));
     }
 }

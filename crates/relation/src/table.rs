@@ -1,4 +1,17 @@
-//! In-memory table storage (row-oriented).
+//! In-memory table storage (row-oriented, copy-on-write).
+//!
+//! Rows live in two places: a list of immutable, `Arc`-shared **segments**
+//! (frozen, in insertion order) and a small mutable **tail** that new
+//! inserts land in.  The tail is sealed into a fresh segment once it
+//! reaches [`Table::SEGMENT_ROWS`], so cloning a table — which the
+//! copy-on-write [`Database`](crate::Database) does for every table an
+//! ingest mutates — bumps one `Arc` per frozen segment and deep-copies at
+//! most one segment's worth of tail rows, regardless of how large the
+//! table has grown.  Reads go through the segment-aware [`Rows`] view,
+//! which iterates frozen and tail rows in insertion order.
+
+use std::ops::Index;
+use std::sync::Arc;
 
 use crate::error::{RelationError, Result};
 use crate::schema::TableSchema;
@@ -7,19 +20,34 @@ use crate::value::Value;
 /// A row of values; the order matches the table schema.
 pub type Row = Vec<Value>;
 
-/// An in-memory table: a schema plus rows.
+/// An in-memory table: a schema plus rows stored as immutable shared
+/// segments and a small mutable tail.
 #[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct Table {
     schema: TableSchema,
-    rows: Vec<Row>,
+    /// Frozen row segments, oldest first; shared structurally between
+    /// clones (`Arc` bump, no row copy).
+    segments: Vec<Arc<[Row]>>,
+    /// Rows held by the frozen segments (cached sum).
+    frozen: usize,
+    /// Mutable tail new inserts land in; sealed into a segment at
+    /// [`Self::SEGMENT_ROWS`].
+    tail: Vec<Row>,
 }
 
 impl Table {
+    /// Rows per frozen segment — the most a clone of a mutated table ever
+    /// deep-copies.  Small enough that copy-on-write stays O(delta), large
+    /// enough that segment hopping is invisible to scans.
+    pub const SEGMENT_ROWS: usize = 1024;
+
     /// Creates an empty table with the given schema.
     pub fn new(schema: TableSchema) -> Self {
         Self {
             schema,
-            rows: Vec::new(),
+            segments: Vec::new(),
+            frozen: 0,
+            tail: Vec::new(),
         }
     }
 
@@ -35,12 +63,40 @@ impl Table {
 
     /// Number of rows.
     pub fn row_count(&self) -> usize {
-        self.rows.len()
+        self.frozen + self.tail.len()
     }
 
-    /// All rows.
-    pub fn rows(&self) -> &[Row] {
-        &self.rows
+    /// All rows, in insertion order, as a segment-aware view: iterable,
+    /// indexable and comparable like the row slice it replaced.
+    pub fn rows(&self) -> Rows<'_> {
+        Rows {
+            segments: &self.segments,
+            tail: &self.tail,
+            len: self.row_count(),
+        }
+    }
+
+    /// Number of frozen (structurally shared) segments.
+    pub fn segment_count(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Rows currently in the mutable tail — what a clone of this table
+    /// would deep-copy.
+    pub fn tail_rows(&self) -> usize {
+        self.tail.len()
+    }
+
+    /// True when `self` and `other` share every frozen segment allocation
+    /// — the structural-sharing invariant copy-on-write clones preserve
+    /// for untouched tables.
+    pub fn shares_segments_with(&self, other: &Table) -> bool {
+        self.segments.len() == other.segments.len()
+            && self
+                .segments
+                .iter()
+                .zip(&other.segments)
+                .all(|(a, b)| Arc::ptr_eq(a, b))
     }
 
     /// Inserts one row, validating arity, types and NULLability.
@@ -67,7 +123,10 @@ impl Table {
                 )));
             }
         }
-        self.rows.push(row);
+        self.tail.push(row);
+        if self.tail.len() >= Self::SEGMENT_ROWS {
+            self.seal_tail();
+        }
         Ok(())
     }
 
@@ -82,23 +141,225 @@ impl Table {
     }
 
     /// Removes every row, keeping the schema.  Used by the warehouse delta
-    /// layer to implement full-table replacement.
+    /// layer to implement full-table replacement — the old segments are
+    /// only released, never copied (clones holding them keep serving).
     pub fn truncate(&mut self) {
-        self.rows.clear();
+        self.segments.clear();
+        self.frozen = 0;
+        self.tail.clear();
+    }
+
+    /// Freezes the current tail into an immutable shared segment.  Only
+    /// ever called at exactly [`Self::SEGMENT_ROWS`] tail rows, so every
+    /// frozen segment has that fixed length — the invariant that makes
+    /// [`Rows::get`] a constant-time div/mod instead of a segment walk.
+    fn seal_tail(&mut self) {
+        debug_assert_eq!(self.tail.len(), Self::SEGMENT_ROWS);
+        let segment: Arc<[Row]> = std::mem::take(&mut self.tail).into();
+        self.frozen += segment.len();
+        self.segments.push(segment);
     }
 
     /// Value of `column` in row `row_index`.
     pub fn value(&self, row_index: usize, column: &str) -> Option<&Value> {
         let col = self.schema.column_index(column)?;
-        self.rows.get(row_index).map(|r| &r[col])
+        self.rows().get(row_index).map(|r| &r[col])
     }
 
     /// Iterates over all values of a column.
     pub fn column_values<'a>(&'a self, column: &str) -> Option<impl Iterator<Item = &'a Value>> {
         let col = self.schema.column_index(column)?;
-        Some(self.rows.iter().map(move |r| &r[col]))
+        Some(self.rows().iter().map(move |r| &r[col]))
     }
 }
+
+/// A borrowed, segment-aware view over a table's rows in insertion order.
+///
+/// Behaves like the `&[Row]` it replaced: [`iter`](Self::iter),
+/// [`len`](Self::len), `rows[i]` indexing, equality and
+/// [`to_vec`](Self::to_vec) all work unchanged at the call sites.
+/// Positioned iteration ([`iter_from`](Self::iter_from), or
+/// `iter().skip(n)` — the iterator's `nth` hops whole segments) is
+/// O(segments + rows read), which keeps side-log appends proportional to
+/// the new rows, not the table.
+#[derive(Clone, Copy)]
+pub struct Rows<'a> {
+    segments: &'a [Arc<[Row]>],
+    tail: &'a [Row],
+    len: usize,
+}
+
+impl<'a> Rows<'a> {
+    /// Number of rows in the view.
+    #[allow(clippy::len_without_is_empty)]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the view holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The row at `index`, if any.  Constant time: every frozen segment
+    /// holds exactly [`Table::SEGMENT_ROWS`] rows (sealed at the boundary,
+    /// never resized), so the owning segment is a div/mod away — the probe
+    /// path resolves candidate postings to cell values through here.
+    pub fn get(&self, index: usize) -> Option<&'a Row> {
+        let frozen = self.segments.len() * Table::SEGMENT_ROWS;
+        if index < frozen {
+            Some(&self.segments[index / Table::SEGMENT_ROWS][index % Table::SEGMENT_ROWS])
+        } else {
+            self.tail.get(index - frozen)
+        }
+    }
+
+    /// Iterates every row in insertion order.
+    pub fn iter(&self) -> RowsIter<'a> {
+        RowsIter {
+            front: [].iter(),
+            segments: self.segments.iter(),
+            tail: Some(self.tail),
+            remaining: self.len,
+        }
+    }
+
+    /// Iterates rows `start..`, skipping whole segments to get there —
+    /// O(segments) positioning instead of O(start).
+    pub fn iter_from(&self, start: usize) -> RowsIter<'a> {
+        let mut iter = self.iter();
+        if start > 0 {
+            iter.nth(start - 1);
+        }
+        iter
+    }
+
+    /// Deep-copies the view into an owned row vector (the adapter for call
+    /// sites that genuinely need contiguous owned rows, e.g. SQL binding).
+    pub fn to_vec(&self) -> Vec<Row> {
+        let mut rows = Vec::with_capacity(self.len);
+        rows.extend(self.iter().cloned());
+        rows
+    }
+}
+
+impl Index<usize> for Rows<'_> {
+    type Output = Row;
+
+    fn index(&self, index: usize) -> &Row {
+        self.get(index)
+            .unwrap_or_else(|| panic!("row index {index} out of bounds (len {})", self.len))
+    }
+}
+
+impl<'a> IntoIterator for Rows<'a> {
+    type Item = &'a Row;
+    type IntoIter = RowsIter<'a>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+impl<'a> IntoIterator for &Rows<'a> {
+    type Item = &'a Row;
+    type IntoIter = RowsIter<'a>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+impl PartialEq for Rows<'_> {
+    fn eq(&self, other: &Self) -> bool {
+        self.len == other.len && self.iter().eq(other.iter())
+    }
+}
+
+impl Eq for Rows<'_> {}
+
+impl PartialEq<[Row]> for Rows<'_> {
+    fn eq(&self, other: &[Row]) -> bool {
+        self.len == other.len() && self.iter().eq(other.iter())
+    }
+}
+
+impl PartialEq<Vec<Row>> for Rows<'_> {
+    fn eq(&self, other: &Vec<Row>) -> bool {
+        self == other.as_slice()
+    }
+}
+
+impl std::fmt::Debug for Rows<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_list().entries(self.iter()).finish()
+    }
+}
+
+/// Iterator over a [`Rows`] view: insertion order, exact-sized, with a
+/// segment-hopping `nth` so `skip(n)` never touches the skipped rows.
+pub struct RowsIter<'a> {
+    /// The chunk currently being drained.
+    front: std::slice::Iter<'a, Row>,
+    /// Frozen segments not yet started.
+    segments: std::slice::Iter<'a, Arc<[Row]>>,
+    /// The mutable tail, consumed after the last frozen segment.
+    tail: Option<&'a [Row]>,
+    remaining: usize,
+}
+
+impl<'a> RowsIter<'a> {
+    /// Moves `front` to the next chunk; false when exhausted.
+    fn advance_chunk(&mut self) -> bool {
+        if let Some(segment) = self.segments.next() {
+            self.front = segment.iter();
+            true
+        } else if let Some(tail) = self.tail.take() {
+            self.front = tail.iter();
+            true
+        } else {
+            false
+        }
+    }
+}
+
+impl<'a> Iterator for RowsIter<'a> {
+    type Item = &'a Row;
+
+    fn next(&mut self) -> Option<&'a Row> {
+        loop {
+            if let Some(row) = self.front.next() {
+                self.remaining -= 1;
+                return Some(row);
+            }
+            if !self.advance_chunk() {
+                return None;
+            }
+        }
+    }
+
+    fn nth(&mut self, mut n: usize) -> Option<&'a Row> {
+        loop {
+            let chunk = self.front.len();
+            if n < chunk {
+                self.remaining -= n + 1;
+                return self.front.nth(n);
+            }
+            n -= chunk;
+            self.remaining -= chunk;
+            self.front = [].iter();
+            if !self.advance_chunk() {
+                return None;
+            }
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+impl ExactSizeIterator for RowsIter<'_> {}
 
 #[cfg(test)]
 mod tests {
@@ -124,6 +385,21 @@ mod tests {
             Value::Float(100_000.0),
             Value::Date(Date::new(1981, 4, 23)),
         ]
+    }
+
+    /// A two-column table whose rows are cheap to generate in bulk —
+    /// segment tests need more than [`Table::SEGMENT_ROWS`] of them.
+    fn wide() -> Table {
+        Table::new(
+            TableSchema::builder("t")
+                .column("id", DataType::Int)
+                .column("label", DataType::Text)
+                .build(),
+        )
+    }
+
+    fn wide_row(i: usize) -> Row {
+        vec![Value::Int(i as i64), Value::from(format!("label{i}"))]
     }
 
     #[test]
@@ -192,5 +468,98 @@ mod tests {
             .collect();
         assert_eq!(names, vec!["a", "b"]);
         assert!(t.column_values("missing").is_none());
+    }
+
+    #[test]
+    fn tail_seals_into_segments_at_the_boundary() {
+        let mut t = wide();
+        let n = Table::SEGMENT_ROWS * 2 + 7;
+        t.insert_all((0..n).map(wide_row)).unwrap();
+        assert_eq!(t.row_count(), n);
+        assert_eq!(t.segment_count(), 2);
+        assert_eq!(t.tail_rows(), 7);
+        // Order is stable across the seams, by iterator and by index.
+        for (i, r) in t.rows().iter().enumerate() {
+            assert_eq!(r[0], Value::Int(i as i64), "iterator order at {i}");
+        }
+        for i in [0, 1023, 1024, 2047, 2048, n - 1] {
+            assert_eq!(t.rows()[i][0], Value::Int(i as i64), "index order at {i}");
+        }
+        assert!(t.rows().get(n).is_none());
+        assert_eq!(t.rows().iter().len(), n);
+    }
+
+    #[test]
+    fn clone_shares_frozen_segments_and_copies_only_the_tail() {
+        let mut t = wide();
+        t.insert_all((0..Table::SEGMENT_ROWS + 3).map(wide_row))
+            .unwrap();
+        let copy = t.clone();
+        assert!(copy.shares_segments_with(&t));
+        assert_eq!(copy.rows(), t.rows());
+        // Mutating the copy's tail leaves the original untouched…
+        let mut copy = copy;
+        copy.insert(wide_row(9_999)).unwrap();
+        assert_eq!(t.row_count(), Table::SEGMENT_ROWS + 3);
+        assert_eq!(copy.row_count(), Table::SEGMENT_ROWS + 4);
+        // …and the frozen segment is still the same allocation.
+        assert!(copy.shares_segments_with(&t));
+    }
+
+    #[test]
+    fn truncate_drops_segments_without_touching_clones() {
+        let mut t = wide();
+        t.insert_all((0..Table::SEGMENT_ROWS + 1).map(wide_row))
+            .unwrap();
+        let kept = t.clone();
+        t.truncate();
+        assert_eq!(t.row_count(), 0);
+        assert_eq!(t.segment_count(), 0);
+        assert!(t.rows().is_empty());
+        // The clone keeps serving the pre-truncate rows.
+        assert_eq!(kept.row_count(), Table::SEGMENT_ROWS + 1);
+        assert_eq!(kept.rows()[0], wide_row(0));
+        // Replacement after truncate starts a fresh tail.
+        t.insert(wide_row(42)).unwrap();
+        assert_eq!(t.rows().to_vec(), vec![wide_row(42)]);
+    }
+
+    #[test]
+    fn iter_from_skips_whole_segments() {
+        let mut t = wide();
+        let n = Table::SEGMENT_ROWS * 3 + 5;
+        t.insert_all((0..n).map(wide_row)).unwrap();
+        for start in [0, 1, 1023, 1024, 2048, n - 1, n] {
+            let got: Vec<i64> = t
+                .rows()
+                .iter_from(start)
+                .map(|r| match r[0] {
+                    Value::Int(i) => i,
+                    _ => unreachable!(),
+                })
+                .collect();
+            let expected: Vec<i64> = (start..n).map(|i| i as i64).collect();
+            assert_eq!(got, expected, "iter_from({start})");
+        }
+        // `skip` positions through `nth`, which hops segments the same way.
+        let via_skip: Vec<&Row> = t.rows().iter().skip(2_500).collect();
+        assert_eq!(via_skip.len(), n - 2_500);
+        assert_eq!(via_skip[0][0], Value::Int(2_500));
+    }
+
+    #[test]
+    fn rows_view_compares_like_a_slice() {
+        let mut a = wide();
+        let mut b = wide();
+        a.insert_all((0..3).map(wide_row)).unwrap();
+        b.insert_all((0..3).map(wide_row)).unwrap();
+        assert_eq!(a.rows(), b.rows());
+        assert_eq!(a.rows(), (0..3).map(wide_row).collect::<Vec<_>>());
+        b.insert(wide_row(3)).unwrap();
+        assert_ne!(a.rows(), b.rows());
+        assert_eq!(
+            format!("{:?}", a.rows()),
+            format!("{:?}", a.rows().to_vec())
+        );
     }
 }

@@ -536,6 +536,11 @@ struct Shared {
     ingests: AtomicU64,
     ingest_events: AtomicU64,
     ingest_rows: AtomicU64,
+    /// Copy-on-write sharing counters: rows appended to mutable tails,
+    /// tables the derive copied, tables it structurally shared.
+    ingest_rows_appended: AtomicU64,
+    ingest_tables_copied: AtomicU64,
+    ingest_tables_shared: AtomicU64,
     compactions: AtomicU64,
     compacted_shards: AtomicU64,
     /// Shutdown flag + wakeup signal of the background compaction worker
@@ -657,6 +662,9 @@ impl QueryService {
             ingests: AtomicU64::new(0),
             ingest_events: AtomicU64::new(0),
             ingest_rows: AtomicU64::new(0),
+            ingest_rows_appended: AtomicU64::new(0),
+            ingest_tables_copied: AtomicU64::new(0),
+            ingest_tables_shared: AtomicU64::new(0),
             compactions: AtomicU64::new(0),
             compacted_shards: AtomicU64::new(0),
             compactor_shutdown: Mutex::new(false),
@@ -781,14 +789,16 @@ impl QueryService {
                 .restore_generations(cp.generation, &cp.shard_generations)
                 .map_err(ServiceError::Engine)?;
         }
-        for feed in &feeds {
+        for feed in feeds {
             // A replay rejection is deterministic — the feed was rejected
             // when first ingested too (it reached the journal write-ahead) —
-            // so it is counted, not fatal.
-            match handle.absorb(feed) {
+            // so it is counted, not fatal.  Feeds are consumed: replay moves
+            // rows through the same copy-on-write path as live ingestion.
+            let tables = feed.tables();
+            match handle.absorb_owned(feed) {
                 Ok(_) => {
                     report.replayed_feeds += 1;
-                    dirty_tables.extend(feed.tables());
+                    dirty_tables.extend(tables);
                 }
                 Err(_) => report.rejected_feeds += 1,
             }
@@ -1014,6 +1024,9 @@ impl QueryService {
                 ingests: self.shared.ingests.load(Ordering::Relaxed),
                 events: self.shared.ingest_events.load(Ordering::Relaxed),
                 rows: self.shared.ingest_rows.load(Ordering::Relaxed),
+                rows_appended: self.shared.ingest_rows_appended.load(Ordering::Relaxed),
+                tables_copied: self.shared.ingest_tables_copied.load(Ordering::Relaxed),
+                tables_shared: self.shared.ingest_tables_shared.load(Ordering::Relaxed),
                 compactions: self.shared.compactions.load(Ordering::Relaxed),
                 compacted_shards: self.shared.compacted_shards.load(Ordering::Relaxed),
             },
@@ -1162,6 +1175,36 @@ impl QueryService {
             MetricKind::Counter,
         );
         w.int_value("soda_ingest_rows_total", &[], m.ingest.rows);
+        w.header(
+            "soda_ingest_rows_appended_total",
+            "Rows appended to copy-on-write table tails by ingestion.",
+            MetricKind::Counter,
+        );
+        w.int_value(
+            "soda_ingest_rows_appended_total",
+            &[],
+            m.ingest.rows_appended,
+        );
+        w.header(
+            "soda_ingest_tables_copied_total",
+            "Tables the copy-on-write snapshot derives actually copied.",
+            MetricKind::Counter,
+        );
+        w.int_value(
+            "soda_ingest_tables_copied_total",
+            &[],
+            m.ingest.tables_copied,
+        );
+        w.header(
+            "soda_ingest_tables_shared_total",
+            "Tables structurally shared (untouched) across those derives.",
+            MetricKind::Counter,
+        );
+        w.int_value(
+            "soda_ingest_tables_shared_total",
+            &[],
+            m.ingest.tables_shared,
+        );
         w.header(
             "soda_compactions_total",
             "Side-log compactions performed.",
@@ -1434,10 +1477,19 @@ impl QueryService {
     /// new generation; a rejected feed (unknown table, arity violation)
     /// publishes nothing.
     pub fn ingest(&self, feed: &ChangeFeed) -> Result<u64, ServiceError> {
+        self.ingest_owned(feed.clone())
+    }
+
+    /// [`ingest`](Self::ingest) for an **owned** feed — the zero-copy path:
+    /// the journal records the feed by reference, then its rows move by
+    /// value through the copy-on-write snapshot derive
+    /// ([`SnapshotHandle::absorb_owned`]), so nothing is cloned per row.
+    pub fn ingest_owned(&self, feed: ChangeFeed) -> Result<u64, ServiceError> {
         let _swap = self.shared.swaps.lock().expect("swap lock poisoned");
         let before = self.shared.handle.load();
         let prev = before.cache_fingerprint();
         let dirty = before.shards_for_tables(&feed.tables());
+        let described = feed.describe();
         // Write-ahead: the feed reaches the (fsynced) journal before the
         // engine absorbs it, so every acknowledged ingest is replayable
         // after a crash.  If the append fails the feed is not absorbed at
@@ -1448,7 +1500,7 @@ impl QueryService {
                 let mut d = durability.lock().expect("durability state poisoned");
                 let appended = d
                     .journal
-                    .append_feed(feed)
+                    .append_feed(&feed)
                     .map_err(|e| ServiceError::Durability(e.to_string()))?;
                 d.journal_appends += 1;
                 d.dirty_tables.extend(feed.tables());
@@ -1457,22 +1509,30 @@ impl QueryService {
             self.shared
                 .event("journal_append", format!("{appended} bytes"));
         }
-        let generation = self
+        let outcome = self
             .shared
             .handle
-            .absorb(feed)
+            .absorb_owned(feed)
             .map_err(ServiceError::Engine)?;
-        self.shared.event(
-            "ingest",
-            format!("generation {generation}, {}", feed.describe()),
-        );
+        let generation = outcome.generation;
+        self.shared
+            .event("ingest", format!("generation {generation}, {described}"));
         self.shared.ingests.fetch_add(1, Ordering::Relaxed);
         self.shared
             .ingest_events
-            .fetch_add(feed.len() as u64, Ordering::Relaxed);
+            .fetch_add(outcome.report.events as u64, Ordering::Relaxed);
         self.shared
             .ingest_rows
-            .fetch_add(feed.row_count() as u64, Ordering::Relaxed);
+            .fetch_add(outcome.report.rows as u64, Ordering::Relaxed);
+        self.shared
+            .ingest_rows_appended
+            .fetch_add(outcome.report.rows_appended as u64, Ordering::Relaxed);
+        self.shared
+            .ingest_tables_copied
+            .fetch_add(outcome.report.tables_copied as u64, Ordering::Relaxed);
+        self.shared
+            .ingest_tables_shared
+            .fetch_add(outcome.report.tables_shared as u64, Ordering::Relaxed);
         self.retain_unaffected(prev, &dirty);
         drop(_swap);
         self.shared.compactor_wake.notify_all();

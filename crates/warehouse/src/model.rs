@@ -6,6 +6,8 @@
 //! ontology and a synonym store) into the node/edge vocabulary that SODA's
 //! patterns expect.
 
+use std::sync::Arc;
+
 use soda_metagraph::MetaGraph;
 use soda_relation::{Database, TableSchema};
 
@@ -217,6 +219,14 @@ impl Warehouse {
     /// Schema-complexity statistics (Table 1).
     pub fn stats(&self) -> SchemaStats {
         self.model.stats()
+    }
+
+    /// Consumes the warehouse into the shared handles a snapshot build
+    /// wants: `Arc<Database>` + `Arc<MetaGraph>` without cloning either —
+    /// the publish path used to deep-copy the whole base data just to wrap
+    /// it in a fresh `Arc`.
+    pub fn shared_parts(self) -> (Arc<Database>, Arc<MetaGraph>) {
+        (Arc::new(self.database), Arc::new(self.graph))
     }
 }
 

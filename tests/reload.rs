@@ -495,6 +495,18 @@ proptest! {
                     query, i, op
                 );
             }
+            // The copy-on-write database behind the served snapshot holds
+            // exactly the deep-clone reference's rows, table by table —
+            // structural sharing never changes content.
+            let live = service.engine();
+            for name in reference.table_names() {
+                prop_assert_eq!(
+                    live.database().table(name).unwrap().rows().to_vec(),
+                    reference.table(name).unwrap().rows().to_vec(),
+                    "table '{}' diverged from the reference after op {} ({})",
+                    name, i, op
+                );
+            }
         }
         // The tracked queries exercised the retention path: repeats of the
         // stable query across data-only swaps are served without
