@@ -13,7 +13,7 @@ use std::hint::black_box;
 use std::sync::Arc;
 
 use soda_core::{EngineSnapshot, SodaConfig};
-use soda_service::{QueryRequest, QueryService, ServiceConfig};
+use soda_service::{JobHandle, QueryRequest, QueryService, ServiceConfig, TenantId};
 use soda_warehouse::minibank;
 
 /// A mixed mini-bank workload: keyword lookups, comparisons, aggregation.
@@ -25,6 +25,20 @@ const QUERIES: &[&str] = &[
     "sum (amount) group by (transaction date)",
     "count (transactions) group by (company name)",
 ];
+
+fn clear_cache(svc: &QueryService) {
+    svc.admin(TenantId::default())
+        .expect("default tenant")
+        .clear_cache();
+}
+
+fn run_batch(svc: &QueryService, requests: Vec<QueryRequest>) -> usize {
+    let handles: Vec<JobHandle> = requests.into_iter().map(|r| svc.query(r)).collect();
+    handles
+        .into_iter()
+        .map(|h| h.wait().expect("query serves").page.results.len())
+        .sum()
+}
 
 fn service(workers: usize) -> QueryService {
     let warehouse = minibank::build(42);
@@ -53,11 +67,12 @@ fn bench_cold_vs_warm(c: &mut Criterion) {
 
     group.bench_function("cold/single_query", |b| {
         b.iter(|| {
-            svc.clear_cache();
+            clear_cache(&svc);
             black_box(
-                svc.submit(QueryRequest::new(query))
+                svc.query(QueryRequest::new(query))
                     .wait()
                     .expect("query serves")
+                    .page
                     .results
                     .len(),
             )
@@ -67,13 +82,14 @@ fn bench_cold_vs_warm(c: &mut Criterion) {
     // Populate the cache once, then measure pure hits.  CI holds this path
     // to a 5% regression budget (`--limit service_cache/warm/single_query`):
     // observability must stay invisible when no trace sink is attached.
-    svc.submit(QueryRequest::new(query)).wait().expect("warms");
+    svc.query(QueryRequest::new(query)).wait().expect("warms");
     group.bench_function("warm/single_query", |b| {
         b.iter(|| {
             black_box(
-                svc.submit(QueryRequest::new(query))
+                svc.query(QueryRequest::new(query))
                     .wait()
                     .expect("query serves")
+                    .page
                     .results
                     .len(),
             )
@@ -86,7 +102,8 @@ fn bench_cold_vs_warm(c: &mut Criterion) {
     group.bench_function("traced/single_query", |b| {
         b.iter(|| {
             black_box(
-                svc.submit_traced(QueryRequest::new(query))
+                svc.query(QueryRequest::new(query).traced())
+                    .wait()
                     .expect("query serves")
                     .page
                     .results
@@ -106,18 +123,18 @@ fn bench_batch_throughput(c: &mut Criterion) {
         let svc = service(workers);
         group.bench_with_input(BenchmarkId::new("cold_batch", workers), &workers, |b, _| {
             b.iter(|| {
-                svc.clear_cache();
+                clear_cache(&svc);
                 let requests: Vec<QueryRequest> =
                     QUERIES.iter().map(|q| QueryRequest::new(*q)).collect();
-                black_box(svc.submit_batch(requests).len())
+                black_box(run_batch(&svc, requests))
             })
         });
         group.bench_with_input(BenchmarkId::new("warm_batch", workers), &workers, |b, _| {
             // One priming pass, then every iteration is all-hits.
             let requests: Vec<QueryRequest> =
                 QUERIES.iter().map(|q| QueryRequest::new(*q)).collect();
-            svc.submit_batch(requests.clone());
-            b.iter(|| black_box(svc.submit_batch(requests.clone()).len()))
+            run_batch(&svc, requests.clone());
+            b.iter(|| black_box(run_batch(&svc, requests.clone())))
         });
     }
 

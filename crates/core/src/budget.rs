@@ -1,0 +1,147 @@
+//! Process-global probe-thread budget.
+//!
+//! The lookup step fans each heavy base-data probe out across inverted-index
+//! shards on scoped helper threads (`pipeline::lookup`).  When many service
+//! workers — or many tenants — probe concurrently, each fan-out sized for a
+//! quiet machine would oversubscribe the cores.  [`ProbeBudget`] is a shared
+//! counting semaphore over the host's spare cores: a probe *tries* to
+//! acquire helper permits before spawning and spawns only as many helpers as
+//! it was granted, degrading gracefully to an inline scan (which is always
+//! correct — fan-out is a pure latency optimization) when the budget is
+//! exhausted.
+//!
+//! Acquisition never blocks: probing inline is always an acceptable
+//! fallback, so a depleted budget costs latency, never correctness or
+//! deadlock.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// A non-blocking counting semaphore bounding concurrent probe helper
+/// threads across every snapshot, service and tenant in the process.
+#[derive(Debug)]
+pub struct ProbeBudget {
+    permits: AtomicUsize,
+    capacity: usize,
+}
+
+impl ProbeBudget {
+    /// Creates a budget with `capacity` permits (at least 0; a zero-capacity
+    /// budget grants nothing and forces every probe inline).
+    pub fn new(capacity: usize) -> Self {
+        ProbeBudget {
+            permits: AtomicUsize::new(capacity),
+            capacity,
+        }
+    }
+
+    /// The process-wide budget: one permit per core beyond the first, so
+    /// the sum of all concurrent helper threads never exceeds the host's
+    /// spare parallelism.
+    pub fn global() -> &'static ProbeBudget {
+        static GLOBAL: OnceLock<ProbeBudget> = OnceLock::new();
+        GLOBAL.get_or_init(|| {
+            let cores = std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1);
+            ProbeBudget::new(cores.saturating_sub(1))
+        })
+    }
+
+    /// Tries to take up to `wanted` permits; returns how many were granted
+    /// (possibly zero).  Never blocks.  Every granted permit must be
+    /// returned with [`ProbeBudget::release`].
+    pub fn try_acquire(&self, wanted: usize) -> usize {
+        if wanted == 0 {
+            return 0;
+        }
+        let mut available = self.permits.load(Ordering::Relaxed);
+        loop {
+            let take = wanted.min(available);
+            if take == 0 {
+                return 0;
+            }
+            match self.permits.compare_exchange_weak(
+                available,
+                available - take,
+                Ordering::Acquire,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return take,
+                Err(current) => available = current,
+            }
+        }
+    }
+
+    /// Returns `granted` permits to the budget.
+    pub fn release(&self, granted: usize) {
+        if granted > 0 {
+            self.permits.fetch_add(granted, Ordering::Release);
+        }
+    }
+
+    /// The total number of permits when fully idle.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Permits currently available (racy snapshot, for metrics only).
+    pub fn available(&self) -> usize {
+        self.permits.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grants_up_to_capacity_and_restores_on_release() {
+        let budget = ProbeBudget::new(3);
+        assert_eq!(budget.try_acquire(2), 2);
+        assert_eq!(budget.try_acquire(5), 1, "only the remainder is granted");
+        assert_eq!(budget.try_acquire(1), 0, "budget exhausted");
+        budget.release(3);
+        assert_eq!(budget.available(), 3);
+        assert_eq!(budget.try_acquire(3), 3);
+        budget.release(3);
+    }
+
+    #[test]
+    fn zero_capacity_budget_grants_nothing() {
+        let budget = ProbeBudget::new(0);
+        assert_eq!(budget.try_acquire(4), 0);
+        budget.release(0); // no-op, must not underflow anything
+        assert_eq!(budget.available(), 0);
+    }
+
+    #[test]
+    fn concurrent_acquisition_never_oversubscribes() {
+        let budget = ProbeBudget::new(4);
+        let peak = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    for _ in 0..200 {
+                        let got = budget.try_acquire(2);
+                        if got > 0 {
+                            let in_use = budget.capacity() - budget.available();
+                            peak.fetch_max(in_use, Ordering::Relaxed);
+                            budget.release(got);
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(budget.available(), 4, "all permits returned");
+        assert!(peak.load(Ordering::Relaxed) <= 4, "never oversubscribed");
+    }
+
+    #[test]
+    fn global_budget_matches_host_parallelism() {
+        let cores = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        assert_eq!(ProbeBudget::global().capacity(), cores.saturating_sub(1));
+    }
+}

@@ -31,6 +31,7 @@
 //! assert!(results[0].sql.starts_with("SELECT"));
 //! ```
 
+pub mod budget;
 pub mod classification;
 pub mod codec;
 pub mod config;
@@ -48,7 +49,9 @@ pub mod result;
 pub mod shard;
 pub mod snapshot;
 pub mod suggest;
+pub mod tenant;
 
+pub use budget::ProbeBudget;
 pub use classification::ClassificationIndex;
 pub use config::{RankingWeights, SodaConfig};
 pub use engine::SodaEngine;
@@ -64,6 +67,7 @@ pub use result::{Interpretation, QueryTrace, ResultPage, SodaResult, StepTimings
 pub use shard::{ProbeDep, ProbeRecorder, ShardProbes, ShardStats};
 pub use snapshot::{EngineSnapshot, RetentionGate};
 pub use suggest::TermSuggestion;
+pub use tenant::TenantId;
 
 // Re-exported so hot-swap callers (the serving layer hands new databases,
 // metadata graphs and change feeds to `SnapshotHandle`) need no direct

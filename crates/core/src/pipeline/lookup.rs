@@ -296,6 +296,30 @@ fn probe_parallelism() -> usize {
     })
 }
 
+/// Permits taken from the process-global [`crate::budget::ProbeBudget`] for
+/// one fan-out, returned on drop so a panicking probe can't leak them.
+struct ProbePermits {
+    granted: usize,
+}
+
+impl ProbePermits {
+    fn acquire(wanted: usize) -> Self {
+        ProbePermits {
+            granted: crate::budget::ProbeBudget::global().try_acquire(wanted),
+        }
+    }
+
+    fn none() -> Self {
+        ProbePermits { granted: 0 }
+    }
+}
+
+impl Drop for ProbePermits {
+    fn drop(&mut self) {
+        crate::budget::ProbeBudget::global().release(self.granted);
+    }
+}
+
 /// Probes the base data for a phrase: one probe per inverted-index shard
 /// holding candidates, fanned out on scoped threads for heavy probes and
 /// merged canonically.
@@ -374,36 +398,47 @@ fn base_data_hits(ctx: &PipelineContext<'_>, phrase: &str, trace_span: SpanId) -
     // Helper threads are only worth their spawn cost for shards with a
     // substantial scan, and only up to the host's spare cores; the caller
     // keeps the largest shard (which bounds the critical path regardless)
-    // plus every below-threshold or over-core straggler.
-    let helpers: Vec<usize> = busy
+    // plus every below-threshold or over-core straggler.  Each helper also
+    // needs a permit from the process-global probe budget, so concurrent
+    // probes — from many service workers or many tenants — never
+    // oversubscribe the cores between them; a depleted budget degrades the
+    // probe to an inline scan with an identical merged result.
+    let mut helpers: Vec<usize> = busy
         .iter()
         .skip(1)
         .filter(|&&(_, n)| n >= PARALLEL_PROBE_MIN_SHARD_POSTINGS)
         .map(|&(i, _)| i)
         .take(probe_parallelism().saturating_sub(1))
         .collect();
-    let per_shard: Vec<Vec<PhraseHit>> =
-        if !helpers.is_empty() && total_candidates >= PARALLEL_PROBE_MIN_POSTINGS {
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = helpers
-                    .iter()
-                    .map(|&i| scope.spawn(move || probe_one(i)))
-                    .collect();
-                let mut results: Vec<Vec<PhraseHit>> = busy
-                    .iter()
-                    .filter(|&&(i, _)| !helpers.contains(&i))
-                    .map(|&(i, _)| probe_one(i))
-                    .collect();
-                results.extend(
-                    handles
-                        .into_iter()
-                        .map(|h| h.join().expect("shard probe thread panicked")),
-                );
-                results
-            })
-        } else {
-            busy.iter().map(|&(i, _)| probe_one(i)).collect()
-        };
+    let heavy = total_candidates >= PARALLEL_PROBE_MIN_POSTINGS;
+    let permits = if heavy && !helpers.is_empty() {
+        ProbePermits::acquire(helpers.len())
+    } else {
+        ProbePermits::none()
+    };
+    helpers.truncate(permits.granted);
+    let per_shard: Vec<Vec<PhraseHit>> = if !helpers.is_empty() {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = helpers
+                .iter()
+                .map(|&i| scope.spawn(move || probe_one(i)))
+                .collect();
+            let mut results: Vec<Vec<PhraseHit>> = busy
+                .iter()
+                .filter(|&&(i, _)| !helpers.contains(&i))
+                .map(|&(i, _)| probe_one(i))
+                .collect();
+            results.extend(
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("shard probe thread panicked")),
+            );
+            results
+        })
+    } else {
+        busy.iter().map(|&(i, _)| probe_one(i)).collect()
+    };
+    drop(permits);
     let merged = merge_hits(per_shard);
     if enabled {
         ctx.sink.annotate(probe_span, "hits", merged.len().into());

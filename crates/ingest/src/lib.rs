@@ -61,10 +61,12 @@
 pub mod compact;
 pub mod event;
 pub mod ingestor;
+pub mod route;
 
 pub use compact::CompactionPolicy;
 pub use event::{ChangeFeed, RowEvent};
 pub use ingestor::{IngestReport, Ingestor};
+pub use route::FeedRouter;
 
 // Re-exported so the subsystem's full surface (feed → routing → overlay) is
 // importable from one crate; the type lives in `soda-relation` because the

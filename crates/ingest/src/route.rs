@@ -1,0 +1,120 @@
+//! Tenant-routed feed accumulation.
+//!
+//! A multi-tenant host receives one interleaved stream of row events —
+//! upstream connectors rarely deliver per-warehouse files — and each event
+//! belongs to exactly one hosted tenant.  [`FeedRouter`] demultiplexes that
+//! stream into one [`ChangeFeed`] per tenant, preserving per-tenant event
+//! order, so the serving layer can absorb (and write-ahead-journal) each
+//! tenant's batch under that tenant's own snapshot and budget.
+
+use crate::event::{ChangeFeed, RowEvent};
+
+/// Accumulates an interleaved event stream into per-tenant change feeds.
+///
+/// Tenants are keyed by name; per-tenant event order is the arrival order.
+/// The router is a plain accumulator — no locking, no I/O — so callers
+/// decide the batching boundary (`take` one tenant, or `drain` everything).
+#[derive(Debug, Default)]
+pub struct FeedRouter {
+    feeds: Vec<(String, ChangeFeed)>,
+}
+
+impl FeedRouter {
+    /// Creates an empty router.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one event to `tenant`'s pending feed.
+    pub fn push(&mut self, tenant: impl AsRef<str>, event: RowEvent) {
+        let tenant = tenant.as_ref();
+        match self.feeds.iter_mut().find(|(name, _)| name == tenant) {
+            Some((_, feed)) => feed.push(event),
+            None => {
+                let mut feed = ChangeFeed::new();
+                feed.push(event);
+                self.feeds.push((tenant.to_string(), feed));
+            }
+        }
+    }
+
+    /// Removes and returns `tenant`'s accumulated feed, if any events were
+    /// routed to it.
+    pub fn take(&mut self, tenant: impl AsRef<str>) -> Option<ChangeFeed> {
+        let tenant = tenant.as_ref();
+        let idx = self.feeds.iter().position(|(name, _)| name == tenant)?;
+        Some(self.feeds.remove(idx).1)
+    }
+
+    /// Removes and returns every tenant's accumulated feed, in first-seen
+    /// tenant order.
+    pub fn drain(&mut self) -> Vec<(String, ChangeFeed)> {
+        std::mem::take(&mut self.feeds)
+    }
+
+    /// Tenants currently holding pending events, in first-seen order.
+    pub fn tenants(&self) -> Vec<&str> {
+        self.feeds.iter().map(|(name, _)| name.as_str()).collect()
+    }
+
+    /// Total pending events across all tenants.
+    pub fn len(&self) -> usize {
+        self.feeds.iter().map(|(_, feed)| feed.len()).sum()
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.feeds.iter().all(|(_, feed)| feed.is_empty())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soda_relation::Value;
+
+    fn row(n: i64) -> RowEvent {
+        RowEvent::Append {
+            table: "trades".into(),
+            row: vec![Value::Int(n)],
+        }
+    }
+
+    #[test]
+    fn routes_interleaved_events_to_per_tenant_feeds_in_order() {
+        let mut router = FeedRouter::new();
+        router.push("acme", row(1));
+        router.push("globex", row(10));
+        router.push("acme", row(2));
+        assert_eq!(router.tenants(), vec!["acme", "globex"]);
+        assert_eq!(router.len(), 3);
+
+        let acme = router.take("acme").expect("acme has events");
+        assert_eq!(acme.events(), &[row(1), row(2)]);
+        assert!(router.take("acme").is_none(), "take removes the feed");
+        assert_eq!(router.len(), 1);
+    }
+
+    #[test]
+    fn drain_empties_the_router_in_first_seen_order() {
+        let mut router = FeedRouter::new();
+        router.push("globex", row(1));
+        router.push("acme", row(2));
+        router.push("globex", row(3));
+        let drained = router.drain();
+        assert!(router.is_empty());
+        assert_eq!(drained.len(), 2);
+        assert_eq!(drained[0].0, "globex");
+        assert_eq!(drained[0].1.events(), &[row(1), row(3)]);
+        assert_eq!(drained[1].0, "acme");
+        assert_eq!(drained[1].1.events(), &[row(2)]);
+    }
+
+    #[test]
+    fn unknown_tenant_take_is_none_and_empty_router_reports_empty() {
+        let mut router = FeedRouter::new();
+        assert!(router.is_empty());
+        assert!(router.take("nobody").is_none());
+        assert!(router.drain().is_empty());
+    }
+}

@@ -4,17 +4,19 @@
 //! Layout:
 //!
 //! ```text
-//! ┌──────────────────┬───────────────────────┬───────────┬───────────┬─────┐
-//! │ magic (8 bytes)  │ fingerprint (u64 LE)  │ frame ... │ frame ... │ ... │
-//! └──────────────────┴───────────────────────┴───────────┴───────────┴─────┘
+//! ┌─────────────────┬──────────────────────┬───────────────────┬───────────┬─────┐
+//! │ magic (8 bytes) │ fingerprint (u64 LE) │ tenant (u64 LE)   │ frame ... │ ... │
+//! └─────────────────┴──────────────────────┴───────────────────┴───────────┴─────┘
 //! frame := payload_len (u32 LE) · crc32(payload) (u32 LE) · payload
 //! ```
 //!
 //! The magic identifies the file kind (journal vs. cache) and format
-//! version; the fingerprint binds the file to one engine configuration.
-//! Every frame is individually checksummed, so a reader can detect both a
-//! torn tail (the process died mid-append) and bit rot, and recover the
-//! longest valid prefix.
+//! version; the fingerprint binds the file to one engine configuration; the
+//! tenant fingerprint binds it to one hosted tenant (`0` for the default
+//! tenant and for service-wide files such as the page cache).  Every frame
+//! is individually checksummed, so a reader can detect both a torn tail
+//! (the process died mid-append) and bit rot, and recover the longest valid
+//! prefix.
 
 use std::fs::{self, File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
@@ -23,8 +25,8 @@ use std::path::{Path, PathBuf};
 use crate::crc32::crc32;
 use crate::FsyncPolicy;
 
-/// Bytes before the first frame: magic + fingerprint.
-pub const FILE_HEADER_LEN: u64 = 16;
+/// Bytes before the first frame: magic + fingerprint + tenant fingerprint.
+pub const FILE_HEADER_LEN: u64 = 24;
 
 /// Bytes before each frame's payload: length + checksum.
 pub const FRAME_HEADER_LEN: u64 = 8;
@@ -39,6 +41,9 @@ const MAX_FRAME_LEN: u32 = 1 << 30;
 pub struct FrameScan {
     /// The fingerprint stored in the file header.
     pub fingerprint: u64,
+    /// The tenant fingerprint stored in the file header (`0` for the
+    /// default tenant and for service-wide files).
+    pub tenant: u64,
     /// Every frame payload that passed its checksum, in file order.
     pub frames: Vec<Vec<u8>>,
     /// Bytes of torn/corrupt tail discarded past the last valid frame.
@@ -55,6 +60,7 @@ pub struct FrameFile {
     path: PathBuf,
     magic: [u8; 8],
     fingerprint: u64,
+    tenant: u64,
     fsync: FsyncPolicy,
     len: u64,
 }
@@ -65,13 +71,14 @@ impl FrameFile {
     /// frames are scanned, any torn or corrupt tail is truncated **in
     /// place**, and the returned [`FrameScan`] carries the valid payloads.
     ///
-    /// The header fingerprint of an existing file is returned, not
-    /// validated — the caller decides whether a mismatch is fatal (journal)
-    /// or means "ignore the file" (cache).
+    /// The header fingerprint (and tenant fingerprint) of an existing file
+    /// is returned, not validated — the caller decides whether a mismatch
+    /// is fatal (journal) or means "ignore the file" (cache).
     pub fn open_or_create(
         path: &Path,
         magic: [u8; 8],
         fingerprint: u64,
+        tenant: u64,
         fsync: FsyncPolicy,
     ) -> std::io::Result<(Self, FrameScan)> {
         let mut file = OpenOptions::new()
@@ -85,6 +92,7 @@ impl FrameFile {
             let mut header = Vec::with_capacity(FILE_HEADER_LEN as usize);
             header.extend_from_slice(&magic);
             header.extend_from_slice(&fingerprint.to_le_bytes());
+            header.extend_from_slice(&tenant.to_le_bytes());
             file.write_all(&header)?;
             if fsync.should_sync() {
                 file.sync_all()?;
@@ -94,6 +102,7 @@ impl FrameFile {
                 path: path.to_path_buf(),
                 magic,
                 fingerprint,
+                tenant,
                 fsync,
                 len: FILE_HEADER_LEN,
             };
@@ -101,6 +110,7 @@ impl FrameFile {
                 frame_file,
                 FrameScan {
                     fingerprint,
+                    tenant,
                     frames: Vec::new(),
                     truncated_bytes: 0,
                     created: true,
@@ -124,6 +134,7 @@ impl FrameFile {
             path: path.to_path_buf(),
             magic,
             fingerprint: scan.fingerprint,
+            tenant: scan.tenant,
             fsync,
             len: valid_len,
         };
@@ -151,7 +162,13 @@ impl FrameFile {
     /// crash at any point leaves either the complete old file or the
     /// complete new one.
     pub fn rewrite(&mut self, payloads: &[&[u8]]) -> std::io::Result<()> {
-        write_frame_file(&self.path, self.magic, self.fingerprint, payloads)?;
+        write_frame_file(
+            &self.path,
+            self.magic,
+            self.fingerprint,
+            self.tenant,
+            payloads,
+        )?;
         let mut file = OpenOptions::new().read(true).write(true).open(&self.path)?;
         self.len = file.seek(SeekFrom::End(0))?;
         self.file = file;
@@ -175,6 +192,7 @@ pub fn write_frame_file(
     path: &Path,
     magic: [u8; 8],
     fingerprint: u64,
+    tenant: u64,
     payloads: &[&[u8]],
 ) -> std::io::Result<()> {
     let mut tmp = path.as_os_str().to_owned();
@@ -185,6 +203,7 @@ pub fn write_frame_file(
         let mut buf = Vec::new();
         buf.extend_from_slice(&magic);
         buf.extend_from_slice(&fingerprint.to_le_bytes());
+        buf.extend_from_slice(&tenant.to_le_bytes());
         for payload in payloads {
             buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
             buf.extend_from_slice(&crc32(payload).to_le_bytes());
@@ -226,6 +245,7 @@ fn scan_frames(bytes: &[u8], magic: [u8; 8]) -> std::io::Result<FrameScan> {
         ));
     }
     let fingerprint = u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes"));
+    let tenant = u64::from_le_bytes(bytes[16..24].try_into().expect("8 bytes"));
     let mut frames = Vec::new();
     let mut pos = FILE_HEADER_LEN as usize;
     loop {
@@ -254,6 +274,7 @@ fn scan_frames(bytes: &[u8], magic: [u8; 8]) -> std::io::Result<FrameScan> {
     }
     Ok(FrameScan {
         fingerprint,
+        tenant,
         frames,
         truncated_bytes: (bytes.len() - pos) as u64,
         created: false,
@@ -272,7 +293,7 @@ mod tests {
         let dir = TempDir::new("frame-fresh");
         let path = dir.path().join("frames.bin");
         let (mut file, scan) =
-            FrameFile::open_or_create(&path, MAGIC, 7, FsyncPolicy::Always).unwrap();
+            FrameFile::open_or_create(&path, MAGIC, 7, 0, FsyncPolicy::Always).unwrap();
         assert!(scan.created);
         file.append(b"one").unwrap();
         file.append(b"two").unwrap();
@@ -283,7 +304,7 @@ mod tests {
         drop(file);
 
         let (_file, scan) =
-            FrameFile::open_or_create(&path, MAGIC, 7, FsyncPolicy::Always).unwrap();
+            FrameFile::open_or_create(&path, MAGIC, 7, 0, FsyncPolicy::Always).unwrap();
         assert!(!scan.created);
         assert_eq!(scan.fingerprint, 7);
         assert_eq!(scan.frames, vec![b"one".to_vec(), b"two".to_vec()]);
@@ -295,7 +316,7 @@ mod tests {
         let dir = TempDir::new("frame-torn");
         let path = dir.path().join("frames.bin");
         let (mut file, _) =
-            FrameFile::open_or_create(&path, MAGIC, 1, FsyncPolicy::Always).unwrap();
+            FrameFile::open_or_create(&path, MAGIC, 1, 0, FsyncPolicy::Always).unwrap();
         file.append(b"kept").unwrap();
         file.append(b"doomed-by-the-tear").unwrap();
         drop(file);
@@ -306,14 +327,14 @@ mod tests {
         fs::write(&path, &full[..keep as usize]).unwrap();
 
         let (mut file, scan) =
-            FrameFile::open_or_create(&path, MAGIC, 1, FsyncPolicy::Always).unwrap();
+            FrameFile::open_or_create(&path, MAGIC, 1, 0, FsyncPolicy::Always).unwrap();
         assert_eq!(scan.frames, vec![b"kept".to_vec()]);
         assert_eq!(scan.truncated_bytes, FRAME_HEADER_LEN + 3);
         // The tail is gone from disk, so a new append lands cleanly.
         file.append(b"after").unwrap();
         drop(file);
         let (_file, scan) =
-            FrameFile::open_or_create(&path, MAGIC, 1, FsyncPolicy::Always).unwrap();
+            FrameFile::open_or_create(&path, MAGIC, 1, 0, FsyncPolicy::Always).unwrap();
         assert_eq!(scan.frames, vec![b"kept".to_vec(), b"after".to_vec()]);
         assert_eq!(scan.truncated_bytes, 0);
     }
@@ -323,7 +344,7 @@ mod tests {
         let dir = TempDir::new("frame-crc");
         let path = dir.path().join("frames.bin");
         let (mut file, _) =
-            FrameFile::open_or_create(&path, MAGIC, 1, FsyncPolicy::Always).unwrap();
+            FrameFile::open_or_create(&path, MAGIC, 1, 0, FsyncPolicy::Always).unwrap();
         file.append(b"good").unwrap();
         file.append(b"flipped").unwrap();
         drop(file);
@@ -334,7 +355,7 @@ mod tests {
         fs::write(&path, &bytes).unwrap();
 
         let (_file, scan) =
-            FrameFile::open_or_create(&path, MAGIC, 1, FsyncPolicy::Always).unwrap();
+            FrameFile::open_or_create(&path, MAGIC, 1, 0, FsyncPolicy::Always).unwrap();
         assert_eq!(scan.frames, vec![b"good".to_vec()]);
         assert!(scan.truncated_bytes > 0);
     }
@@ -344,7 +365,7 @@ mod tests {
         let dir = TempDir::new("frame-magic");
         let path = dir.path().join("frames.bin");
         fs::write(&path, b"NOTSODA!AAAAAAAA").unwrap();
-        assert!(FrameFile::open_or_create(&path, MAGIC, 1, FsyncPolicy::Always).is_err());
+        assert!(FrameFile::open_or_create(&path, MAGIC, 1, 0, FsyncPolicy::Always).is_err());
         assert!(read_frame_file(&path, MAGIC).unwrap().is_none());
         assert!(read_frame_file(&dir.path().join("missing"), MAGIC)
             .unwrap()
@@ -355,7 +376,8 @@ mod tests {
     fn rewrite_replaces_contents_atomically() {
         let dir = TempDir::new("frame-rewrite");
         let path = dir.path().join("frames.bin");
-        let (mut file, _) = FrameFile::open_or_create(&path, MAGIC, 9, FsyncPolicy::Never).unwrap();
+        let (mut file, _) =
+            FrameFile::open_or_create(&path, MAGIC, 9, 0, FsyncPolicy::Never).unwrap();
         file.append(b"a").unwrap();
         file.append(b"b").unwrap();
         file.rewrite(&[b"checkpoint"]).unwrap();

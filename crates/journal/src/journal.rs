@@ -170,6 +170,14 @@ pub enum JournalError {
         /// Fingerprint of the engine attempting recovery.
         engine: u64,
     },
+    /// The journal on disk belongs to a different tenant; replaying it
+    /// would leak one tenant's ingests into another's warehouse.
+    TenantMismatch {
+        /// Tenant fingerprint stored in the journal header.
+        journal: u64,
+        /// Tenant fingerprint of the tenant attempting recovery.
+        tenant: u64,
+    },
 }
 
 impl fmt::Display for JournalError {
@@ -182,6 +190,11 @@ impl fmt::Display for JournalError {
                 "journal was written under config fingerprint {journal:#018x}, \
                  but the engine recovering it has {engine:#018x}"
             ),
+            JournalError::TenantMismatch { journal, tenant } => write!(
+                f,
+                "journal belongs to tenant fingerprint {journal:#018x}, \
+                 but tenant {tenant:#018x} attempted to recover it"
+            ),
         }
     }
 }
@@ -192,6 +205,7 @@ impl std::error::Error for JournalError {
             JournalError::Io(e) => Some(e),
             JournalError::Codec(e) => Some(e),
             JournalError::ConfigMismatch { .. } => None,
+            JournalError::TenantMismatch { .. } => None,
         }
     }
 }
@@ -234,19 +248,33 @@ impl FeedJournal {
     /// reported via [`Replay::truncated_bytes`]; everything before it
     /// replays normally.  An existing journal whose header fingerprint
     /// differs from `config_fingerprint` is a hard
-    /// [`JournalError::ConfigMismatch`]: silently ignoring it would discard
-    /// acknowledged ingests.
+    /// [`JournalError::ConfigMismatch`], and one whose header tenant
+    /// fingerprint differs from `tenant_fingerprint` is a hard
+    /// [`JournalError::TenantMismatch`]: silently ignoring either would
+    /// discard acknowledged ingests (or replay another tenant's).
     pub fn recover(
         path: &Path,
         config_fingerprint: u64,
+        tenant_fingerprint: u64,
         fsync: FsyncPolicy,
     ) -> JournalResult<(Self, Replay)> {
-        let (file, scan) =
-            FrameFile::open_or_create(path, JOURNAL_MAGIC, config_fingerprint, fsync)?;
+        let (file, scan) = FrameFile::open_or_create(
+            path,
+            JOURNAL_MAGIC,
+            config_fingerprint,
+            tenant_fingerprint,
+            fsync,
+        )?;
         if !scan.created && scan.fingerprint != config_fingerprint {
             return Err(JournalError::ConfigMismatch {
                 journal: scan.fingerprint,
                 engine: config_fingerprint,
+            });
+        }
+        if !scan.created && scan.tenant != tenant_fingerprint {
+            return Err(JournalError::TenantMismatch {
+                journal: scan.tenant,
+                tenant: tenant_fingerprint,
             });
         }
         let replay = decode_scan(scan)?;
@@ -286,6 +314,31 @@ impl FeedJournal {
 /// The conventional journal file name under a durability directory.
 pub fn journal_path(dir: &Path) -> PathBuf {
     dir.join("feed.journal")
+}
+
+/// The durability sub-directory owned by one named tenant:
+/// `<dir>/tenants/<sanitized name>/`.  The default tenant keeps the
+/// top-level directory (and thus the pre-tenancy `feed.journal` location),
+/// so single-tenant deployments recover files written before tenancy
+/// existed.  Tenant names are sanitized to a conservative filesystem-safe
+/// alphabet; distinct names that sanitize identically are disambiguated by
+/// the tenant fingerprint suffix.
+pub fn tenant_journal_dir(dir: &Path, tenant: &str, tenant_fingerprint: u64) -> PathBuf {
+    if tenant_fingerprint == 0 {
+        return dir.to_path_buf();
+    }
+    let sanitized: String = tenant
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '-' || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    dir.join("tenants")
+        .join(format!("{sanitized}-{tenant_fingerprint:016x}"))
 }
 
 fn decode_scan(scan: FrameScan) -> JournalResult<Replay> {
@@ -332,7 +385,7 @@ mod tests {
     fn fresh_journal_replays_empty() {
         let dir = TempDir::new("jnl-fresh");
         let path = journal_path(dir.path());
-        let (_j, replay) = FeedJournal::recover(&path, 42, FsyncPolicy::Always).unwrap();
+        let (_j, replay) = FeedJournal::recover(&path, 42, 0, FsyncPolicy::Always).unwrap();
         assert!(replay.created);
         assert!(replay.records.is_empty());
         let (checkpoint, feeds) = replay.into_plan();
@@ -345,11 +398,11 @@ mod tests {
         let dir = TempDir::new("jnl-replay");
         let path = journal_path(dir.path());
         {
-            let (mut j, _) = FeedJournal::recover(&path, 42, FsyncPolicy::Always).unwrap();
+            let (mut j, _) = FeedJournal::recover(&path, 42, 0, FsyncPolicy::Always).unwrap();
             j.append_feed(&feed(1)).unwrap();
             j.append_feed(&feed(2)).unwrap();
         }
-        let (_j, replay) = FeedJournal::recover(&path, 42, FsyncPolicy::Always).unwrap();
+        let (_j, replay) = FeedJournal::recover(&path, 42, 0, FsyncPolicy::Always).unwrap();
         assert!(!replay.created);
         assert_eq!(replay.truncated_bytes, 0);
         assert_eq!(
@@ -363,10 +416,10 @@ mod tests {
         let dir = TempDir::new("jnl-config");
         let path = journal_path(dir.path());
         {
-            let (mut j, _) = FeedJournal::recover(&path, 1, FsyncPolicy::Always).unwrap();
+            let (mut j, _) = FeedJournal::recover(&path, 1, 0, FsyncPolicy::Always).unwrap();
             j.append_feed(&feed(1)).unwrap();
         }
-        match FeedJournal::recover(&path, 2, FsyncPolicy::Always) {
+        match FeedJournal::recover(&path, 2, 0, FsyncPolicy::Always) {
             Err(JournalError::ConfigMismatch { journal, engine }) => {
                 assert_eq!((journal, engine), (1, 2));
             }
@@ -375,10 +428,49 @@ mod tests {
     }
 
     #[test]
+    fn tenant_mismatch_is_a_hard_error() {
+        let dir = TempDir::new("jnl-tenant");
+        let path = journal_path(dir.path());
+        {
+            let (mut j, _) = FeedJournal::recover(&path, 42, 7, FsyncPolicy::Always).unwrap();
+            j.append_feed(&feed(1)).unwrap();
+        }
+        // The right tenant replays normally …
+        let (_j, replay) = FeedJournal::recover(&path, 42, 7, FsyncPolicy::Always).unwrap();
+        assert_eq!(replay.records.len(), 1);
+        // … a different tenant is rejected outright.
+        match FeedJournal::recover(&path, 42, 8, FsyncPolicy::Always) {
+            Err(JournalError::TenantMismatch { journal, tenant }) => {
+                assert_eq!((journal, tenant), (7, 8));
+            }
+            other => panic!("expected TenantMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn tenant_journal_dirs_are_disjoint_and_default_stays_top_level() {
+        let base = Path::new("/var/soda");
+        assert_eq!(tenant_journal_dir(base, "default", 0), base);
+        let acme = tenant_journal_dir(base, "acme", 0xABCD);
+        let globex = tenant_journal_dir(base, "globex", 0x1234);
+        assert_ne!(acme, globex);
+        assert!(acme.starts_with(base.join("tenants")));
+        // Hostile names sanitize to a filesystem-safe directory and distinct
+        // fingerprints keep sanitization collisions apart.
+        let dotty = tenant_journal_dir(base, "../etc", 0x9999);
+        assert!(dotty.starts_with(base.join("tenants")));
+        assert!(!dotty.to_string_lossy().contains(".."));
+        assert_ne!(
+            tenant_journal_dir(base, "a/b", 1),
+            tenant_journal_dir(base, "a_b", 2)
+        );
+    }
+
+    #[test]
     fn checkpoint_truncates_and_bounds_replay() {
         let dir = TempDir::new("jnl-ckpt");
         let path = journal_path(dir.path());
-        let (mut j, _) = FeedJournal::recover(&path, 42, FsyncPolicy::Always).unwrap();
+        let (mut j, _) = FeedJournal::recover(&path, 42, 0, FsyncPolicy::Always).unwrap();
         j.append_feed(&feed(1)).unwrap();
         j.append_feed(&feed(2)).unwrap();
         let before = j.len_bytes();
@@ -396,7 +488,7 @@ mod tests {
         j.append_feed(&feed(3)).unwrap();
         drop(j);
 
-        let (_j, replay) = FeedJournal::recover(&path, 42, FsyncPolicy::Always).unwrap();
+        let (_j, replay) = FeedJournal::recover(&path, 42, 0, FsyncPolicy::Always).unwrap();
         let (recovered, feeds) = replay.into_plan();
         assert_eq!(recovered.unwrap(), checkpoint);
         assert_eq!(feeds, vec![feed(3)]);
@@ -407,20 +499,20 @@ mod tests {
         let dir = TempDir::new("jnl-torn");
         let path = journal_path(dir.path());
         {
-            let (mut j, _) = FeedJournal::recover(&path, 42, FsyncPolicy::Always).unwrap();
+            let (mut j, _) = FeedJournal::recover(&path, 42, 0, FsyncPolicy::Always).unwrap();
             j.append_feed(&feed(1)).unwrap();
             j.append_feed(&feed(2)).unwrap();
         }
         let bytes = std::fs::read(&path).unwrap();
         std::fs::write(&path, &bytes[..bytes.len() - 5]).unwrap();
 
-        let (mut j, replay) = FeedJournal::recover(&path, 42, FsyncPolicy::Always).unwrap();
+        let (mut j, replay) = FeedJournal::recover(&path, 42, 0, FsyncPolicy::Always).unwrap();
         assert_eq!(replay.records, vec![JournalRecord::Feed(feed(1))]);
         assert!(replay.truncated_bytes > 0);
         // The journal stays usable after the truncation.
         j.append_feed(&feed(3)).unwrap();
         drop(j);
-        let (_j, replay) = FeedJournal::recover(&path, 42, FsyncPolicy::Always).unwrap();
+        let (_j, replay) = FeedJournal::recover(&path, 42, 0, FsyncPolicy::Always).unwrap();
         assert_eq!(
             replay.records,
             vec![JournalRecord::Feed(feed(1)), JournalRecord::Feed(feed(3))]

@@ -36,14 +36,15 @@
 //! std::fs::create_dir_all(&dir).unwrap();
 //! let path = journal_path(&dir);
 //!
-//! // First boot: journal is created empty; ingests are logged.
-//! let (mut journal, replay) = FeedJournal::recover(&path, 42, FsyncPolicy::Always).unwrap();
+//! // First boot: journal is created empty; ingests are logged.  The `0` is
+//! // the tenant fingerprint — `0` for the default tenant.
+//! let (mut journal, replay) = FeedJournal::recover(&path, 42, 0, FsyncPolicy::Always).unwrap();
 //! assert!(replay.created);
 //! journal.append_feed(&ChangeFeed::new().append_row("trades", vec![Value::Int(7)])).unwrap();
 //! drop(journal);
 //!
 //! // Next boot: the feed replays.
-//! let (_journal, replay) = FeedJournal::recover(&path, 42, FsyncPolicy::Always).unwrap();
+//! let (_journal, replay) = FeedJournal::recover(&path, 42, 0, FsyncPolicy::Always).unwrap();
 //! let (checkpoint, feeds) = replay.into_plan();
 //! assert!(checkpoint.is_none());
 //! assert_eq!(feeds.len(), 1);
@@ -58,6 +59,6 @@ mod testutil;
 
 pub use crc32::crc32;
 pub use journal::{
-    journal_path, Checkpoint, FeedJournal, FsyncPolicy, JournalError, JournalRecord, JournalResult,
-    Replay, JOURNAL_MAGIC,
+    journal_path, tenant_journal_dir, Checkpoint, FeedJournal, FsyncPolicy, JournalError,
+    JournalRecord, JournalResult, Replay, JOURNAL_MAGIC,
 };

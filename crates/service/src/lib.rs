@@ -2,25 +2,27 @@
 //!
 //! The serving layer of the SODA reproduction: where `soda-core` answers one
 //! query from one thread, this crate turns a built engine into a long-lived,
-//! thread-safe **query service** — the shape a warehouse deployment needs
-//! when many business users hit the same metadata graph and indexes all day.
+//! thread-safe, **multi-tenant query service** — the shape a warehouse
+//! deployment needs when many business users (across many hosted
+//! warehouses) hit the same worker pool all day.
 //!
-//! Three pieces, all `std`-only:
+//! Four pieces, all `std`-only:
 //!
-//! * [`QueryService`] — a bounded worker pool over a hot-swappable
-//!   [`EngineSnapshot`](soda_core::EngineSnapshot)
-//!   ([`soda_core::SnapshotHandle`]), with a channel-per-job
-//!   [`submit`](QueryService::submit) /
-//!   [`submit_batch`](QueryService::submit_batch) API, blocking
-//!   backpressure when the job queue is full, in-flight request
-//!   coalescing (concurrent misses on one cache key execute the pipeline
-//!   once and share the page), and zero-downtime warehouse reloads:
-//!   [`reload`](QueryService::reload) /
-//!   [`rebuild_shards`](QueryService::rebuild_shards) /
-//!   [`refresh_graph`](QueryService::refresh_graph) swap in a new snapshot
-//!   generation without draining the pool — in-flight queries finish on the
-//!   generation they pinned at submission.  Streaming deltas ride the same
-//!   machinery: [`ingest`](QueryService::ingest) absorbs a row-level
+//! * [`QueryService`] — a bounded worker pool over per-tenant hot-swappable
+//!   [`EngineSnapshot`](soda_core::EngineSnapshot)s
+//!   ([`soda_core::SnapshotHandle`]), with a single request surface: build a
+//!   [`QueryRequest`] (optionally [`.tenant(..)`](QueryRequest::tenant) /
+//!   [`.traced()`](QueryRequest::traced)), pass it to
+//!   [`query`](QueryService::query), get a [`JobHandle`] that yields a
+//!   [`QueryResponse`].  Blocking backpressure when the job queue is full,
+//!   in-flight request coalescing (concurrent misses on one cache key
+//!   execute the pipeline once and share the page), and zero-downtime
+//!   warehouse reloads: the [`TenantAdmin`] facade
+//!   ([`admin`](QueryService::admin)) swaps in new snapshot generations —
+//!   `reload` / `rebuild_shards` / `refresh_graph` — without draining the
+//!   pool; in-flight queries finish on the generation they pinned at
+//!   submission.  Streaming deltas ride the same machinery:
+//!   [`TenantAdmin::ingest`] absorbs a row-level
 //!   [`ChangeFeed`](soda_core::ChangeFeed) into per-shard side logs without
 //!   rebuilding a single partition, and a background compaction worker
 //!   (see [`CompactionConfig`]) folds grown logs back into rebuilt
@@ -31,9 +33,16 @@
 //!   boot into byte-identical answers, and a graceful drain persists the
 //!   warm cache pages so a restarted service answers repeated queries at
 //!   warm-hit latency.
+//! * [`TenantRegistry`] (see the [`tenants`] module) — multi-tenant
+//!   hosting: [`QueryService::add_tenant`] registers further warehouses at
+//!   runtime, each with its own snapshot handle, queue lane, admission
+//!   quota and (on a durable service) write-ahead journal, while the worker
+//!   pool, the cache and the probe-thread budget stay shared.  Cache keys
+//!   fold the tenant fingerprint ([`TenantId::fold`]), so tenants share one
+//!   LRU without any possibility of cross-tenant hits.
 //! * [`LruCache`] — an interpretation cache mapping *canonicalized* queries
-//!   ([`soda_core::normalize_query`]) plus the snapshot fingerprint
-//!   (engine configuration ⊕ generation vector,
+//!   ([`soda_core::normalize_query`]) plus the tenant-folded snapshot
+//!   fingerprint (engine configuration ⊕ generation vector,
 //!   [`soda_core::EngineSnapshot::cache_fingerprint`]) to served
 //!   [`ResultPage`](soda_core::ResultPage)s, with hit / miss / eviction /
 //!   purge accounting — pages of swapped-out generations stop being
@@ -41,14 +50,15 @@
 //! * [`ServiceMetrics`] — a health snapshot: QPS, histogram-backed latency
 //!   min / mean / p50 / p95 / max with the **queue-wait / execution split**
 //!   and per-stage pipeline latencies, cache hit rate, queue depth,
-//!   coalescing and reload/generation counters, and the per-shard sizes /
+//!   coalescing and reload/generation counters, the per-shard sizes /
 //!   probe counts / generations of the *live* snapshot's sharded lookup
-//!   layer ([`soda_core::ShardStats`]).  The same figures export as a
-//!   Prometheus text document via [`QueryService::metrics_text`]; a bounded
+//!   layer ([`soda_core::ShardStats`]), and the per-tenant fairness split
+//!   ([`TenantMetrics`]).  The same figures export as a Prometheus text
+//!   document via [`QueryService::metrics_text`]; a bounded
 //!   operational-event log ([`QueryService::events`]), a slow-query log of
 //!   full span trees ([`QueryService::slow_queries`], opt-in via
-//!   [`ServiceConfig::slow_query_threshold`]) and an on-demand traced
-//!   execution ([`QueryService::submit_traced`]) complete the observability
+//!   [`ServiceConfig::slow_query_threshold`]) and on-demand traced
+//!   execution ([`QueryRequest::traced`]) complete the observability
 //!   surface (see `docs/OBSERVABILITY.md`).
 //!
 //! ```
@@ -63,23 +73,28 @@
 //!     SodaConfig::default(),
 //! ));
 //! let service = QueryService::start(snapshot, ServiceConfig::default());
-//! let page = service.submit(QueryRequest::new("wealthy customers")).wait().unwrap();
-//! assert!(page.results.iter().all(|r| r.sql.starts_with("SELECT")));
+//! let response = service.query(QueryRequest::new("wealthy customers")).wait().unwrap();
+//! assert!(response.page.results.iter().all(|r| r.sql.starts_with("SELECT")));
 //! ```
 
 pub mod cache;
 pub mod metrics;
 pub mod service;
+pub mod tenants;
 
 pub use cache::{CacheKey, CacheStats, LruCache};
 pub use metrics::{
-    DurabilityMetrics, IngestMetrics, LatencySummary, ServiceMetrics, StageLatencies,
+    DurabilityMetrics, IngestMetrics, LatencySummary, ServiceMetrics, StageLatencies, TenantMetrics,
 };
 pub use service::{
-    CompactionConfig, DurabilityConfig, JobHandle, JobResult, QueryRequest, QueryService,
-    RecoveryReport, ServiceConfig, ServiceError, SlowQuery, TracedQuery,
+    CompactionConfig, DurabilityConfig, JobHandle, JobResult, QueryRequest, QueryResponse,
+    QueryService, RecoveryReport, ServiceConfig, ServiceError, SlowQuery, TracedQuery,
 };
+pub use tenants::{TenantAdmin, TenantRegistry};
 
+// Re-exported so multi-tenant callers can name tenants without a direct
+// dependency on the core crate.
+pub use soda_core::TenantId;
 // Re-exported so durable-service callers can set the fsync policy without a
 // direct dependency on the journal crate.
 pub use soda_journal::FsyncPolicy;

@@ -49,7 +49,7 @@ pub struct LatencySummary {
 }
 
 impl LatencySummary {
-    fn of(hist: &LogHistogram) -> Self {
+    pub(crate) fn of(hist: &LogHistogram) -> Self {
         if hist.count() == 0 {
             return Self::default();
         }
@@ -204,6 +204,46 @@ pub struct ServiceMetrics {
     /// replay / cache-restore figures of the recovery that created this
     /// instance.
     pub durability: DurabilityMetrics,
+    /// The per-tenant fairness split, one entry per hosted tenant (the
+    /// default tenant first).  A single-tenant service reports exactly one
+    /// entry whose figures mirror the service-wide ones.
+    pub tenants: Vec<TenantMetrics>,
+}
+
+/// One hosted tenant's share of the service, embedded in
+/// [`ServiceMetrics::tenants`] — the figures an operator compares across
+/// tenants to see who is flooding, who is starving and whether admission
+/// control is biting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantMetrics {
+    /// The tenant name.
+    pub tenant: String,
+    /// Queries answered for this tenant (warm hits, coalesced waiters and
+    /// executed queries alike).
+    pub completed: u64,
+    /// Lifetime queries per second of service uptime.
+    pub qps: f64,
+    /// End-to-end latency of this tenant's answered queries.
+    pub latency: LatencySummary,
+    /// Submissions answered from the cache at submission time.
+    pub warm_hits: u64,
+    /// Full pipeline executions performed for this tenant (traced runs
+    /// included).
+    pub executions: u64,
+    /// Submissions that blocked in admission control (tenant lane at quota,
+    /// or the whole queue at capacity) before enqueueing.
+    pub admission_waits: u64,
+    /// Jobs currently waiting in this tenant's queue lane.
+    pub queue_depth: usize,
+    /// Generation of the snapshot this tenant currently serves.
+    pub generation: u64,
+    /// Snapshot swaps performed for this tenant (reloads, shard rebuilds,
+    /// graph refreshes).
+    pub reloads: u64,
+    /// Change feeds absorbed for this tenant.
+    pub ingest_feeds: u64,
+    /// Side-log compactions performed for this tenant.
+    pub compactions: u64,
 }
 
 /// Latency accounting shared by the workers: one log-bucketed histogram per

@@ -1,18 +1,22 @@
-//! The query service: a bounded worker pool over a shared
-//! [`EngineSnapshot`], with an LRU interpretation cache in front of it.
+//! The query service: a bounded worker pool over per-tenant hot-swappable
+//! [`EngineSnapshot`]s, with one shared LRU interpretation cache in front.
 //!
 //! ## Life of a query
 //!
-//! 1. [`QueryService::submit`] canonicalizes the input
-//!    ([`soda_core::normalize_query`]) and probes the cache under
-//!    (normalized query, config fingerprint, page coordinates).  A hit is
-//!    answered immediately on the caller's thread — no queueing, no pipeline.
-//! 2. A miss becomes a job on the bounded queue.  When the queue is full the
-//!    submitting thread *blocks* until a worker drains a slot — backpressure
-//!    instead of unbounded memory growth under overload.
-//! 3. A worker pops the job, runs the five-step pipeline via
-//!    [`EngineSnapshot::search_paged`], stores the page in the cache and
-//!    completes the caller's [`JobHandle`].
+//! 1. [`QueryService::query`] resolves the request's tenant (the default
+//!    tenant unless [`QueryRequest::tenant`] named another), canonicalizes
+//!    the input ([`soda_core::normalize_query`]) and probes the cache under
+//!    (normalized query, tenant-folded snapshot fingerprint, page
+//!    coordinates).  A hit is answered immediately on the caller's thread —
+//!    no queueing, no pipeline.
+//! 2. A miss becomes a job in the tenant's queue lane.  Admission control
+//!    blocks the submitting thread while the lane is at its per-tenant
+//!    quota or the whole queue is at capacity — backpressure instead of
+//!    unbounded memory growth, and no tenant can squat the entire queue.
+//! 3. A worker pops the next job round-robin across the tenant lanes, runs
+//!    the five-step pipeline via [`EngineSnapshot::search_paged`], stores
+//!    the page in the cache and completes the caller's [`JobHandle`] with a
+//!    [`QueryResponse`].
 //!
 //! Concurrent misses on one key are **coalesced**: the first miss enqueues
 //! the job and registers it in a pending-jobs map; every further submission
@@ -22,34 +26,58 @@
 //! pending check and the completion hand-off happen under one lock, which is
 //! never held across the pipeline itself.
 //!
+//! ## Multi-tenant hosting
+//!
+//! One service hosts many tenants: the boot snapshot is the **default**
+//! tenant, and [`QueryService::add_tenant`] registers further warehouses at
+//! runtime (each wrapped in its own [`SnapshotHandle`], tracked by the
+//! [`TenantRegistry`]).  All tenants share
+//! the worker pool, the queue, the cache and the global probe-thread budget
+//! ([`soda_core::ProbeBudget`]) — isolation comes from keys and quotas, not
+//! duplication:
+//!
+//! * Cache keys fold the tenant fingerprint into the snapshot fingerprint
+//!   ([`soda_core::TenantId::fold`]); the fold is the identity for the
+//!   default tenant, so single-tenant deployments keep byte-identical
+//!   fingerprints (and persisted cache files) across the upgrade.
+//! * The queue keeps one lane per tenant, scanned round-robin, with an
+//!   admission quota of `ceil(capacity / tenants)` slots per tenant — a
+//!   tenant flooding cold queries saturates its own lane and blocks *its
+//!   own* submitters, while other tenants' warm hits (which never queue)
+//!   and cold queries proceed.
+//! * Mutations are tenant-scoped: [`QueryService::admin`] returns a
+//!   [`TenantAdmin`] facade whose `reload` / `rebuild_shards` /
+//!   `refresh_graph` / `ingest` / `ingest_owned` / `compact` /
+//!   `clear_cache` touch exactly one tenant's snapshot and cached pages.
+//!
 //! ## Hot snapshot swapping
 //!
-//! The service serves from a [`SnapshotHandle`], not a fixed snapshot.
 //! Every submission pins the snapshot that is current *at submission time* —
-//! the job carries that `Arc` to the worker, so a concurrent
-//! [`reload`](QueryService::reload) /
-//! [`rebuild_shards`](QueryService::rebuild_shards) never changes what an
-//! in-flight query computes; new submissions load the new generation.  The
-//! cache key carries [`EngineSnapshot::cache_fingerprint`] (configuration ⊕
-//! generation vector), which also scopes the coalescing map: a pending cold
-//! query keyed against generation G can only ever hand its page to waiters
-//! that also pinned G — a post-swap requester computes a different key and
-//! recomputes against the new snapshot.  No queries are drained, dropped or
-//! errored by a swap.
+//! the job carries that `Arc` to the worker, so a concurrent reload never
+//! changes what an in-flight query computes; new submissions load the new
+//! generation.  The cache key carries the tenant-folded
+//! [`EngineSnapshot::cache_fingerprint`] (configuration ⊕ generation
+//! vector), which also scopes the coalescing map: a pending cold query keyed
+//! against generation G can only ever hand its page to waiters that also
+//! pinned G — a post-swap requester computes a different key and recomputes
+//! against the new snapshot.  No queries are drained, dropped or errored by
+//! a swap.
 //!
 //! ## Streaming ingestion
 //!
-//! [`ingest`](QueryService::ingest) absorbs a row-level change feed into a
-//! new generation without rebuilding any index partition: the events land in
-//! per-shard side logs that every probe merges on the fly.  A background
-//! compaction worker (opt-in via [`ServiceConfig::compaction`]) folds a
-//! shard's log into a rebuilt partition once it crosses the policy budget —
-//! nudged by every ingest and on a poll interval — so reload latency becomes
-//! a continuous background cost.  Data-only swaps (ingest, shard rebuild,
-//! compaction) run a *generation-aware retention* pass over the cache
-//! instead of the wholesale purge: pages whose recorded probes provably
-//! never consulted a dirty shard are re-keyed to the new fingerprint
-//! ([`CacheStats::retained`](crate::CacheStats)), everything else is purged.
+//! [`TenantAdmin::ingest`] absorbs a row-level change feed into a new
+//! generation of that tenant's snapshot without rebuilding any index
+//! partition: the events land in per-shard side logs that every probe
+//! merges on the fly.  A background compaction worker (opt-in via
+//! [`ServiceConfig::compaction`]) sweeps **every** tenant — nudged by every
+//! ingest and on a poll interval — and folds a shard's log into a rebuilt
+//! partition once it crosses the policy budget.  Data-only swaps (ingest,
+//! shard rebuild, compaction) run a *generation-aware retention* pass over
+//! the tenant's cached pages instead of the wholesale purge: pages whose
+//! recorded probes provably never consulted a dirty shard are re-keyed to
+//! the new fingerprint ([`CacheStats::retained`](crate::CacheStats)),
+//! everything else of that tenant's superseded generation is purged.  Other
+//! tenants' pages are never touched.
 //!
 //! Shutdown is graceful: dropping the service stops intake (stopping the
 //! compaction worker first), lets the workers drain every queued job
@@ -58,16 +86,22 @@
 //! ## Durable restart
 //!
 //! A service started through [`QueryService::recover`] with a
-//! [`DurabilityConfig`] survives crashes: every [`ingest`](QueryService::ingest)
-//! appends the feed to an on-disk [`FeedJournal`] *before* the engine
-//! absorbs it (write-ahead), and every compaction / swap
-//! writes a [`Checkpoint`] that folds the replay
-//! prefix away, so the journal stays bounded.  On the next boot, `recover`
-//! replays the journal — checkpoint first, then the feeds appended after it —
-//! and restores the recorded generation stamps, so the recovered engine
-//! serves **byte-identical pages under the same cache fingerprints** as the
-//! instance that died.  A torn tail (crash mid-append) is truncated; a
-//! journal written under a different engine configuration is a hard error.
+//! [`DurabilityConfig`] survives crashes: every ingest appends the feed to
+//! an on-disk [`FeedJournal`] *before* the engine absorbs it (write-ahead),
+//! and every compaction / swap writes a [`Checkpoint`] that folds the
+//! replay prefix away, so the journal stays bounded.  On the next boot,
+//! `recover` replays the journal — checkpoint first, then the feeds
+//! appended after it — and restores the recorded generation stamps, so the
+//! recovered engine serves **byte-identical pages under the same cache
+//! fingerprints** as the instance that died.  A torn tail (crash
+//! mid-append) is truncated; a journal written under a different engine
+//! configuration is a hard error.
+//!
+//! Tenants registered on a durable service get their **own** journal under
+//! `tenants/<name>-<fingerprint>/` ([`soda_journal::tenant_journal_dir`]),
+//! header-stamped with the tenant fingerprint so one tenant's history can
+//! never replay into another's snapshot; [`QueryService::add_tenant`]
+//! replays it against the snapshot the caller hands in.
 //!
 //! On a *graceful* drain (dropping the service) the warm entries of the
 //! interpretation cache are additionally serialized to a page-cache file,
@@ -76,10 +110,10 @@
 //! cache file is best-effort: a stale, torn or foreign file is ignored
 //! (counted in [`DurabilityMetrics::cache_pages_stale`]), never an error.
 //!
-//! One caveat: the metadata **graph is not journaled** — `recover` takes the
-//! graph (and the base database) as arguments, so after a
-//! [`refresh_graph`](QueryService::refresh_graph) the operator must hand the
-//! refreshed graph to the next recovery.
+//! One caveat: the metadata **graph is not journaled** — `recover` (and
+//! `add_tenant`) take the graph as part of the snapshot, so after a
+//! [`TenantAdmin::refresh_graph`] the operator must hand the refreshed
+//! graph to the next recovery.
 
 use std::collections::{BTreeSet, HashMap, VecDeque};
 use std::path::PathBuf;
@@ -92,15 +126,20 @@ use soda_core::codec::{decode_page, decode_probe_dep, encode_page, encode_probe_
 use soda_core::{
     normalize_query, ChangeFeed, CompactionPolicy, Database, EngineSnapshot, MetaGraph, ProbeDep,
     ProbeRecorder, ResultPage, RetentionGate, SnapshotHandle, SodaConfig, SodaError, StepTimings,
+    TenantId,
 };
 use soda_journal::frame::{read_frame_file, write_frame_file};
-use soda_journal::{journal_path, Checkpoint, FeedJournal, FsyncPolicy};
+use soda_journal::{journal_path, tenant_journal_dir, Checkpoint, FeedJournal, FsyncPolicy};
 use soda_relation::codec::{CodecError, CodecResult, Decoder, Encoder};
 use soda_trace::prom::{MetricKind, PromWriter};
 use soda_trace::{BoundedLog, CollectingSink, NoopSink, OpEvent, QueryTrace, TraceSink};
 
 use crate::cache::{CacheKey, LruCache};
-use crate::metrics::{DurabilityMetrics, IngestMetrics, LatencyRecorder, ServiceMetrics};
+use crate::metrics::{
+    DurabilityMetrics, IngestMetrics, LatencyRecorder, LatencySummary, ServiceMetrics,
+    TenantMetrics,
+};
+use crate::tenants::{TenantAdmin, TenantRegistry, TenantState};
 
 /// Magic of the persistent page-cache file (the journal has its own,
 /// [`soda_journal::JOURNAL_MAGIC`]).
@@ -110,18 +149,29 @@ const CACHE_MAGIC: [u8; 8] = *b"SODACSH1";
 const CACHE_FILE: &str = "pages.cache";
 
 /// Tuning knobs of the service.
+///
+/// Construct fluently from the defaults — the builder methods are consuming
+/// setters over the same public fields, so struct-literal construction
+/// keeps working and `Default` semantics are unchanged:
+///
+/// ```
+/// use soda_service::ServiceConfig;
+/// let config = ServiceConfig::default().workers(2).queue_capacity(64);
+/// assert_eq!(config.workers, 2);
+/// assert_eq!(config.cache_capacity, ServiceConfig::default().cache_capacity);
+/// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ServiceConfig {
     /// Worker threads executing the pipeline.
     pub workers: usize,
-    /// Maximum queued (not yet running) jobs before `submit` blocks.
+    /// Maximum queued (not yet running) jobs before submissions block.
     pub queue_capacity: usize,
     /// Maximum result pages held by the interpretation cache.
     pub cache_capacity: usize,
     /// When set, a background compaction worker folds ingestion side logs
     /// into rebuilt index partitions once they cross the policy's budget
     /// (`None` — the default — leaves compaction to explicit
-    /// [`QueryService::compact`] calls).
+    /// [`TenantAdmin::compact`] calls).
     pub compaction: Option<CompactionConfig>,
     /// When set, every executed query is traced through a
     /// [`CollectingSink`] and a query whose **end-to-end** latency (queue
@@ -151,14 +201,58 @@ impl Default for ServiceConfig {
     }
 }
 
+impl ServiceConfig {
+    /// Sets the worker-pool size.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Sets the queue capacity.
+    pub fn queue_capacity(mut self, queue_capacity: usize) -> Self {
+        self.queue_capacity = queue_capacity;
+        self
+    }
+
+    /// Sets the interpretation-cache capacity.
+    pub fn cache_capacity(mut self, cache_capacity: usize) -> Self {
+        self.cache_capacity = cache_capacity;
+        self
+    }
+
+    /// Enables the background compaction worker.
+    pub fn compaction(mut self, compaction: CompactionConfig) -> Self {
+        self.compaction = Some(compaction);
+        self
+    }
+
+    /// Enables slow-query capture past `threshold`.
+    pub fn slow_query_threshold(mut self, threshold: Duration) -> Self {
+        self.slow_query_threshold = Some(threshold);
+        self
+    }
+
+    /// Sets the slow-query log capacity.
+    pub fn slow_query_log(mut self, slow_query_log: usize) -> Self {
+        self.slow_query_log = slow_query_log;
+        self
+    }
+
+    /// Sets the operational-event log capacity.
+    pub fn event_log(mut self, event_log: usize) -> Self {
+        self.event_log = event_log;
+        self
+    }
+}
+
 /// Configuration of the background compaction worker.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CompactionConfig {
     /// The side-log budget past which a shard is folded.
     pub policy: CompactionPolicy,
     /// How often the worker re-checks the budget on its own.  Every
-    /// [`ingest`](QueryService::ingest) additionally nudges it awake, so a
-    /// threshold crossing is acted on promptly even with a long interval.
+    /// ingest additionally nudges it awake, so a threshold crossing is
+    /// acted on promptly even with a long interval.
     pub poll_interval: Duration,
 }
 
@@ -173,10 +267,12 @@ impl Default for CompactionConfig {
 
 /// Where and how the service persists its crash-safety state.
 ///
-/// The directory holds two files: `feed.journal` (the write-ahead feed
-/// journal, [`soda_journal::journal_path`]) and `pages.cache` (the warm
-/// result pages serialized on a graceful drain).  Pass the same directory to
-/// [`QueryService::recover`] on every boot.
+/// The directory holds the default tenant's two files: `feed.journal` (the
+/// write-ahead feed journal, [`soda_journal::journal_path`]) and
+/// `pages.cache` (the warm result pages serialized on a graceful drain),
+/// plus one `tenants/<name>-<fingerprint>/` journal directory per tenant
+/// registered through [`QueryService::add_tenant`].  Pass the same
+/// directory to [`QueryService::recover`] on every boot.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DurabilityConfig {
     /// Directory holding the journal and the page-cache file (created if
@@ -230,31 +326,32 @@ pub struct RecoveryReport {
     pub cache_pages_stale: u64,
 }
 
-/// The journal, the dirty-table ledger and the recovery counters, held under
-/// one mutex on [`Shared`] (lock order: swap lock → durability → store;
-/// `metrics()` takes it alone).
-struct DurabilityState {
-    journal: FeedJournal,
+/// The journal, the dirty-table ledger and the recovery counters of one
+/// tenant, held under one mutex on its
+/// [`TenantState`](crate::tenants::TenantState) (lock order: tenant swap
+/// lock → durability → store; `metrics()` takes it alone).
+pub(crate) struct DurabilityState {
+    pub(crate) journal: FeedJournal,
     /// Where the warm pages go on a graceful drain.
-    cache_path: PathBuf,
-    persist_cache: bool,
+    pub(crate) cache_path: PathBuf,
+    pub(crate) persist_cache: bool,
     /// Stamped into both file headers; [`QueryService::recover`] refuses a
     /// journal carrying a different one.
-    config_fingerprint: u64,
+    pub(crate) config_fingerprint: u64,
     /// Every table a journaled feed (or an applied checkpoint) has touched
     /// since the base database.  A checkpoint must re-record **all** of them
     /// — recovery applies it over the unchanged base database, so a table
     /// omitted from one checkpoint would silently revert to its base
     /// content.  The set therefore only ever grows.
-    dirty_tables: BTreeSet<String>,
-    journal_appends: u64,
-    checkpoints: u64,
-    checkpoint_failures: u64,
-    replayed_feeds: u64,
-    rejected_replays: u64,
-    truncated_bytes: u64,
-    cache_pages_restored: u64,
-    cache_pages_stale: u64,
+    pub(crate) dirty_tables: BTreeSet<String>,
+    pub(crate) journal_appends: u64,
+    pub(crate) checkpoints: u64,
+    pub(crate) checkpoint_failures: u64,
+    pub(crate) replayed_feeds: u64,
+    pub(crate) rejected_replays: u64,
+    pub(crate) truncated_bytes: u64,
+    pub(crate) cache_pages_restored: u64,
+    pub(crate) cache_pages_stale: u64,
 }
 
 /// Serializes one warm cache entry for the page-cache file: the full key
@@ -312,7 +409,16 @@ fn decode_cache_entry(bytes: &[u8]) -> CodecResult<(CacheKey, CachedPage)> {
     ))
 }
 
-/// One query as submitted by a client.
+/// One query as submitted by a client — the single request surface of the
+/// service.  Build fluently:
+///
+/// ```no_run
+/// use soda_service::QueryRequest;
+/// let request = QueryRequest::new("wealthy customers")
+///     .page(1)
+///     .tenant("acme")
+///     .traced();
+/// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct QueryRequest {
     /// The business user's input text.
@@ -321,15 +427,25 @@ pub struct QueryRequest {
     pub page: usize,
     /// Page size (clamped to at least 1 by the engine).
     pub page_size: usize,
+    /// The tenant whose snapshot answers the query (the default tenant
+    /// unless [`tenant`](Self::tenant) selected another).
+    pub tenant: TenantId,
+    /// When true the query executes **traced** on the caller's thread,
+    /// bypassing cache, queue and coalescing, and the response carries the
+    /// folded span tree ([`QueryResponse::trace`]).
+    pub traced: bool,
 }
 
 impl QueryRequest {
-    /// A request for the first page (size 10, the paper's result page).
+    /// A request for the first page (size 10, the paper's result page),
+    /// against the default tenant, untraced.
     pub fn new(input: impl Into<String>) -> Self {
         Self {
             input: input.into(),
             page: 0,
             page_size: 10,
+            tenant: TenantId::default(),
+            traced: false,
         }
     }
 
@@ -344,13 +460,47 @@ impl QueryRequest {
         self.page_size = page_size;
         self
     }
+
+    /// Routes the query to a hosted tenant's snapshot.
+    pub fn tenant(mut self, tenant: impl Into<TenantId>) -> Self {
+        self.tenant = tenant.into();
+        self
+    }
+
+    /// Requests a traced execution: the query runs on the caller's thread —
+    /// bypassing the cache, the queue and the coalescing map, so the trace
+    /// reflects a full computation — and the response carries the span
+    /// tree.  The served page is byte-identical to the untraced answer.
+    pub fn traced(mut self) -> Self {
+        self.traced = true;
+        self
+    }
+}
+
+/// One answered query, yielded by [`JobHandle::wait`]: the served page
+/// plus, for [`traced`](QueryRequest::traced) requests, the folded span
+/// tree (the `query` root with the five stage spans and per-shard probe
+/// sub-spans underneath).
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryResponse {
+    /// The served result page.
+    pub page: ResultPage,
+    /// The span tree — `Some` exactly when the request was traced.
+    pub trace: Option<QueryTrace>,
+}
+
+impl QueryResponse {
+    fn untraced(page: ResultPage) -> Self {
+        Self { page, trace: None }
+    }
 }
 
 /// One result page together with the span tree its traced execution
-/// produced, returned by [`QueryService::submit_traced`].
+/// produced, returned by the deprecated [`QueryService::submit_traced`].
+/// New code reads the same figures off [`QueryResponse`].
 #[derive(Debug, Clone)]
 pub struct TracedQuery {
-    /// The answer, exactly as [`QueryService::submit`] would produce it.
+    /// The answer, exactly as an untraced submission would produce it.
     pub page: ResultPage,
     /// The folded span tree: the `query` root with the five stage spans and
     /// per-shard probe sub-spans underneath.
@@ -386,10 +536,15 @@ pub enum ServiceError {
     Disconnected,
     /// The feed journal or page cache could not be written or recovered
     /// (rendered to text because `std::io::Error` is not `Clone`).  Surfaced
-    /// by [`QueryService::recover`] and by an [`ingest`](QueryService::ingest)
+    /// by [`QueryService::recover`] and by an [`TenantAdmin::ingest`]
     /// whose write-ahead append failed — such a feed is **not** absorbed, so
     /// the engine never serves rows the journal would lose in a crash.
     Durability(String),
+    /// The request (or admin call) named a tenant the service does not
+    /// host.
+    UnknownTenant(String),
+    /// [`QueryService::add_tenant`] was given an id that is already hosted.
+    TenantExists(String),
 }
 
 impl std::fmt::Display for ServiceError {
@@ -399,6 +554,10 @@ impl std::fmt::Display for ServiceError {
             ServiceError::ShuttingDown => write!(f, "the query service is shutting down"),
             ServiceError::Disconnected => write!(f, "the worker serving this job disappeared"),
             ServiceError::Durability(msg) => write!(f, "durability error: {msg}"),
+            ServiceError::UnknownTenant(tenant) => write!(f, "unknown tenant `{tenant}`"),
+            ServiceError::TenantExists(tenant) => {
+                write!(f, "tenant `{tenant}` is already hosted")
+            }
         }
     }
 }
@@ -419,12 +578,18 @@ impl From<SodaError> for ServiceError {
 }
 
 /// Outcome of one served query.
-pub type JobResult = Result<ResultPage, ServiceError>;
+pub type JobResult = Result<QueryResponse, ServiceError>;
+
+/// What the worker channels carry: the raw page.  [`JobHandle::wait`]
+/// wraps it into the public [`QueryResponse`] shape, so the hot path never
+/// allocates a trace option per waiter.
+type WireResult = Result<ResultPage, ServiceError>;
 
 /// A claim on the result of a submitted query.
 ///
-/// Cache hits are resolved at submission time; misses resolve when a worker
-/// finishes the job.  [`wait`](Self::wait) blocks until then.
+/// Cache hits, traced executions and errors are resolved at submission
+/// time; misses resolve when a worker finishes the job.
+/// [`wait`](Self::wait) blocks until then.
 #[derive(Debug)]
 pub struct JobHandle {
     inner: HandleInner,
@@ -433,7 +598,7 @@ pub struct JobHandle {
 #[derive(Debug)]
 enum HandleInner {
     Ready(Box<JobResult>),
-    Pending(mpsc::Receiver<JobResult>),
+    Pending(mpsc::Receiver<WireResult>),
 }
 
 impl JobHandle {
@@ -443,7 +608,7 @@ impl JobHandle {
         }
     }
 
-    fn pending(rx: mpsc::Receiver<JobResult>) -> Self {
+    fn pending(rx: mpsc::Receiver<WireResult>) -> Self {
         Self {
             inner: HandleInner::Pending(rx),
         }
@@ -458,7 +623,10 @@ impl JobHandle {
     pub fn wait(self) -> JobResult {
         match self.inner {
             HandleInner::Ready(result) => *result,
-            HandleInner::Pending(rx) => rx.recv().unwrap_or(Err(ServiceError::Disconnected)),
+            HandleInner::Pending(rx) => rx
+                .recv()
+                .unwrap_or(Err(ServiceError::Disconnected))
+                .map(QueryResponse::untraced),
         }
     }
 }
@@ -473,19 +641,87 @@ struct Job {
     /// between submission and execution cannot change the answer (or leak a
     /// new-generation page under an old-generation key).
     engine: Arc<EngineSnapshot>,
+    /// The tenant the job belongs to, for per-tenant accounting and the
+    /// still-live check against *that* tenant's current fingerprint.
+    tenant: Arc<TenantState>,
     submitted: Instant,
-    tx: mpsc::Sender<JobResult>,
+    tx: mpsc::Sender<WireResult>,
 }
 
+/// The bounded job queue: one lane per tenant, scanned round-robin by the
+/// workers, so a deep lane delays only its own tenant's jobs.
 struct QueueState {
-    jobs: VecDeque<Job>,
+    /// `(tenant fingerprint, lane)` — created on first use and kept for the
+    /// service lifetime (tenant counts are small, a linear scan wins).
+    lanes: Vec<(u64, VecDeque<Job>)>,
+    /// The lane the next round-robin scan starts from.
+    cursor: usize,
+    /// Queued jobs across all lanes (the figure the global capacity check
+    /// and [`QueryService::queue_depth`] report).
+    total: usize,
     shutdown: bool,
+}
+
+impl QueueState {
+    /// Jobs currently queued in `lane`'s tenant lane.
+    fn depth_of(&self, lane: u64) -> usize {
+        self.lanes
+            .iter()
+            .find(|(fp, _)| *fp == lane)
+            .map_or(0, |(_, jobs)| jobs.len())
+    }
+
+    fn push(&mut self, lane: u64, job: Job) {
+        match self.lanes.iter_mut().find(|(fp, _)| *fp == lane) {
+            Some((_, jobs)) => jobs.push_back(job),
+            None => {
+                let mut jobs = VecDeque::new();
+                jobs.push_back(job);
+                self.lanes.push((lane, jobs));
+            }
+        }
+        self.total += 1;
+    }
+
+    /// Pops the next job, scanning the lanes round-robin from the cursor —
+    /// each pop serves the next non-empty tenant lane, so a tenant with a
+    /// flooded lane gets at most its fair turn.
+    fn pop_round_robin(&mut self) -> Option<Job> {
+        if self.total == 0 {
+            return None;
+        }
+        let n = self.lanes.len();
+        for i in 0..n {
+            let idx = (self.cursor + i) % n;
+            if let Some(job) = self.lanes[idx].1.pop_front() {
+                self.cursor = (idx + 1) % n;
+                self.total -= 1;
+                return Some(job);
+            }
+        }
+        None
+    }
+
+    /// Per-lane depths, for the fairness gauges in `metrics()`.
+    fn lane_depths(&self) -> HashMap<u64, usize> {
+        self.lanes
+            .iter()
+            .map(|(fp, jobs)| (*fp, jobs.len()))
+            .collect()
+    }
+}
+
+/// The per-tenant admission quota: an even split of the queue, rounded up,
+/// never below one slot.  A tenant whose lane is at quota blocks its own
+/// submitters while every other tenant keeps its share of the queue.
+fn admission_quota(capacity: usize, tenants: usize) -> usize {
+    capacity.div_ceil(tenants.max(1)).max(1)
 }
 
 /// One submission waiting on another submission's in-flight computation.
 struct Waiter {
     submitted: Instant,
-    tx: mpsc::Sender<JobResult>,
+    tx: mpsc::Sender<WireResult>,
 }
 
 /// A cached result page together with what its query actually consulted —
@@ -521,18 +757,15 @@ struct StoreState {
 }
 
 struct Shared {
-    /// The swappable current snapshot.  Submissions load it once and pin
-    /// what they got; writers publish replacements through
-    /// [`QueryService::reload`] and friends.
-    handle: SnapshotHandle,
-    /// Serializes the *service-level* swap paths (reload, shard rebuild,
-    /// graph refresh, ingest, compaction) so each one's pre-swap
-    /// fingerprint capture, the handle publication and the cache
-    /// retention/purge form one atomic episode.  Never held by readers.
-    swaps: Mutex<()>,
-    /// Snapshot swaps performed (full reloads + per-shard rebuilds).
+    /// Every hosted tenant — the default tenant (the boot snapshot) plus
+    /// whatever [`QueryService::add_tenant`] registered.  The lifetime
+    /// counters below aggregate across tenants; the per-tenant split lives
+    /// on each [`TenantState`].
+    tenants: TenantRegistry,
+    /// Snapshot swaps performed (full reloads + per-shard rebuilds), all
+    /// tenants.
     reloads: AtomicU64,
-    /// Streaming-ingestion lifetime counters.
+    /// Streaming-ingestion lifetime counters, all tenants.
     ingests: AtomicU64,
     ingest_events: AtomicU64,
     ingest_rows: AtomicU64,
@@ -564,9 +797,11 @@ struct Shared {
     /// Operational history: swaps, ingests, compactions, checkpoints,
     /// recoveries and slow queries, newest-`event_log` retained.
     events: Mutex<BoundedLog<OpEvent>>,
-    /// Crash-safety state (`None` for a non-durable service).  Lock order:
-    /// swap lock → durability → store; `metrics()` takes it alone.
-    durability: Option<Mutex<DurabilityState>>,
+    /// The durability configuration the service booted with (`None` for a
+    /// non-durable service) — [`QueryService::add_tenant`] derives each new
+    /// tenant's journal directory from it.  The per-tenant journal *state*
+    /// lives on each [`TenantState`].
+    durability_config: Option<DurabilityConfig>,
 }
 
 impl Shared {
@@ -609,7 +844,17 @@ impl Shared {
     }
 }
 
-/// A long-lived, thread-safe SODA query service.
+/// Event-detail suffix naming the tenant — empty for the default tenant,
+/// so single-tenant operational logs read exactly as before the
+/// multi-tenant redesign.
+fn tenant_suffix(tenant: &TenantState) -> String {
+    if tenant.id.is_default() {
+        String::new()
+    } else {
+        format!(", tenant {}", tenant.id)
+    }
+}
+/// A long-lived, thread-safe, multi-tenant SODA query service.
 ///
 /// ```
 /// use std::sync::Arc;
@@ -624,12 +869,12 @@ impl Shared {
 /// );
 /// let service = QueryService::start(Arc::new(snapshot), ServiceConfig::default());
 ///
-/// let page = service.submit(QueryRequest::new("Sara Guttinger")).wait().unwrap();
-/// assert!(!page.results.is_empty());
+/// let response = service.query(QueryRequest::new("Sara Guttinger")).wait().unwrap();
+/// assert!(!response.page.results.is_empty());
 ///
 /// // The repeat is answered from the cache.
-/// let again = service.submit(QueryRequest::new("sara   guttinger")).wait().unwrap();
-/// assert_eq!(page, again);
+/// let again = service.query(QueryRequest::new("sara   guttinger")).wait().unwrap();
+/// assert_eq!(response.page, again.page);
 /// assert_eq!(service.metrics().cache.hits, 1);
 /// ```
 pub struct QueryService {
@@ -639,9 +884,11 @@ pub struct QueryService {
 }
 
 impl QueryService {
-    /// Starts the worker pool over a shared engine snapshot (wrapped in a
-    /// [`SnapshotHandle`] internally, so the warehouse can be reloaded later
-    /// without restarting the pool).
+    /// Starts the worker pool over a shared engine snapshot, which becomes
+    /// the **default tenant**'s warehouse (wrapped in a [`SnapshotHandle`]
+    /// internally, so it can be reloaded later without restarting the
+    /// pool).  Further tenants join through
+    /// [`add_tenant`](Self::add_tenant).
     pub fn start(engine: Arc<EngineSnapshot>, config: ServiceConfig) -> Self {
         Self::start_with(SnapshotHandle::new(engine), config, None)
     }
@@ -653,11 +900,15 @@ impl QueryService {
     fn start_with(
         handle: SnapshotHandle,
         config: ServiceConfig,
-        durability: Option<DurabilityState>,
+        durability: Option<(DurabilityState, DurabilityConfig)>,
     ) -> Self {
+        let (state, durability_config) = match durability {
+            Some((state, config)) => (Some(state), Some(config)),
+            None => (None, None),
+        };
+        let default = Arc::new(TenantState::new(TenantId::default(), handle, state));
         let shared = Arc::new(Shared {
-            handle,
-            swaps: Mutex::new(()),
+            tenants: TenantRegistry::new(default),
             reloads: AtomicU64::new(0),
             ingests: AtomicU64::new(0),
             ingest_events: AtomicU64::new(0),
@@ -670,7 +921,9 @@ impl QueryService {
             compactor_shutdown: Mutex::new(false),
             compactor_wake: Condvar::new(),
             queue: Mutex::new(QueueState {
-                jobs: VecDeque::new(),
+                lanes: Vec::new(),
+                cursor: 0,
+                total: 0,
                 shutdown: false,
             }),
             not_empty: Condvar::new(),
@@ -688,8 +941,27 @@ impl QueryService {
             slow_queries: AtomicU64::new(0),
             slow_log: Mutex::new(BoundedLog::new(config.slow_query_log)),
             events: Mutex::new(BoundedLog::new(config.event_log)),
-            durability: durability.map(Mutex::new),
+            durability_config,
         });
+        // CI parity knob: SODA_TEST_TENANTS=n hosts n-1 idle "shadow"
+        // tenants over the same engine, so the whole suite exercises a
+        // genuinely multi-tenant service (lanes, quotas, registry) without
+        // any test changing.  The shadows take no traffic and are not
+        // durable, so aggregate metrics and on-disk state are unchanged.
+        if let Some(extra) = std::env::var("SODA_TEST_TENANTS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|n| *n > 1)
+        {
+            for i in 1..extra {
+                let engine = shared.tenants.default_tenant().handle.load();
+                let _ = shared.tenants.register(Arc::new(TenantState::new(
+                    TenantId::new(format!("shadow-{i}")),
+                    SnapshotHandle::new(engine),
+                    None,
+                )));
+            }
+        }
         let workers = (0..config.workers.max(1))
             .map(|i| {
                 let shared = Arc::clone(&shared);
@@ -715,11 +987,14 @@ impl QueryService {
 
     /// Boots a **durable** service from the journal under
     /// [`DurabilityConfig::dir`], creating it when missing — this is both
-    /// the first-boot and the post-crash entry point.
+    /// the first-boot and the post-crash entry point.  The recovered
+    /// snapshot becomes the default tenant; tenants registered through
+    /// [`add_tenant`](Self::add_tenant) recover from their own journals at
+    /// registration time.
     ///
     /// `base_db` and `graph` must be the warehouse and metadata graph the
     /// journaled history started from (the graph is *not* journaled; after a
-    /// [`refresh_graph`](Self::refresh_graph) pass the refreshed one).
+    /// [`TenantAdmin::refresh_graph`] pass the refreshed one).
     /// Recovery then replays the journal: the latest checkpoint's table
     /// contents are applied over `base_db` and its generation stamps are
     /// restored, every feed appended after it is re-absorbed in order, and —
@@ -747,9 +1022,13 @@ impl QueryService {
             ServiceError::Durability(format!("creating {}: {e}", durability.dir.display()))
         })?;
         let config_fingerprint = config.fingerprint();
+        // The default tenant's journal is stamped with tenant fingerprint 0
+        // (the fold identity), which is also what pre-tenancy journals carry
+        // — existing durability directories recover unchanged.
         let (journal, replay) = FeedJournal::recover(
             &journal_path(&durability.dir),
             config_fingerprint,
+            TenantId::default().fingerprint(),
             durability.fsync,
         )
         .map_err(|e| ServiceError::Durability(e.to_string()))?;
@@ -844,7 +1123,7 @@ impl QueryService {
             cache_pages_restored: report.cache_pages_restored,
             cache_pages_stale: report.cache_pages_stale,
         };
-        let service = Self::start_with(handle, service, Some(state));
+        let service = Self::start_with(handle, service, Some((state, durability)));
         {
             // The file was written oldest-first, so sequential re-insertion
             // reproduces the drained cache's recency order.
@@ -872,24 +1151,101 @@ impl QueryService {
         Ok((service, report))
     }
 
-    /// Submits one query.  Returns immediately with a resolved handle on a
-    /// cache hit or a parse error; coalesces onto an identical in-flight job
-    /// when one exists; otherwise enqueues the job, blocking while the queue
-    /// is at capacity (backpressure).
-    pub fn submit(&self, request: QueryRequest) -> JobHandle {
+    /// Registers a new tenant: `engine` becomes what queries routed via
+    /// [`QueryRequest::tenant`] are answered from.  The tenant gets its own
+    /// [`SnapshotHandle`] (so its reloads and ingests never block another
+    /// tenant's), its own queue lane and quota, and — on a durable service —
+    /// its own write-ahead journal under `tenants/<name>-<fingerprint>/`,
+    /// which is replayed over `engine` right here (so a re-registered
+    /// tenant resumes exactly where its journaled history left off).
+    ///
+    /// Rejects the default id with [`ServiceError::TenantExists`] (the
+    /// default tenant always exists), and any already-registered id.
+    pub fn add_tenant(
+        &self,
+        id: impl Into<TenantId>,
+        engine: Arc<EngineSnapshot>,
+    ) -> Result<(), ServiceError> {
+        let id = id.into();
+        if id.is_default() || self.shared.tenants.resolve(&id).is_some() {
+            return Err(ServiceError::TenantExists(id.as_str().to_string()));
+        }
+        let handle = SnapshotHandle::new(engine);
+        let durability = match &self.shared.durability_config {
+            Some(config) => Some(recover_tenant_journal(&id, &handle, config)?),
+            None => None,
+        };
+        let replayed = durability.as_ref().map_or(0, |d| d.replayed_feeds);
+        let tenant = Arc::new(TenantState::new(id, handle, durability));
+        self.shared.tenants.register(Arc::clone(&tenant))?;
+        self.shared.event(
+            "add_tenant",
+            format!("tenant {}, {replayed} feeds replayed", tenant.id),
+        );
+        Ok(())
+    }
+
+    /// The ids of every hosted tenant, the default tenant first.
+    pub fn tenants(&self) -> Vec<TenantId> {
+        self.shared
+            .tenants
+            .all()
+            .iter()
+            .map(|t| t.id.clone())
+            .collect()
+    }
+
+    /// The administration facade for one tenant — every mutation of what
+    /// that tenant serves (`reload`, `rebuild_shards`, `refresh_graph`,
+    /// `ingest`, `ingest_owned`, `compact`, `clear_cache`) lives on the
+    /// returned [`TenantAdmin`], scoped to exactly that tenant.
+    pub fn admin(&self, tenant: impl Into<TenantId>) -> Result<TenantAdmin<'_>, ServiceError> {
+        let id = tenant.into();
+        match self.shared.tenants.resolve(&id) {
+            Some(tenant) => Ok(TenantAdmin {
+                service: self,
+                tenant,
+            }),
+            None => Err(ServiceError::UnknownTenant(id.as_str().to_string())),
+        }
+    }
+
+    /// Submits one query — the single request surface of the service.
+    ///
+    /// The request's tenant (default unless [`QueryRequest::tenant`] named
+    /// another) is resolved first; an unknown tenant resolves the handle
+    /// immediately with [`ServiceError::UnknownTenant`].  A
+    /// [`traced`](QueryRequest::traced) request executes on the calling
+    /// thread — bypassing cache, queue and coalescing, so the trace
+    /// reflects a full computation — and returns a resolved handle whose
+    /// response carries the span tree.  Untraced requests return
+    /// immediately with a resolved handle on a cache hit or a parse error;
+    /// coalesce onto an identical in-flight job when one exists; otherwise
+    /// enqueue the job in the tenant's lane, blocking while the lane is at
+    /// its admission quota or the queue at capacity (backpressure).
+    pub fn query(&self, request: QueryRequest) -> JobHandle {
         let submitted = Instant::now();
+        let Some(tenant) = self.shared.tenants.resolve(&request.tenant) else {
+            return JobHandle::ready(Err(ServiceError::UnknownTenant(
+                request.tenant.as_str().to_string(),
+            )));
+        };
+        if request.traced {
+            return JobHandle::ready(self.run_traced(&tenant, &request, submitted));
+        }
         let normalized = match normalize_query(&request.input) {
             Ok(n) => n,
             Err(e) => return JobHandle::ready(Err(ServiceError::Engine(e))),
         };
-        // Pin the current snapshot for this submission's whole life: the key
-        // carries its fingerprint (so cache hits and coalescing stay within
-        // one generation) and the job carries the Arc (so the worker
-        // computes against the same generation the key names).
-        let engine = self.shared.handle.load();
+        // Pin the tenant's current snapshot for this submission's whole
+        // life: the key carries its tenant-folded fingerprint (so cache hits
+        // and coalescing stay within one tenant and one generation) and the
+        // job carries the Arc (so the worker computes against the same
+        // generation the key names).
+        let engine = tenant.handle.load();
         let key = CacheKey {
             normalized,
-            snapshot_fingerprint: engine.cache_fingerprint(),
+            snapshot_fingerprint: tenant.id.fold(engine.cache_fingerprint()),
             page: request.page,
             page_size: request.page_size.max(1),
         };
@@ -901,7 +1257,7 @@ impl QueryService {
         // takes in another order.
         enum Probe {
             Hit(ResultPage),
-            Coalesced(mpsc::Receiver<JobResult>),
+            Coalesced(mpsc::Receiver<WireResult>),
             Compute,
         }
         let probe = {
@@ -921,25 +1277,42 @@ impl QueryService {
         match probe {
             Probe::Hit(page) => {
                 self.shared.record_hit(submitted);
-                return JobHandle::ready(Ok(page));
+                tenant.warm_hits.fetch_add(1, Ordering::Relaxed);
+                tenant.record_response(submitted.elapsed());
+                return JobHandle::ready(Ok(QueryResponse::untraced(page)));
             }
             Probe::Coalesced(rx) => return JobHandle::pending(rx),
             Probe::Compute => {}
         }
 
         let (tx, rx) = mpsc::channel();
+        let lane = tenant.id.fingerprint();
         let job = Job {
             key: key.clone(),
             input: request.input,
             page: request.page,
             page_size: request.page_size,
             engine,
+            tenant: Arc::clone(&tenant),
             submitted,
             tx,
         };
+        // Admission control: block while the whole queue is at capacity OR
+        // this tenant's lane is at its fair share of it.  The quota is what
+        // keeps one tenant's cold-query storm from squatting every slot —
+        // the flooding tenant's own submitters block here while other
+        // tenants still find room in their lanes.
+        let quota = admission_quota(self.shared.queue_capacity, self.shared.tenants.len());
         let mut state = self.shared.queue.lock().expect("queue poisoned");
-        while state.jobs.len() >= self.shared.queue_capacity && !state.shutdown {
+        let mut waited = false;
+        while (state.total >= self.shared.queue_capacity || state.depth_of(lane) >= quota)
+            && !state.shutdown
+        {
+            waited = true;
             state = self.shared.not_full.wait(state).expect("queue poisoned");
+        }
+        if waited {
+            tenant.admission_waits.fetch_add(1, Ordering::Relaxed);
         }
         if state.shutdown {
             drop(state);
@@ -954,25 +1327,88 @@ impl QueryService {
             }
             return JobHandle::ready(Err(ServiceError::ShuttingDown));
         }
-        state.jobs.push_back(job);
+        state.push(lane, job);
         drop(state);
         self.shared.not_empty.notify_one();
         JobHandle::pending(rx)
     }
 
+    /// The traced execution behind [`query`](Self::query): runs the
+    /// pipeline on the caller's thread through a [`CollectingSink`] and a
+    /// [`ProbeRecorder`], counting it like any other execution.  The served
+    /// page is byte-identical to the untraced answer — tracing never
+    /// changes an answer.
+    fn run_traced(
+        &self,
+        tenant: &Arc<TenantState>,
+        request: &QueryRequest,
+        submitted: Instant,
+    ) -> JobResult {
+        let engine = tenant.handle.load();
+        let sink = CollectingSink::new();
+        let recorder = ProbeRecorder::new();
+        let (page, timings) = engine
+            .search_paged_observed(
+                &request.input,
+                request.page,
+                request.page_size,
+                Some(&recorder),
+                &sink,
+            )
+            .map_err(ServiceError::Engine)?;
+        let e2e = submitted.elapsed();
+        self.shared
+            .store
+            .lock()
+            .expect("store poisoned")
+            .pipeline_executions += 1;
+        tenant.executions.fetch_add(1, Ordering::Relaxed);
+        self.shared
+            .record_executed(e2e, Duration::ZERO, e2e, Some(&timings));
+        tenant.record_response(e2e);
+        Ok(QueryResponse {
+            page,
+            trace: Some(sink.finish()),
+        })
+    }
+
+    /// Deprecated spelling of [`query`](Self::query).
+    #[deprecated(note = "use `query` — the handle now yields a `QueryResponse`")]
+    pub fn submit(&self, request: QueryRequest) -> JobHandle {
+        self.query(request)
+    }
+
     /// Submits a batch and waits for every result, preserving order.
     ///
-    /// Submission interleaves with execution: the first jobs are already
-    /// being served while the last ones are still entering the queue, and a
-    /// batch larger than the queue capacity simply rides the backpressure.
+    /// Deprecated: collect [`query`](Self::query) handles and wait on each —
+    /// submission still interleaves with execution exactly as it did here.
+    #[deprecated(note = "collect `query` handles and wait on each")]
     pub fn submit_batch(&self, requests: Vec<QueryRequest>) -> Vec<JobResult> {
-        let handles: Vec<JobHandle> = requests.into_iter().map(|r| self.submit(r)).collect();
+        let handles: Vec<JobHandle> = requests.into_iter().map(|r| self.query(r)).collect();
         handles.into_iter().map(JobHandle::wait).collect()
     }
 
-    /// A point-in-time snapshot of the service's health.
+    /// Runs one query **traced** and returns the page with its span tree.
+    ///
+    /// Deprecated: [`query`](Self::query) with
+    /// [`QueryRequest::traced`] yields the same execution, page and trace on
+    /// the [`QueryResponse`].
+    #[deprecated(note = "use `query` with `QueryRequest::traced`")]
+    pub fn submit_traced(&self, request: QueryRequest) -> Result<TracedQuery, ServiceError> {
+        let response = self.query(request.traced()).wait()?;
+        let trace = response
+            .trace
+            .expect("a traced request always carries a trace");
+        Ok(TracedQuery {
+            page: response.page,
+            trace,
+        })
+    }
+
+    /// A point-in-time snapshot of the service's health, the per-tenant
+    /// fairness split ([`ServiceMetrics::tenants`]) included.
     pub fn metrics(&self) -> ServiceMetrics {
-        // One lock at a time, never nested: submit() takes store then
+        // One lock at a time, never nested: query() takes store then
         // latency, so holding latency while locking store here would invert
         // the order and risk a deadlock.
         let (completed, latency, queue_wait, execution, stages) = {
@@ -986,8 +1422,9 @@ impl QueryService {
             )
         };
         let uptime = self.shared.started.elapsed();
-        let qps = if uptime.as_secs_f64() > 0.0 {
-            completed as f64 / uptime.as_secs_f64()
+        let uptime_secs = uptime.as_secs_f64();
+        let qps = if uptime_secs > 0.0 {
+            completed as f64 / uptime_secs
         } else {
             0.0
         };
@@ -999,11 +1436,47 @@ impl QueryService {
                 store.coalesced,
             )
         };
+        let (queue_depth, lane_depths) = {
+            let state = self.shared.queue.lock().expect("queue poisoned");
+            (state.total, state.lane_depths())
+        };
+        let tenants = self
+            .shared
+            .tenants
+            .all()
+            .iter()
+            .map(|t| {
+                let (completed, latency) = {
+                    let hist = t.e2e.lock().expect("tenant latency recorder poisoned");
+                    (hist.count(), LatencySummary::of(&hist))
+                };
+                TenantMetrics {
+                    tenant: t.id.as_str().to_string(),
+                    completed,
+                    qps: if uptime_secs > 0.0 {
+                        completed as f64 / uptime_secs
+                    } else {
+                        0.0
+                    },
+                    latency,
+                    warm_hits: t.warm_hits.load(Ordering::Relaxed),
+                    executions: t.executions.load(Ordering::Relaxed),
+                    admission_waits: t.admission_waits.load(Ordering::Relaxed),
+                    queue_depth: lane_depths.get(&t.id.fingerprint()).copied().unwrap_or(0),
+                    generation: t.handle.generation(),
+                    reloads: t.reloads.load(Ordering::Relaxed),
+                    ingest_feeds: t.ingest_feeds.load(Ordering::Relaxed),
+                    compactions: t.compactions.load(Ordering::Relaxed),
+                }
+            })
+            .collect();
         // Re-sampled from the live handle on every call (not captured at
         // construction), so the per-shard gauges and the generation always
         // describe the snapshot that is serving *now*, including after a
-        // swap.
-        let snapshot = self.shared.handle.load();
+        // swap.  The top-level figures describe the default tenant; the
+        // per-tenant split is in `tenants`.
+        let default = self.shared.tenants.default_tenant();
+        let snapshot = default.handle.load();
         ServiceMetrics {
             uptime,
             completed,
@@ -1016,7 +1489,7 @@ impl QueryService {
             pipeline_executions,
             coalesced,
             slow_queries: self.shared.slow_queries.load(Ordering::Relaxed),
-            queue_depth: self.shared.queue.lock().expect("queue poisoned").jobs.len(),
+            queue_depth,
             workers: self.workers.len(),
             generation: snapshot.generation(),
             reloads: self.shared.reloads.load(Ordering::Relaxed),
@@ -1031,7 +1504,7 @@ impl QueryService {
                 compacted_shards: self.shared.compacted_shards.load(Ordering::Relaxed),
             },
             shards: snapshot.shard_stats(),
-            durability: match &self.shared.durability {
+            durability: match &default.durability {
                 Some(durability) => {
                     let d = durability.lock().expect("durability state poisoned");
                     DurabilityMetrics {
@@ -1049,14 +1522,17 @@ impl QueryService {
                 }
                 None => DurabilityMetrics::default(),
             },
+            tenants,
         }
     }
 
     /// Renders the service's health as a Prometheus text-exposition
     /// document (format 0.0.4): the lifetime counters and point-in-time
-    /// gauges of [`metrics`](Self::metrics) plus the latency **histograms**
-    /// (end-to-end, queue wait, execution and per-stage, all in seconds) —
-    /// the full-fidelity surface a scrape-based monitoring stack ingests.
+    /// gauges of [`metrics`](Self::metrics), the per-tenant fairness
+    /// families (`soda_tenant_*`, one sample per hosted tenant, labelled
+    /// `tenant="<name>"`) and the latency **histograms** (end-to-end, queue
+    /// wait, execution, per-stage and per-tenant, all in seconds) — the
+    /// full-fidelity surface a scrape-based monitoring stack ingests.
     ///
     /// The document always validates against
     /// [`soda_trace::prom::validate`]; the metric names and label sets are a
@@ -1294,6 +1770,127 @@ impl QueryService {
             );
         }
 
+        // The per-tenant fairness split: one sample per hosted tenant,
+        // labelled with the tenant name — how an operator sees which tenant
+        // is flooding, which is starving and whether admission control is
+        // biting.
+        w.header(
+            "soda_tenant_queries_completed_total",
+            "Queries answered, per tenant.",
+            MetricKind::Counter,
+        );
+        for t in &m.tenants {
+            w.int_value(
+                "soda_tenant_queries_completed_total",
+                &[("tenant", t.tenant.clone())],
+                t.completed,
+            );
+        }
+        w.header(
+            "soda_tenant_qps",
+            "Answered queries per second of uptime, per tenant.",
+            MetricKind::Gauge,
+        );
+        for t in &m.tenants {
+            w.value("soda_tenant_qps", &[("tenant", t.tenant.clone())], t.qps);
+        }
+        w.header(
+            "soda_tenant_warm_hits_total",
+            "Submissions answered from the cache at submission time, per tenant.",
+            MetricKind::Counter,
+        );
+        for t in &m.tenants {
+            w.int_value(
+                "soda_tenant_warm_hits_total",
+                &[("tenant", t.tenant.clone())],
+                t.warm_hits,
+            );
+        }
+        w.header(
+            "soda_tenant_pipeline_executions_total",
+            "Full pipeline executions, per tenant.",
+            MetricKind::Counter,
+        );
+        for t in &m.tenants {
+            w.int_value(
+                "soda_tenant_pipeline_executions_total",
+                &[("tenant", t.tenant.clone())],
+                t.executions,
+            );
+        }
+        w.header(
+            "soda_tenant_admission_waits_total",
+            "Submissions that blocked in admission control, per tenant.",
+            MetricKind::Counter,
+        );
+        for t in &m.tenants {
+            w.int_value(
+                "soda_tenant_admission_waits_total",
+                &[("tenant", t.tenant.clone())],
+                t.admission_waits,
+            );
+        }
+        w.header(
+            "soda_tenant_queue_depth",
+            "Jobs currently waiting in the tenant's queue lane.",
+            MetricKind::Gauge,
+        );
+        for t in &m.tenants {
+            w.int_value(
+                "soda_tenant_queue_depth",
+                &[("tenant", t.tenant.clone())],
+                t.queue_depth as u64,
+            );
+        }
+        w.header(
+            "soda_tenant_generation",
+            "Generation of the snapshot the tenant currently serves.",
+            MetricKind::Gauge,
+        );
+        for t in &m.tenants {
+            w.int_value(
+                "soda_tenant_generation",
+                &[("tenant", t.tenant.clone())],
+                t.generation,
+            );
+        }
+        w.header(
+            "soda_tenant_reloads_total",
+            "Snapshot swaps performed, per tenant.",
+            MetricKind::Counter,
+        );
+        for t in &m.tenants {
+            w.int_value(
+                "soda_tenant_reloads_total",
+                &[("tenant", t.tenant.clone())],
+                t.reloads,
+            );
+        }
+        w.header(
+            "soda_tenant_ingest_feeds_total",
+            "Change feeds absorbed, per tenant.",
+            MetricKind::Counter,
+        );
+        for t in &m.tenants {
+            w.int_value(
+                "soda_tenant_ingest_feeds_total",
+                &[("tenant", t.tenant.clone())],
+                t.ingest_feeds,
+            );
+        }
+        w.header(
+            "soda_tenant_compactions_total",
+            "Side-log compactions performed, per tenant.",
+            MetricKind::Counter,
+        );
+        for t in &m.tenants {
+            w.int_value(
+                "soda_tenant_compactions_total",
+                &[("tenant", t.tenant.clone())],
+                t.compactions,
+            );
+        }
+
         // The histogram families render under the latency lock (taken alone,
         // consistent with the one-lock-at-a-time rule of `metrics`).
         self.shared
@@ -1301,53 +1898,27 @@ impl QueryService {
             .lock()
             .expect("latency poisoned")
             .write_prometheus(&mut w);
+        w.header(
+            "soda_tenant_query_duration_seconds",
+            "End-to-end query latency, per tenant.",
+            MetricKind::Histogram,
+        );
+        for t in self.shared.tenants.all() {
+            let hist = t.e2e.lock().expect("tenant latency recorder poisoned");
+            w.histogram(
+                "soda_tenant_query_duration_seconds",
+                &[("tenant", t.id.as_str().to_string())],
+                &hist,
+            );
+        }
         w.finish()
     }
 
-    /// Runs one query **traced**, on the caller's thread, and returns the
-    /// page together with the folded span tree — the `query` root, the five
-    /// stage spans (`lookup`, `rank`, `tables`, `filters`, `sqlgen`) and one
-    /// `probe_shard` sub-span per index partition probed.
-    ///
-    /// This is the diagnostic path: it bypasses the cache, the queue and the
-    /// coalescing map so the pipeline genuinely executes and the trace
-    /// reflects a full computation (the execution still counts in
-    /// [`metrics`](Self::metrics) as a pipeline execution and latency
-    /// sample).  The served page is byte-identical to what
-    /// [`submit`](Self::submit) computes for the same request — tracing
-    /// never changes an answer.
-    pub fn submit_traced(&self, request: QueryRequest) -> Result<TracedQuery, ServiceError> {
-        let submitted = Instant::now();
-        let engine = self.shared.handle.load();
-        let sink = CollectingSink::new();
-        let recorder = ProbeRecorder::new();
-        let (page, timings) = engine
-            .search_paged_observed(
-                &request.input,
-                request.page,
-                request.page_size,
-                Some(&recorder),
-                &sink,
-            )
-            .map_err(ServiceError::Engine)?;
-        let e2e = submitted.elapsed();
-        self.shared
-            .store
-            .lock()
-            .expect("store poisoned")
-            .pipeline_executions += 1;
-        self.shared
-            .record_executed(e2e, Duration::ZERO, e2e, Some(&timings));
-        Ok(TracedQuery {
-            page,
-            trace: sink.finish(),
-        })
-    }
-
     /// A snapshot of the operational-event log, oldest retained entry
-    /// first: snapshot swaps, ingests, compactions, checkpoints, recoveries
-    /// and slow-query captures, each with a sequence number and an offset
-    /// from service start.  Bounded by [`ServiceConfig::event_log`].
+    /// first: snapshot swaps, ingests, compactions, checkpoints, recoveries,
+    /// tenant registrations and slow-query captures, each with a sequence
+    /// number and an offset from service start.  Bounded by
+    /// [`ServiceConfig::event_log`].
     pub fn events(&self) -> Vec<OpEvent> {
         self.shared
             .events
@@ -1367,21 +1938,16 @@ impl QueryService {
             .to_vec()
     }
 
-    /// Drops every cached result page (the lifetime hit/miss counters
-    /// survive).  Used by benchmarks to measure the cold path and by
-    /// operators after warehouse reloads.
+    /// Deprecated spelling of the default tenant's
+    /// [`TenantAdmin::clear_cache`].
+    #[deprecated(note = "use `admin(TenantId::default())` — mutations are tenant-scoped")]
     pub fn clear_cache(&self) {
-        self.shared
-            .store
-            .lock()
-            .expect("store poisoned")
-            .cache
-            .clear();
+        self.clear_cache_for(self.shared.tenants.default_tenant());
     }
 
-    /// Jobs currently waiting in the queue.
+    /// Jobs currently waiting in the queue, all tenant lanes combined.
     pub fn queue_depth(&self) -> usize {
-        self.shared.queue.lock().expect("queue poisoned").jobs.len()
+        self.shared.queue.lock().expect("queue poisoned").total
     }
 
     /// Size of the worker pool.
@@ -1389,105 +1955,154 @@ impl QueryService {
         self.workers.len()
     }
 
-    /// The engine snapshot currently being served.  A subsequent
-    /// [`reload`](Self::reload) does not invalidate the returned `Arc`; it
-    /// just stops being what new submissions see.
+    /// The engine snapshot the **default tenant** currently serves.  A
+    /// subsequent reload does not invalidate the returned `Arc`; it just
+    /// stops being what new submissions see.  Other tenants' snapshots are
+    /// reached through [`admin`](Self::admin).
     pub fn engine(&self) -> Arc<EngineSnapshot> {
-        self.shared.handle.load()
+        self.shared.tenants.default_tenant().handle.load()
     }
 
-    /// Generation of the snapshot currently being served.
+    /// Generation of the snapshot the default tenant currently serves.
     pub fn generation(&self) -> u64 {
-        self.shared.handle.generation()
+        self.shared.tenants.default_tenant().handle.generation()
     }
 
-    /// Swaps in a full replacement snapshot **without draining the worker
-    /// pool**: in-flight queries finish on the generation they pinned at
-    /// submission, new submissions see the new one.  Interpretation-cache
-    /// pages of superseded generations are purged (they would be
-    /// unaddressable anyway — the fingerprint in their key no longer
-    /// matches).  Returns the new generation.
+    /// Deprecated spelling of the default tenant's [`TenantAdmin::reload`].
+    #[deprecated(note = "use `admin(TenantId::default())` — mutations are tenant-scoped")]
     pub fn reload(&self, snapshot: EngineSnapshot) -> u64 {
-        let _swap = self.shared.swaps.lock().expect("swap lock poisoned");
-        let generation = self.shared.handle.publish(snapshot);
+        self.reload_for(self.shared.tenants.default_tenant(), snapshot)
+    }
+
+    /// Deprecated spelling of the default tenant's
+    /// [`TenantAdmin::rebuild_shards`].
+    #[deprecated(note = "use `admin(TenantId::default())` — mutations are tenant-scoped")]
+    pub fn rebuild_shards(&self, db: Arc<Database>, tables: &[String]) -> u64 {
+        self.rebuild_shards_for(self.shared.tenants.default_tenant(), db, tables)
+    }
+
+    /// Deprecated spelling of the default tenant's
+    /// [`TenantAdmin::refresh_graph`].
+    #[deprecated(note = "use `admin(TenantId::default())` — mutations are tenant-scoped")]
+    pub fn refresh_graph(&self, graph: Arc<MetaGraph>) -> u64 {
+        self.refresh_graph_for(self.shared.tenants.default_tenant(), graph)
+    }
+
+    /// Deprecated spelling of the default tenant's [`TenantAdmin::ingest`].
+    #[deprecated(note = "use `admin(TenantId::default())` — mutations are tenant-scoped")]
+    pub fn ingest(&self, feed: &ChangeFeed) -> Result<u64, ServiceError> {
+        self.ingest_owned_for(self.shared.tenants.default_tenant(), feed.clone())
+    }
+
+    /// Deprecated spelling of the default tenant's
+    /// [`TenantAdmin::ingest_owned`].
+    #[deprecated(note = "use `admin(TenantId::default())` — mutations are tenant-scoped")]
+    pub fn ingest_owned(&self, feed: ChangeFeed) -> Result<u64, ServiceError> {
+        self.ingest_owned_for(self.shared.tenants.default_tenant(), feed)
+    }
+
+    /// Deprecated spelling of the default tenant's [`TenantAdmin::compact`].
+    #[deprecated(note = "use `admin(TenantId::default())` — mutations are tenant-scoped")]
+    pub fn compact(&self, shards: &[usize]) -> Option<u64> {
+        self.compact_for(self.shared.tenants.default_tenant(), shards)
+    }
+
+    /// Swaps in a full replacement snapshot for one tenant **without
+    /// draining the worker pool**: the tenant's in-flight queries finish on
+    /// the generation they pinned at submission, new submissions see the new
+    /// one.  The tenant's cached pages of superseded generations are purged
+    /// (they would be unaddressable anyway — the fingerprint in their key no
+    /// longer matches); other tenants' pages are untouched.
+    pub(crate) fn reload_for(&self, tenant: &Arc<TenantState>, snapshot: EngineSnapshot) -> u64 {
+        let _swap = tenant.swaps.lock().expect("tenant swap lock poisoned");
+        let prev = tenant.folded_live();
+        let generation = tenant.handle.publish(snapshot);
         self.shared.reloads.fetch_add(1, Ordering::Relaxed);
-        self.shared
-            .event("reload", format!("generation {generation}"));
-        self.purge_superseded();
+        tenant.reloads.fetch_add(1, Ordering::Relaxed);
+        self.shared.event(
+            "reload",
+            format!("generation {generation}{}", tenant_suffix(tenant)),
+        );
+        self.purge_superseded_for(tenant, prev);
         // The reload replaced data the journal knows nothing about: record
         // the *entire* live database (plus the new stamps), so the next
         // recovery lands on the reloaded content whatever base it is given.
-        write_checkpoint_under_swap_lock(&self.shared, true);
+        write_checkpoint_under_swap_lock(&self.shared, tenant, true);
         generation
     }
 
-    /// Per-shard hot swap: given a database in which only `tables` changed,
-    /// rebuilds and atomically replaces the inverted-index partitions owning
-    /// those tables while every other shard keeps serving — see
-    /// [`SnapshotHandle::rebuild_shards`].  Cached pages whose queries
+    /// Per-shard hot swap for one tenant: given a database in which only
+    /// `tables` changed, rebuilds and atomically replaces the inverted-index
+    /// partitions owning those tables while every other shard keeps serving
+    /// — see [`SnapshotHandle::rebuild_shards`].  Cached pages whose queries
     /// provably never consulted a rebuilt partition are carried across the
-    /// swap ([`CacheStats::retained`](crate::CacheStats)); the rest are
-    /// purged.  Returns the new generation.
-    pub fn rebuild_shards(&self, db: Arc<Database>, tables: &[String]) -> u64 {
-        let _swap = self.shared.swaps.lock().expect("swap lock poisoned");
-        let prev = self.shared.handle.load().cache_fingerprint();
-        let dirty = self.shared.handle.load().shards_for_tables(tables);
-        let generation = self.shared.handle.rebuild_shards(db, tables);
+    /// swap ([`CacheStats::retained`](crate::CacheStats)); the rest of the
+    /// tenant's superseded pages are purged.
+    pub(crate) fn rebuild_shards_for(
+        &self,
+        tenant: &Arc<TenantState>,
+        db: Arc<Database>,
+        tables: &[String],
+    ) -> u64 {
+        let _swap = tenant.swaps.lock().expect("tenant swap lock poisoned");
+        let prev = tenant.folded_live();
+        let dirty = tenant.handle.load().shards_for_tables(tables);
+        let generation = tenant.handle.rebuild_shards(db, tables);
         self.shared.reloads.fetch_add(1, Ordering::Relaxed);
+        tenant.reloads.fetch_add(1, Ordering::Relaxed);
         self.shared.event(
             "rebuild_shards",
             format!(
-                "generation {generation}, {} tables, shards {dirty:?}",
-                tables.len()
+                "generation {generation}, {} tables, shards {dirty:?}{}",
+                tables.len(),
+                tenant_suffix(tenant)
             ),
         );
-        self.retain_unaffected(prev, &dirty);
+        retain_unaffected(&self.shared, tenant, prev, &dirty);
         // The caller handed a whole replacement database; checkpoint all of
-        // it (see `reload`).
-        write_checkpoint_under_swap_lock(&self.shared, true);
+        // it (see `reload_for`).
+        write_checkpoint_under_swap_lock(&self.shared, tenant, true);
         generation
     }
 
-    /// Metadata hot swap: rebuilds the classification index and join catalog
-    /// against a refreshed graph, sharing every classification partition the
-    /// refresh did not touch — see [`SnapshotHandle::refresh_graph`].
-    /// Returns the new generation.
-    pub fn refresh_graph(&self, graph: Arc<MetaGraph>) -> u64 {
-        let _swap = self.shared.swaps.lock().expect("swap lock poisoned");
-        let generation = self.shared.handle.refresh_graph(graph);
+    /// Metadata hot swap for one tenant: rebuilds the classification index
+    /// and join catalog against a refreshed graph, sharing every
+    /// classification partition the refresh did not touch — see
+    /// [`SnapshotHandle::refresh_graph`].
+    pub(crate) fn refresh_graph_for(
+        &self,
+        tenant: &Arc<TenantState>,
+        graph: Arc<MetaGraph>,
+    ) -> u64 {
+        let _swap = tenant.swaps.lock().expect("tenant swap lock poisoned");
+        let prev = tenant.folded_live();
+        let generation = tenant.handle.refresh_graph(graph);
         self.shared.reloads.fetch_add(1, Ordering::Relaxed);
-        self.shared
-            .event("refresh_graph", format!("generation {generation}"));
-        self.purge_superseded();
+        tenant.reloads.fetch_add(1, Ordering::Relaxed);
+        self.shared.event(
+            "refresh_graph",
+            format!("generation {generation}{}", tenant_suffix(tenant)),
+        );
+        self.purge_superseded_for(tenant, prev);
         // The graph itself is not journaled (recovery receives it as an
         // argument), but the stamps moved: checkpoint so a recovery under
         // the refreshed graph restores the post-refresh fingerprints.
-        write_checkpoint_under_swap_lock(&self.shared, true);
+        write_checkpoint_under_swap_lock(&self.shared, tenant, true);
         generation
     }
 
-    /// Streaming ingestion: absorbs a row-level change feed into a new
-    /// snapshot generation **without rebuilding any index partition** — the
-    /// events accumulate in per-shard side logs that every probe merges on
-    /// the fly (see [`SnapshotHandle::absorb`]).  In-flight queries finish
-    /// on their pinned generation; cached pages that provably never
-    /// consulted an ingested shard are carried across.  When a background
-    /// compaction worker is configured it is nudged afterwards, so a feed
-    /// that pushes a log past its budget gets folded promptly.  Returns the
-    /// new generation; a rejected feed (unknown table, arity violation)
-    /// publishes nothing.
-    pub fn ingest(&self, feed: &ChangeFeed) -> Result<u64, ServiceError> {
-        self.ingest_owned(feed.clone())
-    }
-
-    /// [`ingest`](Self::ingest) for an **owned** feed — the zero-copy path:
-    /// the journal records the feed by reference, then its rows move by
-    /// value through the copy-on-write snapshot derive
-    /// ([`SnapshotHandle::absorb_owned`]), so nothing is cloned per row.
-    pub fn ingest_owned(&self, feed: ChangeFeed) -> Result<u64, ServiceError> {
-        let _swap = self.shared.swaps.lock().expect("swap lock poisoned");
-        let before = self.shared.handle.load();
-        let prev = before.cache_fingerprint();
+    /// Streaming ingestion into one tenant's snapshot — the write-ahead
+    /// journal append (on a durable service, into **this tenant's**
+    /// journal), the absorb, the counter updates and the retention pass, all
+    /// under the tenant's swap lock.
+    pub(crate) fn ingest_owned_for(
+        &self,
+        tenant: &Arc<TenantState>,
+        feed: ChangeFeed,
+    ) -> Result<u64, ServiceError> {
+        let _swap = tenant.swaps.lock().expect("tenant swap lock poisoned");
+        let before = tenant.handle.load();
+        let prev = tenant.id.fold(before.cache_fingerprint());
         let dirty = before.shards_for_tables(&feed.tables());
         let described = feed.describe();
         // Write-ahead: the feed reaches the (fsynced) journal before the
@@ -1495,7 +2110,7 @@ impl QueryService {
         // after a crash.  If the append fails the feed is not absorbed at
         // all; if the engine then rejects it, the journaled record is
         // deterministically re-rejected on replay — harmless either way.
-        if let Some(durability) = &self.shared.durability {
+        if let Some(durability) = &tenant.durability {
             let appended = {
                 let mut d = durability.lock().expect("durability state poisoned");
                 let appended = d
@@ -1506,18 +2121,25 @@ impl QueryService {
                 d.dirty_tables.extend(feed.tables());
                 appended
             };
-            self.shared
-                .event("journal_append", format!("{appended} bytes"));
+            self.shared.event(
+                "journal_append",
+                format!("{appended} bytes{}", tenant_suffix(tenant)),
+            );
         }
-        let outcome = self
-            .shared
+        let outcome = tenant
             .handle
             .absorb_owned(feed)
             .map_err(ServiceError::Engine)?;
         let generation = outcome.generation;
-        self.shared
-            .event("ingest", format!("generation {generation}, {described}"));
+        self.shared.event(
+            "ingest",
+            format!(
+                "generation {generation}, {described}{}",
+                tenant_suffix(tenant)
+            ),
+        );
         self.shared.ingests.fetch_add(1, Ordering::Relaxed);
+        tenant.ingest_feeds.fetch_add(1, Ordering::Relaxed);
         self.shared
             .ingest_events
             .fetch_add(outcome.report.events as u64, Ordering::Relaxed);
@@ -1533,64 +2155,153 @@ impl QueryService {
         self.shared
             .ingest_tables_shared
             .fetch_add(outcome.report.tables_shared as u64, Ordering::Relaxed);
-        self.retain_unaffected(prev, &dirty);
+        retain_unaffected(&self.shared, tenant, prev, &dirty);
         drop(_swap);
         self.shared.compactor_wake.notify_all();
         Ok(generation)
     }
 
-    /// Folds the ingestion side logs of `shards` into rebuilt partitions
-    /// (answers unchanged by construction; see [`SnapshotHandle::compact`]).
-    /// Returns the new generation, or `None` when none of the named shards
-    /// had a log to fold.  With a background worker configured this is
-    /// rarely needed — the worker calls the same path once a log crosses
-    /// the policy budget.
-    pub fn compact(&self, shards: &[usize]) -> Option<u64> {
-        let _swap = self.shared.swaps.lock().expect("swap lock poisoned");
-        compact_under_swap_lock(&self.shared, shards)
+    /// Folds the ingestion side logs of one tenant's `shards` into rebuilt
+    /// partitions (answers unchanged by construction; see
+    /// [`SnapshotHandle::compact`]).  Returns the new generation, or `None`
+    /// when none of the named shards had a log to fold.
+    pub(crate) fn compact_for(&self, tenant: &Arc<TenantState>, shards: &[usize]) -> Option<u64> {
+        let _swap = tenant.swaps.lock().expect("tenant swap lock poisoned");
+        compact_under_swap_lock(&self.shared, tenant, shards)
     }
 
-    /// Purges every cached page whose fingerprint is not the live one —
-    /// the conservative post-swap path for full reloads and graph
-    /// refreshes, where nothing about a page is provably unchanged.
-    fn purge_superseded(&self) {
-        let live = self.shared.handle.load().cache_fingerprint();
+    /// Drops one tenant's cached result pages — every entry keyed by the
+    /// tenant's live fingerprint.  (Entries of superseded generations were
+    /// already purged by the swap that superseded them.)  Other tenants'
+    /// pages and the lifetime hit/miss counters survive.
+    pub(crate) fn clear_cache_for(&self, tenant: &Arc<TenantState>) {
+        let live = tenant.folded_live();
         self.shared
             .store
             .lock()
             .expect("store poisoned")
             .cache
-            .retain(|key| key.snapshot_fingerprint == live);
+            .retain(|key| key.snapshot_fingerprint != live);
     }
 
-    /// See [`retain_unaffected`].
-    fn retain_unaffected(&self, prev: u64, dirty: &[usize]) {
-        retain_unaffected(&self.shared, prev, dirty);
+    /// Purges every cached page keyed by this tenant's superseded
+    /// fingerprint `prev` — the conservative post-swap path for full
+    /// reloads and graph refreshes, where nothing about a page is provably
+    /// unchanged.  Scoped to `prev`, so other tenants' pages (and the
+    /// tenant's already-live pages) are untouched.
+    fn purge_superseded_for(&self, tenant: &Arc<TenantState>, prev: u64) {
+        let live = tenant.folded_live();
+        self.shared
+            .store
+            .lock()
+            .expect("store poisoned")
+            .cache
+            .retain(|key| key.snapshot_fingerprint == live || key.snapshot_fingerprint != prev);
     }
 }
 
+/// Opens (or creates) one tenant's own feed journal under the service's
+/// durability directory and replays it over the snapshot the caller handed
+/// to [`QueryService::add_tenant`] — the per-tenant analogue of
+/// [`QueryService::recover`].  The journal lives in its own
+/// [`tenant_journal_dir`] and its header is stamped with the tenant
+/// fingerprint, so one tenant's history can never replay into another's
+/// snapshot.  The handed-in snapshot must be the base the journaled history
+/// started from (mirroring `recover`'s contract for the default tenant).
+fn recover_tenant_journal(
+    id: &TenantId,
+    handle: &SnapshotHandle,
+    config: &DurabilityConfig,
+) -> Result<DurabilityState, ServiceError> {
+    let dir = tenant_journal_dir(&config.dir, id.as_str(), id.fingerprint());
+    std::fs::create_dir_all(&dir)
+        .map_err(|e| ServiceError::Durability(format!("creating {}: {e}", dir.display())))?;
+    let base = handle.load();
+    let config_fingerprint = base.config().fingerprint();
+    let (journal, replay) = FeedJournal::recover(
+        &journal_path(&dir),
+        config_fingerprint,
+        id.fingerprint(),
+        config.fsync,
+    )
+    .map_err(|e| ServiceError::Durability(e.to_string()))?;
+    let truncated_bytes = replay.truncated_bytes;
+    let (checkpoint, feeds) = replay.into_plan();
+    let mut dirty_tables = BTreeSet::new();
+    if let Some(cp) = &checkpoint {
+        let mut db = (*base.database()).clone();
+        for (name, rows) in &cp.tables {
+            let table = db.table_mut(name).map_err(|e| {
+                ServiceError::Durability(format!("applying checkpoint to `{name}`: {e}"))
+            })?;
+            table.truncate();
+            table.insert_all(rows.iter().cloned()).map_err(|e| {
+                ServiceError::Durability(format!("applying checkpoint to `{name}`: {e}"))
+            })?;
+            dirty_tables.insert(name.clone());
+        }
+        handle.publish(EngineSnapshot::build(
+            Arc::new(db),
+            base.graph_arc(),
+            base.config().clone(),
+        ));
+        handle
+            .restore_generations(cp.generation, &cp.shard_generations)
+            .map_err(ServiceError::Engine)?;
+    }
+    let mut replayed_feeds = 0;
+    let mut rejected_replays = 0;
+    for feed in feeds {
+        let tables = feed.tables();
+        match handle.absorb_owned(feed) {
+            Ok(_) => {
+                replayed_feeds += 1;
+                dirty_tables.extend(tables);
+            }
+            Err(_) => rejected_replays += 1,
+        }
+    }
+    Ok(DurabilityState {
+        journal,
+        cache_path: dir.join(CACHE_FILE),
+        // Only the default tenant persists warm pages on drain — the shared
+        // cache file predates tenancy and carries its fingerprint space.
+        persist_cache: false,
+        config_fingerprint,
+        dirty_tables,
+        journal_appends: 0,
+        checkpoints: 0,
+        checkpoint_failures: 0,
+        replayed_feeds,
+        rejected_replays,
+        truncated_bytes,
+        cache_pages_restored: 0,
+        cache_pages_stale: 0,
+    })
+}
+
 /// Post-swap cache pass for *data-only* swaps (shard rebuilds, ingests,
-/// compactions): pages keyed by the immediately superseded fingerprint
-/// `prev` whose recorded probes provably never consulted a `dirty` shard
-/// are re-keyed to the live fingerprint (staying addressable — a retention,
-/// not a recomputation); everything else non-live is purged.  Only the
-/// previous generation is eligible: a page a racing worker inserted under
-/// an older fingerprint was never retention-checked against the intervening
-/// swaps, so it must age out, never come back.
-fn retain_unaffected(shared: &Shared, prev: u64, dirty: &[usize]) {
-    let snapshot = shared.handle.load();
-    let live = snapshot.cache_fingerprint();
+/// compactions) of one tenant: pages keyed by the tenant's immediately
+/// superseded fingerprint `prev` whose recorded probes provably never
+/// consulted a `dirty` shard are re-keyed to the tenant's live fingerprint
+/// (staying addressable — a retention, not a recomputation); everything
+/// else keyed by `prev` is purged.  Pages under any other fingerprint —
+/// other tenants' pages and this tenant's older strays — are left exactly
+/// where they are; a stray under an older fingerprint was never
+/// retention-checked against the intervening swaps, so it must age out of
+/// the LRU, never come back.
+fn retain_unaffected(shared: &Shared, tenant: &Arc<TenantState>, prev: u64, dirty: &[usize]) {
+    let snapshot = tenant.handle.load();
+    let live = tenant.id.fold(snapshot.cache_fingerprint());
     // The gate memoizes each distinct (phrase, token) probe check, so the
     // pass — which runs under the store lock — costs one index probe per
     // distinct dependency, not per cache entry.
     let mut gate = RetentionGate::new(&snapshot, dirty);
     let mut store = shared.store.lock().expect("store poisoned");
     store.cache.rekey(|key, entry| {
-        if key.snapshot_fingerprint == live {
+        if key.snapshot_fingerprint != prev || prev == live {
             Some(key.clone())
-        } else if key.snapshot_fingerprint == prev
-            && gate.retains(entry.touched_mask, entry.touched_overflow, &entry.deps)
-        {
+        } else if gate.retains(entry.touched_mask, entry.touched_overflow, &entry.deps) {
             Some(CacheKey {
                 snapshot_fingerprint: live,
                 ..key.clone()
@@ -1601,23 +2312,31 @@ fn retain_unaffected(shared: &Shared, prev: u64, dirty: &[usize]) {
     });
 }
 
-/// The compaction step shared by [`QueryService::compact`] and the
-/// background worker; the caller must hold the service swap lock.
-fn compact_under_swap_lock(shared: &Shared, shards: &[usize]) -> Option<u64> {
-    let before = shared.handle.load();
-    let prev = before.cache_fingerprint();
+/// The compaction step shared by [`TenantAdmin::compact`] and the
+/// background worker; the caller must hold the tenant's swap lock.
+fn compact_under_swap_lock(
+    shared: &Shared,
+    tenant: &Arc<TenantState>,
+    shards: &[usize],
+) -> Option<u64> {
+    let before = tenant.handle.load();
+    let prev = tenant.id.fold(before.cache_fingerprint());
     let logged = before.shards_with_side_logs();
     let foldable: Vec<usize> = shards
         .iter()
         .copied()
         .filter(|s| logged.contains(s))
         .collect();
-    let generation = shared.handle.compact(&foldable)?;
+    let generation = tenant.handle.compact(&foldable)?;
     shared.event(
         "compaction",
-        format!("generation {generation}, shards {foldable:?}"),
+        format!(
+            "generation {generation}, shards {foldable:?}{}",
+            tenant_suffix(tenant)
+        ),
     );
     shared.compactions.fetch_add(1, Ordering::Relaxed);
+    tenant.compactions.fetch_add(1, Ordering::Relaxed);
     shared
         .compacted_shards
         .fetch_add(foldable.len() as u64, Ordering::Relaxed);
@@ -1625,27 +2344,32 @@ fn compact_under_swap_lock(shared: &Shared, shards: &[usize]) -> Option<u64> {
     // provably unaffected page over; pages whose probes scanned a folded
     // shard are recomputed (conservative — their hits merely moved from the
     // log into the frozen partition).
-    retain_unaffected(shared, prev, &foldable);
+    retain_unaffected(shared, tenant, prev, &foldable);
     // The fold changed no rows, so the dirty set is already right — but the
     // stamps moved and the side logs are gone: a checkpoint here both keeps
     // recovery fingerprints current and truncates the journal (the feeds it
     // replaces are exactly the ones the fold absorbed into the partitions).
-    write_checkpoint_under_swap_lock(shared, false);
+    write_checkpoint_under_swap_lock(shared, tenant, false);
     Some(generation)
 }
 
-/// Writes a checkpoint — the live content of every dirty table plus the
-/// live generation stamps — atomically *replacing* the journal, which is
-/// what keeps replay bounded.  With `mark_all_tables` the whole live
-/// database is recorded first (reloads and shard rebuilds swap in data the
-/// journal never saw).  The caller must hold the service swap lock; a
-/// no-op without durability.  A failed write is counted and leaves the old
-/// journal in place — still fully replayable, just not yet truncated.
-fn write_checkpoint_under_swap_lock(shared: &Shared, mark_all_tables: bool) {
-    let Some(durability) = &shared.durability else {
+/// Writes a checkpoint of one tenant — the live content of every dirty
+/// table plus the live generation stamps — atomically *replacing* that
+/// tenant's journal, which is what keeps replay bounded.  With
+/// `mark_all_tables` the whole live database is recorded first (reloads and
+/// shard rebuilds swap in data the journal never saw).  The caller must
+/// hold the tenant's swap lock; a no-op for a non-durable tenant.  A failed
+/// write is counted and leaves the old journal in place — still fully
+/// replayable, just not yet truncated.
+fn write_checkpoint_under_swap_lock(
+    shared: &Shared,
+    tenant: &Arc<TenantState>,
+    mark_all_tables: bool,
+) {
+    let Some(durability) = &tenant.durability else {
         return;
     };
-    let snapshot = shared.handle.load();
+    let snapshot = tenant.handle.load();
     let db = snapshot.database();
     let mut d = durability.lock().expect("durability state poisoned");
     if mark_all_tables {
@@ -1675,9 +2399,10 @@ fn write_checkpoint_under_swap_lock(shared: &Shared, mark_all_tables: bool) {
         Ok(bytes) => shared.event(
             "checkpoint",
             format!(
-                "generation {}, {} tables, journal now {bytes} bytes",
+                "generation {}, {} tables, journal now {bytes} bytes{}",
                 checkpoint.generation,
-                checkpoint.tables.len()
+                checkpoint.tables.len(),
+                tenant_suffix(tenant)
             ),
         ),
         Err(e) => shared.event("checkpoint_failure", e.to_string()),
@@ -1685,8 +2410,10 @@ fn write_checkpoint_under_swap_lock(shared: &Shared, mark_all_tables: bool) {
 }
 
 /// The background compaction worker: wakes on every ingest nudge (and at
-/// least every `poll_interval`), folds whatever the policy says is due, and
-/// exits when the service drops.
+/// least every `poll_interval`), sweeps **every** tenant for shards the
+/// policy says are due, and exits when the service drops.  Each tenant is
+/// folded under its own swap lock, so a long fold for one tenant never
+/// blocks another tenant's reload or ingest.
 fn compactor_loop(shared: &Arc<Shared>, config: &CompactionConfig) {
     let mut shutdown = shared
         .compactor_shutdown
@@ -1705,14 +2432,14 @@ fn compactor_loop(shared: &Arc<Shared>, config: &CompactionConfig) {
             return;
         }
         drop(shutdown);
-        {
-            let _swap = shared.swaps.lock().expect("swap lock poisoned");
-            let stats = shared.handle.load().shard_stats();
+        for tenant in shared.tenants.all() {
+            let _swap = tenant.swaps.lock().expect("tenant swap lock poisoned");
+            let stats = tenant.handle.load().shard_stats();
             let due = config
                 .policy
                 .due(&stats.log_postings, &stats.log_rows, &stats.log_masks);
             if !due.is_empty() {
-                compact_under_swap_lock(shared, &due);
+                compact_under_swap_lock(shared, &tenant, &due);
             }
         }
         shutdown = shared
@@ -1749,8 +2476,12 @@ impl Drop for QueryService {
         // Graceful drain: with the workers joined the cache is final, so
         // persist the warm pages (oldest-first, preserving recency order)
         // for the next `recover` to reload.  Best-effort by design — a
-        // failed write costs warm starts, never correctness.
-        if let Some(durability) = &self.shared.durability {
+        // failed write costs warm starts, never correctness.  The file is
+        // the default tenant's (other tenants recompute their first pages),
+        // stamped with the fold-identity tenant fingerprint so pre-tenancy
+        // readers and writers agree.
+        let default = self.shared.tenants.default_tenant();
+        if let Some(durability) = &default.durability {
             let d = durability.lock().expect("durability state poisoned");
             if d.persist_cache {
                 let store = self.shared.store.lock().expect("store poisoned");
@@ -1760,7 +2491,13 @@ impl Drop for QueryService {
                     .map(|(key, entry)| encode_cache_entry(key, entry))
                     .collect();
                 let refs: Vec<&[u8]> = payloads.iter().map(Vec::as_slice).collect();
-                let _ = write_frame_file(&d.cache_path, CACHE_MAGIC, d.config_fingerprint, &refs);
+                let _ = write_frame_file(
+                    &d.cache_path,
+                    CACHE_MAGIC,
+                    d.config_fingerprint,
+                    TenantId::default().fingerprint(),
+                    &refs,
+                );
             }
         }
     }
@@ -1771,7 +2508,7 @@ fn worker_loop(shared: &Shared) {
         let job = {
             let mut state = shared.queue.lock().expect("queue poisoned");
             loop {
-                if let Some(job) = state.jobs.pop_front() {
+                if let Some(job) = state.pop_round_robin() {
                     break job;
                 }
                 if state.shutdown {
@@ -1780,7 +2517,11 @@ fn worker_loop(shared: &Shared) {
                 state = shared.not_empty.wait(state).expect("queue poisoned");
             }
         };
-        shared.not_full.notify_one();
+        // notify_all, not notify_one: admission control blocks submitters on
+        // two different predicates (global capacity and per-tenant quota),
+        // and a single wake-up could land on a submitter whose own lane is
+        // still full while one that could proceed keeps sleeping.
+        shared.not_full.notify_all();
 
         // If the pipeline panics, the pending entry must not leak: this
         // guard removes it and drops the coalesced waiters' senders, so
@@ -1838,7 +2579,7 @@ fn worker_loop(shared: &Shared) {
         // live entry from a full cache.  The check races benignly with a
         // concurrent swap — worst case one soon-unaddressable page slips in
         // and ages out of the LRU.
-        let still_live = job.key.snapshot_fingerprint == shared.handle.load().cache_fingerprint();
+        let still_live = job.key.snapshot_fingerprint == job.tenant.folded_live();
         // Publish the page and claim the coalesced waiters in one critical
         // section, so no submission can slip between the cache insert and
         // the pending-entry removal and end up waiting forever.
@@ -1858,8 +2599,10 @@ fn worker_loop(shared: &Shared) {
             }
             store.pending.remove(&job.key).unwrap_or_default()
         };
+        job.tenant.executions.fetch_add(1, Ordering::Relaxed);
         let e2e = job.submitted.elapsed();
         shared.record_executed(e2e, queue_wait, execution, timings.as_ref());
+        job.tenant.record_response(e2e);
         // A query over the threshold lands its full span tree in the
         // slow-query log (the end-to-end figure decides, so a fast pipeline
         // behind a deep queue is still captured — that *is* the slowness the
@@ -1883,6 +2626,7 @@ fn worker_loop(shared: &Shared) {
         }
         for waiter in waiters {
             shared.record_hit(waiter.submitted);
+            job.tenant.record_response(waiter.submitted.elapsed());
             // A waiter may have dropped its handle; that is not an error.
             let _ = waiter.tx.send(outcome.clone());
         }
@@ -1897,6 +2641,12 @@ mod tests {
     use std::time::Duration;
 
     fn assert_send_sync<T: Send + Sync>() {}
+
+    fn admin(service: &QueryService) -> TenantAdmin<'_> {
+        service
+            .admin(TenantId::default())
+            .expect("the default tenant always exists")
+    }
 
     fn minibank_service(config: ServiceConfig) -> QueryService {
         let w = soda_warehouse::minibank::build(42);
@@ -1922,21 +2672,21 @@ mod tests {
             .search_paged("Sara Guttinger", 0, 10)
             .unwrap();
         let served = service
-            .submit(QueryRequest::new("Sara Guttinger"))
+            .query(QueryRequest::new("Sara Guttinger"))
             .wait()
             .unwrap();
-        assert_eq!(direct, served);
+        assert_eq!(direct, served.page);
     }
 
     #[test]
     fn equivalent_spellings_share_one_cache_slot() {
         let service = minibank_service(ServiceConfig::default());
         let first = service
-            .submit(QueryRequest::new("Sara Guttinger"))
+            .query(QueryRequest::new("Sara Guttinger"))
             .wait()
             .unwrap();
         let second = service
-            .submit(QueryRequest::new("  sara   GUTTINGER "))
+            .query(QueryRequest::new("  sara   GUTTINGER "))
             .wait()
             .unwrap();
         assert_eq!(first, second);
@@ -1950,13 +2700,15 @@ mod tests {
     fn pages_are_cached_independently() {
         let service = minibank_service(ServiceConfig::default());
         let p0 = service
-            .submit(QueryRequest::new("customers").page_size(2))
+            .query(QueryRequest::new("customers").page_size(2))
             .wait()
-            .unwrap();
+            .unwrap()
+            .page;
         let p1 = service
-            .submit(QueryRequest::new("customers").page(1).page_size(2))
+            .query(QueryRequest::new("customers").page(1).page_size(2))
             .wait()
-            .unwrap();
+            .unwrap()
+            .page;
         assert_eq!(p0.page, 0);
         assert_eq!(p1.page, 1);
         assert_ne!(p0.results, p1.results);
@@ -1966,7 +2718,7 @@ mod tests {
     #[test]
     fn parse_errors_resolve_immediately() {
         let service = minibank_service(ServiceConfig::default());
-        let handle = service.submit(QueryRequest::new("   "));
+        let handle = service.query(QueryRequest::new("   "));
         assert!(handle.is_ready());
         match handle.wait() {
             Err(ServiceError::Engine(SodaError::EmptyQuery)) => {}
@@ -1985,9 +2737,13 @@ mod tests {
             .iter()
             .map(|q| service.engine().search_paged(q, 0, 10).unwrap())
             .collect();
-        let got = service.submit_batch(queries.iter().map(|q| QueryRequest::new(*q)).collect());
+        let handles: Vec<JobHandle> = queries
+            .iter()
+            .map(|q| service.query(QueryRequest::new(*q)))
+            .collect();
+        let got: Vec<JobResult> = handles.into_iter().map(JobHandle::wait).collect();
         for (want, got) in expected.iter().zip(&got) {
-            assert_eq!(want, got.as_ref().unwrap());
+            assert_eq!(want, &got.as_ref().unwrap().page);
         }
     }
 
@@ -1999,12 +2755,13 @@ mod tests {
             cache_capacity: 4,
             ..ServiceConfig::default()
         });
-        // More jobs than queue slots: submit_batch must ride the
+        // More jobs than queue slots: the submissions must ride the
         // backpressure and still answer everything.
         let requests: Vec<QueryRequest> = (0..8)
             .map(|i| QueryRequest::new(["customers", "Sara Guttinger"][i % 2]))
             .collect();
-        let results = service.submit_batch(requests);
+        let handles: Vec<JobHandle> = requests.into_iter().map(|r| service.query(r)).collect();
+        let results: Vec<JobResult> = handles.into_iter().map(JobHandle::wait).collect();
         assert_eq!(results.len(), 8);
         assert!(results.iter().all(|r| r.is_ok()));
     }
@@ -2014,7 +2771,7 @@ mod tests {
         let service = minibank_service(ServiceConfig::default());
         for _ in 0..3 {
             service
-                .submit(QueryRequest::new("Sara Guttinger"))
+                .query(QueryRequest::new("Sara Guttinger"))
                 .wait()
                 .unwrap();
         }
@@ -2032,12 +2789,12 @@ mod tests {
     fn clear_cache_forces_recomputation() {
         let service = minibank_service(ServiceConfig::default());
         service
-            .submit(QueryRequest::new("Sara Guttinger"))
+            .query(QueryRequest::new("Sara Guttinger"))
             .wait()
             .unwrap();
-        service.clear_cache();
+        admin(&service).clear_cache();
         service
-            .submit(QueryRequest::new("Sara Guttinger"))
+            .query(QueryRequest::new("Sara Guttinger"))
             .wait()
             .unwrap();
         let stats = service.metrics().cache;
@@ -2062,7 +2819,11 @@ mod tests {
             for _ in 0..8 {
                 scope.spawn(|| {
                     for (query, want) in queries.iter().zip(&expected) {
-                        let got = service.submit(QueryRequest::new(*query)).wait().unwrap();
+                        let got = service
+                            .query(QueryRequest::new(*query))
+                            .wait()
+                            .unwrap()
+                            .page;
                         assert_eq!(&got, want);
                     }
                 });
@@ -2082,15 +2843,17 @@ mod tests {
         // Two distinct cold queries occupy the single worker so the identical
         // submissions below all land while their key is still in flight.
         let blockers = [
-            service.submit(QueryRequest::new("wealthy customers")),
-            service.submit(QueryRequest::new("customers Zurich")),
+            service.query(QueryRequest::new("wealthy customers")),
+            service.query(QueryRequest::new("customers Zurich")),
         ];
 
         const CLIENTS: usize = 8;
         let query = "Sara Guttinger";
         let pages: Vec<ResultPage> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..CLIENTS)
-                .map(|_| scope.spawn(|| service.submit(QueryRequest::new(query)).wait().unwrap()))
+                .map(|_| {
+                    scope.spawn(|| service.query(QueryRequest::new(query)).wait().unwrap().page)
+                })
                 .collect();
             handles.into_iter().map(|h| h.join().unwrap()).collect()
         });
@@ -2126,10 +2889,10 @@ mod tests {
             cache_capacity: 4,
             ..ServiceConfig::default()
         });
-        let blocker = service.submit(QueryRequest::new("wealthy customers"));
-        let first = service.submit(QueryRequest::new("customers"));
-        let second = service.submit(QueryRequest::new("customers"));
-        let third = service.submit(QueryRequest::new("  CUSTOMERS  "));
+        let blocker = service.query(QueryRequest::new("wealthy customers"));
+        let first = service.query(QueryRequest::new("customers"));
+        let second = service.query(QueryRequest::new("customers"));
+        let third = service.query(QueryRequest::new("  CUSTOMERS  "));
         let a = first.wait().unwrap();
         let b = second.wait().unwrap();
         let c = third.wait().unwrap();
@@ -2160,7 +2923,7 @@ mod tests {
         assert_eq!(m.shards.total_probes(), 0);
         // A base-data query scans the shards holding its candidate postings.
         service
-            .submit(QueryRequest::new("Sara Guttinger"))
+            .query(QueryRequest::new("Sara Guttinger"))
             .wait()
             .unwrap();
         let m = service.metrics();
@@ -2172,14 +2935,14 @@ mod tests {
     fn reload_bumps_the_generation_and_purges_stale_pages() {
         let service = minibank_service(ServiceConfig::default());
         let before = service
-            .submit(QueryRequest::new("Sara Guttinger"))
+            .query(QueryRequest::new("Sara Guttinger"))
             .wait()
             .unwrap();
         assert_eq!(service.metrics().cache.len, 1);
         assert_eq!(service.generation(), 0);
 
         let w = soda_warehouse::minibank::build(42);
-        let generation = service.reload(EngineSnapshot::build(
+        let generation = admin(&service).reload(EngineSnapshot::build(
             Arc::new(w.database),
             Arc::new(w.graph),
             SodaConfig::default(),
@@ -2193,7 +2956,7 @@ mod tests {
 
         // Identical warehouse, new generation: same answer, recomputed.
         let after = service
-            .submit(QueryRequest::new("Sara Guttinger"))
+            .query(QueryRequest::new("Sara Guttinger"))
             .wait()
             .unwrap();
         assert_eq!(before, after);
@@ -2220,7 +2983,7 @@ mod tests {
             ServiceConfig::default(),
         );
         assert_eq!(service.metrics().shards.shards, 2);
-        service.reload(EngineSnapshot::build(
+        admin(&service).reload(EngineSnapshot::build(
             Arc::new(w.database),
             Arc::new(w.graph),
             SodaConfig {
@@ -2233,7 +2996,7 @@ mod tests {
         assert_eq!(m.shards.generations, vec![1, 1, 1, 1]);
         // Probes land on the live snapshot's counters.
         service
-            .submit(QueryRequest::new("Sara Guttinger"))
+            .query(QueryRequest::new("Sara Guttinger"))
             .wait()
             .unwrap();
         assert!(service.metrics().shards.total_probes() > 0);
@@ -2254,9 +3017,10 @@ mod tests {
             ServiceConfig::default(),
         );
         assert!(service
-            .submit(QueryRequest::new("Zebulon"))
+            .query(QueryRequest::new("Zebulon"))
             .wait()
             .unwrap()
+            .page
             .results
             .is_empty());
 
@@ -2272,9 +3036,13 @@ mod tests {
         row[0] = soda_core::Value::Int(9_999);
         row[name_col] = soda_core::Value::from("Zebulon");
         db.insert("individuals", row).unwrap();
-        let generation = service.rebuild_shards(Arc::new(db), &["individuals".to_string()]);
+        let generation = admin(&service).rebuild_shards(Arc::new(db), &["individuals".to_string()]);
         assert_eq!(generation, 1);
-        let page = service.submit(QueryRequest::new("Zebulon")).wait().unwrap();
+        let page = service
+            .query(QueryRequest::new("Zebulon"))
+            .wait()
+            .unwrap()
+            .page;
         assert!(!page.results.is_empty());
     }
 
@@ -2295,17 +3063,21 @@ mod tests {
     fn ingest_serves_new_rows_and_counts() {
         let service = minibank_service(ServiceConfig::default());
         assert!(service
-            .submit(QueryRequest::new("Streamville"))
+            .query(QueryRequest::new("Streamville"))
             .wait()
             .unwrap()
+            .page
             .results
             .is_empty());
-        let generation = service.ingest(&address_feed(900, "Streamville")).unwrap();
+        let generation = admin(&service)
+            .ingest(&address_feed(900, "Streamville"))
+            .unwrap();
         assert_eq!(generation, 1);
         let page = service
-            .submit(QueryRequest::new("Streamville"))
+            .query(QueryRequest::new("Streamville"))
             .wait()
-            .unwrap();
+            .unwrap()
+            .page;
         assert!(!page.results.is_empty());
         let m = service.metrics();
         assert_eq!(m.generation, 1);
@@ -2318,7 +3090,7 @@ mod tests {
 
         // A rejected feed publishes nothing and counts nothing.
         let bad = ChangeFeed::new().append_row("no_such_table", vec![]);
-        assert!(service.ingest(&bad).is_err());
+        assert!(admin(&service).ingest(&bad).is_err());
         let m = service.metrics();
         assert_eq!(m.generation, 1);
         assert_eq!(m.ingest.ingests, 1);
@@ -2327,21 +3099,26 @@ mod tests {
     #[test]
     fn manual_compaction_folds_logs_and_keeps_answers() {
         let service = minibank_service(ServiceConfig::default());
-        service.ingest(&address_feed(900, "Streamville")).unwrap();
+        admin(&service)
+            .ingest(&address_feed(900, "Streamville"))
+            .unwrap();
         let before = service
-            .submit(QueryRequest::new("Streamville"))
+            .query(QueryRequest::new("Streamville"))
             .wait()
             .unwrap();
         let shards: Vec<usize> = (0..service.engine().shard_count()).collect();
-        let generation = service.compact(&shards).expect("a log to fold");
+        let generation = admin(&service).compact(&shards).expect("a log to fold");
         assert_eq!(generation, 2);
-        assert!(service.compact(&shards).is_none(), "nothing left to fold");
+        assert!(
+            admin(&service).compact(&shards).is_none(),
+            "nothing left to fold"
+        );
         let m = service.metrics();
         assert_eq!(m.ingest.compactions, 1);
         assert_eq!(m.ingest.compacted_shards, 1);
         assert_eq!(m.shards.log_postings.iter().sum::<usize>(), 0);
         let after = service
-            .submit(QueryRequest::new("Streamville"))
+            .query(QueryRequest::new("Streamville"))
             .wait()
             .unwrap();
         assert_eq!(before, after, "compaction must not change answers");
@@ -2364,12 +3141,14 @@ mod tests {
             ServiceConfig::default(),
         );
         let sara = service
-            .submit(QueryRequest::new("Sara Guttinger"))
+            .query(QueryRequest::new("Sara Guttinger"))
             .wait()
             .unwrap();
         assert_eq!(service.metrics().cache.len, 1);
 
-        service.ingest(&address_feed(900, "Retainville")).unwrap();
+        admin(&service)
+            .ingest(&address_feed(900, "Retainville"))
+            .unwrap();
         let m = service.metrics();
         assert_eq!(m.cache.retained, 1, "the Sara page must be carried over");
         assert_eq!(m.cache.len, 1);
@@ -2377,7 +3156,7 @@ mod tests {
         // The next identical submission is a cache hit on the new
         // generation — no recomputation — and the answer is right.
         let again = service
-            .submit(QueryRequest::new("Sara Guttinger"))
+            .query(QueryRequest::new("Sara Guttinger"))
             .wait()
             .unwrap();
         assert_eq!(sara, again);
@@ -2387,17 +3166,20 @@ mod tests {
 
         // A page whose probes scanned the ingested shard is NOT retained.
         service
-            .submit(QueryRequest::new("Retainville"))
+            .query(QueryRequest::new("Retainville"))
             .wait()
             .unwrap();
-        service.ingest(&address_feed(901, "Retainville")).unwrap();
+        admin(&service)
+            .ingest(&address_feed(901, "Retainville"))
+            .unwrap();
         let m = service.metrics();
         // The address-touching page died; the Sara page survived again.
         assert_eq!(m.cache.retained, 2);
         let recomputed = service
-            .submit(QueryRequest::new("Retainville"))
+            .query(QueryRequest::new("Retainville"))
             .wait()
-            .unwrap();
+            .unwrap()
+            .page;
         // Two matching rows now — the recomputation saw the second ingest.
         assert_eq!(m.cache.len, 1, "the stale Retainville page was purged");
         assert!(!recomputed.results.is_empty());
@@ -2408,11 +3190,11 @@ mod tests {
     fn full_reloads_still_purge_everything() {
         let service = minibank_service(ServiceConfig::default());
         service
-            .submit(QueryRequest::new("Sara Guttinger"))
+            .query(QueryRequest::new("Sara Guttinger"))
             .wait()
             .unwrap();
         let w = soda_warehouse::minibank::build(42);
-        service.reload(EngineSnapshot::build(
+        admin(&service).reload(EngineSnapshot::build(
             Arc::new(w.database),
             Arc::new(w.graph),
             SodaConfig::default(),
@@ -2431,7 +3213,9 @@ mod tests {
             }),
             ..ServiceConfig::default()
         });
-        service.ingest(&address_feed(900, "Streamville")).unwrap();
+        admin(&service)
+            .ingest(&address_feed(900, "Streamville"))
+            .unwrap();
         // The worker is nudged by the ingest; give it a moment.
         let deadline = Instant::now() + Duration::from_secs(10);
         loop {
@@ -2444,9 +3228,10 @@ mod tests {
         }
         // Queries keep answering correctly throughout.
         let page = service
-            .submit(QueryRequest::new("Streamville"))
+            .query(QueryRequest::new("Streamville"))
             .wait()
-            .unwrap();
+            .unwrap()
+            .page;
         assert!(!page.results.is_empty());
     }
 
@@ -2462,7 +3247,7 @@ mod tests {
             }),
             ..ServiceConfig::default()
         });
-        service
+        admin(&service)
             .ingest(&ChangeFeed::new().truncate("securities"))
             .unwrap();
         let deadline = Instant::now() + Duration::from_secs(10);
@@ -2487,7 +3272,7 @@ mod tests {
         // path this interleaving deadlocks within a few iterations.
         let service = minibank_service(ServiceConfig::default());
         service
-            .submit(QueryRequest::new("Sara Guttinger"))
+            .query(QueryRequest::new("Sara Guttinger"))
             .wait()
             .unwrap();
         std::thread::scope(|scope| {
@@ -2495,7 +3280,7 @@ mod tests {
                 scope.spawn(|| {
                     for _ in 0..500 {
                         service
-                            .submit(QueryRequest::new("Sara Guttinger"))
+                            .query(QueryRequest::new("Sara Guttinger"))
                             .wait()
                             .unwrap();
                     }
@@ -2514,13 +3299,13 @@ mod tests {
     fn latency_accounting_splits_queue_wait_from_execution() {
         let service = minibank_service(ServiceConfig::default());
         service
-            .submit(QueryRequest::new("Sara Guttinger"))
+            .query(QueryRequest::new("Sara Guttinger"))
             .wait()
             .unwrap();
         // And one cache hit, which must not touch the executed
         // distributions.
         service
-            .submit(QueryRequest::new("Sara Guttinger"))
+            .query(QueryRequest::new("Sara Guttinger"))
             .wait()
             .unwrap();
         let m = service.metrics();
@@ -2548,12 +3333,12 @@ mod tests {
             ..ServiceConfig::default()
         });
         service
-            .submit(QueryRequest::new("Sara Guttinger"))
+            .query(QueryRequest::new("Sara Guttinger"))
             .wait()
             .unwrap();
         // The cache hit is answered on the caller's thread — never captured.
         service
-            .submit(QueryRequest::new("Sara Guttinger"))
+            .query(QueryRequest::new("Sara Guttinger"))
             .wait()
             .unwrap();
         let m = service.metrics();
@@ -2581,7 +3366,7 @@ mod tests {
     fn without_a_threshold_no_traces_are_captured() {
         let service = minibank_service(ServiceConfig::default());
         service
-            .submit(QueryRequest::new("Sara Guttinger"))
+            .query(QueryRequest::new("Sara Guttinger"))
             .wait()
             .unwrap();
         assert_eq!(service.metrics().slow_queries, 0);
@@ -2589,18 +3374,26 @@ mod tests {
     }
 
     #[test]
-    fn submit_traced_matches_submit_and_yields_the_span_tree() {
+    fn traced_queries_match_untraced_and_yield_the_span_tree() {
         let service = minibank_service(ServiceConfig::default());
         let expected = service
-            .submit(QueryRequest::new("Sara Guttinger"))
+            .query(QueryRequest::new("Sara Guttinger"))
             .wait()
             .unwrap();
         let traced = service
-            .submit_traced(QueryRequest::new("Sara Guttinger"))
+            .query(QueryRequest::new("Sara Guttinger").traced())
+            .wait()
             .unwrap();
-        assert_eq!(traced.page, expected, "tracing must not change answers");
-        let root = traced.trace.find("query").expect("query root span");
-        assert_eq!(root.children.len(), 5, "{}", traced.trace.render());
+        assert_eq!(
+            traced.page, expected.page,
+            "tracing must not change answers"
+        );
+        let trace = traced
+            .trace
+            .as_ref()
+            .expect("a traced response carries its trace");
+        let root = trace.find("query").expect("query root span");
+        assert_eq!(root.children.len(), 5, "{}", trace.render());
         // The diagnostic path bypasses the cache but still counts as an
         // execution and a latency sample.
         let m = service.metrics();
@@ -2610,9 +3403,9 @@ mod tests {
     }
 
     #[test]
-    fn submit_traced_surfaces_engine_errors() {
+    fn traced_queries_surface_engine_errors() {
         let service = minibank_service(ServiceConfig::default());
-        match service.submit_traced(QueryRequest::new("   ")) {
+        match service.query(QueryRequest::new("   ").traced()).wait() {
             Err(ServiceError::Engine(SodaError::EmptyQuery)) => {}
             other => panic!("expected EmptyQuery, got {other:?}"),
         }
@@ -2621,11 +3414,13 @@ mod tests {
     #[test]
     fn events_record_the_operational_history_in_order() {
         let service = minibank_service(ServiceConfig::default());
-        service.ingest(&address_feed(900, "Streamville")).unwrap();
+        admin(&service)
+            .ingest(&address_feed(900, "Streamville"))
+            .unwrap();
         let shards: Vec<usize> = (0..service.engine().shard_count()).collect();
-        service.compact(&shards).expect("a log to fold");
+        admin(&service).compact(&shards).expect("a log to fold");
         let w = soda_warehouse::minibank::build(42);
-        service.reload(EngineSnapshot::build(
+        admin(&service).reload(EngineSnapshot::build(
             Arc::new(w.database),
             Arc::new(w.graph),
             SodaConfig::default(),
@@ -2652,14 +3447,16 @@ mod tests {
             ..ServiceConfig::default()
         });
         service
-            .submit(QueryRequest::new("Sara Guttinger"))
+            .query(QueryRequest::new("Sara Guttinger"))
             .wait()
             .unwrap();
         service
-            .submit(QueryRequest::new("Sara Guttinger"))
+            .query(QueryRequest::new("Sara Guttinger"))
             .wait()
             .unwrap();
-        service.ingest(&address_feed(900, "Streamville")).unwrap();
+        admin(&service)
+            .ingest(&address_feed(900, "Streamville"))
+            .unwrap();
         let text = service.metrics_text();
         soda_trace::prom::validate(&text).expect("exposition must validate");
         for family in [
@@ -2671,6 +3468,17 @@ mod tests {
             "soda_queue_wait_seconds",
             "soda_execution_duration_seconds",
             "soda_stage_duration_seconds",
+            "soda_tenant_queries_completed_total",
+            "soda_tenant_qps",
+            "soda_tenant_warm_hits_total",
+            "soda_tenant_pipeline_executions_total",
+            "soda_tenant_admission_waits_total",
+            "soda_tenant_queue_depth",
+            "soda_tenant_generation",
+            "soda_tenant_reloads_total",
+            "soda_tenant_ingest_feeds_total",
+            "soda_tenant_compactions_total",
+            "soda_tenant_query_duration_seconds",
         ] {
             assert!(text.contains(&format!("# TYPE {family} ")), "{family}");
         }
@@ -2678,7 +3486,156 @@ mod tests {
         for stage in soda_trace::names::STAGES {
             assert!(text.contains(&format!("stage=\"{stage}\"")), "{stage}");
         }
+        // Every tenant family is labelled with the tenant name.
+        assert!(text.contains("soda_tenant_queries_completed_total{tenant=\"default\"} 2"));
         // A non-durable service exposes no journal families.
         assert!(!text.contains("soda_journal_bytes"));
+    }
+
+    #[test]
+    fn fluent_config_builder_matches_struct_literals() {
+        let built = ServiceConfig::default()
+            .workers(3)
+            .queue_capacity(17)
+            .cache_capacity(9)
+            .slow_query_threshold(Duration::from_millis(5));
+        let literal = ServiceConfig {
+            workers: 3,
+            queue_capacity: 17,
+            cache_capacity: 9,
+            slow_query_threshold: Some(Duration::from_millis(5)),
+            ..ServiceConfig::default()
+        };
+        assert_eq!(built.workers, literal.workers);
+        assert_eq!(built.queue_capacity, literal.queue_capacity);
+        assert_eq!(built.cache_capacity, literal.cache_capacity);
+        assert_eq!(built.slow_query_threshold, literal.slow_query_threshold);
+    }
+
+    #[test]
+    fn unknown_tenants_are_rejected_up_front() {
+        let service = minibank_service(ServiceConfig::default());
+        let handle = service.query(QueryRequest::new("customers").tenant("nobody"));
+        assert!(
+            handle.is_ready(),
+            "unknown tenants must not reach the queue"
+        );
+        match handle.wait() {
+            Err(ServiceError::UnknownTenant(t)) => assert_eq!(t, "nobody"),
+            other => panic!("expected UnknownTenant, got {other:?}"),
+        }
+        assert!(service.admin("nobody").is_err());
+        assert_eq!(service.metrics().completed, 0);
+    }
+
+    #[test]
+    fn hosted_tenants_answer_from_their_own_warehouse() {
+        let service = minibank_service(ServiceConfig::default());
+        let other = soda_warehouse::minibank::build(7);
+        let snapshot = Arc::new(EngineSnapshot::build(
+            Arc::new(other.database),
+            Arc::new(other.graph),
+            SodaConfig::default(),
+        ));
+        service.add_tenant("acme", Arc::clone(&snapshot)).unwrap();
+        // Registering the same name (or the default name) again is an error.
+        assert!(service.add_tenant("acme", Arc::clone(&snapshot)).is_err());
+        assert!(service.add_tenant("default", snapshot).is_err());
+
+        let default_page = service
+            .query(QueryRequest::new("Sara Guttinger"))
+            .wait()
+            .unwrap()
+            .page;
+        let acme_page = service
+            .query(QueryRequest::new("Sara Guttinger").tenant("acme"))
+            .wait()
+            .unwrap()
+            .page;
+        // Both warehouses answer; the tenant-folded fingerprints (and thus
+        // the cache keys) differ even if the snapshots were identical.
+        assert!(!default_page.results.is_empty());
+        assert!(!acme_page.results.is_empty());
+        let acme_admin = service.admin("acme").unwrap();
+        assert_ne!(
+            TenantId::default().fold(service.engine().cache_fingerprint()),
+            acme_admin
+                .id()
+                .fold(acme_admin.engine().cache_fingerprint()),
+            "tenants must never share cache keys"
+        );
+        let m = service.metrics();
+        // `>=`: the SODA_TEST_TENANTS CI knob may host extra shadow tenants.
+        assert!(m.tenants.len() >= 2);
+        let acme = m.tenants.iter().find(|t| t.tenant == "acme").unwrap();
+        assert_eq!(acme.completed, 1);
+        assert_eq!(acme.executions, 1);
+    }
+
+    #[test]
+    fn tenant_scoped_cache_clears_leave_other_tenants_warm() {
+        let service = minibank_service(ServiceConfig::default());
+        let other = soda_warehouse::minibank::build(7);
+        service
+            .add_tenant(
+                "acme",
+                Arc::new(EngineSnapshot::build(
+                    Arc::new(other.database),
+                    Arc::new(other.graph),
+                    SodaConfig::default(),
+                )),
+            )
+            .unwrap();
+        service
+            .query(QueryRequest::new("Sara Guttinger"))
+            .wait()
+            .unwrap();
+        service
+            .query(QueryRequest::new("Sara Guttinger").tenant("acme"))
+            .wait()
+            .unwrap();
+        assert_eq!(service.metrics().cache.len, 2);
+        service.admin("acme").unwrap().clear_cache();
+        let m = service.metrics();
+        assert_eq!(m.cache.len, 1, "only acme's page may be dropped");
+        // The default tenant still answers warm.
+        service
+            .query(QueryRequest::new("Sara Guttinger"))
+            .wait()
+            .unwrap();
+        assert_eq!(service.metrics().cache.hits, 1);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_still_delegate() {
+        let service = minibank_service(ServiceConfig::default());
+        let a = service
+            .submit(QueryRequest::new("Sara Guttinger"))
+            .wait()
+            .unwrap();
+        let b = service
+            .query(QueryRequest::new("Sara Guttinger"))
+            .wait()
+            .unwrap();
+        assert_eq!(a, b);
+        let batch = service.submit_batch(vec![QueryRequest::new("customers")]);
+        assert_eq!(batch.len(), 1);
+        assert!(batch[0].is_ok());
+        let traced = service
+            .submit_traced(QueryRequest::new("customers"))
+            .unwrap();
+        assert_eq!(traced.page, batch[0].as_ref().unwrap().page);
+        service.ingest(&address_feed(900, "Streamville")).unwrap();
+        assert_eq!(service.generation(), 1);
+        service.clear_cache();
+        assert_eq!(service.metrics().cache.len, 0);
+        let w = soda_warehouse::minibank::build(42);
+        service.reload(EngineSnapshot::build(
+            Arc::new(w.database),
+            Arc::new(w.graph),
+            SodaConfig::default(),
+        ));
+        assert_eq!(service.generation(), 2);
     }
 }

@@ -1,0 +1,279 @@
+//! Multi-tenant hosting: the tenant registry, per-tenant serving state and
+//! the per-tenant administration facade.
+//!
+//! A hosted deployment of the SODA service runs **one** worker pool, **one**
+//! bounded queue and **one** interpretation cache for many tenants, each of
+//! which brings its own warehouse snapshot and (on a durable service) its
+//! own write-ahead feed journal.  The pieces here keep those tenants
+//! isolated without duplicating the machinery:
+//!
+//! * [`TenantRegistry`] — maps a [`TenantId`] to its live
+//!   [`SnapshotHandle`] plus the per-tenant
+//!   counters.  The default tenant always exists (it is the service's boot
+//!   snapshot); further tenants are registered at runtime through
+//!   [`QueryService::add_tenant`](crate::QueryService::add_tenant).
+//! * `TenantState` (private) — one tenant's serving state: the swappable
+//!   snapshot,
+//!   the per-tenant swap lock (so two tenants can reload concurrently), the
+//!   fairness counters surfaced by
+//!   [`ServiceMetrics::tenants`](crate::ServiceMetrics) and, on a durable
+//!   service, the tenant's own journal.
+//! * [`TenantAdmin`] — the mutation facade returned by
+//!   [`QueryService::admin`](crate::QueryService::admin): every operation
+//!   that changes what a tenant serves (`reload`, `rebuild_shards`,
+//!   `refresh_graph`, `ingest`, `ingest_owned`, `compact`, `clear_cache`)
+//!   lives here, scoped to exactly one tenant.
+//!
+//! Isolation invariants: cache keys fold the tenant fingerprint into the
+//! snapshot fingerprint ([`TenantId::fold`]), so all tenants share one LRU
+//! without any possibility of cross-tenant hits; the queue gives each
+//! tenant its own lane with a round-robin scan and an admission quota, so
+//! one tenant's cold-query storm cannot starve another tenant's traffic.
+
+use std::sync::atomic::AtomicU64;
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::Duration;
+
+use soda_core::{ChangeFeed, Database, EngineSnapshot, MetaGraph, SnapshotHandle, TenantId};
+use soda_trace::hist::LogHistogram;
+
+use crate::service::{DurabilityState, QueryService, ServiceError};
+
+/// One tenant's serving state: identity, snapshot, swap lock, fairness
+/// counters and (optionally) its write-ahead journal.
+pub(crate) struct TenantState {
+    pub(crate) id: TenantId,
+    /// The tenant's swappable current snapshot.  Submissions load it once
+    /// and pin what they got; the [`TenantAdmin`] paths publish
+    /// replacements.
+    pub(crate) handle: SnapshotHandle,
+    /// Serializes this tenant's swap paths (reload, shard rebuild, graph
+    /// refresh, ingest, compaction) so each one's pre-swap fingerprint
+    /// capture, the handle publication and the cache retention/purge form
+    /// one atomic episode.  Per-tenant on purpose: tenant A's reload never
+    /// blocks tenant B's ingest.
+    pub(crate) swaps: Mutex<()>,
+    /// Snapshot swaps this tenant performed (reloads + shard rebuilds +
+    /// graph refreshes).
+    pub(crate) reloads: AtomicU64,
+    /// Change feeds absorbed for this tenant.
+    pub(crate) ingest_feeds: AtomicU64,
+    /// Side-log compactions performed for this tenant.
+    pub(crate) compactions: AtomicU64,
+    /// Full pipeline executions performed for this tenant.
+    pub(crate) executions: AtomicU64,
+    /// Submissions answered from the cache at submission time.
+    pub(crate) warm_hits: AtomicU64,
+    /// Submissions that had to block in admission control (tenant lane at
+    /// quota, or the whole queue at capacity) before enqueueing.
+    pub(crate) admission_waits: AtomicU64,
+    /// End-to-end latency of this tenant's answered queries.  Its sample
+    /// count doubles as the tenant's completed-query counter.
+    pub(crate) e2e: Mutex<LogHistogram>,
+    /// The tenant's crash-safety state (`None` on a non-durable service and
+    /// for shadow tenants).  Lock order matches the service-wide rule:
+    /// tenant swap lock → durability → store.
+    pub(crate) durability: Option<Mutex<DurabilityState>>,
+}
+
+impl TenantState {
+    pub(crate) fn new(
+        id: TenantId,
+        handle: SnapshotHandle,
+        durability: Option<DurabilityState>,
+    ) -> Self {
+        Self {
+            id,
+            handle,
+            swaps: Mutex::new(()),
+            reloads: AtomicU64::new(0),
+            ingest_feeds: AtomicU64::new(0),
+            compactions: AtomicU64::new(0),
+            executions: AtomicU64::new(0),
+            warm_hits: AtomicU64::new(0),
+            admission_waits: AtomicU64::new(0),
+            e2e: Mutex::new(LogHistogram::new()),
+            durability: durability.map(Mutex::new),
+        }
+    }
+
+    /// The tenant-folded fingerprint of the snapshot this tenant serves
+    /// *now* — what a submission arriving this instant would key its cache
+    /// entry by.
+    pub(crate) fn folded_live(&self) -> u64 {
+        self.id.fold(self.handle.load().cache_fingerprint())
+    }
+
+    /// Records one answered query in the tenant's end-to-end distribution.
+    pub(crate) fn record_response(&self, e2e: Duration) {
+        self.e2e
+            .lock()
+            .expect("tenant latency recorder poisoned")
+            .record(e2e);
+    }
+}
+
+/// The tenant table of a [`QueryService`]: the default tenant plus every
+/// tenant registered through
+/// [`QueryService::add_tenant`](crate::QueryService::add_tenant).
+///
+/// Lookups for the default tenant bypass the lock entirely — the warm-hit
+/// path of a single-tenant deployment pays nothing for the registry.
+pub struct TenantRegistry {
+    /// Every hosted tenant, the default one at index 0.  Tenants are never
+    /// removed, so the vector only grows.
+    tenants: RwLock<Vec<Arc<TenantState>>>,
+    /// The always-present default tenant, reachable without the lock.
+    default: Arc<TenantState>,
+}
+
+impl TenantRegistry {
+    pub(crate) fn new(default: Arc<TenantState>) -> Self {
+        Self {
+            tenants: RwLock::new(vec![Arc::clone(&default)]),
+            default,
+        }
+    }
+
+    /// The default tenant (the service's boot snapshot).
+    pub(crate) fn default_tenant(&self) -> &Arc<TenantState> {
+        &self.default
+    }
+
+    /// Resolves a tenant id to its state, `None` for an unknown tenant.
+    pub(crate) fn resolve(&self, id: &TenantId) -> Option<Arc<TenantState>> {
+        if id.is_default() {
+            return Some(Arc::clone(&self.default));
+        }
+        self.tenants
+            .read()
+            .expect("tenant registry poisoned")
+            .iter()
+            .find(|t| t.id == *id)
+            .cloned()
+    }
+
+    /// Registers a new tenant; rejects a duplicate id.
+    pub(crate) fn register(&self, tenant: Arc<TenantState>) -> Result<(), ServiceError> {
+        let mut tenants = self.tenants.write().expect("tenant registry poisoned");
+        if tenants.iter().any(|t| t.id == tenant.id) {
+            return Err(ServiceError::TenantExists(tenant.id.as_str().to_string()));
+        }
+        tenants.push(tenant);
+        Ok(())
+    }
+
+    /// A snapshot of every hosted tenant, default first, registration order
+    /// after.
+    pub(crate) fn all(&self) -> Vec<Arc<TenantState>> {
+        self.tenants
+            .read()
+            .expect("tenant registry poisoned")
+            .clone()
+    }
+
+    /// Hosted tenant count (the default tenant included) — the denominator
+    /// of the admission quota.
+    pub(crate) fn len(&self) -> usize {
+        self.tenants.read().expect("tenant registry poisoned").len()
+    }
+}
+
+/// The per-tenant administration facade, returned by
+/// [`QueryService::admin`](crate::QueryService::admin).
+///
+/// Every mutation of what a tenant serves goes through here, scoped to the
+/// one tenant named at construction — there is no way to reload tenant A
+/// while holding tenant B's facade.  The facade borrows the service, so it
+/// cannot outlive the worker pool it administers.
+///
+/// ```
+/// use std::sync::Arc;
+/// use soda_core::{EngineSnapshot, SodaConfig};
+/// use soda_service::{QueryService, ServiceConfig};
+///
+/// let w = soda_warehouse::minibank::build(42);
+/// let snapshot = Arc::new(EngineSnapshot::build(
+///     Arc::new(w.database),
+///     Arc::new(w.graph),
+///     SodaConfig::default(),
+/// ));
+/// let service = QueryService::start(snapshot, ServiceConfig::default());
+/// let admin = service.admin("default").unwrap();
+/// assert_eq!(admin.generation(), 0);
+/// assert!(service.admin("no-such-tenant").is_err());
+/// ```
+pub struct TenantAdmin<'a> {
+    pub(crate) service: &'a QueryService,
+    pub(crate) tenant: Arc<TenantState>,
+}
+
+impl TenantAdmin<'_> {
+    /// The tenant this facade administers.
+    pub fn id(&self) -> &TenantId {
+        &self.tenant.id
+    }
+
+    /// Generation of the snapshot this tenant currently serves.
+    pub fn generation(&self) -> u64 {
+        self.tenant.handle.generation()
+    }
+
+    /// The engine snapshot this tenant currently serves.  A subsequent
+    /// [`reload`](Self::reload) does not invalidate the returned `Arc`; it
+    /// just stops being what new submissions see.
+    pub fn engine(&self) -> Arc<EngineSnapshot> {
+        self.tenant.handle.load()
+    }
+
+    /// Swaps in a full replacement snapshot for this tenant **without
+    /// draining the worker pool**: the tenant's in-flight queries finish on
+    /// the generation they pinned at submission, new submissions see the
+    /// new one.  Other tenants' cached pages are untouched.  Returns the
+    /// new generation.
+    pub fn reload(&self, snapshot: EngineSnapshot) -> u64 {
+        self.service.reload_for(&self.tenant, snapshot)
+    }
+
+    /// Per-shard hot swap for this tenant: rebuilds and atomically replaces
+    /// the inverted-index partitions owning `tables` while every other
+    /// shard keeps serving.  Cached pages whose queries provably never
+    /// consulted a rebuilt partition are carried across the swap.  Returns
+    /// the new generation.
+    pub fn rebuild_shards(&self, db: Arc<Database>, tables: &[String]) -> u64 {
+        self.service.rebuild_shards_for(&self.tenant, db, tables)
+    }
+
+    /// Metadata hot swap for this tenant: rebuilds the classification index
+    /// and join catalog against a refreshed graph.  Returns the new
+    /// generation.
+    pub fn refresh_graph(&self, graph: Arc<MetaGraph>) -> u64 {
+        self.service.refresh_graph_for(&self.tenant, graph)
+    }
+
+    /// Streaming ingestion into this tenant's snapshot: absorbs a row-level
+    /// change feed into per-shard side logs without rebuilding any index
+    /// partition.  On a durable service the feed is journaled write-ahead
+    /// to **this tenant's** journal.  Returns the new generation.
+    pub fn ingest(&self, feed: &ChangeFeed) -> Result<u64, ServiceError> {
+        self.service.ingest_owned_for(&self.tenant, feed.clone())
+    }
+
+    /// [`ingest`](Self::ingest) for an **owned** feed — the zero-copy path.
+    pub fn ingest_owned(&self, feed: ChangeFeed) -> Result<u64, ServiceError> {
+        self.service.ingest_owned_for(&self.tenant, feed)
+    }
+
+    /// Folds this tenant's ingestion side logs of `shards` into rebuilt
+    /// partitions.  Returns the new generation, or `None` when none of the
+    /// named shards had a log to fold.
+    pub fn compact(&self, shards: &[usize]) -> Option<u64> {
+        self.service.compact_for(&self.tenant, shards)
+    }
+
+    /// Drops this tenant's cached result pages (other tenants' pages and
+    /// the lifetime hit/miss counters survive).
+    pub fn clear_cache(&self) {
+        self.service.clear_cache_for(&self.tenant);
+    }
+}

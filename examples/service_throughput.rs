@@ -67,9 +67,10 @@ fn main() {
                         query.to_uppercase()
                     };
                     let page = service
-                        .submit(QueryRequest::new(spelled))
+                        .query(QueryRequest::new(spelled))
                         .wait()
-                        .expect("query serves");
+                        .expect("query serves")
+                        .page;
                     assert!(page.results.iter().all(|r| r.sql.starts_with("SELECT")));
                 }
             });

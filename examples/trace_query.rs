@@ -34,7 +34,8 @@ fn main() {
 
     let query = "financial instruments customers Zurich";
     let traced = service
-        .submit_traced(QueryRequest::new(query))
+        .query(QueryRequest::new(query).traced())
+        .wait()
         .expect("query parses");
     println!("== traced: {query}");
     println!(
@@ -47,12 +48,18 @@ fn main() {
             .map(|r| r.sql.as_str())
             .unwrap_or("(none)")
     );
-    println!("{}", traced.trace.render());
+    println!(
+        "{}",
+        traced
+            .trace
+            .expect("traced response carries its trace")
+            .render()
+    );
 
     // The same query through the normal path: executed once (slow-query
     // captured), then answered from the cache.
     for _ in 0..2 {
-        service.submit(QueryRequest::new(query)).wait().unwrap();
+        service.query(QueryRequest::new(query)).wait().unwrap();
     }
     let slow = service.slow_queries();
     println!(

@@ -82,8 +82,9 @@ pub mod prelude {
     pub use soda_metagraph::{MetaGraph, Pattern, PatternRegistry};
     pub use soda_relation::{Database, ResultSet, Value};
     pub use soda_service::{
-        CompactionConfig, DurabilityConfig, FsyncPolicy, QueryRequest, QueryService,
-        RecoveryReport, ServiceConfig, ServiceMetrics, SlowQuery, TracedQuery,
+        CompactionConfig, DurabilityConfig, FsyncPolicy, JobHandle, JobResult, QueryRequest,
+        QueryResponse, QueryService, RecoveryReport, ServiceConfig, ServiceMetrics, SlowQuery,
+        TenantAdmin, TenantId, TenantMetrics, TracedQuery,
     };
     pub use soda_trace::{CollectingSink, NoopSink, OpEvent, QueryTrace, TraceSink};
     pub use soda_warehouse::Warehouse;

@@ -77,9 +77,16 @@ fn recover_at(dir: &Path) -> (QueryService, RecoveryReport) {
 
 fn page_for(service: &QueryService, query: &str) -> ResultPage {
     service
-        .submit(QueryRequest::new(query))
+        .query(QueryRequest::new(query))
         .wait()
         .expect("query must succeed")
+        .page
+}
+
+fn admin(service: &QueryService) -> TenantAdmin<'_> {
+    service
+        .admin(TenantId::default())
+        .expect("the default tenant always exists")
 }
 
 #[test]
@@ -112,7 +119,7 @@ fn crash_after_ingests_recovers_byte_identical_pages() {
     let (before, generation) = {
         let (service, _) = recover_at(live_dir.path());
         for i in 0..FEEDS {
-            service
+            admin(&service)
                 .ingest(&address_feed(900 + i as i64, &format!("City{i}")))
                 .unwrap();
         }
@@ -165,7 +172,7 @@ fn crash_after_ingests_recovers_byte_identical_pages() {
         ServiceConfig::default(),
     );
     for i in 0..FEEDS {
-        reference
+        admin(&reference)
             .ingest(&address_feed(900 + i as i64, &format!("City{i}")))
             .unwrap();
     }
@@ -194,7 +201,7 @@ fn corrupt_tail_is_dropped_and_the_prefix_replays() {
     {
         let (service, _) = recover_at(live_dir.path());
         for i in 0..FEEDS {
-            service
+            admin(&service)
                 .ingest(&address_feed(900 + i as i64, &format!("City{i}")))
                 .unwrap();
         }
@@ -234,7 +241,9 @@ fn graceful_drain_restores_the_warm_cache() {
     let queries = ["Sara Guttinger", "Streamville"];
     let before: Vec<ResultPage> = {
         let (service, _) = recover_at(dir.path());
-        service.ingest(&address_feed(900, "Streamville")).unwrap();
+        admin(&service)
+            .ingest(&address_feed(900, "Streamville"))
+            .unwrap();
         queries.iter().map(|q| page_for(&service, q)).collect()
         // Drop = graceful drain: the cache is serialized to pages.cache.
     };
@@ -266,15 +275,15 @@ fn checkpoints_bound_replay_and_recover_exactly() {
     {
         let (service, _) = recover_at(dir.path());
         for i in 0..3 {
-            service
+            admin(&service)
                 .ingest(&address_feed(900 + i, &format!("City{i}")))
                 .unwrap();
         }
         let shards: Vec<usize> = (0..service.engine().shard_count()).collect();
-        service.compact(&shards).expect("a log to fold");
+        admin(&service).compact(&shards).expect("a log to fold");
         assert_eq!(service.metrics().durability.checkpoints, 1);
         // One more feed lands *after* the checkpoint.
-        service
+        admin(&service)
             .ingest(&address_feed(950, "PostCheckpoint"))
             .unwrap();
     }
@@ -301,8 +310,12 @@ fn recovery_is_idempotent() {
     let dir = TempDir::new("idempotent");
     {
         let (service, _) = recover_at(dir.path());
-        service.ingest(&address_feed(900, "Onceville")).unwrap();
-        service.ingest(&address_feed(901, "Onceville")).unwrap();
+        admin(&service)
+            .ingest(&address_feed(900, "Onceville"))
+            .unwrap();
+        admin(&service)
+            .ingest(&address_feed(901, "Onceville"))
+            .unwrap();
     }
     let (first_page, generation) = {
         let (service, report) = recover_at(dir.path());
@@ -327,6 +340,7 @@ fn stale_or_foreign_cache_files_are_ignored_not_fatal() {
         &dir.path().join("pages.cache"),
         *b"SODACSH1",
         0xDEAD_BEEF,
+        TenantId::default().fingerprint(),
         &[b"not a page".as_slice()],
     )
     .unwrap();
@@ -349,7 +363,9 @@ fn stale_or_foreign_cache_files_are_ignored_not_fatal() {
     let dir = TempDir::new("stale-cache");
     {
         let (service, _) = recover_at(dir.path());
-        service.ingest(&address_feed(900, "Staleville")).unwrap();
+        admin(&service)
+            .ingest(&address_feed(900, "Staleville"))
+            .unwrap();
         page_for(&service, "Staleville");
     }
     fs::remove_file(journal_path(dir.path())).unwrap();
@@ -369,7 +385,9 @@ fn journal_config_mismatch_is_a_hard_error() {
     let dir = TempDir::new("config-mismatch");
     {
         let (service, _) = recover_at(dir.path());
-        service.ingest(&address_feed(900, "Mismatchville")).unwrap();
+        admin(&service)
+            .ingest(&address_feed(900, "Mismatchville"))
+            .unwrap();
     }
     let (db, graph) = minibank_parts();
     let err = match QueryService::recover(
@@ -414,9 +432,11 @@ fn empty_and_checkpoint_only_journals_recover() {
     let dir = TempDir::new("checkpoint-only");
     let generation = {
         let (service, _) = recover_at(dir.path());
-        service.ingest(&address_feed(900, "Foldville")).unwrap();
+        admin(&service)
+            .ingest(&address_feed(900, "Foldville"))
+            .unwrap();
         let shards: Vec<usize> = (0..service.engine().shard_count()).collect();
-        service.compact(&shards).expect("a log to fold");
+        admin(&service).compact(&shards).expect("a log to fold");
         service.generation()
     };
     let (service, report) = recover_at(dir.path());
@@ -436,12 +456,16 @@ fn recovered_services_keep_journaling() {
     let dir = TempDir::new("rejournal");
     {
         let (service, _) = recover_at(dir.path());
-        service.ingest(&address_feed(900, "FirstLife")).unwrap();
+        admin(&service)
+            .ingest(&address_feed(900, "FirstLife"))
+            .unwrap();
     }
     {
         let (service, report) = recover_at(dir.path());
         assert_eq!(report.replayed_feeds, 1);
-        service.ingest(&address_feed(901, "SecondLife")).unwrap();
+        admin(&service)
+            .ingest(&address_feed(901, "SecondLife"))
+            .unwrap();
         assert_eq!(service.metrics().durability.journal_appends, 1);
     }
     let (service, report) = recover_at(dir.path());

@@ -68,23 +68,25 @@ fn enterprise_service(shards: usize) -> QueryService {
 fn traced_enterprise_query_yields_the_full_span_tree() {
     let service = enterprise_service(4);
     let traced = service
-        .submit_traced(QueryRequest::new("financial instruments customers Zurich"))
+        .query(QueryRequest::new("financial instruments customers Zurich").traced())
+        .wait()
         .expect("traced query succeeds");
     assert!(!traced.page.results.is_empty());
+    let trace = traced.trace.expect("a traced response carries its trace");
 
-    let root = traced.trace.find(names::QUERY).expect("query root span");
+    let root = trace.find(names::QUERY).expect("query root span");
     for stage in names::STAGES {
         assert!(
             root.children.iter().any(|c| c.name == stage),
             "missing stage {stage} in\n{}",
-            traced.trace.render()
+            trace.render()
         );
     }
-    let probes = traced.trace.all_spans();
+    let probes = trace.all_spans();
     assert!(
         probes.iter().any(|s| s.name == names::PROBE_SHARD),
         "expected at least one per-shard probe sub-span in\n{}",
-        traced.trace.render()
+        trace.render()
     );
     // Probe sub-spans carry the frozen/side-log candidate split and the
     // owning shard.
@@ -99,10 +101,7 @@ fn traced_enterprise_query_yields_the_full_span_tree() {
     // The five stages account for (almost all of) the end-to-end execution:
     // their durations sum to no more than the root and to at least half of
     // it (parsing and page slicing are the only work outside the stages).
-    let stage_sum: Duration = names::STAGES
-        .iter()
-        .map(|s| traced.trace.sum_durations(s))
-        .sum();
+    let stage_sum: Duration = names::STAGES.iter().map(|s| trace.sum_durations(s)).sum();
     assert!(
         stage_sum <= root.duration,
         "stage sum {stage_sum:?} exceeds the root span {:?}",
@@ -112,7 +111,7 @@ fn traced_enterprise_query_yields_the_full_span_tree() {
         stage_sum * 2 >= root.duration,
         "stages cover too little of the root span: {stage_sum:?} of {:?}\n{}",
         root.duration,
-        traced.trace.render()
+        trace.render()
     );
 }
 
@@ -136,12 +135,16 @@ fn queue_wait_is_split_from_execution() {
     );
     // Distinct cold queries: each one occupies the single worker while the
     // rest wait in the queue, so queue wait is structurally non-zero.
-    let results = service.submit_batch(vec![
-        QueryRequest::new("Sara Guttinger"),
-        QueryRequest::new("wealthy customers"),
-        QueryRequest::new("customers Zurich"),
-        QueryRequest::new("Credit Suisse"),
-    ]);
+    let handles: Vec<JobHandle> = [
+        "Sara Guttinger",
+        "wealthy customers",
+        "customers Zurich",
+        "Credit Suisse",
+    ]
+    .iter()
+    .map(|q| service.query(QueryRequest::new(*q)))
+    .collect();
+    let results: Vec<JobResult> = handles.into_iter().map(JobHandle::wait).collect();
     assert!(results.iter().all(|r| r.is_ok()));
 
     let m = service.metrics();
@@ -184,7 +187,7 @@ fn slow_queries_land_full_traces_in_the_log() {
         },
     );
     for query in ["Sara Guttinger", "wealthy customers", "Credit Suisse"] {
-        service.submit(QueryRequest::new(query)).wait().unwrap();
+        service.query(QueryRequest::new(query)).wait().unwrap();
     }
     let m = service.metrics();
     assert_eq!(m.slow_queries, 3);
@@ -229,10 +232,12 @@ fn metrics_text_matches_the_golden_type_surface() {
     )
     .expect("durable boot");
     service
-        .submit(QueryRequest::new("Sara Guttinger"))
+        .query(QueryRequest::new("Sara Guttinger"))
         .wait()
         .unwrap();
     service
+        .admin(TenantId::default())
+        .expect("default tenant")
         .ingest(&ChangeFeed::new().append_row(
             "addresses",
             vec![
@@ -258,17 +263,20 @@ fn metrics_text_matches_the_golden_type_surface() {
     );
 }
 
-/// Tracing is invisible to callers: `submit_traced` answers byte-identically
-/// to `submit` for the same request, across shard counts.
+/// Tracing is invisible to callers: a `.traced()` request answers
+/// byte-identically to the untraced one, across shard counts.
 #[test]
 fn traced_and_untraced_answers_are_byte_identical() {
     for shards in [1usize, 4] {
         let service = enterprise_service(shards);
         for query in ["customers Zurich", "Credit Suisse"] {
-            let expected = service.submit(QueryRequest::new(query)).wait().unwrap();
-            let traced = service.submit_traced(QueryRequest::new(query)).unwrap();
+            let expected = service.query(QueryRequest::new(query)).wait().unwrap();
+            let traced = service
+                .query(QueryRequest::new(query).traced())
+                .wait()
+                .unwrap();
             assert_eq!(
-                traced.page, expected,
+                traced.page, expected.page,
                 "'{query}' diverged under tracing at {shards} shards"
             );
         }

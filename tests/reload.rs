@@ -19,6 +19,12 @@ const SHARDS: usize = 4;
 /// Published generations beyond the boot snapshot.
 const GENERATIONS: usize = 6;
 
+fn admin(service: &QueryService) -> TenantAdmin<'_> {
+    service
+        .admin(TenantId::default())
+        .expect("the default tenant always exists")
+}
+
 fn config() -> SodaConfig {
     SodaConfig {
         shards: SHARDS,
@@ -115,9 +121,9 @@ fn concurrent_reloads_never_drop_or_corrupt_a_query() {
             for g in 1..=GENERATIONS {
                 let db = generation_db(&w.database, g);
                 let generation = if g % 2 == 0 {
-                    service.reload(snapshot_over(db, &w.graph))
+                    admin(service).reload(snapshot_over(db, &w.graph))
                 } else {
-                    service.rebuild_shards(Arc::new(db), &["addresses".to_string()])
+                    admin(service).rebuild_shards(Arc::new(db), &["addresses".to_string()])
                 };
                 assert_eq!(generation, g as u64);
                 std::thread::sleep(std::time::Duration::from_millis(5));
@@ -132,17 +138,19 @@ fn concurrent_reloads_never_drop_or_corrupt_a_query() {
                 loop {
                     let done = writer_done.load(Ordering::Acquire);
                     let marker = service
-                        .submit(QueryRequest::new(MARKER_QUERY))
+                        .query(QueryRequest::new(MARKER_QUERY))
                         .wait()
-                        .expect("marker query must never error during a swap");
+                        .expect("marker query must never error during a swap")
+                        .page;
                     assert!(
                         expected.contains(&marker),
                         "page must match some published generation: {marker:?}"
                     );
                     let stable = service
-                        .submit(QueryRequest::new(STABLE_QUERY))
+                        .query(QueryRequest::new(STABLE_QUERY))
                         .wait()
-                        .expect("stable query must never error during a swap");
+                        .expect("stable query must never error during a swap")
+                        .page;
                     assert_eq!(
                         &stable, stable_expected,
                         "untouched tables must answer identically in every generation"
@@ -159,9 +167,10 @@ fn concurrent_reloads_never_drop_or_corrupt_a_query() {
     // After the dust settles: the service serves exactly the final
     // generation, and bookkeeping is coherent.
     let final_page = service
-        .submit(QueryRequest::new(MARKER_QUERY))
+        .query(QueryRequest::new(MARKER_QUERY))
         .wait()
-        .expect("final query runs");
+        .expect("final query runs")
+        .page;
     assert_eq!(final_page, expected[GENERATIONS]);
     let m = service.metrics();
     assert_eq!(m.generation, GENERATIONS as u64);
@@ -190,22 +199,22 @@ fn pending_cold_queries_do_not_leak_across_a_swap() {
 
     // Occupy the single worker so both marker submissions below are still
     // pending when they land.
-    let blocker = service.submit(QueryRequest::new("financial instruments customers Zurich"));
+    let blocker = service.query(QueryRequest::new("financial instruments customers Zurich"));
     // Pinned to generation 0, queued behind the blocker.
-    let old = service.submit(QueryRequest::new(MARKER_QUERY));
+    let old = service.query(QueryRequest::new(MARKER_QUERY));
     // Swap to generation 1 while that job is still queued…
-    let generation = service.rebuild_shards(
+    let generation = admin(&service).rebuild_shards(
         Arc::new(generation_db(&w.database, 1)),
         &["addresses".to_string()],
     );
     assert_eq!(generation, 1);
     // …then submit the identical text: it must NOT coalesce onto the old
     // pending job — different generation, different key.
-    let new = service.submit(QueryRequest::new(MARKER_QUERY));
+    let new = service.query(QueryRequest::new(MARKER_QUERY));
 
     blocker.wait().expect("blocker serves");
-    let old_page = old.wait().expect("pre-swap query serves");
-    let new_page = new.wait().expect("post-swap query serves");
+    let old_page = old.wait().expect("pre-swap query serves").page;
+    let new_page = new.wait().expect("post-swap query serves").page;
     assert_eq!(old_page, expected[0], "pre-swap submission serves gen 0");
     assert_eq!(new_page, expected[1], "post-swap submission serves gen 1");
     assert_ne!(old_page, new_page);
@@ -240,11 +249,11 @@ fn same_generation_submissions_still_coalesce_after_swaps() {
             ..ServiceConfig::default()
         },
     );
-    service.reload(snapshot_over(generation_db(&w.database, 1), &w.graph));
+    admin(&service).reload(snapshot_over(generation_db(&w.database, 1), &w.graph));
 
-    let blocker = service.submit(QueryRequest::new("wealthy customers"));
-    let first = service.submit(QueryRequest::new(MARKER_QUERY));
-    let second = service.submit(QueryRequest::new(MARKER_QUERY));
+    let blocker = service.query(QueryRequest::new("wealthy customers"));
+    let first = service.query(QueryRequest::new(MARKER_QUERY));
+    let second = service.query(QueryRequest::new(MARKER_QUERY));
     blocker.wait().expect("blocker serves");
     assert_eq!(
         first.wait().expect("first serves"),
@@ -352,7 +361,9 @@ fn streaming_ingest_with_background_compaction_never_drops_or_corrupts() {
 
         scope.spawn(move || {
             for g in 1..=GENERATIONS {
-                service.ingest(&marker_feed(g)).expect("feed absorbs");
+                admin(service)
+                    .ingest(&marker_feed(g))
+                    .expect("feed absorbs");
                 std::thread::sleep(Duration::from_millis(5));
             }
             writer_done.store(true, Ordering::Release);
@@ -362,17 +373,19 @@ fn streaming_ingest_with_background_compaction_never_drops_or_corrupts() {
             scope.spawn(move || loop {
                 let done = writer_done.load(Ordering::Acquire);
                 let marker = service
-                    .submit(QueryRequest::new(MARKER_QUERY))
+                    .query(QueryRequest::new(MARKER_QUERY))
                     .wait()
-                    .expect("marker query must never error during ingestion");
+                    .expect("marker query must never error during ingestion")
+                    .page;
                 assert!(
                     expected.contains(&marker),
                     "page must match some ingested state: {marker:?}"
                 );
                 let stable = service
-                    .submit(QueryRequest::new(STABLE_QUERY))
+                    .query(QueryRequest::new(STABLE_QUERY))
                     .wait()
-                    .expect("stable query must never error during ingestion");
+                    .expect("stable query must never error during ingestion")
+                    .page;
                 assert_eq!(
                     &stable, stable_expected,
                     "untouched tables must answer identically in every generation"
@@ -386,9 +399,10 @@ fn streaming_ingest_with_background_compaction_never_drops_or_corrupts() {
 
     // After the dust settles: exactly the final ingested state serves.
     let final_page = service
-        .submit(QueryRequest::new(MARKER_QUERY))
+        .query(QueryRequest::new(MARKER_QUERY))
         .wait()
-        .expect("final query runs");
+        .expect("final query runs")
+        .page;
     assert_eq!(final_page, expected[GENERATIONS]);
     // The compactor is still alive and may fold between any two reads, so
     // only race-free orderings are asserted: a fold counted by the *first*
@@ -471,21 +485,21 @@ proptest! {
             };
             match feed {
                 Some(feed) => {
-                    service.ingest(&feed).expect("feed absorbs");
+                    admin(&service).ingest(&feed).expect("feed absorbs");
                     Ingestor::new(1)
                         .apply_only(&mut reference, &feed)
                         .expect("reference replays");
                 }
                 None => {
-                    let _ = service.compact(&(0..SHARDS).collect::<Vec<_>>());
+                    let _ = admin(&service).compact(&(0..SHARDS).collect::<Vec<_>>());
                 }
             }
             let rebuilt = snapshot_over(reference.clone(), &w.graph);
             for query in &queries {
                 let served = service
-                    .submit(QueryRequest::new(query.clone()))
+                    .query(QueryRequest::new(query.clone()))
                     .wait()
-                    .expect("query serves");
+                    .expect("query serves").page;
                 let direct = rebuilt
                     .search_paged(query, 0, 10)
                     .expect("reference query runs");
@@ -526,16 +540,16 @@ fn reload_with_identical_data_is_answer_invariant() {
         ServiceConfig::default(),
     );
     let before = service
-        .submit(QueryRequest::new(STABLE_QUERY))
+        .query(QueryRequest::new(STABLE_QUERY))
         .wait()
         .expect("serves");
-    service.reload(snapshot_over(w.database.clone(), &w.graph));
-    match service.submit(QueryRequest::new("   ")).wait() {
+    admin(&service).reload(snapshot_over(w.database.clone(), &w.graph));
+    match service.query(QueryRequest::new("   ")).wait() {
         Err(e) => assert!(e.to_string().contains("engine error")),
         Ok(_) => panic!("blank query must fail"),
     }
     let after = service
-        .submit(QueryRequest::new(STABLE_QUERY))
+        .query(QueryRequest::new(STABLE_QUERY))
         .wait()
         .expect("serves");
     assert_eq!(before, after);

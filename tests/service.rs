@@ -76,9 +76,10 @@ fn concurrent_service_matches_single_threaded_engine_byte_for_byte() {
                     for i in 0..QUERIES.len() {
                         let idx = (t + round + i) % QUERIES.len();
                         let page = service
-                            .submit(QueryRequest::new(QUERIES[idx]))
+                            .query(QueryRequest::new(QUERIES[idx]))
                             .wait()
-                            .expect("service answers");
+                            .expect("service answers")
+                            .page;
                         let sql: Vec<String> = page.results.iter().map(|r| r.sql.clone()).collect();
                         assert_eq!(
                             sql, expected[idx],
@@ -113,10 +114,13 @@ fn warm_cache_is_at_least_ten_times_faster_than_cold() {
     // scheduler noise can only make cold look *faster*, never slower.
     let mut cold = Duration::MAX;
     for _ in 0..5 {
-        service.clear_cache();
+        service
+            .admin(TenantId::default())
+            .expect("default tenant exists")
+            .clear_cache();
         let t0 = Instant::now();
         service
-            .submit(QueryRequest::new(query))
+            .query(QueryRequest::new(query))
             .wait()
             .expect("cold query serves");
         cold = cold.min(t0.elapsed());
@@ -124,13 +128,13 @@ fn warm_cache_is_at_least_ten_times_faster_than_cold() {
 
     // Warm: best of many pure cache hits.
     service
-        .submit(QueryRequest::new(query))
+        .query(QueryRequest::new(query))
         .wait()
         .expect("priming query serves");
     let mut warm = Duration::MAX;
     for _ in 0..50 {
         let t0 = Instant::now();
-        let handle = service.submit(QueryRequest::new(query));
+        let handle = service.query(QueryRequest::new(query));
         assert!(handle.is_ready(), "warm submit must resolve synchronously");
         handle.wait().expect("warm query serves");
         warm = warm.min(t0.elapsed());
@@ -174,13 +178,15 @@ fn different_configs_produce_independent_answers() {
     // "Sara Guttinger" only resolves through the inverted index over the
     // base data, so the two services must answer differently.
     let a = with_index
-        .submit(QueryRequest::new("Sara Guttinger"))
+        .query(QueryRequest::new("Sara Guttinger"))
         .wait()
-        .expect("serves");
+        .expect("serves")
+        .page;
     let b = without_index
-        .submit(QueryRequest::new("Sara Guttinger"))
+        .query(QueryRequest::new("Sara Guttinger"))
         .wait()
-        .expect("serves");
+        .expect("serves")
+        .page;
     assert!(!a.results.is_empty());
     assert_ne!(a.results, b.results);
 }
@@ -205,7 +211,7 @@ fn queue_depth_accessor_tracks_the_queue() {
     // and the metrics gauge must agree while the queue drains.
     let handles: Vec<_> = QUERIES
         .iter()
-        .map(|q| service.submit(QueryRequest::new(*q)))
+        .map(|q| service.query(QueryRequest::new(*q)))
         .collect();
     // No further submissions happen, so depth only shrinks as the worker
     // drains: the accessor sampled after the snapshot can never exceed it.
@@ -234,13 +240,13 @@ fn concurrent_identical_cold_queries_are_coalesced() {
     );
     // Occupy the single worker so the identical submissions below overlap
     // with their key's in-flight window.
-    let blocker = service.submit(QueryRequest::new("financial instruments customers Zurich"));
+    let blocker = service.query(QueryRequest::new("financial instruments customers Zurich"));
 
     const CLIENTS: usize = 12;
     let query = "sum (amount) group by (transaction date)";
     let pages: Vec<ResultPage> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..CLIENTS)
-            .map(|_| scope.spawn(|| service.submit(QueryRequest::new(query)).wait().unwrap()))
+            .map(|_| scope.spawn(|| service.query(QueryRequest::new(query)).wait().unwrap().page))
             .collect();
         handles.into_iter().map(|h| h.join().unwrap()).collect()
     });
@@ -258,18 +264,26 @@ fn concurrent_identical_cold_queries_are_coalesced() {
     assert_eq!(m.completed, (CLIENTS + 1) as u64);
 }
 
-/// The batch API returns results in request order and populates metrics.
+/// A batch of handles collected up front resolves in request order and
+/// populates metrics.
 #[test]
-fn submit_batch_round_trips_a_mixed_workload() {
+fn batched_handles_round_trip_a_mixed_workload() {
     let service = QueryService::start(shared_snapshot(), ServiceConfig::default());
-    let requests: Vec<QueryRequest> = QUERIES.iter().map(|q| QueryRequest::new(*q)).collect();
-    let results = service.submit_batch(requests);
+    let handles: Vec<JobHandle> = QUERIES
+        .iter()
+        .map(|q| service.query(QueryRequest::new(*q)))
+        .collect();
+    let results: Vec<JobResult> = handles.into_iter().map(JobHandle::wait).collect();
     assert_eq!(results.len(), QUERIES.len());
     for (query, result) in QUERIES.iter().zip(&results) {
-        let page = result.as_ref().unwrap_or_else(|e| {
+        let response = result.as_ref().unwrap_or_else(|e| {
             panic!("'{query}' failed: {e}");
         });
-        assert!(page.results.iter().all(|r| r.sql.starts_with("SELECT")));
+        assert!(response
+            .page
+            .results
+            .iter()
+            .all(|r| r.sql.starts_with("SELECT")));
     }
     let metrics = service.metrics();
     assert_eq!(metrics.completed, QUERIES.len() as u64);
