@@ -244,6 +244,11 @@ pub struct TenantMetrics {
     pub ingest_feeds: u64,
     /// Side-log compactions performed for this tenant.
     pub compactions: u64,
+    /// This tenant's crash-safety counters — journal size and appends,
+    /// checkpoints, and the replay figures of the recovery that registered
+    /// it.  All zero (`enabled` false) on a non-durable service.  For the
+    /// default tenant this mirrors [`ServiceMetrics::durability`].
+    pub durability: DurabilityMetrics,
 }
 
 /// Latency accounting shared by the workers: one log-bucketed histogram per

@@ -142,8 +142,11 @@ use crate::metrics::{
 use crate::tenants::{TenantAdmin, TenantRegistry, TenantState};
 
 /// Magic of the persistent page-cache file (the journal has its own,
-/// [`soda_journal::JOURNAL_MAGIC`]).
-const CACHE_MAGIC: [u8; 8] = *b"SODACSH1";
+/// [`soda_journal::JOURNAL_MAGIC`]).  `2` is the format version — bumped
+/// with the frame-file header when it grew the tenant-fingerprint field;
+/// version-`1` cache files written before tenancy still load (the frame
+/// reader accepts both layouts).
+const CACHE_MAGIC: [u8; 8] = *b"SODACSH2";
 
 /// File name of the persistent page cache under the durability directory.
 const CACHE_FILE: &str = "pages.cache";
@@ -545,6 +548,18 @@ pub enum ServiceError {
     UnknownTenant(String),
     /// [`QueryService::add_tenant`] was given an id that is already hosted.
     TenantExists(String),
+    /// [`QueryService::add_tenant`] was given an id whose 64-bit
+    /// fingerprint collides with an already-hosted tenant's (the default
+    /// tenant's reserved `0` included).  Tenant isolation — cache keying,
+    /// queue lanes, journal directories — rests on distinct fingerprints,
+    /// so a colliding tenant is rejected up front instead of silently
+    /// sharing another tenant's state.
+    TenantFingerprintCollision {
+        /// The rejected tenant id.
+        tenant: String,
+        /// The already-hosted tenant it collides with.
+        existing: String,
+    },
 }
 
 impl std::fmt::Display for ServiceError {
@@ -558,6 +573,11 @@ impl std::fmt::Display for ServiceError {
             ServiceError::TenantExists(tenant) => {
                 write!(f, "tenant `{tenant}` is already hosted")
             }
+            ServiceError::TenantFingerprintCollision { tenant, existing } => write!(
+                f,
+                "tenant `{tenant}` has the same fingerprint as hosted tenant \
+                 `{existing}`; rename it to keep tenant state disjoint"
+            ),
         }
     }
 }
@@ -802,6 +822,12 @@ struct Shared {
     /// tenant's journal directory from it.  The per-tenant journal *state*
     /// lives on each [`TenantState`].
     durability_config: Option<DurabilityConfig>,
+    /// Serializes [`QueryService::add_tenant`] end to end, so the duplicate
+    /// / fingerprint-collision check and the journal recovery form one
+    /// atomic episode — two racing registrations of the same id must never
+    /// both hold a write handle to the same journal file.  Never taken on
+    /// the query path.
+    add_tenants: Mutex<()>,
 }
 
 impl Shared {
@@ -942,6 +968,7 @@ impl QueryService {
             slow_log: Mutex::new(BoundedLog::new(config.slow_query_log)),
             events: Mutex::new(BoundedLog::new(config.event_log)),
             durability_config,
+            add_tenants: Mutex::new(()),
         });
         // CI parity knob: SODA_TEST_TENANTS=n hosts n-1 idle "shadow"
         // tenants over the same engine, so the whole suite exercises a
@@ -1160,16 +1187,35 @@ impl QueryService {
     /// tenant resumes exactly where its journaled history left off).
     ///
     /// Rejects the default id with [`ServiceError::TenantExists`] (the
-    /// default tenant always exists), and any already-registered id.
+    /// default tenant always exists), any already-registered id, and an id
+    /// whose fingerprint collides with a hosted tenant's
+    /// ([`ServiceError::TenantFingerprintCollision`] — fingerprints are the
+    /// isolation boundary for cache keys, queue lanes and journal
+    /// directories, so a collision must never be hosted).
     pub fn add_tenant(
         &self,
         id: impl Into<TenantId>,
         engine: Arc<EngineSnapshot>,
     ) -> Result<(), ServiceError> {
         let id = id.into();
-        if id.is_default() || self.shared.tenants.resolve(&id).is_some() {
+        // One registration at a time: the validation below and the journal
+        // recovery must be atomic, or two racing calls with the same id
+        // would both open (and possibly truncate/replay) the same journal
+        // file before `register` rejects the loser.
+        let _adding = self
+            .shared
+            .add_tenants
+            .lock()
+            .expect("tenant registration lock poisoned");
+        if id.is_default() {
             return Err(ServiceError::TenantExists(id.as_str().to_string()));
         }
+        // Validate *before* the journal side effects — a rejected tenant
+        // (duplicate or fingerprint collision) must not create or replay
+        // any journal directory.  In particular, a named tenant whose
+        // fingerprint collides with `0` would otherwise map onto the
+        // default tenant's top-level journal.
+        self.shared.tenants.validate_new(&id)?;
         let handle = SnapshotHandle::new(engine);
         let durability = match &self.shared.durability_config {
             Some(config) => Some(recover_tenant_journal(&id, &handle, config)?),
@@ -1301,11 +1347,15 @@ impl QueryService {
         // this tenant's lane is at its fair share of it.  The quota is what
         // keeps one tenant's cold-query storm from squatting every slot —
         // the flooding tenant's own submitters block here while other
-        // tenants still find room in their lanes.
-        let quota = admission_quota(self.shared.queue_capacity, self.shared.tenants.len());
+        // tenants still find room in their lanes.  The quota is recomputed
+        // on every predicate evaluation (the tenant count is one cheap
+        // RwLock read), so a submitter that sleeps through an `add_tenant`
+        // wakes up to the tightened share instead of a stale, larger one.
         let mut state = self.shared.queue.lock().expect("queue poisoned");
         let mut waited = false;
-        while (state.total >= self.shared.queue_capacity || state.depth_of(lane) >= quota)
+        while (state.total >= self.shared.queue_capacity
+            || state.depth_of(lane)
+                >= admission_quota(self.shared.queue_capacity, self.shared.tenants.len()))
             && !state.shutdown
         {
             waited = true;
@@ -1467,6 +1517,7 @@ impl QueryService {
                     reloads: t.reloads.load(Ordering::Relaxed),
                     ingest_feeds: t.ingest_feeds.load(Ordering::Relaxed),
                     compactions: t.compactions.load(Ordering::Relaxed),
+                    durability: durability_metrics(&t.durability),
                 }
             })
             .collect();
@@ -1504,24 +1555,7 @@ impl QueryService {
                 compacted_shards: self.shared.compacted_shards.load(Ordering::Relaxed),
             },
             shards: snapshot.shard_stats(),
-            durability: match &default.durability {
-                Some(durability) => {
-                    let d = durability.lock().expect("durability state poisoned");
-                    DurabilityMetrics {
-                        enabled: true,
-                        journal_bytes: d.journal.len_bytes(),
-                        journal_appends: d.journal_appends,
-                        checkpoints: d.checkpoints,
-                        checkpoint_failures: d.checkpoint_failures,
-                        replayed_feeds: d.replayed_feeds,
-                        rejected_replays: d.rejected_replays,
-                        truncated_bytes: d.truncated_bytes,
-                        cache_pages_restored: d.cache_pages_restored,
-                        cache_pages_stale: d.cache_pages_stale,
-                    }
-                }
-                None => DurabilityMetrics::default(),
-            },
+            durability: durability_metrics(&default.durability),
             tenants,
         }
     }
@@ -1890,6 +1924,59 @@ impl QueryService {
                 t.compactions,
             );
         }
+        // Per-tenant journaling is only live on a durable service — like
+        // the service-wide journal families, these are omitted otherwise.
+        // (Shadow tenants host no journal and report zeros.)
+        if m.durability.enabled {
+            w.header(
+                "soda_tenant_journal_bytes",
+                "Current size of the tenant's feed journal in bytes.",
+                MetricKind::Gauge,
+            );
+            for t in &m.tenants {
+                w.int_value(
+                    "soda_tenant_journal_bytes",
+                    &[("tenant", t.tenant.clone())],
+                    t.durability.journal_bytes,
+                );
+            }
+            w.header(
+                "soda_tenant_journal_appends_total",
+                "Change feeds appended to the tenant's journal.",
+                MetricKind::Counter,
+            );
+            for t in &m.tenants {
+                w.int_value(
+                    "soda_tenant_journal_appends_total",
+                    &[("tenant", t.tenant.clone())],
+                    t.durability.journal_appends,
+                );
+            }
+            w.header(
+                "soda_tenant_checkpoints_total",
+                "Checkpoints written to the tenant's journal.",
+                MetricKind::Counter,
+            );
+            for t in &m.tenants {
+                w.int_value(
+                    "soda_tenant_checkpoints_total",
+                    &[("tenant", t.tenant.clone())],
+                    t.durability.checkpoints,
+                );
+            }
+            w.header(
+                "soda_tenant_replayed_feeds_total",
+                "Journaled feeds re-absorbed when the tenant was recovered.",
+                MetricKind::Counter,
+            );
+            for t in &m.tenants {
+                w.int_value(
+                    "soda_tenant_replayed_feeds_total",
+                    &[("tenant", t.tenant.clone())],
+                    t.durability.replayed_feeds,
+                );
+            }
+        }
 
         // The histogram families render under the latency lock (taken alone,
         // consistent with the one-lock-at-a-time rule of `metrics`).
@@ -2197,6 +2284,30 @@ impl QueryService {
             .expect("store poisoned")
             .cache
             .retain(|key| key.snapshot_fingerprint == live || key.snapshot_fingerprint != prev);
+    }
+}
+
+/// Snapshots one tenant's [`DurabilityState`] into the counters surfaced by
+/// [`ServiceMetrics::durability`] and [`TenantMetrics::durability`] — all
+/// zero (`enabled` false) for a tenant with no journal.
+fn durability_metrics(state: &Option<Mutex<DurabilityState>>) -> DurabilityMetrics {
+    match state {
+        Some(durability) => {
+            let d = durability.lock().expect("durability state poisoned");
+            DurabilityMetrics {
+                enabled: true,
+                journal_bytes: d.journal.len_bytes(),
+                journal_appends: d.journal_appends,
+                checkpoints: d.checkpoints,
+                checkpoint_failures: d.checkpoint_failures,
+                replayed_feeds: d.replayed_feeds,
+                rejected_replays: d.rejected_replays,
+                truncated_bytes: d.truncated_bytes,
+                cache_pages_restored: d.cache_pages_restored,
+                cache_pages_stale: d.cache_pages_stale,
+            }
+        }
+        None => DurabilityMetrics::default(),
     }
 }
 

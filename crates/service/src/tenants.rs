@@ -153,12 +153,24 @@ impl TenantRegistry {
             .cloned()
     }
 
-    /// Registers a new tenant; rejects a duplicate id.
+    /// Checks that `id` can be hosted alongside the currently registered
+    /// tenants: the id must be new, and its 64-bit fingerprint must not
+    /// collide with any hosted tenant's.  Fingerprints are the entire
+    /// isolation boundary — cache keys, queue lanes and journal
+    /// directories are all derived from them — so a collision (including a
+    /// named tenant whose fingerprint happens to be `0`, the default
+    /// tenant's reserved value) would silently share another tenant's
+    /// state and must be rejected, never hosted.
+    pub(crate) fn validate_new(&self, id: &TenantId) -> Result<(), ServiceError> {
+        let tenants = self.tenants.read().expect("tenant registry poisoned");
+        validate_against(&tenants, id)
+    }
+
+    /// Registers a new tenant; rejects a duplicate id or a fingerprint
+    /// collision (see [`validate_new`](Self::validate_new)).
     pub(crate) fn register(&self, tenant: Arc<TenantState>) -> Result<(), ServiceError> {
         let mut tenants = self.tenants.write().expect("tenant registry poisoned");
-        if tenants.iter().any(|t| t.id == tenant.id) {
-            return Err(ServiceError::TenantExists(tenant.id.as_str().to_string()));
-        }
+        validate_against(&tenants, &tenant.id)?;
         tenants.push(tenant);
         Ok(())
     }
@@ -177,6 +189,43 @@ impl TenantRegistry {
     pub(crate) fn len(&self) -> usize {
         self.tenants.read().expect("tenant registry poisoned").len()
     }
+}
+
+/// The duplicate-id / fingerprint-collision check behind
+/// [`TenantRegistry::validate_new`] and [`TenantRegistry::register`],
+/// against one consistent view of the hosted tenants.  The default tenant
+/// is always in `hosted` (fingerprint `0`), so a named tenant whose
+/// fingerprint folds to `0` is caught here too.
+fn validate_against(hosted: &[Arc<TenantState>], id: &TenantId) -> Result<(), ServiceError> {
+    if let Some(existing) = hosted.iter().find(|t| t.id == *id) {
+        return Err(ServiceError::TenantExists(existing.id.as_str().to_string()));
+    }
+    let pairs = hosted.iter().map(|t| (t.id.as_str(), t.id.fingerprint()));
+    if let Some(existing) = fingerprint_collision(pairs, id.fingerprint()) {
+        return Err(ServiceError::TenantFingerprintCollision {
+            tenant: id.as_str().to_string(),
+            existing,
+        });
+    }
+    Ok(())
+}
+
+/// Returns the name of the hosted tenant whose fingerprint equals
+/// `fingerprint`, if any.  Pure (testable with synthetic fingerprints — a
+/// real FNV collision cannot be constructed in a test): the default tenant
+/// is always among `hosted` with fingerprint `0`, so a named tenant whose
+/// fingerprint folds to `0` — which would make [`TenantId::fold`] the
+/// identity and alias the default tenant's cache keys, queue lane and
+/// top-level journal directory — is caught by the same scan as any other
+/// collision.
+fn fingerprint_collision<'a>(
+    hosted: impl IntoIterator<Item = (&'a str, u64)>,
+    fingerprint: u64,
+) -> Option<String> {
+    hosted
+        .into_iter()
+        .find(|(_, fp)| *fp == fingerprint)
+        .map(|(name, _)| name.to_string())
 }
 
 /// The per-tenant administration facade, returned by
@@ -275,5 +324,23 @@ impl TenantAdmin<'_> {
     /// the lifetime hit/miss counters survive).
     pub fn clear_cache(&self) {
         self.service.clear_cache_for(&self.tenant);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fingerprint_collisions_name_the_colliding_tenant() {
+        let hosted = [("default", 0u64), ("acme", 0xA1), ("globex", 0xB2)];
+        // A distinct fingerprint passes.
+        assert_eq!(fingerprint_collision(hosted, 0xC3), None);
+        // An exact collision reports who it collides with.
+        assert_eq!(fingerprint_collision(hosted, 0xB2), Some("globex".into()));
+        // A named tenant whose fingerprint folds to 0 collides with the
+        // default tenant — hosting it would alias the default tenant's
+        // cache keys, queue lane and top-level journal directory.
+        assert_eq!(fingerprint_collision(hosted, 0), Some("default".into()));
     }
 }

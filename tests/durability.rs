@@ -329,6 +329,51 @@ fn recovery_is_idempotent() {
     assert_eq!(first_page, second_page, "twice must equal once");
 }
 
+/// A durability directory written **before tenancy existed** — version-1
+/// journal magic, 16-byte frame header with no tenant field — recovers
+/// losslessly: every acknowledged ingest replays, and the journal comes out
+/// upgraded to the current format.  This pins the upgrade path the header
+/// change introduced; without it a pre-tenancy journal would be misparsed
+/// and truncated.
+#[test]
+fn pre_tenancy_durability_directory_recovers_losslessly() {
+    let dir = TempDir::new("pre-tenancy");
+    {
+        let (service, _) = recover_at(dir.path());
+        admin(&service)
+            .ingest(&address_feed(900, "Legacyville"))
+            .unwrap();
+        admin(&service)
+            .ingest(&address_feed(901, "Legacyville"))
+            .unwrap();
+    }
+    // Rewrite the journal into the exact pre-tenancy layout: version-1
+    // magic, config fingerprint, frames — no tenant field (bytes 16..24
+    // removed).  Frame encoding is unchanged between the versions.
+    let path = journal_path(dir.path());
+    let current = fs::read(&path).unwrap();
+    assert_eq!(&current[..8], b"SODAJNL2");
+    let mut legacy = Vec::with_capacity(current.len() - 8);
+    legacy.extend_from_slice(b"SODAJNL1");
+    legacy.extend_from_slice(&current[8..16]);
+    legacy.extend_from_slice(&current[24..]);
+    fs::write(&path, &legacy).unwrap();
+
+    let (service, report) = recover_at(dir.path());
+    assert_eq!(
+        report.replayed_feeds, 2,
+        "acknowledged ingests must survive"
+    );
+    assert_eq!(report.truncated_bytes, 0);
+    assert!(!page_for(&service, "Legacyville").results.is_empty());
+    drop(service);
+    assert_eq!(
+        &fs::read(&path).unwrap()[..8],
+        b"SODAJNL2",
+        "the journal is upgraded to the current format"
+    );
+}
+
 /// Page-cache files that do not fit — foreign fingerprint, wrong magic, or
 /// written for engine state the journal no longer reproduces — are ignored,
 /// never an error.
@@ -338,7 +383,7 @@ fn stale_or_foreign_cache_files_are_ignored_not_fatal() {
     let dir = TempDir::new("foreign-cache");
     write_frame_file(
         &dir.path().join("pages.cache"),
-        *b"SODACSH1",
+        *b"SODACSH2",
         0xDEAD_BEEF,
         TenantId::default().fingerprint(),
         &[b"not a page".as_slice()],

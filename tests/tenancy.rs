@@ -183,11 +183,18 @@ fn a_cold_storm_on_one_tenant_cannot_starve_anothers_warm_hits() {
         // miss) from two threads, far outnumbering the queue capacity.
         // Handles are collected in bursts — submission runs ahead of the
         // workers, so the storm provably presses against A's admission
-        // quota instead of politely pacing itself.
+        // quota instead of politely pacing itself.  Each query carries a
+        // full aggregation (plus a nonce keeping the cache keys distinct)
+        // so executing one always costs more than submitting one — the
+        // workers cannot outpace the submitters and leave the queue empty.
         for thread in 0..2 {
             scope.spawn(move || {
                 let handles: Vec<JobHandle> = (0..40)
-                    .map(|i| service.query(QueryRequest::new(format!("Nowhere{thread}x{i}"))))
+                    .map(|i| {
+                        service.query(QueryRequest::new(format!(
+                            "Nowhere{thread}x{i} sum (amount) group by (transaction date)"
+                        )))
+                    })
                     .collect();
                 for handle in handles {
                     handle.wait().expect("cold queries still serve");
