@@ -13,7 +13,9 @@ use std::hint::black_box;
 use std::sync::Arc;
 
 use soda_core::{EngineSnapshot, SodaConfig};
-use soda_service::{JobHandle, QueryRequest, QueryService, ServiceConfig, TenantId};
+use soda_service::{
+    JobHandle, QueryRequest, QueryService, SamplingConfig, ServiceConfig, TenantId,
+};
 use soda_warehouse::minibank;
 
 /// A mixed mini-bank workload: keyword lookups, comparisons, aggregation.
@@ -41,19 +43,20 @@ fn run_batch(svc: &QueryService, requests: Vec<QueryRequest>) -> usize {
 }
 
 fn service(workers: usize) -> QueryService {
+    service_with(ServiceConfig {
+        workers,
+        ..ServiceConfig::default()
+    })
+}
+
+fn service_with(config: ServiceConfig) -> QueryService {
     let warehouse = minibank::build(42);
     let snapshot = Arc::new(EngineSnapshot::build(
         Arc::new(warehouse.database),
         Arc::new(warehouse.graph),
         SodaConfig::default(),
     ));
-    QueryService::start(
-        snapshot,
-        ServiceConfig {
-            workers,
-            ..ServiceConfig::default()
-        },
-    )
+    QueryService::start(snapshot, config)
 }
 
 fn bench_cold_vs_warm(c: &mut Criterion) {
@@ -97,10 +100,13 @@ fn bench_cold_vs_warm(c: &mut Criterion) {
     });
 
     // The diagnostic path: a full pipeline execution with a collecting sink
-    // recording every span.  Reported (not gated) so the cost of turning
+    // recording every span.  Traced warm hits are served from the cache
+    // nowadays, so the cache is cleared each iteration to keep this the
+    // traced *execution* cost.  Reported (not gated) so the cost of turning
     // tracing on stays visible next to the cold run it shadows.
     group.bench_function("traced/single_query", |b| {
         b.iter(|| {
+            clear_cache(&svc);
             black_box(
                 svc.query(QueryRequest::new(query).traced())
                     .wait()
@@ -111,6 +117,46 @@ fn bench_cold_vs_warm(c: &mut Criterion) {
             )
         })
     });
+
+    group.finish();
+}
+
+/// The always-on sampling axis: the warm cache hit — the path production
+/// traffic lives on — with adaptive sampling disabled vs enabled at the
+/// production default of 1% head sampling.  CI holds the sampled entry to
+/// a 5% budget (`--limit sampled_tracing/warm/sampled_1pct`): sampling a
+/// hundredth of the traffic must not tax the other ninety-nine.
+fn bench_sampled_tracing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sampled_tracing");
+    group.sample_size(10);
+    let query = "financial instruments customers Zurich";
+
+    for (label, sampling) in [
+        ("warm/disabled", None),
+        (
+            "warm/sampled_1pct",
+            Some(SamplingConfig::default().rate(0.01)),
+        ),
+    ] {
+        let svc = service_with(ServiceConfig {
+            workers: 2,
+            sampling,
+            ..ServiceConfig::default()
+        });
+        svc.query(QueryRequest::new(query)).wait().expect("warms");
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                black_box(
+                    svc.query(QueryRequest::new(query))
+                        .wait()
+                        .expect("query serves")
+                        .page
+                        .results
+                        .len(),
+                )
+            })
+        });
+    }
 
     group.finish();
 }
@@ -141,5 +187,10 @@ fn bench_batch_throughput(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_cold_vs_warm, bench_batch_throughput);
+criterion_group!(
+    benches,
+    bench_cold_vs_warm,
+    bench_sampled_tracing,
+    bench_batch_throughput
+);
 criterion_main!(benches);

@@ -55,11 +55,17 @@
 //!   layer ([`soda_core::ShardStats`]), and the per-tenant fairness split
 //!   ([`TenantMetrics`]).  The same figures export as a Prometheus text
 //!   document via [`QueryService::metrics_text`]; a bounded
-//!   operational-event log ([`QueryService::events`]), a slow-query log of
-//!   full span trees ([`QueryService::slow_queries`], opt-in via
-//!   [`ServiceConfig::slow_query_threshold`]) and on-demand traced
-//!   execution ([`QueryRequest::traced`]) complete the observability
-//!   surface (see `docs/OBSERVABILITY.md`).
+//!   operational-event log ([`QueryService::events`], filterable per
+//!   tenant via [`QueryService::events_for`]), a slow-query log of full
+//!   span trees ([`QueryService::slow_queries`], opt-in via
+//!   [`ServiceConfig::slow_query_threshold`]), on-demand traced execution
+//!   ([`QueryRequest::traced`]), **always-on adaptive trace sampling**
+//!   ([`ServiceConfig::sampling`] → [`QueryService::sampled_traces`], with
+//!   trace ids attached to the latency histograms as OpenMetrics
+//!   exemplars) and a **per-tenant SLO burn-rate engine**
+//!   ([`ServiceConfig::slo`] → [`QueryService::alerts`] and the
+//!   `soda_slo_*` families) complete the observability surface (see
+//!   `docs/OBSERVABILITY.md`).
 //!
 //! ```
 //! use std::sync::Arc;
@@ -80,6 +86,7 @@
 pub mod cache;
 pub mod metrics;
 pub mod service;
+pub mod slo;
 pub mod tenants;
 
 pub use cache::{CacheKey, CacheStats, LruCache};
@@ -88,8 +95,10 @@ pub use metrics::{
 };
 pub use service::{
     CompactionConfig, DurabilityConfig, JobHandle, JobResult, QueryRequest, QueryResponse,
-    QueryService, RecoveryReport, ServiceConfig, ServiceError, SlowQuery, TracedQuery,
+    QueryService, RecoveryReport, SampledTrace, SamplingConfig, ServiceConfig, ServiceError,
+    SlowQuery, TracedQuery,
 };
+pub use slo::{AlertState, BurnAlert, SloConfig};
 pub use tenants::{TenantAdmin, TenantRegistry};
 
 // Re-exported so multi-tenant callers can name tenants without a direct

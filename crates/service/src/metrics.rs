@@ -233,6 +233,11 @@ pub struct TenantMetrics {
     /// Submissions that blocked in admission control (tenant lane at quota,
     /// or the whole queue at capacity) before enqueueing.
     pub admission_waits: u64,
+    /// Queries of this tenant whose end-to-end latency crossed the
+    /// slow-query threshold.
+    pub slow_queries: u64,
+    /// Span trees the adaptive trace sampler retained for this tenant.
+    pub sampled_traces: u64,
     /// Jobs currently waiting in this tenant's queue lane.
     pub queue_depth: usize,
     /// Generation of the snapshot this tenant currently serves.
@@ -300,6 +305,13 @@ impl LatencyRecorder {
                 hist.record(stage);
             }
         }
+    }
+
+    /// Attaches a sampled trace id to the end-to-end bucket `e2e` falls
+    /// into — rendered as an OpenMetrics exemplar on
+    /// `soda_query_duration_seconds`.
+    pub(crate) fn annotate_exemplar(&mut self, e2e: Duration, trace_id: &str) {
+        self.e2e.annotate_exemplar(e2e, trace_id);
     }
 
     /// Queries answered over the service lifetime.

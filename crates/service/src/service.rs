@@ -132,12 +132,18 @@ use soda_journal::frame::{read_frame_file, write_frame_file};
 use soda_journal::{journal_path, tenant_journal_dir, Checkpoint, FeedJournal, FsyncPolicy};
 use soda_relation::codec::{CodecError, CodecResult, Decoder, Encoder};
 use soda_trace::prom::{MetricKind, PromWriter};
-use soda_trace::{BoundedLog, CollectingSink, NoopSink, OpEvent, QueryTrace, TraceSink};
+use soda_trace::{
+    names, BoundedLog, CollectingSink, HeadDecision, NoopSink, OpEvent, QueryTrace, SampleReason,
+    Sampler, SpanId, TraceId, TraceSink, TraceValue,
+};
 
 use crate::cache::{CacheKey, LruCache};
 use crate::metrics::{
     DurabilityMetrics, IngestMetrics, LatencyRecorder, LatencySummary, ServiceMetrics,
     TenantMetrics,
+};
+use crate::slo::{
+    alert_state, availability_burn_rate, latency_burn_rate, AlertState, BurnAlert, SloConfig,
 };
 use crate::tenants::{TenantAdmin, TenantRegistry, TenantState};
 
@@ -163,7 +169,7 @@ const CACHE_FILE: &str = "pages.cache";
 /// assert_eq!(config.workers, 2);
 /// assert_eq!(config.cache_capacity, ServiceConfig::default().cache_capacity);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ServiceConfig {
     /// Worker threads executing the pipeline.
     pub workers: usize,
@@ -188,6 +194,19 @@ pub struct ServiceConfig {
     /// ([`QueryService::events`]: swaps, ingests, compactions,
     /// checkpoints, recoveries, slow queries).
     pub event_log: usize,
+    /// When set, always-on adaptive trace sampling: every tenant draws
+    /// deterministic head-sampling decisions at the configured rate, tail
+    /// rules retain slow and anomalous queries regardless of the draw, and
+    /// retained span trees land in per-tenant bounded rings
+    /// ([`QueryService::sampled_traces`]) with their trace ids attached to
+    /// the latency histograms as OpenMetrics exemplars.  `None` — the
+    /// default — keeps sampling entirely off the hot path.
+    pub sampling: Option<SamplingConfig>,
+    /// When set, per-tenant SLO burn-rate tracking: every completed query
+    /// lands in a rolling multi-window ring, and
+    /// [`QueryService::alerts`] / the `soda_slo_*` families surface the
+    /// fast- and slow-window burn rates against the declared objectives.
+    pub slo: Option<SloConfig>,
 }
 
 impl Default for ServiceConfig {
@@ -200,6 +219,8 @@ impl Default for ServiceConfig {
             slow_query_threshold: None,
             slow_query_log: 32,
             event_log: 256,
+            sampling: None,
+            slo: None,
         }
     }
 }
@@ -246,6 +267,117 @@ impl ServiceConfig {
         self.event_log = event_log;
         self
     }
+
+    /// Enables always-on adaptive trace sampling.
+    pub fn sampling(mut self, sampling: SamplingConfig) -> Self {
+        self.sampling = Some(sampling);
+        self
+    }
+
+    /// Enables per-tenant SLO burn-rate tracking.
+    pub fn slo(mut self, slo: SloConfig) -> Self {
+        self.slo = Some(slo);
+        self
+    }
+}
+
+/// Configuration of always-on adaptive trace sampling
+/// ([`ServiceConfig::sampling`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SamplingConfig {
+    /// Head-sampling probability in `[0, 1]`: the fraction of queries whose
+    /// full span tree is captured regardless of latency.
+    pub rate: f64,
+    /// Seed of the deterministic decision sequence.  Each tenant's sampler
+    /// is seeded with `seed ^ tenant_fingerprint`, so co-hosted tenants draw
+    /// independent — but individually reproducible — sequences.
+    pub seed: u64,
+    /// Capacity of each tenant's sampled-trace ring
+    /// ([`QueryService::sampled_traces`]).
+    pub trace_log: usize,
+    /// Tail rule: retain a query whose end-to-end latency exceeds this
+    /// multiple of the tenant's running mean (`None` disables the anomaly
+    /// rule; the slow rule always follows
+    /// [`ServiceConfig::slow_query_threshold`]).
+    pub anomaly_factor: Option<f64>,
+    /// Completed queries the anomaly rule waits for before trusting the
+    /// running mean.
+    pub anomaly_min_samples: u64,
+    /// Per-tenant head-rate overrides (tenant name → rate); tenants without
+    /// an override use [`rate`](Self::rate).
+    pub tenant_rates: Vec<(String, f64)>,
+}
+
+impl Default for SamplingConfig {
+    fn default() -> Self {
+        Self {
+            rate: 0.01,
+            seed: 0x50DA,
+            trace_log: 32,
+            anomaly_factor: None,
+            anomaly_min_samples: 32,
+            tenant_rates: Vec::new(),
+        }
+    }
+}
+
+impl SamplingConfig {
+    /// Sets the head-sampling rate.
+    pub fn rate(mut self, rate: f64) -> Self {
+        self.rate = rate;
+        self
+    }
+
+    /// Sets the decision-sequence seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the per-tenant sampled-trace ring capacity.
+    pub fn trace_log(mut self, trace_log: usize) -> Self {
+        self.trace_log = trace_log;
+        self
+    }
+
+    /// Enables the tail anomaly rule at `factor` times the running mean.
+    pub fn anomaly_factor(mut self, factor: f64) -> Self {
+        self.anomaly_factor = Some(factor);
+        self
+    }
+
+    /// Sets the anomaly rule's warm-up sample count.
+    pub fn anomaly_min_samples(mut self, samples: u64) -> Self {
+        self.anomaly_min_samples = samples;
+        self
+    }
+
+    /// Overrides the head-sampling rate for one tenant.
+    pub fn tenant_rate(mut self, tenant: impl Into<String>, rate: f64) -> Self {
+        self.tenant_rates.push((tenant.into(), rate));
+        self
+    }
+}
+
+/// One retained trace: a query the adaptive sampler decided to keep, with
+/// the full span tree of what served it (a pipeline execution, or a
+/// synthesized `cache_hit` root for warm hits).  Retained per tenant in a
+/// bounded ring ([`QueryService::sampled_traces`]).
+#[derive(Debug, Clone)]
+pub struct SampledTrace {
+    /// The tenant the query belonged to.
+    pub tenant: TenantId,
+    /// The sampler-assigned trace id (16 lowercase hex digits) — the same
+    /// id the latency histograms carry as an OpenMetrics exemplar.
+    pub trace_id: String,
+    /// The business user's input text, verbatim.
+    pub input: String,
+    /// Why the trace was kept: `"head"`, `"tail_slow"` or `"tail_anomaly"`.
+    pub reason: &'static str,
+    /// End-to-end latency (submission to completion).
+    pub total: Duration,
+    /// The span tree.
+    pub trace: QueryTrace,
 }
 
 /// Configuration of the background compaction worker.
@@ -517,6 +649,8 @@ pub struct TracedQuery {
 pub struct SlowQuery {
     /// The business user's input text, verbatim.
     pub input: String,
+    /// Name of the tenant the query was routed to.
+    pub tenant: String,
     /// End-to-end latency (submission to completion).
     pub total: Duration,
     /// Time spent waiting in the queue before a worker picked the job up.
@@ -664,6 +798,10 @@ struct Job {
     /// The tenant the job belongs to, for per-tenant accounting and the
     /// still-live check against *that* tenant's current fingerprint.
     tenant: Arc<TenantState>,
+    /// The head-sampling decision drawn at submission time (`None` when the
+    /// tenant samples nothing) — drawn up front so the worker knows whether
+    /// to collect a span tree *before* the pipeline runs.
+    head: Option<HeadDecision>,
     submitted: Instant,
     tx: mpsc::Sender<WireResult>,
 }
@@ -828,6 +966,14 @@ struct Shared {
     /// both hold a write handle to the same journal file.  Never taken on
     /// the query path.
     add_tenants: Mutex<()>,
+    /// The configuration the service booted with — [`QueryService::add_tenant`]
+    /// builds each new tenant's sampler and SLO window from it, and the SLO
+    /// evaluation reads the objectives off it.
+    config: ServiceConfig,
+    /// Last observed state of each `(tenant, objective)` burn alert, so
+    /// [`QueryService::alerts`] emits one `slo_burn` event per transition
+    /// instead of one per poll.
+    alert_states: Mutex<HashMap<(String, &'static str), AlertState>>,
 }
 
 impl Shared {
@@ -855,9 +1001,10 @@ impl Shared {
             .record_executed(e2e, queue_wait, execution, timings);
     }
 
-    /// Appends one operational event (stamped with its sequence number and
-    /// the offset from service start) to the bounded event log.
-    fn event(&self, kind: &'static str, detail: String) {
+    /// Appends one operational event (stamped with its sequence number, the
+    /// originating tenant and the offset from service start) to the bounded
+    /// event log.
+    fn event(&self, kind: &'static str, tenant: &TenantId, detail: String) {
         let at = self.started.elapsed();
         let mut events = self.events.lock().expect("event log poisoned");
         let seq = events.pushed() + 1;
@@ -865,9 +1012,80 @@ impl Shared {
             seq,
             at,
             kind,
+            tenant: tenant.as_str().to_string(),
             detail,
         });
     }
+
+    /// Records one completed query in the tenant's rolling SLO window — a
+    /// no-op when [`ServiceConfig::slo`] is off.
+    fn record_slo(&self, tenant: &TenantState, e2e: Duration, ok: bool) {
+        if let Some(slo) = &tenant.slo {
+            slo.lock()
+                .expect("slo window poisoned")
+                .record(self.started.elapsed(), e2e, ok);
+        }
+    }
+
+    /// Retains one sampled trace: pushes it into the tenant's bounded ring
+    /// and attaches its trace id to the end-to-end latency histograms
+    /// (service-wide and per-tenant) as the exemplar of the bucket this
+    /// query landed in.  Locks are taken one at a time, never nested.
+    fn capture_sampled(
+        &self,
+        tenant: &TenantState,
+        trace_id: TraceId,
+        reason: SampleReason,
+        input: &str,
+        e2e: Duration,
+        trace: QueryTrace,
+    ) {
+        let id = trace_id.to_string();
+        self.latency
+            .lock()
+            .expect("latency poisoned")
+            .annotate_exemplar(e2e, &id);
+        tenant
+            .e2e
+            .lock()
+            .expect("tenant latency recorder poisoned")
+            .annotate_exemplar(e2e, &id);
+        tenant.sampled_total.fetch_add(1, Ordering::Relaxed);
+        tenant
+            .sampled
+            .lock()
+            .expect("sampled-trace ring poisoned")
+            .push(SampledTrace {
+                tenant: tenant.id.clone(),
+                trace_id: id,
+                input: input.to_string(),
+                reason: reason.as_str(),
+                total: e2e,
+                trace,
+            });
+    }
+}
+
+/// Synthesizes the span tree of a warm cache hit: a `query` root holding a
+/// single [`names::CACHE_HIT`] event — what a sampled (or traced) request
+/// records when the page is served from the cache instead of re-running
+/// the pipeline.
+fn cache_hit_trace(input: &str, e2e: Duration) -> QueryTrace {
+    let sink = CollectingSink::new();
+    let root = sink.begin_span(names::QUERY, SpanId::NONE);
+    sink.event(
+        names::CACHE_HIT,
+        root,
+        vec![
+            ("input", TraceValue::from(input)),
+            (
+                "e2e_us",
+                TraceValue::from(u64::try_from(e2e.as_micros()).unwrap_or(u64::MAX)),
+            ),
+        ],
+    );
+    sink.end_span(root);
+    sink.finish()
 }
 
 /// Event-detail suffix naming the tenant — empty for the default tenant,
@@ -932,7 +1150,12 @@ impl QueryService {
             Some((state, config)) => (Some(state), Some(config)),
             None => (None, None),
         };
-        let default = Arc::new(TenantState::new(TenantId::default(), handle, state));
+        let default = Arc::new(TenantState::new(
+            TenantId::default(),
+            handle,
+            state,
+            &config,
+        ));
         let shared = Arc::new(Shared {
             tenants: TenantRegistry::new(default),
             reloads: AtomicU64::new(0),
@@ -969,6 +1192,8 @@ impl QueryService {
             events: Mutex::new(BoundedLog::new(config.event_log)),
             durability_config,
             add_tenants: Mutex::new(()),
+            config: config.clone(),
+            alert_states: Mutex::new(HashMap::new()),
         });
         // CI parity knob: SODA_TEST_TENANTS=n hosts n-1 idle "shadow"
         // tenants over the same engine, so the whole suite exercises a
@@ -986,6 +1211,7 @@ impl QueryService {
                     TenantId::new(format!("shadow-{i}")),
                     SnapshotHandle::new(engine),
                     None,
+                    &shared.config,
                 )));
             }
         }
@@ -1161,6 +1387,7 @@ impl QueryService {
         }
         service.shared.event(
             "recovery",
+            &TenantId::default(),
             format!(
                 "checkpoint {}, {} feeds replayed, {} rejected, {} bytes truncated, \
                  {} pages restored",
@@ -1222,10 +1449,16 @@ impl QueryService {
             None => None,
         };
         let replayed = durability.as_ref().map_or(0, |d| d.replayed_feeds);
-        let tenant = Arc::new(TenantState::new(id, handle, durability));
+        let tenant = Arc::new(TenantState::new(
+            id,
+            handle,
+            durability,
+            &self.shared.config,
+        ));
         self.shared.tenants.register(Arc::clone(&tenant))?;
         self.shared.event(
             "add_tenant",
+            &tenant.id,
             format!("tenant {}, {replayed} feeds replayed", tenant.id),
         );
         Ok(())
@@ -1324,7 +1557,25 @@ impl QueryService {
             Probe::Hit(page) => {
                 self.shared.record_hit(submitted);
                 tenant.warm_hits.fetch_add(1, Ordering::Relaxed);
-                tenant.record_response(submitted.elapsed());
+                let e2e = submitted.elapsed();
+                tenant.record_response(e2e);
+                self.shared.record_slo(&tenant, e2e, true);
+                // The sampler sees warm hits too — always-on sampling covers
+                // the *normal* serving path, not just pipeline executions.
+                // A kept hit records a synthesized `cache_hit` span tree.
+                if let Some(sampler) = &tenant.sampler {
+                    let head = sampler.head_sample();
+                    if let Some(reason) = sampler.decide(head.sampled, e2e) {
+                        self.shared.capture_sampled(
+                            &tenant,
+                            head.trace_id,
+                            reason,
+                            &request.input,
+                            e2e,
+                            cache_hit_trace(&request.input, e2e),
+                        );
+                    }
+                }
                 return JobHandle::ready(Ok(QueryResponse::untraced(page)));
             }
             Probe::Coalesced(rx) => return JobHandle::pending(rx),
@@ -1339,6 +1590,7 @@ impl QueryService {
             page: request.page,
             page_size: request.page_size,
             engine,
+            head: tenant.sampler.as_ref().map(|s| s.head_sample()),
             tenant: Arc::clone(&tenant),
             submitted,
             tx,
@@ -1383,18 +1635,47 @@ impl QueryService {
         JobHandle::pending(rx)
     }
 
-    /// The traced execution behind [`query`](Self::query): runs the
+    /// The traced execution behind [`query`](Self::query): probes the
+    /// cache like any untraced submission — a warm page is served as a
+    /// cache hit whose trace is a synthesized `cache_hit` root, exactly
+    /// what the untraced path would have answered — and a miss runs the
     /// pipeline on the caller's thread through a [`CollectingSink`] and a
-    /// [`ProbeRecorder`], counting it like any other execution.  The served
-    /// page is byte-identical to the untraced answer — tracing never
-    /// changes an answer.
+    /// [`ProbeRecorder`].  The served page is byte-identical to the
+    /// untraced answer either way — tracing never changes an answer.
     fn run_traced(
         &self,
         tenant: &Arc<TenantState>,
         request: &QueryRequest,
         submitted: Instant,
     ) -> JobResult {
+        // Normalize first: a malformed input fails identically whether or
+        // not some page happens to be warm.
+        let normalized = normalize_query(&request.input).map_err(ServiceError::Engine)?;
         let engine = tenant.handle.load();
+        let key = CacheKey {
+            normalized,
+            snapshot_fingerprint: tenant.id.fold(engine.cache_fingerprint()),
+            page: request.page,
+            page_size: request.page_size.max(1),
+        };
+        let cached = self
+            .shared
+            .store
+            .lock()
+            .expect("store poisoned")
+            .cache
+            .get(&key);
+        if let Some(entry) = cached {
+            self.shared.record_hit(submitted);
+            tenant.warm_hits.fetch_add(1, Ordering::Relaxed);
+            let e2e = submitted.elapsed();
+            tenant.record_response(e2e);
+            self.shared.record_slo(tenant, e2e, true);
+            return Ok(QueryResponse {
+                page: entry.page,
+                trace: Some(cache_hit_trace(&request.input, e2e)),
+            });
+        }
         let sink = CollectingSink::new();
         let recorder = ProbeRecorder::new();
         let (page, timings) = engine
@@ -1416,6 +1697,7 @@ impl QueryService {
         self.shared
             .record_executed(e2e, Duration::ZERO, e2e, Some(&timings));
         tenant.record_response(e2e);
+        self.shared.record_slo(tenant, e2e, true);
         Ok(QueryResponse {
             page,
             trace: Some(sink.finish()),
@@ -1512,6 +1794,8 @@ impl QueryService {
                     warm_hits: t.warm_hits.load(Ordering::Relaxed),
                     executions: t.executions.load(Ordering::Relaxed),
                     admission_waits: t.admission_waits.load(Ordering::Relaxed),
+                    slow_queries: t.slow_queries.load(Ordering::Relaxed),
+                    sampled_traces: t.sampled_total.load(Ordering::Relaxed),
                     queue_depth: lane_depths.get(&t.id.fingerprint()).copied().unwrap_or(0),
                     generation: t.handle.generation(),
                     reloads: t.reloads.load(Ordering::Relaxed),
@@ -1865,6 +2149,30 @@ impl QueryService {
             );
         }
         w.header(
+            "soda_tenant_slow_queries_total",
+            "Queries whose end-to-end latency reached the slow-query threshold, per tenant.",
+            MetricKind::Counter,
+        );
+        for t in &m.tenants {
+            w.int_value(
+                "soda_tenant_slow_queries_total",
+                &[("tenant", t.tenant.clone())],
+                t.slow_queries,
+            );
+        }
+        w.header(
+            "soda_tenant_sampled_traces_total",
+            "Span trees retained by the adaptive trace sampler, per tenant.",
+            MetricKind::Counter,
+        );
+        for t in &m.tenants {
+            w.int_value(
+                "soda_tenant_sampled_traces_total",
+                &[("tenant", t.tenant.clone())],
+                t.sampled_traces,
+            );
+        }
+        w.header(
             "soda_tenant_queue_depth",
             "Jobs currently waiting in the tenant's queue lane.",
             MetricKind::Gauge,
@@ -1978,6 +2286,77 @@ impl QueryService {
             }
         }
 
+        // The SLO burn-rate families — present exactly when an SLO is
+        // declared, one sample per (tenant, objective).  Read-only: the
+        // alert-transition ledger is only advanced by `alerts()`.
+        if let Some(slo) = &self.shared.config.slo {
+            let evaluated = self.evaluate_slo();
+            w.header(
+                "soda_slo_target",
+                "Declared objective target fraction, per tenant and objective.",
+                MetricKind::Gauge,
+            );
+            for (_, alert) in &evaluated {
+                let target = match alert.objective {
+                    "latency" => slo.latency_target,
+                    _ => slo.availability_target,
+                };
+                w.value(
+                    "soda_slo_target",
+                    &[
+                        ("tenant", alert.tenant.clone()),
+                        ("objective", alert.objective.to_string()),
+                    ],
+                    target,
+                );
+            }
+            w.header(
+                "soda_slo_fast_burn_rate",
+                "Error-budget burn rate over the fast window, per tenant and objective.",
+                MetricKind::Gauge,
+            );
+            for (_, alert) in &evaluated {
+                w.value(
+                    "soda_slo_fast_burn_rate",
+                    &[
+                        ("tenant", alert.tenant.clone()),
+                        ("objective", alert.objective.to_string()),
+                    ],
+                    alert.fast_burn,
+                );
+            }
+            w.header(
+                "soda_slo_slow_burn_rate",
+                "Error-budget burn rate over the slow window, per tenant and objective.",
+                MetricKind::Gauge,
+            );
+            for (_, alert) in &evaluated {
+                w.value(
+                    "soda_slo_slow_burn_rate",
+                    &[
+                        ("tenant", alert.tenant.clone()),
+                        ("objective", alert.objective.to_string()),
+                    ],
+                    alert.slow_burn,
+                );
+            }
+            w.header(
+                "soda_slo_alert_state",
+                "Multi-window burn-alert state (0 = ok, 1 = pending, 2 = firing).",
+                MetricKind::Gauge,
+            );
+            for (_, alert) in &evaluated {
+                w.int_value(
+                    "soda_slo_alert_state",
+                    &[
+                        ("tenant", alert.tenant.clone()),
+                        ("objective", alert.objective.to_string()),
+                    ],
+                    alert.state.code(),
+                );
+            }
+        }
+
         // The histogram families render under the latency lock (taken alone,
         // consistent with the one-lock-at-a-time rule of `metrics`).
         self.shared
@@ -2023,6 +2402,152 @@ impl QueryService {
             .lock()
             .expect("slow-query log poisoned")
             .to_vec()
+    }
+
+    /// One tenant's operational events, oldest retained entry first — the
+    /// tenant-filtered view of [`events`](Self::events).
+    pub fn events_for(&self, tenant: impl Into<TenantId>) -> Result<Vec<OpEvent>, ServiceError> {
+        let id = tenant.into();
+        if self.shared.tenants.resolve(&id).is_none() {
+            return Err(ServiceError::UnknownTenant(id.as_str().to_string()));
+        }
+        Ok(self
+            .events()
+            .into_iter()
+            .filter(|e| e.tenant == id.as_str())
+            .collect())
+    }
+
+    /// One tenant's slow-query captures, oldest retained capture first —
+    /// the tenant-filtered view of [`slow_queries`](Self::slow_queries).
+    pub fn slow_queries_for(
+        &self,
+        tenant: impl Into<TenantId>,
+    ) -> Result<Vec<SlowQuery>, ServiceError> {
+        let id = tenant.into();
+        if self.shared.tenants.resolve(&id).is_none() {
+            return Err(ServiceError::UnknownTenant(id.as_str().to_string()));
+        }
+        Ok(self
+            .slow_queries()
+            .into_iter()
+            .filter(|s| s.tenant == id.as_str())
+            .collect())
+    }
+
+    /// One tenant's sampled traces, oldest retained first — the span trees
+    /// the adaptive sampler kept ([`ServiceConfig::sampling`]), each with
+    /// its trace id, retention reason and end-to-end latency.  Bounded by
+    /// [`SamplingConfig::trace_log`]; empty when sampling is off.
+    pub fn sampled_traces(
+        &self,
+        tenant: impl Into<TenantId>,
+    ) -> Result<Vec<SampledTrace>, ServiceError> {
+        let id = tenant.into();
+        match self.shared.tenants.resolve(&id) {
+            Some(tenant) => Ok(tenant
+                .sampled
+                .lock()
+                .expect("sampled-trace ring poisoned")
+                .to_vec()),
+            None => Err(ServiceError::UnknownTenant(id.as_str().to_string())),
+        }
+    }
+
+    /// Evaluates every tenant's burn rates against the declared objectives
+    /// ([`ServiceConfig::slo`]), emits one `slo_burn` [`OpEvent`] per
+    /// alert-state *transition*, and returns the alerts that are currently
+    /// pending or firing (an all-healthy fleet returns an empty vector).
+    ///
+    /// The multi-window rule: an alert **fires** only when both the fast
+    /// and the slow window burn faster than [`SloConfig::burn_threshold`];
+    /// one window alone marks it **pending**.  Returns an empty vector when
+    /// no SLO is configured.
+    pub fn alerts(&self) -> Vec<BurnAlert> {
+        let evaluated = self.evaluate_slo();
+        let transitions: Vec<(TenantId, BurnAlert, AlertState)> = {
+            let mut states = self
+                .shared
+                .alert_states
+                .lock()
+                .expect("alert states poisoned");
+            evaluated
+                .iter()
+                .filter_map(|(tenant, alert)| {
+                    let prev = states
+                        .insert((alert.tenant.clone(), alert.objective), alert.state)
+                        .unwrap_or(AlertState::Ok);
+                    (prev != alert.state).then(|| (tenant.id.clone(), alert.clone(), prev))
+                })
+                .collect()
+        };
+        for (id, alert, prev) in transitions {
+            self.shared.event(
+                "slo_burn",
+                &id,
+                format!(
+                    "{} alert {} (was {}): fast burn {:.2}, slow burn {:.2}",
+                    alert.objective,
+                    alert.state.as_str(),
+                    prev.as_str(),
+                    alert.fast_burn,
+                    alert.slow_burn,
+                ),
+            );
+        }
+        evaluated
+            .into_iter()
+            .map(|(_, alert)| alert)
+            .filter(|a| a.state != AlertState::Ok)
+            .collect()
+    }
+
+    /// Burn-rate evaluation shared by [`alerts`](Self::alerts) and the
+    /// `soda_slo_*` metric families: folds each tenant's fast and slow
+    /// windows and scores both objectives.  Read-only — the transition
+    /// ledger is only touched by `alerts`.
+    fn evaluate_slo(&self) -> Vec<(Arc<TenantState>, BurnAlert)> {
+        let Some(slo) = &self.shared.config.slo else {
+            return Vec::new();
+        };
+        let now = self.shared.started.elapsed();
+        let mut out = Vec::new();
+        for tenant in self.shared.tenants.all() {
+            let Some(window) = &tenant.slo else { continue };
+            let (fast, slow) = {
+                let w = window.lock().expect("slo window poisoned");
+                (
+                    w.merged(now, slo.fast_window),
+                    w.merged(now, slo.slow_window),
+                )
+            };
+            let objective = slo.objective_for(tenant.id.as_str());
+            let fast_burn = latency_burn_rate(&fast, objective, slo.latency_target);
+            let slow_burn = latency_burn_rate(&slow, objective, slo.latency_target);
+            out.push((
+                Arc::clone(&tenant),
+                BurnAlert {
+                    tenant: tenant.id.as_str().to_string(),
+                    objective: "latency",
+                    fast_burn,
+                    slow_burn,
+                    state: alert_state(fast_burn, slow_burn, slo.burn_threshold),
+                },
+            ));
+            let fast_burn = availability_burn_rate(&fast, slo.availability_target);
+            let slow_burn = availability_burn_rate(&slow, slo.availability_target);
+            out.push((
+                Arc::clone(&tenant),
+                BurnAlert {
+                    tenant: tenant.id.as_str().to_string(),
+                    objective: "availability",
+                    fast_burn,
+                    slow_burn,
+                    state: alert_state(fast_burn, slow_burn, slo.burn_threshold),
+                },
+            ));
+        }
+        out
     }
 
     /// Deprecated spelling of the default tenant's
@@ -2108,6 +2633,7 @@ impl QueryService {
         tenant.reloads.fetch_add(1, Ordering::Relaxed);
         self.shared.event(
             "reload",
+            &tenant.id,
             format!("generation {generation}{}", tenant_suffix(tenant)),
         );
         self.purge_superseded_for(tenant, prev);
@@ -2139,6 +2665,7 @@ impl QueryService {
         tenant.reloads.fetch_add(1, Ordering::Relaxed);
         self.shared.event(
             "rebuild_shards",
+            &tenant.id,
             format!(
                 "generation {generation}, {} tables, shards {dirty:?}{}",
                 tables.len(),
@@ -2168,6 +2695,7 @@ impl QueryService {
         tenant.reloads.fetch_add(1, Ordering::Relaxed);
         self.shared.event(
             "refresh_graph",
+            &tenant.id,
             format!("generation {generation}{}", tenant_suffix(tenant)),
         );
         self.purge_superseded_for(tenant, prev);
@@ -2210,6 +2738,7 @@ impl QueryService {
             };
             self.shared.event(
                 "journal_append",
+                &tenant.id,
                 format!("{appended} bytes{}", tenant_suffix(tenant)),
             );
         }
@@ -2220,6 +2749,7 @@ impl QueryService {
         let generation = outcome.generation;
         self.shared.event(
             "ingest",
+            &tenant.id,
             format!(
                 "generation {generation}, {described}{}",
                 tenant_suffix(tenant)
@@ -2441,6 +2971,7 @@ fn compact_under_swap_lock(
     let generation = tenant.handle.compact(&foldable)?;
     shared.event(
         "compaction",
+        &tenant.id,
         format!(
             "generation {generation}, shards {foldable:?}{}",
             tenant_suffix(tenant)
@@ -2509,6 +3040,7 @@ fn write_checkpoint_under_swap_lock(
     match outcome {
         Ok(bytes) => shared.event(
             "checkpoint",
+            &tenant.id,
             format!(
                 "generation {}, {} tables, journal now {bytes} bytes{}",
                 checkpoint.generation,
@@ -2516,7 +3048,7 @@ fn write_checkpoint_under_swap_lock(
                 tenant_suffix(tenant)
             ),
         ),
-        Err(e) => shared.event("checkpoint_failure", e.to_string()),
+        Err(e) => shared.event("checkpoint_failure", &tenant.id, e.to_string()),
     }
 }
 
@@ -2663,12 +3195,20 @@ fn worker_loop(shared: &Shared) {
         // tokens the phrases select — the evidence that lets a data-only
         // snapshot swap retain this page instead of purging it.
         let recorder = ProbeRecorder::new();
-        // With a slow-query threshold configured every execution is traced
-        // through a collecting sink (the capture decision needs the final
-        // latency, which only exists afterwards); without one the noop sink
-        // keeps the pipeline's instrumentation at a single `enabled()` check
-        // per site.
-        let collecting = shared.slow_query_threshold.map(|_| CollectingSink::new());
+        // A collecting sink runs when anything downstream might keep the
+        // span tree: a slow-query threshold (the capture decision needs the
+        // final latency, which only exists afterwards), a head-sampled
+        // draw, or tail sampling rules (which also decide on the final
+        // latency).  Otherwise the noop sink keeps the pipeline's
+        // instrumentation at a single `enabled()` check per site.
+        let tail_capture = job
+            .tenant
+            .sampler
+            .as_ref()
+            .is_some_and(Sampler::tail_enabled);
+        let head_sampled = job.head.is_some_and(|h| h.sampled);
+        let collecting = (shared.slow_query_threshold.is_some() || head_sampled || tail_capture)
+            .then(CollectingSink::new);
         let sink: &dyn TraceSink = match &collecting {
             Some(c) => c,
             None => &NoopSink,
@@ -2714,30 +3254,59 @@ fn worker_loop(shared: &Shared) {
         let e2e = job.submitted.elapsed();
         shared.record_executed(e2e, queue_wait, execution, timings.as_ref());
         job.tenant.record_response(e2e);
+        shared.record_slo(&job.tenant, e2e, outcome.is_ok());
+        let trace = collecting.map(CollectingSink::finish);
         // A query over the threshold lands its full span tree in the
         // slow-query log (the end-to-end figure decides, so a fast pipeline
         // behind a deep queue is still captured — that *is* the slowness the
         // caller experienced).
-        if let (Some(threshold), Some(collecting)) = (shared.slow_query_threshold, collecting) {
+        if let (Some(threshold), Some(trace)) = (shared.slow_query_threshold, &trace) {
             if e2e >= threshold {
                 shared.slow_queries.fetch_add(1, Ordering::Relaxed);
-                shared.event("slow_query", format!("{:?} end-to-end: {}", e2e, job.input));
+                job.tenant.slow_queries.fetch_add(1, Ordering::Relaxed);
+                shared.event(
+                    "slow_query",
+                    &job.tenant.id,
+                    format!("{:?} end-to-end: {}", e2e, job.input),
+                );
                 shared
                     .slow_log
                     .lock()
                     .expect("slow-query log poisoned")
                     .push(SlowQuery {
                         input: job.input.clone(),
+                        tenant: job.tenant.id.as_str().to_string(),
                         total: e2e,
                         queue_wait,
                         execution,
-                        trace: collecting.finish(),
+                        trace: trace.clone(),
                     });
+            }
+        }
+        // The sampler's verdict — head draw from submission time, tail
+        // rules on the final latency.  `decide` also feeds the running mean
+        // the anomaly rule compares against, so it runs on every execution;
+        // a kept reason always has a collected trace (head-sampled and
+        // tail-enabled executions collect, see above).
+        if let (Some(sampler), Some(head)) = (&job.tenant.sampler, job.head) {
+            if let Some(reason) = sampler.decide(head.sampled, e2e) {
+                if let Some(trace) = trace {
+                    shared.capture_sampled(
+                        &job.tenant,
+                        head.trace_id,
+                        reason,
+                        &job.input,
+                        e2e,
+                        trace,
+                    );
+                }
             }
         }
         for waiter in waiters {
             shared.record_hit(waiter.submitted);
-            job.tenant.record_response(waiter.submitted.elapsed());
+            let waited = waiter.submitted.elapsed();
+            job.tenant.record_response(waited);
+            shared.record_slo(&job.tenant, waited, outcome.is_ok());
             // A waiter may have dropped its handle; that is not an error.
             let _ = waiter.tx.send(outcome.clone());
         }
@@ -3491,6 +4060,33 @@ mod tests {
             .query(QueryRequest::new("Sara Guttinger"))
             .wait()
             .unwrap();
+        // A traced request for a warm page is a cache hit like any other
+        // submission: the cached page comes back with a synthesized
+        // `cache_hit` root instead of a re-execution.
+        let traced = service
+            .query(QueryRequest::new("Sara Guttinger").traced())
+            .wait()
+            .unwrap();
+        assert_eq!(
+            traced.page, expected.page,
+            "tracing must not change answers"
+        );
+        let warm_trace = traced
+            .trace
+            .as_ref()
+            .expect("a traced response carries its trace");
+        let warm_root = warm_trace.find("query").expect("query root span");
+        assert!(
+            warm_root.children.iter().any(|c| c.name == "cache_hit"),
+            "warm traced hit should record a cache_hit event:\n{}",
+            warm_trace.render()
+        );
+        let m = service.metrics();
+        assert_eq!(m.pipeline_executions, 1);
+        assert_eq!(m.cache.hits, 1);
+        // A cold traced request executes the full pipeline and yields the
+        // five-stage span tree.
+        admin(&service).clear_cache();
         let traced = service
             .query(QueryRequest::new("Sara Guttinger").traced())
             .wait()
@@ -3505,12 +4101,9 @@ mod tests {
             .expect("a traced response carries its trace");
         let root = trace.find("query").expect("query root span");
         assert_eq!(root.children.len(), 5, "{}", trace.render());
-        // The diagnostic path bypasses the cache but still counts as an
-        // execution and a latency sample.
         let m = service.metrics();
         assert_eq!(m.pipeline_executions, 2);
-        assert_eq!(m.completed, 2);
-        assert_eq!(m.cache.hits, 0);
+        assert_eq!(m.completed, 3);
     }
 
     #[test]

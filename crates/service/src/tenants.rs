@@ -36,8 +36,10 @@ use std::time::Duration;
 
 use soda_core::{ChangeFeed, Database, EngineSnapshot, MetaGraph, SnapshotHandle, TenantId};
 use soda_trace::hist::LogHistogram;
+use soda_trace::{BoundedLog, Sampler, TailRules};
 
-use crate::service::{DurabilityState, QueryService, ServiceError};
+use crate::service::{DurabilityState, QueryService, SampledTrace, ServiceConfig, ServiceError};
+use crate::slo::SloWindow;
 
 /// One tenant's serving state: identity, snapshot, swap lock, fairness
 /// counters and (optionally) its write-ahead journal.
@@ -70,6 +72,22 @@ pub(crate) struct TenantState {
     /// End-to-end latency of this tenant's answered queries.  Its sample
     /// count doubles as the tenant's completed-query counter.
     pub(crate) e2e: Mutex<LogHistogram>,
+    /// Queries of this tenant whose end-to-end latency crossed the
+    /// service's slow-query threshold.
+    pub(crate) slow_queries: AtomicU64,
+    /// The tenant's adaptive trace sampler (`None` when
+    /// `ServiceConfig::sampling` is off).  Seeded with the tenant
+    /// fingerprint so co-hosted tenants draw independent — but each
+    /// individually reproducible — decision sequences.
+    pub(crate) sampler: Option<Sampler>,
+    /// Bounded ring of sampled traces, newest retained
+    /// ([`QueryService::sampled_traces`]).
+    pub(crate) sampled: Mutex<BoundedLog<SampledTrace>>,
+    /// Lifetime count of traces the sampler retained for this tenant.
+    pub(crate) sampled_total: AtomicU64,
+    /// The tenant's rolling SLO window (`None` when `ServiceConfig::slo`
+    /// is off).
+    pub(crate) slo: Option<Mutex<SloWindow>>,
     /// The tenant's crash-safety state (`None` on a non-durable service and
     /// for shadow tenants).  Lock order matches the service-wide rule:
     /// tenant swap lock → durability → store.
@@ -81,7 +99,26 @@ impl TenantState {
         id: TenantId,
         handle: SnapshotHandle,
         durability: Option<DurabilityState>,
+        config: &ServiceConfig,
     ) -> Self {
+        let sampler = config.sampling.as_ref().map(|sampling| {
+            let rate = sampling
+                .tenant_rates
+                .iter()
+                .find(|(name, _)| name == id.as_str())
+                .map(|(_, rate)| *rate)
+                .unwrap_or(sampling.rate);
+            Sampler::new(sampling.seed ^ id.fingerprint(), rate).with_tail(TailRules {
+                slow: config.slow_query_threshold,
+                anomaly_factor: sampling.anomaly_factor,
+                anomaly_min_samples: sampling.anomaly_min_samples,
+            })
+        });
+        let trace_log = config
+            .sampling
+            .as_ref()
+            .map(|sampling| sampling.trace_log)
+            .unwrap_or(1);
         Self {
             id,
             handle,
@@ -93,6 +130,14 @@ impl TenantState {
             warm_hits: AtomicU64::new(0),
             admission_waits: AtomicU64::new(0),
             e2e: Mutex::new(LogHistogram::new()),
+            slow_queries: AtomicU64::new(0),
+            sampler,
+            sampled: Mutex::new(BoundedLog::new(trace_log)),
+            sampled_total: AtomicU64::new(0),
+            slo: config
+                .slo
+                .as_ref()
+                .map(|slo| Mutex::new(SloWindow::new(slo))),
             durability: durability.map(Mutex::new),
         }
     }

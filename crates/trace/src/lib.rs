@@ -20,16 +20,23 @@
 //! * [`BoundedLog`] / [`OpEvent`] — a bounded ring for operational events
 //!   (snapshot swaps, ingests, compactions, checkpoints, recoveries) and
 //!   slow-query captures.
+//! * [`Sampler`] — the adaptive sampling kernel behind always-on tracing:
+//!   deterministic probabilistic head sampling plus tail rules that always
+//!   retain slow and anomalous queries, at a cost of one atomic increment
+//!   and one 64-bit mix per unsampled query.
 //! * [`prom`] — a minimal Prometheus text-exposition writer plus a validator
-//!   used by golden tests to keep the exported surface well-formed.
+//!   used by golden tests to keep the exported surface well-formed,
+//!   OpenMetrics histogram exemplars included.
 
 pub mod hist;
 pub mod prom;
 pub mod ring;
+pub mod sample;
 pub mod span;
 
-pub use hist::LogHistogram;
+pub use hist::{Exemplar, LogHistogram};
 pub use ring::{BoundedLog, OpEvent};
+pub use sample::{HeadDecision, SampleReason, Sampler, TailRules, TraceId};
 pub use span::{CollectingSink, NoopSink, QueryTrace, Span, SpanId, TraceSink, TraceValue};
 
 /// Canonical span names emitted by the engine, so traces, metrics labels and
@@ -51,6 +58,9 @@ pub mod names {
     pub const PROBE: &str = "probe";
     /// One shard's scan within a probe (child of [`PROBE`]).
     pub const PROBE_SHARD: &str = "probe_shard";
+    /// Event on the [`QUERY`] root marking a warm interpretation-cache hit
+    /// (no pipeline ran — the page was served from the cache).
+    pub const CACHE_HIT: &str = "cache_hit";
 
     /// The five pipeline stages, in execution order.
     pub const STAGES: [&str; 5] = [LOOKUP, RANK, TABLES, FILTERS, SQLGEN];

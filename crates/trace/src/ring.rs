@@ -9,8 +9,8 @@
 use std::collections::VecDeque;
 use std::time::Duration;
 
-/// One operational event: what happened, when (relative to service start)
-/// and a short human-readable detail line.
+/// One operational event: what happened, to which tenant, when (relative
+/// to service start) and a short human-readable detail line.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct OpEvent {
     /// Monotone sequence number (1-based over the log's lifetime, dropped
@@ -20,6 +20,9 @@ pub struct OpEvent {
     pub at: Duration,
     /// Event kind (`reload`, `ingest`, `compaction`, `checkpoint`, …).
     pub kind: &'static str,
+    /// Name of the tenant the event belongs to (the hosting service's
+    /// default tenant for service-wide events like `recovery`).
+    pub tenant: String,
     /// Short detail line (`"generation 3, 2 shards"`).
     pub detail: String,
 }
@@ -124,11 +127,13 @@ mod tests {
             seq: 1,
             at: Duration::from_millis(5),
             kind: "ingest",
+            tenant: "default".to_string(),
             detail: "generation 2, 1 shard".to_string(),
         });
         assert_eq!(seq, 1);
         let events = log.to_vec();
         assert_eq!(events[0].kind, "ingest");
+        assert_eq!(events[0].tenant, "default");
         assert!(events[0].detail.contains("generation"));
     }
 }

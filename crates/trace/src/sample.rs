@@ -1,0 +1,310 @@
+//! Adaptive trace sampling: the decision kernel behind always-on tracing.
+//!
+//! A [`Sampler`] answers two questions for every query the service serves:
+//!
+//! 1. **Head sampling** ([`Sampler::head_sample`]) — *before* execution,
+//!    should this query carry a recording sink?  The decision is
+//!    probabilistic with a configured rate, but **deterministic given the
+//!    seed and the call sequence**: the nth call of a sampler seeded `s`
+//!    always returns the same decision and the same [`TraceId`], so test
+//!    runs and incident reproductions see identical sampling behaviour.
+//! 2. **Tail retention** ([`Sampler::decide`]) — *after* execution, should
+//!    the captured span tree be kept?  Head-sampled queries are always
+//!    kept; on top of that, [`TailRules`] force retention of queries that
+//!    were slow in absolute terms or anomalous relative to the sampler's
+//!    running mean — the traces an operator actually wants are exactly the
+//!    ones uniform sampling is most likely to miss.
+//!
+//! The cost contract mirrors the rest of the crate: an unsampled query pays
+//! one atomic increment and one 64-bit mix (a handful of nanoseconds); all
+//! allocation happens only on the sampled path.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// SplitMix64: a statistically solid 64-bit mixer, used both to derive the
+/// per-call pseudo-random draw and to expand it into a trace id.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// A 64-bit trace identifier, rendered as 16 lowercase hex digits — the
+/// value carried into histogram exemplars and the sampled-trace rings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TraceId(pub u64);
+
+impl fmt::Display for TraceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+/// Tail-based "always keep" rules applied after a query finishes.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct TailRules {
+    /// Keep any query at or above this end-to-end latency.
+    pub slow: Option<Duration>,
+    /// Keep any query slower than `factor ×` the sampler's running mean
+    /// latency (once `anomaly_min_samples` have been observed).
+    pub anomaly_factor: Option<f64>,
+    /// Observations required before the anomaly rule can fire — a cold
+    /// mean of one sample would flag half of all traffic.
+    pub anomaly_min_samples: u64,
+}
+
+impl TailRules {
+    /// True when any tail rule is configured.
+    pub fn enabled(&self) -> bool {
+        self.slow.is_some() || self.anomaly_factor.is_some()
+    }
+}
+
+/// Why a trace was retained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SampleReason {
+    /// The head-sampling coin flip selected it before execution.
+    Head,
+    /// The tail rule for absolute slowness retained it.
+    TailSlow,
+    /// The tail rule for relative anomaly retained it.
+    TailAnomaly,
+}
+
+impl SampleReason {
+    /// Stable lowercase label for logs and metrics.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            SampleReason::Head => "head",
+            SampleReason::TailSlow => "tail_slow",
+            SampleReason::TailAnomaly => "tail_anomaly",
+        }
+    }
+}
+
+/// The pre-execution half of a sampling decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HeadDecision {
+    /// Whether the head coin flip selected this query.
+    pub sampled: bool,
+    /// The trace id assigned to this query (also issued when unsampled, so
+    /// a tail-retained trace still has a stable id).
+    pub trace_id: TraceId,
+}
+
+/// A deterministic, lock-free adaptive sampler (see the module docs).
+#[derive(Debug)]
+pub struct Sampler {
+    seed: u64,
+    /// `rate × 2^64` — a `u128` so a rate of exactly 1.0 (threshold
+    /// `2^64`) strictly exceeds every `u64` draw and always samples.
+    threshold: u128,
+    rate: f64,
+    calls: AtomicU64,
+    tail: TailRules,
+    observed_count: AtomicU64,
+    observed_sum_nanos: AtomicU64,
+}
+
+impl Sampler {
+    /// A sampler with the given seed and head-sampling rate (clamped to
+    /// `[0, 1]`) and no tail rules.
+    pub fn new(seed: u64, rate: f64) -> Self {
+        let rate = if rate.is_nan() {
+            0.0
+        } else {
+            rate.clamp(0.0, 1.0)
+        };
+        Self {
+            seed,
+            threshold: (rate * 2f64.powi(64)) as u128,
+            rate,
+            calls: AtomicU64::new(0),
+            tail: TailRules::default(),
+            observed_count: AtomicU64::new(0),
+            observed_sum_nanos: AtomicU64::new(0),
+        }
+    }
+
+    /// Attaches tail retention rules.
+    pub fn with_tail(mut self, tail: TailRules) -> Self {
+        self.tail = tail;
+        self
+    }
+
+    /// The configured head-sampling rate in `[0, 1]`.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// True when any tail rule can retain an unsampled query — i.e. when
+    /// the caller must record spans even for head-unsampled queries.
+    pub fn tail_enabled(&self) -> bool {
+        self.tail.enabled()
+    }
+
+    /// Draws the nth head-sampling decision.  Deterministic: the sequence
+    /// of `(sampled, trace_id)` pairs is a pure function of the seed.
+    pub fn head_sample(&self) -> HeadDecision {
+        let n = self.calls.fetch_add(1, Ordering::Relaxed);
+        let draw = splitmix64(self.seed ^ n.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        HeadDecision {
+            sampled: u128::from(draw) < self.threshold,
+            trace_id: TraceId(splitmix64(draw) | 1),
+        }
+    }
+
+    /// Post-execution retention decision: feeds the running latency mean
+    /// and returns `Some(reason)` when the trace should be kept.
+    ///
+    /// The anomaly comparison uses the mean of the observations *before*
+    /// this one, so a single call sequence is deterministic and the first
+    /// queries of a fresh sampler can never flag themselves.
+    pub fn decide(&self, head_sampled: bool, latency: Duration) -> Option<SampleReason> {
+        let nanos = latency.as_nanos().min(u128::from(u64::MAX)) as u64;
+        let prior_sum = self.observed_sum_nanos.fetch_add(nanos, Ordering::Relaxed);
+        let prior_count = self.observed_count.fetch_add(1, Ordering::Relaxed);
+        if head_sampled {
+            return Some(SampleReason::Head);
+        }
+        if let Some(slow) = self.tail.slow {
+            if latency >= slow {
+                return Some(SampleReason::TailSlow);
+            }
+        }
+        if let Some(factor) = self.tail.anomaly_factor {
+            if prior_count >= self.tail.anomaly_min_samples.max(1) {
+                let mean = prior_sum as f64 / prior_count as f64;
+                if nanos as f64 > factor * mean {
+                    return Some(SampleReason::TailAnomaly);
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn rate_zero_never_samples_and_rate_one_always_does() {
+        let never = Sampler::new(7, 0.0);
+        let always = Sampler::new(7, 1.0);
+        for _ in 0..1000 {
+            assert!(!never.head_sample().sampled);
+            assert!(always.head_sample().sampled);
+        }
+    }
+
+    #[test]
+    fn trace_ids_are_nonzero_and_render_as_16_hex_digits() {
+        let s = Sampler::new(99, 0.5);
+        for _ in 0..100 {
+            let d = s.head_sample();
+            assert_ne!(d.trace_id.0, 0);
+            let text = d.trace_id.to_string();
+            assert_eq!(text.len(), 16);
+            assert!(text.chars().all(|c| c.is_ascii_hexdigit()));
+        }
+    }
+
+    #[test]
+    fn head_sampled_queries_are_always_kept() {
+        let s = Sampler::new(1, 1.0);
+        assert_eq!(
+            s.decide(true, Duration::from_micros(1)),
+            Some(SampleReason::Head)
+        );
+    }
+
+    #[test]
+    fn anomaly_rule_flags_outliers_against_the_running_mean() {
+        let s = Sampler::new(1, 0.0).with_tail(TailRules {
+            slow: None,
+            anomaly_factor: Some(3.0),
+            anomaly_min_samples: 4,
+        });
+        // Establish a ~1ms mean.
+        for _ in 0..8 {
+            assert_eq!(s.decide(false, Duration::from_millis(1)), None);
+        }
+        // 10ms is 10× the mean: retained as an anomaly.
+        assert_eq!(
+            s.decide(false, Duration::from_millis(10)),
+            Some(SampleReason::TailAnomaly)
+        );
+        // Back at the mean: not retained (the outlier nudged the mean up,
+        // but 1ms stays well under 3×).
+        assert_eq!(s.decide(false, Duration::from_millis(1)), None);
+    }
+
+    #[test]
+    fn anomaly_rule_waits_for_min_samples() {
+        let s = Sampler::new(1, 0.0).with_tail(TailRules {
+            slow: None,
+            anomaly_factor: Some(2.0),
+            anomaly_min_samples: 10,
+        });
+        assert_eq!(s.decide(false, Duration::from_nanos(1)), None);
+        // Far above the 1ns "mean", but only one observation so far.
+        assert_eq!(s.decide(false, Duration::from_secs(1)), None);
+    }
+
+    proptest! {
+        /// Two samplers with the same seed and rate produce identical
+        /// decision and trace-id sequences — sampling is reproducible.
+        #[test]
+        fn same_seed_gives_identical_sequences(seed in any::<u64>(), rate in 0.0f64..1.0) {
+            let a = Sampler::new(seed, rate);
+            let b = Sampler::new(seed, rate);
+            for _ in 0..256 {
+                prop_assert_eq!(a.head_sample(), b.head_sample());
+            }
+        }
+
+        /// The observed head rate lands within a loose tolerance of the
+        /// configured rate over a few thousand draws.
+        #[test]
+        fn head_rate_is_honored_within_tolerance(seed in any::<u64>(), rate in 0.0f64..1.0) {
+            let s = Sampler::new(seed, rate);
+            let draws = 4096usize;
+            let kept = (0..draws).filter(|_| s.head_sample().sampled).count();
+            let observed = kept as f64 / draws as f64;
+            // 4096 Bernoulli draws: 6σ ≈ 6·√(p(1−p)/n) ≤ 6·0.5/64 ≈ 0.047.
+            prop_assert!(
+                (observed - rate).abs() < 0.05,
+                "rate {rate} observed {observed}"
+            );
+        }
+
+        /// Any latency at or above the slow threshold is always retained,
+        /// regardless of the head decision or the traffic seen before.
+        #[test]
+        fn tail_slow_rule_always_captures(
+            seed in any::<u64>(),
+            threshold_us in 1u64..10_000,
+            noise in proptest::collection::vec(0u64..1_000_000, 0..64),
+        ) {
+            let slow = Duration::from_micros(threshold_us);
+            let s = Sampler::new(seed, 0.0).with_tail(TailRules {
+                slow: Some(slow),
+                anomaly_factor: None,
+                anomaly_min_samples: 0,
+            });
+            for &n in &noise {
+                s.decide(false, Duration::from_nanos(n));
+            }
+            prop_assert_eq!(s.decide(false, slow), Some(SampleReason::TailSlow));
+            prop_assert_eq!(
+                s.decide(false, slow + Duration::from_micros(1)),
+                Some(SampleReason::TailSlow)
+            );
+        }
+    }
+}

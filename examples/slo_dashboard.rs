@@ -1,0 +1,114 @@
+//! A live SLO dashboard for a multi-tenant deployment: two hosted
+//! warehouses with declared latency objectives drive traffic through one
+//! `QueryService`, and the per-tenant burn-rate engine reports who is
+//! spending error budget — the "retail" tenant comfortably inside its
+//! objective, the "brokerage" tenant deliberately pushed past an
+//! unmeetable one.  Prints the burn rates, the firing alerts, the
+//! `slo_burn` operational events and the `soda_slo_*` scrape families,
+//! plus a handful of adaptively sampled span trees from the live traffic.
+//!
+//! Run with: `cargo run --example slo_dashboard`
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use soda::prelude::*;
+use soda::warehouse::minibank;
+
+fn main() {
+    let warehouse = minibank::build(42);
+    let snapshot = Arc::new(EngineSnapshot::build(
+        Arc::new(warehouse.database),
+        Arc::new(warehouse.graph),
+        SodaConfig::default(),
+    ));
+
+    // One SLO declaration covers every hosted tenant, with per-tenant
+    // latency overrides: "retail" gets a generous one-hour objective it
+    // can never miss, "brokerage" a zero-latency objective it can never
+    // meet — so the dashboard deterministically shows one healthy and one
+    // burning tenant on any machine.
+    let service = QueryService::start(
+        Arc::clone(&snapshot),
+        ServiceConfig::default()
+            .sampling(SamplingConfig::default().rate(1.0))
+            .slo(
+                SloConfig::default()
+                    .latency_objective(Duration::from_secs(3600))
+                    .tenant_latency("brokerage", Duration::ZERO),
+            ),
+    );
+    service
+        .add_tenant("retail", Arc::clone(&snapshot))
+        .expect("hosting retail");
+    service
+        .add_tenant("brokerage", Arc::clone(&snapshot))
+        .expect("hosting brokerage");
+
+    let workload = [
+        "Sara Guttinger",
+        "wealthy customers",
+        "financial instruments customers Zurich",
+        "Credit Suisse",
+    ];
+    for query in workload {
+        for tenant in ["retail", "brokerage"] {
+            service
+                .query(QueryRequest::new(query).tenant(tenant))
+                .wait()
+                .expect("query serves");
+        }
+    }
+
+    println!("== burn rates (fast 5m window / slow 1h window)");
+    let alerts = service.alerts();
+    for alert in &alerts {
+        println!(
+            "   {:<12} {:<14} fast {:>8.2}  slow {:>8.2}  -> {}",
+            alert.tenant,
+            alert.objective,
+            alert.fast_burn,
+            alert.slow_burn,
+            alert.state.as_str()
+        );
+    }
+    if alerts.is_empty() {
+        println!("   (no objective is burning)");
+    }
+
+    println!("\n== slo_burn events");
+    for tenant in ["retail", "brokerage"] {
+        for event in service.events_for(tenant).expect("hosted tenant") {
+            if event.kind == "slo_burn" {
+                println!("   [{tenant}] {}", event.detail);
+            }
+        }
+    }
+
+    println!("\n== sampled traces (brokerage, head sampling at 100%)");
+    for sampled in service
+        .sampled_traces("brokerage")
+        .expect("hosted tenant")
+        .iter()
+        .take(2)
+    {
+        println!(
+            "   trace {} ({}, {:?}): {}",
+            sampled.trace_id, sampled.reason, sampled.total, sampled.input
+        );
+    }
+
+    println!("\n== soda_slo_* scrape families");
+    let text = service.metrics_text();
+    soda::trace::prom::validate(&text).expect("exposition validates");
+    for line in text.lines().filter(|l| l.contains("soda_slo_")) {
+        println!("   {line}");
+    }
+
+    // The dashboard's contract, asserted so the CI run is a real check:
+    // the brokerage latency budget is burning, retail's is not.
+    assert!(alerts
+        .iter()
+        .any(|a| a.tenant == "brokerage" && a.objective == "latency"));
+    assert!(alerts.iter().all(|a| a.tenant != "retail"));
+}

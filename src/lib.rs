@@ -82,9 +82,10 @@ pub mod prelude {
     pub use soda_metagraph::{MetaGraph, Pattern, PatternRegistry};
     pub use soda_relation::{Database, ResultSet, Value};
     pub use soda_service::{
-        CompactionConfig, DurabilityConfig, FsyncPolicy, JobHandle, JobResult, QueryRequest,
-        QueryResponse, QueryService, RecoveryReport, ServiceConfig, ServiceMetrics, SlowQuery,
-        TenantAdmin, TenantId, TenantMetrics, TracedQuery,
+        AlertState, BurnAlert, CompactionConfig, DurabilityConfig, FsyncPolicy, JobHandle,
+        JobResult, QueryRequest, QueryResponse, QueryService, RecoveryReport, SampledTrace,
+        SamplingConfig, ServiceConfig, ServiceMetrics, SloConfig, SlowQuery, TenantAdmin, TenantId,
+        TenantMetrics, TracedQuery,
     };
     pub use soda_trace::{CollectingSink, NoopSink, OpEvent, QueryTrace, TraceSink};
     pub use soda_warehouse::Warehouse;

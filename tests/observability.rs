@@ -44,6 +44,10 @@ impl Drop for TempDir {
 }
 
 fn enterprise_service(shards: usize) -> QueryService {
+    enterprise_service_with(shards, ServiceConfig::default())
+}
+
+fn enterprise_service_with(shards: usize, config: ServiceConfig) -> QueryService {
     let warehouse = enterprise::build_with(EnterpriseConfig {
         seed: 42,
         padding: false,
@@ -57,7 +61,7 @@ fn enterprise_service(shards: usize) -> QueryService {
             ..SodaConfig::default()
         },
     );
-    QueryService::start(Arc::new(snapshot), ServiceConfig::default())
+    QueryService::start(Arc::new(snapshot), config)
 }
 
 /// The tentpole acceptance: a traced query on the enterprise warehouse
@@ -226,6 +230,10 @@ fn metrics_text_matches_the_golden_type_surface() {
         SodaConfig::default(),
         ServiceConfig {
             slow_query_threshold: Some(Duration::ZERO),
+            // Sampling and an SLO are declared so the exemplar syntax and
+            // the `soda_slo_*` families are part of the golden surface.
+            sampling: Some(SamplingConfig::default().rate(1.0)),
+            slo: Some(SloConfig::default()),
             ..ServiceConfig::default()
         },
         DurabilityConfig::new(dir.path()),
@@ -281,4 +289,128 @@ fn traced_and_untraced_answers_are_byte_identical() {
             );
         }
     }
+}
+
+/// Adaptive sampling is invisible to callers too: with head sampling at
+/// 100% the answers stay byte-identical to an unsampled service, every
+/// query (cold executions *and* warm cache hits) lands its span tree in
+/// the per-tenant ring, and the latency histograms carry the trace ids as
+/// OpenMetrics exemplars that still validate.
+#[test]
+fn sampled_queries_answer_byte_identically_and_land_exemplars() {
+    let plain = enterprise_service(4);
+    let sampled = enterprise_service_with(
+        4,
+        ServiceConfig::default().sampling(SamplingConfig::default().rate(1.0)),
+    );
+    for query in ["customers Zurich", "Credit Suisse"] {
+        let expected = plain.query(QueryRequest::new(query)).wait().unwrap();
+        let cold = sampled.query(QueryRequest::new(query)).wait().unwrap();
+        assert_eq!(
+            cold.page, expected.page,
+            "'{query}' diverged under sampling"
+        );
+        let warm = sampled.query(QueryRequest::new(query)).wait().unwrap();
+        assert_eq!(
+            warm.page, expected.page,
+            "'{query}' diverged on the warm hit"
+        );
+    }
+
+    let traces = sampled
+        .sampled_traces(TenantId::default())
+        .expect("default tenant");
+    assert_eq!(traces.len(), 4, "two cold + two warm captures");
+    assert!(traces.iter().all(|t| t.reason == "head"));
+    assert!(traces
+        .iter()
+        .all(|t| t.trace_id.len() == 16 && t.trace_id.chars().all(|c| c.is_ascii_hexdigit())));
+    // Cold captures fold the full five-stage pipeline tree; warm hits get a
+    // synthesized `cache_hit` event under the query root instead.
+    let warm_hits = traces
+        .iter()
+        .filter(|t| t.trace.find(names::CACHE_HIT).is_some())
+        .count();
+    assert_eq!(warm_hits, 2, "both repeat queries were warm-hit captures");
+    assert!(traces.iter().any(|t| {
+        t.trace
+            .find(names::QUERY)
+            .is_some_and(|root| root.children.len() == 5)
+    }));
+
+    let text = sampled.metrics_text();
+    soda::trace::prom::validate(&text).expect("exposition with exemplars must validate");
+    assert!(
+        text.contains("# {trace_id=\""),
+        "expected at least one exemplar in\n{text}"
+    );
+    assert!(text.contains("soda_tenant_sampled_traces_total{tenant=\"default\"} 4"));
+}
+
+/// The end-to-end SLO story: of two co-hosted tenants with declared latency
+/// objectives, the one pushed past its objective raises a Firing burn-rate
+/// alert — visible via [`QueryService::alerts`], the `slo_burn` event kind
+/// and the `soda_slo_*` metric families — while the healthy tenant raises
+/// none.
+#[test]
+fn a_breached_latency_objective_raises_a_burn_alert_for_that_tenant_only() {
+    let w = soda::warehouse::minibank::build(42);
+    let snapshot = Arc::new(EngineSnapshot::build(
+        Arc::new(w.database),
+        Arc::new(w.graph),
+        SodaConfig::default(),
+    ));
+    // The default tenant's objective is unreachable by construction (an
+    // hour), the "stress" tenant's is zero — every one of its queries
+    // burns budget, deterministically on any machine.
+    let service = QueryService::start(
+        Arc::clone(&snapshot),
+        ServiceConfig::default().slo(
+            SloConfig::default()
+                .latency_objective(Duration::from_secs(3600))
+                .tenant_latency("stress", Duration::ZERO),
+        ),
+    );
+    service
+        .add_tenant("stress", Arc::clone(&snapshot))
+        .expect("hosting the stress tenant");
+    for query in ["Sara Guttinger", "wealthy customers", "Credit Suisse"] {
+        service.query(QueryRequest::new(query)).wait().unwrap();
+        service
+            .query(QueryRequest::new(query).tenant("stress"))
+            .wait()
+            .unwrap();
+    }
+
+    let alerts = service.alerts();
+    let firing = alerts
+        .iter()
+        .find(|a| a.tenant == "stress" && a.objective == "latency")
+        .expect("the stress tenant's latency budget is burning");
+    assert_eq!(firing.state, AlertState::Firing);
+    assert!(
+        firing.fast_burn > 1.0 && firing.slow_burn > 1.0,
+        "{firing:?}"
+    );
+    // The healthy co-hosted tenant raises nothing: every surfaced alert
+    // belongs to the breaching tenant.
+    assert!(
+        alerts.iter().all(|a| a.tenant == "stress"),
+        "unexpected alerts: {alerts:?}"
+    );
+
+    // The Ok -> Firing transition landed in the operational event log,
+    // attributed to the breaching tenant — and only there.
+    let stress_events = service.events_for("stress").expect("stress tenant");
+    assert!(stress_events
+        .iter()
+        .any(|e| e.kind == "slo_burn" && e.detail.contains("latency alert firing")));
+    let default_events = service.events_for(TenantId::default()).expect("default");
+    assert!(default_events.iter().all(|e| e.kind != "slo_burn"));
+
+    // And the scrape surface tells the same story per tenant.
+    let text = service.metrics_text();
+    soda::trace::prom::validate(&text).expect("exposition must validate");
+    assert!(text.contains("soda_slo_alert_state{tenant=\"stress\",objective=\"latency\"} 2"));
+    assert!(text.contains("soda_slo_alert_state{tenant=\"default\",objective=\"latency\"} 0"));
 }
